@@ -1,0 +1,137 @@
+// Ablation: how close does the *online* budgeted grant policy get to the
+// *offline* storage-constrained optimum the paper evaluates?
+//
+// The offline greedy (§4.2.1) sees the whole rate table in advance; the
+// live authority must decide per query from the RRC alone, adapting its
+// admission threshold as the track file fills.  We drive the listening
+// module with Poisson query streams from caches with Zipf rates and
+// compare achieved (storage, message-rate) points against the offline
+// plan at the same storage budget.
+#include <cstdio>
+#include <queue>
+
+#include "bench_util.h"
+#include "core/dynamic_lease.h"
+#include "core/policy.h"
+#include "core/track_file.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dnscup;
+
+struct OnlineResult {
+  double mean_live = 0.0;
+  double message_rate = 0.0;
+  double query_rate = 0.0;
+};
+
+/// Replays Poisson arrivals for every demand pair against the policy.
+/// A query reaching the authority = one message (renewal or poll); the
+/// grant decision uses the pair's true rate as its RRC.
+OnlineResult run_online(const std::vector<core::DemandEntry>& demands,
+                        std::size_t budget, double duration_s,
+                        uint64_t seed) {
+  core::TrackFile track_file;
+  core::BudgetedGrantPolicy::Config config;
+  config.storage_budget = budget;
+  core::BudgetedGrantPolicy policy(
+      [&demands](const dns::Name& name, dns::RRType) {
+        // Encode the pair index in the first label to recover max_lease.
+        const std::size_t idx = std::stoul(name.label(0).substr(1));
+        return net::from_seconds(demands[idx].max_lease);
+      },
+      &track_file, config);
+
+  // Event queue of (next arrival, pair index).
+  util::Rng rng(seed);
+  std::vector<util::Rng> streams;
+  std::priority_queue<std::pair<double, std::size_t>,
+                      std::vector<std::pair<double, std::size_t>>,
+                      std::greater<>>
+      arrivals;
+  std::vector<dns::Name> names;
+  std::vector<net::Endpoint> holders;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    streams.push_back(rng.fork());
+    arrivals.push({streams[i].exponential(demands[i].rate), i});
+    names.push_back(dns::Name::from_labels(
+        {"p" + std::to_string(i), "example", "com"}));
+    holders.push_back({net::make_ip(10, 1, static_cast<uint8_t>(
+                                               demands[i].cache / 250),
+                                    static_cast<uint8_t>(demands[i].cache %
+                                                         250)),
+                       53});
+  }
+
+  uint64_t queries = 0;
+  uint64_t messages = 0;
+  double live_integral = 0.0;
+  double last_t = 0.0;
+  while (!arrivals.empty()) {
+    auto [t, i] = arrivals.top();
+    arrivals.pop();
+    if (t >= duration_s) continue;  // drop; no re-arm past the horizon
+    const net::SimTime now = net::from_seconds(t);
+    live_integral += track_file.live_count(now) * (t - last_t);
+    last_t = t;
+    ++queries;
+    const core::Lease* lease = track_file.find(holders[i], names[i],
+                                               dns::RRType::kA);
+    if (lease == nullptr || !lease->valid(now)) {
+      // Cache miss (TTL or lease expired): the query reaches the
+      // authority and the policy decides on a lease.
+      ++messages;
+      const auto decision = policy.decide(names[i], dns::RRType::kA,
+                                          holders[i], demands[i].rate, now);
+      if (decision.grant) {
+        track_file.grant(holders[i], names[i], dns::RRType::kA, now,
+                         decision.length);
+      }
+    }
+    arrivals.push({t + streams[i].exponential(demands[i].rate), i});
+  }
+
+  OnlineResult result;
+  result.mean_live = live_integral / duration_s;
+  result.message_rate = static_cast<double>(messages) / duration_s;
+  result.query_rate = static_cast<double>(queries) / duration_s;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Ablation: online budgeted policy vs offline greedy");
+
+  util::Rng rng(77);
+  std::vector<core::DemandEntry> demands;
+  const util::ZipfDistribution zipf(200, 1.0);
+  for (std::size_t i = 0; i < 200; ++i) {
+    core::DemandEntry d;
+    d.record = i;
+    d.cache = i % 3;
+    d.rate = 2.0 * zipf.pmf(i) * 200.0 / 10.0;  // spread of rates
+    d.max_lease = 600.0;
+    demands.push_back(d);
+  }
+
+  std::printf("%-10s %-22s %-22s %-12s\n", "budget",
+              "offline (live, msg/s)", "online (live, msg/s)",
+              "msg overhead");
+  for (std::size_t budget : {10u, 25u, 50u, 100u, 150u}) {
+    const auto offline = core::plan_storage_constrained(
+        demands, static_cast<double>(budget));
+    const auto online = run_online(demands, budget, 20000.0, 42);
+    std::printf("%-10zu %8.1f, %-12.3f %8.1f, %-12.3f %+10.1f%%\n", budget,
+                offline.total_storage, offline.total_message_rate,
+                online.mean_live, online.message_rate,
+                100.0 * (online.message_rate - offline.total_message_rate) /
+                    offline.total_message_rate);
+  }
+  std::printf(
+      "\nthe online policy tracks the offline greedy's frontier while\n"
+      "respecting the budget it cannot plan for in advance; the residual\n"
+      "message overhead is the price of admission-threshold adaptation.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation: the notification module's retransmission budget under packet
+// loss.  DNScup carries CACHE-UPDATE over UDP (§4), so delivery rests on
+// the ack/retransmit loop; this sweep shows how the retry budget trades
+// consistency (stale answers) against failure-driven lease revocations,
+// across loss rates — the design choice DESIGN.md calls out.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/consistency_sim.h"
+
+int main() {
+  using namespace dnscup;
+  bench::heading("Ablation: CACHE-UPDATE retransmission budget vs loss");
+
+  std::printf("%-8s %-9s %-10s %-12s %-14s\n", "loss", "retries",
+              "stale %", "pushes", "give-ups");
+  for (double loss : {0.0, 0.1, 0.3}) {
+    for (int retries : {0, 1, 3, 5}) {
+      sim::ConsistencyConfig config;
+      config.zones = 8;
+      config.caches = 2;
+      config.dnscup_enabled = true;
+      config.record_ttl = 1800;
+      config.max_lease = net::hours(6);
+      config.duration_s = 3600.0;
+      config.queries_per_cache_per_s = 0.4;
+      config.mean_change_interval_s = 120.0;
+      config.loss_probability = loss;
+      config.seed = 900 + static_cast<uint64_t>(loss * 100) +
+                    static_cast<uint64_t>(retries);
+      // Thread the retry budget through the testbed's notifier config.
+      // (run_consistency_experiment builds the testbed; we express the
+      // retry budget via a dedicated field.)
+      config.notification_max_retries = retries;
+      const auto r = run_consistency_experiment(config);
+      std::printf("%-8.2f %-9d %-10.3f %-12llu %-14llu\n", loss, retries,
+                  100.0 * r.stale_fraction,
+                  static_cast<unsigned long long>(r.cache_updates_sent),
+                  static_cast<unsigned long long>(r.notification_failures));
+    }
+  }
+  std::printf(
+      "\nexpected shape: with zero retries any lost push leaves the cache\n"
+      "stale until TTL/lease expiry; a handful of retries drives staleness\n"
+      "to ~zero even at 30%% loss, at slightly higher push counts.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared helpers for the reproduction benches: fixed-width table printing
+// and curve interpolation.  Every bench prints the series a paper figure
+// plots (or the rows of a table), plus the paper's published reference
+// values where the text quotes them, so EXPERIMENTS.md can record
+// paper-vs-measured side by side.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dnscup::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("\n-- %s --\n", title.c_str());
+}
+
+/// An x-sorted polyline; interpolates y at arbitrary x (clamped ends).
+class Curve {
+ public:
+  void add(double x, double y) { points_.push_back({x, y}); }
+
+  void sort() {
+    std::sort(points_.begin(), points_.end());
+  }
+
+  double y_at(double x) const {
+    if (points_.empty()) return 0.0;
+    if (x <= points_.front().first) return points_.front().second;
+    if (x >= points_.back().first) return points_.back().second;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+      if (points_[i].first >= x) {
+        const auto [x0, y0] = points_[i - 1];
+        const auto [x1, y1] = points_[i];
+        if (x1 == x0) return y0;
+        return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+      }
+    }
+    return points_.back().second;
+  }
+
+  /// x where y first crosses `y` (curves assumed monotone); clamped.
+  double x_at(double y) const {
+    if (points_.empty()) return 0.0;
+    const bool decreasing = points_.back().second < points_.front().second;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+      const auto [x0, y0] = points_[i - 1];
+      const auto [x1, y1] = points_[i];
+      const bool crosses =
+          decreasing ? (y0 >= y && y >= y1) : (y0 <= y && y <= y1);
+      if (crosses) {
+        if (y1 == y0) return x0;
+        return x0 + (x1 - x0) * (y - y0) / (y1 - y0);
+      }
+    }
+    return points_.back().first;
+  }
+
+  const std::vector<std::pair<double, double>>& points() const {
+    return points_;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace dnscup::bench

@@ -1,0 +1,65 @@
+// Extension experiment quantifying the paper's §1/§3 motivation: the
+// stale-answer rate and staleness age of classic TTL caching versus
+// DNScup's proactive invalidation, across record TTLs, using the full
+// protocol stack end-to-end (queries, leases, UPDATEs, CACHE-UPDATEs).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/consistency_sim.h"
+
+int main() {
+  using namespace dnscup;
+  bench::heading("Time-to-consistency: TTL vs DNScup (full stack)");
+
+  std::printf("%-8s %-8s %-9s %-10s %-11s %-10s %-9s\n", "ttl(s)",
+              "scheme", "queries", "stale", "stale %", "mean age", "packets");
+  for (uint32_t ttl : {60u, 300u, 1800u, 3600u}) {
+    for (bool dnscup : {false, true}) {
+      sim::ConsistencyConfig config;
+      config.zones = 10;
+      config.caches = 2;
+      config.dnscup_enabled = dnscup;
+      config.record_ttl = ttl;
+      config.max_lease = net::hours(6);
+      config.duration_s = 2 * 3600.0;
+      config.queries_per_cache_per_s = 0.3;
+      config.mean_change_interval_s = 240.0;
+      config.seed = 100 + ttl;
+      const auto r = run_consistency_experiment(config);
+      std::printf("%-8u %-8s %-9llu %-10llu %-11.3f %-10.1f %-9llu\n", ttl,
+                  dnscup ? "dnscup" : "ttl",
+                  static_cast<unsigned long long>(r.answered),
+                  static_cast<unsigned long long>(r.stale_answers),
+                  100.0 * r.stale_fraction,
+                  r.stale_answers > 0 ? r.stale_age_s.mean() : 0.0,
+                  static_cast<unsigned long long>(r.packets_delivered));
+    }
+  }
+  std::printf(
+      "\nexpected shape: TTL staleness grows with the record TTL (stale\n"
+      "for up to a full TTL after each change) while DNScup stays near\n"
+      "zero at a modest extra message cost — the paper's core motivation\n"
+      "(availability under sudden mapping changes, §1).\n");
+
+  bench::subheading("with 5%% packet loss (retransmission robustness)");
+  std::printf("%-8s %-9s %-11s %-10s\n", "scheme", "stale", "stale %",
+              "dropped");
+  for (bool dnscup : {false, true}) {
+    sim::ConsistencyConfig config;
+    config.zones = 10;
+    config.caches = 2;
+    config.dnscup_enabled = dnscup;
+    config.record_ttl = 1800;
+    config.duration_s = 2 * 3600.0;
+    config.queries_per_cache_per_s = 0.3;
+    config.mean_change_interval_s = 240.0;
+    config.loss_probability = 0.05;
+    config.seed = 500;
+    const auto r = run_consistency_experiment(config);
+    std::printf("%-8s %-9llu %-11.3f %-10llu\n", dnscup ? "dnscup" : "ttl",
+                static_cast<unsigned long long>(r.stale_answers),
+                100.0 * r.stale_fraction,
+                static_cast<unsigned long long>(r.packets_dropped));
+  }
+  return 0;
+}

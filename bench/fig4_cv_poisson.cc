@@ -1,0 +1,83 @@
+// Figure 4: "The mean of CV of query interval in DNS traces" — for each of
+// the three local nameservers, the mean coefficient of variation of
+// per-domain query inter-arrival times as a function of the client-side
+// caching period, with 95% confidence intervals.  CV -> 1 validates the
+// Poisson assumption underlying the §4.1 lease model.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "sim/trace_gen.h"
+#include "util/stats.h"
+#include "workload/domain_population.h"
+
+namespace {
+
+using namespace dnscup;
+
+/// Mean CV (and its 95% CI) of per-domain inter-arrival times at one
+/// nameserver.
+struct CvResult {
+  double mean = 0.0;
+  double ci95 = 0.0;
+};
+
+CvResult mean_cv(const std::vector<sim::TraceRecord>& trace, uint16_t ns) {
+  // Per-domain interval stats.
+  std::map<std::string, std::pair<net::SimTime, util::RunningStats>> per_domain;
+  for (const auto& r : trace) {
+    if (r.nameserver != ns) continue;
+    auto& [last, stats] = per_domain[r.qname.to_string()];
+    if (stats.count() > 0 || last != 0) {
+      stats.add(net::to_seconds(r.timestamp - last));
+    }
+    last = r.timestamp;
+  }
+  util::RunningStats cvs;
+  for (const auto& [name, entry] : per_domain) {
+    const auto& stats = entry.second;
+    if (stats.count() >= 30) cvs.add(stats.cv());
+  }
+  return {cvs.mean(), cvs.ci95_halfwidth()};
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Figure 4: mean of CV of query interval vs caching period");
+
+  workload::PopulationConfig pop_config;
+  pop_config.regular_per_group = 100;
+  pop_config.cdn_domains = 60;
+  pop_config.dyn_domains = 40;
+  pop_config.seed = 4;
+  const auto population = workload::DomainPopulation::generate(pop_config);
+
+  const double caching_periods[] = {1, 10, 100, 900, 3600, 10000};
+
+  std::printf("%-12s %-22s %-22s %-22s\n", "cache (s)", "NS I (mean, ci95)",
+              "NS II (mean, ci95)", "NS III (mean, ci95)");
+  for (double period : caching_periods) {
+    sim::TraceGenConfig config;
+    config.nameservers = 3;
+    config.clients = 300;
+    config.duration_s = 86400.0;  // one day per sweep point
+    config.client_cache_s = period;
+    config.sessions_per_client_hour = 20.0;
+    config.burst_queries_mean = 1.6;  // page loads re-resolve the domain
+    config.seed = 40 + static_cast<uint64_t>(period);
+    const auto trace = generate_trace(population, config);
+
+    std::printf("%-12.0f", period);
+    for (uint16_t ns = 0; ns < 3; ++ns) {
+      const CvResult r = mean_cv(trace, ns);
+      std::printf(" %6.3f +/- %-11.3f", r.mean, r.ci95);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper reference: mean CV approaches 1 as the client caching\n"
+      "period grows (intervals become Poisson), with very small 95%% CIs\n"
+      "at all three nameservers.\n");
+  return 0;
+}

@@ -1,0 +1,208 @@
+// §5.2 prototype claim: "the difference in computation overhead between
+// TTL and DNScup is hardly noticeable."  google-benchmark measurement of
+// the per-operation costs: query processing with and without the DNScup
+// listening module, wire encode/decode (with and without EXT fields),
+// CACHE-UPDATE construction/parsing, and track-file operations.
+#include <benchmark/benchmark.h>
+
+#include "core/cache_update.h"
+#include "core/dnscup_authority.h"
+#include "net/sim_network.h"
+#include "server/authoritative.h"
+
+namespace {
+
+using namespace dnscup;
+using dns::Message;
+using dns::Name;
+using dns::RRClass;
+using dns::RRType;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+
+struct ServerFixture {
+  net::EventLoop loop;
+  net::SimNetwork network{loop, 1};
+  server::AuthServer server{network.bind({net::make_ip(10, 0, 0, 1), 53}),
+                            loop};
+  std::unique_ptr<core::DnscupAuthority> dnscup;
+
+  explicit ServerFixture(bool with_dnscup) {
+    dns::SOARdata soa;
+    soa.mname = mk("ns1.example.com");
+    soa.rname = mk("admin.example.com");
+    soa.serial = 1;
+    soa.minimum = 60;
+    dns::Zone zone = dns::Zone::make(mk("example.com"), soa, 3600,
+                                     {mk("ns1.example.com")}, 3600);
+    for (int i = 0; i < 100; ++i) {
+      zone.add_record(
+          mk(("h" + std::to_string(i) + ".example.com").c_str()),
+          RRType::kA, 300,
+          dns::ARdata{dns::Ipv4{0x0A000000u + static_cast<uint32_t>(i)}});
+    }
+    server.add_zone(std::move(zone));
+    if (with_dnscup) {
+      core::DnscupAuthority::Config config;
+      config.max_lease = [](const Name&, RRType) { return net::hours(1); };
+      dnscup = std::make_unique<core::DnscupAuthority>(server, loop, config);
+    }
+  }
+
+  Message query(int i, bool ext) const {
+    Message m;
+    m.id = static_cast<uint16_t>(i);
+    m.flags.ext = ext;
+    dns::Question q;
+    q.qname = mk(("h" + std::to_string(i % 100) + ".example.com").c_str());
+    q.qtype = RRType::kA;
+    q.rrc = ext ? 360 : 0;
+    m.questions.push_back(std::move(q));
+    return m;
+  }
+};
+
+const net::Endpoint kClient{net::make_ip(10, 0, 2, 1), 53};
+
+void BM_QueryProcessing_PlainTtl(benchmark::State& state) {
+  ServerFixture fixture(/*with_dnscup=*/false);
+  int i = 0;
+  for (auto _ : state) {
+    const Message q = fixture.query(i++, false);
+    benchmark::DoNotOptimize(fixture.server.handle(kClient, q));
+  }
+}
+BENCHMARK(BM_QueryProcessing_PlainTtl);
+
+void BM_QueryProcessing_DnscupLegacyQuery(benchmark::State& state) {
+  // DNScup middleware installed, but the querier is a legacy cache.
+  ServerFixture fixture(/*with_dnscup=*/true);
+  int i = 0;
+  for (auto _ : state) {
+    const Message q = fixture.query(i++, false);
+    benchmark::DoNotOptimize(fixture.server.handle(kClient, q));
+  }
+}
+BENCHMARK(BM_QueryProcessing_DnscupLegacyQuery);
+
+void BM_QueryProcessing_DnscupExtQuery(benchmark::State& state) {
+  // EXT query: rate tracking + policy decision + lease grant + LLT stamp.
+  ServerFixture fixture(/*with_dnscup=*/true);
+  int i = 0;
+  for (auto _ : state) {
+    const Message q = fixture.query(i++, true);
+    benchmark::DoNotOptimize(fixture.server.handle(kClient, q));
+  }
+}
+BENCHMARK(BM_QueryProcessing_DnscupExtQuery);
+
+void BM_MessageEncode_Plain(benchmark::State& state) {
+  ServerFixture fixture(false);
+  const Message q = fixture.query(1, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.encode());
+  }
+}
+BENCHMARK(BM_MessageEncode_Plain);
+
+void BM_MessageEncode_Ext(benchmark::State& state) {
+  ServerFixture fixture(false);
+  const Message q = fixture.query(1, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.encode());
+  }
+}
+BENCHMARK(BM_MessageEncode_Ext);
+
+void BM_MessageDecode_Plain(benchmark::State& state) {
+  ServerFixture fixture(false);
+  const auto wire = fixture.query(1, false).encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Message::decode(wire));
+  }
+}
+BENCHMARK(BM_MessageDecode_Plain);
+
+void BM_MessageDecode_Ext(benchmark::State& state) {
+  ServerFixture fixture(false);
+  const auto wire = fixture.query(1, true).encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Message::decode(wire));
+  }
+}
+BENCHMARK(BM_MessageDecode_Ext);
+
+void BM_CacheUpdateEncode(benchmark::State& state) {
+  dns::RRset after{mk("h1.example.com"), RRType::kA, RRClass::kIN, 300, {}};
+  after.add(dns::ARdata{dns::Ipv4{0x0A0A0A0A}});
+  std::vector<dns::RRsetChange> changes{
+      {mk("h1.example.com"), RRType::kA, std::nullopt, after}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::encode_cache_update(1, mk("example.com"), 7, changes)
+            .encode());
+  }
+}
+BENCHMARK(BM_CacheUpdateEncode);
+
+void BM_CacheUpdateParse(benchmark::State& state) {
+  dns::RRset after{mk("h1.example.com"), RRType::kA, RRClass::kIN, 300, {}};
+  after.add(dns::ARdata{dns::Ipv4{0x0A0A0A0A}});
+  std::vector<dns::RRsetChange> changes{
+      {mk("h1.example.com"), RRType::kA, std::nullopt, after}};
+  const auto wire =
+      core::encode_cache_update(1, mk("example.com"), 7, changes).encode();
+  for (auto _ : state) {
+    const auto msg = Message::decode(wire).value();
+    benchmark::DoNotOptimize(core::parse_cache_update(msg));
+  }
+}
+BENCHMARK(BM_CacheUpdateParse);
+
+void BM_TrackFileGrantRenew(benchmark::State& state) {
+  core::TrackFile tf;
+  net::SimTime now = 0;
+  uint32_t i = 0;
+  for (auto _ : state) {
+    const net::Endpoint holder{
+        net::make_ip(10, 1, static_cast<uint8_t>(i / 250 % 250),
+                     static_cast<uint8_t>(i % 250)),
+        53};
+    tf.grant(holder, mk("h1.example.com"), RRType::kA, now,
+             net::seconds(3600));
+    now += net::milliseconds(1);
+    ++i;
+  }
+}
+BENCHMARK(BM_TrackFileGrantRenew);
+
+void BM_TrackFileHoldersLookup(benchmark::State& state) {
+  core::TrackFile tf;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    tf.grant({net::make_ip(10, 1, static_cast<uint8_t>(i / 250),
+                           static_cast<uint8_t>(i % 250)),
+              53},
+             mk("h1.example.com"), RRType::kA, 0, net::seconds(3600));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tf.holders_of(mk("h1.example.com"), RRType::kA, net::seconds(1)));
+  }
+}
+BENCHMARK(BM_TrackFileHoldersLookup);
+
+void BM_ZoneLookup(benchmark::State& state) {
+  ServerFixture fixture(false);
+  const dns::Zone* zone = fixture.server.find_zone(mk("example.com"));
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zone->lookup(
+        mk(("h" + std::to_string(i++ % 100) + ".example.com").c_str()),
+        RRType::kA));
+  }
+}
+BENCHMARK(BM_ZoneLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

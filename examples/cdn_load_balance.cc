@@ -1,0 +1,107 @@
+// CDN load balancing — the paper's motivating scenario #3 (§1): TTL-based
+// DNS redirection "only supports a coarse-grained load-balance, and is
+// unable to support quick reaction to network failures or flash crowds".
+//
+// A CDN serves one hostname from three replicas and rebalances by
+// repointing the record.  Mid-run, replica 1 is hit by a flash crowd and
+// the CDN shifts traffic to replicas 2 and 3.  With a 300-second TTL the
+// caches keep sending clients to the overloaded replica for minutes;
+// DNScup retargets them in a round trip.
+//
+// Run: ./build/examples/cdn_load_balance
+#include <cstdio>
+#include <map>
+
+#include "sim/testbed.h"
+
+using namespace dnscup;
+
+namespace {
+
+struct RunResult {
+  // Requests landing on each replica during the 10 minutes after the
+  // flash-crowd response started.
+  std::map<uint32_t, int> hits_after_shift;
+  uint64_t packets = 0;
+};
+
+RunResult run(bool dnscup_enabled) {
+  sim::TestbedConfig config;
+  config.zones = 1;
+  config.caches = 2;
+  config.record_ttl = 300;  // typical CDN-edge TTL class
+  config.max_lease = net::seconds(200);  // paper's CDN maximal lease
+  config.dnscup_enabled = dnscup_enabled;
+  sim::Testbed tb(config);
+
+  const dns::Ipv4 replica1 = dns::Ipv4::parse("198.51.100.1").value();
+  const dns::Ipv4 replica2 = dns::Ipv4::parse("198.51.100.2").value();
+  const dns::Ipv4 replica3 = dns::Ipv4::parse("198.51.100.3").value();
+  tb.repoint_web_host(0, replica1);  // all traffic on replica 1 initially
+
+  // Warm both caches.
+  tb.resolve(0, tb.web_host(0), dns::RRType::kA);
+  tb.resolve(1, tb.web_host(0), dns::RRType::kA);
+
+  // t = 60 s: flash crowd on replica 1 -> rebalance to 2 (and 3 later).
+  tb.loop().run_until(net::seconds(60));
+  tb.repoint_web_host(0, replica2);
+  // DNScup caches renew ~every 200 s lease; to keep the comparison fair
+  // both runs use the same client probing pattern below.
+
+  RunResult result;
+  const net::SimTime shift_time = tb.loop().now();
+  int step = 0;
+  while (tb.loop().now() < shift_time + net::minutes(10)) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      const auto r = tb.resolve(c, tb.web_host(0), dns::RRType::kA);
+      if (r.has_value() && !r->rrset.empty()) {
+        ++result.hits_after_shift[std::get<dns::ARdata>(
+                                      r->rrset.rdatas.front())
+                                      .address.addr];
+      }
+    }
+    // Halfway through, spread further onto replica 3.
+    if (++step == 30) tb.repoint_web_host(0, replica3);
+    tb.loop().run_until(tb.loop().now() + net::seconds(10));
+  }
+  result.packets = tb.network().packets_delivered();
+  return result;
+}
+
+void report(const char* label, const RunResult& r) {
+  int total = 0;
+  for (const auto& [addr, hits] : r.hits_after_shift) total += hits;
+  std::printf("%-8s", label);
+  for (const char* suffix : {".1", ".2", ".3"}) {
+    const uint32_t addr =
+        dns::Ipv4::parse(std::string("198.51.100") + suffix).value().addr;
+    auto it = r.hits_after_shift.find(addr);
+    const int hits = it == r.hits_after_shift.end() ? 0 : it->second;
+    std::printf("  replica%s: %3d (%4.1f%%)", suffix, hits,
+                total == 0 ? 0.0 : 100.0 * hits / total);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== CDN flash crowd: shift traffic off replica 1 ==\n");
+  std::printf(
+      "TTL 300 s; rebalance to replica 2 at t=60s, replica 3 at +5min;\n"
+      "client requests probed every 10 s for 10 minutes after the shift\n\n");
+
+  const RunResult ttl = run(false);
+  const RunResult dnscup = run(true);
+
+  std::printf("requests landing on each replica AFTER the rebalance:\n");
+  report("TTL", ttl);
+  report("DNScup", dnscup);
+
+  std::printf(
+      "\nunder TTL the overloaded replica keeps receiving traffic until\n"
+      "cached records expire; DNScup retargets both caches immediately,\n"
+      "giving the CDN the fine-grained, fast control §1 calls for.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Disaster failover — the paper's motivating scenario #1 (§1): "sudden
+// and dramatic Internet failures caused by natural and human disasters",
+// where a service must be redirected to a backup site immediately.
+//
+// A popular site has a one-day TTL (normal for stable records).  At
+// t = 1 h its primary datacenter fails and the operator repoints it to a
+// backup.  We run the same timeline twice on the Figure-7 testbed — with
+// DNScup and with plain TTL — and compare how long clients keep being
+// sent to the dead address.
+//
+// Run: ./build/examples/disaster_failover
+#include <cstdio>
+
+#include "sim/testbed.h"
+
+using namespace dnscup;
+using Outcome = server::CachingResolver::Outcome;
+
+namespace {
+
+struct RunResult {
+  net::Duration staleness = 0;  // how long the cache served the dead site
+  uint64_t packets = 0;
+};
+
+RunResult run(bool dnscup_enabled) {
+  sim::TestbedConfig config;
+  config.zones = 1;
+  config.caches = 1;
+  config.record_ttl = 86400;  // one day, per the paper's stable-record norm
+  config.max_lease = net::hours(12);
+  config.dnscup_enabled = dnscup_enabled;
+  sim::Testbed tb(config);
+
+  // Clients have been using the site, so the mapping is cached (and, with
+  // DNScup, leased).
+  const auto initial = tb.resolve(0, tb.web_host(0), dns::RRType::kA);
+  const auto old_address =
+      std::get<dns::ARdata>(initial->rrset.rdatas.front()).address;
+
+  // t = 1 h: disaster.  The operator repoints to the backup site.
+  tb.loop().run_until(net::hours(1));
+  const dns::Ipv4 backup = dns::Ipv4::parse("203.0.113.99").value();
+  tb.repoint_web_host(0, backup);
+
+  // Probe the cache once a minute until it hands out the backup address.
+  RunResult result;
+  for (int minute = 0;; ++minute) {
+    const auto r = tb.resolve(0, tb.web_host(0), dns::RRType::kA);
+    const auto got = std::get<dns::ARdata>(r->rrset.rdatas.front()).address;
+    if (got == backup) {
+      result.staleness = tb.loop().now() - net::hours(1);
+      break;
+    }
+    if (got == old_address && minute > 48 * 60) break;  // give up: 2 days
+    tb.loop().run_until(tb.loop().now() + net::minutes(1));
+  }
+  result.packets = tb.network().packets_delivered();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Disaster failover: redirect to backup site ==\n\n");
+  std::printf("record TTL: 1 day; failure at t=1h; backup at 203.0.113.99\n\n");
+
+  const RunResult with_ttl = run(false);
+  const RunResult with_dnscup = run(true);
+
+  std::printf("%-12s %-28s %-10s\n", "scheme", "clients sent to dead site",
+              "packets");
+  std::printf("%-12s %-28s %-10llu\n", "TTL",
+              (std::to_string(with_ttl.staleness / net::minutes(1)) +
+               " minutes after failure")
+                  .c_str(),
+              static_cast<unsigned long long>(with_ttl.packets));
+  std::printf("%-12s %-28s %-10llu\n", "DNScup",
+              (std::to_string(with_dnscup.staleness / net::seconds(1)) +
+               " seconds after failure")
+                  .c_str(),
+              static_cast<unsigned long long>(with_dnscup.packets));
+
+  std::printf(
+      "\nwith plain TTL the cached mapping stays poisoned for up to the\n"
+      "full TTL (here ~%lld minutes observed); DNScup invalidates it in\n"
+      "about a round trip — the service-availability argument of §1.\n",
+      static_cast<long long>(with_ttl.staleness / net::minutes(1)));
+  return 0;
+}

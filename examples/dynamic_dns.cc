@@ -1,0 +1,113 @@
+// Dynamic DNS — the paper's motivating scenario #2 (§1): a host on a
+// DHCP-assigned address (home server / mobile device) whose mapping
+// changes frequently.
+//
+// Classic providers cope by setting tiny TTLs (60 s), so every cache
+// refetches the record every minute whether or not it changed — the
+// redundant-traffic problem §3.2 quantifies at 10-25x.  DNScup instead
+// grants a lease and pushes only actual changes.
+//
+// We simulate a host renumbering on average once an hour for a day, with
+// a cache whose clients query it steadily, and compare upstream traffic
+// and freshness under the two schemes.
+//
+// Run: ./build/examples/dynamic_dns
+#include <cstdio>
+
+#include "sim/testbed.h"
+#include "util/rng.h"
+
+using namespace dnscup;
+
+namespace {
+
+struct RunResult {
+  uint64_t upstream_queries = 0;
+  uint64_t pushes = 0;
+  uint64_t stale_answers = 0;
+  uint64_t total_answers = 0;
+};
+
+RunResult run(bool dnscup_enabled) {
+  sim::TestbedConfig config;
+  config.zones = 1;
+  config.caches = 1;
+  config.record_ttl = 60;  // DynDNS-style aggressive TTL
+  config.max_lease = net::seconds(6000);  // paper's Dyn maximal lease
+  config.dnscup_enabled = dnscup_enabled;
+  sim::Testbed tb(config);
+
+  util::Rng rng(17);
+  dns::Ipv4 truth = [&] {
+    const auto r = tb.resolve(0, tb.web_host(0), dns::RRType::kA);
+    return std::get<dns::ARdata>(r->rrset.rdatas.front()).address;
+  }();
+
+  RunResult result;
+  uint32_t next_ip = net::make_ip(100, 64, 0, 1);  // CGNAT-style pool
+  net::SimTime next_renumber =
+      net::from_seconds(rng.exponential(1.0 / 3600.0));
+
+  const net::SimTime day = net::hours(24);
+  net::SimTime next_query = net::seconds(30);
+  while (next_query < day) {
+    // Advance to the next event (client query or DHCP renumber).
+    if (next_renumber < next_query) {
+      tb.loop().run_until(next_renumber);
+      truth = dns::Ipv4{next_ip++};
+      tb.repoint_web_host_async(0, truth);
+      tb.loop().run_for(net::milliseconds(50));  // update + push settle
+      next_renumber += net::from_seconds(rng.exponential(1.0 / 3600.0));
+      continue;
+    }
+    tb.loop().run_until(next_query);
+    const auto r = tb.resolve(0, tb.web_host(0), dns::RRType::kA);
+    if (r.has_value() && !r->rrset.empty()) {
+      ++result.total_answers;
+      if (std::get<dns::ARdata>(r->rrset.rdatas.front()).address != truth) {
+        ++result.stale_answers;
+      }
+    }
+    next_query += net::seconds(30);  // clients poll the host twice a minute
+  }
+
+  result.upstream_queries = tb.cache(0).stats().upstream_queries;
+  if (tb.dnscup() != nullptr) {
+    result.pushes = tb.dnscup()->notifier().stats().updates_sent;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Dynamic DNS: DHCP host renumbering ~1/hour for a day ==\n");
+  std::printf("record TTL 60 s; client queries every 30 s\n\n");
+
+  const RunResult ttl = run(false);
+  const RunResult dnscup = run(true);
+
+  std::printf("%-10s %-18s %-14s %-14s\n", "scheme", "upstream queries",
+              "pushes", "stale answers");
+  std::printf("%-10s %-18llu %-14llu %llu / %llu\n", "TTL",
+              static_cast<unsigned long long>(ttl.upstream_queries),
+              0ull,
+              static_cast<unsigned long long>(ttl.stale_answers),
+              static_cast<unsigned long long>(ttl.total_answers));
+  std::printf("%-10s %-18llu %-14llu %llu / %llu\n", "DNScup",
+              static_cast<unsigned long long>(dnscup.upstream_queries),
+              static_cast<unsigned long long>(dnscup.pushes),
+              static_cast<unsigned long long>(dnscup.stale_answers),
+              static_cast<unsigned long long>(dnscup.total_answers));
+
+  if (dnscup.upstream_queries > 0) {
+    std::printf(
+        "\nDNScup cut upstream DNS traffic by %.0fx while *also* removing\n"
+        "stale answers — the paper's §3.2 observation that aggressive\n"
+        "Dyn-DNS TTLs cost 10-25x redundant traffic without achieving\n"
+        "freshness.\n",
+        static_cast<double>(ttl.upstream_queries) /
+            static_cast<double>(dnscup.upstream_queries));
+  }
+  return 0;
+}

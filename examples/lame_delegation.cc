@@ -1,0 +1,112 @@
+// Lame-delegation prevention — the paper's §1 side application of
+// DNScup: keeping a parent zone's view of its child zones consistent.
+//
+// A child zone migrates its nameserver (new name + address).  Without
+// coordination the parent keeps delegating to the dead server — the
+// "lame delegation" misconfiguration Pappas et al. measured across the
+// real DNS.  The DelegationGuard applies DNScup's change-detection
+// machinery to the parent-child relationship: the parent's NS + glue
+// records follow the child's apex automatically.
+//
+// Run: ./build/examples/lame_delegation
+#include <cstdio>
+
+#include "core/delegation_audit.h"
+#include "net/sim_network.h"
+#include "server/update.h"
+
+using namespace dnscup;
+using dns::Name;
+using dns::RRType;
+
+namespace {
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+dns::Ipv4 ip(const char* text) { return dns::Ipv4::parse(text).value(); }
+
+void report(const char* when, const dns::Zone& parent,
+            const dns::Zone& child) {
+  const auto findings = core::audit_delegation(parent, child);
+  if (findings.empty()) {
+    std::printf("%s: delegation consistent\n", when);
+    return;
+  }
+  std::printf("%s: delegation LAME —\n", when);
+  for (const auto& f : findings) {
+    std::printf("  [%s] %s: %s\n", core::to_string(f.issue),
+                f.subject.to_string().c_str(), f.detail.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Lame delegation prevention via DNScup ==\n\n");
+
+  net::EventLoop loop;
+  net::SimNetwork network(loop, 1);
+  server::AuthServer parent(network.bind({net::make_ip(10, 0, 0, 1), 53}),
+                            loop);
+  server::AuthServer child(network.bind({net::make_ip(10, 0, 1, 1), 53}),
+                           loop);
+
+  // Parent: the .com zone delegating example.com.
+  dns::SOARdata parent_soa;
+  parent_soa.mname = mk("a.gtld.net");
+  parent_soa.rname = mk("admin.gtld.net");
+  parent_soa.serial = 1;
+  dns::Zone com = dns::Zone::make(mk("com"), parent_soa, 86400,
+                                  {mk("a.gtld.net")}, 86400);
+  com.add_record(mk("example.com"), RRType::kNS, 86400,
+                 dns::NSRdata{mk("ns1.example.com")});
+  com.add_record(mk("ns1.example.com"), RRType::kA, 86400,
+                 dns::ARdata{ip("10.0.1.1")});
+  parent.add_zone(std::move(com));
+
+  // Child: example.com.
+  dns::SOARdata child_soa;
+  child_soa.mname = mk("ns1.example.com");
+  child_soa.rname = mk("admin.example.com");
+  child_soa.serial = 1;
+  dns::Zone example = dns::Zone::make(mk("example.com"), child_soa, 3600,
+                                      {mk("ns1.example.com")}, 3600);
+  example.add_record(mk("ns1.example.com"), RRType::kA, 3600,
+                     dns::ARdata{ip("10.0.1.1")});
+  child.add_zone(std::move(example));
+
+  auto parent_zone = [&] { return parent.find_zone(mk("x.example.com")); };
+  auto child_zone = [&] { return child.find_zone(mk("x.example.com")); };
+  report("initial state", *parent_zone(), *child_zone());
+
+  // Attach the guard (the DNScup application).
+  core::DelegationGuard guard(parent, child, mk("example.com"));
+
+  // The child migrates its nameserver via dynamic update.
+  std::printf("\nchild migrates: ns1.example.com -> ns2.example.com "
+              "(10.0.1.2)\n\n");
+  const dns::Message update =
+      server::UpdateBuilder(mk("example.com"))
+          .add(mk("example.com"), 3600, dns::NSRdata{mk("ns2.example.com")})
+          .add(mk("ns2.example.com"), 3600, dns::ARdata{ip("10.0.1.2")})
+          .delete_record(mk("example.com"),
+                         dns::NSRdata{mk("ns1.example.com")})
+          .build(1);
+  child.apply_update(update);
+
+  report("after migration (guard active)", *parent_zone(), *child_zone());
+  std::printf("guard performed %llu sync(s); parent zone serial bumped to "
+              "%u\n",
+              static_cast<unsigned long long>(guard.syncs()),
+              parent_zone()->serial());
+
+  // For contrast: what the audit finds when the guard is absent.
+  std::printf("\n-- counterfactual without the guard --\n");
+  dns::Zone stale_parent = dns::Zone::make(mk("com"), parent_soa, 86400,
+                                           {mk("a.gtld.net")}, 86400);
+  stale_parent.add_record(mk("example.com"), RRType::kNS, 86400,
+                          dns::NSRdata{mk("ns1.example.com")});
+  stale_parent.add_record(mk("ns1.example.com"), RRType::kA, 86400,
+                          dns::ARdata{ip("10.0.1.1")});
+  report("unguarded parent", stale_parent, *child_zone());
+  return 0;
+}

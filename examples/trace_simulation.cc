@@ -1,0 +1,86 @@
+// Trace-driven lease planning — the §5.1 pipeline in miniature.
+//
+// Synthesizes an "academic environment" DNS trace (three local
+// nameservers, clients with 15-minute browser caches), extracts
+// per-(nameserver, domain) query rates from the first day exactly as the
+// paper does, then runs both dynamic-lease optimizers and the baselines
+// and prints the cost table.
+//
+// Run: ./build/examples/trace_simulation [clients] [hours]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dynamic_lease.h"
+#include "sim/lease_sim.h"
+#include "sim/rates.h"
+#include "sim/trace_gen.h"
+
+using namespace dnscup;
+
+int main(int argc, char** argv) {
+  const uint32_t clients =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 500;
+  const double hours = argc > 2 ? std::atof(argv[2]) : 24.0;
+
+  std::printf("== Trace-driven lease planning (%u clients, %.0f h) ==\n\n",
+              clients, hours);
+
+  workload::PopulationConfig pop_config;
+  pop_config.regular_per_group = 1000;
+  pop_config.cdn_domains = 300;
+  pop_config.dyn_domains = 300;
+  pop_config.seed = 1;
+  const auto population = workload::DomainPopulation::generate(pop_config);
+
+  sim::TraceGenConfig trace_config;
+  trace_config.nameservers = 3;
+  trace_config.clients = clients;
+  trace_config.duration_s = hours * 3600.0;
+  trace_config.client_cache_s = 900.0;  // Mozilla default, per the paper
+  trace_config.sessions_per_client_hour = 4.0;
+  trace_config.seed = 2;
+  const auto trace = generate_trace(population, trace_config);
+  std::printf("trace: %zu queries across 3 nameservers\n", trace.size());
+
+  const auto rates = sim::compute_rates(trace, trace_config.duration_s);
+  const auto demands = sim::compute_demands(population, rates);
+  std::printf("demand pairs (nameserver x domain): %zu\n\n", demands.size());
+
+  // ---- plans ---------------------------------------------------------------
+  const auto polling = core::plan_polling(demands);
+  const auto fixed = core::plan_fixed(demands, 3600.0);
+  const double budget = fixed.total_storage;  // equal-storage comparison
+  const auto dynamic = core::plan_storage_constrained(demands, budget);
+  const auto comm = core::plan_comm_constrained(
+      demands, polling.total_message_rate * 0.25);
+
+  std::printf("%-26s %12s %12s %12s %12s\n", "scheme", "storage",
+              "storage %", "msg rate", "query %");
+  auto row = [](const char* name, const core::LeasePlan& plan) {
+    std::printf("%-26s %12.1f %11.1f%% %12.3f %11.1f%%\n", name,
+                plan.total_storage, plan.storage_percentage,
+                plan.total_message_rate, plan.query_rate_percentage);
+  };
+  row("polling (TTL only)", polling);
+  row("fixed lease (1 h)", fixed);
+  row("dynamic, storage-constr.", dynamic);
+  row("dynamic, comm-constr.", comm);
+
+  // ---- validate the headline plan by event-driven replay --------------------
+  const auto replay =
+      sim::simulate_leases(demands, dynamic.lengths, 4 * 3600.0, 3);
+  std::printf(
+      "\nevent-driven replay of the storage-constrained plan (4 h):\n"
+      "  mean live leases %.1f (analytic steady state %.1f), message rate "
+      "%.3f/s (analytic %.3f/s)\n"
+      "  (the replay is far shorter than the 6-day maximal lease, so the\n"
+      "   live-lease count is still ramping toward steady state)\n",
+      replay.mean_live_leases, dynamic.total_storage, replay.message_rate,
+      dynamic.total_message_rate);
+
+  std::printf(
+      "\nat the same storage, the dynamic lease cuts the message rate from\n"
+      "%.3f/s (fixed) to %.3f/s — the Figure-5 effect on this trace.\n",
+      fixed.total_message_rate, dynamic.total_message_rate);
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "core/auth.h"
+
+#include <cstdio>
+
+#include "util/assert.h"
+
+namespace dnscup::core {
+
+namespace {
+
+constexpr const char* kMacLabel = "_dnscup-mac";
+
+bool is_mac_record(const dns::ResourceRecord& rr) {
+  return rr.type() == dns::RRType::kTXT && rr.name.label_count() > 0 &&
+         dns::label_equal(rr.name.label(0), kMacLabel);
+}
+
+}  // namespace
+
+std::string SharedKeyAuthenticator::digest(
+    const dns::Message& message) const {
+  // Keyed FNV-1a over key || wire || key.  Demonstration only — see the
+  // header comment; a deployment substitutes HMAC-SHA256 here.
+  const auto wire = message.encode();
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  for (char c : key_) mix(static_cast<uint8_t>(c));
+  for (uint8_t b : wire) mix(b);
+  for (char c : key_) mix(static_cast<uint8_t>(c));
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+void SharedKeyAuthenticator::sign(dns::Message& message) {
+  DNSCUP_ASSERT(!message.questions.empty());
+  const std::string mac = digest(message);
+  dns::ResourceRecord rr;
+  rr.name = message.questions[0].qname.prepend(kMacLabel);
+  rr.rrclass = dns::RRClass::kIN;
+  rr.ttl = 0;
+  rr.rdata = dns::TXTRdata{{mac}};
+  message.additional.push_back(std::move(rr));
+}
+
+bool SharedKeyAuthenticator::verify(dns::Message& message) {
+  // Locate the MAC record (it is the last additional record we appended,
+  // but scan defensively).
+  for (std::size_t i = message.additional.size(); i-- > 0;) {
+    const auto& rr = message.additional[i];
+    if (!is_mac_record(rr)) continue;
+    const auto* txt = std::get_if<dns::TXTRdata>(&rr.rdata);
+    if (txt == nullptr || txt->strings.size() != 1) return false;
+    const std::string presented = txt->strings[0];
+
+    dns::Message stripped = message;
+    stripped.additional.erase(stripped.additional.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+    if (digest(stripped) != presented) return false;
+    message = std::move(stripped);
+    return true;
+  }
+  return false;  // unsigned
+}
+
+}  // namespace dnscup::core

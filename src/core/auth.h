@@ -1,0 +1,51 @@
+// Message-authentication hooks for CACHE-UPDATE (paper §5.3).
+//
+// The 2006 prototype transmits in plain text and defers integrity to
+// DNSSEC / secure dynamic update (RFC 2535/3007).  This module provides
+// the seam those mechanisms would plug into: the notification module
+// signs every CACHE-UPDATE through a MessageAuthenticator before sending,
+// and the lease client verifies before applying.  With no authenticator
+// configured, behaviour is the paper's plain-text default.
+//
+// SharedKeyAuthenticator is a *demonstration* implementation in the shape
+// of TSIG (shared key, per-message MAC carried in the additional
+// section).  Its digest is a keyed FNV-1a — NOT cryptographically secure;
+// it exists to exercise the signing/verification path and its failure
+// handling, and to be replaced by a real HMAC when one is available.
+#pragma once
+
+#include <string>
+
+#include "dns/message.h"
+
+namespace dnscup::core {
+
+class MessageAuthenticator {
+ public:
+  virtual ~MessageAuthenticator() = default;
+
+  /// Adds authentication data to an outgoing message.
+  virtual void sign(dns::Message& message) = 0;
+
+  /// Validates and strips the authentication data of an incoming
+  /// message.  Returns false when the message is unsigned or the MAC
+  /// does not verify; `message` is left unmodified in that case.
+  virtual bool verify(dns::Message& message) = 0;
+};
+
+/// TSIG-shaped shared-key authenticator (demonstration digest; see file
+/// comment).  The MAC rides as a TXT record owned by `_dnscup-mac.<qname>`
+/// appended to the additional section.
+class SharedKeyAuthenticator final : public MessageAuthenticator {
+ public:
+  explicit SharedKeyAuthenticator(std::string key) : key_(std::move(key)) {}
+
+  void sign(dns::Message& message) override;
+  bool verify(dns::Message& message) override;
+
+ private:
+  std::string digest(const dns::Message& message) const;
+  std::string key_;
+};
+
+}  // namespace dnscup::core

@@ -1,0 +1,118 @@
+#include "core/cache_update.h"
+
+#include "util/assert.h"
+
+namespace dnscup::core {
+
+using dns::Message;
+using dns::Name;
+using dns::Opcode;
+using dns::Question;
+using dns::Rcode;
+using dns::ResourceRecord;
+using dns::RRClass;
+using dns::RRset;
+using dns::RRType;
+
+Message encode_cache_update(uint16_t id, const Name& zone, uint32_t serial,
+                            const std::vector<dns::RRsetChange>& changes) {
+  Message m;
+  m.id = id;
+  m.flags.opcode = Opcode::kCacheUpdate;
+  m.questions.push_back(Question{zone, RRType::kSOA, RRClass::kIN, 0});
+
+  for (const auto& change : changes) {
+    if (change.after.has_value()) {
+      for (auto& rec : change.after->to_records()) {
+        m.answers.push_back(std::move(rec));
+      }
+    } else {
+      ResourceRecord stub;
+      stub.name = change.name;
+      stub.rrclass = RRClass::kANY;
+      stub.ttl = 0;
+      stub.rdata =
+          dns::GenericRdata{static_cast<uint16_t>(change.type), {}};
+      m.authority.push_back(std::move(stub));
+    }
+  }
+
+  // Zone serial rides as an SOA skeleton in the additional section.
+  dns::SOARdata soa;
+  soa.serial = serial;
+  m.additional.push_back(
+      ResourceRecord{zone, RRClass::kIN, 0, std::move(soa)});
+  return m;
+}
+
+util::Result<CacheUpdate> parse_cache_update(const Message& message) {
+  if (message.flags.opcode != Opcode::kCacheUpdate || message.flags.qr) {
+    return util::make_error(util::ErrorCode::kMalformed,
+                            "not a CACHE-UPDATE request");
+  }
+  if (message.questions.size() != 1 ||
+      message.questions[0].qtype != RRType::kSOA) {
+    return util::make_error(util::ErrorCode::kMalformed,
+                            "CACHE-UPDATE needs a single zone question");
+  }
+  CacheUpdate update;
+  update.zone = message.questions[0].qname;
+
+  for (const auto& rr : message.additional) {
+    if (const auto* soa = std::get_if<dns::SOARdata>(&rr.rdata)) {
+      update.serial = soa->serial;
+    }
+  }
+
+  // Group answer records into RRsets.
+  for (const auto& rr : message.answers) {
+    if (!rr.name.is_subdomain_of(update.zone)) {
+      return util::make_error(util::ErrorCode::kMalformed,
+                              "updated record outside the zone");
+    }
+    RRset* target = nullptr;
+    for (auto& set : update.updated) {
+      if (set.type == rr.type() && set.name == rr.name) {
+        target = &set;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      update.updated.push_back(RRset{rr.name, rr.type(), rr.rrclass,
+                                     rr.ttl, {}});
+      target = &update.updated.back();
+    }
+    target->add(rr.rdata);
+  }
+
+  for (const auto& rr : message.authority) {
+    if (rr.rrclass != RRClass::kANY) {
+      return util::make_error(util::ErrorCode::kMalformed,
+                              "removal stub must be class ANY");
+    }
+    if (!rr.name.is_subdomain_of(update.zone)) {
+      return util::make_error(util::ErrorCode::kMalformed,
+                              "removed record outside the zone");
+    }
+    update.removed.emplace_back(rr.name, rr.type());
+  }
+  return update;
+}
+
+Message make_cache_update_ack(const Message& update) {
+  DNSCUP_ASSERT(update.flags.opcode == Opcode::kCacheUpdate);
+  Message ack;
+  ack.id = update.id;
+  ack.flags.qr = true;
+  ack.flags.opcode = Opcode::kCacheUpdate;
+  ack.flags.rcode = Rcode::kNoError;
+  ack.questions = update.questions;
+  return ack;
+}
+
+bool is_cache_update_ack(const Message& message) {
+  return message.flags.qr &&
+         message.flags.opcode == Opcode::kCacheUpdate;
+}
+
+}  // namespace dnscup::core

@@ -1,0 +1,47 @@
+// The CACHE-UPDATE message (paper §5.2): opcode 6, carried over UDP.
+//
+// Layout mirrors RFC 2136 UPDATE, which the paper builds on: the zone (and
+// its current serial) in the question/additional slots, the changed RRsets
+// in the answer section, and deletions as empty-RDATA class-ANY stubs in
+// the authority section.  The receiving cache replaces its copies of the
+// changed records and acknowledges with an empty response of the same id;
+// the notification module retransmits unacknowledged updates.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/rr.h"
+#include "dns/zone.h"
+#include "util/result.h"
+
+namespace dnscup::core {
+
+struct CacheUpdate {
+  dns::Name zone;
+  uint32_t serial = 0;  ///< zone serial after the change (dedupe/ordering)
+  /// RRsets with new data (replace-in-cache).
+  std::vector<dns::RRset> updated;
+  /// (name, type) pairs whose RRset was removed (invalidate-in-cache).
+  std::vector<std::pair<dns::Name, dns::RRType>> removed;
+};
+
+/// Builds the wire message for one cache holding leases on the changed
+/// records.  `changes` entries with `after` become `updated`; without
+/// `after` become `removed`.
+dns::Message encode_cache_update(uint16_t id, const dns::Name& zone,
+                                 uint32_t serial,
+                                 const std::vector<dns::RRsetChange>& changes);
+
+/// Parses a CACHE-UPDATE request.  Fails on anything that is not a
+/// well-formed opcode-6 request.
+util::Result<CacheUpdate> parse_cache_update(const dns::Message& message);
+
+/// The acknowledgement a cache returns: empty opcode-6 response, same id.
+dns::Message make_cache_update_ack(const dns::Message& update);
+
+/// True if `message` is a CACHE-UPDATE acknowledgement.
+bool is_cache_update_ack(const dns::Message& message);
+
+}  // namespace dnscup::core

@@ -1,0 +1,139 @@
+#include "core/delegation_audit.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dnscup::core {
+
+using dns::Name;
+using dns::RRset;
+using dns::RRType;
+using dns::Zone;
+
+const char* to_string(DelegationIssue issue) {
+  switch (issue) {
+    case DelegationIssue::kNoDelegation: return "no-delegation";
+    case DelegationIssue::kMissingAtParent: return "missing-at-parent";
+    case DelegationIssue::kStaleAtParent: return "stale-at-parent";
+    case DelegationIssue::kMissingGlue: return "missing-glue";
+    case DelegationIssue::kGlueMismatch: return "glue-mismatch";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<Name> ns_targets(const RRset* set) {
+  std::vector<Name> out;
+  if (set == nullptr) return out;
+  for (const auto& rd : set->rdatas) {
+    out.push_back(std::get<dns::NSRdata>(rd).nsdname);
+  }
+  return out;
+}
+
+bool contains_name(const std::vector<Name>& names, const Name& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+}  // namespace
+
+std::vector<DelegationFinding> audit_delegation(const Zone& parent,
+                                                const Zone& child) {
+  DNSCUP_ASSERT(child.origin().is_subdomain_of(parent.origin()));
+  std::vector<DelegationFinding> findings;
+
+  const auto parent_ns = ns_targets(parent.find(child.origin(), RRType::kNS));
+  const auto child_ns = ns_targets(child.find(child.origin(), RRType::kNS));
+
+  if (parent_ns.empty()) {
+    findings.push_back({DelegationIssue::kNoDelegation, child.origin(),
+                        "parent holds no NS records for the child zone"});
+    return findings;
+  }
+
+  for (const Name& ns : child_ns) {
+    if (!contains_name(parent_ns, ns)) {
+      findings.push_back({DelegationIssue::kMissingAtParent, ns,
+                          "child apex lists this NS; parent does not"});
+    }
+  }
+  for (const Name& ns : parent_ns) {
+    if (!contains_name(child_ns, ns)) {
+      findings.push_back({DelegationIssue::kStaleAtParent, ns,
+                          "parent lists this NS; child apex does not"});
+    }
+  }
+
+  // Glue checks for NS targets living at or below the child zone cut
+  // (these are unreachable without parent glue).
+  for (const Name& ns : parent_ns) {
+    if (!ns.is_subdomain_of(child.origin())) continue;
+    const RRset* glue = parent.find(ns, RRType::kA);
+    if (glue == nullptr || glue->empty()) {
+      findings.push_back({DelegationIssue::kMissingGlue, ns,
+                          "in-zone NS target lacks an A record at parent"});
+      continue;
+    }
+    const RRset* actual = child.find(ns, RRType::kA);
+    if (actual != nullptr && !glue->same_data(*actual)) {
+      findings.push_back({DelegationIssue::kGlueMismatch, ns,
+                          "parent glue disagrees with the child's A RRset"});
+    }
+  }
+  return findings;
+}
+
+DelegationGuard::DelegationGuard(server::AuthServer& parent,
+                                 server::AuthServer& child,
+                                 Name child_origin)
+    : parent_(&parent), child_origin_(std::move(child_origin)) {
+  child.add_change_listener(
+      [this](const Zone& zone, const std::vector<dns::RRsetChange>&) {
+        if (zone.origin() == child_origin_) sync_from(zone);
+      });
+  // Initial alignment from the child's current contents.
+  const Zone* zone = child.find_zone(child_origin_);
+  if (zone != nullptr && zone->origin() == child_origin_) sync_from(*zone);
+}
+
+void DelegationGuard::sync_from(const Zone& child_zone) {
+  Zone* parent_zone = parent_->find_zone(child_origin_);
+  if (parent_zone == nullptr ||
+      parent_zone->origin() == child_origin_) {
+    return;  // not actually the parent of this child
+  }
+
+  const RRset* apex_ns = child_zone.find(child_origin_, RRType::kNS);
+  if (apex_ns == nullptr) return;
+
+  bool changed = false;
+  // Rewrite the delegation NS set.
+  const RRset* current = parent_zone->find(child_origin_, RRType::kNS);
+  if (current == nullptr || !current->same_data(*apex_ns)) {
+    RRset replacement = *apex_ns;
+    replacement.name = child_origin_;
+    parent_zone->put(std::move(replacement));
+    changed = true;
+  }
+  // Refresh glue for in-zone NS targets.
+  for (const auto& rd : apex_ns->rdatas) {
+    const Name& ns = std::get<dns::NSRdata>(rd).nsdname;
+    if (!ns.is_subdomain_of(child_origin_)) continue;
+    const RRset* address = child_zone.find(ns, RRType::kA);
+    if (address == nullptr) continue;
+    const RRset* glue = parent_zone->find(ns, RRType::kA);
+    if (glue == nullptr || !glue->same_data(*address)) {
+      RRset fresh = *address;
+      parent_zone->put(std::move(fresh));
+      changed = true;
+    }
+  }
+  if (changed) {
+    parent_zone->bump_serial();
+    ++syncs_;
+  }
+}
+
+}  // namespace dnscup::core

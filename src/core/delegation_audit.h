@@ -1,0 +1,66 @@
+// Delegation consistency auditing — the paper's §1 side application:
+// "we can apply the functionality of DNScup to maintain state consistency
+// between a DNS nameserver of a parent zone and the DNS nameservers of
+// its child zones, preventing the lame delegation problem [Pappas et
+// al.]."
+//
+// A delegation is *lame* when the parent's NS records for a child zone
+// disagree with the child's apex NS RRset, or point at servers that are
+// not authoritative for the child.  audit_delegation() reports the
+// discrepancies; DelegationGuard subscribes a parent AuthServer to a
+// child's zone changes so the parent's NS/glue records follow the child's
+// apex automatically — DNScup's detection/notification machinery applied
+// to the parent-child relationship.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dns/zone.h"
+#include "server/authoritative.h"
+
+namespace dnscup::core {
+
+enum class DelegationIssue {
+  kNoDelegation,       ///< parent has no NS records for the child at all
+  kMissingAtParent,    ///< child apex lists an NS the parent omits
+  kStaleAtParent,      ///< parent lists an NS the child no longer has
+  kMissingGlue,        ///< in-zone NS target without an A record at parent
+  kGlueMismatch,       ///< parent glue A disagrees with child's own A
+};
+
+const char* to_string(DelegationIssue issue);
+
+struct DelegationFinding {
+  DelegationIssue issue;
+  dns::Name subject;   ///< the NS name (or child origin for kNoDelegation)
+  std::string detail;
+};
+
+/// Compares the parent's view of the delegation for `child.origin()`
+/// against the child zone's own apex data.  An empty result means the
+/// delegation is consistent (not lame).
+std::vector<DelegationFinding> audit_delegation(const dns::Zone& parent,
+                                                const dns::Zone& child);
+
+/// Keeps a parent server's delegation records for one child zone in sync
+/// with the child's apex: subscribes to the child server's zone-change
+/// events and rewrites the parent's NS + glue whenever the child's apex
+/// NS set or an NS target's address changes.  Both servers must outlive
+/// the guard.
+class DelegationGuard {
+ public:
+  DelegationGuard(server::AuthServer& parent, server::AuthServer& child,
+                  dns::Name child_origin);
+
+  uint64_t syncs() const { return syncs_; }
+
+ private:
+  void sync_from(const dns::Zone& child_zone);
+
+  server::AuthServer* parent_;
+  dns::Name child_origin_;
+  uint64_t syncs_ = 0;
+};
+
+}  // namespace dnscup::core

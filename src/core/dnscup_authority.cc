@@ -1,0 +1,68 @@
+#include "core/dnscup_authority.h"
+
+#include "util/assert.h"
+
+namespace dnscup::core {
+
+namespace {
+
+std::unique_ptr<GrantPolicy> make_policy(const DnscupAuthority::Config& config,
+                                         const TrackFile* track_file) {
+  DNSCUP_ASSERT(config.max_lease != nullptr);
+  using PolicyKind = DnscupAuthority::PolicyKind;
+  const PolicyKind kind =
+      config.always_grant ? PolicyKind::kAlwaysGrant : config.policy;
+  switch (kind) {
+    case PolicyKind::kAlwaysGrant:
+      return std::make_unique<AlwaysGrantPolicy>(config.max_lease);
+    case PolicyKind::kCommBudget: {
+      CommBudgetedGrantPolicy::Config policy_config;
+      policy_config.message_budget = config.message_budget;
+      return std::make_unique<CommBudgetedGrantPolicy>(config.max_lease,
+                                                       policy_config);
+    }
+    case PolicyKind::kStorageBudget:
+      break;
+  }
+  BudgetedGrantPolicy::Config policy_config;
+  policy_config.storage_budget = config.storage_budget;
+  return std::make_unique<BudgetedGrantPolicy>(config.max_lease, track_file,
+                                               policy_config);
+}
+
+}  // namespace
+
+DnscupAuthority::DnscupAuthority(server::AuthServer& server,
+                                 net::EventLoop& loop, Config config)
+    : server_(&server),
+      loop_(&loop),
+      policy_(make_policy(config, &track_file_)),
+      listener_(&track_file_, policy_.get()),
+      notifier_(&server.transport(), &loop, &track_file_,
+                config.notification) {
+  // Listening module: sees every query/response pair.
+  server_->set_query_hook([this](const net::Endpoint& from,
+                                 const dns::Message& query,
+                                 dns::Message& response) {
+    listener_.on_query(from, query, response, loop_->now());
+  });
+
+  // Detection module: every zone-data change (dynamic update, manual
+  // reload, AXFR refresh) arrives here and fans out via the notifier.
+  server_->add_change_listener(
+      [this](const dns::Zone& zone,
+             const std::vector<dns::RRsetChange>& changes) {
+        ++detection_stats_.change_events;
+        detection_stats_.rrsets_changed += changes.size();
+        notifier_.on_zone_change(zone, changes);
+      });
+
+  // Notification module: consumes CACHE-UPDATE acknowledgements before
+  // the server's normal dispatch.
+  server_->set_extension_handler(
+      [this](const net::Endpoint& from, const dns::Message& message) {
+        return notifier_.on_message(from, message);
+      });
+}
+
+}  // namespace dnscup::core

@@ -1,0 +1,71 @@
+// DNScup authority-side middleware (paper Figure 6).
+//
+// Wraps an unmodified AuthServer with the three DNScup components:
+//
+//   detection module    — subscribes to zone-change events (dynamic
+//                         updates, AXFR refreshes and manual reloads all
+//                         flow through AuthServer's change hooks);
+//   listening module    — observes queries, grants leases, stamps LLT;
+//   notification module — pushes CACHE-UPDATE messages to leaseholders
+//                         and tracks acknowledgements.
+//
+// The wrapper owns the track file and the grant policy; the AuthServer's
+// "named modules" stay untouched, which is the paper's minimal-modification
+// deployment claim.
+#pragma once
+
+#include <memory>
+
+#include "core/listener.h"
+#include "core/notifier.h"
+#include "core/policy.h"
+#include "core/track_file.h"
+#include "server/authoritative.h"
+
+namespace dnscup::core {
+
+class DnscupAuthority {
+ public:
+  enum class PolicyKind {
+    kStorageBudget,  ///< §4.2.1 online: cap the live-lease count
+    kCommBudget,     ///< §4.2.2 online: cap authority-bound traffic
+    kAlwaysGrant,    ///< fixed-lease mode: every EXT query gets max lease
+  };
+
+  struct Config {
+    MaxLeaseFn max_lease;                       ///< required
+    PolicyKind policy = PolicyKind::kStorageBudget;
+    std::size_t storage_budget = 100000;        ///< live-lease target
+    double message_budget = 1e6;                ///< messages/s (kCommBudget)
+    NotificationModule::Config notification;    ///< retransmit behaviour
+    /// Deprecated alias for policy = kAlwaysGrant.
+    bool always_grant = false;
+  };
+
+  /// Attaches DNScup to `server`.  The server must outlive this object.
+  DnscupAuthority(server::AuthServer& server, net::EventLoop& loop,
+                  Config config);
+
+  TrackFile& track_file() { return track_file_; }
+  const TrackFile& track_file() const { return track_file_; }
+  ListeningModule& listener() { return listener_; }
+  NotificationModule& notifier() { return notifier_; }
+  GrantPolicy& policy() { return *policy_; }
+
+  struct DetectionStats {
+    uint64_t change_events = 0;
+    uint64_t rrsets_changed = 0;
+  };
+  const DetectionStats& detection_stats() const { return detection_stats_; }
+
+ private:
+  server::AuthServer* server_;
+  net::EventLoop* loop_;
+  TrackFile track_file_;
+  std::unique_ptr<GrantPolicy> policy_;
+  ListeningModule listener_;
+  NotificationModule notifier_;
+  DetectionStats detection_stats_;
+};
+
+}  // namespace dnscup::core

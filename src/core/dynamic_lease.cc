@@ -1,0 +1,184 @@
+#include "core/dynamic_lease.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/lease_math.h"
+#include "util/assert.h"
+
+namespace dnscup::core {
+
+void evaluate_plan(const std::vector<DemandEntry>& demands, LeasePlan& plan) {
+  DNSCUP_ASSERT(plan.lengths.size() == demands.size());
+  plan.total_storage = 0.0;
+  plan.total_message_rate = 0.0;
+  double max_rate = 0.0;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const double t = plan.lengths[i];
+    const double rate = demands[i].rate;
+    plan.total_storage += lease_probability(t, rate);
+    plan.total_message_rate += renewal_rate(t, rate);
+    max_rate += rate;
+  }
+  plan.storage_percentage =
+      demands.empty() ? 0.0
+                      : 100.0 * plan.total_storage /
+                            static_cast<double>(demands.size());
+  plan.query_rate_percentage =
+      max_rate == 0.0 ? 0.0 : 100.0 * plan.total_message_rate / max_rate;
+}
+
+LeasePlan plan_storage_constrained(const std::vector<DemandEntry>& demands,
+                                   double storage_budget) {
+  DNSCUP_ASSERT(storage_budget >= 0.0);
+  LeasePlan plan;
+  plan.lengths.assign(demands.size(), 0.0);
+
+  // Greedy: grant maximal leases in decreasing λ order (ΔM/ΔP = λ).
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&demands](std::size_t a,
+                                                   std::size_t b) {
+    if (demands[a].rate != demands[b].rate) {
+      return demands[a].rate > demands[b].rate;
+    }
+    return a < b;
+  });
+
+  double used = 0.0;
+  for (std::size_t idx : order) {
+    const DemandEntry& d = demands[idx];
+    if (d.rate <= 0.0 || d.max_lease <= 0.0) continue;
+    const double full = lease_probability(d.max_lease, d.rate);
+    if (used + full <= storage_budget) {
+      plan.lengths[idx] = d.max_lease;
+      used += full;
+      continue;
+    }
+    // Truncate the final lease to land exactly on the budget.
+    const double remaining = storage_budget - used;
+    if (remaining > 0.0) {
+      plan.lengths[idx] = lease_length_for_probability(remaining, d.rate);
+      used = storage_budget;
+    }
+    break;
+  }
+  evaluate_plan(demands, plan);
+  return plan;
+}
+
+LeasePlan plan_comm_constrained(const std::vector<DemandEntry>& demands,
+                                double message_budget) {
+  DNSCUP_ASSERT(message_budget >= 0.0);
+  LeasePlan plan;
+  plan.lengths.resize(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    plan.lengths[i] = demands[i].max_lease;
+  }
+  evaluate_plan(demands, plan);
+
+  // Deprive smallest-λ caches while the budget holds: removing entry i
+  // adds λ_i - M(L_i, λ_i) traffic and frees P(L_i, λ_i) storage.
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&demands](std::size_t a,
+                                                   std::size_t b) {
+    if (demands[a].rate != demands[b].rate) {
+      return demands[a].rate < demands[b].rate;
+    }
+    return a < b;
+  });
+
+  double traffic = plan.total_message_rate;
+  for (std::size_t idx : order) {
+    const DemandEntry& d = demands[idx];
+    if (plan.lengths[idx] <= 0.0 || d.rate <= 0.0) continue;
+    const double added = d.rate - renewal_rate(plan.lengths[idx], d.rate);
+    if (traffic + added > message_budget) continue;
+    plan.lengths[idx] = 0.0;
+    traffic += added;
+  }
+  evaluate_plan(demands, plan);
+  return plan;
+}
+
+LeasePlan plan_fixed(const std::vector<DemandEntry>& demands, double t) {
+  DNSCUP_ASSERT(t >= 0.0);
+  LeasePlan plan;
+  plan.lengths.resize(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    // Even the fixed scheme may not lease beyond a record's safe horizon
+    // L_i (the record could change under the lease) — without this cap the
+    // comparison against the dynamic planner would not be apples-to-apples.
+    plan.lengths[i] = std::min(t, demands[i].max_lease);
+  }
+  evaluate_plan(demands, plan);
+  return plan;
+}
+
+LeasePlan plan_polling(const std::vector<DemandEntry>& demands) {
+  return plan_fixed(demands, 0.0);
+}
+
+namespace {
+
+/// Enumerates all leased-subsets of the demands (each entry unleased or at
+/// its maximum) and returns the best plan per the given objective.
+template <typename Feasible, typename Better>
+LeasePlan brute_force(const std::vector<DemandEntry>& demands,
+                      Feasible feasible, Better better) {
+  DNSCUP_ASSERT(demands.size() <= 20);
+  LeasePlan best;
+  best.lengths.assign(demands.size(), 0.0);
+  evaluate_plan(demands, best);
+  bool have_best = feasible(best);
+
+  const std::size_t combos = std::size_t{1} << demands.size();
+  for (std::size_t mask = 1; mask < combos; ++mask) {
+    LeasePlan candidate;
+    candidate.lengths.assign(demands.size(), 0.0);
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      if (mask & (std::size_t{1} << i)) {
+        candidate.lengths[i] = demands[i].max_lease;
+      }
+    }
+    evaluate_plan(demands, candidate);
+    if (!feasible(candidate)) continue;
+    if (!have_best || better(candidate, best)) {
+      best = std::move(candidate);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+LeasePlan brute_force_storage_constrained(
+    const std::vector<DemandEntry>& demands, double storage_budget) {
+  constexpr double kEps = 1e-9;
+  return brute_force(
+      demands,
+      [storage_budget](const LeasePlan& p) {
+        return p.total_storage <= storage_budget + kEps;
+      },
+      [](const LeasePlan& a, const LeasePlan& b) {
+        return a.total_message_rate < b.total_message_rate - kEps;
+      });
+}
+
+LeasePlan brute_force_comm_constrained(
+    const std::vector<DemandEntry>& demands, double message_budget) {
+  constexpr double kEps = 1e-9;
+  return brute_force(
+      demands,
+      [message_budget](const LeasePlan& p) {
+        return p.total_message_rate <= message_budget + kEps;
+      },
+      [](const LeasePlan& a, const LeasePlan& b) {
+        return a.total_storage < b.total_storage - kEps;
+      });
+}
+
+}  // namespace dnscup::core

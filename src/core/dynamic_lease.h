@@ -1,0 +1,93 @@
+// Dynamic lease planning (paper §4.2).
+//
+// Input: one DemandEntry per (resource record R_i, DNS cache C_j) pair with
+// the Poisson query rate λ_ij observed in the traces and the per-record
+// maximal lease length L_i.  A plan assigns every pair a lease length
+// l_ij in [0, L_i].  Costs follow §4.1:
+//
+//   storage   Σ P(l_ij, λ_ij)               (expected live leases)
+//   messages  Σ [l_ij > 0 ? M(l_ij, λ_ij)   (lease renewals)
+//                        : λ_ij]            (no lease -> TTL polling)
+//
+// Two greedy optimizers (the exact problems are knapsack-equivalent and
+// NP-complete, §4.2):
+//
+//  * storage-constrained (SLP): minimize messages s.t. storage <= budget.
+//    Grant maximal leases in decreasing λ order; the marginal exchange
+//    rate ΔM/ΔP = λ makes that the greedy-optimal order.  The last grant
+//    is truncated to land exactly on the budget.
+//
+//  * communication-constrained: minimize storage s.t. messages <= budget.
+//    Start from all-maximal leases (communication minimum) and deprive
+//    the smallest-λ caches first — each deprivation frees storage
+//    P(L,λ) at communication cost λ·P(L,λ), so small λ buys the most
+//    storage per unit of added traffic.
+//
+// Baselines: fixed-length lease (same t for everyone — the comparison
+// curve of Figure 5) and polling (no leases, the TTL status quo).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dnscup::core {
+
+struct DemandEntry {
+  std::size_t record = 0;  ///< resource-record index (R_i)
+  std::size_t cache = 0;   ///< DNS-cache index (C_j)
+  double rate = 0.0;       ///< λ_ij, queries/second
+  double max_lease = 0.0;  ///< L_i, seconds
+};
+
+struct LeasePlan {
+  /// Lease length per demand entry, parallel to the input vector.
+  std::vector<double> lengths;
+
+  /// Σ P — expected number of live leases.
+  double total_storage = 0.0;
+  /// Σ M — total message rate (renewals for leased, polling otherwise).
+  double total_message_rate = 0.0;
+
+  /// Relative metrics (paper §5.1.2): storage normalized by the pair
+  /// count ("maximal number of leases the nameserver could grant"),
+  /// message rate normalized by Σ λ (the polling maximum).
+  double storage_percentage = 0.0;
+  double query_rate_percentage = 0.0;
+};
+
+/// Recomputes a plan's aggregate costs from its lengths (exposed for
+/// tests and for evaluating hand-crafted plans).
+void evaluate_plan(const std::vector<DemandEntry>& demands, LeasePlan& plan);
+
+/// Storage-constrained dynamic lease (§4.2.1).  `storage_budget` is the
+/// allowance P_max in expected leases.
+LeasePlan plan_storage_constrained(const std::vector<DemandEntry>& demands,
+                                   double storage_budget);
+
+/// Communication-constrained dynamic lease (§4.2.2).  `message_budget` in
+/// messages/second.  When even all-maximal leases exceed the budget the
+/// plan with minimal achievable traffic (all leased) is returned.
+LeasePlan plan_comm_constrained(const std::vector<DemandEntry>& demands,
+                                double message_budget);
+
+/// Fixed-length lease baseline: every query is granted the same length t,
+/// capped at the record's maximum L_i (no scheme may lease a record past
+/// its safe change horizon).
+LeasePlan plan_fixed(const std::vector<DemandEntry>& demands, double t);
+
+/// TTL-only polling baseline (lease length 0 everywhere).
+LeasePlan plan_polling(const std::vector<DemandEntry>& demands);
+
+/// Exhaustive optimum for small instances (≤ ~20 entries), used by tests
+/// to certify the greedy solutions.  Considers each entry either unleased
+/// or maximally leased, which is sufficient: for a fixed leased-set the
+/// costs are monotone in t, so an optimum exists at the extremes (plus one
+/// fractional entry, which the greedy handles via truncation).
+LeasePlan brute_force_storage_constrained(
+    const std::vector<DemandEntry>& demands, double storage_budget);
+LeasePlan brute_force_comm_constrained(
+    const std::vector<DemandEntry>& demands, double message_budget);
+
+}  // namespace dnscup::core

@@ -1,0 +1,172 @@
+#include "core/lease_client.h"
+
+#include "core/cache_update.h"
+#include "util/logging.h"
+
+namespace dnscup::core {
+
+using server::CacheEntry;
+using server::LeaseState;
+
+LeaseClient::LeaseClient(server::CachingResolver& resolver, Config config)
+    : resolver_(&resolver), config_(config) {
+  resolver_->set_extension(this);
+}
+
+void LeaseClient::on_client_query(const dns::Name& qname, dns::RRType qtype) {
+  rates_.record(qname, qtype, resolver_->loop().now());
+  maybe_renegotiate(qname, qtype);
+}
+
+void LeaseClient::maybe_renegotiate(const dns::Name& qname,
+                                    dns::RRType qtype) {
+  if (config_.renegotiate_rate_factor <= 0.0) return;
+  const net::SimTime now = resolver_->loop().now();
+  const server::CacheEntry* entry = resolver_->cache().peek(qname, qtype);
+  if (entry == nullptr || !entry->lease.has_value() ||
+      now >= entry->lease->expiry) {
+    return;  // nothing leased; the normal miss path negotiates
+  }
+  auto it = lease_meta_.find(MetaKey{qname, qtype});
+  if (it == lease_meta_.end()) return;
+  LeaseMeta& meta = it->second;
+  if (now - meta.last_renegotiation < config_.renegotiate_min_interval) {
+    return;
+  }
+  const double current = rates_.rate(qname, qtype, now);
+  const double baseline = meta.rate_at_grant;
+  if (baseline <= 0.0) return;
+  const double ratio = current / baseline;
+  if (ratio < config_.renegotiate_rate_factor &&
+      ratio > 1.0 / config_.renegotiate_rate_factor) {
+    return;  // rate still in the negotiated band
+  }
+  meta.last_renegotiation = now;
+  ++stats_.renegotiations;
+  // A forced EXT refresh carries the new RRC; the authority re-decides
+  // the lease term and the response re-registers it here.
+  resolver_->refresh(qname, qtype,
+                     [](const server::CachingResolver::Outcome&) {});
+}
+
+void LeaseClient::on_outgoing_query(dns::Message& query) {
+  query.flags.ext = true;
+  const net::SimTime now = resolver_->loop().now();
+  for (auto& q : query.questions) {
+    q.rrc = dns::rrc_from_rate(rates_.rate(q.qname, q.qtype, now));
+    ++stats_.rrc_reports;
+  }
+}
+
+void LeaseClient::on_response(const net::Endpoint& from,
+                              const dns::Message& response) {
+  if (!response.flags.ext || response.llt == 0) return;
+  if (response.flags.rcode != dns::Rcode::kNoError ||
+      response.questions.size() != 1) {
+    return;
+  }
+  const dns::Question& q = response.questions[0];
+  const net::SimTime now = resolver_->loop().now();
+
+  // The cache entry for the answer was just inserted by the resolver's
+  // normal processing; attach the lease to it.
+  CacheEntry* entry = resolver_->cache().peek(q.qname, q.qtype);
+  if (entry == nullptr || entry->negative) return;
+
+  const net::Duration length =
+      net::seconds(static_cast<int64_t>(dns::llt_to_seconds(response.llt)));
+  if (entry->lease.has_value() && entry->lease->authority == from) {
+    ++stats_.lease_renewals;
+  } else {
+    ++stats_.leases_registered;
+  }
+  entry->lease = LeaseState{now + length, from};
+  auto& meta = lease_meta_[MetaKey{q.qname, q.qtype}];
+  meta.rate_at_grant = rates_.rate(q.qname, q.qtype, now);
+}
+
+bool LeaseClient::on_unsolicited(const net::Endpoint& from,
+                                 const dns::Message& message) {
+  if (message.flags.opcode != dns::Opcode::kCacheUpdate || message.flags.qr) {
+    return false;
+  }
+  ++stats_.updates_received;
+  dns::Message verified = message;
+  if (config_.authenticator != nullptr &&
+      !config_.authenticator->verify(verified)) {
+    ++stats_.auth_failures;
+    return true;  // consumed; no ack for an unverifiable push
+  }
+  auto parsed = parse_cache_update(verified);
+  if (!parsed) {
+    DNSCUP_LOG_WARN("lease client: malformed CACHE-UPDATE from %s: %s",
+                    from.to_string().c_str(),
+                    parsed.error().message.c_str());
+    return true;  // consumed, but not acknowledged
+  }
+  const CacheUpdate& update = parsed.value();
+  const net::SimTime now = resolver_->loop().now();
+
+  // Authorization: every affected record we hold under lease must have
+  // been granted by this sender.  Records we do not hold are ignored.
+  auto authorized = [&](const dns::Name& name, dns::RRType type) {
+    const CacheEntry* entry = resolver_->cache().peek(name, type);
+    if (entry == nullptr) return true;  // nothing cached; harmless
+    if (!entry->lease.has_value()) return true;
+    return entry->lease->authority == from;
+  };
+  for (const auto& set : update.updated) {
+    if (!authorized(set.name, set.type)) {
+      ++stats_.unauthorized_updates;
+      return true;  // consumed silently; no ack for an impostor
+    }
+  }
+  for (const auto& [name, type] : update.removed) {
+    if (!authorized(name, type)) {
+      ++stats_.unauthorized_updates;
+      return true;
+    }
+  }
+
+  // Ordering guard: never roll back to an older zone serial.
+  auto serial_it = zone_serials_.find(update.zone);
+  const bool stale =
+      serial_it != zone_serials_.end() &&
+      !dns::serial_gt(update.serial, serial_it->second);
+  if (stale) {
+    ++stats_.stale_updates_ignored;
+  } else {
+    zone_serials_[update.zone] = update.serial;
+    for (const auto& set : update.updated) {
+      CacheEntry* existing = resolver_->cache().peek(set.name, set.type);
+      const bool had_lease =
+          existing != nullptr && existing->lease.has_value();
+      const auto lease = had_lease ? existing->lease : std::nullopt;
+      CacheEntry& entry = resolver_->cache().apply_update(set, now);
+      if (had_lease) entry.lease = lease;  // the push does not end the lease
+      ++stats_.updates_applied;
+    }
+    for (const auto& [name, type] : update.removed) {
+      resolver_->cache().invalidate(name, type);
+      ++stats_.updates_applied;
+    }
+  }
+
+  // Acknowledge (idempotent: duplicates are re-acked so the notifier can
+  // stop retransmitting even when our first ack was lost).
+  const dns::Message ack = make_cache_update_ack(message);
+  resolver_->transport().send(from, ack.encode());
+  ++stats_.acks_sent;
+  return true;
+}
+
+std::size_t LeaseClient::live_leases(net::SimTime now) const {
+  std::size_t count = 0;
+  resolver_->cache().for_each(
+      [&](const server::CacheKey&, const CacheEntry& entry) {
+        if (entry.lease.has_value() && now < entry.lease->expiry) ++count;
+      });
+  return count;
+}
+
+}  // namespace dnscup::core

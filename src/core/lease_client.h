@@ -1,0 +1,102 @@
+// DNScup cache-side module: turns a plain CachingResolver into a
+// lease-holding DNS cache.
+//
+// As a CachingResolver::Extension it
+//  * measures the local client query rate per record and reports it in the
+//    RRC field of outgoing EXT queries (paper Figure 3 step 1);
+//  * registers leases granted via the LLT field of responses (step 2) —
+//    the cached entry then stays authoritative past its TTL while the
+//    lease is valid;
+//  * consumes unsolicited CACHE-UPDATE pushes (step 3): applies the new
+//    RRsets / invalidations to the cache and acknowledges (step 4).
+//
+// Updates are accepted only from the endpoint that granted the lease, and
+// zone serials are checked so reordered or duplicated pushes cannot roll
+// the cache back to older data.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "core/auth.h"
+#include "core/rate_tracker.h"
+#include "dns/zone.h"
+#include "server/resolver.h"
+
+namespace dnscup::core {
+
+class LeaseClient final : public server::CachingResolver::Extension {
+ public:
+  struct Stats {
+    uint64_t rrc_reports = 0;
+    uint64_t leases_registered = 0;
+    uint64_t lease_renewals = 0;
+    uint64_t updates_received = 0;
+    uint64_t updates_applied = 0;
+    uint64_t stale_updates_ignored = 0;   ///< older serial than seen
+    uint64_t unauthorized_updates = 0;    ///< push from a non-grantor
+    uint64_t auth_failures = 0;           ///< MAC missing or invalid
+    uint64_t acks_sent = 0;
+    uint64_t renegotiations = 0;          ///< rate-drift refresh queries
+  };
+
+  struct Config {
+    /// Re-negotiate the lease when the local query rate drifts from the
+    /// rate reported at grant time by this factor (in either direction).
+    /// The refreshed EXT query carries the new RRC, letting the authority
+    /// re-decide the lease term (§5.1.2).  0 disables re-negotiation.
+    double renegotiate_rate_factor = 4.0;
+    /// Cooldown between re-negotiations of the same record.
+    net::Duration renegotiate_min_interval = net::minutes(5);
+    /// When set, pushed CACHE-UPDATEs must verify before being applied
+    /// (paper §5.3); unverifiable pushes are dropped without an ack.
+    /// Not owned, may be null (plain text).
+    MessageAuthenticator* authenticator = nullptr;
+  };
+
+  /// The resolver must outlive the client; attaches itself as extension.
+  explicit LeaseClient(server::CachingResolver& resolver)
+      : LeaseClient(resolver, Config()) {}
+  LeaseClient(server::CachingResolver& resolver, Config config);
+
+  // Extension interface -----------------------------------------------
+  void on_client_query(const dns::Name& qname, dns::RRType qtype) override;
+  void on_outgoing_query(dns::Message& query) override;
+  void on_response(const net::Endpoint& from,
+                   const dns::Message& response) override;
+  bool on_unsolicited(const net::Endpoint& from,
+                      const dns::Message& message) override;
+
+  /// Live leases currently registered in the cache.
+  std::size_t live_leases(net::SimTime now) const;
+
+  const Stats& stats() const { return stats_; }
+  const RateTracker& client_rates() const { return rates_; }
+
+ private:
+  struct LeaseMeta {
+    double rate_at_grant = 0.0;
+    net::SimTime last_renegotiation = 0;
+  };
+  struct MetaKey {
+    dns::Name name;
+    dns::RRType type;
+    bool operator<(const MetaKey& other) const {
+      if (name < other.name) return true;
+      if (other.name < name) return false;
+      return type < other.type;
+    }
+  };
+
+  void maybe_renegotiate(const dns::Name& qname, dns::RRType qtype);
+
+  server::CachingResolver* resolver_;
+  Config config_;
+  RateTracker rates_;
+  /// Highest zone serial applied, per zone (dedupe / ordering guard).
+  std::map<dns::Name, uint32_t> zone_serials_;
+  std::map<MetaKey, LeaseMeta> lease_meta_;
+  Stats stats_;
+};
+
+}  // namespace dnscup::core

@@ -1,0 +1,49 @@
+// The lease-length effectiveness model of paper §4.1.
+//
+// Queries from a DNS cache for one record arrive Poisson with rate λ.  The
+// authority grants a lease of length t at each query arriving with no live
+// lease, so lease periods of length t alternate with idle gaps of mean 1/λ:
+//
+//   P(t, λ) = t / (t + 1/λ)   expected probability a lease is live
+//                             (the per-(record,cache) storage cost), and
+//   M(t, λ) = 1 / (t + 1/λ)   lease-renewal message rate.
+//
+// Increasing a lease from t1 to t2 trades storage for messages at the
+// fixed exchange rate ΔM/ΔP = λ (§4.1) — which is why both greedy
+// optimizers in dynamic_lease.h rank caches by query rate.
+#pragma once
+
+#include "util/assert.h"
+
+namespace dnscup::core {
+
+/// Expected probability that the authority holds a live lease.
+/// t in seconds, rate in queries/second.  t <= 0 yields 0 (no lease).
+inline double lease_probability(double t, double rate) {
+  DNSCUP_ASSERT(rate > 0.0);
+  if (t <= 0.0) return 0.0;
+  return t / (t + 1.0 / rate);
+}
+
+/// Lease-renewal message rate (messages/second) under lease length t.
+/// t <= 0 degenerates to polling: every query goes to the authority.
+inline double renewal_rate(double t, double rate) {
+  DNSCUP_ASSERT(rate > 0.0);
+  if (t <= 0.0) return rate;
+  return 1.0 / (t + 1.0 / rate);
+}
+
+/// Lease length achieving a target lease probability p in [0, 1).
+/// Inverse of lease_probability in t.
+inline double lease_length_for_probability(double p, double rate) {
+  DNSCUP_ASSERT(rate > 0.0);
+  DNSCUP_ASSERT(p >= 0.0 && p < 1.0);
+  if (p <= 0.0) return 0.0;
+  return p / (rate * (1.0 - p));
+}
+
+/// The §4.1 invariant: message-rate reduction per unit of storage increase
+/// when growing a lease, which equals the query rate for any t1 < t2.
+inline double message_per_storage_ratio(double rate) { return rate; }
+
+}  // namespace dnscup::core

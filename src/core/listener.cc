@@ -1,0 +1,38 @@
+#include "core/listener.h"
+
+namespace dnscup::core {
+
+void ListeningModule::on_query(const net::Endpoint& from,
+                               const dns::Message& query,
+                               dns::Message& response, net::SimTime now) {
+  if (query.questions.size() != 1) return;
+  const dns::Question& q = query.questions[0];
+  observed_.record(q.qname, q.qtype, now);
+
+  if (!query.flags.ext) {
+    ++stats_.legacy_queries;
+    return;  // TTL-only cache; nothing to negotiate
+  }
+  ++stats_.ext_queries;
+
+  // Lease only positive authoritative answers to the question itself.
+  if (response.flags.rcode != dns::Rcode::kNoError || !response.flags.aa ||
+      response.answers.empty()) {
+    return;
+  }
+
+  const double reported = dns::rrc_to_rate(q.rrc);
+  const GrantDecision decision =
+      policy_->decide(q.qname, q.qtype, from, reported, now);
+  if (!decision.grant) {
+    ++stats_.leases_denied;
+    return;
+  }
+  track_file_->grant(from, q.qname, q.qtype, now, decision.length);
+  ++stats_.leases_granted;
+  response.flags.ext = true;
+  response.llt = dns::llt_from_seconds(
+      static_cast<uint64_t>(net::to_seconds(decision.length)));
+}
+
+}  // namespace dnscup::core

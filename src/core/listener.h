@@ -1,0 +1,54 @@
+// DNScup listening module (paper §5.2, Figure 6).
+//
+// Monitors incoming DNS queries at the authoritative nameserver, reads the
+// RRC rate report from EXT queries, asks the grant policy whether to lease,
+// records granted leases in the track file, and stamps the LLT field into
+// the response.  Legacy queries (no EXT flag) pass through untouched and
+// keep plain TTL semantics.
+#pragma once
+
+#include <cstdint>
+
+#include "core/policy.h"
+#include "core/rate_tracker.h"
+#include "core/track_file.h"
+#include "dns/message.h"
+#include "net/time.h"
+
+namespace dnscup::core {
+
+class ListeningModule {
+ public:
+  struct Stats {
+    uint64_t ext_queries = 0;
+    uint64_t legacy_queries = 0;
+    uint64_t leases_granted = 0;
+    uint64_t leases_denied = 0;
+  };
+
+  /// Neither the track file nor the policy is owned.
+  ListeningModule(TrackFile* track_file, GrantPolicy* policy)
+      : track_file_(track_file), policy_(policy) {}
+
+  /// AuthServer query-hook entry point: inspects the query, possibly
+  /// grants a lease and sets response.llt.  Only positive authoritative
+  /// answers are leased — there is nothing to push for a referral, and
+  /// negative answers change when names appear, which the detection module
+  /// reports as RRset additions only for previously-leased names.
+  void on_query(const net::Endpoint& from, const dns::Message& query,
+                dns::Message& response, net::SimTime now);
+
+  /// Observed (not reported) per-record query rates, for re-negotiation
+  /// audits and the workload analyses.
+  const RateTracker& observed_rates() const { return observed_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  TrackFile* track_file_;
+  GrantPolicy* policy_;
+  RateTracker observed_;
+  Stats stats_;
+};
+
+}  // namespace dnscup::core

@@ -1,0 +1,107 @@
+#include "core/notifier.h"
+
+#include <algorithm>
+
+#include "core/cache_update.h"
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace dnscup::core {
+
+NotificationModule::NotificationModule(net::Transport* transport,
+                                       net::EventLoop* loop,
+                                       TrackFile* track_file, Config config)
+    : transport_(transport),
+      loop_(loop),
+      track_file_(track_file),
+      config_(config) {
+  DNSCUP_ASSERT(transport_ != nullptr && loop_ != nullptr &&
+                track_file_ != nullptr);
+}
+
+void NotificationModule::on_zone_change(
+    const dns::Zone& zone, const std::vector<dns::RRsetChange>& changes) {
+  if (changes.empty()) return;
+  ++stats_.changes_observed;
+  const net::SimTime now = loop_->now();
+
+  // Group the changed records by leaseholder so each cache gets one
+  // message covering everything it leases.
+  std::map<net::Endpoint, std::vector<const dns::RRsetChange*>> per_holder;
+  for (const auto& change : changes) {
+    for (const Lease& lease :
+         track_file_->holders_of(change.name, change.type, now)) {
+      per_holder[lease.holder].push_back(&change);
+    }
+  }
+
+  for (const auto& [holder, holder_changes] : per_holder) {
+    std::vector<dns::RRsetChange> batch;
+    batch.reserve(holder_changes.size());
+    for (const auto* c : holder_changes) batch.push_back(*c);
+
+    uint16_t id = next_id_++;
+    while (pending_.count(id) > 0 || id == 0) id = next_id_++;
+
+    Pending pending;
+    pending.target = holder;
+    pending.message =
+        encode_cache_update(id, zone.origin(), zone.serial(), batch);
+    if (config_.authenticator != nullptr) {
+      config_.authenticator->sign(pending.message);
+    }
+    pending.retries_left = config_.max_retries;
+    pending.next_delay = config_.initial_retry_delay;
+    pending.first_sent = now;
+    for (const auto& c : batch) pending.covered.emplace_back(c.name, c.type);
+    pending_.emplace(id, std::move(pending));
+    ++stats_.updates_sent;
+    transmit(id);
+  }
+}
+
+void NotificationModule::transmit(uint16_t id) {
+  Pending& pending = pending_.at(id);
+  transport_->send(pending.target, pending.message.encode());
+  pending.timer = loop_->schedule(pending.next_delay,
+                                  [this, id] { on_retry_timer(id); });
+}
+
+void NotificationModule::on_retry_timer(uint16_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  if (pending.retries_left <= 0) {
+    // Give up: revoke the affected leases so the cache degrades to TTL
+    // rather than trusting a lease we can no longer service.
+    for (const auto& [name, type] : pending.covered) {
+      track_file_->revoke(pending.target, name, type);
+    }
+    ++stats_.failures;
+    DNSCUP_LOG_WARN("notifier: giving up on CACHE-UPDATE %u to %s", id,
+                    pending.target.to_string().c_str());
+    pending_.erase(it);
+    return;
+  }
+  --pending.retries_left;
+  pending.next_delay = static_cast<net::Duration>(
+      static_cast<double>(pending.next_delay) * config_.backoff_factor);
+  ++stats_.retransmissions;
+  transmit(id);
+}
+
+bool NotificationModule::on_message(const net::Endpoint& from,
+                                    const dns::Message& message) {
+  if (!is_cache_update_ack(message)) return false;
+  auto it = pending_.find(message.id);
+  if (it == pending_.end()) return true;  // duplicate ack; still consumed
+  if (it->second.target != from) return true;  // not the addressee
+  it->second.timer.cancel();
+  ++stats_.acks_received;
+  stats_.ack_latency_us.add(
+      static_cast<double>(loop_->now() - it->second.first_sent));
+  pending_.erase(it);
+  return true;
+}
+
+}  // namespace dnscup::core

@@ -1,0 +1,87 @@
+// DNScup notification module (paper §5.2, Figure 6).
+//
+// On a zone-data change, looks up every cache holding a valid lease on a
+// changed record in the track file and pushes one CACHE-UPDATE message per
+// cache (batching all of that cache's affected records).  UDP is lossy, so
+// unacknowledged updates are retransmitted with exponential backoff; after
+// the retry budget is exhausted the cache's leases on the affected records
+// are revoked — the cache falls back to TTL expiry, degrading to classic
+// weak consistency rather than silently serving stale data forever.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/auth.h"
+#include "core/track_file.h"
+#include "dns/message.h"
+#include "dns/zone.h"
+#include "net/event_loop.h"
+#include "net/transport.h"
+#include "util/stats.h"
+
+namespace dnscup::core {
+
+class NotificationModule {
+ public:
+  struct Config {
+    int max_retries = 5;
+    net::Duration initial_retry_delay = net::milliseconds(500);
+    double backoff_factor = 2.0;
+    /// When set, every CACHE-UPDATE is signed before transmission
+    /// (paper §5.3); not owned, may be null (plain text).
+    MessageAuthenticator* authenticator = nullptr;
+  };
+
+  struct Stats {
+    uint64_t changes_observed = 0;
+    uint64_t updates_sent = 0;          ///< first transmissions
+    uint64_t retransmissions = 0;
+    uint64_t acks_received = 0;
+    uint64_t failures = 0;              ///< retries exhausted
+    util::RunningStats ack_latency_us;  ///< send -> ack
+  };
+
+  NotificationModule(net::Transport* transport, net::EventLoop* loop,
+                     TrackFile* track_file, Config config);
+  NotificationModule(net::Transport* transport, net::EventLoop* loop,
+                     TrackFile* track_file)
+      : NotificationModule(transport, loop, track_file, Config()) {}
+
+  /// AuthServer change-hook entry point: fans the change out to all
+  /// leaseholders of the affected records.
+  void on_zone_change(const dns::Zone& zone,
+                      const std::vector<dns::RRsetChange>& changes);
+
+  /// Consumes CACHE-UPDATE acknowledgements; true when handled.
+  bool on_message(const net::Endpoint& from, const dns::Message& message);
+
+  std::size_t in_flight() const { return pending_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    net::Endpoint target;
+    dns::Message message;
+    int retries_left = 0;
+    net::Duration next_delay = 0;
+    net::SimTime first_sent = 0;
+    net::TimerHandle timer;
+    /// Leases to revoke if delivery ultimately fails.
+    std::vector<std::pair<dns::Name, dns::RRType>> covered;
+  };
+
+  void transmit(uint16_t id);
+  void on_retry_timer(uint16_t id);
+
+  net::Transport* transport_;
+  net::EventLoop* loop_;
+  TrackFile* track_file_;
+  Config config_;
+  std::map<uint16_t, Pending> pending_;
+  uint16_t next_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace dnscup::core

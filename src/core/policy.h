@@ -1,0 +1,150 @@
+// Online lease-grant policies.
+//
+// The offline optimizers (dynamic_lease.h) assume rate snapshots; a live
+// authority must decide per query.  A GrantPolicy sees each query's name,
+// the requesting cache, and the RRC-reported (or locally estimated) query
+// rate, and answers grant/deny plus a lease length.
+//
+// BudgetedGrantPolicy approximates the storage-constrained dynamic lease
+// online: it grants the per-record maximal length while the live-lease
+// count stays under budget, and adapts a minimum-rate admission threshold
+// so that under pressure only the highest-rate caches keep leases —
+// mirroring the greedy's highest-λ-first order.  When a cache later
+// reports a significantly different RRC, the next grant renegotiates the
+// term automatically (paper §5.1.2's re-negotiation note).
+#pragma once
+
+#include <functional>
+
+#include "core/track_file.h"
+#include "dns/name.h"
+#include "dns/rdata.h"
+#include "net/endpoint.h"
+#include "net/time.h"
+
+namespace dnscup::core {
+
+struct GrantDecision {
+  bool grant = false;
+  net::Duration length = 0;
+};
+
+class GrantPolicy {
+ public:
+  virtual ~GrantPolicy() = default;
+
+  /// `reported_rate` is the cache's RRC in queries/second (0 when the
+  /// querier sent none — a legacy, TTL-only cache).
+  virtual GrantDecision decide(const dns::Name& name, dns::RRType type,
+                               const net::Endpoint& holder,
+                               double reported_rate, net::SimTime now) = 0;
+};
+
+/// Looks up the maximal lease length L_i for a record — per the paper:
+/// 6 days for regular domains, 200 s for CDN, 6000 s for Dyn domains.
+using MaxLeaseFn = std::function<net::Duration(const dns::Name&, dns::RRType)>;
+
+/// Grants every EXT query the record's maximal lease (the fixed-lease
+/// baseline when MaxLeaseFn is constant).
+class AlwaysGrantPolicy final : public GrantPolicy {
+ public:
+  explicit AlwaysGrantPolicy(MaxLeaseFn max_lease)
+      : max_lease_(std::move(max_lease)) {}
+
+  GrantDecision decide(const dns::Name& name, dns::RRType type,
+                       const net::Endpoint& holder, double reported_rate,
+                       net::SimTime now) override;
+
+ private:
+  MaxLeaseFn max_lease_;
+};
+
+/// Never grants: DNScup disabled, pure TTL behaviour.
+class NeverGrantPolicy final : public GrantPolicy {
+ public:
+  GrantDecision decide(const dns::Name&, dns::RRType, const net::Endpoint&,
+                       double, net::SimTime) override {
+    return {};
+  }
+};
+
+class BudgetedGrantPolicy final : public GrantPolicy {
+ public:
+  struct Config {
+    std::size_t storage_budget = 10000;  ///< target live-lease count
+    /// Under-budget threshold decay per decision; higher reacts slower.
+    double threshold_decay = 0.98;
+    double initial_threshold = 0.0;      ///< queries/second
+  };
+
+  /// `track_file` supplies the live-lease count (not owned).
+  BudgetedGrantPolicy(MaxLeaseFn max_lease, const TrackFile* track_file,
+                      Config config);
+
+  GrantDecision decide(const dns::Name& name, dns::RRType type,
+                       const net::Endpoint& holder, double reported_rate,
+                       net::SimTime now) override;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  std::size_t live_count(net::SimTime now);
+
+  MaxLeaseFn max_lease_;
+  const TrackFile* track_file_;
+  Config config_;
+  double threshold_;
+  // live_count() walks the whole track file; cache it for up to a second
+  // of simulated time so per-query cost stays O(1).
+  net::SimTime live_refreshed_at_ = -1;
+  std::size_t cached_live_ = 0;
+};
+
+/// Online approximation of the communication-constrained dynamic lease
+/// (§4.2.2): minimize lease storage subject to a cap on authority-bound
+/// message traffic.
+///
+/// Leasing always *reduces* traffic (renewals replace polling), so the
+/// all-leased state is the communication minimum; storage is reclaimed by
+/// depriving the lowest-rate caches — exactly while the measured message
+/// rate stays under budget.  The policy tracks the authority's incoming
+/// message rate with an EWMA and adapts a deprivation threshold: grants
+/// go to every cache whose reported rate is at or above the threshold;
+/// the threshold creeps up (denying more low-rate caches, saving storage)
+/// while traffic is comfortably under budget, and drops toward zero
+/// (leasing everyone, the traffic minimum) when the budget is threatened.
+class CommBudgetedGrantPolicy final : public GrantPolicy {
+ public:
+  struct Config {
+    double message_budget = 100.0;  ///< messages/second allowance
+    /// EWMA horizon for the measured message rate.
+    net::Duration rate_horizon = net::minutes(5);
+    /// Threshold adaptation per decision.
+    double threshold_growth = 1.02;
+    double threshold_decay = 0.90;
+    /// Budget headroom below which the threshold may grow.
+    double headroom = 0.8;
+  };
+
+  CommBudgetedGrantPolicy(MaxLeaseFn max_lease, Config config);
+
+  GrantDecision decide(const dns::Name& name, dns::RRType type,
+                       const net::Endpoint& holder, double reported_rate,
+                       net::SimTime now) override;
+
+  /// Current EWMA estimate of authority-bound messages/second.
+  double measured_message_rate(net::SimTime now) const;
+  double threshold() const { return threshold_; }
+
+ private:
+  void observe_message(net::SimTime now);
+
+  MaxLeaseFn max_lease_;
+  Config config_;
+  double threshold_ = 0.0;
+  // EWMA of the inter-arrival rate of messages reaching the authority.
+  double rate_estimate_ = 0.0;
+  net::SimTime last_message_ = -1;
+};
+
+}  // namespace dnscup::core

@@ -1,0 +1,59 @@
+#include "core/rate_tracker.h"
+
+namespace dnscup::core {
+
+void RateTracker::record(const dns::Name& name, dns::RRType type,
+                         net::SimTime now) {
+  auto& times = samples_[Key{name, type}];
+  times.push_back(now);
+  if (times.size() > max_samples_) times.pop_front();
+  trim(times, now);
+}
+
+void RateTracker::trim(std::deque<net::SimTime>& times,
+                       net::SimTime now) const {
+  const net::SimTime horizon = now - window_;
+  while (!times.empty() && times.front() < horizon) times.pop_front();
+}
+
+double RateTracker::rate(const dns::Name& name, dns::RRType type,
+                         net::SimTime now) const {
+  auto it = samples_.find(Key{name, type});
+  if (it == samples_.end()) return 0.0;
+  // Count in-window samples without mutating state (const method).
+  const net::SimTime horizon = now - window_;
+  std::size_t live = 0;
+  for (auto t : it->second) {
+    if (t >= horizon) ++live;
+  }
+  if (live == 0) return 0.0;
+  return static_cast<double>(live) / net::to_seconds(window_);
+}
+
+std::size_t RateTracker::count(const dns::Name& name, dns::RRType type,
+                               net::SimTime now) const {
+  auto it = samples_.find(Key{name, type});
+  if (it == samples_.end()) return 0;
+  const net::SimTime horizon = now - window_;
+  std::size_t live = 0;
+  for (auto t : it->second) {
+    if (t >= horizon) ++live;
+  }
+  return live;
+}
+
+std::size_t RateTracker::prune(net::SimTime now) {
+  std::size_t removed = 0;
+  for (auto it = samples_.begin(); it != samples_.end();) {
+    trim(it->second, now);
+    if (it->second.empty()) {
+      it = samples_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace dnscup::core

@@ -1,0 +1,65 @@
+// Sliding-window query-rate estimation.
+//
+// Caches use it to fill the RRC field of outgoing queries ("the query rate
+// originated from the local clients", §5.2); authorities use it as a
+// fallback estimate when a legacy cache sends no RRC, and to drive lease
+// re-negotiation when observed rates drift from reported ones.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "dns/name.h"
+#include "dns/rdata.h"
+#include "net/time.h"
+
+namespace dnscup::core {
+
+class RateTracker {
+ public:
+  /// `window` is the averaging horizon; `max_samples_per_key` bounds
+  /// memory for very hot records (rate stays exact while the oldest
+  /// retained sample is within the window).
+  explicit RateTracker(net::Duration window = net::hours(1),
+                       std::size_t max_samples_per_key = 256)
+      : window_(window), max_samples_(max_samples_per_key) {}
+
+  void record(const dns::Name& name, dns::RRType type, net::SimTime now);
+
+  /// Estimated arrival rate in events/second over the window at `now`.
+  /// With zero or one retained sample the estimate is count/window.
+  double rate(const dns::Name& name, dns::RRType type,
+              net::SimTime now) const;
+
+  /// Number of events retained in-window for the key.
+  std::size_t count(const dns::Name& name, dns::RRType type,
+                    net::SimTime now) const;
+
+  /// Drops keys whose samples all fell out of the window.
+  std::size_t prune(net::SimTime now);
+
+  std::size_t tracked_keys() const { return samples_.size(); }
+
+ private:
+  struct Key {
+    dns::Name name;
+    dns::RRType type;
+    bool operator==(const Key& other) const {
+      return type == other.type && name == other.name;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return k.name.hash() * 31 + static_cast<std::size_t>(k.type);
+    }
+  };
+
+  void trim(std::deque<net::SimTime>& times, net::SimTime now) const;
+
+  net::Duration window_;
+  std::size_t max_samples_;
+  std::unordered_map<Key, std::deque<net::SimTime>, KeyHash> samples_;
+};
+
+}  // namespace dnscup::core

@@ -1,0 +1,387 @@
+#include "dns/rdata.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace dnscup::dns {
+
+namespace {
+
+util::Result<uint32_t> parse_u32(std::string_view text) {
+  uint32_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return util::make_error(util::ErrorCode::kMalformed,
+                            "bad integer '" + std::string(text) + "'");
+  }
+  return v;
+}
+
+std::vector<std::string_view> split_ws(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < text.size() && text[j] != ' ' && text[j] != '\t') ++j;
+    if (j > i) out.push_back(text.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(RRType type) {
+  switch (type) {
+    case RRType::kA: return "A";
+    case RRType::kNS: return "NS";
+    case RRType::kCNAME: return "CNAME";
+    case RRType::kSOA: return "SOA";
+    case RRType::kPTR: return "PTR";
+    case RRType::kMX: return "MX";
+    case RRType::kTXT: return "TXT";
+    case RRType::kAAAA: return "AAAA";
+    case RRType::kOPT: return "OPT";
+    case RRType::kIXFR: return "IXFR";
+    case RRType::kAXFR: return "AXFR";
+    case RRType::kANY: return "ANY";
+  }
+  return "TYPE?";
+}
+
+const char* to_string(RRClass cls) {
+  switch (cls) {
+    case RRClass::kIN: return "IN";
+    case RRClass::kNONE: return "NONE";
+    case RRClass::kANY: return "ANY";
+  }
+  return "CLASS?";
+}
+
+util::Result<RRType> rrtype_from_string(std::string_view text) {
+  if (text == "A") return RRType::kA;
+  if (text == "NS") return RRType::kNS;
+  if (text == "CNAME") return RRType::kCNAME;
+  if (text == "SOA") return RRType::kSOA;
+  if (text == "PTR") return RRType::kPTR;
+  if (text == "MX") return RRType::kMX;
+  if (text == "TXT") return RRType::kTXT;
+  if (text == "AAAA") return RRType::kAAAA;
+  if (text == "ANY") return RRType::kANY;
+  if (text == "IXFR") return RRType::kIXFR;
+  if (text == "AXFR") return RRType::kAXFR;
+  return util::make_error(util::ErrorCode::kUnsupported,
+                          "unknown RR type '" + std::string(text) + "'");
+}
+
+util::Result<Ipv4> Ipv4::parse(std::string_view dotted) {
+  uint32_t addr = 0;
+  int octets = 0;
+  std::size_t start = 0;
+  while (start <= dotted.size() && octets < 4) {
+    const std::size_t dot = dotted.find('.', start);
+    const std::string_view part = dotted.substr(
+        start, dot == std::string_view::npos ? std::string_view::npos
+                                             : dot - start);
+    uint32_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), value);
+    if (ec != std::errc() || ptr != part.data() + part.size() || value > 255 ||
+        part.empty()) {
+      return util::make_error(util::ErrorCode::kMalformed,
+                              "bad IPv4 '" + std::string(dotted) + "'");
+    }
+    addr = (addr << 8) | value;
+    ++octets;
+    if (dot == std::string_view::npos) {
+      start = dotted.size() + 1;
+      break;
+    }
+    start = dot + 1;
+  }
+  if (octets != 4 || start != dotted.size() + 1) {
+    return util::make_error(util::ErrorCode::kMalformed,
+                            "bad IPv4 '" + std::string(dotted) + "'");
+  }
+  return Ipv4{addr};
+}
+
+std::string Ipv4::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (addr >> 24) & 0xFF,
+                (addr >> 16) & 0xFF, (addr >> 8) & 0xFF, addr & 0xFF);
+  return buf;
+}
+
+RRType rdata_type(const Rdata& rdata) {
+  return std::visit(
+      [](const auto& value) -> RRType {
+        using T = std::decay_t<decltype(value)>;
+        if constexpr (std::is_same_v<T, ARdata>) return RRType::kA;
+        else if constexpr (std::is_same_v<T, NSRdata>) return RRType::kNS;
+        else if constexpr (std::is_same_v<T, CNAMERdata>) return RRType::kCNAME;
+        else if constexpr (std::is_same_v<T, SOARdata>) return RRType::kSOA;
+        else if constexpr (std::is_same_v<T, PTRRdata>) return RRType::kPTR;
+        else if constexpr (std::is_same_v<T, MXRdata>) return RRType::kMX;
+        else if constexpr (std::is_same_v<T, TXTRdata>) return RRType::kTXT;
+        else if constexpr (std::is_same_v<T, AAAARdata>) return RRType::kAAAA;
+        else return static_cast<RRType>(value.type);
+      },
+      rdata);
+}
+
+void encode_rdata(const Rdata& rdata, ByteWriter& writer) {
+  std::visit(
+      [&writer](const auto& value) {
+        using T = std::decay_t<decltype(value)>;
+        if constexpr (std::is_same_v<T, ARdata>) {
+          writer.u32(value.address.addr);
+        } else if constexpr (std::is_same_v<T, NSRdata>) {
+          writer.name_uncompressed(value.nsdname);
+        } else if constexpr (std::is_same_v<T, CNAMERdata>) {
+          writer.name_uncompressed(value.target);
+        } else if constexpr (std::is_same_v<T, SOARdata>) {
+          writer.name_uncompressed(value.mname);
+          writer.name_uncompressed(value.rname);
+          writer.u32(value.serial);
+          writer.u32(value.refresh);
+          writer.u32(value.retry);
+          writer.u32(value.expire);
+          writer.u32(value.minimum);
+        } else if constexpr (std::is_same_v<T, PTRRdata>) {
+          writer.name_uncompressed(value.ptrdname);
+        } else if constexpr (std::is_same_v<T, MXRdata>) {
+          writer.u16(value.preference);
+          writer.name_uncompressed(value.exchange);
+        } else if constexpr (std::is_same_v<T, TXTRdata>) {
+          for (const auto& s : value.strings) {
+            DNSCUP_ASSERT(s.size() <= 255);
+            writer.u8(static_cast<uint8_t>(s.size()));
+            writer.bytes(
+                {reinterpret_cast<const uint8_t*>(s.data()), s.size()});
+          }
+        } else if constexpr (std::is_same_v<T, AAAARdata>) {
+          writer.bytes({value.address.data(), value.address.size()});
+        } else {
+          writer.bytes({value.data.data(), value.data.size()});
+        }
+      },
+      rdata);
+}
+
+util::Result<Rdata> decode_rdata(RRType type, uint16_t rdlength,
+                                 ByteReader& reader) {
+  const std::size_t end = reader.offset() + rdlength;
+  if (reader.remaining() < rdlength) {
+    return util::make_error(util::ErrorCode::kTruncated,
+                            "rdata past end of message");
+  }
+  if (rdlength == 0) {
+    // Empty RDATA appears in RFC 2136 prerequisite/update records
+    // ("RRset exists", "delete RRset"); carry it as a typed empty payload.
+    return Rdata{GenericRdata{static_cast<uint16_t>(type), {}}};
+  }
+  auto check_consumed = [&](Rdata value) -> util::Result<Rdata> {
+    if (reader.offset() != end) {
+      return util::make_error(util::ErrorCode::kMalformed,
+                              "rdlength does not match rdata");
+    }
+    return value;
+  };
+
+  switch (type) {
+    case RRType::kA: {
+      DNSCUP_ASSIGN_OR_RETURN(uint32_t addr, reader.u32());
+      return check_consumed(ARdata{Ipv4{addr}});
+    }
+    case RRType::kNS: {
+      DNSCUP_ASSIGN_OR_RETURN(Name n, reader.name());
+      return check_consumed(NSRdata{std::move(n)});
+    }
+    case RRType::kCNAME: {
+      DNSCUP_ASSIGN_OR_RETURN(Name n, reader.name());
+      return check_consumed(CNAMERdata{std::move(n)});
+    }
+    case RRType::kSOA: {
+      SOARdata soa;
+      DNSCUP_ASSIGN_OR_RETURN(soa.mname, reader.name());
+      DNSCUP_ASSIGN_OR_RETURN(soa.rname, reader.name());
+      DNSCUP_ASSIGN_OR_RETURN(soa.serial, reader.u32());
+      DNSCUP_ASSIGN_OR_RETURN(soa.refresh, reader.u32());
+      DNSCUP_ASSIGN_OR_RETURN(soa.retry, reader.u32());
+      DNSCUP_ASSIGN_OR_RETURN(soa.expire, reader.u32());
+      DNSCUP_ASSIGN_OR_RETURN(soa.minimum, reader.u32());
+      return check_consumed(std::move(soa));
+    }
+    case RRType::kPTR: {
+      DNSCUP_ASSIGN_OR_RETURN(Name n, reader.name());
+      return check_consumed(PTRRdata{std::move(n)});
+    }
+    case RRType::kMX: {
+      MXRdata mx;
+      DNSCUP_ASSIGN_OR_RETURN(mx.preference, reader.u16());
+      DNSCUP_ASSIGN_OR_RETURN(mx.exchange, reader.name());
+      return check_consumed(std::move(mx));
+    }
+    case RRType::kTXT: {
+      TXTRdata txt;
+      while (reader.offset() < end) {
+        DNSCUP_ASSIGN_OR_RETURN(uint8_t len, reader.u8());
+        DNSCUP_ASSIGN_OR_RETURN(auto raw, reader.bytes(len));
+        txt.strings.emplace_back(raw.begin(), raw.end());
+      }
+      return check_consumed(std::move(txt));
+    }
+    case RRType::kAAAA: {
+      if (rdlength != 16) {
+        return util::make_error(util::ErrorCode::kMalformed,
+                                "AAAA rdlength != 16");
+      }
+      DNSCUP_ASSIGN_OR_RETURN(auto raw, reader.bytes(16));
+      AAAARdata v;
+      std::copy(raw.begin(), raw.end(), v.address.begin());
+      return check_consumed(std::move(v));
+    }
+    default: {
+      DNSCUP_ASSIGN_OR_RETURN(auto raw, reader.bytes(rdlength));
+      return Rdata{
+          GenericRdata{static_cast<uint16_t>(type), std::move(raw)}};
+    }
+  }
+}
+
+std::string rdata_to_string(const Rdata& rdata) {
+  return std::visit(
+      [](const auto& value) -> std::string {
+        using T = std::decay_t<decltype(value)>;
+        if constexpr (std::is_same_v<T, ARdata>) {
+          return value.address.to_string();
+        } else if constexpr (std::is_same_v<T, NSRdata>) {
+          return value.nsdname.to_string();
+        } else if constexpr (std::is_same_v<T, CNAMERdata>) {
+          return value.target.to_string();
+        } else if constexpr (std::is_same_v<T, SOARdata>) {
+          std::ostringstream os;
+          os << value.mname.to_string() << ' ' << value.rname.to_string()
+             << ' ' << value.serial << ' ' << value.refresh << ' '
+             << value.retry << ' ' << value.expire << ' ' << value.minimum;
+          return os.str();
+        } else if constexpr (std::is_same_v<T, PTRRdata>) {
+          return value.ptrdname.to_string();
+        } else if constexpr (std::is_same_v<T, MXRdata>) {
+          return std::to_string(value.preference) + " " +
+                 value.exchange.to_string();
+        } else if constexpr (std::is_same_v<T, TXTRdata>) {
+          std::string out;
+          for (const auto& s : value.strings) {
+            if (!out.empty()) out += ' ';
+            out += '"';
+            out += s;
+            out += '"';
+          }
+          return out;
+        } else if constexpr (std::is_same_v<T, AAAARdata>) {
+          char buf[40];
+          char* p = buf;
+          for (int i = 0; i < 16; i += 2) {
+            p += std::snprintf(p, 6, i == 0 ? "%02x%02x" : ":%02x%02x",
+                               value.address[static_cast<std::size_t>(i)],
+                               value.address[static_cast<std::size_t>(i + 1)]);
+          }
+          return buf;
+        } else {
+          return "\\# " + std::to_string(value.data.size());
+        }
+      },
+      rdata);
+}
+
+util::Result<Rdata> rdata_from_string(RRType type, std::string_view text) {
+  const auto fields = split_ws(text);
+  auto need = [&](std::size_t n) -> util::Status {
+    if (fields.size() != n) {
+      return util::make_error(
+          util::ErrorCode::kMalformed,
+          std::string("expected ") + std::to_string(n) + " fields for " +
+              to_string(type) + ", got " + std::to_string(fields.size()));
+    }
+    return {};
+  };
+
+  switch (type) {
+    case RRType::kA: {
+      DNSCUP_TRY(need(1));
+      DNSCUP_ASSIGN_OR_RETURN(Ipv4 a, Ipv4::parse(fields[0]));
+      return Rdata{ARdata{a}};
+    }
+    case RRType::kNS: {
+      DNSCUP_TRY(need(1));
+      DNSCUP_ASSIGN_OR_RETURN(Name n, Name::parse(fields[0]));
+      return Rdata{NSRdata{std::move(n)}};
+    }
+    case RRType::kCNAME: {
+      DNSCUP_TRY(need(1));
+      DNSCUP_ASSIGN_OR_RETURN(Name n, Name::parse(fields[0]));
+      return Rdata{CNAMERdata{std::move(n)}};
+    }
+    case RRType::kSOA: {
+      DNSCUP_TRY(need(7));
+      SOARdata soa;
+      DNSCUP_ASSIGN_OR_RETURN(soa.mname, Name::parse(fields[0]));
+      DNSCUP_ASSIGN_OR_RETURN(soa.rname, Name::parse(fields[1]));
+      DNSCUP_ASSIGN_OR_RETURN(soa.serial, parse_u32(fields[2]));
+      DNSCUP_ASSIGN_OR_RETURN(soa.refresh, parse_u32(fields[3]));
+      DNSCUP_ASSIGN_OR_RETURN(soa.retry, parse_u32(fields[4]));
+      DNSCUP_ASSIGN_OR_RETURN(soa.expire, parse_u32(fields[5]));
+      DNSCUP_ASSIGN_OR_RETURN(soa.minimum, parse_u32(fields[6]));
+      return Rdata{std::move(soa)};
+    }
+    case RRType::kPTR: {
+      DNSCUP_TRY(need(1));
+      DNSCUP_ASSIGN_OR_RETURN(Name n, Name::parse(fields[0]));
+      return Rdata{PTRRdata{std::move(n)}};
+    }
+    case RRType::kMX: {
+      DNSCUP_TRY(need(2));
+      DNSCUP_ASSIGN_OR_RETURN(uint32_t pref, parse_u32(fields[0]));
+      if (pref > 0xFFFF) {
+        return util::make_error(util::ErrorCode::kMalformed,
+                                "MX preference out of range");
+      }
+      MXRdata mx;
+      mx.preference = static_cast<uint16_t>(pref);
+      DNSCUP_ASSIGN_OR_RETURN(mx.exchange, Name::parse(fields[1]));
+      return Rdata{std::move(mx)};
+    }
+    case RRType::kTXT: {
+      // Accept quoted or bare strings.
+      TXTRdata txt;
+      for (auto f : fields) {
+        if (f.size() >= 2 && f.front() == '"' && f.back() == '"') {
+          f = f.substr(1, f.size() - 2);
+        }
+        if (f.size() > 255) {
+          return util::make_error(util::ErrorCode::kMalformed,
+                                  "TXT string over 255 octets");
+        }
+        txt.strings.emplace_back(f);
+      }
+      if (txt.strings.empty()) {
+        return util::make_error(util::ErrorCode::kMalformed,
+                                "TXT needs at least one string");
+      }
+      return Rdata{std::move(txt)};
+    }
+    default:
+      return util::make_error(
+          util::ErrorCode::kUnsupported,
+          std::string("no text form for type ") + to_string(type));
+  }
+}
+
+}  // namespace dnscup::dns

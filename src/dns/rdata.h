@@ -1,0 +1,131 @@
+// Resource-record types, classes and RDATA payloads (RFC 1035 §3.2-3.4,
+// RFC 3596 for AAAA).  The A record is the paper's primary subject
+// (~60% of Internet lookups, §3); the others are required for a working
+// hierarchy: NS/SOA for delegation and zones, CNAME for alias chains,
+// PTR/MX/TXT because real caches hold them too.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/wire.h"
+#include "util/result.h"
+
+namespace dnscup::dns {
+
+enum class RRType : uint16_t {
+  kA = 1,
+  kNS = 2,
+  kCNAME = 5,
+  kSOA = 6,
+  kPTR = 12,
+  kMX = 15,
+  kTXT = 16,
+  kAAAA = 28,
+  kOPT = 41,
+  kIXFR = 251,   // QTYPE only (RFC 1995 incremental transfer)
+  kAXFR = 252,   // QTYPE only
+  kANY = 255,    // QTYPE only
+};
+
+enum class RRClass : uint16_t {
+  kIN = 1,
+  kNONE = 254,  // RFC 2136 update semantics
+  kANY = 255,
+};
+
+const char* to_string(RRType type);
+const char* to_string(RRClass cls);
+util::Result<RRType> rrtype_from_string(std::string_view text);
+
+/// IPv4 address stored in host byte order.
+struct Ipv4 {
+  uint32_t addr = 0;
+
+  static util::Result<Ipv4> parse(std::string_view dotted);
+  std::string to_string() const;
+  auto operator<=>(const Ipv4&) const = default;
+};
+
+struct ARdata {
+  Ipv4 address;
+  bool operator==(const ARdata&) const = default;
+};
+
+struct NSRdata {
+  Name nsdname;
+  bool operator==(const NSRdata&) const = default;
+};
+
+struct CNAMERdata {
+  Name target;
+  bool operator==(const CNAMERdata&) const = default;
+};
+
+struct SOARdata {
+  Name mname;    ///< primary master nameserver
+  Name rname;    ///< responsible mailbox
+  uint32_t serial = 0;
+  uint32_t refresh = 0;
+  uint32_t retry = 0;
+  uint32_t expire = 0;
+  uint32_t minimum = 0;  ///< negative-caching TTL (RFC 2308)
+  bool operator==(const SOARdata&) const = default;
+};
+
+struct PTRRdata {
+  Name ptrdname;
+  bool operator==(const PTRRdata&) const = default;
+};
+
+struct MXRdata {
+  uint16_t preference = 0;
+  Name exchange;
+  bool operator==(const MXRdata&) const = default;
+};
+
+struct TXTRdata {
+  std::vector<std::string> strings;  ///< each <= 255 octets
+  bool operator==(const TXTRdata&) const = default;
+};
+
+struct AAAARdata {
+  std::array<uint8_t, 16> address{};
+  bool operator==(const AAAARdata&) const = default;
+};
+
+/// Fallback carrier for types we do not interpret (RFC 3597 spirit).
+struct GenericRdata {
+  uint16_t type = 0;
+  std::vector<uint8_t> data;
+  bool operator==(const GenericRdata&) const = default;
+};
+
+using Rdata = std::variant<ARdata, NSRdata, CNAMERdata, SOARdata, PTRRdata,
+                           MXRdata, TXTRdata, AAAARdata, GenericRdata>;
+
+/// The RRType corresponding to the active variant alternative.
+RRType rdata_type(const Rdata& rdata);
+
+/// Encodes RDATA (without the RDLENGTH prefix).  Names inside RDATA are
+/// written uncompressed so RDATA bytes are position-independent.
+void encode_rdata(const Rdata& rdata, ByteWriter& writer);
+
+/// Decodes RDATA of the given type from exactly `rdlength` bytes at the
+/// reader's cursor.  Unknown types yield GenericRdata.
+util::Result<Rdata> decode_rdata(RRType type, uint16_t rdlength,
+                                 ByteReader& reader);
+
+/// Zone-file presentation of the payload ("192.0.2.1",
+/// "10 mail.example.com." ...).
+std::string rdata_to_string(const Rdata& rdata);
+
+/// Parses presentation RDATA for the given type (inverse of
+/// rdata_to_string for all supported types).
+util::Result<Rdata> rdata_from_string(RRType type, std::string_view text);
+
+}  // namespace dnscup::dns

@@ -1,0 +1,199 @@
+#include "dns/wire.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/assert.h"
+
+namespace dnscup::dns {
+
+namespace {
+
+constexpr uint16_t kPointerMask = 0xC000;
+constexpr std::size_t kMaxPointerOffset = 0x3FFF;
+constexpr int kMaxPointerHops = 32;
+constexpr std::size_t kMaxLabels = 128;
+
+std::string lower_suffix_key(const Name& n, std::size_t from_label) {
+  std::string key;
+  for (std::size_t i = from_label; i < n.label_count(); ++i) {
+    const std::string& l = n.label(i);
+    for (char c : l) {
+      key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    key += '.';
+  }
+  return key;
+}
+
+}  // namespace
+
+void ByteWriter::u8(uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+  buf_.push_back(static_cast<uint8_t>(v & 0xFF));
+}
+
+void ByteWriter::u32(uint32_t v) {
+  buf_.push_back(static_cast<uint8_t>(v >> 24));
+  buf_.push_back(static_cast<uint8_t>((v >> 16) & 0xFF));
+  buf_.push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
+  buf_.push_back(static_cast<uint8_t>(v & 0xFF));
+}
+
+void ByteWriter::bytes(std::span<const uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::name(const Name& n) {
+  // For each suffix of the name, either emit a compression pointer to a
+  // previous occurrence or write the label and remember this offset.
+  for (std::size_t i = 0; i < n.label_count(); ++i) {
+    const std::string key = lower_suffix_key(n, i);
+    auto it = compression_.find(key);
+    if (it != compression_.end()) {
+      u16(static_cast<uint16_t>(kPointerMask | it->second));
+      return;
+    }
+    if (buf_.size() <= kMaxPointerOffset) {
+      compression_.emplace(key, static_cast<uint16_t>(buf_.size()));
+    }
+    const std::string& label = n.label(i);
+    u8(static_cast<uint8_t>(label.size()));
+    bytes({reinterpret_cast<const uint8_t*>(label.data()), label.size()});
+  }
+  u8(0);  // root
+}
+
+void ByteWriter::name_uncompressed(const Name& n) {
+  for (std::size_t i = 0; i < n.label_count(); ++i) {
+    const std::string& label = n.label(i);
+    u8(static_cast<uint8_t>(label.size()));
+    bytes({reinterpret_cast<const uint8_t*>(label.data()), label.size()});
+  }
+  u8(0);
+}
+
+void ByteWriter::patch_u16(std::size_t offset, uint16_t v) {
+  DNSCUP_ASSERT(offset + 2 <= buf_.size());
+  buf_[offset] = static_cast<uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<uint8_t>(v & 0xFF);
+}
+
+util::Result<uint8_t> ByteReader::u8() {
+  if (remaining() < 1) {
+    return util::make_error(util::ErrorCode::kTruncated, "u8 past end");
+  }
+  return data_[pos_++];
+}
+
+util::Result<uint16_t> ByteReader::u16() {
+  if (remaining() < 2) {
+    return util::make_error(util::ErrorCode::kTruncated, "u16 past end");
+  }
+  const uint16_t v =
+      static_cast<uint16_t>(data_[pos_] << 8) | data_[pos_ + 1];
+  pos_ += 2;
+  return v;
+}
+
+util::Result<uint32_t> ByteReader::u32() {
+  if (remaining() < 4) {
+    return util::make_error(util::ErrorCode::kTruncated, "u32 past end");
+  }
+  const uint32_t v = (static_cast<uint32_t>(data_[pos_]) << 24) |
+                     (static_cast<uint32_t>(data_[pos_ + 1]) << 16) |
+                     (static_cast<uint32_t>(data_[pos_ + 2]) << 8) |
+                     static_cast<uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+util::Result<std::vector<uint8_t>> ByteReader::bytes(std::size_t n) {
+  if (remaining() < n) {
+    return util::make_error(util::ErrorCode::kTruncated, "bytes past end");
+  }
+  std::vector<uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                           data_.begin() +
+                               static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+util::Status ByteReader::seek(std::size_t offset) {
+  if (offset > data_.size()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "seek past end");
+  }
+  pos_ = offset;
+  return {};
+}
+
+util::Result<Name> ByteReader::name() {
+  std::vector<std::string> labels;
+  std::size_t cursor = pos_;
+  std::size_t after_first_pointer = 0;
+  bool jumped = false;
+  int hops = 0;
+
+  for (;;) {
+    if (cursor >= data_.size()) {
+      return util::make_error(util::ErrorCode::kTruncated,
+                              "name runs past end");
+    }
+    const uint8_t len = data_[cursor];
+    if ((len & 0xC0) == 0xC0) {
+      if (cursor + 1 >= data_.size()) {
+        return util::make_error(util::ErrorCode::kTruncated,
+                                "pointer runs past end");
+      }
+      if (++hops > kMaxPointerHops) {
+        return util::make_error(util::ErrorCode::kMalformed,
+                                "compression pointer loop");
+      }
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3F) << 8) | data_[cursor + 1];
+      if (!jumped) {
+        after_first_pointer = cursor + 2;
+        jumped = true;
+      }
+      if (target >= cursor) {
+        // Forward pointers are not produced by any conforming encoder and
+        // enable loops; reject them outright.
+        return util::make_error(util::ErrorCode::kMalformed,
+                                "forward compression pointer");
+      }
+      cursor = target;
+      continue;
+    }
+    if ((len & 0xC0) != 0) {
+      return util::make_error(util::ErrorCode::kMalformed,
+                              "reserved label type");
+    }
+    if (len == 0) {
+      pos_ = jumped ? after_first_pointer : cursor + 1;
+      break;
+    }
+    if (cursor + 1 + len > data_.size()) {
+      return util::make_error(util::ErrorCode::kTruncated,
+                              "label runs past end");
+    }
+    if (labels.size() >= kMaxLabels) {
+      return util::make_error(util::ErrorCode::kMalformed, "too many labels");
+    }
+    labels.emplace_back(reinterpret_cast<const char*>(&data_[cursor + 1]),
+                        len);
+    cursor += 1 + len;
+  }
+
+  std::size_t wire_len = 1;
+  for (const auto& l : labels) wire_len += 1 + l.size();
+  if (wire_len > 255) {
+    return util::make_error(util::ErrorCode::kMalformed,
+                            "decoded name longer than 255 octets");
+  }
+  return Name::from_labels(std::move(labels));
+}
+
+}  // namespace dnscup::dns

@@ -1,0 +1,75 @@
+// Bounds-checked wire-format primitives (RFC 1035 §4): big-endian integer
+// readers/writers and domain-name encoding with message compression
+// (§4.1.4).  All reads come from untrusted bytes and report failures via
+// util::Result; they never assert or throw on bad input.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/name.h"
+#include "util/result.h"
+
+namespace dnscup::dns {
+
+class ByteWriter {
+ public:
+  void u8(uint8_t v);
+  void u16(uint16_t v);
+  void u32(uint32_t v);
+  void bytes(std::span<const uint8_t> data);
+
+  /// Writes a name with compression against earlier occurrences in this
+  /// message (pointer offsets must fit 14 bits; later names simply skip
+  /// compression if the target offset is too large).
+  void name(const Name& n);
+
+  /// Writes a name without compression and without registering it as a
+  /// compression target (used inside RDATA types where compression is
+  /// forbidden by RFC 3597 semantics).
+  void name_uncompressed(const Name& n);
+
+  std::size_t size() const { return buf_.size(); }
+
+  /// Overwrites a previously written 16-bit slot (e.g. to patch RDLENGTH
+  /// or section counts after the fact).
+  void patch_u16(std::size_t offset, uint16_t v);
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+  // Maps a name's presentation suffix (lowercased) to its wire offset.
+  std::unordered_map<std::string, uint16_t> compression_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  util::Result<uint8_t> u8();
+  util::Result<uint16_t> u16();
+  util::Result<uint32_t> u32();
+  util::Result<std::vector<uint8_t>> bytes(std::size_t n);
+
+  /// Reads a possibly-compressed name.  Follows pointers with a hop limit
+  /// so malicious pointer loops terminate.
+  util::Result<Name> name();
+
+  std::size_t offset() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+  /// Repositions the cursor (bounds-checked by callers via remaining()).
+  util::Status seek(std::size_t offset);
+
+ private:
+  std::span<const uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dnscup::dns

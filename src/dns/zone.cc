@@ -1,0 +1,274 @@
+#include "dns/zone.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dnscup::dns {
+
+bool serial_gt(uint32_t a, uint32_t b) {
+  // RFC 1982 §3.2 with SERIAL_BITS = 32.
+  return (a != b) &&
+         (((a < b) && (b - a > 0x80000000u)) ||
+          ((a > b) && (a - b < 0x80000000u)));
+}
+
+uint32_t serial_add(uint32_t serial, uint32_t delta) {
+  DNSCUP_ASSERT(delta <= 0x7FFFFFFFu);  // RFC 1982 §3.1
+  return serial + delta;                // well-defined unsigned wraparound
+}
+
+Zone Zone::make(Name origin, SOARdata soa, uint32_t soa_ttl,
+                std::vector<Name> apex_ns, uint32_t ns_ttl) {
+  Zone z(origin);
+  RRset soa_set;
+  soa_set.name = origin;
+  soa_set.type = RRType::kSOA;
+  soa_set.ttl = soa_ttl;
+  soa_set.rdatas.push_back(std::move(soa));
+  z.put(std::move(soa_set));
+
+  if (!apex_ns.empty()) {
+    RRset ns_set;
+    ns_set.name = origin;
+    ns_set.type = RRType::kNS;
+    ns_set.ttl = ns_ttl;
+    for (auto& ns : apex_ns) ns_set.rdatas.push_back(NSRdata{std::move(ns)});
+    z.put(std::move(ns_set));
+  }
+  return z;
+}
+
+util::Status Zone::validate() const {
+  const RRset* soa = find(origin_, RRType::kSOA);
+  if (soa == nullptr || soa->rdatas.size() != 1) {
+    return util::make_error(util::ErrorCode::kMalformed,
+                            "zone " + origin_.to_string() +
+                                " lacks a single-record SOA at apex");
+  }
+  return {};
+}
+
+const SOARdata& Zone::soa() const {
+  const RRset* soa_set = find(origin_, RRType::kSOA);
+  DNSCUP_ASSERT(soa_set != nullptr && soa_set->rdatas.size() == 1);
+  return std::get<SOARdata>(soa_set->rdatas.front());
+}
+
+uint32_t Zone::soa_ttl() const {
+  const RRset* soa_set = find(origin_, RRType::kSOA);
+  DNSCUP_ASSERT(soa_set != nullptr);
+  return soa_set->ttl;
+}
+
+void Zone::bump_serial() {
+  auto it = rrsets_.find(Key{origin_, RRType::kSOA});
+  DNSCUP_ASSERT(it != rrsets_.end() && it->second.rdatas.size() == 1);
+  auto& soa = std::get<SOARdata>(it->second.rdatas.front());
+  soa.serial = serial_add(soa.serial, 1);
+}
+
+void Zone::set_serial(uint32_t serial) {
+  auto it = rrsets_.find(Key{origin_, RRType::kSOA});
+  DNSCUP_ASSERT(it != rrsets_.end() && it->second.rdatas.size() == 1);
+  std::get<SOARdata>(it->second.rdatas.front()).serial = serial;
+}
+
+const RRset* Zone::find(const Name& name, RRType type) const {
+  auto it = rrsets_.find(Key{name, type});
+  return it == rrsets_.end() ? nullptr : &it->second;
+}
+
+std::vector<const RRset*> Zone::find_all(const Name& name) const {
+  std::vector<const RRset*> out;
+  // All types at one name are contiguous in the map (ordered by name first).
+  for (auto it = rrsets_.lower_bound(Key{name, static_cast<RRType>(0)});
+       it != rrsets_.end() && it->first.name == name; ++it) {
+    out.push_back(&it->second);
+  }
+  return out;
+}
+
+bool Zone::name_exists(const Name& name) const {
+  // A name exists if it owns records or is an empty non-terminal (some
+  // record exists below it).
+  auto it = rrsets_.lower_bound(Key{name, static_cast<RRType>(0)});
+  return it != rrsets_.end() && it->first.name.is_subdomain_of(name);
+}
+
+void Zone::put(RRset rrset) {
+  DNSCUP_ASSERT(contains_name(rrset.name));
+  DNSCUP_ASSERT(!rrset.rdatas.empty());
+  for (const auto& rd : rrset.rdatas) {
+    DNSCUP_ASSERT(rdata_type(rd) == rrset.type);
+  }
+  Key key{rrset.name, rrset.type};
+  rrsets_.insert_or_assign(std::move(key), std::move(rrset));
+}
+
+bool Zone::add_record(const Name& name, RRType type, uint32_t ttl,
+                      Rdata rdata) {
+  DNSCUP_ASSERT(contains_name(name));
+  DNSCUP_ASSERT(rdata_type(rdata) == type);
+  auto [it, inserted] = rrsets_.try_emplace(Key{name, type});
+  RRset& set = it->second;
+  if (inserted) {
+    set.name = name;
+    set.type = type;
+    set.rrclass = RRClass::kIN;
+  }
+  // CNAME and SOA are singleton RRsets: a new record replaces the old one.
+  if ((type == RRType::kCNAME || type == RRType::kSOA) && !set.rdatas.empty()) {
+    const bool same = set.ttl == ttl && set.contains(rdata);
+    set.rdatas.clear();
+    set.rdatas.push_back(std::move(rdata));
+    set.ttl = ttl;
+    return !same;
+  }
+  bool changed = set.add(std::move(rdata));
+  if (set.ttl != ttl) {
+    set.ttl = ttl;
+    changed = true;
+  }
+  return changed;
+}
+
+bool Zone::remove_record(const Name& name, RRType type, const Rdata& rdata) {
+  // SOA is never deleted; the last NS at the apex is never deleted
+  // (RFC 2136 §3.4.2.4).
+  if (type == RRType::kSOA && name == origin_) return false;
+  auto it = rrsets_.find(Key{name, type});
+  if (it == rrsets_.end()) return false;
+  if (type == RRType::kNS && name == origin_ && it->second.size() == 1) {
+    return false;
+  }
+  if (!it->second.remove(rdata)) return false;
+  if (it->second.empty()) rrsets_.erase(it);
+  return true;
+}
+
+bool Zone::remove_rrset(const Name& name, RRType type) {
+  if (name == origin_ && (type == RRType::kSOA || type == RRType::kNS)) {
+    return false;
+  }
+  return rrsets_.erase(Key{name, type}) > 0;
+}
+
+bool Zone::remove_name(const Name& name) {
+  bool removed = false;
+  auto it = rrsets_.lower_bound(Key{name, static_cast<RRType>(0)});
+  while (it != rrsets_.end() && it->first.name == name) {
+    if (name == origin_ &&
+        (it->first.type == RRType::kSOA || it->first.type == RRType::kNS)) {
+      ++it;
+      continue;
+    }
+    it = rrsets_.erase(it);
+    removed = true;
+  }
+  return removed;
+}
+
+Zone::LookupResult Zone::lookup(const Name& qname, RRType qtype) const {
+  LookupResult result;
+  if (!contains_name(qname)) {
+    result.status = LookupStatus::kNotInZone;
+    return result;
+  }
+
+  // Check for a zone cut strictly below the apex, at or above qname.
+  // Walk the ancestors of qname from just below the apex downwards.
+  if (qname != origin_) {
+    const std::size_t qlabels = qname.label_count();
+    const std::size_t olabels = origin_.label_count();
+    for (std::size_t depth = olabels + 1; depth <= qlabels; ++depth) {
+      Name candidate = qname;
+      for (std::size_t strip = qlabels; strip > depth; --strip) {
+        candidate = candidate.parent();
+      }
+      const RRset* ns = find(candidate, RRType::kNS);
+      if (ns != nullptr) {
+        // Querying the NS set of the cut itself from the parent side is a
+        // referral too, unless this zone is also authoritative below (we
+        // model one zone per server, so any in-zone NS below apex is a cut).
+        result.status = LookupStatus::kDelegation;
+        result.rrsets.push_back(*ns);
+        result.cut = candidate;
+        return result;
+      }
+    }
+  }
+
+  if (!name_exists(qname)) {
+    result.status = LookupStatus::kNXDomain;
+    return result;
+  }
+
+  // CNAME takes precedence unless the query asks for CNAME/ANY.
+  if (qtype != RRType::kCNAME && qtype != RRType::kANY) {
+    if (const RRset* cname = find(qname, RRType::kCNAME)) {
+      result.status = LookupStatus::kCName;
+      result.rrsets.push_back(*cname);
+      return result;
+    }
+  }
+
+  if (qtype == RRType::kANY) {
+    for (const RRset* set : find_all(qname)) result.rrsets.push_back(*set);
+    result.status = result.rrsets.empty() ? LookupStatus::kNoData
+                                          : LookupStatus::kSuccess;
+    return result;
+  }
+
+  if (const RRset* set = find(qname, qtype)) {
+    result.status = LookupStatus::kSuccess;
+    result.rrsets.push_back(*set);
+    return result;
+  }
+  result.status = LookupStatus::kNoData;
+  return result;
+}
+
+std::vector<RRset> Zone::all_rrsets() const {
+  std::vector<RRset> out;
+  out.reserve(rrsets_.size());
+  const RRset* soa = find(origin_, RRType::kSOA);
+  if (soa != nullptr) out.push_back(*soa);
+  for (const auto& [key, set] : rrsets_) {
+    if (key.name == origin_ && key.type == RRType::kSOA) continue;
+    out.push_back(set);
+  }
+  return out;
+}
+
+std::size_t Zone::record_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, set] : rrsets_) n += set.size();
+  return n;
+}
+
+std::vector<RRsetChange> diff_zones(const Zone& before, const Zone& after) {
+  std::vector<RRsetChange> changes;
+  for (const RRset& old_set : before.all_rrsets()) {
+    if (old_set.type == RRType::kSOA && old_set.name == before.origin()) {
+      continue;  // serial churn is not a data change
+    }
+    const RRset* new_set = after.find(old_set.name, old_set.type);
+    if (new_set == nullptr) {
+      changes.push_back({old_set.name, old_set.type, old_set, std::nullopt});
+    } else if (!old_set.same_data(*new_set) || old_set.ttl != new_set->ttl) {
+      changes.push_back({old_set.name, old_set.type, old_set, *new_set});
+    }
+  }
+  for (const RRset& new_set : after.all_rrsets()) {
+    if (new_set.type == RRType::kSOA && new_set.name == after.origin()) {
+      continue;
+    }
+    if (before.find(new_set.name, new_set.type) == nullptr) {
+      changes.push_back({new_set.name, new_set.type, std::nullopt, new_set});
+    }
+  }
+  return changes;
+}
+
+}  // namespace dnscup::dns

@@ -1,0 +1,137 @@
+// Authoritative zone data (RFC 1035 §4.3.2 lookup semantics, RFC 1982
+// serial arithmetic, RFC 2181 RRset rules).
+//
+// A Zone stores RRsets keyed by (owner name, type), provides the
+// authoritative lookup algorithm (answer / CNAME / delegation referral /
+// NXDOMAIN / NODATA), mutation primitives used by RFC 2136 dynamic update,
+// and snapshot diffing used by the DNScup change-detection module.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "util/result.h"
+
+namespace dnscup::dns {
+
+/// RFC 1982 serial number arithmetic on 32-bit zone serials.
+bool serial_gt(uint32_t a, uint32_t b);
+uint32_t serial_add(uint32_t serial, uint32_t delta);
+
+class Zone {
+ public:
+  /// Creates an empty zone; the caller must install an SOA RRset at the
+  /// apex before the zone is served (checked by validate()).
+  explicit Zone(Name origin) : origin_(std::move(origin)) {}
+
+  /// Convenience factory: zone with SOA and apex NS records installed.
+  static Zone make(Name origin, SOARdata soa, uint32_t soa_ttl,
+                   std::vector<Name> apex_ns, uint32_t ns_ttl);
+
+  const Name& origin() const { return origin_; }
+
+  /// True when `name` is at or below the origin.
+  bool contains_name(const Name& name) const {
+    return name.is_subdomain_of(origin_);
+  }
+
+  /// Zone is serveable: has an SOA RRset with exactly one rdata at apex.
+  util::Status validate() const;
+
+  const SOARdata& soa() const;
+  uint32_t soa_ttl() const;
+  uint32_t serial() const { return soa().serial; }
+
+  /// Increments the SOA serial (RFC 1982 addition by 1).
+  void bump_serial();
+
+  /// Sets the SOA serial directly (zone-transfer application).
+  void set_serial(uint32_t serial);
+
+  // ---- RRset access ----------------------------------------------------
+
+  const RRset* find(const Name& name, RRType type) const;
+  std::vector<const RRset*> find_all(const Name& name) const;
+  bool name_exists(const Name& name) const;
+
+  /// Inserts or replaces a whole RRset.  Asserts the name is in-zone.
+  void put(RRset rrset);
+
+  /// Adds one record, merging into an existing RRset (the new TTL wins,
+  /// per RFC 2136 §5.4 semantics).  Returns true if data changed.
+  bool add_record(const Name& name, RRType type, uint32_t ttl, Rdata rdata);
+
+  /// Removes one exact rdata; drops the RRset when it empties.
+  bool remove_record(const Name& name, RRType type, const Rdata& rdata);
+
+  /// Removes a whole RRset / every RRset at a name.  SOA and apex NS are
+  /// protected from deletion, per RFC 2136 §3.4.2.3-4.
+  bool remove_rrset(const Name& name, RRType type);
+  bool remove_name(const Name& name);
+
+  // ---- Authoritative lookup ---------------------------------------------
+
+  enum class LookupStatus {
+    kSuccess,     ///< rrsets holds the answer
+    kCName,       ///< rrsets holds the CNAME to chase
+    kDelegation,  ///< rrsets holds the NS set at the zone cut
+    kNXDomain,    ///< no such name
+    kNoData,      ///< name exists, no data of that type
+    kNotInZone,   ///< qname is outside this zone
+  };
+
+  struct LookupResult {
+    LookupStatus status = LookupStatus::kNotInZone;
+    std::vector<RRset> rrsets;
+    /// For kDelegation: the owner of the NS cut (may be above qname).
+    Name cut;
+  };
+
+  LookupResult lookup(const Name& qname, RRType qtype) const;
+
+  // ---- Enumeration -------------------------------------------------------
+
+  /// All RRsets, SOA first then canonical name order (AXFR order).
+  std::vector<RRset> all_rrsets() const;
+
+  std::size_t rrset_count() const { return rrsets_.size(); }
+  std::size_t record_count() const;
+
+ private:
+  struct Key {
+    Name name;
+    RRType type;
+    bool operator<(const Key& other) const {
+      if (name < other.name) return true;
+      if (other.name < name) return false;
+      return type < other.type;
+    }
+  };
+
+  Name origin_;
+  std::map<Key, RRset> rrsets_;
+};
+
+/// One (name, type) whose data differs between two zone snapshots; used by
+/// the DNScup detection module.  `before`/`after` are nullopt when the
+/// RRset was added/removed respectively.
+struct RRsetChange {
+  Name name;
+  RRType type = RRType::kA;
+  std::optional<RRset> before;
+  std::optional<RRset> after;
+};
+
+/// Computes data changes between two snapshots of the same zone.  TTL-only
+/// differences are reported too (TTL is part of what caches hold), but SOA
+/// serial-only changes are skipped: every update bumps the serial and
+/// reporting it would make every diff self-triggering.
+std::vector<RRsetChange> diff_zones(const Zone& before, const Zone& after);
+
+}  // namespace dnscup::dns

@@ -1,0 +1,205 @@
+#include "dns/zone_text.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dnscup::dns {
+
+namespace {
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i < line.size() && line[i] == ';') break;  // comment
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t' &&
+           line[j] != ';') {
+      ++j;
+    }
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+bool parse_u32_token(std::string_view t, uint32_t& out) {
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), out);
+  return ec == std::errc() && ptr == t.data() + t.size();
+}
+
+util::Result<Name> resolve_name(std::string_view token, const Name& origin) {
+  if (token == "@") return origin;
+  DNSCUP_ASSIGN_OR_RETURN(Name n, Name::parse(token));
+  // Names without a trailing dot are relative to the origin.
+  if (!token.empty() && token.back() != '.') return n.concat(origin);
+  return n;
+}
+
+util::Error at_line(std::size_t lineno, const util::Error& e) {
+  return util::make_error(e.code,
+                          "line " + std::to_string(lineno) + ": " + e.message);
+}
+
+}  // namespace
+
+util::Result<Zone> parse_zone_text(std::string_view text,
+                                   const Name& default_origin) {
+  Name origin = default_origin;
+  uint32_t default_ttl = 3600;
+  std::vector<ResourceRecord> records;
+  Name last_owner = origin;
+
+  std::size_t lineno = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::string_view line = text.substr(
+        start, nl == std::string_view::npos ? std::string_view::npos
+                                            : nl - start);
+    ++lineno;
+    const bool leading_ws =
+        !line.empty() && (line[0] == ' ' || line[0] == '\t');
+    auto tokens = tokenize(line);
+    if (nl == std::string_view::npos) {
+      start = text.size() + 1;
+    } else {
+      start = nl + 1;
+    }
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "$ORIGIN") {
+      if (tokens.size() != 2) {
+        return util::make_error(util::ErrorCode::kMalformed,
+                                "line " + std::to_string(lineno) +
+                                    ": $ORIGIN needs one argument");
+      }
+      auto n = Name::parse(tokens[1]);
+      if (!n) return at_line(lineno, n.error());
+      origin = std::move(n).value();
+      last_owner = origin;
+      continue;
+    }
+    if (tokens[0] == "$TTL") {
+      if (tokens.size() != 2 || !parse_u32_token(tokens[1], default_ttl)) {
+        return util::make_error(util::ErrorCode::kMalformed,
+                                "line " + std::to_string(lineno) +
+                                    ": bad $TTL");
+      }
+      continue;
+    }
+
+    // Record line: [owner] [ttl] [class] type rdata...
+    std::size_t idx = 0;
+    Name owner = last_owner;
+    if (!leading_ws) {
+      auto n = resolve_name(tokens[idx], origin);
+      if (!n) return at_line(lineno, n.error());
+      owner = std::move(n).value();
+      ++idx;
+    }
+    uint32_t ttl = default_ttl;
+    if (idx < tokens.size()) {
+      uint32_t v = 0;
+      if (parse_u32_token(tokens[idx], v)) {
+        ttl = v;
+        ++idx;
+      }
+    }
+    if (idx < tokens.size() && (tokens[idx] == "IN")) ++idx;
+    if (idx >= tokens.size()) {
+      return util::make_error(util::ErrorCode::kMalformed,
+                              "line " + std::to_string(lineno) +
+                                  ": missing record type");
+    }
+    auto type = rrtype_from_string(tokens[idx]);
+    if (!type) return at_line(lineno, type.error());
+    ++idx;
+
+    std::string rdata_text;
+    for (std::size_t i = idx; i < tokens.size(); ++i) {
+      if (!rdata_text.empty()) rdata_text += ' ';
+      rdata_text += tokens[i];
+    }
+    // Resolve relative names in rdata against the origin by pre-qualifying
+    // bare name fields: rdata_from_string parses names as written, so we
+    // qualify here only for the common case of a single trailing name.
+    auto rdata = rdata_from_string(type.value(), rdata_text);
+    if (!rdata) return at_line(lineno, rdata.error());
+
+    records.push_back(
+        ResourceRecord{owner, RRClass::kIN, ttl, std::move(rdata).value()});
+    last_owner = owner;
+  }
+
+  if (records.empty()) {
+    return util::make_error(util::ErrorCode::kMalformed, "no records");
+  }
+  // Zone origin: explicit $ORIGIN/default; every record must fall inside.
+  Zone zone(origin);
+  for (auto& rr : records) {
+    if (!zone.contains_name(rr.name)) {
+      return util::make_error(util::ErrorCode::kMalformed,
+                              "record " + rr.name.to_string() +
+                                  " outside zone " + origin.to_string());
+    }
+    zone.add_record(rr.name, rr.type(), rr.ttl, std::move(rr.rdata));
+  }
+  DNSCUP_TRY(zone.validate());
+  return zone;
+}
+
+util::Result<Zone> load_zone_file(const std::string& path,
+                                  const Name& default_origin) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return util::make_error(util::ErrorCode::kIo,
+                            "cannot open zone file " + path);
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  auto zone = parse_zone_text(text, default_origin);
+  if (!zone.ok()) {
+    return util::make_error(zone.error().code,
+                            path + ": " + zone.error().message);
+  }
+  return zone;
+}
+
+util::Status save_zone_file(const Zone& zone, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::make_error(util::ErrorCode::kIo,
+                            "cannot write zone file " + path);
+  }
+  const std::string text = serialize_zone_text(zone);
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return util::make_error(util::ErrorCode::kIo,
+                            "short write to " + path);
+  }
+  return {};
+}
+
+std::string serialize_zone_text(const Zone& zone) {
+  std::ostringstream os;
+  os << "$ORIGIN " << zone.origin().to_string() << '\n';
+  for (const RRset& set : zone.all_rrsets()) {
+    for (const ResourceRecord& rr : set.to_records()) {
+      os << rr.to_string() << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace dnscup::dns

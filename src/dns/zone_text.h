@@ -1,0 +1,37 @@
+// Master-file-style zone text (a practical subset of RFC 1035 §5):
+// $ORIGIN / $TTL directives, '@' for the origin, relative names, ';'
+// comments.  Parentheses-continuation and escapes are not supported.
+//
+// Example:
+//   $ORIGIN example.com.
+//   $TTL 3600
+//   @      IN SOA ns1.example.com. admin.example.com. 1 7200 900 604800 300
+//   @      IN NS  ns1.example.com.
+//   ns1    IN A   192.0.2.1
+//   www 60 IN A   192.0.2.80
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "dns/zone.h"
+#include "util/result.h"
+
+namespace dnscup::dns {
+
+/// Parses zone text into a Zone.  `default_origin` seeds the origin until a
+/// $ORIGIN directive appears; errors name the offending line.
+util::Result<Zone> parse_zone_text(std::string_view text,
+                                   const Name& default_origin);
+
+/// Serializes a zone back to text (fully-qualified names, explicit TTLs).
+/// parse_zone_text(serialize_zone_text(z), z.origin()) reproduces z.
+std::string serialize_zone_text(const Zone& zone);
+
+/// File convenience wrappers around parse/serialize; errors carry the
+/// path.  The origin defaults to the root for files with $ORIGIN.
+util::Result<Zone> load_zone_file(const std::string& path,
+                                  const Name& default_origin);
+util::Status save_zone_file(const Zone& zone, const std::string& path);
+
+}  // namespace dnscup::dns

@@ -1,0 +1,39 @@
+// Network endpoints (IPv4 address + UDP port) used as identities of
+// nameservers and caches throughout the library, including as lease-holder
+// keys in the DNScup track file.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace dnscup::net {
+
+struct Endpoint {
+  uint32_t ip = 0;    ///< host byte order
+  uint16_t port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+
+  std::string to_string() const {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u:%u", (ip >> 24) & 0xFF,
+                  (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF, port);
+    return buf;
+  }
+};
+
+/// Convenience: builds 10.0.x.y-style simulation addresses.
+constexpr uint32_t make_ip(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+  return (static_cast<uint32_t>(a) << 24) | (static_cast<uint32_t>(b) << 16) |
+         (static_cast<uint32_t>(c) << 8) | d;
+}
+
+struct EndpointHash {
+  std::size_t operator()(const Endpoint& e) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(e.ip) << 16) | e.port);
+  }
+};
+
+}  // namespace dnscup::net

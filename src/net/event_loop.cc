@@ -1,0 +1,61 @@
+#include "net/event_loop.h"
+
+#include <limits>
+
+#include "util/assert.h"
+
+namespace dnscup::net {
+
+void TimerHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool TimerHandle::active() const { return cancelled_ && !*cancelled_; }
+
+TimerHandle EventLoop::schedule(Duration delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+TimerHandle EventLoop::schedule_at(SimTime when, std::function<void()> fn) {
+  DNSCUP_ASSERT(fn != nullptr);
+  if (when < now_) when = now_;
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  return TimerHandle(cancelled);
+}
+
+bool EventLoop::fire_next(SimTime deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (*top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) return false;
+    // Move the event out before firing: the callback may schedule more.
+    Event ev = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run_until(SimTime deadline) {
+  std::size_t fired = 0;
+  while (fire_next(deadline)) ++fired;
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+std::size_t EventLoop::run_all() {
+  // Unlike run_until, the clock ends at the last event's time rather than
+  // jumping to an artificial deadline.
+  std::size_t fired = 0;
+  while (fire_next(std::numeric_limits<SimTime>::max())) ++fired;
+  return fired;
+}
+
+}  // namespace dnscup::net

@@ -1,0 +1,84 @@
+// Single-threaded discrete-event loop.  Events fire in (time, insertion
+// order) so runs are fully deterministic; this is the clock that drives
+// every simulation, test and bench in the repository.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "net/time.h"
+
+namespace dnscup::net {
+
+class EventLoop;
+
+/// Cancellation handle for a scheduled event.  Cheap to copy; cancel() is
+/// idempotent and safe after the event fired.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  void cancel();
+  bool active() const;
+
+ private:
+  friend class EventLoop;
+  explicit TimerHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class EventLoop : public Clock {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  SimTime now() const override { return now_; }
+
+  /// Schedules `fn` to run at now() + delay (delay < 0 is clamped to 0).
+  TimerHandle schedule(Duration delay, std::function<void()> fn);
+
+  /// Schedules at an absolute time (clamped to now()).
+  TimerHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Runs events until the queue empties or `deadline` passes; returns the
+  /// number of events fired.  The clock ends at min(deadline, last event)
+  /// — or exactly deadline if any event fired at/after it.
+  std::size_t run_until(SimTime deadline);
+
+  /// Runs for a relative duration.
+  std::size_t run_for(Duration duration) { return run_until(now_ + duration); }
+
+  /// Runs until the queue is fully drained.
+  std::size_t run_all();
+
+  /// Number of queued events, including cancelled ones not yet reaped
+  /// (cancelled events are discarded lazily when the loop reaches them).
+  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  bool fire_next(SimTime deadline);
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace dnscup::net

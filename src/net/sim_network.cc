@@ -1,0 +1,83 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dnscup::net {
+
+void SimTransport::send(const Endpoint& to, std::span<const uint8_t> data) {
+  ++stats_.packets_sent;
+  stats_.bytes_sent += data.size();
+  stats_.max_packet_bytes = std::max(stats_.max_packet_bytes, data.size());
+  network_->route(local_, to, data);
+}
+
+void SimTransport::deliver(const Endpoint& from, std::vector<uint8_t> data) {
+  ++stats_.packets_received;
+  stats_.bytes_received += data.size();
+  if (handler_) handler_(from, data);
+}
+
+SimTransport& SimNetwork::bind(const Endpoint& endpoint) {
+  auto [it, inserted] = transports_.try_emplace(endpoint, nullptr);
+  DNSCUP_ASSERT(inserted && "endpoint already bound");
+  it->second.reset(new SimTransport(this, endpoint));
+  return *it->second;
+}
+
+void SimNetwork::set_link(const Endpoint& src, const Endpoint& dst,
+                          LinkParams params) {
+  link_overrides_[{src, dst}] = params;
+}
+
+void SimNetwork::partition(const Endpoint& src, const Endpoint& dst) {
+  LinkParams p = link_for(src, dst);
+  p.loss_probability = 1.0;
+  link_overrides_[{src, dst}] = p;
+}
+
+void SimNetwork::heal(const Endpoint& src, const Endpoint& dst) {
+  link_overrides_.erase({src, dst});
+}
+
+const LinkParams& SimNetwork::link_for(const Endpoint& src,
+                                       const Endpoint& dst) const {
+  auto it = link_overrides_.find({src, dst});
+  return it == link_overrides_.end() ? default_link_ : it->second;
+}
+
+void SimNetwork::route(const Endpoint& from, const Endpoint& to,
+                       std::span<const uint8_t> data) {
+  max_packet_bytes_ = std::max(max_packet_bytes_, data.size());
+  auto target = transports_.find(to);
+  if (target == transports_.end()) {
+    // No listener: the packet silently vanishes, as with real UDP.
+    ++packets_dropped_;
+    return;
+  }
+  const LinkParams& link = link_for(from, to);
+  int copies = 1;
+  if (rng_.chance(link.loss_probability)) copies = 0;
+  if (copies == 1 && rng_.chance(link.duplicate_probability)) copies = 2;
+  if (copies == 0) {
+    ++packets_dropped_;
+    return;
+  }
+  for (int i = 0; i < copies; ++i) {
+    Duration delay = link.latency;
+    if (link.jitter > 0) delay += rng_.uniform_int(0, link.jitter);
+    // The transport object is owned by this network and outlives the loop
+    // run, so capturing the raw pointer is safe.
+    SimTransport* transport = target->second.get();
+    loop_->schedule(delay,
+                    [this, transport, from,
+                     payload = std::vector<uint8_t>(data.begin(),
+                                                    data.end())]() mutable {
+                      ++packets_delivered_;
+                      transport->deliver(from, std::move(payload));
+                    });
+  }
+}
+
+}  // namespace dnscup::net

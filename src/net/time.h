@@ -1,0 +1,38 @@
+// Simulation time.  All protocol components express time as SimTime
+// (microseconds since simulation start) obtained from a Clock, so the same
+// code runs on the discrete-event simulator and, through a wall-clock
+// adapter, on real sockets.
+#pragma once
+
+#include <cstdint>
+
+namespace dnscup::net {
+
+/// Microseconds since simulation start.
+using SimTime = int64_t;
+/// Microseconds.
+using Duration = int64_t;
+
+constexpr Duration microseconds(int64_t us) { return us; }
+constexpr Duration milliseconds(int64_t ms) { return ms * 1000; }
+constexpr Duration seconds(int64_t s) { return s * 1000 * 1000; }
+constexpr Duration minutes(int64_t m) { return seconds(m * 60); }
+constexpr Duration hours(int64_t h) { return seconds(h * 3600); }
+constexpr Duration days(int64_t d) { return seconds(d * 86400); }
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / 1e6;
+}
+constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * 1e6);
+}
+
+/// Time source abstraction: the event loop in simulation, gettimeofday in
+/// the real-socket prototype.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual SimTime now() const = 0;
+};
+
+}  // namespace dnscup::net

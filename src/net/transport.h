@@ -1,0 +1,44 @@
+// Datagram transport abstraction.  Protocol components (servers, resolvers,
+// the DNScup notifier) talk to a Transport and never know whether packets
+// travel through the deterministic simulator (SimNetwork) or real UDP
+// sockets (UdpTransport) — the paper's prototype/simulation duality.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "net/endpoint.h"
+#include "net/time.h"
+
+namespace dnscup::net {
+
+class Transport {
+ public:
+  /// Invoked for every datagram delivered to this transport.
+  using ReceiveHandler =
+      std::function<void(const Endpoint& from, std::span<const uint8_t> data)>;
+
+  virtual ~Transport() = default;
+
+  virtual const Endpoint& local_endpoint() const = 0;
+
+  /// Sends one datagram.  Fire-and-forget: loss is a property of the
+  /// network, not an error the sender sees (UDP semantics).
+  virtual void send(const Endpoint& to, std::span<const uint8_t> data) = 0;
+
+  /// Installs the receive callback (replacing any previous one).
+  virtual void set_receive_handler(ReceiveHandler handler) = 0;
+};
+
+/// Per-transport traffic counters; the prototype bench uses max_packet_bytes
+/// to verify the paper's "all message sizes are far below 512 bytes" claim.
+struct TrafficStats {
+  uint64_t packets_sent = 0;
+  uint64_t packets_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  std::size_t max_packet_bytes = 0;
+};
+
+}  // namespace dnscup::net

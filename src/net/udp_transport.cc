@@ -1,0 +1,111 @@
+#include "net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace dnscup::net {
+
+namespace {
+constexpr uint32_t kLoopbackIp = 0x7F000001;  // 127.0.0.1
+}
+
+util::Result<std::unique_ptr<UdpTransport>> UdpTransport::bind(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    return util::make_error(util::ErrorCode::kIo,
+                            std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(kLoopbackIp);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return util::make_error(util::ErrorCode::kIo,
+                            std::string("bind: ") + std::strerror(err));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return util::make_error(util::ErrorCode::kIo,
+                            std::string("getsockname: ") + std::strerror(err));
+  }
+  // A short receive timeout lets the receiver thread notice shutdown.
+  timeval tv{};
+  tv.tv_usec = 50 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+
+  Endpoint local{kLoopbackIp, ntohs(addr.sin_port)};
+  return std::unique_ptr<UdpTransport>(new UdpTransport(fd, local));
+}
+
+UdpTransport::UdpTransport(int fd, Endpoint local) : fd_(fd), local_(local) {
+  receiver_ = std::thread([this] { receive_loop(); });
+}
+
+UdpTransport::~UdpTransport() {
+  stopping_.store(true);
+  if (receiver_.joinable()) receiver_.join();
+  ::close(fd_);
+}
+
+void UdpTransport::send(const Endpoint& to, std::span<const uint8_t> data) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(to.ip);
+  addr.sin_port = htons(to.port);
+  const ssize_t n =
+      ::sendto(fd_, data.data(), data.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  std::lock_guard lock(mutex_);
+  if (n >= 0) {
+    ++stats_.packets_sent;
+    stats_.bytes_sent += static_cast<uint64_t>(n);
+    stats_.max_packet_bytes = std::max(stats_.max_packet_bytes, data.size());
+  }
+}
+
+void UdpTransport::set_receive_handler(ReceiveHandler handler) {
+  std::lock_guard lock(mutex_);
+  handler_ = std::move(handler);
+}
+
+void UdpTransport::receive_loop() {
+  std::array<uint8_t, 65536> buf;
+  while (!stopping_.load()) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof from;
+    const ssize_t n =
+        ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                   reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      break;  // socket closed or fatal error
+    }
+    const Endpoint source{ntohl(from.sin_addr.s_addr), ntohs(from.sin_port)};
+    ReceiveHandler handler;
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.packets_received;
+      stats_.bytes_received += static_cast<uint64_t>(n);
+      handler = handler_;
+    }
+    if (handler) {
+      handler(source, std::span<const uint8_t>(
+                          buf.data(), static_cast<std::size_t>(n)));
+    }
+  }
+}
+
+}  // namespace dnscup::net

@@ -1,0 +1,47 @@
+// Real-socket UDP transport (loopback prototype).  A background thread
+// blocks on recvfrom and hands datagrams to the receive handler under a
+// mutex, so a single protocol object is never entered concurrently.
+// Used by the prototype example and socket smoke tests; everything else
+// runs on SimNetwork.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "net/transport.h"
+#include "util/result.h"
+
+namespace dnscup::net {
+
+class UdpTransport final : public Transport {
+ public:
+  /// Binds a UDP socket on 127.0.0.1.  Port 0 lets the OS pick; the chosen
+  /// port is reflected in local_endpoint().
+  static util::Result<std::unique_ptr<UdpTransport>> bind(uint16_t port);
+
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  const Endpoint& local_endpoint() const override { return local_; }
+  void send(const Endpoint& to, std::span<const uint8_t> data) override;
+  void set_receive_handler(ReceiveHandler handler) override;
+
+  const TrafficStats& stats() const { return stats_; }
+
+ private:
+  UdpTransport(int fd, Endpoint local);
+  void receive_loop();
+
+  int fd_;
+  Endpoint local_;
+  std::atomic<bool> stopping_{false};
+  std::mutex mutex_;  // guards handler_ and stats_
+  ReceiveHandler handler_;
+  TrafficStats stats_;
+  std::thread receiver_;
+};
+
+}  // namespace dnscup::net

@@ -1,0 +1,198 @@
+// Authoritative DNS nameserver.
+//
+// Serves one or more zones over a Transport, implementing:
+//  * QUERY  — RFC 1034 §4.3.2 answers: authoritative data, CNAME chains
+//             within the zone, delegation referrals with glue, NXDOMAIN /
+//             NODATA negative answers carrying the SOA;
+//  * UPDATE — RFC 2136 dynamic update (master role only): prerequisite
+//             checks, update application, serial bump, slave notification;
+//  * NOTIFY — RFC 1996: masters push NOTIFY to slaves on change, slaves
+//             respond by pulling the zone via AXFR;
+//  * AXFR   — full zone transfer, chunked so every datagram stays within
+//             the 512-byte UDP limit the paper's prototype respects;
+//  * IXFR   — RFC 1995 incremental transfer: masters journal recent zone
+//             changes and serve serial-to-serial diffs, falling back to a
+//             full transfer when the journal no longer covers the
+//             requester's serial.
+//
+// DNScup's middleware modules (paper Figure 6) attach through two hooks:
+// the *listening module* observes queries and may mutate responses (to
+// grant leases / set LLT), and the *detection module* subscribes to zone
+// changes.  The named core ("unchanged named modules" in the figure) stays
+// exactly as below.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/zone.h"
+#include "net/event_loop.h"
+#include "net/transport.h"
+
+namespace dnscup::server {
+
+class AuthServer {
+ public:
+  enum class Role { kMaster, kSlave };
+
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t updates = 0;
+    uint64_t notifies_sent = 0;
+    uint64_t notifies_received = 0;
+    uint64_t axfr_served = 0;
+    uint64_t axfr_pulled = 0;
+    uint64_t ixfr_served = 0;        ///< incremental diffs served
+    uint64_t ixfr_fallbacks = 0;     ///< IXFR answered with a full zone
+    uint64_t ixfr_applied = 0;       ///< incremental diffs applied
+    uint64_t transfer_aborts = 0;    ///< streams dropped on chunk gaps
+    uint64_t refused = 0;
+    uint64_t formerr = 0;
+  };
+
+  /// Called with every query and the response about to be sent; the
+  /// DNScup listening module grants leases here.
+  using QueryHook = std::function<void(
+      const net::Endpoint& from, const dns::Message& query,
+      dns::Message& response)>;
+
+  /// Called after a zone's data changed (dynamic update or AXFR refresh),
+  /// with the concrete RRset changes; the DNScup detection module and
+  /// slave NOTIFY fan-out subscribe here.
+  using ChangeHook = std::function<void(
+      const dns::Zone& zone, const std::vector<dns::RRsetChange>& changes)>;
+
+  AuthServer(net::Transport& transport, net::EventLoop& loop,
+             Role role = Role::kMaster);
+
+  Role role() const { return role_; }
+
+  /// Installs a zone (replacing any zone with the same origin).
+  void add_zone(dns::Zone zone);
+
+  /// Replaces a zone with operator-edited contents (the "manual change"
+  /// path of the paper): diffs against the currently served data, bumps
+  /// the serial if the editor forgot to, fires change hooks and notifies
+  /// slaves.  Returns the number of RRset changes detected.
+  std::size_t reload_zone(dns::Zone zone);
+
+  /// Longest-match zone for a name; nullptr when none encloses it.
+  dns::Zone* find_zone(const dns::Name& name);
+  const dns::Zone* find_zone(const dns::Name& name) const;
+
+  std::vector<dns::Name> zone_origins() const;
+
+  /// Registers a slave to NOTIFY on changes (master role).
+  void add_slave(const net::Endpoint& slave);
+
+  /// Points a slave at its master (slave role); NOTIFYs from other
+  /// endpoints are refused.
+  void set_master(const net::Endpoint& master);
+
+  /// Slave-initiated zone pull (bootstrap / scheduled refresh).  Sends an
+  /// IXFR query carrying the current serial when we already hold the
+  /// zone, otherwise a full AXFR.
+  void request_transfer(const dns::Name& origin);
+
+  /// Journalled (from_serial -> to_serial) change step, served via IXFR.
+  struct JournalEntry {
+    uint32_t from_serial = 0;
+    uint32_t to_serial = 0;
+    std::vector<dns::RRsetChange> changes;
+  };
+
+  /// Number of journal steps retained per zone (older steps force an
+  /// AXFR fallback for out-of-date slaves).
+  void set_journal_limit(std::size_t limit) { journal_limit_ = limit; }
+  std::size_t journal_size(const dns::Name& origin) const;
+
+  /// First-chance dispatch for protocol extensions: returns true when the
+  /// message was consumed.  The DNScup notification module receives its
+  /// CACHE-UPDATE acknowledgements here.
+  using ExtensionHandler =
+      std::function<bool(const net::Endpoint& from, const dns::Message&)>;
+
+  /// Round-robin rotation of multi-record answer RRsets (the classic
+  /// DNS-level load-balancing CDNs use, §1): successive queries for the
+  /// same name see the record order rotated by one.
+  void set_round_robin(bool enabled) { round_robin_ = enabled; }
+
+  void set_query_hook(QueryHook hook) { query_hook_ = std::move(hook); }
+  void set_extension_handler(ExtensionHandler handler) {
+    extension_handler_ = std::move(handler);
+  }
+  void add_change_listener(ChangeHook hook);
+
+  /// Processes one request and returns the response, or nullopt when no
+  /// response must be sent (e.g. a NOTIFY response we consume).  Public so
+  /// tests can drive the server without a network.
+  std::optional<dns::Message> handle(const net::Endpoint& from,
+                                     const dns::Message& request);
+
+  /// Applies an RFC 2136 update directly (the operator's "manual change"
+  /// path from the paper).  Fires change hooks exactly like a wire update.
+  dns::Rcode apply_update(const dns::Message& update);
+
+  const Stats& stats() const { return stats_; }
+  net::Transport& transport() { return *transport_; }
+
+ private:
+  dns::Message handle_query(const net::Endpoint& from,
+                            const dns::Message& request);
+  dns::Message handle_update(const net::Endpoint& from,
+                             const dns::Message& request);
+  std::optional<dns::Message> handle_notify(const net::Endpoint& from,
+                                            const dns::Message& request);
+  void handle_transfer_response(const net::Endpoint& from,
+                                const dns::Message& response);
+  void serve_axfr(const net::Endpoint& to, const dns::Message& request);
+  void serve_ixfr(const net::Endpoint& to, const dns::Message& request);
+  void send_record_stream(const net::Endpoint& to,
+                          const dns::Message& request,
+                          std::vector<dns::ResourceRecord> stream);
+  void finish_transfer(const dns::Name& origin,
+                       std::vector<dns::ResourceRecord> records);
+  bool apply_ixfr_stream(const dns::Name& origin,
+                         const std::vector<dns::ResourceRecord>& records);
+  void record_journal(const dns::Name& origin, uint32_t from_serial,
+                      uint32_t to_serial,
+                      std::vector<dns::RRsetChange> changes);
+  void notify_slaves(const dns::Zone& zone);
+  void fire_change_hooks(const dns::Zone& zone,
+                         const std::vector<dns::RRsetChange>& changes);
+  void on_datagram(const net::Endpoint& from, std::span<const uint8_t> data);
+
+  net::Transport* transport_;
+  net::EventLoop* loop_;
+  Role role_;
+  std::map<dns::Name, dns::Zone> zones_;
+  std::vector<net::Endpoint> slaves_;
+  std::optional<net::Endpoint> master_;
+  QueryHook query_hook_;
+  ExtensionHandler extension_handler_;
+  std::vector<ChangeHook> change_hooks_;
+  Stats stats_;
+  bool round_robin_ = false;
+  std::map<dns::Name, uint32_t> rotation_counters_;
+
+  // Transfer reassembly state (slave side), keyed by transfer id.  The
+  // same stream carries either a full zone (AXFR) or an RFC 1995 diff
+  // sequence (IXFR); the second record disambiguates.
+  struct TransferState {
+    dns::Name origin;
+    std::vector<dns::ResourceRecord> records;
+    uint32_t header_serial = 0;
+    std::size_t soa_count = 0;
+    uint16_t next_seq = 0;  ///< expected chunk sequence number
+  };
+  std::map<uint16_t, TransferState> transfers_in_progress_;
+  std::map<dns::Name, std::vector<JournalEntry>> journals_;
+  std::size_t journal_limit_ = 64;
+  uint16_t next_id_ = 1;
+};
+
+}  // namespace dnscup::server

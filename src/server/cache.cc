@@ -1,0 +1,128 @@
+#include "server/cache.h"
+
+#include "util/assert.h"
+
+namespace dnscup::server {
+
+const CacheEntry* ResolverCache::lookup(const dns::Name& name,
+                                        dns::RRType type, net::SimTime now) {
+  auto it = entries_.find(CacheKey{name, type});
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (!it->second.entry.fresh(now)) {
+    ++stats_.expired;
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  touch(it->second, it->first);
+  return &it->second.entry;
+}
+
+CacheEntry* ResolverCache::peek(const dns::Name& name, dns::RRType type) {
+  auto it = entries_.find(CacheKey{name, type});
+  return it == entries_.end() ? nullptr : &it->second.entry;
+}
+
+CacheEntry& ResolverCache::put(const dns::RRset& rrset, net::SimTime now) {
+  CacheKey key{rrset.name, rrset.type};
+  auto [it, inserted] = entries_.try_emplace(key);
+  Node& node = it->second;
+  if (inserted) {
+    lru_.push_front(key);
+    node.lru_it = lru_.begin();
+    ++stats_.insertions;
+  } else {
+    touch(node, key);
+    // Keep lease state across refreshes: a TTL refresh does not end a lease.
+  }
+  node.entry.rrset = rrset;
+  node.entry.negative = false;
+  node.entry.inserted_at = now;
+  node.entry.expiry = now + net::seconds(rrset.ttl);
+  evict_if_needed();
+  return entries_.at(key).entry;
+}
+
+CacheEntry& ResolverCache::put_negative(const dns::Name& name,
+                                        dns::RRType type, dns::Rcode rcode,
+                                        uint32_t ttl, net::SimTime now) {
+  CacheKey key{name, type};
+  auto [it, inserted] = entries_.try_emplace(key);
+  Node& node = it->second;
+  if (inserted) {
+    lru_.push_front(key);
+    node.lru_it = lru_.begin();
+    ++stats_.insertions;
+  } else {
+    touch(node, key);
+  }
+  node.entry.rrset = dns::RRset{name, type, dns::RRClass::kIN, ttl, {}};
+  node.entry.negative = true;
+  node.entry.negative_rcode = rcode;
+  node.entry.inserted_at = now;
+  node.entry.expiry = now + net::seconds(ttl);
+  node.entry.lease.reset();
+  evict_if_needed();
+  return entries_.at(key).entry;
+}
+
+CacheEntry& ResolverCache::apply_update(const dns::RRset& rrset,
+                                        net::SimTime now) {
+  CacheEntry& entry = put(rrset, now);
+  return entry;
+}
+
+bool ResolverCache::invalidate(const dns::Name& name, dns::RRType type) {
+  auto it = entries_.find(CacheKey{name, type});
+  if (it == entries_.end()) return false;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  ++stats_.invalidations;
+  return true;
+}
+
+std::size_t ResolverCache::purge_expired(net::SimTime now) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const CacheEntry& e = it->second.entry;
+    if (!e.fresh(now)) {
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void ResolverCache::touch(Node& node, const CacheKey& key) {
+  lru_.erase(node.lru_it);
+  lru_.push_front(key);
+  node.lru_it = lru_.begin();
+}
+
+void ResolverCache::evict_if_needed() {
+  if (capacity_ == 0) return;
+  while (entries_.size() > capacity_) {
+    // Never evict leased entries: the authority believes we hold them.
+    auto victim = lru_.end();
+    for (auto it = std::prev(lru_.end());; --it) {
+      const auto& entry = entries_.at(*it).entry;
+      if (!entry.lease.has_value()) {
+        victim = it;
+        break;
+      }
+      if (it == lru_.begin()) break;
+    }
+    if (victim == lru_.end()) return;  // everything leased; allow overflow
+    entries_.erase(CacheKey{*victim});
+    lru_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace dnscup::server

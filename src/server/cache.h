@@ -1,0 +1,119 @@
+// TTL cache of a local DNS nameserver ("DNS cache" in the paper's
+// terminology).  Entries expire by TTL — the classic *weak* consistency
+// DNScup strengthens.  Each entry also carries optional lease state so the
+// DNScup cache-side module can mark records as push-maintained; the cache
+// itself stays oblivious to how leases are negotiated.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "dns/message.h"
+#include "dns/rr.h"
+#include "net/endpoint.h"
+#include "net/time.h"
+
+namespace dnscup::server {
+
+struct CacheKey {
+  dns::Name name;
+  dns::RRType type;
+
+  bool operator==(const CacheKey& other) const {
+    return type == other.type && name == other.name;
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    return k.name.hash() * 31 + static_cast<std::size_t>(k.type);
+  }
+};
+
+struct LeaseState {
+  net::SimTime expiry = 0;        ///< lease valid until this instant
+  net::Endpoint authority;        ///< grantor; only it may push updates
+};
+
+struct CacheEntry {
+  dns::RRset rrset;               ///< empty for negative entries
+  bool negative = false;
+  dns::Rcode negative_rcode = dns::Rcode::kNXDomain;
+  net::SimTime inserted_at = 0;
+  net::SimTime expiry = 0;        ///< TTL expiry
+  std::optional<LeaseState> lease;
+
+  /// Usable at `now`: TTL-fresh, or covered by a still-valid lease (a
+  /// leased record is authoritative until the lease expires or an update
+  /// arrives — the paper's strong-consistency invariant).
+  bool fresh(net::SimTime now) const {
+    if (now < expiry) return true;
+    return lease.has_value() && now < lease->expiry;
+  }
+};
+
+class ResolverCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t expired = 0;     ///< lookups that found only a stale entry
+    uint64_t insertions = 0;
+    uint64_t invalidations = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// `capacity` bounds the entry count (LRU eviction); 0 = unbounded.
+  explicit ResolverCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Fresh entry lookup; counts hit/miss/expired.  Returns nullptr on miss.
+  const CacheEntry* lookup(const dns::Name& name, dns::RRType type,
+                           net::SimTime now);
+
+  /// Non-counting peek at an entry regardless of freshness.
+  CacheEntry* peek(const dns::Name& name, dns::RRType type);
+
+  /// Inserts a positive entry.
+  CacheEntry& put(const dns::RRset& rrset, net::SimTime now);
+
+  /// Inserts a negative entry (RFC 2308), TTL from the zone SOA minimum.
+  CacheEntry& put_negative(const dns::Name& name, dns::RRType type,
+                           dns::Rcode rcode, uint32_t ttl, net::SimTime now);
+
+  /// Applies a pushed DNScup update: replaces the entry's data in place,
+  /// refreshing TTL.  Creates the entry if missing.
+  CacheEntry& apply_update(const dns::RRset& rrset, net::SimTime now);
+
+  /// Drops an entry (e.g. a pushed deletion).  Returns true if present.
+  bool invalidate(const dns::Name& name, dns::RRType type);
+
+  /// Removes every TTL-expired, lease-less entry; returns count removed.
+  std::size_t purge_expired(net::SimTime now);
+
+  std::size_t size() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  /// Iterates all entries (tests and the DNScup lease module).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, node] : entries_) fn(key, node.entry);
+  }
+
+ private:
+  struct Node {
+    CacheEntry entry;
+    std::list<CacheKey>::iterator lru_it;
+  };
+
+  void touch(Node& node, const CacheKey& key);
+  void evict_if_needed();
+
+  std::size_t capacity_;
+  std::unordered_map<CacheKey, Node, CacheKeyHash> entries_;
+  std::list<CacheKey> lru_;  // front = most recent
+  Stats stats_;
+};
+
+}  // namespace dnscup::server

@@ -1,0 +1,122 @@
+#include "server/stub.h"
+
+#include "util/assert.h"
+
+namespace dnscup::server {
+
+using dns::Message;
+using dns::Rcode;
+using dns::RRType;
+
+std::optional<dns::Ipv4> StubResolver::Answer::address() const {
+  for (const auto& rr : records) {
+    if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) {
+      return a->address;
+    }
+  }
+  return std::nullopt;
+}
+
+StubResolver::StubResolver(net::Transport& transport, net::EventLoop& loop,
+                           std::vector<net::Endpoint> nameservers,
+                           Config config)
+    : transport_(&transport),
+      loop_(&loop),
+      servers_(std::move(nameservers)),
+      config_(config) {
+  DNSCUP_ASSERT(!servers_.empty());
+  transport_->set_receive_handler(
+      [this](const net::Endpoint& from, std::span<const uint8_t> data) {
+        on_datagram(from, data);
+      });
+}
+
+void StubResolver::query(const dns::Name& qname, RRType qtype, Callback cb) {
+  uint16_t id = next_id_++;
+  while (pending_.count(id) > 0 || id == 0) id = next_id_++;
+  Pending p;
+  p.qname = qname;
+  p.qtype = qtype;
+  p.cb = std::move(cb);
+  p.retries_left = config_.max_retries;
+  pending_.emplace(id, std::move(p));
+  ++stats_.queries;
+  send(id);
+}
+
+void StubResolver::send(uint16_t id) {
+  Pending& p = pending_.at(id);
+  Message m;
+  m.id = id;
+  m.flags.rd = true;  // we want the nameserver to recurse for us
+  m.questions.push_back(
+      dns::Question{p.qname, p.qtype, dns::RRClass::kIN, 0});
+  transport_->send(servers_[p.server_idx], m.encode());
+  p.timer = loop_->schedule(config_.query_timeout,
+                            [this, id] { on_timeout(id); });
+}
+
+void StubResolver::on_timeout(uint16_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.retries_left > 0) {
+    --p.retries_left;
+    ++stats_.retransmissions;
+    send(id);
+    return;
+  }
+  if (p.server_idx + 1 < servers_.size()) {
+    ++p.server_idx;
+    p.retries_left = config_.max_retries;
+    ++stats_.failovers;
+    send(id);
+    return;
+  }
+  ++stats_.timeouts;
+  finish(id, Answer{});
+}
+
+void StubResolver::on_datagram(const net::Endpoint& from,
+                               std::span<const uint8_t> data) {
+  auto decoded = Message::decode(data);
+  if (!decoded.ok() || !decoded.value().flags.qr) return;
+  const Message& m = decoded.value();
+  auto it = pending_.find(m.id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (from != servers_[p.server_idx]) return;  // spoofing guard
+  if (m.questions.size() != 1 || !(m.questions[0].qname == p.qname) ||
+      m.questions[0].qtype != p.qtype) {
+    return;
+  }
+  p.timer.cancel();
+
+  Answer answer;
+  answer.rcode = m.flags.rcode;
+  switch (m.flags.rcode) {
+    case Rcode::kNoError:
+      answer.records = m.answers;
+      answer.status = m.answers.empty() ? Answer::Status::kNoData
+                                        : Answer::Status::kOk;
+      break;
+    case Rcode::kNXDomain:
+      answer.status = Answer::Status::kNXDomain;
+      break;
+    default:
+      answer.status = Answer::Status::kError;
+      break;
+  }
+  finish(m.id, std::move(answer));
+}
+
+void StubResolver::finish(uint16_t id, Answer answer) {
+  auto it = pending_.find(id);
+  DNSCUP_ASSERT(it != pending_.end());
+  it->second.timer.cancel();
+  Callback cb = std::move(it->second.cb);
+  pending_.erase(it);
+  cb(answer);
+}
+
+}  // namespace dnscup::server

@@ -1,0 +1,78 @@
+// Stub resolver: the client side of the DNS (the topmost boxes of the
+// paper's Figure 3).  Sends recursive-desired queries to one or more
+// configured local nameservers over the transport, with per-server
+// timeout/retry and failover — the behaviour of a host's resolver
+// library rather than a nameserver.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "dns/message.h"
+#include "net/event_loop.h"
+#include "net/transport.h"
+
+namespace dnscup::server {
+
+class StubResolver {
+ public:
+  struct Config {
+    int max_retries = 1;                ///< retransmissions per server
+    net::Duration query_timeout = net::seconds(3);
+  };
+
+  struct Answer {
+    enum class Status { kOk, kNXDomain, kNoData, kError, kTimeout };
+    Status status = Status::kTimeout;
+    dns::Rcode rcode = dns::Rcode::kServFail;
+    std::vector<dns::ResourceRecord> records;  ///< full answer section
+
+    /// First A address in the answer (the common case), if any.
+    std::optional<dns::Ipv4> address() const;
+  };
+  using Callback = std::function<void(const Answer&)>;
+
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t retransmissions = 0;
+    uint64_t failovers = 0;  ///< switched to the next nameserver
+    uint64_t timeouts = 0;
+  };
+
+  StubResolver(net::Transport& transport, net::EventLoop& loop,
+               std::vector<net::Endpoint> nameservers, Config config);
+  StubResolver(net::Transport& transport, net::EventLoop& loop,
+               std::vector<net::Endpoint> nameservers)
+      : StubResolver(transport, loop, std::move(nameservers), Config()) {}
+
+  /// Sends one query; the callback fires exactly once.
+  void query(const dns::Name& qname, dns::RRType qtype, Callback cb);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    dns::Name qname;
+    dns::RRType qtype;
+    Callback cb;
+    std::size_t server_idx = 0;
+    int retries_left = 0;
+    net::TimerHandle timer;
+  };
+
+  void send(uint16_t id);
+  void on_timeout(uint16_t id);
+  void on_datagram(const net::Endpoint& from, std::span<const uint8_t> data);
+  void finish(uint16_t id, Answer answer);
+
+  net::Transport* transport_;
+  net::EventLoop* loop_;
+  std::vector<net::Endpoint> servers_;
+  Config config_;
+  std::map<uint16_t, Pending> pending_;
+  uint16_t next_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace dnscup::server

@@ -1,0 +1,239 @@
+#include "server/update.h"
+
+#include <map>
+
+#include "util/assert.h"
+
+namespace dnscup::server {
+
+using dns::Name;
+using dns::Rcode;
+using dns::Rdata;
+using dns::ResourceRecord;
+using dns::RRClass;
+using dns::RRset;
+using dns::RRType;
+using dns::Zone;
+
+Rcode check_prerequisites(const Zone& zone,
+                          const std::vector<ResourceRecord>& prereqs) {
+  // RFC 2136 §3.2.5: class=IN prerequisites with identical (name, type)
+  // are compared as a whole RRset against the zone.
+  std::map<std::pair<Name, RRType>, RRset> value_sets;
+
+  for (const auto& rr : prereqs) {
+    if (!zone.contains_name(rr.name)) return Rcode::kNotZone;
+    switch (rr.rrclass) {
+      case RRClass::kANY: {
+        if (rr.ttl != 0) return Rcode::kFormErr;
+        if (rr.type() == RRType::kANY) {
+          if (!zone.name_exists(rr.name)) return Rcode::kNXDomain;
+        } else {
+          if (zone.find(rr.name, rr.type()) == nullptr) {
+            return Rcode::kNXRRSet;
+          }
+        }
+        break;
+      }
+      case RRClass::kNONE: {
+        if (rr.ttl != 0) return Rcode::kFormErr;
+        if (rr.type() == RRType::kANY) {
+          if (zone.name_exists(rr.name)) return Rcode::kYXDomain;
+        } else {
+          if (zone.find(rr.name, rr.type()) != nullptr) {
+            return Rcode::kYXRRSet;
+          }
+        }
+        break;
+      }
+      case RRClass::kIN: {
+        if (rr.ttl != 0) return Rcode::kFormErr;
+        auto& set = value_sets[{rr.name, rr.type()}];
+        set.name = rr.name;
+        set.type = rr.type();
+        set.add(rr.rdata);
+        break;
+      }
+      default:
+        return Rcode::kFormErr;
+    }
+  }
+
+  for (const auto& [key, wanted] : value_sets) {
+    const RRset* actual = zone.find(key.first, key.second);
+    if (actual == nullptr || !actual->same_data(wanted)) {
+      return Rcode::kNXRRSet;
+    }
+  }
+  return Rcode::kNoError;
+}
+
+namespace {
+
+/// RFC 2136 §3.4.1 pre-scan: reject malformed update records before any
+/// mutation happens.
+Rcode prescan(const Zone& zone, const std::vector<ResourceRecord>& updates) {
+  for (const auto& rr : updates) {
+    if (!zone.contains_name(rr.name)) return Rcode::kNotZone;
+    switch (rr.rrclass) {
+      case RRClass::kIN:
+        if (rr.type() == RRType::kANY || rr.type() == RRType::kAXFR) {
+          return Rcode::kFormErr;
+        }
+        break;
+      case RRClass::kANY:
+        if (rr.ttl != 0) return Rcode::kFormErr;
+        break;
+      case RRClass::kNONE:
+        if (rr.ttl != 0 || rr.type() == RRType::kANY) return Rcode::kFormErr;
+        break;
+      default:
+        return Rcode::kFormErr;
+    }
+  }
+  return Rcode::kNoError;
+}
+
+}  // namespace
+
+Rcode apply_update_section(Zone& zone,
+                           const std::vector<ResourceRecord>& updates,
+                           bool& changed) {
+  changed = false;
+  const Rcode scan = prescan(zone, updates);
+  if (scan != Rcode::kNoError) return scan;
+
+  for (const auto& rr : updates) {
+    switch (rr.rrclass) {
+      case RRClass::kIN:
+        changed |= zone.add_record(rr.name, rr.type(), rr.ttl, rr.rdata);
+        break;
+      case RRClass::kANY:
+        if (rr.type() == RRType::kANY) {
+          changed |= zone.remove_name(rr.name);
+        } else {
+          changed |= zone.remove_rrset(rr.name, rr.type());
+        }
+        break;
+      case RRClass::kNONE:
+        changed |= zone.remove_record(rr.name, rr.type(), rr.rdata);
+        break;
+      default:
+        DNSCUP_ASSERT(false && "prescan admitted bad class");
+    }
+  }
+  return Rcode::kNoError;
+}
+
+UpdateBuilder::UpdateBuilder(Name zone) : zone_(std::move(zone)) {}
+
+UpdateBuilder& UpdateBuilder::require_name_in_use(const Name& name) {
+  ResourceRecord rr;
+  rr.name = name;
+  rr.rrclass = RRClass::kANY;
+  rr.ttl = 0;
+  rr.rdata = dns::GenericRdata{static_cast<uint16_t>(RRType::kANY), {}};
+  prereqs_.push_back(std::move(rr));
+  return *this;
+}
+
+UpdateBuilder& UpdateBuilder::require_name_not_in_use(const Name& name) {
+  ResourceRecord rr;
+  rr.name = name;
+  rr.rrclass = RRClass::kNONE;
+  rr.ttl = 0;
+  rr.rdata = dns::GenericRdata{static_cast<uint16_t>(RRType::kANY), {}};
+  prereqs_.push_back(std::move(rr));
+  return *this;
+}
+
+UpdateBuilder& UpdateBuilder::require_rrset_exists(const Name& name,
+                                                   RRType type) {
+  ResourceRecord rr;
+  rr.name = name;
+  rr.rrclass = RRClass::kANY;
+  rr.ttl = 0;
+  rr.rdata = dns::GenericRdata{static_cast<uint16_t>(type), {}};
+  prereqs_.push_back(std::move(rr));
+  return *this;
+}
+
+UpdateBuilder& UpdateBuilder::require_rrset_exists_value(const Name& name,
+                                                         Rdata value) {
+  ResourceRecord rr;
+  rr.name = name;
+  rr.rrclass = RRClass::kIN;
+  rr.ttl = 0;
+  rr.rdata = std::move(value);
+  prereqs_.push_back(std::move(rr));
+  return *this;
+}
+
+UpdateBuilder& UpdateBuilder::require_rrset_absent(const Name& name,
+                                                   RRType type) {
+  ResourceRecord rr;
+  rr.name = name;
+  rr.rrclass = RRClass::kNONE;
+  rr.ttl = 0;
+  rr.rdata = dns::GenericRdata{static_cast<uint16_t>(type), {}};
+  prereqs_.push_back(std::move(rr));
+  return *this;
+}
+
+UpdateBuilder& UpdateBuilder::add(const Name& name, uint32_t ttl,
+                                  Rdata value) {
+  updates_.push_back(ResourceRecord{name, RRClass::kIN, ttl, std::move(value)});
+  return *this;
+}
+
+UpdateBuilder& UpdateBuilder::delete_rrset(const Name& name, RRType type) {
+  ResourceRecord rr;
+  rr.name = name;
+  rr.rrclass = RRClass::kANY;
+  rr.ttl = 0;
+  rr.rdata = dns::GenericRdata{static_cast<uint16_t>(type), {}};
+  updates_.push_back(std::move(rr));
+  return *this;
+}
+
+UpdateBuilder& UpdateBuilder::delete_name(const Name& name) {
+  ResourceRecord rr;
+  rr.name = name;
+  rr.rrclass = RRClass::kANY;
+  rr.ttl = 0;
+  rr.rdata = dns::GenericRdata{static_cast<uint16_t>(RRType::kANY), {}};
+  updates_.push_back(std::move(rr));
+  return *this;
+}
+
+UpdateBuilder& UpdateBuilder::delete_record(const Name& name, Rdata value) {
+  ResourceRecord rr;
+  rr.name = name;
+  rr.rrclass = RRClass::kNONE;
+  rr.ttl = 0;
+  rr.rdata = std::move(value);
+  updates_.push_back(std::move(rr));
+  return *this;
+}
+
+UpdateBuilder& UpdateBuilder::replace_a(const Name& name, uint32_t ttl,
+                                        dns::Ipv4 new_address) {
+  delete_rrset(name, RRType::kA);
+  return add(name, ttl, dns::ARdata{new_address});
+}
+
+dns::Message UpdateBuilder::build(uint16_t id) const {
+  dns::Message m;
+  m.id = id;
+  m.flags.opcode = dns::Opcode::kUpdate;
+  dns::Question zone_q;
+  zone_q.qname = zone_;
+  zone_q.qtype = RRType::kSOA;
+  zone_q.qclass = RRClass::kIN;
+  m.questions.push_back(std::move(zone_q));
+  m.answers = prereqs_;    // prerequisite section
+  m.authority = updates_;  // update section
+  return m;
+}
+
+}  // namespace dnscup::server

@@ -1,0 +1,62 @@
+// RFC 2136 dynamic-update semantics, factored out of AuthServer:
+// prerequisite evaluation (§3.2) and update-section application (§3.4).
+//
+// Message layout (RFC 2136 §2): the zone goes in the question slot, the
+// prerequisite records in the answer slot, and the update records in the
+// authority slot.
+#pragma once
+
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/zone.h"
+
+namespace dnscup::server {
+
+/// Evaluates all prerequisites against the zone; kNoError when satisfied.
+dns::Rcode check_prerequisites(
+    const dns::Zone& zone, const std::vector<dns::ResourceRecord>& prereqs);
+
+/// Applies the update section in order.  Returns kNoError and sets
+/// `changed` when the zone data was modified; kFormErr on malformed update
+/// records (the zone is left in the partially-applied state only when
+/// every record so far was well-formed, matching BIND's behaviour of
+/// pre-scanning — we pre-scan too, so a kFormErr applies nothing).
+dns::Rcode apply_update_section(
+    dns::Zone& zone, const std::vector<dns::ResourceRecord>& updates,
+    bool& changed);
+
+/// Fluent builder producing RFC 2136 UPDATE messages; used by tests,
+/// examples and the DNScup change-injection workloads.
+class UpdateBuilder {
+ public:
+  explicit UpdateBuilder(dns::Name zone);
+
+  /// Prerequisites.
+  UpdateBuilder& require_name_in_use(const dns::Name& name);
+  UpdateBuilder& require_name_not_in_use(const dns::Name& name);
+  UpdateBuilder& require_rrset_exists(const dns::Name& name, dns::RRType type);
+  UpdateBuilder& require_rrset_exists_value(const dns::Name& name,
+                                            dns::Rdata value);
+  UpdateBuilder& require_rrset_absent(const dns::Name& name, dns::RRType type);
+
+  /// Updates.
+  UpdateBuilder& add(const dns::Name& name, uint32_t ttl, dns::Rdata value);
+  UpdateBuilder& delete_rrset(const dns::Name& name, dns::RRType type);
+  UpdateBuilder& delete_name(const dns::Name& name);
+  UpdateBuilder& delete_record(const dns::Name& name, dns::Rdata value);
+
+  /// Convenience for the paper's central operation: repoint an A record
+  /// (delete the old A RRset, add the new address).
+  UpdateBuilder& replace_a(const dns::Name& name, uint32_t ttl,
+                           dns::Ipv4 new_address);
+
+  dns::Message build(uint16_t id) const;
+
+ private:
+  dns::Name zone_;
+  std::vector<dns::ResourceRecord> prereqs_;
+  std::vector<dns::ResourceRecord> updates_;
+};
+
+}  // namespace dnscup::server

@@ -1,0 +1,119 @@
+#include "sim/consistency_sim.h"
+
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace dnscup::sim {
+
+namespace {
+
+struct Truth {
+  dns::Ipv4 address;
+  net::SimTime changed_at = 0;
+};
+
+}  // namespace
+
+ConsistencyResult run_consistency_experiment(const ConsistencyConfig& config) {
+  TestbedConfig testbed_config;
+  testbed_config.zones = config.zones;
+  testbed_config.caches = config.caches;
+  testbed_config.dnscup_enabled = config.dnscup_enabled;
+  testbed_config.record_ttl = config.record_ttl;
+  testbed_config.max_lease = config.max_lease;
+  testbed_config.link.loss_probability = config.loss_probability;
+  testbed_config.notification_max_retries = config.notification_max_retries;
+  testbed_config.seed = config.seed;
+  Testbed testbed(testbed_config);
+
+  util::Rng rng(config.seed ^ 0x5eedf00dULL);
+  const util::ZipfDistribution zipf(config.zones, config.zipf_exponent);
+  net::EventLoop& loop = testbed.loop();
+  const net::SimTime end_time = net::from_seconds(config.duration_s);
+
+  ConsistencyResult result;
+
+  // Authoritative truth per zone, as known to the experiment driver.
+  std::vector<Truth> truth(config.zones);
+  for (std::size_t z = 0; z < config.zones; ++z) {
+    const auto outcome = testbed.resolve(0, testbed.web_host(z),
+                                         dns::RRType::kA);
+    // Warm-up resolution also primes cache 0; read the truth from the
+    // master's zone data directly to stay independent of it.
+    (void)outcome;
+    const dns::Zone* zone = testbed.master().find_zone(testbed.web_host(z));
+    const dns::RRset* a = zone->find(testbed.web_host(z), dns::RRType::kA);
+    truth[z].address = std::get<dns::ARdata>(a->rdatas.front()).address;
+  }
+
+  // ---- change injector ---------------------------------------------------
+  uint32_t next_fresh_ip = net::make_ip(198, 18, 0, 1);
+  std::function<void()> schedule_change = [&] {
+    const net::Duration delay =
+        net::from_seconds(rng.exponential(1.0 / config.mean_change_interval_s));
+    if (loop.now() + delay >= end_time) return;
+    loop.schedule(delay, [&] {
+      const std::size_t zone = zipf.sample(rng);
+      const dns::Ipv4 fresh{next_fresh_ip++};
+      testbed.repoint_web_host_async(zone, fresh);
+      truth[zone] = Truth{fresh, loop.now()};
+      ++result.changes;
+      schedule_change();
+    });
+  };
+  schedule_change();
+
+  // ---- client query streams ----------------------------------------------
+  std::function<void(std::size_t)> schedule_query = [&](std::size_t cache) {
+    const net::Duration delay =
+        net::from_seconds(rng.exponential(config.queries_per_cache_per_s));
+    if (loop.now() + delay >= end_time) return;
+    loop.schedule(delay, [&, cache] {
+      const std::size_t zone = zipf.sample(rng);
+      ++result.queries;
+      testbed.cache(cache).resolve(
+          testbed.web_host(zone), dns::RRType::kA,
+          [&, zone](const server::CachingResolver::Outcome& outcome) {
+            if (outcome.status !=
+                    server::CachingResolver::Outcome::Status::kOk ||
+                outcome.rrset.empty()) {
+              return;
+            }
+            ++result.answered;
+            const auto answered =
+                std::get<dns::ARdata>(outcome.rrset.rdatas.front()).address;
+            const Truth& t = truth[zone];
+            if (answered != t.address) {
+              ++result.stale_answers;
+              result.stale_age_s.add(net::to_seconds(loop.now() -
+                                                     t.changed_at));
+            }
+          });
+      schedule_query(cache);
+    });
+  };
+  for (std::size_t c = 0; c < config.caches; ++c) schedule_query(c);
+
+  loop.run_until(end_time);
+  loop.run_for(net::seconds(30));  // drain in-flight resolutions
+
+  result.stale_fraction =
+      result.answered == 0
+          ? 0.0
+          : static_cast<double>(result.stale_answers) /
+                static_cast<double>(result.answered);
+  result.packets_delivered = testbed.network().packets_delivered();
+  result.packets_dropped = testbed.network().packets_dropped();
+  if (testbed.dnscup() != nullptr) {
+    const auto& notifier_stats = testbed.dnscup()->notifier().stats();
+    result.cache_updates_sent =
+        notifier_stats.updates_sent + notifier_stats.retransmissions;
+    result.cache_update_acks = notifier_stats.acks_received;
+    result.leases_granted = testbed.dnscup()->listener().stats().leases_granted;
+    result.notification_failures = notifier_stats.failures;
+  }
+  return result;
+}
+
+}  // namespace dnscup::sim

@@ -1,0 +1,34 @@
+// Event-driven validation of the §4.1 lease model.
+//
+// evaluate_plan (core/dynamic_lease.h) computes storage and message costs
+// from the closed-form P and M; this simulator replays actual Poisson
+// query arrivals against a lease plan, granting and expiring real leases,
+// and measures the same quantities by counting.  Agreement between the
+// two is a property test of the paper's §4.1 analysis, and the Figure-5
+// bench uses whichever is appropriate per sweep point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dynamic_lease.h"
+
+namespace dnscup::sim {
+
+struct LeaseSimResult {
+  double duration_s = 0.0;
+  uint64_t queries = 0;             ///< total arrivals across all pairs
+  uint64_t messages = 0;            ///< arrivals finding no live lease
+  double message_rate = 0.0;        ///< messages / duration
+  double mean_live_leases = 0.0;    ///< time-averaged live-lease count
+  double storage_percentage = 0.0;  ///< mean live / pair count, x100
+  double query_rate_percentage = 0.0;  ///< messages / queries, x100
+};
+
+/// Replays `duration_s` of Poisson arrivals for every demand pair under
+/// the given per-pair lease lengths (same indexing as the demands).
+LeaseSimResult simulate_leases(const std::vector<core::DemandEntry>& demands,
+                               const std::vector<double>& lease_lengths,
+                               double duration_s, uint64_t seed);
+
+}  // namespace dnscup::sim

@@ -1,0 +1,67 @@
+#include "sim/rates.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/assert.h"
+
+namespace dnscup::sim {
+
+std::map<RateKey, double> compute_rates(const std::vector<TraceRecord>& trace,
+                                        double window_s) {
+  DNSCUP_ASSERT(window_s > 0.0);
+  std::map<RateKey, std::size_t> counts;
+  const net::SimTime window = net::from_seconds(window_s);
+  for (const auto& record : trace) {
+    if (record.timestamp >= window) continue;
+    ++counts[RateKey{record.nameserver, record.qname}];
+  }
+  std::map<RateKey, double> rates;
+  for (const auto& [key, count] : counts) {
+    rates[key] = static_cast<double>(count) / window_s;
+  }
+  return rates;
+}
+
+double max_lease_for(const workload::DomainInfo& domain) {
+  switch (domain.category) {
+    case workload::DomainCategory::kRegular: return 6.0 * 86400.0;
+    case workload::DomainCategory::kCdn: return 200.0;
+    case workload::DomainCategory::kDyn: return 6000.0;
+  }
+  return 0.0;
+}
+
+std::vector<core::DemandEntry> compute_demands(
+    const workload::DomainPopulation& population,
+    const std::map<RateKey, double>& rates,
+    const std::vector<workload::DomainCategory>& categories) {
+  // Index the population by name once.
+  std::unordered_map<dns::Name, std::size_t, dns::NameHash> index;
+  index.reserve(population.size());
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    index.emplace(population[i].name, i);
+  }
+
+  std::vector<core::DemandEntry> demands;
+  demands.reserve(rates.size());
+  for (const auto& [key, rate] : rates) {
+    auto it = index.find(key.name);
+    if (it == index.end()) continue;
+    const workload::DomainInfo& domain = population[it->second];
+    if (!categories.empty() &&
+        std::find(categories.begin(), categories.end(), domain.category) ==
+            categories.end()) {
+      continue;
+    }
+    core::DemandEntry entry;
+    entry.record = it->second;
+    entry.cache = key.nameserver;
+    entry.rate = rate;
+    entry.max_lease = max_lease_for(domain);
+    demands.push_back(entry);
+  }
+  return demands;
+}
+
+}  // namespace dnscup::sim

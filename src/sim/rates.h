@@ -1,0 +1,47 @@
+// Per-(nameserver, domain) query-rate extraction from a trace, and
+// conversion into the DemandEntry form the lease optimizers consume.
+// The paper computes rates from the first day of its week-long traces
+// (§5.1) and plans leases from that snapshot; compute_demands mirrors it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/dynamic_lease.h"
+#include "dns/name.h"
+#include "sim/trace.h"
+#include "workload/domain_population.h"
+
+namespace dnscup::sim {
+
+struct RateKey {
+  uint16_t nameserver;
+  dns::Name name;
+  bool operator<(const RateKey& other) const {
+    if (nameserver != other.nameserver) {
+      return nameserver < other.nameserver;
+    }
+    return name < other.name;
+  }
+};
+
+/// Queries/second per (nameserver, domain) over records whose timestamp is
+/// within [0, window_s); domains never queried in the window are absent.
+std::map<RateKey, double> compute_rates(
+    const std::vector<TraceRecord>& trace, double window_s);
+
+/// Per the paper's lease-length table: regular domains 6 days, CDN 200 s,
+/// Dyn 6000 s (§5.1).
+double max_lease_for(const workload::DomainInfo& domain);
+
+/// Builds optimizer demands from the rate table.  `domain_index` maps a
+/// name to its population entry (built internally via linear lookup —
+/// callers pass the same population that generated the trace).  Filters
+/// entries with a category not in `categories` when non-empty.
+std::vector<core::DemandEntry> compute_demands(
+    const workload::DomainPopulation& population,
+    const std::map<RateKey, double>& rates,
+    const std::vector<workload::DomainCategory>& categories = {});
+
+}  // namespace dnscup::sim

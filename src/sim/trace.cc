@@ -1,0 +1,58 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+namespace dnscup::sim {
+
+std::string serialize_trace(const std::vector<TraceRecord>& records) {
+  std::ostringstream os;
+  for (const auto& r : records) {
+    os << r.timestamp << ' ' << r.nameserver << ' ' << r.client << ' '
+       << r.qname.to_string() << ' ' << dns::to_string(r.qtype) << '\n';
+  }
+  return os.str();
+}
+
+util::Result<std::vector<TraceRecord>> parse_trace(std::string_view text) {
+  std::vector<TraceRecord> records;
+  std::size_t start = 0;
+  std::size_t lineno = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    const std::string line(text.substr(start, nl - start));
+    start = nl + 1;
+    ++lineno;
+    if (line.empty()) continue;
+
+    std::istringstream is(line);
+    TraceRecord record;
+    std::string qname_text;
+    std::string qtype_text;
+    if (!(is >> record.timestamp >> record.nameserver >> record.client >>
+          qname_text >> qtype_text)) {
+      return util::make_error(util::ErrorCode::kMalformed,
+                              "trace line " + std::to_string(lineno));
+    }
+    DNSCUP_ASSIGN_OR_RETURN(record.qname, dns::Name::parse(qname_text));
+    DNSCUP_ASSIGN_OR_RETURN(record.qtype,
+                            dns::rrtype_from_string(qtype_text));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+void sort_trace(std::vector<TraceRecord>& records) {
+  std::sort(records.begin(), records.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+              if (a.nameserver != b.nameserver) {
+                return a.nameserver < b.nameserver;
+              }
+              return a.client < b.client;
+            });
+}
+
+}  // namespace dnscup::sim

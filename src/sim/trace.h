@@ -1,0 +1,42 @@
+// DNS query-trace format for the §5.1 trace-driven simulation.
+//
+// One record per client query arriving at a local nameserver:
+// timestamp, nameserver id, client id, queried name, query type.  The text
+// form is one whitespace-separated line per record; reader and writer
+// round-trip exactly.  (The paper used one week of traces from three
+// academic nameservers; trace_gen.h synthesizes equivalent traces.)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rdata.h"
+#include "net/time.h"
+#include "util/result.h"
+
+namespace dnscup::sim {
+
+struct TraceRecord {
+  net::SimTime timestamp = 0;  ///< microseconds since trace start
+  uint16_t nameserver = 0;     ///< which local nameserver received it
+  uint32_t client = 0;
+  dns::Name qname;
+  dns::RRType qtype = dns::RRType::kA;
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+/// Serializes records, one line each, sorted or not as given.
+std::string serialize_trace(const std::vector<TraceRecord>& records);
+
+/// Parses a trace; errors name the offending line.
+util::Result<std::vector<TraceRecord>> parse_trace(std::string_view text);
+
+/// Sorts records by (timestamp, nameserver, client) — generator output
+/// is produced per-client and must be merged before replay.
+void sort_trace(std::vector<TraceRecord>& records);
+
+}  // namespace dnscup::sim

@@ -1,0 +1,71 @@
+#include "sim/trace_gen.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace dnscup::sim {
+
+std::vector<TraceRecord> generate_trace(
+    const workload::DomainPopulation& population,
+    const TraceGenConfig& config) {
+  DNSCUP_ASSERT(population.size() > 0);
+  DNSCUP_ASSERT(config.nameservers > 0 && config.clients > 0);
+
+  util::Rng master(config.seed);
+  const util::ZipfDistribution zipf(population.size(), config.zipf_exponent);
+  // Zipf rank r maps to the r-th most *requested* domain, so the
+  // population's request counts (hot CDN entries, Figure-1 tails) shape
+  // the traffic rather than raw generation order.
+  std::vector<std::size_t> by_popularity(population.size());
+  std::iota(by_popularity.begin(), by_popularity.end(), 0);
+  std::stable_sort(by_popularity.begin(), by_popularity.end(),
+                   [&population](std::size_t a, std::size_t b) {
+                     return population[a].request_count >
+                            population[b].request_count;
+                   });
+  const double session_rate = config.sessions_per_client_hour / 3600.0;
+
+  std::vector<TraceRecord> records;
+  records.reserve(static_cast<std::size_t>(
+      static_cast<double>(config.clients) * session_rate *
+      config.duration_s * 0.6));
+
+  for (uint32_t client = 0; client < config.clients; ++client) {
+    util::Rng rng = master.fork();
+    const uint16_t ns = static_cast<uint16_t>(client % config.nameservers);
+    // Client browser cache: domain index -> expiry (seconds).
+    std::unordered_map<std::size_t, double> cache;
+
+    double t = rng.exponential(session_rate);
+    while (t < config.duration_s) {
+      const std::size_t domain = by_popularity[zipf.sample(rng)];
+      // One browsing session issues a burst of queries for the domain.
+      int64_t burst = 1;
+      if (config.burst_queries_mean > 1.0) {
+        burst = 1 + rng.poisson(config.burst_queries_mean - 1.0);
+      }
+      double qt = t;
+      for (int64_t q = 0; q < burst && qt < config.duration_s; ++q) {
+        auto it = cache.find(domain);
+        if (it == cache.end() || it->second <= qt) {
+          records.push_back(TraceRecord{net::from_seconds(qt), ns, client,
+                                        population[domain].name,
+                                        dns::RRType::kA});
+          if (config.client_cache_s > 0.0) {
+            cache[domain] = qt + config.client_cache_s;
+          }
+        }
+        qt += rng.exponential(1.0 / config.burst_spacing_s);
+      }
+      t += rng.exponential(session_rate);
+    }
+  }
+  sort_trace(records);
+  return records;
+}
+
+}  // namespace dnscup::sim

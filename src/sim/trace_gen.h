@@ -1,0 +1,44 @@
+// Synthetic academic-environment DNS traces (substitute for the paper's
+// one-week collection at three local nameservers serving ~2000 clients,
+// July 2003).
+//
+// Each client issues Web sessions as a Poisson process; each session
+// resolves a domain drawn Zipf-weighted by the population's request
+// counts.  A per-client resource-record cache (default 15 minutes — the
+// Mozilla default the paper assumes) suppresses repeat queries, so the
+// inter-arrival stream a nameserver sees matches the client-caching
+// analysis of Figure 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/trace.h"
+#include "workload/domain_population.h"
+
+namespace dnscup::sim {
+
+struct TraceGenConfig {
+  uint16_t nameservers = 3;
+  uint32_t clients = 2000;
+  double duration_s = 7 * 86400.0;    ///< one week
+  double client_cache_s = 900.0;      ///< 15-minute browser cache
+  double sessions_per_client_hour = 2.0;
+  double zipf_exponent = 0.9;
+  /// Mean queries per browsing session for the *same* domain (page loads
+  /// re-resolving).  1.0 = single query.  With short client caching the
+  /// repeats reach the nameserver as bursts, pushing the inter-arrival CV
+  /// above 1 — the left side of the paper's Figure 4; longer caching
+  /// absorbs them and the CV settles at the Poisson value of 1.
+  double burst_queries_mean = 1.0;
+  /// Mean spacing between queries within a burst (seconds).
+  double burst_spacing_s = 30.0;
+  uint64_t seed = 11;
+};
+
+/// Generates a time-sorted trace over the population.
+std::vector<TraceRecord> generate_trace(
+    const workload::DomainPopulation& population,
+    const TraceGenConfig& config);
+
+}  // namespace dnscup::sim

@@ -1,0 +1,29 @@
+// Internal invariant checking that stays enabled in release builds.
+//
+// DNSCUP_ASSERT guards *programming errors* (broken invariants, contract
+// violations inside the library).  Errors caused by untrusted input (e.g.
+// malformed DNS packets) must never assert; they are reported through
+// util::Result instead.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dnscup::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "DNSCUP_ASSERT failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace dnscup::util
+
+#if DNSCUP_ENABLE_ASSERTS
+#define DNSCUP_ASSERT(expr)                                    \
+  ((expr) ? static_cast<void>(0)                               \
+          : ::dnscup::util::assert_fail(#expr, __FILE__, __LINE__))
+#else
+#define DNSCUP_ASSERT(expr) static_cast<void>(0)
+#endif

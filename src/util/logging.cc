@@ -1,0 +1,37 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace dnscup::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (level < g_level.load()) return;
+  if (g_level.load() == LogLevel::kOff) return;
+  std::fprintf(stderr, "[%s] ", prefix(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace dnscup::util

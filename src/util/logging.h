@@ -1,0 +1,29 @@
+// Minimal leveled logger.  Off by default so tests and benches stay quiet;
+// examples flip it on to narrate protocol activity.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace dnscup::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging to stderr with a level prefix.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace dnscup::util
+
+#define DNSCUP_LOG_DEBUG(...) \
+  ::dnscup::util::logf(::dnscup::util::LogLevel::kDebug, __VA_ARGS__)
+#define DNSCUP_LOG_INFO(...) \
+  ::dnscup::util::logf(::dnscup::util::LogLevel::kInfo, __VA_ARGS__)
+#define DNSCUP_LOG_WARN(...) \
+  ::dnscup::util::logf(::dnscup::util::LogLevel::kWarn, __VA_ARGS__)
+#define DNSCUP_LOG_ERROR(...) \
+  ::dnscup::util::logf(::dnscup::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,143 @@
+// Result<T>: expected-style error propagation for operations that can fail
+// on untrusted input (wire decoding, file parsing).  C++20 has no
+// std::expected, so this is a minimal, allocation-free equivalent.
+//
+// Usage:
+//   Result<Message> decode(span<const uint8_t> wire);
+//   auto r = decode(bytes);
+//   if (!r) return r.error();
+//   use(r.value());
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/assert.h"
+
+namespace dnscup::util {
+
+/// Error category for Result.  Codes are coarse; the message carries detail.
+enum class ErrorCode {
+  kTruncated,       ///< input ended before a complete value was read
+  kMalformed,       ///< input violates the format specification
+  kUnsupported,     ///< well-formed but not implemented (e.g. unknown type)
+  kNotFound,        ///< a lookup failed
+  kInvalidArgument, ///< caller-supplied argument out of domain
+  kExists,          ///< attempted to create something that already exists
+  kRefused,         ///< policy refused the operation
+  kIo,              ///< OS-level I/O failure
+};
+
+inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kTruncated: return "truncated";
+    case ErrorCode::kMalformed: return "malformed";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kNotFound: return "not-found";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kExists: return "exists";
+    case ErrorCode::kRefused: return "refused";
+    case ErrorCode::kIo: return "io";
+  }
+  return "unknown";
+}
+
+struct Error {
+  ErrorCode code;
+  std::string message;
+
+  std::string to_string() const {
+    return std::string(util::to_string(code)) + ": " + message;
+  }
+};
+
+inline Error make_error(ErrorCode code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}             // NOLINT
+  Result(Error error) : storage_(std::move(error)) {}         // NOLINT
+  Result(ErrorCode code, std::string message)
+      : storage_(Error{code, std::move(message)}) {}
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    DNSCUP_ASSERT(ok());
+    return std::get<T>(storage_);
+  }
+  const T& value() const& {
+    DNSCUP_ASSERT(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    DNSCUP_ASSERT(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const Error& error() const {
+    DNSCUP_ASSERT(!ok());
+    return std::get<Error>(storage_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+  Status(ErrorCode code, std::string message)
+      : error_{code, std::move(message)}, failed_(true) {}
+
+  static Status ok_status() { return Status(); }
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    DNSCUP_ASSERT(failed_);
+    return error_;
+  }
+
+ private:
+  Error error_{ErrorCode::kMalformed, {}};
+  bool failed_ = false;
+};
+
+}  // namespace dnscup::util
+
+/// Propagate an error from a Result/Status expression.
+#define DNSCUP_TRY(expr)                       \
+  do {                                         \
+    auto _dnscup_try_status = (expr);          \
+    if (!_dnscup_try_status.ok()) {            \
+      return _dnscup_try_status.error();       \
+    }                                          \
+  } while (0)
+
+#define DNSCUP_CONCAT_INNER(a, b) a##b
+#define DNSCUP_CONCAT(a, b) DNSCUP_CONCAT_INNER(a, b)
+
+/// Assign the value of a Result expression or propagate its error.
+#define DNSCUP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.error();                              \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+#define DNSCUP_ASSIGN_OR_RETURN(lhs, expr) \
+  DNSCUP_ASSIGN_OR_RETURN_IMPL(DNSCUP_CONCAT(_dnscup_result_, __LINE__), lhs, \
+                               expr)

@@ -1,0 +1,74 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dnscup::util {
+
+int64_t Rng::uniform_int(int64_t lo, int64_t hi) {
+  DNSCUP_ASSERT(lo <= hi);
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  DNSCUP_ASSERT(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  DNSCUP_ASSERT(rate > 0.0);
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+int64_t Rng::poisson(double mean) {
+  DNSCUP_ASSERT(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  return std::poisson_distribution<int64_t>(mean)(engine_);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  DNSCUP_ASSERT(xm > 0.0 && alpha > 0.0);
+  const double u = uniform_real(0.0, 1.0);
+  return xm / std::pow(1.0 - u, 1.0 / alpha);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
+  DNSCUP_ASSERT(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+    cdf_[rank] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform_real(0.0, 1.0);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::size_t rank) const {
+  DNSCUP_ASSERT(rank < cdf_.size());
+  const double hi = cdf_[rank];
+  const double lo = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return hi - lo;
+}
+
+}  // namespace dnscup::util

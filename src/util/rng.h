@@ -1,0 +1,65 @@
+// Deterministic random number generation for simulations and workload
+// synthesis.  Every simulation component takes an explicit Rng (or a seed)
+// so that runs are exactly reproducible; nothing in the library reads
+// entropy from the environment.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dnscup::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Poisson-distributed count with the given mean.
+  int64_t poisson(double mean);
+
+  /// Pareto-distributed value with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+
+  /// Normally distributed value.
+  double normal(double mean, double stddev);
+
+  /// Fork a new independent stream; deterministic given this stream's state.
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf distribution over ranks 1..n with exponent s, sampled via the
+/// inverse-CDF on a precomputed table.  Used for domain-name popularity.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s);
+
+  /// Returns a rank in [0, n).  Rank 0 is the most popular item.
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of the given rank.
+  double pmf(std::size_t rank) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dnscup::util

@@ -1,0 +1,108 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dnscup::util {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cv() const {
+  const double m = mean();
+  if (m == 0.0) return 0.0;
+  return stddev() / m;
+}
+
+double RunningStats::ci95_halfwidth() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  DNSCUP_ASSERT(bins > 0);
+  DNSCUP_ASSERT(lo < hi);
+}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<int64_t>(frac * static_cast<double>(counts_.size()));
+  bin = std::clamp<int64_t>(bin, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  DNSCUP_ASSERT(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  DNSCUP_ASSERT(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+std::vector<double> Histogram::pdf() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+double percentile(std::vector<double> values, double p) {
+  DNSCUP_ASSERT(!values.empty());
+  DNSCUP_ASSERT(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double pos = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= values.size()) return values.back();
+  return values[idx] * (1.0 - frac) + values[idx + 1] * frac;
+}
+
+}  // namespace dnscup::util

@@ -1,0 +1,73 @@
+// Statistics helpers used by the measurement study (Section 3), the
+// Poisson-validation experiment (Figure 4) and the lease simulations
+// (Figure 5): running moments, coefficient of variation, confidence
+// intervals, and PDF histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dnscup::util {
+
+/// Online accumulator of count/mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< unbiased sample variance (n-1 denominator)
+  double stddev() const;
+  /// Coefficient of variation: stddev / mean.  Returns 0 when mean is 0.
+  double cv() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// Half-width of the 95% confidence interval of the mean
+  /// (normal approximation; requires count >= 2).
+  double ci95_halfwidth() const;
+
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi]; values outside clamp to edge bins.
+/// pdf() normalizes bin counts to fractions, matching the "PDF of change
+/// frequency" plots in Figure 2.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+
+  /// Center value of the given bin.
+  double bin_center(std::size_t bin) const;
+
+  /// Fraction of samples per bin (empty histogram yields all zeros).
+  std::vector<double> pdf() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact percentile (linear interpolation) of an unsorted sample.
+/// p in [0, 100].  Asserts on an empty sample.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace dnscup::util

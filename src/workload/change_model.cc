@@ -1,0 +1,182 @@
+#include "workload/change_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace dnscup::workload {
+
+const char* to_string(ChangeCause cause) {
+  switch (cause) {
+    case ChangeCause::kNone: return "none";
+    case ChangeCause::kRelocation: return "relocation";
+    case ChangeCause::kAddressIncrease: return "address-increase";
+    case ChangeCause::kRotation: return "rotation";
+  }
+  return "?";
+}
+
+namespace {
+
+struct ClassCalibration {
+  double change_fraction;   ///< share of domains that change at all
+  double freq_mode;         ///< change-frequency cluster centre
+  double freq_spread;       ///< lognormal-ish spread around the mode
+  double physical_share;    ///< relocations among changed domains
+  double increase_share;    ///< address-increase among changed domains
+};
+
+// Indexed by TTL class 1..5 (entry 0 unused).  Values from §3.2 / Fig 2.
+constexpr ClassCalibration kRegularCalibration[6] = {
+    {},
+    {0.70, 0.10, 0.6, 0.05, 0.15},   // class 1: mostly rotation near 10%
+    {0.20, 0.35, 0.7, 0.05, 0.10},   // class 2: few changers, high freqs
+    {0.05, 0.60, 0.8, 0.40, 0.10},   // class 3: mean ≈ 3% overall
+    {0.05, 0.02, 0.8, 0.75, 0.10},   // class 4: mean ≈ 0.1%
+    {0.05, 0.04, 0.6, 0.75, 0.10},   // class 5: mean ≈ 0.2%, < 10%
+};
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+/// Draws a change frequency clustered around `mode` with the given spread
+/// (log-normal, clamped to (0, 1]).
+double draw_frequency(util::Rng& rng, double mode, double spread) {
+  const double ln = rng.normal(std::log(mode), spread);
+  return std::clamp(std::exp(ln), 1e-4, 1.0);
+}
+
+ChangeCause draw_cause(util::Rng& rng, double physical_share,
+                       double increase_share) {
+  const double x = rng.uniform_real(0.0, 1.0);
+  if (x < physical_share) return ChangeCause::kRelocation;
+  if (x < physical_share + increase_share) {
+    return ChangeCause::kAddressIncrease;
+  }
+  return ChangeCause::kRotation;
+}
+
+}  // namespace
+
+ChangeBehavior assign_change_behavior(const DomainInfo& domain,
+                                      util::Rng& rng) {
+  ChangeBehavior behavior;
+
+  if (domain.category == DomainCategory::kCdn) {
+    behavior.changes = true;
+    behavior.cause = ChangeCause::kRotation;
+    if (domain.provider == "akamai") {
+      // §3.2: Akamai-served names change with frequency around 10%.
+      behavior.per_probe_change_prob =
+          clamp01(draw_frequency(rng, 0.10, 0.25));
+    } else {
+      // Speedera-served names change nearly every probe.
+      behavior.per_probe_change_prob =
+          clamp01(rng.uniform_real(0.90, 1.0));
+    }
+    return behavior;
+  }
+
+  if (domain.category == DomainCategory::kDyn) {
+    // §3.2: Dyn domains change rarely — 0.4% in class 2, near zero below.
+    if (domain.ttl_class >= 2 && rng.chance(0.30)) {
+      behavior.changes = true;
+      behavior.cause = ChangeCause::kRelocation;  // DHCP renumbering
+      behavior.per_probe_change_prob = 0.004 / 0.30;  // population mean 0.4%
+    }
+    return behavior;
+  }
+
+  const ClassCalibration& cal = kRegularCalibration[domain.ttl_class];
+  if (!rng.chance(cal.change_fraction)) return behavior;
+  behavior.changes = true;
+  behavior.per_probe_change_prob =
+      draw_frequency(rng, cal.freq_mode, cal.freq_spread);
+  behavior.cause = draw_cause(rng, cal.physical_share, cal.increase_share);
+  return behavior;
+}
+
+DomainChangeProcess::DomainChangeProcess(const DomainInfo& domain,
+                                         ChangeBehavior behavior,
+                                         double probe_resolution_s,
+                                         uint64_t seed)
+    : behavior_(behavior), rng_(seed) {
+  DNSCUP_ASSERT(probe_resolution_s > 0.0);
+  addresses_.push_back(domain.initial_address);
+
+  if (behavior_.changes && behavior_.per_probe_change_prob > 0.0) {
+    // Choose the Poisson rate so the *detection* probability per probe
+    // interval equals the calibrated change frequency: a prober sees at
+    // most one change per interval, so P(detect) = 1 - exp(-rate * res).
+    const double p = std::min(behavior_.per_probe_change_prob, 0.98);
+    rate_ = -std::log(1.0 - p) / probe_resolution_s;
+    next_event_ = rng_.exponential(rate_);
+  } else {
+    next_event_ = std::numeric_limits<double>::infinity();
+  }
+
+  if (behavior_.cause == ChangeCause::kRotation) {
+    // CDN-style pool: the initial address plus rotation targets, so probes
+    // see previously-observed addresses recur.  Hot rotators (Speedera-like,
+    // changing nearly every probe) draw from a larger pool, as multiple
+    // rotations between two probes would otherwise frequently land back on
+    // the same address and mask the change.
+    const bool hot = behavior_.per_probe_change_prob >= 0.5;
+    const auto pool = static_cast<std::size_t>(
+        hot ? rng_.uniform_int(10, 18) : rng_.uniform_int(3, 8));
+    rotation_pool_.push_back(domain.initial_address);
+    for (std::size_t i = 1; i < pool; ++i) {
+      rotation_pool_.push_back(
+          dns::Ipv4{domain.initial_address.addr + static_cast<uint32_t>(i)});
+    }
+  }
+}
+
+void DomainChangeProcess::advance_to(double t) {
+  DNSCUP_ASSERT(t >= now_);
+  while (next_event_ <= t) {
+    now_ = next_event_;
+    apply_one_change();
+    ++changes_;
+    next_event_ = now_ + rng_.exponential(rate_);
+  }
+  now_ = t;
+}
+
+void DomainChangeProcess::apply_one_change() {
+  switch (behavior_.cause) {
+    case ChangeCause::kRelocation: {
+      // Fresh address, never seen before.
+      const uint32_t fresh = addresses_.front().addr + 0x00010000u +
+                             static_cast<uint32_t>(rng_.uniform_int(1, 255));
+      addresses_.assign(1, dns::Ipv4{fresh});
+      break;
+    }
+    case ChangeCause::kAddressIncrease: {
+      // Grow the set (bounded so it cannot grow without limit).
+      if (addresses_.size() < 12) {
+        addresses_.push_back(
+            dns::Ipv4{addresses_.back().addr +
+                      static_cast<uint32_t>(rng_.uniform_int(1, 16))});
+      } else {
+        std::rotate(addresses_.begin(), addresses_.begin() + 1,
+                    addresses_.end());
+      }
+      break;
+    }
+    case ChangeCause::kRotation: {
+      rotation_index_ = (rotation_index_ + 1 +
+                         static_cast<std::size_t>(rng_.uniform_int(
+                             0, static_cast<int64_t>(
+                                    rotation_pool_.size() - 2)))) %
+                        rotation_pool_.size();
+      addresses_.assign(1, rotation_pool_[rotation_index_]);
+      break;
+    }
+    case ChangeCause::kNone:
+      DNSCUP_ASSERT(false && "change event on a static domain");
+  }
+}
+
+}  // namespace dnscup::workload

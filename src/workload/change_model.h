@@ -1,0 +1,80 @@
+// DN2IP change processes, calibrated to the paper's §3.2 findings.
+//
+// Each domain gets a ChangeBehavior: whether it ever changes, its per-probe
+// change probability (what the prober measures as "change frequency"), and
+// the dominant cause.  The three causes of §3.2 are modelled explicitly:
+//
+//   relocation       — the domain moves to a fresh address (physical);
+//   address increase — the address set grows (logical);
+//   rotation         — the active address rotates around a pool (logical,
+//                      the CDN load-balancing pattern).
+//
+// Calibration targets (paper Figures 2(a)-(f) and the §3.2 text):
+//   class 1: ~70% of domains change; changed domains cluster near 10%;
+//            mean ≈ 10%; mostly rotation.
+//   class 2: ~20% change; changed domains cluster near 80%; mean ≈ 8%.
+//   class 3: ~95% intact; mean ≈ 3%; ~40% of changes physical.
+//   class 4: ~95% intact; mean ≈ 0.1%; majority physical.
+//   class 5: ~95% intact; mean ≈ 0.2%, all below 10%; majority physical.
+//   CDN/akamai ≈ 10%, CDN/speedera ≈ 100%, Dyn ≈ 0.4% (class 2+) / ~0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/rdata.h"
+#include "util/rng.h"
+#include "workload/domain_population.h"
+
+namespace dnscup::workload {
+
+enum class ChangeCause { kNone, kRelocation, kAddressIncrease, kRotation };
+
+const char* to_string(ChangeCause cause);
+
+struct ChangeBehavior {
+  bool changes = false;
+  double per_probe_change_prob = 0.0;  ///< at the class's probe resolution
+  ChangeCause cause = ChangeCause::kNone;
+};
+
+/// Draws a behaviour for a domain per the calibration table above.
+ChangeBehavior assign_change_behavior(const DomainInfo& domain,
+                                      util::Rng& rng);
+
+/// Continuous-time change process for one domain.  Change events arrive
+/// Poisson with rate per_probe_change_prob / probe_resolution; each event
+/// mutates the address set per the domain's cause.
+class DomainChangeProcess {
+ public:
+  DomainChangeProcess(const DomainInfo& domain, ChangeBehavior behavior,
+                      double probe_resolution_s, uint64_t seed);
+
+  /// Applies all change events up to absolute time `t` seconds.
+  void advance_to(double t);
+
+  /// Time of the next scheduled change event (infinity when static).
+  double next_change_at() const { return next_event_; }
+
+  const std::vector<dns::Ipv4>& addresses() const { return addresses_; }
+  dns::Ipv4 primary() const { return addresses_.front(); }
+
+  const ChangeBehavior& behavior() const { return behavior_; }
+  double change_rate_per_second() const { return rate_; }
+  uint64_t changes_applied() const { return changes_; }
+
+ private:
+  void apply_one_change();
+
+  ChangeBehavior behavior_;
+  double rate_ = 0.0;
+  util::Rng rng_;
+  double now_ = 0.0;
+  double next_event_;
+  std::vector<dns::Ipv4> addresses_;
+  std::vector<dns::Ipv4> rotation_pool_;
+  std::size_t rotation_index_ = 0;
+  uint64_t changes_ = 0;
+};
+
+}  // namespace dnscup::workload

@@ -1,0 +1,196 @@
+#include "workload/domain_population.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dnscup::workload {
+
+const char* to_string(DomainCategory category) {
+  switch (category) {
+    case DomainCategory::kRegular: return "regular";
+    case DomainCategory::kCdn: return "cdn";
+    case DomainCategory::kDyn: return "dyn";
+  }
+  return "?";
+}
+
+int ttl_class_of(uint32_t ttl_seconds) {
+  if (ttl_seconds < 60) return 1;
+  if (ttl_seconds < 300) return 2;
+  if (ttl_seconds < 3600) return 3;
+  if (ttl_seconds < 86400) return 4;
+  return 5;
+}
+
+namespace {
+
+struct TldGroup {
+  const char* label;
+  const char* suffix;  ///< actual DNS suffix used in generated names
+  double weight;       ///< share of the regular population (Figure 1 mix)
+};
+
+// The five major groups of §3.1 plus the small .biz/.coop tails visible in
+// Figure 1.  "country" is materialized as a rotating set of ccTLDs.
+constexpr TldGroup kMajorGroups[] = {
+    {"com", "com", 1.0}, {"net", "net", 1.0},     {"org", "org", 1.0},
+    {"edu", "edu", 1.0}, {"country", "uk", 1.0},
+};
+constexpr const char* kCountrySuffixes[] = {"uk", "de", "jp", "cn", "fr",
+                                            "kr", "ca", "au", "it", "nl"};
+constexpr TldGroup kTailGroups[] = {
+    {"gov", "gov", 0.06}, {"biz", "biz", 0.04}, {"coop", "coop", 0.01},
+};
+
+// TTL values regular domains actually use, weighted so that the bulk sits
+// between one hour and one day (§1; Jung et al.): classes 1..5 get about
+// 2% / 5% / 18% / 55% / 20% of domains.
+struct TtlChoice {
+  uint32_t ttl;
+  double weight;
+};
+constexpr TtlChoice kRegularTtls[] = {
+    {30, 0.02},                                    // class 1
+    {120, 0.03},    {240, 0.02},                   // class 2
+    {600, 0.08},    {1800, 0.10},                  // class 3
+    {3600, 0.25},   {14400, 0.15}, {43200, 0.15},  // class 4
+    {86400, 0.15},  {172800, 0.05},                // class 5
+};
+
+uint32_t pick_regular_ttl(util::Rng& rng) {
+  double total = 0.0;
+  for (const auto& c : kRegularTtls) total += c.weight;
+  double x = rng.uniform_real(0.0, total);
+  for (const auto& c : kRegularTtls) {
+    if (x < c.weight) return c.ttl;
+    x -= c.weight;
+  }
+  return kRegularTtls[std::size(kRegularTtls) - 1].ttl;
+}
+
+dns::Ipv4 random_address(util::Rng& rng) {
+  // Public-looking addresses, avoiding 0/8, 10/8, 127/8.
+  const auto a = static_cast<uint32_t>(rng.uniform_int(11, 223));
+  const auto b = static_cast<uint32_t>(rng.uniform_int(0, 255));
+  const auto c = static_cast<uint32_t>(rng.uniform_int(0, 255));
+  const auto d = static_cast<uint32_t>(rng.uniform_int(1, 254));
+  return dns::Ipv4{(a << 24) | (b << 16) | (c << 8) | d};
+}
+
+uint64_t pareto_requests(util::Rng& rng, const PopulationConfig& config) {
+  const double v = rng.pareto(config.request_pareto_scale,
+                              config.request_pareto_alpha);
+  return static_cast<uint64_t>(std::min(v, 1e6));
+}
+
+dns::Name make_name(const char* stem, std::size_t index,
+                    const std::string& suffix) {
+  return dns::Name::from_labels(
+      {"www", std::string(stem) + std::to_string(index), suffix});
+}
+
+}  // namespace
+
+DomainPopulation DomainPopulation::generate(const PopulationConfig& config) {
+  util::Rng rng(config.seed);
+  DomainPopulation population;
+  auto& domains = population.domains_;
+
+  // Regular domains: 3000 per major group plus the small tails.
+  std::size_t country_idx = 0;
+  for (const auto& group : kMajorGroups) {
+    for (std::size_t i = 0; i < config.regular_per_group; ++i) {
+      DomainInfo info;
+      info.tld = group.label;
+      std::string suffix = group.suffix;
+      if (std::string_view(group.label) == "country") {
+        suffix = kCountrySuffixes[country_idx++ % std::size(kCountrySuffixes)];
+      }
+      info.name = make_name("site", i, suffix);
+      info.category = DomainCategory::kRegular;
+      info.ttl = pick_regular_ttl(rng);
+      info.ttl_class = ttl_class_of(info.ttl);
+      info.request_count = pareto_requests(rng, config);
+      info.initial_address = random_address(rng);
+      domains.push_back(std::move(info));
+    }
+  }
+  for (const auto& group : kTailGroups) {
+    const auto count = static_cast<std::size_t>(
+        static_cast<double>(config.regular_per_group) * group.weight);
+    for (std::size_t i = 0; i < count; ++i) {
+      DomainInfo info;
+      info.tld = group.label;
+      info.name = make_name("site", i, group.suffix);
+      info.category = DomainCategory::kRegular;
+      info.ttl = pick_regular_ttl(rng);
+      info.ttl_class = ttl_class_of(info.ttl);
+      info.request_count = pareto_requests(rng, config);
+      info.initial_address = random_address(rng);
+      domains.push_back(std::move(info));
+    }
+  }
+
+  // CDN domains: two providers dominate (§3.2) — Akamai-like at TTL 20 s
+  // and Speedera-like at TTL 120 s, roughly half each.
+  for (std::size_t i = 0; i < config.cdn_domains; ++i) {
+    DomainInfo info;
+    const bool akamai = (i % 2) == 0;
+    info.provider = akamai ? "akamai" : "speedera";
+    info.ttl = akamai ? 20 : 120;
+    info.ttl_class = ttl_class_of(info.ttl);
+    info.tld = "com";
+    info.name = make_name(akamai ? "cdn-ak" : "cdn-sp", i, "com");
+    info.category = DomainCategory::kCdn;
+    info.request_count = pareto_requests(rng, config) * 4;  // CDNs are hot
+    info.initial_address = random_address(rng);
+    domains.push_back(std::move(info));
+  }
+
+  // Dyn domains: TTLs bounded by 300 s (§3.2).
+  for (std::size_t i = 0; i < config.dyn_domains; ++i) {
+    DomainInfo info;
+    info.provider = "dyndns";
+    info.ttl = (i % 3 == 0) ? 60 : ((i % 3 == 1) ? 120 : 240);
+    info.ttl_class = ttl_class_of(info.ttl);
+    info.tld = "org";
+    info.name = make_name("dyn", i, "org");
+    info.category = DomainCategory::kDyn;
+    info.request_count = 1 + pareto_requests(rng, config) / 4;
+    info.initial_address = random_address(rng);
+    domains.push_back(std::move(info));
+  }
+
+  return population;
+}
+
+std::vector<const DomainInfo*> DomainPopulation::by_category(
+    DomainCategory category) const {
+  std::vector<const DomainInfo*> out;
+  for (const auto& d : domains_) {
+    if (d.category == category) out.push_back(&d);
+  }
+  return out;
+}
+
+std::vector<const DomainInfo*> DomainPopulation::by_class(
+    int ttl_class) const {
+  std::vector<const DomainInfo*> out;
+  for (const auto& d : domains_) {
+    if (d.ttl_class == ttl_class) out.push_back(&d);
+  }
+  return out;
+}
+
+std::vector<const DomainInfo*> DomainPopulation::by_tld(
+    const std::string& tld) const {
+  std::vector<const DomainInfo*> out;
+  for (const auto& d : domains_) {
+    if (d.tld == tld) out.push_back(&d);
+  }
+  return out;
+}
+
+}  // namespace dnscup::workload

@@ -1,0 +1,68 @@
+// Synthetic Web-domain populations calibrated to the paper's §3
+// measurement study (the IRCache-derived collection we cannot obtain).
+//
+// The population reproduces the published statistics:
+//  * regular domains drawn from the five major TLD groups (.com .net .org
+//    .edu/.gov and country domains) plus small .biz/.coop tails, 3000 per
+//    major group (§3.1), with power-law request counts (Figure 1);
+//  * TTLs spanning the five classes of Table 1, with the mass between one
+//    hour and one day (§1, citing Jung et al.);
+//  * CDN domains split between an Akamai-like provider (TTL 20 s) and a
+//    Speedera-like provider (TTL 120 s), all TTLs <= 300 s (§3.2);
+//  * Dyn domains with TTLs bounded by 300 s.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rdata.h"
+#include "util/rng.h"
+
+namespace dnscup::workload {
+
+enum class DomainCategory { kRegular, kCdn, kDyn };
+
+const char* to_string(DomainCategory category);
+
+struct DomainInfo {
+  dns::Name name;
+  std::string tld;           ///< "com", "net", "org", "edu", "country", ...
+  DomainCategory category = DomainCategory::kRegular;
+  std::string provider;      ///< "akamai" / "speedera" / "dyndns" / ""
+  uint32_t ttl = 3600;       ///< seconds
+  int ttl_class = 4;         ///< 1..5 per Table 1
+  uint64_t request_count = 0;  ///< popularity weight (Figure 1)
+  dns::Ipv4 initial_address;
+};
+
+/// Table 1 TTL-class boundaries; returns 1..5.
+int ttl_class_of(uint32_t ttl_seconds);
+
+struct PopulationConfig {
+  std::size_t regular_per_group = 3000;  ///< §3.1: 3000 per major group
+  std::size_t cdn_domains = 600;
+  std::size_t dyn_domains = 600;
+  double request_pareto_alpha = 1.1;     ///< request-count tail (Figure 1)
+  double request_pareto_scale = 2.0;
+  uint64_t seed = 1;
+};
+
+class DomainPopulation {
+ public:
+  static DomainPopulation generate(const PopulationConfig& config);
+
+  const std::vector<DomainInfo>& domains() const { return domains_; }
+  std::size_t size() const { return domains_.size(); }
+  const DomainInfo& operator[](std::size_t i) const { return domains_[i]; }
+
+  std::vector<const DomainInfo*> by_category(DomainCategory category) const;
+  std::vector<const DomainInfo*> by_class(int ttl_class) const;
+  std::vector<const DomainInfo*> by_tld(const std::string& tld) const;
+
+ private:
+  std::vector<DomainInfo> domains_;
+};
+
+}  // namespace dnscup::workload

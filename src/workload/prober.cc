@@ -1,0 +1,111 @@
+#include "workload/prober.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.h"
+
+namespace dnscup::workload {
+
+const std::array<ProbeClassParams, 5> kTable1 = {{
+    {1, 0, 60, 20.0, 86400.0},             // [0,60): 20 s for 1 day
+    {2, 60, 300, 60.0, 3 * 86400.0},       // [60,300): 60 s for 3 days
+    {3, 300, 3600, 300.0, 7 * 86400.0},    // [300,3600): 300 s for 7 days
+    {4, 3600, 86400, 3600.0, 7 * 86400.0}, // [3600,86400): 1 h for 7 days
+    {5, 86400, 0, 86400.0, 30 * 86400.0},  // [86400,inf): 1 d for 1 month
+}};
+
+const ProbeClassParams& probe_params_for_class(int ttl_class) {
+  DNSCUP_ASSERT(ttl_class >= 1 && ttl_class <= 5);
+  return kTable1[static_cast<std::size_t>(ttl_class - 1)];
+}
+
+namespace {
+
+struct AddressSetLess {
+  bool operator()(const std::vector<dns::Ipv4>& a,
+                  const std::vector<dns::Ipv4>& b) const {
+    return a < b;
+  }
+};
+
+bool is_superset(const std::vector<dns::Ipv4>& super,
+                 const std::vector<dns::Ipv4>& sub) {
+  if (super.size() <= sub.size()) return false;
+  for (const auto& ip : sub) {
+    if (std::find(super.begin(), super.end(), ip) == super.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<ProbeResult> run_probing_campaign(
+    const DomainPopulation& population, const ProberConfig& config) {
+  util::Rng master(config.seed);
+  std::vector<ProbeResult> results;
+  results.reserve(population.size());
+
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    const DomainInfo& domain = population[i];
+    const ProbeClassParams& params = probe_params_for_class(domain.ttl_class);
+    const double duration =
+        std::max(params.duration_s * config.duration_scale,
+                 static_cast<double>(config.min_probes) * params.resolution_s);
+
+    util::Rng rng = master.fork();
+    const ChangeBehavior behavior = assign_change_behavior(domain, rng);
+    DomainChangeProcess process(domain, behavior, params.resolution_s,
+                                rng.engine()());
+
+    ProbeResult result;
+    result.domain_index = i;
+    result.ttl_class = domain.ttl_class;
+    result.category = domain.category;
+    result.provider = domain.provider;
+
+    std::vector<dns::Ipv4> previous = process.addresses();
+    std::set<uint32_t> seen;
+    for (const auto& ip : previous) seen.insert(ip.addr);
+
+    // Cause tallies over the whole campaign; the dominant one wins.
+    std::size_t relocations = 0;
+    std::size_t increases = 0;
+    std::size_t rotations = 0;
+
+    for (double t = params.resolution_s; t <= duration;
+         t += params.resolution_s) {
+      process.advance_to(t);
+      const std::vector<dns::Ipv4>& current = process.addresses();
+      ++result.probes;
+      if (current != previous) {
+        ++result.changes_detected;
+        if (is_superset(current, previous)) {
+          ++increases;
+        } else if (seen.count(current.front().addr) > 0) {
+          ++rotations;
+        } else {
+          ++relocations;
+        }
+        for (const auto& ip : current) seen.insert(ip.addr);
+        previous = current;
+      }
+    }
+
+    if (result.changes_detected > 0) {
+      if (relocations >= increases && relocations >= rotations) {
+        result.classified_cause = ChangeCause::kRelocation;
+      } else if (increases >= rotations) {
+        result.classified_cause = ChangeCause::kAddressIncrease;
+      } else {
+        result.classified_cause = ChangeCause::kRotation;
+      }
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace dnscup::workload

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "core/auth.h"
+#include "core/cache_update.h"
+#include "sim/testbed.h"
+
+namespace dnscup::core {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+dns::Ipv4 ip(const char* text) { return dns::Ipv4::parse(text).value(); }
+
+dns::Message sample_update() {
+  dns::RRset after{mk("www.example.com"), RRType::kA, dns::RRClass::kIN,
+                   300, {}};
+  after.add(dns::ARdata{ip("198.51.100.1")});
+  std::vector<dns::RRsetChange> changes{
+      {mk("www.example.com"), RRType::kA, std::nullopt, after}};
+  return encode_cache_update(42, mk("example.com"), 7, changes);
+}
+
+// ---- SharedKeyAuthenticator unit tests -------------------------------------
+
+TEST(SharedKeyAuthenticator, SignThenVerify) {
+  SharedKeyAuthenticator auth("secret-key");
+  dns::Message m = sample_update();
+  const std::size_t additional_before = m.additional.size();
+  auth.sign(m);
+  EXPECT_EQ(m.additional.size(), additional_before + 1);
+  EXPECT_TRUE(auth.verify(m));
+  // verify() strips the MAC record.
+  EXPECT_EQ(m.additional.size(), additional_before);
+}
+
+TEST(SharedKeyAuthenticator, SurvivesTheWire) {
+  SharedKeyAuthenticator auth("secret-key");
+  dns::Message m = sample_update();
+  auth.sign(m);
+  dns::Message received = dns::Message::decode(m.encode()).value();
+  EXPECT_TRUE(auth.verify(received));
+}
+
+TEST(SharedKeyAuthenticator, RejectsUnsigned) {
+  SharedKeyAuthenticator auth("secret-key");
+  dns::Message m = sample_update();
+  EXPECT_FALSE(auth.verify(m));
+}
+
+TEST(SharedKeyAuthenticator, RejectsWrongKey) {
+  SharedKeyAuthenticator signer("key-a");
+  SharedKeyAuthenticator verifier("key-b");
+  dns::Message m = sample_update();
+  signer.sign(m);
+  EXPECT_FALSE(verifier.verify(m));
+}
+
+TEST(SharedKeyAuthenticator, RejectsTamperedPayload) {
+  SharedKeyAuthenticator auth("secret-key");
+  dns::Message m = sample_update();
+  auth.sign(m);
+  // The attacker flips the pushed address after signing.
+  std::get<dns::ARdata>(m.answers[0].rdata).address = ip("6.6.6.6");
+  EXPECT_FALSE(auth.verify(m));
+}
+
+TEST(SharedKeyAuthenticator, RejectsTamperedMac) {
+  SharedKeyAuthenticator auth("secret-key");
+  dns::Message m = sample_update();
+  auth.sign(m);
+  auto& mac = std::get<dns::TXTRdata>(m.additional.back().rdata);
+  mac.strings[0][0] = mac.strings[0][0] == 'a' ? 'b' : 'a';
+  EXPECT_FALSE(auth.verify(m));
+}
+
+TEST(SharedKeyAuthenticator, VerifyLeavesMessageIntactOnFailure) {
+  SharedKeyAuthenticator signer("key-a");
+  SharedKeyAuthenticator verifier("key-b");
+  dns::Message m = sample_update();
+  signer.sign(m);
+  const dns::Message before = m;
+  EXPECT_FALSE(verifier.verify(m));
+  EXPECT_EQ(m, before);
+}
+
+// ---- end-to-end through the testbed -----------------------------------------
+
+TEST(AuthHooksE2E, SignedPushesVerifyAndApply) {
+  sim::TestbedConfig config;
+  config.zones = 2;
+  config.caches = 1;
+  config.auth_key = "testbed-shared-key";
+  sim::Testbed tb(config);
+
+  ASSERT_TRUE(tb.resolve(0, tb.web_host(0), RRType::kA).has_value());
+  ASSERT_EQ(tb.repoint_web_host(0, ip("198.18.20.1")), dns::Rcode::kNoError);
+  tb.loop().run_for(net::seconds(2));
+
+  const auto& stats = tb.lease_client(0)->stats();
+  EXPECT_EQ(stats.auth_failures, 0u);
+  EXPECT_EQ(stats.updates_applied, 1u);
+  const auto r = tb.resolve(0, tb.web_host(0), RRType::kA);
+  EXPECT_EQ(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+            ip("198.18.20.1"));
+}
+
+TEST(AuthHooksE2E, ForgedPushDroppedWithoutAck) {
+  sim::TestbedConfig config;
+  config.zones = 2;
+  config.caches = 1;
+  config.record_ttl = 3600;
+  config.auth_key = "testbed-shared-key";
+  sim::Testbed tb(config);
+  ASSERT_TRUE(tb.resolve(0, tb.web_host(0), RRType::kA).has_value());
+
+  // Attacker sends an unsigned (or wrongly-signed) push from the master's
+  // own endpoint address — even source-authorized pushes must verify.
+  dns::RRset poisoned{tb.web_host(0), RRType::kA, dns::RRClass::kIN, 300,
+                      {}};
+  poisoned.add(dns::ARdata{ip("6.6.6.6")});
+  std::vector<dns::RRsetChange> changes{
+      {tb.web_host(0), RRType::kA, std::nullopt, poisoned}};
+  dns::Message evil =
+      encode_cache_update(666, tb.zone_origin(0), 999, changes);
+  SharedKeyAuthenticator wrong_key("guessed-key");
+  wrong_key.sign(evil);
+  tb.master().transport().send({net::make_ip(10, 0, 2, 1), 53},
+                               evil.encode());
+  tb.loop().run_for(net::seconds(2));
+
+  const auto& stats = tb.lease_client(0)->stats();
+  EXPECT_EQ(stats.auth_failures, 1u);
+  EXPECT_EQ(stats.acks_sent, 0u);
+  const auto r = tb.resolve(0, tb.web_host(0), RRType::kA);
+  EXPECT_NE(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+            ip("6.6.6.6"));
+}
+
+TEST(AuthHooksE2E, PlainTextDefaultUnchanged) {
+  // No key configured: the §5.3 default — everything works unsigned.
+  sim::TestbedConfig config;
+  config.zones = 1;
+  config.caches = 1;
+  sim::Testbed tb(config);
+  ASSERT_TRUE(tb.resolve(0, tb.web_host(0), RRType::kA).has_value());
+  tb.repoint_web_host(0, ip("198.18.21.1"));
+  tb.loop().run_for(net::seconds(2));
+  EXPECT_EQ(tb.lease_client(0)->stats().auth_failures, 0u);
+  EXPECT_EQ(tb.lease_client(0)->stats().updates_applied, 1u);
+}
+
+TEST(AuthHooksE2E, SignedMessagesStillUnder512Bytes) {
+  sim::TestbedConfig config;
+  config.zones = 4;
+  config.caches = 2;
+  config.auth_key = "testbed-shared-key";
+  sim::Testbed tb(config);
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t z = 0; z < 4; ++z) {
+      tb.resolve(c, tb.web_host(z), RRType::kA);
+    }
+  }
+  for (std::size_t z = 0; z < 4; ++z) {
+    tb.repoint_web_host(z, dns::Ipv4{ip("198.18.22.0").addr +
+                                     static_cast<uint32_t>(z)});
+  }
+  tb.loop().run_for(net::seconds(5));
+  EXPECT_LE(tb.network().max_packet_bytes(), dns::kMaxUdpPayload);
+  EXPECT_EQ(tb.dnscup()->notifier().stats().acks_received,
+            tb.dnscup()->notifier().stats().updates_sent);
+}
+
+}  // namespace
+}  // namespace dnscup::core

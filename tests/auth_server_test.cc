@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/sim_network.h"
+#include "server/authoritative.h"
+#include "server/update.h"
+
+namespace dnscup::server {
+namespace {
+
+using dns::Message;
+using dns::Name;
+using dns::Opcode;
+using dns::Question;
+using dns::Rcode;
+using dns::RRClass;
+using dns::RRType;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+dns::Ipv4 ip(const char* text) { return dns::Ipv4::parse(text).value(); }
+
+class AuthServerTest : public ::testing::Test {
+ protected:
+  AuthServerTest()
+      : network_(loop_, 1),
+        server_endpoint_{net::make_ip(10, 0, 0, 1), 53},
+        client_endpoint_{net::make_ip(10, 0, 0, 99), 4000},
+        server_(network_.bind(server_endpoint_), loop_) {
+    dns::SOARdata soa;
+    soa.mname = mk("ns1.example.com");
+    soa.rname = mk("admin.example.com");
+    soa.serial = 1;
+    soa.minimum = 60;
+    dns::Zone zone = dns::Zone::make(mk("example.com"), soa, 3600,
+                                     {mk("ns1.example.com")}, 3600);
+    zone.add_record(mk("ns1.example.com"), RRType::kA, 3600,
+                    dns::ARdata{ip("10.0.0.1")});
+    zone.add_record(mk("www.example.com"), RRType::kA, 300,
+                    dns::ARdata{ip("192.0.2.80")});
+    zone.add_record(mk("alias.example.com"), RRType::kCNAME, 300,
+                    dns::CNAMERdata{mk("www.example.com")});
+    zone.add_record(mk("other.example.com"), RRType::kCNAME, 300,
+                    dns::CNAMERdata{mk("www.outside.org")});
+    zone.add_record(mk("sub.example.com"), RRType::kNS, 3600,
+                    dns::NSRdata{mk("ns.sub.example.com")});
+    zone.add_record(mk("ns.sub.example.com"), RRType::kA, 3600,
+                    dns::ARdata{ip("10.0.0.2")});
+    server_.add_zone(std::move(zone));
+  }
+
+  Message query(const char* qname, RRType qtype) {
+    Message m;
+    m.id = 42;
+    m.questions.push_back(Question{mk(qname), qtype, RRClass::kIN, 0});
+    return m;
+  }
+
+  Message ask(const Message& request) {
+    auto response = server_.handle(client_endpoint_, request);
+    EXPECT_TRUE(response.has_value());
+    return response.value_or(Message{});
+  }
+
+  net::EventLoop loop_;
+  net::SimNetwork network_;
+  net::Endpoint server_endpoint_;
+  net::Endpoint client_endpoint_;
+  AuthServer server_;
+};
+
+TEST_F(AuthServerTest, AnswersARecord) {
+  const Message resp = ask(query("www.example.com", RRType::kA));
+  EXPECT_EQ(resp.flags.rcode, Rcode::kNoError);
+  EXPECT_TRUE(resp.flags.qr);
+  EXPECT_TRUE(resp.flags.aa);
+  ASSERT_EQ(resp.answers.size(), 1u);
+  EXPECT_EQ(std::get<dns::ARdata>(resp.answers[0].rdata).address,
+            ip("192.0.2.80"));
+  EXPECT_EQ(resp.id, 42);
+}
+
+TEST_F(AuthServerTest, ChasesCnameWithinZone) {
+  const Message resp = ask(query("alias.example.com", RRType::kA));
+  EXPECT_EQ(resp.flags.rcode, Rcode::kNoError);
+  ASSERT_EQ(resp.answers.size(), 2u);
+  EXPECT_EQ(resp.answers[0].type(), RRType::kCNAME);
+  EXPECT_EQ(resp.answers[1].type(), RRType::kA);
+}
+
+TEST_F(AuthServerTest, DanglingCnameReturnsPartialChain) {
+  const Message resp = ask(query("other.example.com", RRType::kA));
+  EXPECT_EQ(resp.flags.rcode, Rcode::kNoError);
+  ASSERT_EQ(resp.answers.size(), 1u);
+  EXPECT_EQ(resp.answers[0].type(), RRType::kCNAME);
+}
+
+TEST_F(AuthServerTest, ReferralWithGlue) {
+  const Message resp = ask(query("host.sub.example.com", RRType::kA));
+  EXPECT_EQ(resp.flags.rcode, Rcode::kNoError);
+  EXPECT_FALSE(resp.flags.aa);
+  EXPECT_TRUE(resp.answers.empty());
+  ASSERT_EQ(resp.authority.size(), 1u);
+  EXPECT_EQ(resp.authority[0].type(), RRType::kNS);
+  ASSERT_EQ(resp.additional.size(), 1u);
+  EXPECT_EQ(std::get<dns::ARdata>(resp.additional[0].rdata).address,
+            ip("10.0.0.2"));
+}
+
+TEST_F(AuthServerTest, NXDomainCarriesSoa) {
+  const Message resp = ask(query("missing.example.com", RRType::kA));
+  EXPECT_EQ(resp.flags.rcode, Rcode::kNXDomain);
+  EXPECT_TRUE(resp.flags.aa);
+  ASSERT_EQ(resp.authority.size(), 1u);
+  EXPECT_EQ(resp.authority[0].type(), RRType::kSOA);
+}
+
+TEST_F(AuthServerTest, NoDataCarriesSoa) {
+  const Message resp = ask(query("www.example.com", RRType::kMX));
+  EXPECT_EQ(resp.flags.rcode, Rcode::kNoError);
+  EXPECT_TRUE(resp.answers.empty());
+  ASSERT_EQ(resp.authority.size(), 1u);
+  EXPECT_EQ(resp.authority[0].type(), RRType::kSOA);
+}
+
+TEST_F(AuthServerTest, OutOfZoneRefused) {
+  const Message resp = ask(query("www.unrelated.org", RRType::kA));
+  EXPECT_EQ(resp.flags.rcode, Rcode::kRefused);
+  EXPECT_EQ(server_.stats().refused, 1u);
+}
+
+TEST_F(AuthServerTest, MultiQuestionFormErr) {
+  Message m = query("www.example.com", RRType::kA);
+  m.questions.push_back(
+      Question{mk("x.example.com"), RRType::kA, RRClass::kIN, 0});
+  EXPECT_EQ(ask(m).flags.rcode, Rcode::kFormErr);
+}
+
+TEST_F(AuthServerTest, UnknownOpcodeNotImp) {
+  Message m = query("www.example.com", RRType::kA);
+  m.flags.opcode = Opcode::kStatus;
+  EXPECT_EQ(ask(m).flags.rcode, Rcode::kNotImp);
+}
+
+TEST_F(AuthServerTest, ResponsesAreNotAnswered) {
+  Message m = query("www.example.com", RRType::kA);
+  m.flags.qr = true;
+  EXPECT_FALSE(server_.handle(client_endpoint_, m).has_value());
+}
+
+TEST_F(AuthServerTest, QueryHookSeesAndMutatesResponse) {
+  bool hook_ran = false;
+  server_.set_query_hook([&](const net::Endpoint& from, const Message& q,
+                             Message& resp) {
+    hook_ran = true;
+    EXPECT_EQ(from, client_endpoint_);
+    EXPECT_EQ(q.questions[0].qname, mk("www.example.com"));
+    resp.flags.ext = true;
+    resp.llt = 77;
+  });
+  const Message resp = ask(query("www.example.com", RRType::kA));
+  EXPECT_TRUE(hook_ran);
+  EXPECT_TRUE(resp.flags.ext);
+  EXPECT_EQ(resp.llt, 77);
+}
+
+TEST_F(AuthServerTest, ExtensionHandlerConsumesFirst) {
+  int consumed = 0;
+  server_.set_extension_handler([&](const net::Endpoint&, const Message& m) {
+    if (m.flags.opcode == Opcode::kCacheUpdate) {
+      ++consumed;
+      return true;
+    }
+    return false;
+  });
+  Message cache_update;
+  cache_update.flags.opcode = Opcode::kCacheUpdate;
+  cache_update.flags.qr = true;
+  EXPECT_FALSE(server_.handle(client_endpoint_, cache_update).has_value());
+  EXPECT_EQ(consumed, 1);
+  // Normal queries still flow through.
+  EXPECT_EQ(ask(query("www.example.com", RRType::kA)).flags.rcode,
+            Rcode::kNoError);
+}
+
+TEST_F(AuthServerTest, FindZoneLongestMatch) {
+  dns::SOARdata soa;
+  soa.mname = mk("ns.sub.example.com");
+  soa.rname = mk("admin.example.com");
+  soa.serial = 1;
+  server_.add_zone(dns::Zone::make(mk("sub.example.com"), soa, 300,
+                                   {mk("ns.sub.example.com")}, 300));
+  EXPECT_EQ(server_.find_zone(mk("x.sub.example.com"))->origin(),
+            mk("sub.example.com"));
+  EXPECT_EQ(server_.find_zone(mk("www.example.com"))->origin(),
+            mk("example.com"));
+  EXPECT_EQ(server_.find_zone(mk("www.org")), nullptr);
+}
+
+TEST_F(AuthServerTest, ReloadZoneDetectsManualEdit) {
+  std::vector<dns::RRsetChange> seen;
+  server_.add_change_listener(
+      [&](const dns::Zone&, const std::vector<dns::RRsetChange>& changes) {
+        seen = changes;
+      });
+  // Operator edits the zone file: www now points elsewhere.
+  dns::Zone edited = *server_.find_zone(mk("example.com"));
+  edited.remove_rrset(mk("www.example.com"), RRType::kA);
+  edited.add_record(mk("www.example.com"), RRType::kA, 300,
+                    dns::ARdata{ip("203.0.113.1")});
+  const std::size_t n = server_.reload_zone(std::move(edited));
+  EXPECT_EQ(n, 1u);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].name, mk("www.example.com"));
+  // Serial was bumped even though the editor forgot.
+  EXPECT_GT(server_.find_zone(mk("example.com"))->serial(), 1u);
+  // Queries now serve the new address.
+  const Message resp = ask(query("www.example.com", RRType::kA));
+  EXPECT_EQ(std::get<dns::ARdata>(resp.answers[0].rdata).address,
+            ip("203.0.113.1"));
+}
+
+TEST_F(AuthServerTest, ReloadZoneNoChangeNoEvent) {
+  int events = 0;
+  server_.add_change_listener(
+      [&](const dns::Zone&, const std::vector<dns::RRsetChange>&) {
+        ++events;
+      });
+  dns::Zone same = *server_.find_zone(mk("example.com"));
+  EXPECT_EQ(server_.reload_zone(std::move(same)), 0u);
+  EXPECT_EQ(events, 0);
+}
+
+TEST_F(AuthServerTest, RoundRobinRotatesAnswers) {
+  // Add a second and third address for www, then enable rotation.
+  dns::Zone* zone = server_.find_zone(mk("www.example.com"));
+  zone->add_record(mk("www.example.com"), RRType::kA, 300,
+                   dns::ARdata{ip("192.0.2.81")});
+  zone->add_record(mk("www.example.com"), RRType::kA, 300,
+                   dns::ARdata{ip("192.0.2.82")});
+  server_.set_round_robin(true);
+
+  std::set<uint32_t> first_addresses;
+  for (int i = 0; i < 3; ++i) {
+    const Message resp = ask(query("www.example.com", RRType::kA));
+    ASSERT_EQ(resp.answers.size(), 3u);
+    first_addresses.insert(
+        std::get<dns::ARdata>(resp.answers[0].rdata).address.addr);
+    // All three addresses always present, only the order rotates.
+    std::set<uint32_t> all;
+    for (const auto& rr : resp.answers) {
+      all.insert(std::get<dns::ARdata>(rr.rdata).address.addr);
+    }
+    EXPECT_EQ(all.size(), 3u);
+  }
+  EXPECT_EQ(first_addresses.size(), 3u);  // every replica led once
+}
+
+TEST_F(AuthServerTest, RoundRobinOffKeepsStableOrder) {
+  dns::Zone* zone = server_.find_zone(mk("www.example.com"));
+  zone->add_record(mk("www.example.com"), RRType::kA, 300,
+                   dns::ARdata{ip("192.0.2.81")});
+  const Message a = ask(query("www.example.com", RRType::kA));
+  const Message b = ask(query("www.example.com", RRType::kA));
+  EXPECT_EQ(a.answers, b.answers);
+}
+
+TEST_F(AuthServerTest, StatsCountQueries) {
+  ask(query("www.example.com", RRType::kA));
+  ask(query("www.example.com", RRType::kA));
+  EXPECT_EQ(server_.stats().queries, 2u);
+}
+
+TEST_F(AuthServerTest, UndecodableDatagramCountsFormErr) {
+  // Drive through the wire path.
+  auto& attacker = network_.bind({net::make_ip(10, 0, 0, 66), 1000});
+  const std::vector<uint8_t> junk{1, 2, 3};
+  attacker.send(server_endpoint_, junk);
+  loop_.run_all();
+  EXPECT_EQ(server_.stats().formerr, 1u);
+}
+
+TEST_F(AuthServerTest, WirePathEndToEnd) {
+  auto& client = network_.bind(client_endpoint_);
+  std::optional<Message> got;
+  client.set_receive_handler(
+      [&](const net::Endpoint&, std::span<const uint8_t> data) {
+        got = Message::decode(data).value();
+      });
+  client.send(server_endpoint_, query("www.example.com", RRType::kA).encode());
+  loop_.run_all();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->flags.rcode, Rcode::kNoError);
+  ASSERT_EQ(got->answers.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dnscup::server

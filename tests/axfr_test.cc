@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "net/sim_network.h"
+#include "server/authoritative.h"
+#include "server/update.h"
+
+namespace dnscup::server {
+namespace {
+
+using dns::Message;
+using dns::Name;
+using dns::Rcode;
+using dns::RRType;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+dns::Ipv4 ip(const char* text) { return dns::Ipv4::parse(text).value(); }
+
+dns::Zone big_zone(std::size_t hosts) {
+  dns::SOARdata soa;
+  soa.mname = mk("ns1.big.org");
+  soa.rname = mk("admin.big.org");
+  soa.serial = 3;
+  soa.minimum = 60;
+  dns::Zone z =
+      dns::Zone::make(mk("big.org"), soa, 3600, {mk("ns1.big.org")}, 3600);
+  for (std::size_t i = 0; i < hosts; ++i) {
+    z.add_record(mk(("host" + std::to_string(i) + ".big.org").c_str()),
+                 RRType::kA, 300,
+                 dns::ARdata{dns::Ipv4{static_cast<uint32_t>(0x0A000000 + i)}});
+  }
+  return z;
+}
+
+class AxfrTest : public ::testing::Test {
+ protected:
+  AxfrTest()
+      : network_(loop_, 1),
+        master_ep_{net::make_ip(10, 0, 1, 1), 53},
+        slave_ep_{net::make_ip(10, 0, 1, 2), 53},
+        master_(network_.bind(master_ep_), loop_),
+        slave_(network_.bind(slave_ep_), loop_, AuthServer::Role::kSlave) {
+    master_.add_slave(slave_ep_);
+    slave_.set_master(master_ep_);
+  }
+
+  net::EventLoop loop_;
+  net::SimNetwork network_;
+  net::Endpoint master_ep_;
+  net::Endpoint slave_ep_;
+  AuthServer master_;
+  AuthServer slave_;
+};
+
+TEST_F(AxfrTest, BootstrapTransfer) {
+  master_.add_zone(big_zone(10));
+  slave_.request_transfer(mk("big.org"));
+  loop_.run_all();
+  const dns::Zone* got = slave_.find_zone(mk("big.org"));
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->serial(), 3u);
+  EXPECT_EQ(got->record_count(),
+            master_.find_zone(mk("big.org"))->record_count());
+  EXPECT_EQ(slave_.stats().axfr_pulled, 1u);
+  EXPECT_EQ(master_.stats().axfr_served, 1u);
+}
+
+TEST_F(AxfrTest, LargeZoneChunksUnder512Bytes) {
+  master_.add_zone(big_zone(200));  // far beyond one datagram
+  slave_.request_transfer(mk("big.org"));
+  loop_.run_all();
+  const dns::Zone* got = slave_.find_zone(mk("big.org"));
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->record_count(),
+            master_.find_zone(mk("big.org"))->record_count());
+  EXPECT_LE(network_.max_packet_bytes(), dns::kMaxUdpPayload);
+  // Sanity: the transfer really took multiple datagrams.
+  EXPECT_GT(network_.packets_delivered(), 5u);
+}
+
+TEST_F(AxfrTest, TransferredZoneMatchesExactly) {
+  master_.add_zone(big_zone(50));
+  slave_.request_transfer(mk("big.org"));
+  loop_.run_all();
+  const auto changes = dns::diff_zones(*master_.find_zone(mk("big.org")),
+                                       *slave_.find_zone(mk("big.org")));
+  EXPECT_TRUE(changes.empty());
+}
+
+TEST_F(AxfrTest, NotifyTriggersRefresh) {
+  master_.add_zone(big_zone(5));
+  slave_.request_transfer(mk("big.org"));
+  loop_.run_all();
+  ASSERT_EQ(slave_.find_zone(mk("big.org"))->serial(), 3u);
+
+  // Master changes: slave must converge via NOTIFY -> AXFR.
+  const Message update =
+      UpdateBuilder(mk("big.org"))
+          .replace_a(mk("host0.big.org"), 300, ip("203.0.113.50"))
+          .build(21);
+  master_.handle({net::make_ip(10, 0, 9, 9), 5353}, update);
+  loop_.run_all();
+
+  const dns::Zone* got = slave_.find_zone(mk("big.org"));
+  EXPECT_EQ(got->serial(), 4u);
+  const dns::RRset* a = got->find(mk("host0.big.org"), RRType::kA);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(std::get<dns::ARdata>(a->rdatas[0]).address, ip("203.0.113.50"));
+  EXPECT_EQ(master_.stats().notifies_sent, 1u);
+  EXPECT_EQ(slave_.stats().notifies_received, 1u);
+}
+
+TEST_F(AxfrTest, SlaveChangeHookFires) {
+  master_.add_zone(big_zone(5));
+  slave_.request_transfer(mk("big.org"));
+  loop_.run_all();
+
+  std::vector<dns::RRsetChange> seen;
+  slave_.add_change_listener(
+      [&](const dns::Zone&, const std::vector<dns::RRsetChange>& changes) {
+        seen = changes;
+      });
+  const Message update =
+      UpdateBuilder(mk("big.org"))
+          .replace_a(mk("host1.big.org"), 300, ip("203.0.113.51"))
+          .build(22);
+  master_.handle({net::make_ip(10, 0, 9, 9), 5353}, update);
+  loop_.run_all();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].name, mk("host1.big.org"));
+}
+
+TEST_F(AxfrTest, StaleTransferIgnored) {
+  master_.add_zone(big_zone(5));
+  slave_.request_transfer(mk("big.org"));
+  loop_.run_all();
+
+  // Slave somehow holds a *newer* serial; a re-transfer of the older zone
+  // must not roll it back.
+  dns::Zone newer = *slave_.find_zone(mk("big.org"));
+  newer.bump_serial();
+  newer.bump_serial();
+  newer.add_record(mk("extra.big.org"), RRType::kA, 60,
+                   dns::ARdata{ip("203.0.113.99")});
+  slave_.add_zone(std::move(newer));
+
+  slave_.request_transfer(mk("big.org"));
+  loop_.run_all();
+  EXPECT_NE(slave_.find_zone(mk("big.org"))->find(mk("extra.big.org"),
+                                                  RRType::kA),
+            nullptr);
+}
+
+TEST_F(AxfrTest, NotifyFromStrangerRefused) {
+  master_.add_zone(big_zone(3));
+  auto& stranger = network_.bind({net::make_ip(10, 0, 7, 7), 53});
+  std::optional<Message> got;
+  stranger.set_receive_handler(
+      [&](const net::Endpoint&, std::span<const uint8_t> data) {
+        got = Message::decode(data).value();
+      });
+  Message notify;
+  notify.id = 5;
+  notify.flags.opcode = dns::Opcode::kNotify;
+  notify.questions.push_back(
+      dns::Question{mk("big.org"), RRType::kSOA, dns::RRClass::kIN, 0});
+  stranger.send(slave_ep_, notify.encode());
+  loop_.run_all();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->flags.rcode, Rcode::kRefused);
+  EXPECT_EQ(slave_.find_zone(mk("big.org")), nullptr);
+}
+
+TEST_F(AxfrTest, AxfrForUnknownZoneNotAuth) {
+  auto& client = network_.bind({net::make_ip(10, 0, 7, 8), 53});
+  std::optional<Message> got;
+  client.set_receive_handler(
+      [&](const net::Endpoint&, std::span<const uint8_t> data) {
+        got = Message::decode(data).value();
+      });
+  Message axfr;
+  axfr.id = 9;
+  axfr.questions.push_back(
+      dns::Question{mk("unknown.org"), RRType::kAXFR, dns::RRClass::kIN, 0});
+  client.send(master_ep_, axfr.encode());
+  loop_.run_all();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->flags.rcode, Rcode::kNotAuth);
+}
+
+TEST_F(AxfrTest, TwoSlavesBothConverge) {
+  const net::Endpoint slave2_ep{net::make_ip(10, 0, 1, 3), 53};
+  AuthServer slave2(network_.bind(slave2_ep), loop_,
+                    AuthServer::Role::kSlave);
+  slave2.set_master(master_ep_);
+  master_.add_slave(slave2_ep);
+
+  master_.add_zone(big_zone(8));
+  slave_.request_transfer(mk("big.org"));
+  slave2.request_transfer(mk("big.org"));
+  loop_.run_all();
+
+  const Message update =
+      UpdateBuilder(mk("big.org"))
+          .replace_a(mk("host2.big.org"), 300, ip("203.0.113.52"))
+          .build(30);
+  master_.handle({net::make_ip(10, 0, 9, 9), 5353}, update);
+  loop_.run_all();
+
+  for (AuthServer* s : {&slave_, &slave2}) {
+    const dns::RRset* a =
+        s->find_zone(mk("big.org"))->find(mk("host2.big.org"), RRType::kA);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(std::get<dns::ARdata>(a->rdatas[0]).address,
+              ip("203.0.113.52"));
+  }
+}
+
+}  // namespace
+}  // namespace dnscup::server

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/cache_update.h"
+
+namespace dnscup::core {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+dns::Ipv4 ip(const char* text) { return dns::Ipv4::parse(text).value(); }
+
+std::vector<dns::RRsetChange> sample_changes() {
+  dns::RRset updated{mk("www.example.com"), RRType::kA, dns::RRClass::kIN,
+                     300, {}};
+  updated.add(dns::ARdata{ip("198.51.100.1")});
+  updated.add(dns::ARdata{ip("198.51.100.2")});
+
+  std::vector<dns::RRsetChange> changes;
+  changes.push_back({mk("www.example.com"), RRType::kA, std::nullopt,
+                     updated});
+  changes.push_back({mk("old.example.com"), RRType::kA,
+                     dns::RRset{mk("old.example.com"), RRType::kA,
+                                dns::RRClass::kIN, 300, {}},
+                     std::nullopt});
+  return changes;
+}
+
+TEST(CacheUpdate, EncodeParseRoundTrip) {
+  const dns::Message m =
+      encode_cache_update(42, mk("example.com"), 17, sample_changes());
+  EXPECT_EQ(m.flags.opcode, dns::Opcode::kCacheUpdate);
+  EXPECT_FALSE(m.flags.qr);
+
+  // Survives the wire.
+  const dns::Message wire = dns::Message::decode(m.encode()).value();
+  auto parsed = parse_cache_update(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const CacheUpdate& update = parsed.value();
+  EXPECT_EQ(update.zone, mk("example.com"));
+  EXPECT_EQ(update.serial, 17u);
+  ASSERT_EQ(update.updated.size(), 1u);
+  EXPECT_EQ(update.updated[0].name, mk("www.example.com"));
+  EXPECT_EQ(update.updated[0].size(), 2u);
+  EXPECT_EQ(update.updated[0].ttl, 300u);
+  ASSERT_EQ(update.removed.size(), 1u);
+  EXPECT_EQ(update.removed[0].first, mk("old.example.com"));
+  EXPECT_EQ(update.removed[0].second, RRType::kA);
+}
+
+TEST(CacheUpdate, StaysUnder512Bytes) {
+  const dns::Message m =
+      encode_cache_update(42, mk("example.com"), 17, sample_changes());
+  EXPECT_LE(m.encode().size(), dns::kMaxUdpPayload);
+}
+
+TEST(CacheUpdate, AckEchoesIdAndZone) {
+  const dns::Message m =
+      encode_cache_update(42, mk("example.com"), 17, sample_changes());
+  const dns::Message ack = make_cache_update_ack(m);
+  EXPECT_EQ(ack.id, 42);
+  EXPECT_TRUE(ack.flags.qr);
+  EXPECT_EQ(ack.flags.opcode, dns::Opcode::kCacheUpdate);
+  EXPECT_TRUE(is_cache_update_ack(ack));
+  EXPECT_FALSE(is_cache_update_ack(m));
+  // Acks survive the wire too.
+  EXPECT_TRUE(is_cache_update_ack(dns::Message::decode(ack.encode()).value()));
+}
+
+TEST(CacheUpdate, RejectsWrongOpcode) {
+  dns::Message m;
+  m.flags.opcode = dns::Opcode::kQuery;
+  EXPECT_FALSE(parse_cache_update(m).ok());
+}
+
+TEST(CacheUpdate, RejectsResponses) {
+  dns::Message m =
+      encode_cache_update(1, mk("example.com"), 1, sample_changes());
+  m.flags.qr = true;
+  EXPECT_FALSE(parse_cache_update(m).ok());
+}
+
+TEST(CacheUpdate, RejectsMissingZoneQuestion) {
+  dns::Message m;
+  m.flags.opcode = dns::Opcode::kCacheUpdate;
+  EXPECT_FALSE(parse_cache_update(m).ok());
+}
+
+TEST(CacheUpdate, RejectsRecordsOutsideZone) {
+  dns::Message m =
+      encode_cache_update(1, mk("example.com"), 1, sample_changes());
+  m.answers.push_back(dns::ResourceRecord{
+      mk("www.other.org"), dns::RRClass::kIN, 60, dns::ARdata{ip("1.1.1.1")}});
+  EXPECT_FALSE(parse_cache_update(m).ok());
+}
+
+TEST(CacheUpdate, RejectsBadRemovalStub) {
+  dns::Message m =
+      encode_cache_update(1, mk("example.com"), 1, sample_changes());
+  m.authority.push_back(dns::ResourceRecord{
+      mk("x.example.com"), dns::RRClass::kIN, 0,
+      dns::GenericRdata{static_cast<uint16_t>(RRType::kA), {}}});
+  EXPECT_FALSE(parse_cache_update(m).ok());
+}
+
+TEST(CacheUpdate, EmptyChangeSetStillValid) {
+  const dns::Message m = encode_cache_update(5, mk("example.com"), 9, {});
+  const auto parsed = parse_cache_update(m);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().updated.empty());
+  EXPECT_TRUE(parsed.value().removed.empty());
+  EXPECT_EQ(parsed.value().serial, 9u);
+}
+
+TEST(CacheUpdate, MultipleRRsetsGrouped) {
+  dns::RRset a{mk("a.example.com"), RRType::kA, dns::RRClass::kIN, 60, {}};
+  a.add(dns::ARdata{ip("1.0.0.1")});
+  dns::RRset b{mk("b.example.com"), RRType::kA, dns::RRClass::kIN, 60, {}};
+  b.add(dns::ARdata{ip("1.0.0.2")});
+  std::vector<dns::RRsetChange> changes;
+  changes.push_back({a.name, RRType::kA, std::nullopt, a});
+  changes.push_back({b.name, RRType::kA, std::nullopt, b});
+  const auto parsed = parse_cache_update(
+      encode_cache_update(1, mk("example.com"), 2, changes));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().updated.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dnscup::core

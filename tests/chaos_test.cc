@@ -1,0 +1,161 @@
+// Chaos test: random interleavings of resolutions, mapping changes,
+// partitions and heals on the full testbed, followed by an
+// eventual-consistency check.
+//
+// Invariants exercised:
+//  * the stack never crashes or wedges under arbitrary op orderings;
+//  * after all partitions heal and more than a TTL passes, every cache
+//    answers every zone with the master's current mapping (leased caches
+//    converge by push, revoked/expired ones by TTL refetch);
+//  * the notifier never leaks in-flight state forever.
+#include <gtest/gtest.h>
+
+#include "sim/testbed.h"
+#include "util/rng.h"
+
+namespace dnscup {
+namespace {
+
+using dns::RRType;
+using sim::Testbed;
+using sim::TestbedConfig;
+
+class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosTest, RandomOpsConvergeAfterHeal) {
+  TestbedConfig config;
+  config.zones = 4;
+  config.caches = 2;
+  config.record_ttl = 60;
+  // Convergence after a permanently-failed push is bounded by the *lease*
+  // term (the authority revokes its side, but the cache trusts its lease
+  // until expiry) — keep it short so the settle window covers it.
+  config.max_lease = net::minutes(4);
+  config.seed = GetParam();
+  Testbed tb(config);
+  util::Rng rng(GetParam() * 7919 + 1);
+
+  const net::Endpoint cache_eps[] = {
+      {net::make_ip(10, 0, 2, 1), 53},
+      {net::make_ip(10, 0, 2, 2), 53},
+  };
+  bool partitioned[2] = {false, false};
+  uint32_t next_ip = net::make_ip(198, 19, 0, 1);
+
+  for (int op = 0; op < 200; ++op) {
+    switch (rng.uniform_int(0, 5)) {
+      case 0:
+      case 1: {  // client query (may time out under partition: fine)
+        const auto cache = static_cast<std::size_t>(rng.uniform_int(0, 1));
+        const auto zone = static_cast<std::size_t>(rng.uniform_int(0, 3));
+        tb.cache(cache).resolve(
+            tb.web_host(zone), RRType::kA,
+            [](const server::CachingResolver::Outcome&) {});
+        break;
+      }
+      case 2: {  // mapping change
+        const auto zone = static_cast<std::size_t>(rng.uniform_int(0, 3));
+        tb.repoint_web_host_async(zone, dns::Ipv4{next_ip++});
+        break;
+      }
+      case 3: {  // partition a cache from the master
+        const auto c = static_cast<std::size_t>(rng.uniform_int(0, 1));
+        if (!partitioned[c]) {
+          tb.network().partition(tb.master_endpoint(), cache_eps[c]);
+          tb.network().partition(cache_eps[c], tb.master_endpoint());
+          partitioned[c] = true;
+        }
+        break;
+      }
+      case 4: {  // heal
+        const auto c = static_cast<std::size_t>(rng.uniform_int(0, 1));
+        if (partitioned[c]) {
+          tb.network().heal(tb.master_endpoint(), cache_eps[c]);
+          tb.network().heal(cache_eps[c], tb.master_endpoint());
+          partitioned[c] = false;
+        }
+        break;
+      }
+      default:  // let time pass
+        tb.loop().run_for(net::seconds(rng.uniform_int(1, 45)));
+        break;
+    }
+  }
+
+  // Heal everything and let the dust settle well past TTL and retries.
+  for (std::size_t c = 0; c < 2; ++c) {
+    tb.network().heal(tb.master_endpoint(), cache_eps[c]);
+    tb.network().heal(cache_eps[c], tb.master_endpoint());
+  }
+  tb.loop().run_for(net::minutes(6));  // > max_lease + retries
+
+  // Eventual consistency: every fresh resolution matches the master.
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t z = 0; z < 4; ++z) {
+      const auto r =
+          tb.resolve(c, tb.web_host(z), RRType::kA, net::minutes(2));
+      ASSERT_TRUE(r.has_value()) << "cache " << c << " zone " << z;
+      ASSERT_EQ(r->status, server::CachingResolver::Outcome::Status::kOk)
+          << "cache " << c << " zone " << z;
+      const dns::Zone* zone = tb.master().find_zone(tb.web_host(z));
+      const dns::RRset* truth = zone->find(tb.web_host(z), RRType::kA);
+      ASSERT_NE(truth, nullptr);
+      EXPECT_EQ(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+                std::get<dns::ARdata>(truth->rdatas[0]).address)
+          << "cache " << c << " zone " << z << " seed " << GetParam();
+    }
+  }
+  // No notifier state leaked past the settle window.
+  EXPECT_EQ(tb.dnscup()->notifier().in_flight(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class ChaosLossTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosLossTest, ConvergesDespiteBackgroundLoss) {
+  TestbedConfig config;
+  config.zones = 3;
+  config.caches = 1;
+  config.record_ttl = 60;
+  config.max_lease = net::minutes(3);
+  config.link.loss_probability = 0.1;
+  config.seed = GetParam() + 100;
+  Testbed tb(config);
+  util::Rng rng(GetParam() * 31 + 5);
+
+  uint32_t next_ip = net::make_ip(198, 19, 10, 1);
+  for (int op = 0; op < 120; ++op) {
+    if (rng.chance(0.4)) {
+      tb.cache(0).resolve(
+          tb.web_host(static_cast<std::size_t>(rng.uniform_int(0, 2))),
+          RRType::kA, [](const server::CachingResolver::Outcome&) {});
+    }
+    if (rng.chance(0.2)) {
+      tb.repoint_web_host_async(
+          static_cast<std::size_t>(rng.uniform_int(0, 2)),
+          dns::Ipv4{next_ip++});
+    }
+    tb.loop().run_for(net::seconds(rng.uniform_int(1, 20)));
+  }
+
+  tb.loop().run_for(net::minutes(5));
+  for (std::size_t z = 0; z < 3; ++z) {
+    const auto r = tb.resolve(0, tb.web_host(z), RRType::kA,
+                              net::minutes(2));
+    ASSERT_TRUE(r.has_value());
+    ASSERT_EQ(r->status, server::CachingResolver::Outcome::Status::kOk);
+    const dns::RRset* truth =
+        tb.master().find_zone(tb.web_host(z))->find(tb.web_host(z),
+                                                    RRType::kA);
+    EXPECT_EQ(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+              std::get<dns::ARdata>(truth->rdatas[0]).address)
+        << "zone " << z << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosLossTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dnscup

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "sim/consistency_sim.h"
+
+namespace dnscup::sim {
+namespace {
+
+ConsistencyConfig small_experiment(bool dnscup) {
+  ConsistencyConfig config;
+  config.zones = 10;
+  config.caches = 2;
+  config.dnscup_enabled = dnscup;
+  config.record_ttl = 600;
+  config.max_lease = net::hours(6);
+  config.duration_s = 2 * 3600.0;
+  config.queries_per_cache_per_s = 0.3;
+  config.mean_change_interval_s = 180.0;
+  config.seed = 77;
+  return config;
+}
+
+TEST(ConsistencySim, RunsAndAccountsQueries) {
+  const auto result = run_consistency_experiment(small_experiment(true));
+  EXPECT_GT(result.queries, 1000u);
+  EXPECT_GT(result.answered, 0u);
+  EXPECT_LE(result.answered, result.queries);
+  EXPECT_GT(result.changes, 10u);
+  EXPECT_GT(result.packets_delivered, 0u);
+}
+
+TEST(ConsistencySim, DnscupGrantsLeasesAndPushes) {
+  const auto result = run_consistency_experiment(small_experiment(true));
+  EXPECT_GT(result.leases_granted, 0u);
+  EXPECT_GT(result.cache_updates_sent, 0u);
+  EXPECT_GT(result.cache_update_acks, 0u);
+}
+
+TEST(ConsistencySim, TtlBaselineHasNoDnscupTraffic) {
+  const auto result = run_consistency_experiment(small_experiment(false));
+  EXPECT_EQ(result.leases_granted, 0u);
+  EXPECT_EQ(result.cache_updates_sent, 0u);
+}
+
+TEST(ConsistencySim, DnscupDramaticallyReducesStaleness) {
+  // The paper's core claim, quantified: strong consistency cuts the
+  // stale-answer fraction by at least an order of magnitude versus TTL.
+  const auto ttl = run_consistency_experiment(small_experiment(false));
+  const auto dnscup = run_consistency_experiment(small_experiment(true));
+  ASSERT_GT(ttl.stale_answers, 20u);  // TTL really does serve stale data
+  EXPECT_LT(dnscup.stale_fraction, ttl.stale_fraction / 10.0);
+}
+
+TEST(ConsistencySim, DnscupStaleAgesAreTiny) {
+  // Any stale answer under DNScup comes from in-flight races (propagation
+  // delay), so the stale age is bounded by seconds — not by the TTL.
+  const auto result = run_consistency_experiment(small_experiment(true));
+  if (result.stale_answers > 0) {
+    EXPECT_LT(result.stale_age_s.mean(), 10.0);
+  }
+  const auto ttl = run_consistency_experiment(small_experiment(false));
+  ASSERT_GT(ttl.stale_answers, 0u);
+  EXPECT_GT(ttl.stale_age_s.mean(), 30.0);
+}
+
+TEST(ConsistencySim, SurvivesLossInjection) {
+  ConsistencyConfig config = small_experiment(true);
+  config.loss_probability = 0.05;
+  config.seed = 31;
+  const auto result = run_consistency_experiment(config);
+  EXPECT_GT(result.answered, 0u);
+  EXPECT_GT(result.packets_dropped, 0u);
+  // Retransmissions keep the stale fraction low even with loss.
+  EXPECT_LT(result.stale_fraction, 0.05);
+}
+
+TEST(ConsistencySim, DeterministicForSeed) {
+  const auto a = run_consistency_experiment(small_experiment(true));
+  const auto b = run_consistency_experiment(small_experiment(true));
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.stale_answers, b.stale_answers);
+  EXPECT_EQ(a.changes, b.changes);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+}
+
+}  // namespace
+}  // namespace dnscup::sim

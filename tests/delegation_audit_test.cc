@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "core/delegation_audit.h"
+#include "net/sim_network.h"
+#include "server/update.h"
+
+namespace dnscup::core {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+using dns::Zone;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+dns::Ipv4 ip(const char* text) { return dns::Ipv4::parse(text).value(); }
+
+Zone make_parent() {
+  dns::SOARdata soa;
+  soa.mname = mk("ns.com");
+  soa.rname = mk("admin.com");
+  soa.serial = 1;
+  Zone z = Zone::make(mk("com"), soa, 3600, {mk("ns.com")}, 3600);
+  z.add_record(mk("example.com"), RRType::kNS, 3600,
+               dns::NSRdata{mk("ns1.example.com")});
+  z.add_record(mk("ns1.example.com"), RRType::kA, 3600,
+               dns::ARdata{ip("10.0.1.1")});  // glue
+  return z;
+}
+
+Zone make_child() {
+  dns::SOARdata soa;
+  soa.mname = mk("ns1.example.com");
+  soa.rname = mk("admin.example.com");
+  soa.serial = 1;
+  Zone z = Zone::make(mk("example.com"), soa, 3600,
+                      {mk("ns1.example.com")}, 3600);
+  z.add_record(mk("ns1.example.com"), RRType::kA, 3600,
+               dns::ARdata{ip("10.0.1.1")});
+  return z;
+}
+
+bool has_issue(const std::vector<DelegationFinding>& findings,
+               DelegationIssue issue) {
+  for (const auto& f : findings) {
+    if (f.issue == issue) return true;
+  }
+  return false;
+}
+
+TEST(DelegationAudit, ConsistentDelegationIsClean) {
+  EXPECT_TRUE(audit_delegation(make_parent(), make_child()).empty());
+}
+
+TEST(DelegationAudit, NoDelegationDetected) {
+  Zone parent = make_parent();
+  // The apex NS of the parent zone remains; the *delegation* NS goes.
+  parent.remove_rrset(mk("example.com"), RRType::kNS);
+  const auto findings = audit_delegation(parent, make_child());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].issue, DelegationIssue::kNoDelegation);
+}
+
+TEST(DelegationAudit, ChildAddedNameserverMissingAtParent) {
+  Zone child = make_child();
+  child.add_record(mk("example.com"), RRType::kNS, 3600,
+                   dns::NSRdata{mk("ns2.example.com")});
+  const auto findings = audit_delegation(make_parent(), child);
+  EXPECT_TRUE(has_issue(findings, DelegationIssue::kMissingAtParent));
+}
+
+TEST(DelegationAudit, ParentHoldsStaleNameserver) {
+  // The classic lame-delegation pattern: the child renames its server but
+  // the parent keeps delegating to the dead one.
+  Zone child = make_child();
+  child.add_record(mk("example.com"), RRType::kNS, 3600,
+                   dns::NSRdata{mk("ns9.example.com")});
+  child.remove_record(mk("example.com"), RRType::kNS,
+                      dns::NSRdata{mk("ns1.example.com")});
+  const auto findings = audit_delegation(make_parent(), child);
+  EXPECT_TRUE(has_issue(findings, DelegationIssue::kStaleAtParent));
+  EXPECT_TRUE(has_issue(findings, DelegationIssue::kMissingAtParent));
+}
+
+TEST(DelegationAudit, MissingGlueDetected) {
+  Zone parent = make_parent();
+  parent.remove_rrset(mk("ns1.example.com"), RRType::kA);
+  const auto findings = audit_delegation(parent, make_child());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].issue, DelegationIssue::kMissingGlue);
+  EXPECT_EQ(findings[0].subject, mk("ns1.example.com"));
+}
+
+TEST(DelegationAudit, GlueMismatchDetected) {
+  Zone child = make_child();
+  child.remove_rrset(mk("ns1.example.com"), RRType::kA);
+  child.add_record(mk("ns1.example.com"), RRType::kA, 3600,
+                   dns::ARdata{ip("10.0.9.9")});  // server moved
+  const auto findings = audit_delegation(make_parent(), child);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].issue, DelegationIssue::kGlueMismatch);
+}
+
+TEST(DelegationAudit, OutOfZoneNsNeedsNoGlue) {
+  Zone parent = make_parent();
+  Zone child = make_child();
+  for (Zone* z : {&parent, &child}) {
+    z->add_record(mk("example.com"), RRType::kNS, 3600,
+                  dns::NSRdata{mk("ns.hosting.net")});
+  }
+  EXPECT_TRUE(audit_delegation(parent, child).empty());
+}
+
+TEST(DelegationAudit, IssueNamesDistinct) {
+  EXPECT_STREQ(to_string(DelegationIssue::kNoDelegation), "no-delegation");
+  EXPECT_STREQ(to_string(DelegationIssue::kGlueMismatch), "glue-mismatch");
+}
+
+// ---- DelegationGuard: live parent-child sync ------------------------------
+
+class GuardTest : public ::testing::Test {
+ protected:
+  GuardTest()
+      : network_(loop_, 1),
+        parent_(network_.bind({net::make_ip(10, 0, 0, 1), 53}), loop_),
+        child_(network_.bind({net::make_ip(10, 0, 1, 1), 53}), loop_) {
+    parent_.add_zone(make_parent());
+    child_.add_zone(make_child());
+  }
+
+  net::EventLoop loop_;
+  net::SimNetwork network_;
+  server::AuthServer parent_;
+  server::AuthServer child_;
+};
+
+TEST_F(GuardTest, RepairsDelegationWhenChildRenamesServer) {
+  DelegationGuard guard(parent_, child_, mk("example.com"));
+
+  // The child migrates: new nameserver name + address via dynamic update.
+  const dns::Message update =
+      server::UpdateBuilder(mk("example.com"))
+          .add(mk("example.com"), 3600, dns::NSRdata{mk("ns2.example.com")})
+          .add(mk("ns2.example.com"), 3600, dns::ARdata{ip("10.0.1.2")})
+          .delete_record(mk("example.com"),
+                         dns::NSRdata{mk("ns1.example.com")})
+          .build(1);
+  ASSERT_EQ(child_.apply_update(update), dns::Rcode::kNoError);
+
+  EXPECT_GE(guard.syncs(), 1u);
+  // Parent now delegates to the new server with correct glue: no findings.
+  const auto findings = audit_delegation(
+      *parent_.find_zone(mk("www.example.com")),
+      *child_.find_zone(mk("www.example.com")));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST_F(GuardTest, InitialSyncRepairsPreexistingLameness) {
+  // Child already moved before the guard attaches.
+  const dns::Message update =
+      server::UpdateBuilder(mk("example.com"))
+          .add(mk("example.com"), 3600, dns::NSRdata{mk("ns3.example.com")})
+          .add(mk("ns3.example.com"), 3600, dns::ARdata{ip("10.0.1.3")})
+          .delete_record(mk("example.com"),
+                         dns::NSRdata{mk("ns1.example.com")})
+          .build(2);
+  ASSERT_EQ(child_.apply_update(update), dns::Rcode::kNoError);
+  ASSERT_FALSE(audit_delegation(*parent_.find_zone(mk("a.example.com")),
+                                *child_.find_zone(mk("a.example.com")))
+                   .empty());
+
+  DelegationGuard guard(parent_, child_, mk("example.com"));
+  EXPECT_GE(guard.syncs(), 1u);
+  EXPECT_TRUE(audit_delegation(*parent_.find_zone(mk("a.example.com")),
+                               *child_.find_zone(mk("a.example.com")))
+                  .empty());
+}
+
+TEST_F(GuardTest, NoChangeNoSync) {
+  DelegationGuard guard(parent_, child_, mk("example.com"));
+  const uint64_t initial = guard.syncs();
+  // A change unrelated to the apex NS / glue.
+  const dns::Message update =
+      server::UpdateBuilder(mk("example.com"))
+          .add(mk("www.example.com"), 300, dns::ARdata{ip("192.0.2.80")})
+          .build(3);
+  ASSERT_EQ(child_.apply_update(update), dns::Rcode::kNoError);
+  EXPECT_EQ(guard.syncs(), initial);
+}
+
+}  // namespace
+}  // namespace dnscup::core

@@ -1,0 +1,328 @@
+// End-to-end DNScup behaviour on the Figure-7 testbed: the strong-cache-
+// consistency invariant, its TTL counterpart, failure injection, and the
+// paper's 512-byte message-size claim.
+#include <gtest/gtest.h>
+
+#include "sim/testbed.h"
+
+namespace dnscup {
+namespace {
+
+using dns::RRType;
+using sim::Testbed;
+using sim::TestbedConfig;
+using Outcome = server::CachingResolver::Outcome;
+
+dns::Ipv4 ip(const char* text) { return dns::Ipv4::parse(text).value(); }
+
+TEST(DnscupE2E, FullTestbedTopologyResolves) {
+  // The paper's testbed: 40 zones, master + 2 slaves, 2 caches.
+  TestbedConfig config;
+  config.zones = 40;
+  Testbed tb(config);
+  for (std::size_t z = 0; z < 40; z += 7) {
+    const auto r = tb.resolve(0, tb.web_host(z), RRType::kA);
+    ASSERT_TRUE(r.has_value()) << z;
+    EXPECT_EQ(r->status, Outcome::Status::kOk) << z;
+  }
+  // Every exchanged datagram respected RFC 1035's 512-byte UDP limit.
+  EXPECT_LE(tb.network().max_packet_bytes(), dns::kMaxUdpPayload);
+}
+
+TEST(DnscupE2E, StrongConsistencyInvariant) {
+  // After a mapping change settles, every cache holding a lease answers
+  // with the new mapping long before its TTL would have expired.
+  TestbedConfig config;
+  config.zones = 8;
+  config.caches = 2;
+  config.record_ttl = 3600;  // long TTL: weak consistency would stale out
+  Testbed tb(config);
+
+  // Both caches load (and lease) every zone.
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t z = 0; z < 8; ++z) {
+      ASSERT_TRUE(tb.resolve(c, tb.web_host(z), RRType::kA).has_value());
+    }
+  }
+
+  // Repoint all zones.
+  for (std::size_t z = 0; z < 8; ++z) {
+    ASSERT_EQ(tb.repoint_web_host(
+                  z, dns::Ipv4{ip("198.18.1.0").addr +
+                               static_cast<uint32_t>(z)}),
+              dns::Rcode::kNoError);
+  }
+  tb.loop().run_for(net::seconds(5));  // notification settle time
+
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t z = 0; z < 8; ++z) {
+      const auto r = tb.resolve(c, tb.web_host(z), RRType::kA);
+      ASSERT_TRUE(r.has_value());
+      EXPECT_EQ(std::get<dns::ARdata>(r->rrset.rdatas[0]).address.addr,
+                ip("198.18.1.0").addr + static_cast<uint32_t>(z))
+          << "cache " << c << " zone " << z;
+      EXPECT_TRUE(r->from_cache);  // served from the pushed update
+    }
+  }
+  // Acks balanced: nothing left in flight.
+  EXPECT_EQ(tb.dnscup()->notifier().in_flight(), 0u);
+  const auto& ns = tb.dnscup()->notifier().stats();
+  EXPECT_EQ(ns.acks_received, ns.updates_sent);
+}
+
+TEST(DnscupE2E, TtlBaselineServesStale) {
+  // The identical scenario without DNScup: caches serve the old mapping
+  // until TTL expiry — the paper's motivating failure mode.
+  TestbedConfig config;
+  config.zones = 2;
+  config.caches = 1;
+  config.record_ttl = 3600;
+  config.dnscup_enabled = false;
+  Testbed tb(config);
+
+  ASSERT_TRUE(tb.resolve(0, tb.web_host(0), RRType::kA).has_value());
+  tb.repoint_web_host(0, ip("198.18.2.1"));
+  tb.loop().run_for(net::minutes(10));
+
+  const auto r = tb.resolve(0, tb.web_host(0), RRType::kA);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NE(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+            ip("198.18.2.1"));  // still stale after 10 minutes
+
+  // Only after TTL expiry does the cache converge.
+  tb.loop().run_for(net::seconds(3601));
+  const auto r2 = tb.resolve(0, tb.web_host(0), RRType::kA);
+  EXPECT_EQ(std::get<dns::ARdata>(r2->rrset.rdatas[0]).address,
+            ip("198.18.2.1"));
+}
+
+TEST(DnscupE2E, NotificationSurvivesLossyNetwork) {
+  TestbedConfig config;
+  config.zones = 2;
+  config.caches = 1;
+  config.record_ttl = 3600;
+  config.link.loss_probability = 0.25;
+  config.seed = 7;
+  Testbed tb(config);
+
+  ASSERT_TRUE(tb.resolve(0, tb.web_host(0), RRType::kA).has_value());
+  ASSERT_EQ(tb.repoint_web_host(0, ip("198.18.3.1")), dns::Rcode::kNoError);
+  tb.loop().run_for(net::minutes(2));  // room for retransmissions
+
+  const auto r = tb.resolve(0, tb.web_host(0), RRType::kA);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+            ip("198.18.3.1"));
+}
+
+TEST(DnscupE2E, LeaseExpiryFallsBackToTtl) {
+  TestbedConfig config;
+  config.zones = 2;
+  config.caches = 1;
+  config.record_ttl = 60;
+  config.max_lease = net::seconds(120);
+  Testbed tb(config);
+
+  ASSERT_TRUE(tb.resolve(0, tb.web_host(0), RRType::kA).has_value());
+  // Let both TTL and lease run out with no renewal.
+  tb.loop().run_until(tb.loop().now() + net::seconds(300));
+  EXPECT_EQ(tb.lease_client(0)->live_leases(tb.loop().now()), 0u);
+
+  // A change now produces no CACHE-UPDATE (no valid leaseholder)...
+  const auto sent_before = tb.dnscup()->notifier().stats().updates_sent;
+  tb.repoint_web_host(0, ip("198.18.4.1"));
+  tb.loop().run_for(net::seconds(2));
+  EXPECT_EQ(tb.dnscup()->notifier().stats().updates_sent, sent_before);
+
+  // ...but the next query re-resolves (TTL expired) and re-leases.
+  const auto r = tb.resolve(0, tb.web_host(0), RRType::kA);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+            ip("198.18.4.1"));
+  EXPECT_FALSE(r->from_cache);
+  EXPECT_EQ(tb.lease_client(0)->live_leases(tb.loop().now()), 1u);
+}
+
+TEST(DnscupE2E, CachePartitionRevokesLeaseAfterRetries) {
+  TestbedConfig config;
+  config.zones = 2;
+  config.caches = 1;
+  config.record_ttl = 3600;
+  Testbed tb(config);
+
+  ASSERT_TRUE(tb.resolve(0, tb.web_host(0), RRType::kA).has_value());
+  EXPECT_EQ(tb.dnscup()->track_file().live_count(tb.loop().now()), 1u);
+
+  // Partition the cache away, then change the mapping.
+  const net::Endpoint cache_ep{net::make_ip(10, 0, 2, 1), 53};
+  tb.network().partition(tb.master_endpoint(), cache_ep);
+  tb.repoint_web_host(0, ip("198.18.5.1"));
+  tb.loop().run_for(net::minutes(5));  // exhaust retries
+
+  EXPECT_GE(tb.dnscup()->notifier().stats().failures, 1u);
+  // The lease was revoked: the authority no longer believes the cache is
+  // consistent (it will stale out via TTL like a legacy cache).
+  EXPECT_TRUE(tb.dnscup()
+                  ->track_file()
+                  .holders_of(tb.web_host(0), RRType::kA, tb.loop().now())
+                  .empty());
+}
+
+TEST(DnscupE2E, SlavesStayConsistentWithMaster) {
+  TestbedConfig config;
+  config.zones = 4;
+  config.slaves = 2;
+  Testbed tb(config);
+  // Bootstrap the slaves.
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (std::size_t z = 0; z < 4; ++z) {
+      tb.slave(s).request_transfer(tb.zone_origin(z));
+    }
+  }
+  tb.loop().run_for(net::seconds(5));
+
+  tb.repoint_web_host(2, ip("198.18.6.1"));
+  tb.loop().run_for(net::seconds(5));
+
+  for (std::size_t s = 0; s < 2; ++s) {
+    const dns::Zone* zone = tb.slave(s).find_zone(tb.zone_origin(2));
+    ASSERT_NE(zone, nullptr);
+    const dns::RRset* a = zone->find(tb.web_host(2), RRType::kA);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(std::get<dns::ARdata>(a->rdatas[0]).address,
+              ip("198.18.6.1"));
+  }
+}
+
+TEST(DnscupE2E, MixedLegacyAndDnscupCaches) {
+  // Cache 0 runs DNScup, cache 1 is wired up as legacy by stripping its
+  // extension — backward compatibility (§1): both coexist against the
+  // same authority.
+  TestbedConfig config;
+  config.zones = 2;
+  config.caches = 2;
+  config.record_ttl = 3600;
+  Testbed tb(config);
+  tb.cache(1).set_extension(nullptr);  // cache 1 speaks plain RFC 1035
+
+  ASSERT_TRUE(tb.resolve(0, tb.web_host(0), RRType::kA).has_value());
+  ASSERT_TRUE(tb.resolve(1, tb.web_host(0), RRType::kA).has_value());
+  // Only cache 0 holds a lease.
+  EXPECT_EQ(tb.dnscup()
+                ->track_file()
+                .holders_of(tb.web_host(0), RRType::kA, tb.loop().now())
+                .size(),
+            1u);
+
+  tb.repoint_web_host(0, ip("198.18.7.1"));
+  tb.loop().run_for(net::seconds(5));
+
+  const auto fresh = tb.resolve(0, tb.web_host(0), RRType::kA);
+  EXPECT_EQ(std::get<dns::ARdata>(fresh->rrset.rdatas[0]).address,
+            ip("198.18.7.1"));
+  const auto stale = tb.resolve(1, tb.web_host(0), RRType::kA);
+  EXPECT_NE(std::get<dns::ARdata>(stale->rrset.rdatas[0]).address,
+            ip("198.18.7.1"));
+}
+
+TEST(DnscupE2E, AllMessagesUnder512BytesWithDnscupTraffic) {
+  TestbedConfig config;
+  config.zones = 16;
+  config.caches = 2;
+  Testbed tb(config);
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t z = 0; z < 16; ++z) {
+      tb.resolve(c, tb.web_host(z), RRType::kA);
+    }
+  }
+  for (std::size_t z = 0; z < 16; ++z) {
+    tb.repoint_web_host(z, dns::Ipv4{ip("198.18.8.0").addr +
+                                     static_cast<uint32_t>(z)});
+  }
+  tb.loop().run_for(net::seconds(10));
+  EXPECT_LE(tb.network().max_packet_bytes(), dns::kMaxUdpPayload);
+  EXPECT_GT(tb.dnscup()->notifier().stats().updates_sent, 0u);
+}
+
+TEST(DnscupE2E, MasterFailureResolvedViaAdvertisedSlaves) {
+  // Availability (§1): with slaves advertised in the delegation, a cache
+  // keeps resolving after the master dies.
+  TestbedConfig config;
+  config.zones = 2;
+  config.caches = 1;
+  config.slaves = 2;
+  config.advertise_slaves = true;
+  config.record_ttl = 60;
+  Testbed tb(config);
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (std::size_t z = 0; z < 2; ++z) {
+      tb.slave(s).request_transfer(tb.zone_origin(z));
+    }
+  }
+  tb.loop().run_for(net::seconds(5));
+
+  ASSERT_TRUE(tb.resolve(0, tb.web_host(0), RRType::kA).has_value());
+
+  // The master goes dark (both directions).
+  const net::Endpoint cache_ep{net::make_ip(10, 0, 2, 1), 53};
+  tb.network().partition(cache_ep, tb.master_endpoint());
+  tb.network().partition(tb.master_endpoint(), cache_ep);
+
+  // Past the TTL the cache must re-resolve — only the slaves can answer.
+  tb.loop().run_until(tb.loop().now() + net::minutes(2));
+  const auto r = tb.resolve(0, tb.web_host(1), RRType::kA,
+                            net::minutes(2));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Outcome::Status::kOk);
+  EXPECT_GT(tb.cache(0).stats().timeouts, 0u);  // it did try the master
+}
+
+TEST(DnscupE2E, SlavesAnswerLegacyOnlyNoLeases) {
+  // Slaves run no DNScup middleware: answers from them grant no lease,
+  // and the cache transparently degrades to TTL for those records.
+  TestbedConfig config;
+  config.zones = 1;
+  config.caches = 1;
+  config.slaves = 1;
+  config.advertise_slaves = true;
+  config.record_ttl = 300;
+  Testbed tb(config);
+  tb.slave(0).request_transfer(tb.zone_origin(0));
+  tb.loop().run_for(net::seconds(5));
+
+  // Force resolution through the slave by cutting the master away.
+  const net::Endpoint cache_ep{net::make_ip(10, 0, 2, 1), 53};
+  tb.network().partition(cache_ep, tb.master_endpoint());
+  const auto r = tb.resolve(0, tb.web_host(0), RRType::kA,
+                            net::minutes(2));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Outcome::Status::kOk);
+  EXPECT_EQ(tb.lease_client(0)->live_leases(tb.loop().now()), 0u);
+}
+
+TEST(DnscupE2E, RenewalOnQueryAfterLeaseExpiry) {
+  TestbedConfig config;
+  config.zones = 2;
+  config.caches = 1;
+  config.record_ttl = 30;
+  config.max_lease = net::seconds(60);
+  Testbed tb(config);
+
+  tb.resolve(0, tb.web_host(0), RRType::kA);
+  const auto& tf = tb.dnscup()->track_file();
+  EXPECT_EQ(tf.live_count(tb.loop().now()), 1u);
+
+  // Past lease expiry, the next client query re-resolves and re-leases
+  // (the paper's renewal-on-next-query model).
+  tb.loop().run_until(tb.loop().now() + net::seconds(90));
+  EXPECT_EQ(tf.live_count(tb.loop().now()), 0u);
+  tb.resolve(0, tb.web_host(0), RRType::kA);
+  EXPECT_EQ(tf.live_count(tb.loop().now()), 1u);
+  // The re-grant counts as a renewal (same grantor, entry still cached).
+  EXPECT_GE(tb.lease_client(0)->stats().leases_registered +
+                tb.lease_client(0)->stats().lease_renewals,
+            2u);
+}
+
+}  // namespace
+}  // namespace dnscup

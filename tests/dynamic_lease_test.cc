@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dynamic_lease.h"
+#include "core/lease_math.h"
+#include "util/rng.h"
+
+namespace dnscup::core {
+namespace {
+
+std::vector<DemandEntry> simple_demands() {
+  // Three caches with very different rates on one record, L = 100 s.
+  return {
+      {0, 0, 1.0, 100.0},
+      {0, 1, 0.1, 100.0},
+      {0, 2, 0.01, 100.0},
+  };
+}
+
+std::vector<DemandEntry> random_demands(util::Rng& rng, std::size_t n) {
+  std::vector<DemandEntry> demands;
+  for (std::size_t i = 0; i < n; ++i) {
+    DemandEntry d;
+    d.record = i / 3;
+    d.cache = i % 3;
+    d.rate = std::exp(rng.uniform_real(std::log(0.001), std::log(10.0)));
+    d.max_lease = std::exp(rng.uniform_real(std::log(10.0), std::log(1e5)));
+    demands.push_back(d);
+  }
+  return demands;
+}
+
+// ---- evaluate_plan -----------------------------------------------------------
+
+TEST(EvaluatePlan, PollingIsHundredPercentQueryRateZeroStorage) {
+  const auto demands = simple_demands();
+  const LeasePlan plan = plan_polling(demands);
+  EXPECT_DOUBLE_EQ(plan.total_storage, 0.0);
+  EXPECT_DOUBLE_EQ(plan.query_rate_percentage, 100.0);
+  EXPECT_DOUBLE_EQ(plan.storage_percentage, 0.0);
+  EXPECT_NEAR(plan.total_message_rate, 1.11, 1e-9);
+}
+
+TEST(EvaluatePlan, MatchesClosedForm) {
+  const auto demands = simple_demands();
+  LeasePlan plan;
+  plan.lengths = {50.0, 0.0, 200.0};
+  evaluate_plan(demands, plan);
+  const double expected_storage = lease_probability(50, 1.0) +
+                                  lease_probability(0, 0.1) +
+                                  lease_probability(200, 0.01);
+  const double expected_rate =
+      renewal_rate(50, 1.0) + 0.1 + renewal_rate(200, 0.01);
+  EXPECT_NEAR(plan.total_storage, expected_storage, 1e-12);
+  EXPECT_NEAR(plan.total_message_rate, expected_rate, 1e-12);
+}
+
+TEST(EvaluatePlan, EmptyDemands) {
+  LeasePlan plan;
+  evaluate_plan({}, plan);
+  EXPECT_DOUBLE_EQ(plan.storage_percentage, 0.0);
+  EXPECT_DOUBLE_EQ(plan.query_rate_percentage, 0.0);
+}
+
+// ---- storage-constrained ------------------------------------------------------
+
+TEST(StorageConstrained, RespectsBudget) {
+  const auto demands = simple_demands();
+  for (double budget : {0.0, 0.3, 1.0, 2.5, 10.0}) {
+    const LeasePlan plan = plan_storage_constrained(demands, budget);
+    EXPECT_LE(plan.total_storage, budget + 1e-9) << budget;
+  }
+}
+
+TEST(StorageConstrained, GrantsHighestRateFirst) {
+  const auto demands = simple_demands();
+  // Budget for about one full lease: the 1.0 q/s cache must win.
+  const LeasePlan plan = plan_storage_constrained(demands, 1.0);
+  EXPECT_DOUBLE_EQ(plan.lengths[0], 100.0);
+  EXPECT_GT(plan.lengths[0], plan.lengths[2]);
+}
+
+TEST(StorageConstrained, ExactFillTruncatesLastLease) {
+  const auto demands = simple_demands();
+  const LeasePlan plan = plan_storage_constrained(demands, 1.5);
+  // Budget is binding (full grant would exceed 1.5), so usage lands
+  // exactly on the budget via a truncated final lease.
+  EXPECT_NEAR(plan.total_storage, 1.5, 1e-9);
+}
+
+TEST(StorageConstrained, ZeroBudgetIsPolling) {
+  const auto demands = simple_demands();
+  const LeasePlan plan = plan_storage_constrained(demands, 0.0);
+  for (double l : plan.lengths) EXPECT_DOUBLE_EQ(l, 0.0);
+  EXPECT_DOUBLE_EQ(plan.query_rate_percentage, 100.0);
+}
+
+TEST(StorageConstrained, HugeBudgetGrantsEverything) {
+  const auto demands = simple_demands();
+  const LeasePlan plan = plan_storage_constrained(demands, 100.0);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plan.lengths[i], demands[i].max_lease);
+  }
+}
+
+TEST(StorageConstrained, MonotoneInBudget) {
+  util::Rng rng(5);
+  const auto demands = random_demands(rng, 30);
+  double prev_messages = 1e18;
+  for (double budget = 0.0; budget <= 30.0; budget += 1.5) {
+    const LeasePlan plan = plan_storage_constrained(demands, budget);
+    EXPECT_LE(plan.total_message_rate, prev_messages + 1e-9);
+    prev_messages = plan.total_message_rate;
+  }
+}
+
+class StorageGreedyVsBruteForce : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(StorageGreedyVsBruteForce, GreedyNearOptimal) {
+  util::Rng rng(GetParam());
+  const auto demands = random_demands(rng, 10);
+  for (double budget_frac : {0.2, 0.5, 0.8}) {
+    double max_storage = 0.0;
+    for (const auto& d : demands) {
+      max_storage += lease_probability(d.max_lease, d.rate);
+    }
+    const double budget = budget_frac * max_storage;
+    const LeasePlan greedy = plan_storage_constrained(demands, budget);
+    const LeasePlan brute = brute_force_storage_constrained(demands, budget);
+    EXPECT_LE(greedy.total_storage, budget + 1e-9);
+    // The greedy may only beat the all-or-nothing brute force (it can
+    // truncate the marginal lease); it must never be more than a hair
+    // worse on messages.
+    EXPECT_LE(greedy.total_message_rate,
+              brute.total_message_rate * 1.02 + 1e-9)
+        << "seed " << GetParam() << " budget " << budget;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StorageGreedyVsBruteForce,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---- communication-constrained ---------------------------------------------------
+
+TEST(CommConstrained, AllLeasedWhenBudgetTight) {
+  const auto demands = simple_demands();
+  // The minimum possible traffic is the all-leased renewal rate.
+  LeasePlan all;
+  all.lengths = {100.0, 100.0, 100.0};
+  evaluate_plan(demands, all);
+  const LeasePlan plan =
+      plan_comm_constrained(demands, all.total_message_rate * 1.001);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(plan.lengths[i], 100.0);
+  }
+}
+
+TEST(CommConstrained, DeprivesSmallestRatesFirst) {
+  const auto demands = simple_demands();
+  // Generous budget: everything can be deprived except the hottest.
+  LeasePlan polling = plan_polling(demands);
+  const double budget = polling.total_message_rate * 0.5;
+  const LeasePlan plan = plan_comm_constrained(demands, budget);
+  // The 0.01 q/s lease goes first, then 0.1 if budget still allows.
+  EXPECT_DOUBLE_EQ(plan.lengths[2], 0.0);
+  EXPECT_LE(plan.total_message_rate, budget + 1e-9);
+}
+
+TEST(CommConstrained, HugeBudgetMinimizesStorageToZero) {
+  const auto demands = simple_demands();
+  const LeasePlan plan = plan_comm_constrained(demands, 1e9);
+  EXPECT_DOUBLE_EQ(plan.total_storage, 0.0);
+}
+
+TEST(CommConstrained, StorageMonotoneInBudget) {
+  util::Rng rng(6);
+  const auto demands = random_demands(rng, 30);
+  double prev_storage = 1e18;
+  const LeasePlan polling = plan_polling(demands);
+  for (double frac = 0.1; frac <= 1.0; frac += 0.1) {
+    const LeasePlan plan =
+        plan_comm_constrained(demands, polling.total_message_rate * frac);
+    EXPECT_LE(plan.total_storage, prev_storage + 1e-9);
+    prev_storage = plan.total_storage;
+  }
+}
+
+class CommGreedyVsBruteForce : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CommGreedyVsBruteForce, GreedyNearOptimal) {
+  util::Rng rng(GetParam() + 100);
+  const auto demands = random_demands(rng, 10);
+  const LeasePlan polling = plan_polling(demands);
+  for (double frac : {0.3, 0.6, 0.9}) {
+    const double budget = polling.total_message_rate * frac;
+    const LeasePlan greedy = plan_comm_constrained(demands, budget);
+    const LeasePlan brute = brute_force_comm_constrained(demands, budget);
+    if (brute.total_message_rate <= budget + 1e-9) {
+      EXPECT_LE(greedy.total_message_rate, budget + 1e-9);
+      EXPECT_LE(greedy.total_storage, brute.total_storage * 1.02 + 1e-9)
+          << "seed " << GetParam() << " budget " << budget;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommGreedyVsBruteForce,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---- dominance: the paper's Figure-5 claim --------------------------------------
+
+TEST(Dominance, DynamicBeatsFixedAtEqualStorage) {
+  // With heterogeneous rates, the dynamic plan achieves a lower message
+  // rate than any fixed-length plan using the same (or more) storage.
+  util::Rng rng(9);
+  const auto demands = random_demands(rng, 60);
+  for (double t : {10.0, 100.0, 1000.0}) {
+    const LeasePlan fixed = plan_fixed(demands, t);
+    const LeasePlan dynamic =
+        plan_storage_constrained(demands, fixed.total_storage);
+    EXPECT_LE(dynamic.total_storage, fixed.total_storage + 1e-9);
+    EXPECT_LE(dynamic.total_message_rate,
+              fixed.total_message_rate + 1e-9)
+        << "fixed t=" << t;
+  }
+}
+
+TEST(Dominance, StrictWhenRatesHeterogeneous) {
+  const std::vector<DemandEntry> demands = {
+      {0, 0, 10.0, 1000.0},
+      {1, 1, 0.001, 1000.0},
+  };
+  const LeasePlan fixed = plan_fixed(demands, 50.0);
+  const LeasePlan dynamic =
+      plan_storage_constrained(demands, fixed.total_storage);
+  EXPECT_LT(dynamic.total_message_rate, fixed.total_message_rate * 0.9);
+}
+
+TEST(PlanFixed, UniformLengths) {
+  const auto demands = simple_demands();
+  const LeasePlan plan = plan_fixed(demands, 42.0);
+  for (double l : plan.lengths) EXPECT_DOUBLE_EQ(l, 42.0);
+}
+
+}  // namespace
+}  // namespace dnscup::core

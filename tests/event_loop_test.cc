@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/event_loop.h"
+
+namespace dnscup::net {
+namespace {
+
+TEST(EventLoop, StartsAtZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now(), 0);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, FiresInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(milliseconds(30), [&] { order.push_back(3); });
+  loop.schedule(milliseconds(10), [&] { order.push_back(1); });
+  loop.schedule(milliseconds(20), [&] { order.push_back(2); });
+  loop.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), milliseconds(30));
+}
+
+TEST(EventLoop, SameTimeFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule(seconds(1), [&order, i] { order.push_back(i); });
+  }
+  loop.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoop, ClockAdvancesToEventTime) {
+  EventLoop loop;
+  SimTime observed = -1;
+  loop.schedule(seconds(5), [&] { observed = loop.now(); });
+  loop.run_all();
+  EXPECT_EQ(observed, seconds(5));
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule(seconds(1), [&] { ++fired; });
+  loop.schedule(seconds(10), [&] { ++fired; });
+  EXPECT_EQ(loop.run_until(seconds(5)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), seconds(5));
+  EXPECT_EQ(loop.run_all(), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, RunUntilAdvancesClockEvenWithoutEvents) {
+  EventLoop loop;
+  loop.run_until(seconds(42));
+  EXPECT_EQ(loop.now(), seconds(42));
+}
+
+TEST(EventLoop, NestedScheduling) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(seconds(1), [&] {
+    order.push_back(1);
+    loop.schedule(seconds(1), [&] { order.push_back(2); });
+  });
+  loop.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.now(), seconds(2));
+}
+
+TEST(EventLoop, ImmediateEventFromCallbackRunsSameTime) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule(seconds(1), [&] {
+    loop.schedule(0, [&] { ++count; });
+  });
+  loop.run_until(seconds(1));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventLoop, NegativeDelayClamped) {
+  EventLoop loop;
+  loop.run_until(seconds(10));
+  bool fired = false;
+  loop.schedule(-seconds(5), [&] { fired = true; });
+  loop.run_until(seconds(10));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(loop.now(), seconds(10));  // never goes backwards
+}
+
+TEST(EventLoop, CancelPreventsFiring) {
+  EventLoop loop;
+  bool fired = false;
+  TimerHandle h = loop.schedule(seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(h.active());
+  h.cancel();
+  EXPECT_FALSE(h.active());
+  loop.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, CancelAfterFireIsHarmless) {
+  EventLoop loop;
+  int count = 0;
+  TimerHandle h = loop.schedule(seconds(1), [&] { ++count; });
+  loop.run_all();
+  h.cancel();
+  h.cancel();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventLoop, CancelOneOfMany) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(seconds(1), [&] { order.push_back(1); });
+  TimerHandle h = loop.schedule(seconds(2), [&] { order.push_back(2); });
+  loop.schedule(seconds(3), [&] { order.push_back(3); });
+  h.cancel();
+  loop.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventLoop, DefaultHandleInactive) {
+  TimerHandle h;
+  EXPECT_FALSE(h.active());
+  h.cancel();  // no-op
+}
+
+TEST(EventLoop, ScheduleAtAbsoluteTime) {
+  EventLoop loop;
+  SimTime observed = -1;
+  loop.schedule_at(seconds(7), [&] { observed = loop.now(); });
+  loop.run_all();
+  EXPECT_EQ(observed, seconds(7));
+}
+
+TEST(EventLoop, ManyEventsStressOrder) {
+  EventLoop loop;
+  SimTime last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    loop.schedule(milliseconds((i * 7919) % 1000), [&] {
+      if (loop.now() < last) monotone = false;
+      last = loop.now();
+    });
+  }
+  loop.run_all();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace dnscup::net

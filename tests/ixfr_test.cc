@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "net/sim_network.h"
+#include "server/authoritative.h"
+#include "server/update.h"
+
+namespace dnscup::server {
+namespace {
+
+using dns::Message;
+using dns::Name;
+using dns::Rcode;
+using dns::RRType;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+dns::Ipv4 ip(const char* text) { return dns::Ipv4::parse(text).value(); }
+
+dns::Zone seed_zone(std::size_t hosts) {
+  dns::SOARdata soa;
+  soa.mname = mk("ns1.inc.org");
+  soa.rname = mk("admin.inc.org");
+  soa.serial = 100;
+  soa.minimum = 60;
+  dns::Zone z =
+      dns::Zone::make(mk("inc.org"), soa, 3600, {mk("ns1.inc.org")}, 3600);
+  for (std::size_t i = 0; i < hosts; ++i) {
+    z.add_record(mk(("h" + std::to_string(i) + ".inc.org").c_str()),
+                 RRType::kA, 300,
+                 dns::ARdata{dns::Ipv4{static_cast<uint32_t>(0x0A000000 + i)}});
+  }
+  return z;
+}
+
+class IxfrTest : public ::testing::Test {
+ protected:
+  IxfrTest()
+      : network_(loop_, 1),
+        master_ep_{net::make_ip(10, 0, 1, 1), 53},
+        slave_ep_{net::make_ip(10, 0, 1, 2), 53},
+        admin_{net::make_ip(10, 0, 9, 9), 5353},
+        master_(network_.bind(master_ep_), loop_),
+        slave_(network_.bind(slave_ep_), loop_, AuthServer::Role::kSlave) {
+    master_.add_slave(slave_ep_);
+    slave_.set_master(master_ep_);
+    master_.add_zone(seed_zone(40));
+    // Bootstrap via full transfer.
+    slave_.request_transfer(mk("inc.org"));
+    loop_.run_all();
+  }
+
+  void repoint(const char* host, const char* addr) {
+    const Message update = UpdateBuilder(mk("inc.org"))
+                               .replace_a(mk(host), 300, ip(addr))
+                               .build(next_id_++);
+    ASSERT_EQ(master_.handle(admin_, update)->flags.rcode, Rcode::kNoError);
+  }
+
+  net::EventLoop loop_;
+  net::SimNetwork network_;
+  net::Endpoint master_ep_;
+  net::Endpoint slave_ep_;
+  net::Endpoint admin_;
+  AuthServer master_;
+  AuthServer slave_;
+  uint16_t next_id_ = 500;
+};
+
+TEST_F(IxfrTest, NotifyDrivesIncrementalTransfer) {
+  const auto packets_before = network_.packets_delivered();
+  repoint("h3.inc.org", "203.0.113.3");
+  loop_.run_all();
+
+  EXPECT_EQ(master_.stats().ixfr_served, 1u);
+  EXPECT_EQ(master_.stats().ixfr_fallbacks, 0u);
+  EXPECT_EQ(slave_.stats().ixfr_applied, 1u);
+  const dns::Zone* z = slave_.find_zone(mk("inc.org"));
+  EXPECT_EQ(z->serial(), 101u);
+  EXPECT_EQ(std::get<dns::ARdata>(
+                z->find(mk("h3.inc.org"), RRType::kA)->rdatas[0])
+                .address,
+            ip("203.0.113.3"));
+  // Incremental transfer: far fewer packets than the 40-host bootstrap.
+  EXPECT_LT(network_.packets_delivered() - packets_before, 8u);
+}
+
+TEST_F(IxfrTest, SlaveMatchesMasterExactlyAfterManySteps) {
+  for (int i = 0; i < 10; ++i) {
+    repoint(("h" + std::to_string(i) + ".inc.org").c_str(),
+            ("198.51.100." + std::to_string(i + 1)).c_str());
+    loop_.run_all();
+  }
+  EXPECT_TRUE(dns::diff_zones(*master_.find_zone(mk("inc.org")),
+                              *slave_.find_zone(mk("inc.org")))
+                  .empty());
+  EXPECT_EQ(slave_.find_zone(mk("inc.org"))->serial(), 110u);
+  EXPECT_GE(slave_.stats().ixfr_applied, 10u);
+}
+
+TEST_F(IxfrTest, MultiStepDiffAfterPartition) {
+  // The slave misses several NOTIFYs; the next transfer carries a chained
+  // multi-step diff.
+  network_.partition(master_ep_, slave_ep_);
+  repoint("h1.inc.org", "198.51.100.21");
+  repoint("h2.inc.org", "198.51.100.22");
+  repoint("h3.inc.org", "198.51.100.23");
+  loop_.run_all();
+  ASSERT_EQ(slave_.find_zone(mk("inc.org"))->serial(), 100u);  // stale
+
+  network_.heal(master_ep_, slave_ep_);
+  slave_.request_transfer(mk("inc.org"));
+  loop_.run_all();
+
+  EXPECT_EQ(slave_.find_zone(mk("inc.org"))->serial(), 103u);
+  EXPECT_TRUE(dns::diff_zones(*master_.find_zone(mk("inc.org")),
+                              *slave_.find_zone(mk("inc.org")))
+                  .empty());
+  EXPECT_GE(master_.stats().ixfr_served, 1u);
+  EXPECT_EQ(master_.stats().ixfr_fallbacks, 0u);
+}
+
+TEST_F(IxfrTest, UpToDateSlaveGetsSingleSoa) {
+  const auto packets_before = network_.packets_delivered();
+  slave_.request_transfer(mk("inc.org"));
+  loop_.run_all();
+  EXPECT_EQ(network_.packets_delivered() - packets_before, 2u);  // req+SOA
+  EXPECT_EQ(slave_.find_zone(mk("inc.org"))->serial(), 100u);
+  EXPECT_EQ(slave_.stats().ixfr_applied, 0u);
+}
+
+TEST_F(IxfrTest, JournalEvictionForcesFullTransferFallback) {
+  master_.set_journal_limit(2);
+  network_.partition(master_ep_, slave_ep_);
+  for (int i = 0; i < 5; ++i) {  // 5 steps > journal of 2
+    repoint(("h" + std::to_string(i) + ".inc.org").c_str(),
+            ("198.51.101." + std::to_string(i + 1)).c_str());
+  }
+  loop_.run_all();
+  network_.heal(master_ep_, slave_ep_);
+
+  slave_.request_transfer(mk("inc.org"));
+  loop_.run_all();
+  EXPECT_GE(master_.stats().ixfr_fallbacks, 1u);
+  EXPECT_EQ(slave_.find_zone(mk("inc.org"))->serial(), 105u);
+  EXPECT_TRUE(dns::diff_zones(*master_.find_zone(mk("inc.org")),
+                              *slave_.find_zone(mk("inc.org")))
+                  .empty());
+}
+
+TEST_F(IxfrTest, JournalSizeBounded) {
+  master_.set_journal_limit(3);
+  for (int i = 0; i < 8; ++i) {
+    repoint("h0.inc.org", ("198.51.102." + std::to_string(i + 1)).c_str());
+    loop_.run_all();
+  }
+  EXPECT_LE(master_.journal_size(mk("inc.org")), 3u);
+}
+
+TEST_F(IxfrTest, RecordAdditionAndRemovalTransferIncrementally) {
+  const Message update =
+      UpdateBuilder(mk("inc.org"))
+          .add(mk("brand-new.inc.org"), 120, dns::ARdata{ip("203.0.113.77")})
+          .delete_rrset(mk("h7.inc.org"), RRType::kA)
+          .build(next_id_++);
+  ASSERT_EQ(master_.handle(admin_, update)->flags.rcode, Rcode::kNoError);
+  loop_.run_all();
+
+  const dns::Zone* z = slave_.find_zone(mk("inc.org"));
+  EXPECT_NE(z->find(mk("brand-new.inc.org"), RRType::kA), nullptr);
+  EXPECT_EQ(z->find(mk("h7.inc.org"), RRType::kA), nullptr);
+  EXPECT_EQ(slave_.stats().ixfr_applied, 1u);
+}
+
+TEST_F(IxfrTest, ChangeHooksFireOnIncrementalApply) {
+  std::vector<dns::RRsetChange> seen;
+  slave_.add_change_listener(
+      [&](const dns::Zone&, const std::vector<dns::RRsetChange>& changes) {
+        seen = changes;
+      });
+  repoint("h9.inc.org", "203.0.113.9");
+  loop_.run_all();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].name, mk("h9.inc.org"));
+}
+
+TEST_F(IxfrTest, IxfrWithoutClientSoaFallsBackToFullZone) {
+  auto& probe = network_.bind({net::make_ip(10, 0, 7, 7), 53});
+  std::size_t responses = 0;
+  probe.set_receive_handler(
+      [&](const net::Endpoint&, std::span<const uint8_t>) { ++responses; });
+  Message req;
+  req.id = 9;
+  req.questions.push_back(
+      dns::Question{mk("inc.org"), RRType::kIXFR, dns::RRClass::kIN, 0});
+  probe.send(master_ep_, req.encode());
+  loop_.run_all();
+  EXPECT_GE(responses, 2u);  // chunked full zone
+  EXPECT_GE(master_.stats().ixfr_fallbacks, 1u);
+}
+
+TEST_F(IxfrTest, IxfrForUnknownZoneNotAuth) {
+  auto& probe = network_.bind({net::make_ip(10, 0, 7, 8), 53});
+  std::optional<Message> got;
+  probe.set_receive_handler(
+      [&](const net::Endpoint&, std::span<const uint8_t> data) {
+        got = Message::decode(data).value();
+      });
+  Message req;
+  req.id = 10;
+  req.questions.push_back(
+      dns::Question{mk("other.org"), RRType::kIXFR, dns::RRClass::kIN, 0});
+  probe.send(master_ep_, req.encode());
+  loop_.run_all();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->flags.rcode, Rcode::kNotAuth);
+}
+
+TEST_F(IxfrTest, AllTransferDatagramsUnder512) {
+  for (int i = 0; i < 6; ++i) {
+    repoint(("h" + std::to_string(10 + i) + ".inc.org").c_str(),
+            ("198.51.103." + std::to_string(i + 1)).c_str());
+    loop_.run_all();
+  }
+  EXPECT_LE(network_.max_packet_bytes(), dns::kMaxUdpPayload);
+}
+
+TEST_F(IxfrTest, LossyLinkStillConverges) {
+  // Chunks or notifies may vanish; a later explicit refresh converges.
+  network_.set_link(master_ep_, slave_ep_,
+                    {net::milliseconds(1), 0, 0.3, 0.0});
+  for (int i = 0; i < 4; ++i) {
+    repoint("h5.inc.org", ("198.51.104." + std::to_string(i + 1)).c_str());
+    loop_.run_all();
+  }
+  network_.heal(master_ep_, slave_ep_);
+  slave_.request_transfer(mk("inc.org"));
+  loop_.run_all();
+  slave_.request_transfer(mk("inc.org"));  // second round in case of gaps
+  loop_.run_all();
+  EXPECT_TRUE(dns::diff_zones(*master_.find_zone(mk("inc.org")),
+                              *slave_.find_zone(mk("inc.org")))
+                  .empty());
+}
+
+}  // namespace
+}  // namespace dnscup::server

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "core/cache_update.h"
+#include "sim/testbed.h"
+
+namespace dnscup::core {
+namespace {
+
+using dns::RRType;
+using sim::Testbed;
+using sim::TestbedConfig;
+using Outcome = server::CachingResolver::Outcome;
+
+dns::Ipv4 ip(const char* text) { return dns::Ipv4::parse(text).value(); }
+
+TestbedConfig small_config() {
+  TestbedConfig config;
+  config.zones = 4;
+  config.caches = 2;
+  config.record_ttl = 300;
+  config.max_lease = net::hours(2);
+  return config;
+}
+
+TEST(LeaseClient, ReportsRrcOnUpstreamQueries) {
+  Testbed tb(small_config());
+  // Several client queries establish a local rate before the cache misses.
+  for (int i = 0; i < 5; ++i) {
+    tb.resolve(0, tb.web_host(0), RRType::kA);
+  }
+  EXPECT_GT(tb.lease_client(0)->stats().rrc_reports, 0u);
+  // The authority observed EXT queries.
+  EXPECT_GT(tb.dnscup()->listener().stats().ext_queries, 0u);
+}
+
+TEST(LeaseClient, RegistersLeaseFromLlt) {
+  Testbed tb(small_config());
+  const auto r = tb.resolve(0, tb.web_host(0), RRType::kA);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Outcome::Status::kOk);
+  EXPECT_EQ(tb.lease_client(0)->stats().leases_registered, 1u);
+  EXPECT_EQ(tb.lease_client(0)->live_leases(tb.loop().now()), 1u);
+  // Authority agrees.
+  EXPECT_EQ(tb.dnscup()->track_file().live_count(tb.loop().now()), 1u);
+  const auto holders = tb.dnscup()->track_file().holders_of(
+      tb.web_host(0), RRType::kA, tb.loop().now());
+  ASSERT_EQ(holders.size(), 1u);
+}
+
+TEST(LeaseClient, LeaseKeepsEntryUsableBeyondTtl) {
+  Testbed tb(small_config());
+  tb.resolve(0, tb.web_host(0), RRType::kA);
+  const auto upstream_before = tb.cache(0).stats().upstream_queries;
+  // Far beyond the 300 s TTL but within the 2 h lease.
+  tb.loop().run_until(tb.loop().now() + net::seconds(3000));
+  const auto r = tb.resolve(0, tb.web_host(0), RRType::kA);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Outcome::Status::kOk);
+  EXPECT_TRUE(r->from_cache);
+  EXPECT_EQ(tb.cache(0).stats().upstream_queries, upstream_before);
+}
+
+TEST(LeaseClient, PushedUpdateAppliedAndAcked) {
+  Testbed tb(small_config());
+  tb.resolve(0, tb.web_host(0), RRType::kA);
+
+  ASSERT_EQ(tb.repoint_web_host(0, ip("198.18.0.1")), dns::Rcode::kNoError);
+  tb.loop().run_for(net::seconds(2));
+
+  const auto& stats = tb.lease_client(0)->stats();
+  EXPECT_EQ(stats.updates_received, 1u);
+  EXPECT_EQ(stats.updates_applied, 1u);
+  EXPECT_EQ(stats.acks_sent, 1u);
+  // The cache now answers with the new address without any re-resolution.
+  const auto upstream_before = tb.cache(0).stats().upstream_queries;
+  const auto r = tb.resolve(0, tb.web_host(0), RRType::kA);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+            ip("198.18.0.1"));
+  EXPECT_TRUE(r->from_cache);
+  EXPECT_EQ(tb.cache(0).stats().upstream_queries, upstream_before);
+}
+
+TEST(LeaseClient, LeaseSurvivesPush) {
+  Testbed tb(small_config());
+  tb.resolve(0, tb.web_host(0), RRType::kA);
+  tb.repoint_web_host(0, ip("198.18.0.2"));
+  tb.loop().run_for(net::seconds(2));
+  EXPECT_EQ(tb.lease_client(0)->live_leases(tb.loop().now()), 1u);
+  // A second change is also pushed (the lease is still tracked).
+  tb.repoint_web_host(0, ip("198.18.0.3"));
+  tb.loop().run_for(net::seconds(2));
+  EXPECT_EQ(tb.lease_client(0)->stats().updates_applied, 2u);
+}
+
+TEST(LeaseClient, OnlyLeaseholderGetsPush) {
+  Testbed tb(small_config());
+  tb.resolve(0, tb.web_host(0), RRType::kA);  // cache 0 leases zone0
+  tb.resolve(1, tb.web_host(1), RRType::kA);  // cache 1 leases zone1
+  tb.repoint_web_host(0, ip("198.18.0.4"));
+  tb.loop().run_for(net::seconds(2));
+  EXPECT_EQ(tb.lease_client(0)->stats().updates_received, 1u);
+  EXPECT_EQ(tb.lease_client(1)->stats().updates_received, 0u);
+}
+
+TEST(LeaseClient, UnauthorizedPushIgnored) {
+  Testbed tb(small_config());
+  tb.resolve(0, tb.web_host(0), RRType::kA);
+
+  // An attacker (not the lease grantor) pushes a poisoned mapping.
+  auto& attacker = tb.network().bind({net::make_ip(10, 6, 6, 6), 53});
+  dns::RRset poisoned{tb.web_host(0), RRType::kA, dns::RRClass::kIN, 300,
+                      {}};
+  poisoned.add(dns::ARdata{ip("6.6.6.6")});
+  std::vector<dns::RRsetChange> changes{
+      {tb.web_host(0), RRType::kA, std::nullopt, poisoned}};
+  const dns::Message evil =
+      encode_cache_update(666, tb.zone_origin(0), 999, changes);
+  attacker.send({net::make_ip(10, 0, 2, 1), 53}, evil.encode());
+  tb.loop().run_for(net::seconds(2));
+
+  EXPECT_EQ(tb.lease_client(0)->stats().unauthorized_updates, 1u);
+  const auto r = tb.resolve(0, tb.web_host(0), RRType::kA);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NE(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+            ip("6.6.6.6"));
+}
+
+TEST(LeaseClient, StaleSerialIgnoredButAcked) {
+  Testbed tb(small_config());
+  tb.resolve(0, tb.web_host(0), RRType::kA);
+  tb.repoint_web_host(0, ip("198.18.0.5"));
+  tb.loop().run_for(net::seconds(2));
+  const uint32_t current_serial =
+      tb.master().find_zone(tb.zone_origin(0))->serial();
+
+  // Replay an *older* update from the authority's endpoint.
+  dns::RRset old_data{tb.web_host(0), RRType::kA, dns::RRClass::kIN, 300,
+                      {}};
+  old_data.add(dns::ARdata{ip("203.0.113.99")});
+  std::vector<dns::RRsetChange> changes{
+      {tb.web_host(0), RRType::kA, std::nullopt, old_data}};
+  const dns::Message replay = encode_cache_update(
+      4242, tb.zone_origin(0), current_serial - 1, changes);
+  // Sent from the master's own transport so it is "authorized".
+  tb.master().transport().send({net::make_ip(10, 0, 2, 1), 53},
+                               replay.encode());
+  tb.loop().run_for(net::seconds(2));
+
+  EXPECT_EQ(tb.lease_client(0)->stats().stale_updates_ignored, 1u);
+  const auto r = tb.resolve(0, tb.web_host(0), RRType::kA);
+  EXPECT_EQ(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+            ip("198.18.0.5"));
+}
+
+TEST(LeaseClient, DuplicatePushReAcked) {
+  TestbedConfig config = small_config();
+  config.link.duplicate_probability = 1.0;  // every packet duplicated
+  Testbed tb(config);
+  tb.resolve(0, tb.web_host(0), RRType::kA);
+  tb.repoint_web_host(0, ip("198.18.0.6"));
+  tb.loop().run_for(net::seconds(2));
+  const auto& stats = tb.lease_client(0)->stats();
+  EXPECT_GE(stats.updates_received, 2u);  // original + duplicate
+  EXPECT_EQ(stats.stale_updates_ignored, stats.updates_received - 1);
+  EXPECT_EQ(stats.acks_sent, stats.updates_received);  // every copy acked
+  const auto r = tb.resolve(0, tb.web_host(0), RRType::kA);
+  EXPECT_EQ(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+            ip("198.18.0.6"));
+}
+
+TEST(LeaseClient, RenegotiatesOnRateSurge) {
+  Testbed tb(small_config());
+  // Baseline: a handful of queries establish a modest rate, then a lease.
+  for (int i = 0; i < 3; ++i) {
+    tb.resolve(0, tb.web_host(0), RRType::kA);
+    tb.loop().run_for(net::minutes(10));
+  }
+  ASSERT_GT(tb.lease_client(0)->live_leases(tb.loop().now()), 0u);
+  const auto upstream_before = tb.cache(0).stats().upstream_queries;
+
+  // Flash crowd: the client query rate surges well past the negotiated
+  // band while the entry is still cached+leased.
+  for (int i = 0; i < 200; ++i) {
+    tb.resolve(0, tb.web_host(0), RRType::kA);
+    tb.loop().run_for(net::seconds(1));
+  }
+  EXPECT_GT(tb.lease_client(0)->stats().renegotiations, 0u);
+  // The re-negotiation produced real upstream traffic (a refresh) even
+  // though every client answer came from cache.
+  EXPECT_GT(tb.cache(0).stats().upstream_queries, upstream_before);
+}
+
+TEST(LeaseClient, RenegotiationSettlesOnceRateIsStable) {
+  // A cold-start rate estimate legitimately triggers a renegotiation or
+  // two while the tracker warms up; once the estimate stabilizes at the
+  // true rate, renegotiations must stop.
+  Testbed tb(small_config());
+  for (int i = 0; i < 40; ++i) {
+    tb.resolve(0, tb.web_host(0), RRType::kA);
+    tb.loop().run_for(net::minutes(1));
+  }
+  const uint64_t after_warmup = tb.lease_client(0)->stats().renegotiations;
+  for (int i = 0; i < 40; ++i) {
+    tb.resolve(0, tb.web_host(0), RRType::kA);
+    tb.loop().run_for(net::minutes(1));
+  }
+  EXPECT_EQ(tb.lease_client(0)->stats().renegotiations, after_warmup);
+}
+
+TEST(LeaseClient, LegacyCacheUnaffected) {
+  // dnscup disabled: no EXT flags, no leases, plain TTL behaviour.
+  TestbedConfig config = small_config();
+  config.dnscup_enabled = false;
+  Testbed tb(config);
+  const auto r = tb.resolve(0, tb.web_host(0), RRType::kA);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Outcome::Status::kOk);
+  EXPECT_EQ(tb.lease_client(0), nullptr);
+  // After a repoint, the cache keeps serving stale data until TTL expiry.
+  tb.repoint_web_host(0, ip("198.18.0.7"));
+  tb.loop().run_for(net::seconds(2));
+  const auto stale = tb.resolve(0, tb.web_host(0), RRType::kA);
+  EXPECT_NE(std::get<dns::ARdata>(stale->rrset.rdatas[0]).address,
+            ip("198.18.0.7"));
+}
+
+}  // namespace
+}  // namespace dnscup::core

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lease_math.h"
+
+namespace dnscup::core {
+namespace {
+
+TEST(LeaseMath, ProbabilityFormula) {
+  // P = t / (t + 1/λ): with λ = 1 q/s and t = 1 s, P = 0.5.
+  EXPECT_DOUBLE_EQ(lease_probability(1.0, 1.0), 0.5);
+  // λ = 0.1 (one query per 10 s), t = 10 -> P = 10/20 = 0.5.
+  EXPECT_DOUBLE_EQ(lease_probability(10.0, 0.1), 0.5);
+  // t = 30, λ = 0.1 -> 30/40 = 0.75.
+  EXPECT_DOUBLE_EQ(lease_probability(30.0, 0.1), 0.75);
+}
+
+TEST(LeaseMath, ProbabilityBounds) {
+  EXPECT_DOUBLE_EQ(lease_probability(0.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(lease_probability(-3.0, 5.0), 0.0);
+  // P -> 1 as t -> inf, never reaching it.
+  EXPECT_LT(lease_probability(1e12, 1.0), 1.0);
+  EXPECT_GT(lease_probability(1e12, 1.0), 0.999);
+}
+
+TEST(LeaseMath, RenewalRateFormula) {
+  // M = 1 / (t + 1/λ): λ = 1, t = 1 -> 0.5 renewals/s.
+  EXPECT_DOUBLE_EQ(renewal_rate(1.0, 1.0), 0.5);
+  // t = 0 degenerates to polling at the full query rate.
+  EXPECT_DOUBLE_EQ(renewal_rate(0.0, 3.0), 3.0);
+}
+
+TEST(LeaseMath, RenewalNeverExceedsQueryRate) {
+  for (double t : {0.0, 0.1, 1.0, 100.0, 1e6}) {
+    for (double rate : {0.01, 1.0, 50.0}) {
+      EXPECT_LE(renewal_rate(t, rate), rate);
+    }
+  }
+}
+
+TEST(LeaseMath, ComplementIdentity) {
+  // M = λ(1 - P): renewals happen exactly when no lease is live.
+  for (double t : {0.5, 2.0, 77.0}) {
+    for (double rate : {0.2, 1.0, 9.0}) {
+      EXPECT_NEAR(renewal_rate(t, rate),
+                  rate * (1.0 - lease_probability(t, rate)), 1e-12);
+    }
+  }
+}
+
+TEST(LeaseMath, InverseFunction) {
+  for (double p : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    for (double rate : {0.01, 1.0, 42.0}) {
+      const double t = lease_length_for_probability(p, rate);
+      EXPECT_NEAR(lease_probability(t, rate), p, 1e-9);
+    }
+  }
+}
+
+TEST(LeaseMath, MonotoneInLeaseLength) {
+  double prev_p = -1.0;
+  double prev_m = 2.0;
+  for (double t : {0.0, 1.0, 10.0, 100.0, 1000.0}) {
+    const double p = lease_probability(t, 1.0);
+    const double m = renewal_rate(t, 1.0);
+    EXPECT_GT(p, prev_p);
+    EXPECT_LT(m, prev_m);
+    prev_p = p;
+    prev_m = m;
+  }
+}
+
+// The §4.1 exchange-rate theorem: for any t2 > t1,
+// ΔM / ΔP = λ exactly.
+class ExchangeRate
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(ExchangeRate, DeltaRatioEqualsQueryRate) {
+  const auto [rate, t1, t2] = GetParam();
+  ASSERT_LT(t1, t2);
+  const double dp = lease_probability(t2, rate) - lease_probability(t1, rate);
+  const double dm = renewal_rate(t1, rate) - renewal_rate(t2, rate);
+  ASSERT_GT(dp, 0.0);
+  EXPECT_NEAR(dm / dp, rate, rate * 1e-9);
+  EXPECT_NEAR(message_per_storage_ratio(rate), rate, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExchangeRate,
+    ::testing::Combine(::testing::Values(0.01, 0.5, 2.0, 25.0),
+                       ::testing::Values(0.0, 1.0, 30.0),
+                       ::testing::Values(60.0, 3600.0, 6.0 * 86400.0)));
+
+}  // namespace
+}  // namespace dnscup::core

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/lease_math.h"
+#include "sim/lease_sim.h"
+#include "util/rng.h"
+
+namespace dnscup::sim {
+namespace {
+
+using core::DemandEntry;
+using core::LeasePlan;
+
+TEST(LeaseSim, PollingMatchesQueryCount) {
+  const std::vector<DemandEntry> demands{{0, 0, 2.0, 100.0}};
+  const auto result =
+      simulate_leases(demands, {0.0}, 10000.0, /*seed=*/1);
+  EXPECT_EQ(result.messages, result.queries);
+  EXPECT_DOUBLE_EQ(result.query_rate_percentage, 100.0);
+  EXPECT_DOUBLE_EQ(result.mean_live_leases, 0.0);
+  // ~2 q/s over 10,000 s -> about 20,000 arrivals.
+  EXPECT_NEAR(static_cast<double>(result.queries), 20000.0, 600.0);
+}
+
+TEST(LeaseSim, LeasedPairMatchesClosedForm) {
+  // One pair, λ = 1 q/s, t = 9 s: P = 0.9, M = 0.1/s.
+  const std::vector<DemandEntry> demands{{0, 0, 1.0, 100.0}};
+  const auto result = simulate_leases(demands, {9.0}, 50000.0, 2);
+  EXPECT_NEAR(result.mean_live_leases, 0.9, 0.02);
+  EXPECT_NEAR(result.message_rate, 0.1, 0.01);
+}
+
+class AnalyticAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AnalyticAgreement, EventSimMatchesEvaluatePlan) {
+  util::Rng rng(GetParam());
+  std::vector<DemandEntry> demands;
+  for (int i = 0; i < 20; ++i) {
+    DemandEntry d;
+    d.record = static_cast<std::size_t>(i);
+    d.cache = 0;
+    d.rate = rng.uniform_real(0.05, 3.0);
+    d.max_lease = rng.uniform_real(5.0, 500.0);
+    demands.push_back(d);
+  }
+  // Lease half of the pairs at random lengths.
+  std::vector<double> lengths(demands.size(), 0.0);
+  for (std::size_t i = 0; i < demands.size(); i += 2) {
+    lengths[i] = rng.uniform_real(1.0, demands[i].max_lease);
+  }
+
+  LeasePlan plan;
+  plan.lengths = lengths;
+  core::evaluate_plan(demands, plan);
+  const auto sim = simulate_leases(demands, lengths, 30000.0, GetParam());
+
+  // The event-driven measurement agrees with §4.1's closed form within
+  // Monte-Carlo noise.
+  EXPECT_NEAR(sim.mean_live_leases, plan.total_storage,
+              0.05 * plan.total_storage + 0.1);
+  EXPECT_NEAR(sim.message_rate, plan.total_message_rate,
+              0.05 * plan.total_message_rate + 0.05);
+  EXPECT_NEAR(sim.storage_percentage, plan.storage_percentage,
+              plan.storage_percentage * 0.08 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalyticAgreement,
+                         ::testing::Values(3, 4, 5, 6, 7));
+
+TEST(LeaseSim, LongerLeaseFewerMessages) {
+  const std::vector<DemandEntry> demands{{0, 0, 1.0, 10000.0}};
+  const auto short_lease = simulate_leases(demands, {10.0}, 20000.0, 9);
+  const auto long_lease = simulate_leases(demands, {100.0}, 20000.0, 9);
+  EXPECT_GT(short_lease.messages, long_lease.messages);
+  EXPECT_LT(short_lease.mean_live_leases, long_lease.mean_live_leases);
+}
+
+TEST(LeaseSim, ZeroRatePairContributesNothing) {
+  const std::vector<DemandEntry> demands{
+      {0, 0, 0.0, 100.0},
+      {1, 0, 1.0, 100.0},
+  };
+  const auto result = simulate_leases(demands, {50.0, 50.0}, 1000.0, 10);
+  EXPECT_GT(result.queries, 0u);
+  // All queries come from the live pair.
+  EXPECT_NEAR(static_cast<double>(result.queries), 1000.0, 120.0);
+}
+
+TEST(LeaseSim, DeterministicForSeed) {
+  const std::vector<DemandEntry> demands{{0, 0, 1.0, 100.0}};
+  const auto a = simulate_leases(demands, {30.0}, 5000.0, 42);
+  const auto b = simulate_leases(demands, {30.0}, 5000.0, 42);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+}  // namespace
+}  // namespace dnscup::sim

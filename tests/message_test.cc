@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "dns/message.h"
+#include "util/rng.h"
+
+namespace dnscup::dns {
+namespace {
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+
+Message sample_query() {
+  Message m;
+  m.id = 0x1234;
+  m.flags.opcode = Opcode::kQuery;
+  m.flags.rd = true;
+  m.questions.push_back(
+      Question{mk("www.example.com"), RRType::kA, RRClass::kIN, 0});
+  return m;
+}
+
+// ---- flags ------------------------------------------------------------------
+
+struct FlagCase {
+  Flags flags;
+};
+
+class FlagsPackUnpack : public ::testing::TestWithParam<FlagCase> {};
+
+TEST_P(FlagsPackUnpack, RoundTrips) {
+  const Flags f = GetParam().flags;
+  EXPECT_EQ(Flags::unpack(f.pack()), f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, FlagsPackUnpack,
+    ::testing::Values(
+        FlagCase{Flags{}},
+        FlagCase{Flags{true, Opcode::kQuery, true, false, true, true, false,
+                       Rcode::kNoError}},
+        FlagCase{Flags{true, Opcode::kUpdate, false, false, false, false,
+                       false, Rcode::kNXDomain}},
+        FlagCase{Flags{false, Opcode::kCacheUpdate, false, false, false,
+                       false, true, Rcode::kNoError}},
+        FlagCase{Flags{true, Opcode::kNotify, true, true, true, true, true,
+                       Rcode::kRefused}},
+        FlagCase{Flags{true, Opcode::kCacheUpdate, false, false, false,
+                       false, true, Rcode::kNotAuth}}));
+
+TEST(Flags, ExtBitIsReservedZBit) {
+  Flags f;
+  f.ext = true;
+  EXPECT_EQ(f.pack() & 0x0040, 0x0040);
+  f.ext = false;
+  EXPECT_EQ(f.pack() & 0x0040, 0);
+}
+
+TEST(OpcodeNames, Distinct) {
+  EXPECT_STREQ(to_string(Opcode::kCacheUpdate), "CACHE-UPDATE");
+  EXPECT_STREQ(to_string(Opcode::kUpdate), "UPDATE");
+  EXPECT_STREQ(to_string(Rcode::kNXRRSet), "NXRRSET");
+}
+
+// ---- LLT / RRC conversions -----------------------------------------------------
+
+TEST(Llt, RoundsUpAndSaturates) {
+  EXPECT_EQ(llt_from_seconds(0), 0);
+  EXPECT_EQ(llt_from_seconds(1), 1);    // rounds up to one 10 s unit
+  EXPECT_EQ(llt_from_seconds(10), 1);
+  EXPECT_EQ(llt_from_seconds(11), 2);
+  EXPECT_EQ(llt_to_seconds(llt_from_seconds(600)), 600u);
+  // 6-day max lease for regular domains must fit (paper §5.1).
+  EXPECT_EQ(llt_to_seconds(llt_from_seconds(6 * 86400)), 6u * 86400u);
+  EXPECT_EQ(llt_from_seconds(100ull * 86400ull), 0xFFFF);
+}
+
+TEST(Rrc, SaturatesAndInverts) {
+  EXPECT_EQ(rrc_from_rate(0.0), 0);
+  EXPECT_EQ(rrc_from_rate(-1.0), 0);
+  EXPECT_EQ(rrc_from_rate(1.0), 3600);  // 1 q/s = 3600 q/h
+  EXPECT_EQ(rrc_from_rate(100.0), 0xFFFF);
+  EXPECT_NEAR(rrc_to_rate(rrc_from_rate(0.5)), 0.5, 1e-3);
+}
+
+TEST(Rrc, TinyRatesStillVisible) {
+  // One query an hour must not round down to zero.
+  EXPECT_GE(rrc_from_rate(1.0 / 3600.0), 1);
+}
+
+// ---- message round trips ---------------------------------------------------------
+
+TEST(Message, QueryRoundTrip) {
+  const Message m = sample_query();
+  const auto wire = m.encode();
+  EXPECT_EQ(Message::decode(wire).value(), m);
+  EXPECT_LE(wire.size(), kMaxUdpPayload);
+}
+
+TEST(Message, FullResponseRoundTrip) {
+  Message m = make_response(sample_query());
+  m.flags.aa = true;
+  m.answers.push_back(ResourceRecord{
+      mk("www.example.com"), RRClass::kIN, 300,
+      ARdata{Ipv4::parse("192.0.2.80").value()}});
+  SOARdata soa;
+  soa.mname = mk("ns1.example.com");
+  soa.rname = mk("admin.example.com");
+  soa.serial = 5;
+  m.authority.push_back(
+      ResourceRecord{mk("example.com"), RRClass::kIN, 300, soa});
+  m.additional.push_back(ResourceRecord{
+      mk("ns1.example.com"), RRClass::kIN, 300,
+      ARdata{Ipv4::parse("192.0.2.1").value()}});
+  EXPECT_EQ(Message::decode(m.encode()).value(), m);
+}
+
+TEST(Message, ExtQueryCarriesRrc) {
+  Message m = sample_query();
+  m.flags.ext = true;
+  m.questions[0].rrc = 1234;
+  const Message out = Message::decode(m.encode()).value();
+  EXPECT_TRUE(out.flags.ext);
+  EXPECT_EQ(out.questions[0].rrc, 1234);
+}
+
+TEST(Message, ExtResponseCarriesLlt) {
+  Message m = make_response(sample_query());
+  m.flags.ext = true;
+  m.llt = llt_from_seconds(3600);
+  m.answers.push_back(ResourceRecord{
+      mk("www.example.com"), RRClass::kIN, 300, ARdata{Ipv4{1}}});
+  const Message out = Message::decode(m.encode()).value();
+  EXPECT_EQ(llt_to_seconds(out.llt), 3600u);
+  EXPECT_EQ(out, m);
+}
+
+TEST(Message, NonExtOmitsExtensionFields) {
+  // The same message without EXT must be strictly smaller on the wire —
+  // i.e. RRC/LLT are truly absent, not zero-filled.
+  Message ext = sample_query();
+  ext.flags.ext = true;
+  Message plain = sample_query();
+  EXPECT_EQ(ext.encode().size(), plain.encode().size() + 2);
+}
+
+TEST(Message, LegacyDecoderViewIsCompatible) {
+  // A non-EXT message must decode identically whether or not the peer
+  // knows about DNScup — i.e. it is plain RFC 1035.
+  const Message m = sample_query();
+  const auto wire = m.encode();
+  const Message out = Message::decode(wire).value();
+  EXPECT_FALSE(out.flags.ext);
+  EXPECT_EQ(out.questions[0].rrc, 0);
+}
+
+TEST(Message, MakeResponseMirrorsRequest) {
+  Message q = sample_query();
+  q.flags.ext = true;
+  const Message r = make_response(q);
+  EXPECT_TRUE(r.flags.qr);
+  EXPECT_TRUE(r.flags.rd);
+  EXPECT_TRUE(r.flags.ext);
+  EXPECT_EQ(r.id, q.id);
+  EXPECT_EQ(r.questions, q.questions);
+  EXPECT_EQ(r.flags.opcode, q.flags.opcode);
+}
+
+TEST(Message, TrailingBytesRejected) {
+  auto wire = sample_query().encode();
+  wire.push_back(0);
+  EXPECT_FALSE(Message::decode(wire).ok());
+}
+
+TEST(Message, EmptyInputRejected) {
+  EXPECT_FALSE(Message::decode({}).ok());
+}
+
+TEST(Message, CountsMismatchRejected) {
+  auto wire = sample_query().encode();
+  wire[5] = 2;  // claim 2 questions, provide 1
+  EXPECT_FALSE(Message::decode(wire).ok());
+}
+
+TEST(Message, ToStringMentionsKeyFields) {
+  Message m = sample_query();
+  m.flags.ext = true;
+  m.questions[0].rrc = 7;
+  const std::string text = m.to_string();
+  EXPECT_NE(text.find("QUERY"), std::string::npos);
+  EXPECT_NE(text.find("www.example.com."), std::string::npos);
+  EXPECT_NE(text.find("rrc=7"), std::string::npos);
+}
+
+class MessageTruncationFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MessageTruncationFuzz, EveryPrefixFailsCleanly) {
+  Message m = make_response(sample_query());
+  m.flags.ext = true;
+  m.llt = 99;
+  m.answers.push_back(ResourceRecord{
+      mk("www.example.com"), RRClass::kIN, 300, ARdata{Ipv4{0x0A000001}}});
+  m.additional.push_back(ResourceRecord{
+      mk("example.com"), RRClass::kIN, 60, TXTRdata{{"x"}}});
+  const auto wire = m.encode();
+  // Every strict prefix must decode to an error, never crash.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(Message::decode({wire.data(), len}).ok()) << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(One, MessageTruncationFuzz, ::testing::Values(0));
+
+class MessageRandomFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MessageRandomFuzz, RandomBytesNeverCrash) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::vector<uint8_t> junk(
+        static_cast<std::size_t>(rng.uniform_int(0, 128)));
+    for (auto& b : junk) {
+      b = static_cast<uint8_t>(rng.uniform_int(0, 255));
+    }
+    (void)Message::decode(junk);
+  }
+}
+
+TEST_P(MessageRandomFuzz, BitFlippedValidMessagesNeverCrash) {
+  util::Rng rng(GetParam() ^ 0xF00);
+  Message m = make_response(sample_query());
+  m.answers.push_back(ResourceRecord{
+      mk("www.example.com"), RRClass::kIN, 300, ARdata{Ipv4{42}}});
+  const auto original = m.encode();
+  for (int iter = 0; iter < 3000; ++iter) {
+    auto wire = original;
+    const auto flips = rng.uniform_int(1, 4);
+    for (int64_t f = 0; f < flips; ++f) {
+      const auto pos =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int64_t>(
+                                                          wire.size() - 1)));
+      wire[pos] ^= static_cast<uint8_t>(1 << rng.uniform_int(0, 7));
+    }
+    (void)Message::decode(wire);  // any outcome but a crash is fine
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MessageRandomFuzz,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace dnscup::dns

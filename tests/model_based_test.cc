@@ -1,0 +1,277 @@
+// Model-based property tests: random operation sequences against simple
+// reference models, checking that the optimized implementations agree
+// with an obviously-correct oracle at every step.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "core/track_file.h"
+#include "dns/zone.h"
+#include "server/cache.h"
+#include "util/rng.h"
+
+namespace dnscup {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+Name domain(int i) {
+  return Name::from_labels({"d" + std::to_string(i), "model", "test"});
+}
+
+dns::RRset a_set(const Name& name, uint32_t ttl, uint32_t addr) {
+  dns::RRset set{name, RRType::kA, dns::RRClass::kIN, ttl, {}};
+  set.add(dns::ARdata{dns::Ipv4{addr}});
+  return set;
+}
+
+// ---- ResolverCache vs oracle ---------------------------------------------------
+
+struct CacheOracleEntry {
+  uint32_t addr = 0;
+  bool negative = false;
+  net::SimTime expiry = 0;
+  std::optional<net::SimTime> lease_expiry;
+
+  bool fresh(net::SimTime now) const {
+    if (now < expiry) return true;
+    return lease_expiry.has_value() && now < *lease_expiry;
+  }
+};
+
+class CacheModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CacheModelTest, RandomOpsAgreeWithOracle) {
+  util::Rng rng(GetParam());
+  server::ResolverCache cache;  // unbounded: oracle has no eviction
+  std::map<std::string, CacheOracleEntry> oracle;
+  net::SimTime now = 0;
+
+  for (int step = 0; step < 5000; ++step) {
+    now += net::seconds(rng.uniform_int(0, 30));
+    const int d = static_cast<int>(rng.uniform_int(0, 19));
+    const Name name = domain(d);
+    const std::string key = name.to_string();
+
+    switch (rng.uniform_int(0, 5)) {
+      case 0: {  // positive insert
+        const auto ttl = static_cast<uint32_t>(rng.uniform_int(1, 600));
+        const auto addr = static_cast<uint32_t>(rng.uniform_int(1, 1 << 30));
+        cache.put(a_set(name, ttl, addr), now);
+        auto& e = oracle[key];
+        e.addr = addr;
+        e.negative = false;
+        e.expiry = now + net::seconds(ttl);
+        // lease preserved across refresh (implementation contract)
+        break;
+      }
+      case 1: {  // negative insert
+        const auto ttl = static_cast<uint32_t>(rng.uniform_int(1, 120));
+        cache.put_negative(name, RRType::kA, dns::Rcode::kNXDomain, ttl,
+                           now);
+        auto& e = oracle[key];
+        e.negative = true;
+        e.expiry = now + net::seconds(ttl);
+        e.lease_expiry.reset();  // negative overwrite drops the lease
+        break;
+      }
+      case 2: {  // attach a lease to an existing entry
+        server::CacheEntry* entry = cache.peek(name, RRType::kA);
+        auto it = oracle.find(key);
+        ASSERT_EQ(entry != nullptr, it != oracle.end());
+        if (entry != nullptr && !entry->negative) {
+          const net::SimTime lease_until =
+              now + net::seconds(rng.uniform_int(1, 3600));
+          entry->lease = server::LeaseState{
+              lease_until, {net::make_ip(10, 0, 0, 1), 53}};
+          it->second.lease_expiry = lease_until;
+        }
+        break;
+      }
+      case 3: {  // invalidate
+        const bool removed = cache.invalidate(name, RRType::kA);
+        EXPECT_EQ(removed, oracle.erase(key) > 0);
+        break;
+      }
+      case 4: {  // purge expired
+        cache.purge_expired(now);
+        for (auto it = oracle.begin(); it != oracle.end();) {
+          it = it->second.fresh(now) ? std::next(it) : oracle.erase(it);
+        }
+        break;
+      }
+      default: {  // lookup
+        const server::CacheEntry* entry = cache.lookup(name, RRType::kA, now);
+        auto it = oracle.find(key);
+        const bool oracle_fresh =
+            it != oracle.end() && it->second.fresh(now);
+        ASSERT_EQ(entry != nullptr, oracle_fresh) << "step " << step;
+        if (entry != nullptr) {
+          EXPECT_EQ(entry->negative, it->second.negative);
+          if (!entry->negative) {
+            EXPECT_EQ(std::get<dns::ARdata>(entry->rrset.rdatas[0])
+                          .address.addr,
+                      it->second.addr);
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheModelTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---- TrackFile vs oracle ----------------------------------------------------------
+
+struct LeaseOracle {
+  net::SimTime granted = 0;
+  net::Duration length = 0;
+  bool valid(net::SimTime now) const { return now < granted + length; }
+};
+
+class TrackFileModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrackFileModelTest, RandomOpsAgreeWithOracle) {
+  util::Rng rng(GetParam() + 50);
+  core::TrackFile track_file;
+  // key: (holder-index, domain-index)
+  std::map<std::pair<int, int>, LeaseOracle> oracle;
+  net::SimTime now = 0;
+
+  auto holder = [](int h) {
+    return net::Endpoint{net::make_ip(10, 2, 0, static_cast<uint8_t>(h)),
+                         53};
+  };
+
+  for (int step = 0; step < 5000; ++step) {
+    now += net::seconds(rng.uniform_int(0, 20));
+    const int h = static_cast<int>(rng.uniform_int(0, 7));
+    const int d = static_cast<int>(rng.uniform_int(0, 7));
+
+    switch (rng.uniform_int(0, 4)) {
+      case 0: {  // grant / renew
+        const net::Duration length = net::seconds(rng.uniform_int(1, 300));
+        track_file.grant(holder(h), domain(d), RRType::kA, now, length);
+        oracle[{h, d}] = LeaseOracle{now, length};
+        break;
+      }
+      case 1: {  // revoke
+        const bool removed = track_file.revoke(holder(h), domain(d),
+                                               RRType::kA);
+        EXPECT_EQ(removed, oracle.erase({h, d}) > 0);
+        break;
+      }
+      case 2: {  // prune
+        track_file.prune(now);
+        for (auto it = oracle.begin(); it != oracle.end();) {
+          it = it->second.valid(now) ? std::next(it) : oracle.erase(it);
+        }
+        break;
+      }
+      case 3: {  // holders_of
+        std::size_t expected = 0;
+        for (const auto& [key, lease] : oracle) {
+          if (key.second == d && lease.valid(now)) ++expected;
+        }
+        EXPECT_EQ(track_file.holders_of(domain(d), RRType::kA, now).size(),
+                  expected)
+            << "step " << step;
+        break;
+      }
+      default: {  // live_count + serialization round trip
+        std::size_t expected = 0;
+        for (const auto& [key, lease] : oracle) {
+          if (lease.valid(now)) ++expected;
+        }
+        ASSERT_EQ(track_file.live_count(now), expected) << "step " << step;
+        if (step % 500 == 0) {
+          const auto reparsed =
+              core::TrackFile::parse(track_file.serialize(now));
+          ASSERT_TRUE(reparsed.ok());
+          EXPECT_EQ(reparsed.value().live_count(now), expected);
+        }
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrackFileModelTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ---- Zone mutation invariants -------------------------------------------------------
+
+class ZoneModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZoneModelTest, RandomMutationsKeepInvariants) {
+  util::Rng rng(GetParam() + 99);
+  dns::SOARdata soa;
+  soa.mname = Name::parse("ns.model.test").value();
+  soa.rname = Name::parse("admin.model.test").value();
+  soa.serial = 1;
+  const Name origin = Name::parse("model.test").value();
+  dns::Zone zone = dns::Zone::make(origin, soa, 300,
+                                   {Name::parse("ns.model.test").value()},
+                                   300);
+  // Oracle: name string -> set of addresses.
+  std::map<std::string, std::map<uint32_t, bool>> oracle;
+
+  for (int step = 0; step < 4000; ++step) {
+    const int d = static_cast<int>(rng.uniform_int(0, 11));
+    const Name name = origin.prepend("h" + std::to_string(d));
+    const auto addr = static_cast<uint32_t>(rng.uniform_int(1, 8));
+
+    switch (rng.uniform_int(0, 3)) {
+      case 0: {
+        const bool changed =
+            zone.add_record(name, RRType::kA, 60, dns::ARdata{dns::Ipv4{addr}});
+        auto& entry = oracle[name.to_string()];
+        const bool expected = entry.find(addr) == entry.end();
+        EXPECT_EQ(changed, expected) << step;
+        entry[addr] = true;
+        break;
+      }
+      case 1: {
+        const bool changed =
+            zone.remove_record(name, RRType::kA, dns::ARdata{dns::Ipv4{addr}});
+        auto it = oracle.find(name.to_string());
+        const bool expected =
+            it != oracle.end() && it->second.erase(addr) > 0;
+        EXPECT_EQ(changed, expected) << step;
+        if (it != oracle.end() && it->second.empty()) oracle.erase(it);
+        break;
+      }
+      case 2: {
+        const bool changed = zone.remove_rrset(name, RRType::kA);
+        EXPECT_EQ(changed, oracle.erase(name.to_string()) > 0) << step;
+        break;
+      }
+      default: {
+        const auto result = zone.lookup(name, RRType::kA);
+        auto it = oracle.find(name.to_string());
+        if (it == oracle.end()) {
+          EXPECT_EQ(result.status, dns::Zone::LookupStatus::kNXDomain);
+        } else {
+          ASSERT_EQ(result.status, dns::Zone::LookupStatus::kSuccess);
+          EXPECT_EQ(result.rrsets[0].size(), it->second.size());
+        }
+        break;
+      }
+    }
+    // Global invariants after every step.
+    ASSERT_TRUE(zone.validate().ok());
+  }
+  // The zone's final record count agrees with the oracle (+ SOA + NS).
+  std::size_t expected_records = 2;
+  for (const auto& [name, addrs] : oracle) expected_records += addrs.size();
+  EXPECT_EQ(zone.record_count(), expected_records);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZoneModelTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dnscup

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dns/name.h"
+#include "util/rng.h"
+
+namespace dnscup::dns {
+namespace {
+
+Name mk(const char* text) {
+  auto r = Name::parse(text);
+  EXPECT_TRUE(r.ok()) << text;
+  return std::move(r).value();
+}
+
+TEST(NameParse, Basic) {
+  const Name n = mk("www.example.com");
+  EXPECT_EQ(n.label_count(), 3u);
+  EXPECT_EQ(n.label(0), "www");
+  EXPECT_EQ(n.label(2), "com");
+  EXPECT_EQ(n.to_string(), "www.example.com.");
+}
+
+TEST(NameParse, TrailingDotEquivalent) {
+  EXPECT_EQ(mk("example.com"), mk("example.com."));
+}
+
+TEST(NameParse, Root) {
+  const Name n = mk(".");
+  EXPECT_TRUE(n.is_root());
+  EXPECT_EQ(n.to_string(), ".");
+  EXPECT_EQ(n.wire_length(), 1u);
+}
+
+TEST(NameParse, RejectsEmpty) { EXPECT_FALSE(Name::parse("").ok()); }
+
+TEST(NameParse, RejectsEmptyLabel) {
+  EXPECT_FALSE(Name::parse("a..b").ok());
+  EXPECT_FALSE(Name::parse(".a").ok());
+}
+
+TEST(NameParse, RejectsOverlongLabel) {
+  const std::string label(64, 'x');
+  EXPECT_FALSE(Name::parse(label + ".com").ok());
+  const std::string ok_label(63, 'x');
+  EXPECT_TRUE(Name::parse(ok_label + ".com").ok());
+}
+
+TEST(NameParse, RejectsOverlongName) {
+  // 5 labels of 63 = 5*64+1 = 321 > 255.
+  std::string long_name;
+  for (int i = 0; i < 5; ++i) {
+    long_name += std::string(63, static_cast<char>('a' + i)) + ".";
+  }
+  EXPECT_FALSE(Name::parse(long_name).ok());
+}
+
+TEST(NameCompare, CaseInsensitive) {
+  EXPECT_EQ(mk("WWW.Example.COM"), mk("www.example.com"));
+  EXPECT_EQ(mk("WWW.Example.COM").hash(), mk("www.example.com").hash());
+}
+
+TEST(NameCompare, PreservesOriginalCase) {
+  EXPECT_EQ(mk("WwW.CoM").to_string(), "WwW.CoM.");
+}
+
+TEST(NameCompare, Inequality) {
+  EXPECT_NE(mk("a.com"), mk("b.com"));
+  EXPECT_NE(mk("a.com"), mk("a.org"));
+  EXPECT_NE(mk("www.a.com"), mk("a.com"));
+}
+
+TEST(NameOrder, CanonicalByReversedLabels) {
+  // Canonical order compares rightmost labels first.
+  EXPECT_LT(mk("a.com"), mk("b.com"));
+  EXPECT_LT(mk("z.com"), mk("a.org"));      // com < org
+  EXPECT_LT(mk("com"), mk("a.com"));        // ancestor before child
+  EXPECT_LT(Name::root(), mk("com"));
+}
+
+TEST(NameOrder, StrictWeakOrdering) {
+  const Name a = mk("a.example.com");
+  const Name b = mk("A.EXAMPLE.COM");
+  EXPECT_FALSE(a < b);
+  EXPECT_FALSE(b < a);
+}
+
+TEST(NameRelations, Subdomain) {
+  EXPECT_TRUE(mk("www.example.com").is_subdomain_of(mk("example.com")));
+  EXPECT_TRUE(mk("example.com").is_subdomain_of(mk("example.com")));
+  EXPECT_TRUE(mk("example.com").is_subdomain_of(Name::root()));
+  EXPECT_FALSE(mk("example.com").is_subdomain_of(mk("www.example.com")));
+  EXPECT_FALSE(mk("badexample.com").is_subdomain_of(mk("example.com")));
+  EXPECT_FALSE(mk("example.org").is_subdomain_of(mk("example.com")));
+}
+
+TEST(NameRelations, CommonSuffix) {
+  EXPECT_EQ(mk("www.example.com").common_suffix_labels(mk("ftp.example.com")),
+            2u);
+  EXPECT_EQ(mk("a.com").common_suffix_labels(mk("a.org")), 0u);
+  EXPECT_EQ(mk("a.b.c").common_suffix_labels(mk("a.b.c")), 3u);
+}
+
+TEST(NameBuild, ParentAndPrepend) {
+  const Name n = mk("www.example.com");
+  EXPECT_EQ(n.parent(), mk("example.com"));
+  EXPECT_EQ(n.parent().parent(), mk("com"));
+  EXPECT_TRUE(n.parent().parent().parent().is_root());
+  EXPECT_EQ(mk("example.com").prepend("www"), n);
+}
+
+TEST(NameBuild, Concat) {
+  EXPECT_EQ(mk("www").concat(mk("example.com")), mk("www.example.com"));
+  EXPECT_EQ(mk("a.b").concat(Name::root()), mk("a.b"));
+}
+
+TEST(NameBuild, WireLength) {
+  // "www.example.com." = 1+3 + 1+7 + 1+3 + 1 = 17
+  EXPECT_EQ(mk("www.example.com").wire_length(), 17u);
+}
+
+TEST(LabelCompare, Ordering) {
+  EXPECT_EQ(label_compare("abc", "ABC"), 0);
+  EXPECT_LT(label_compare("abc", "abd"), 0);
+  EXPECT_GT(label_compare("abcd", "abc"), 0);
+  EXPECT_TRUE(label_equal("Foo", "fOO"));
+}
+
+class NameRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NameRoundTrip, ParseOfToStringIsIdentity) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto labels = rng.uniform_int(1, 5);
+    std::string text;
+    for (int64_t l = 0; l < labels; ++l) {
+      const auto len = rng.uniform_int(1, 12);
+      for (int64_t i = 0; i < len; ++i) {
+        text += static_cast<char>('a' + rng.uniform_int(0, 25));
+      }
+      text += '.';
+    }
+    const Name n = mk(text.c_str());
+    EXPECT_EQ(mk(n.to_string().c_str()), n);
+    EXPECT_EQ(n.to_string(), text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NameRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dnscup::dns

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "core/cache_update.h"
+#include "core/notifier.h"
+#include "net/sim_network.h"
+
+namespace dnscup::core {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+dns::Ipv4 ip(const char* text) { return dns::Ipv4::parse(text).value(); }
+
+class NotifierTest : public ::testing::Test {
+ protected:
+  static constexpr net::Endpoint kAuthority{net::make_ip(10, 0, 1, 1), 53};
+  static constexpr net::Endpoint kCacheA{net::make_ip(10, 0, 2, 1), 53};
+  static constexpr net::Endpoint kCacheB{net::make_ip(10, 0, 2, 2), 53};
+
+  NotifierTest() : network_(loop_, 1) {
+    auth_transport_ = &network_.bind(kAuthority);
+    NotificationModule::Config config;
+    config.max_retries = 3;
+    config.initial_retry_delay = net::milliseconds(100);
+    notifier_.emplace(auth_transport_, &loop_, &track_file_, config);
+    auth_transport_->set_receive_handler(
+        [this](const net::Endpoint& from, std::span<const uint8_t> data) {
+          auto m = dns::Message::decode(data);
+          if (m.ok()) notifier_->on_message(from, m.value());
+        });
+
+    zone_.emplace(make_zone());
+  }
+
+  static dns::Zone make_zone() {
+    dns::SOARdata soa;
+    soa.mname = mk("ns1.example.com");
+    soa.rname = mk("admin.example.com");
+    soa.serial = 7;
+    dns::Zone z = dns::Zone::make(mk("example.com"), soa, 300,
+                                  {mk("ns1.example.com")}, 300);
+    z.add_record(mk("www.example.com"), RRType::kA, 300,
+                 dns::ARdata{ip("192.0.2.80")});
+    return z;
+  }
+
+  std::vector<dns::RRsetChange> www_change() {
+    dns::RRset after{mk("www.example.com"), RRType::kA, dns::RRClass::kIN,
+                     300, {}};
+    after.add(dns::ARdata{ip("198.51.100.1")});
+    return {{mk("www.example.com"), RRType::kA, std::nullopt, after}};
+  }
+
+  /// Binds a cache endpoint that records updates; acks when `ack` is set.
+  net::SimTransport& make_cache(const net::Endpoint& ep,
+                                std::vector<dns::Message>* received,
+                                bool ack) {
+    auto& transport = network_.bind(ep);
+    transport.set_receive_handler(
+        [this, &transport, received, ack](const net::Endpoint& from,
+                                          std::span<const uint8_t> data) {
+          auto m = dns::Message::decode(data);
+          ASSERT_TRUE(m.ok());
+          received->push_back(m.value());
+          if (ack) {
+            transport.send(from, make_cache_update_ack(m.value()).encode());
+          }
+        });
+    return transport;
+  }
+
+  net::EventLoop loop_;
+  net::SimNetwork network_;
+  net::SimTransport* auth_transport_ = nullptr;
+  TrackFile track_file_;
+  std::optional<NotificationModule> notifier_;
+  std::optional<dns::Zone> zone_;
+};
+
+TEST_F(NotifierTest, NotifiesOnlyValidLeaseholders) {
+  std::vector<dns::Message> at_a, at_b;
+  make_cache(kCacheA, &at_a, true);
+  make_cache(kCacheB, &at_b, true);
+
+  track_file_.grant(kCacheA, mk("www.example.com"), RRType::kA, 0,
+                    net::seconds(3600));
+  track_file_.grant(kCacheB, mk("www.example.com"), RRType::kA, 0,
+                    net::seconds(1));
+  loop_.run_until(net::seconds(10));  // B's lease expires
+
+  notifier_->on_zone_change(*zone_, www_change());
+  loop_.run_for(net::seconds(5));
+
+  EXPECT_EQ(at_a.size(), 1u);
+  EXPECT_TRUE(at_b.empty());
+  EXPECT_EQ(notifier_->stats().updates_sent, 1u);
+  EXPECT_EQ(notifier_->stats().acks_received, 1u);
+  EXPECT_EQ(notifier_->in_flight(), 0u);
+}
+
+TEST_F(NotifierTest, NoLeaseholdersNoTraffic) {
+  notifier_->on_zone_change(*zone_, www_change());
+  loop_.run_for(net::seconds(2));
+  EXPECT_EQ(notifier_->stats().updates_sent, 0u);
+  EXPECT_EQ(network_.packets_delivered(), 0u);
+}
+
+TEST_F(NotifierTest, UnrelatedChangeNotSent) {
+  std::vector<dns::Message> at_a;
+  make_cache(kCacheA, &at_a, true);
+  track_file_.grant(kCacheA, mk("other.example.com"), RRType::kA, 0,
+                    net::seconds(3600));
+  notifier_->on_zone_change(*zone_, www_change());
+  loop_.run_for(net::seconds(2));
+  EXPECT_TRUE(at_a.empty());
+}
+
+TEST_F(NotifierTest, RetransmitsUntilAcked) {
+  // Cache that never acks: retries exhaust, lease is revoked.
+  std::vector<dns::Message> at_a;
+  make_cache(kCacheA, &at_a, false);
+  track_file_.grant(kCacheA, mk("www.example.com"), RRType::kA, 0,
+                    net::seconds(3600));
+
+  notifier_->on_zone_change(*zone_, www_change());
+  loop_.run_for(net::seconds(30));
+
+  EXPECT_EQ(at_a.size(), 4u);  // initial + 3 retries
+  EXPECT_EQ(notifier_->stats().retransmissions, 3u);
+  EXPECT_EQ(notifier_->stats().failures, 1u);
+  EXPECT_EQ(notifier_->in_flight(), 0u);
+  // Lease revoked so the cache degrades to TTL rather than staying stale.
+  EXPECT_TRUE(track_file_
+                  .holders_of(mk("www.example.com"), RRType::kA,
+                              loop_.now())
+                  .empty());
+}
+
+TEST_F(NotifierTest, SurvivesPacketLoss) {
+  std::vector<dns::Message> at_a;
+  make_cache(kCacheA, &at_a, true);
+  track_file_.grant(kCacheA, mk("www.example.com"), RRType::kA, 0,
+                    net::seconds(3600));
+  // 30% loss both ways: with 4 transmissions each way the update gets
+  // through (failure odds < 1%); the seed is fixed for determinism.
+  network_.set_link(kAuthority, kCacheA,
+                    {net::milliseconds(1), 0, 0.3, 0.0});
+  network_.set_link(kCacheA, kAuthority,
+                    {net::milliseconds(1), 0, 0.3, 0.0});
+
+  notifier_->on_zone_change(*zone_, www_change());
+  loop_.run_for(net::seconds(30));
+
+  EXPECT_GE(at_a.size(), 1u);
+  EXPECT_GT(notifier_->stats().retransmissions, 0u);
+}
+
+TEST_F(NotifierTest, BatchesChangesPerHolder) {
+  std::vector<dns::Message> at_a;
+  make_cache(kCacheA, &at_a, true);
+  track_file_.grant(kCacheA, mk("www.example.com"), RRType::kA, 0,
+                    net::seconds(3600));
+  track_file_.grant(kCacheA, mk("mail.example.com"), RRType::kA, 0,
+                    net::seconds(3600));
+
+  dns::RRset mail_after{mk("mail.example.com"), RRType::kA,
+                        dns::RRClass::kIN, 300, {}};
+  mail_after.add(dns::ARdata{ip("198.51.100.25")});
+  auto changes = www_change();
+  changes.push_back(
+      {mk("mail.example.com"), RRType::kA, std::nullopt, mail_after});
+
+  notifier_->on_zone_change(*zone_, changes);
+  loop_.run_for(net::seconds(5));
+
+  ASSERT_EQ(at_a.size(), 1u);  // one message covering both records
+  const auto parsed = parse_cache_update(at_a[0]);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().updated.size(), 2u);
+}
+
+TEST_F(NotifierTest, SeparateMessagesPerHolder) {
+  std::vector<dns::Message> at_a, at_b;
+  make_cache(kCacheA, &at_a, true);
+  make_cache(kCacheB, &at_b, true);
+  track_file_.grant(kCacheA, mk("www.example.com"), RRType::kA, 0,
+                    net::seconds(3600));
+  track_file_.grant(kCacheB, mk("www.example.com"), RRType::kA, 0,
+                    net::seconds(3600));
+
+  notifier_->on_zone_change(*zone_, www_change());
+  loop_.run_for(net::seconds(5));
+
+  EXPECT_EQ(at_a.size(), 1u);
+  EXPECT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(notifier_->stats().updates_sent, 2u);
+  EXPECT_EQ(notifier_->stats().acks_received, 2u);
+}
+
+TEST_F(NotifierTest, DuplicateAckHarmless) {
+  std::vector<dns::Message> at_a;
+  auto& cache = make_cache(kCacheA, &at_a, true);
+  track_file_.grant(kCacheA, mk("www.example.com"), RRType::kA, 0,
+                    net::seconds(3600));
+  notifier_->on_zone_change(*zone_, www_change());
+  loop_.run_for(net::seconds(2));
+  ASSERT_EQ(at_a.size(), 1u);
+  // Send the ack again.
+  cache.send(kAuthority, make_cache_update_ack(at_a[0]).encode());
+  loop_.run_for(net::seconds(2));
+  EXPECT_EQ(notifier_->stats().acks_received, 1u);
+  EXPECT_EQ(notifier_->in_flight(), 0u);
+}
+
+TEST_F(NotifierTest, AckFromWrongSenderIgnored) {
+  std::vector<dns::Message> at_a;
+  make_cache(kCacheA, &at_a, false);
+  track_file_.grant(kCacheA, mk("www.example.com"), RRType::kA, 0,
+                    net::seconds(3600));
+  notifier_->on_zone_change(*zone_, www_change());
+  loop_.run_for(net::milliseconds(50));
+  ASSERT_EQ(at_a.size(), 1u);
+
+  // An impostor acks from a different endpoint: must not clear the entry.
+  auto& impostor = network_.bind({net::make_ip(10, 6, 6, 6), 53});
+  impostor.send(kAuthority, make_cache_update_ack(at_a[0]).encode());
+  loop_.run_for(net::milliseconds(50));
+  EXPECT_EQ(notifier_->in_flight(), 1u);
+}
+
+TEST_F(NotifierTest, AckLatencyTracked) {
+  std::vector<dns::Message> at_a;
+  make_cache(kCacheA, &at_a, true);
+  track_file_.grant(kCacheA, mk("www.example.com"), RRType::kA, 0,
+                    net::seconds(3600));
+  notifier_->on_zone_change(*zone_, www_change());
+  loop_.run_for(net::seconds(2));
+  ASSERT_EQ(notifier_->stats().ack_latency_us.count(), 1u);
+  // 1 ms each way on the default link.
+  EXPECT_NEAR(notifier_->stats().ack_latency_us.mean(), 2000.0, 500.0);
+}
+
+}  // namespace
+}  // namespace dnscup::core

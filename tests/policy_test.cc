@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+
+namespace dnscup::core {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+
+const net::Endpoint kCache{net::make_ip(10, 0, 2, 1), 53};
+
+MaxLeaseFn constant_lease(net::Duration d) {
+  return [d](const Name&, RRType) { return d; };
+}
+
+TEST(AlwaysGrant, GrantsMaxLease) {
+  AlwaysGrantPolicy policy(constant_lease(net::hours(2)));
+  const auto decision = policy.decide(mk("x.com"), RRType::kA, kCache, 0.5, 0);
+  EXPECT_TRUE(decision.grant);
+  EXPECT_EQ(decision.length, net::hours(2));
+}
+
+TEST(AlwaysGrant, CategoryAwareLengths) {
+  // The paper's per-category maxima: regular 6 d, CDN 200 s, Dyn 6000 s.
+  AlwaysGrantPolicy policy([](const Name& name, RRType) -> net::Duration {
+    if (name.label(0) == "cdn") return net::seconds(200);
+    if (name.label(0) == "dyn") return net::seconds(6000);
+    return net::days(6);
+  });
+  EXPECT_EQ(policy.decide(mk("cdn.x.com"), RRType::kA, kCache, 1, 0).length,
+            net::seconds(200));
+  EXPECT_EQ(policy.decide(mk("dyn.x.com"), RRType::kA, kCache, 1, 0).length,
+            net::seconds(6000));
+  EXPECT_EQ(policy.decide(mk("www.x.com"), RRType::kA, kCache, 1, 0).length,
+            net::days(6));
+}
+
+TEST(AlwaysGrant, ZeroMaxLeaseMeansNoGrant) {
+  AlwaysGrantPolicy policy(constant_lease(0));
+  EXPECT_FALSE(policy.decide(mk("x.com"), RRType::kA, kCache, 1, 0).grant);
+}
+
+TEST(NeverGrant, NeverGrants) {
+  NeverGrantPolicy policy;
+  EXPECT_FALSE(policy.decide(mk("x.com"), RRType::kA, kCache, 100, 0).grant);
+}
+
+class BudgetedPolicyTest : public ::testing::Test {
+ protected:
+  BudgetedPolicyTest() {
+    BudgetedGrantPolicy::Config config;
+    config.storage_budget = 10;
+    policy_.emplace(constant_lease(net::seconds(1000)), &track_file_,
+                    config);
+  }
+
+  net::Endpoint holder(uint32_t i) {
+    return {net::make_ip(10, 1, 0, static_cast<uint8_t>(i)), 53};
+  }
+
+  TrackFile track_file_;
+  std::optional<BudgetedGrantPolicy> policy_;
+};
+
+TEST_F(BudgetedPolicyTest, GrantsUnderBudget) {
+  const auto d =
+      policy_->decide(mk("a.com"), RRType::kA, holder(1), 1.0, 0);
+  EXPECT_TRUE(d.grant);
+  EXPECT_EQ(d.length, net::seconds(1000));
+}
+
+TEST_F(BudgetedPolicyTest, RefusesNewGrantsAtBudget) {
+  // Fill the track file to the budget.
+  for (uint32_t i = 0; i < 10; ++i) {
+    track_file_.grant(holder(i), mk(("d" + std::to_string(i) + ".com").c_str()),
+                      RRType::kA, 0, net::seconds(1000));
+  }
+  const auto d =
+      policy_->decide(mk("new.com"), RRType::kA, holder(99), 0.5, 0);
+  EXPECT_FALSE(d.grant);
+}
+
+TEST_F(BudgetedPolicyTest, RenewalsAllowedAtBudget) {
+  for (uint32_t i = 0; i < 10; ++i) {
+    track_file_.grant(holder(i), mk(("d" + std::to_string(i) + ".com").c_str()),
+                      RRType::kA, 0, net::seconds(1000));
+  }
+  // Holder 3 renewing its existing lease must still succeed.
+  const auto d = policy_->decide(mk("d3.com"), RRType::kA, holder(3), 0.5,
+                                 net::seconds(1));
+  EXPECT_TRUE(d.grant);
+}
+
+TEST_F(BudgetedPolicyTest, BudgetFreesUpAfterExpiry) {
+  for (uint32_t i = 0; i < 10; ++i) {
+    track_file_.grant(holder(i), mk(("d" + std::to_string(i) + ".com").c_str()),
+                      RRType::kA, 0, net::seconds(10));
+  }
+  EXPECT_FALSE(
+      policy_->decide(mk("new.com"), RRType::kA, holder(99), 0.5, 0).grant);
+  // All leases expired: newcomers are admitted again (after threshold
+  // decay pulls the bar back down).
+  bool granted = false;
+  for (int i = 0; i < 200 && !granted; ++i) {
+    granted = policy_
+                  ->decide(mk("new.com"), RRType::kA, holder(99), 0.5,
+                           net::seconds(20))
+                  .grant;
+  }
+  EXPECT_TRUE(granted);
+}
+
+TEST_F(BudgetedPolicyTest, ThresholdRisesUnderPressure) {
+  for (uint32_t i = 0; i < 10; ++i) {
+    track_file_.grant(holder(i), mk(("d" + std::to_string(i) + ".com").c_str()),
+                      RRType::kA, 0, net::seconds(1000));
+  }
+  const double before = policy_->threshold();
+  policy_->decide(mk("new.com"), RRType::kA, holder(99), 2.0, 0);
+  EXPECT_GT(policy_->threshold(), before);
+  EXPECT_GT(policy_->threshold(), 2.0);  // at least above the rejected rate
+}
+
+TEST_F(BudgetedPolicyTest, LowRateCachesFilteredFirst) {
+  // Saturate, pushing the threshold above 1 q/s.
+  for (uint32_t i = 0; i < 10; ++i) {
+    track_file_.grant(holder(i), mk(("d" + std::to_string(i) + ".com").c_str()),
+                      RRType::kA, 0, net::seconds(30));
+  }
+  policy_->decide(mk("new.com"), RRType::kA, holder(99), 1.0, 0);
+  // After expiry, a high-rate newcomer beats the threshold sooner than a
+  // low-rate one.
+  int high_granted_at = -1;
+  for (int i = 0; i < 300; ++i) {
+    if (policy_
+            ->decide(mk("hot.com"), RRType::kA, holder(50), 5.0,
+                     net::seconds(60))
+            .grant) {
+      high_granted_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(high_granted_at, 0);
+}
+
+// ---- CommBudgetedGrantPolicy -----------------------------------------------
+
+class CommPolicyTest : public ::testing::Test {
+ protected:
+  CommPolicyTest() {
+    CommBudgetedGrantPolicy::Config config;
+    config.message_budget = 10.0;
+    config.rate_horizon = net::seconds(30);
+    policy_.emplace(constant_lease(net::seconds(600)), config);
+  }
+
+  /// Feeds `n` decisions spaced `gap` apart, all with the given rate.
+  GrantDecision feed(int n, net::Duration gap, double rate,
+                     net::SimTime& now) {
+    GrantDecision last;
+    for (int i = 0; i < n; ++i) {
+      now += gap;
+      last = policy_->decide(mk("x.com"), RRType::kA, kCache, rate, now);
+    }
+    return last;
+  }
+
+  std::optional<CommBudgetedGrantPolicy> policy_;
+};
+
+TEST_F(CommPolicyTest, GrantsEveryoneUnderPressure) {
+  net::SimTime now = 0;
+  // 50 msg/s, far above the 10/s budget: even tiny rates get leases,
+  // because leasing is the only way to reduce traffic.
+  const auto decision = feed(5000, net::milliseconds(20), 0.001, now);
+  EXPECT_TRUE(decision.grant);
+  EXPECT_GT(policy_->measured_message_rate(now), 10.0);
+  EXPECT_DOUBLE_EQ(policy_->threshold(), 0.0);
+}
+
+TEST_F(CommPolicyTest, DeprivesLowRatesWithHeadroom) {
+  net::SimTime now = 0;
+  // 1 msg/s, well under budget: the deprivation threshold creeps up and
+  // low-rate caches stop being leased (storage reclaim).
+  feed(600, net::seconds(1), 0.001, now);
+  EXPECT_GT(policy_->threshold(), 0.001);
+  const auto low = policy_->decide(mk("x.com"), RRType::kA, kCache, 0.0005,
+                                   now + net::seconds(1));
+  EXPECT_FALSE(low.grant);
+  // High-rate caches keep their leases.
+  const auto high = policy_->decide(mk("x.com"), RRType::kA, kCache, 100.0,
+                                    now + net::seconds(2));
+  EXPECT_TRUE(high.grant);
+}
+
+TEST_F(CommPolicyTest, MeasuredRateTracksTraffic) {
+  net::SimTime now = 0;
+  feed(1500, net::milliseconds(100), 1.0, now);  // 10 msg/s
+  EXPECT_NEAR(policy_->measured_message_rate(now), 10.0, 1.5);
+  // Silence decays the estimate.
+  EXPECT_LT(policy_->measured_message_rate(now + net::minutes(5)),
+            policy_->measured_message_rate(now));
+}
+
+TEST_F(CommPolicyTest, ZeroMaxLeaseNeverGrants) {
+  CommBudgetedGrantPolicy never(constant_lease(0), {});
+  EXPECT_FALSE(never.decide(mk("x.com"), RRType::kA, kCache, 5.0, 0).grant);
+}
+
+}  // namespace
+}  // namespace dnscup::core

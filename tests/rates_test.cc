@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "sim/rates.h"
+#include "sim/trace_gen.h"
+
+namespace dnscup::sim {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+
+TEST(ComputeRates, CountsWithinWindowOnly) {
+  std::vector<TraceRecord> trace{
+      {net::seconds(10), 0, 1, mk("a.com"), RRType::kA},
+      {net::seconds(20), 0, 2, mk("a.com"), RRType::kA},
+      {net::seconds(30), 1, 3, mk("a.com"), RRType::kA},
+      {net::seconds(200), 0, 1, mk("a.com"), RRType::kA},  // outside window
+  };
+  const auto rates = compute_rates(trace, 100.0);
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates.at(RateKey{0, mk("a.com")}), 0.02);  // 2 / 100 s
+  EXPECT_DOUBLE_EQ(rates.at(RateKey{1, mk("a.com")}), 0.01);
+}
+
+TEST(ComputeRates, EmptyTrace) {
+  EXPECT_TRUE(compute_rates({}, 100.0).empty());
+}
+
+TEST(MaxLease, PaperValues) {
+  workload::DomainInfo regular;
+  regular.category = workload::DomainCategory::kRegular;
+  workload::DomainInfo cdn;
+  cdn.category = workload::DomainCategory::kCdn;
+  workload::DomainInfo dyn;
+  dyn.category = workload::DomainCategory::kDyn;
+  EXPECT_DOUBLE_EQ(max_lease_for(regular), 6.0 * 86400.0);  // six days
+  EXPECT_DOUBLE_EQ(max_lease_for(cdn), 200.0);
+  EXPECT_DOUBLE_EQ(max_lease_for(dyn), 6000.0);
+}
+
+class DemandsTest : public ::testing::Test {
+ protected:
+  DemandsTest() {
+    workload::PopulationConfig config;
+    config.regular_per_group = 30;
+    config.cdn_domains = 20;
+    config.dyn_domains = 10;
+    config.seed = 3;
+    population_ = workload::DomainPopulation::generate(config);
+
+    TraceGenConfig trace_config;
+    trace_config.clients = 30;
+    trace_config.duration_s = 2 * 3600.0;
+    trace_config.sessions_per_client_hour = 10.0;
+    trace_config.seed = 4;
+    trace_ = generate_trace(population_, trace_config);
+  }
+
+  workload::DomainPopulation population_{
+      workload::DomainPopulation::generate({})};
+  std::vector<TraceRecord> trace_;
+};
+
+TEST_F(DemandsTest, DemandsMapToPopulation) {
+  const auto rates = compute_rates(trace_, 3600.0);
+  const auto demands = compute_demands(population_, rates);
+  ASSERT_GT(demands.size(), 10u);
+  for (const auto& d : demands) {
+    ASSERT_LT(d.record, population_.size());
+    EXPECT_GT(d.rate, 0.0);
+    EXPECT_DOUBLE_EQ(d.max_lease, max_lease_for(population_[d.record]));
+    EXPECT_LT(d.cache, 3u);
+  }
+  EXPECT_EQ(demands.size(), rates.size());
+}
+
+TEST_F(DemandsTest, CategoryFilterRestricts) {
+  const auto rates = compute_rates(trace_, 3600.0);
+  const auto cdn_only = compute_demands(
+      population_, rates, {workload::DomainCategory::kCdn});
+  for (const auto& d : cdn_only) {
+    EXPECT_EQ(population_[d.record].category,
+              workload::DomainCategory::kCdn);
+    EXPECT_DOUBLE_EQ(d.max_lease, 200.0);
+  }
+  const auto all = compute_demands(population_, rates);
+  EXPECT_LT(cdn_only.size(), all.size());
+}
+
+TEST_F(DemandsTest, UnknownNamesSkipped) {
+  std::map<RateKey, double> rates;
+  rates[RateKey{0, mk("not.in.population.example")}] = 1.0;
+  EXPECT_TRUE(compute_demands(population_, rates).empty());
+}
+
+}  // namespace
+}  // namespace dnscup::sim

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "dns/rdata.h"
+#include "dns/wire.h"
+
+namespace dnscup::dns {
+namespace {
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+
+// ---- Ipv4 -------------------------------------------------------------------
+
+TEST(Ipv4, ParseAndFormat) {
+  const Ipv4 ip = Ipv4::parse("192.0.2.1").value();
+  EXPECT_EQ(ip.addr, 0xC0000201u);
+  EXPECT_EQ(ip.to_string(), "192.0.2.1");
+}
+
+TEST(Ipv4, Extremes) {
+  EXPECT_EQ(Ipv4::parse("0.0.0.0").value().addr, 0u);
+  EXPECT_EQ(Ipv4::parse("255.255.255.255").value().addr, 0xFFFFFFFFu);
+}
+
+TEST(Ipv4, RejectsMalformed) {
+  for (const char* bad : {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d",
+                          "1..2.3", "1.2.3.4x", "-1.2.3.4"}) {
+    EXPECT_FALSE(Ipv4::parse(bad).ok()) << bad;
+  }
+}
+
+// ---- type names ----------------------------------------------------------------
+
+TEST(RRTypeNames, RoundTrip) {
+  for (RRType t : {RRType::kA, RRType::kNS, RRType::kCNAME, RRType::kSOA,
+                   RRType::kPTR, RRType::kMX, RRType::kTXT, RRType::kAAAA}) {
+    EXPECT_EQ(rrtype_from_string(to_string(t)).value(), t);
+  }
+  EXPECT_FALSE(rrtype_from_string("BOGUS").ok());
+}
+
+// ---- wire round trips ------------------------------------------------------------
+
+Rdata wire_round_trip(const Rdata& in) {
+  ByteWriter w;
+  encode_rdata(in, w);
+  ByteReader r({w.data().data(), w.data().size()});
+  auto out = decode_rdata(rdata_type(in), static_cast<uint16_t>(w.size()), r);
+  EXPECT_TRUE(out.ok());
+  return std::move(out).value();
+}
+
+TEST(RdataWire, ARoundTrip) {
+  const Rdata in = ARdata{Ipv4::parse("10.1.2.3").value()};
+  EXPECT_EQ(wire_round_trip(in), in);
+}
+
+TEST(RdataWire, SoaRoundTrip) {
+  SOARdata soa;
+  soa.mname = mk("ns1.example.com");
+  soa.rname = mk("admin.example.com");
+  soa.serial = 2024070601;
+  soa.refresh = 7200;
+  soa.retry = 900;
+  soa.expire = 604800;
+  soa.minimum = 300;
+  const Rdata in = soa;
+  EXPECT_EQ(wire_round_trip(in), in);
+}
+
+TEST(RdataWire, MxRoundTrip) {
+  const Rdata in = MXRdata{10, mk("mail.example.com")};
+  EXPECT_EQ(wire_round_trip(in), in);
+}
+
+TEST(RdataWire, TxtRoundTrip) {
+  const Rdata in = TXTRdata{{"hello", "world", std::string(255, 'x')}};
+  EXPECT_EQ(wire_round_trip(in), in);
+}
+
+TEST(RdataWire, AaaaRoundTrip) {
+  AAAARdata v6;
+  for (int i = 0; i < 16; ++i) {
+    v6.address[static_cast<std::size_t>(i)] = static_cast<uint8_t>(i * 7);
+  }
+  const Rdata in = v6;
+  EXPECT_EQ(wire_round_trip(in), in);
+}
+
+TEST(RdataWire, NsCnamePtrRoundTrip) {
+  EXPECT_EQ(wire_round_trip(NSRdata{mk("ns.example.org")}),
+            Rdata{NSRdata{mk("ns.example.org")}});
+  EXPECT_EQ(wire_round_trip(CNAMERdata{mk("alias.example.org")}),
+            Rdata{CNAMERdata{mk("alias.example.org")}});
+  EXPECT_EQ(wire_round_trip(PTRRdata{mk("host.example.org")}),
+            Rdata{PTRRdata{mk("host.example.org")}});
+}
+
+TEST(RdataWire, UnknownTypeCarriedAsGeneric) {
+  GenericRdata g;
+  g.type = 99;
+  g.data = {1, 2, 3, 4};
+  ByteWriter w;
+  encode_rdata(g, w);
+  ByteReader r({w.data().data(), w.data().size()});
+  const Rdata out = decode_rdata(static_cast<RRType>(99), 4, r).value();
+  EXPECT_EQ(std::get<GenericRdata>(out), g);
+}
+
+TEST(RdataWire, EmptyRdlengthDecodesAsTypedStub) {
+  // RFC 2136 prerequisite/update records: TYPE=A, RDLENGTH=0.
+  const std::vector<uint8_t> empty;
+  ByteReader r({empty.data(), empty.size()});
+  const Rdata out = decode_rdata(RRType::kA, 0, r).value();
+  const auto& g = std::get<GenericRdata>(out);
+  EXPECT_EQ(g.type, static_cast<uint16_t>(RRType::kA));
+  EXPECT_TRUE(g.data.empty());
+}
+
+TEST(RdataWire, TruncatedARejected) {
+  const std::vector<uint8_t> two_bytes{1, 2};
+  ByteReader r({two_bytes.data(), two_bytes.size()});
+  EXPECT_FALSE(decode_rdata(RRType::kA, 4, r).ok());
+}
+
+TEST(RdataWire, RdlengthMismatchRejected) {
+  // Encode an A (4 bytes) then claim rdlength 3: the u32 read would
+  // overrun the stated boundary.
+  ByteWriter w;
+  encode_rdata(ARdata{Ipv4{0x01020304}}, w);
+  ByteReader r({w.data().data(), w.data().size()});
+  EXPECT_FALSE(decode_rdata(RRType::kA, 3, r).ok());
+}
+
+TEST(RdataWire, AaaaWrongLengthRejected) {
+  std::vector<uint8_t> bytes(12, 0);
+  ByteReader r({bytes.data(), bytes.size()});
+  EXPECT_FALSE(decode_rdata(RRType::kAAAA, 12, r).ok());
+}
+
+// ---- text round trips ----------------------------------------------------------
+
+struct TextCase {
+  RRType type;
+  const char* text;
+};
+
+class RdataText : public ::testing::TestWithParam<TextCase> {};
+
+TEST_P(RdataText, RoundTrip) {
+  const auto& param = GetParam();
+  auto parsed = rdata_from_string(param.type, param.text);
+  ASSERT_TRUE(parsed.ok()) << param.text;
+  EXPECT_EQ(rdata_type(parsed.value()), param.type);
+  // to_string -> parse is the identity on the parsed value.
+  const std::string text = rdata_to_string(parsed.value());
+  auto reparsed = rdata_from_string(param.type, text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ(reparsed.value(), parsed.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, RdataText,
+    ::testing::Values(
+        TextCase{RRType::kA, "198.51.100.7"},
+        TextCase{RRType::kNS, "ns1.example.net."},
+        TextCase{RRType::kCNAME, "www.example.net."},
+        TextCase{RRType::kPTR, "host7.example.net."},
+        TextCase{RRType::kMX, "20 backup.example.net."},
+        TextCase{RRType::kTXT, "\"v=spf1\" \"-all\""},
+        TextCase{RRType::kSOA,
+                 "ns1.example.net. admin.example.net. 7 3600 600 86400 60"}));
+
+TEST(RdataText, RejectsMalformed) {
+  EXPECT_FALSE(rdata_from_string(RRType::kA, "not-an-ip").ok());
+  EXPECT_FALSE(rdata_from_string(RRType::kA, "1.2.3.4 extra").ok());
+  EXPECT_FALSE(rdata_from_string(RRType::kMX, "99999999 mail.x.").ok());
+  EXPECT_FALSE(rdata_from_string(RRType::kMX, "ten mail.x.").ok());
+  EXPECT_FALSE(rdata_from_string(RRType::kSOA, "a. b. 1 2 3").ok());
+  EXPECT_FALSE(rdata_from_string(RRType::kTXT, "").ok());
+}
+
+TEST(RdataType, MatchesVariant) {
+  EXPECT_EQ(rdata_type(ARdata{}), RRType::kA);
+  EXPECT_EQ(rdata_type(SOARdata{}), RRType::kSOA);
+  EXPECT_EQ(rdata_type(GenericRdata{250, {}}), static_cast<RRType>(250));
+}
+
+}  // namespace
+}  // namespace dnscup::dns

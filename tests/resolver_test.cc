@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include "net/sim_network.h"
+#include "server/authoritative.h"
+#include "server/resolver.h"
+
+namespace dnscup::server {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+using Outcome = CachingResolver::Outcome;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+dns::Ipv4 ip(const char* text) { return dns::Ipv4::parse(text).value(); }
+
+// Hierarchy: root (".") delegates example.com -> auth1 and glueless.org ->
+// ns.example.com (whose address must be resolved through example.com).
+class ResolverTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kRootIp = net::make_ip(10, 0, 0, 1);
+  static constexpr uint32_t kAuthIp = net::make_ip(10, 0, 1, 1);
+
+  ResolverTest()
+      : network_(loop_, 1),
+        root_(network_.bind({kRootIp, 53}), loop_),
+        auth_(network_.bind({kAuthIp, 53}), loop_),
+        resolver_(network_.bind({net::make_ip(10, 0, 2, 1), 53}), loop_,
+                  {net::Endpoint{kRootIp, 53}}) {
+    // Root zone with delegations.
+    dns::SOARdata root_soa;
+    root_soa.mname = mk("a.root");
+    root_soa.rname = mk("admin.root");
+    root_soa.serial = 1;
+    root_soa.minimum = 30;
+    dns::Zone root_zone(Name::root());
+    root_zone.add_record(Name::root(), RRType::kSOA, 86400, root_soa);
+    root_zone.add_record(Name::root(), RRType::kNS, 86400,
+                         dns::NSRdata{mk("a.root")});
+    root_zone.add_record(mk("example.com"), RRType::kNS, 3600,
+                         dns::NSRdata{mk("ns.example.com")});
+    root_zone.add_record(mk("ns.example.com"), RRType::kA, 3600,
+                         dns::ARdata{dns::Ipv4{kAuthIp}});  // glue
+    // Glueless delegation: the NS name lives in another TLD branch.
+    root_zone.add_record(mk("glueless.org"), RRType::kNS, 3600,
+                         dns::NSRdata{mk("ns.example.com")});
+    root_->add_zone(std::move(root_zone));
+
+    // example.com zone.
+    dns::SOARdata soa;
+    soa.mname = mk("ns.example.com");
+    soa.rname = mk("admin.example.com");
+    soa.serial = 1;
+    soa.minimum = 45;
+    dns::Zone zone = dns::Zone::make(mk("example.com"), soa, 3600,
+                                     {mk("ns.example.com")}, 3600);
+    zone.add_record(mk("ns.example.com"), RRType::kA, 3600,
+                    dns::ARdata{dns::Ipv4{kAuthIp}});
+    zone.add_record(mk("www.example.com"), RRType::kA, 300,
+                    dns::ARdata{ip("192.0.2.80")});
+    zone.add_record(mk("alias.example.com"), RRType::kCNAME, 300,
+                    dns::CNAMERdata{mk("www.example.com")});
+    // Adversarial structures: a CNAME loop and an over-long chain.
+    zone.add_record(mk("loop1.example.com"), RRType::kCNAME, 300,
+                    dns::CNAMERdata{mk("loop2.example.com")});
+    zone.add_record(mk("loop2.example.com"), RRType::kCNAME, 300,
+                    dns::CNAMERdata{mk("loop1.example.com")});
+    for (int i = 0; i < 15; ++i) {
+      zone.add_record(
+          mk(("c" + std::to_string(i) + ".example.com").c_str()),
+          RRType::kCNAME, 300,
+          dns::CNAMERdata{
+              mk(("c" + std::to_string(i + 1) + ".example.com").c_str())});
+    }
+    zone.add_record(mk("c15.example.com"), RRType::kA, 300,
+                    dns::ARdata{ip("192.0.2.15")});
+    auth_->add_zone(std::move(zone));
+
+    // glueless.org zone, served by the same auth server.
+    dns::SOARdata gsoa;
+    gsoa.mname = mk("ns.example.com");
+    gsoa.rname = mk("admin.glueless.org");
+    gsoa.serial = 1;
+    gsoa.minimum = 45;
+    dns::Zone gzone = dns::Zone::make(mk("glueless.org"), gsoa, 3600,
+                                      {mk("ns.example.com")}, 3600);
+    gzone.add_record(mk("www.glueless.org"), RRType::kA, 300,
+                     dns::ARdata{ip("198.51.100.9")});
+    auth_->add_zone(std::move(gzone));
+  }
+
+  // `root_` and `auth_` are optionals so tests can destroy servers to
+  // simulate outages.
+  std::optional<Outcome> resolve(const char* qname,
+                                 RRType qtype = RRType::kA) {
+    std::optional<Outcome> result;
+    resolver_.resolve(mk(qname), qtype,
+                      [&result](const Outcome& o) { result = o; });
+    // Step in small increments so the clock stops soon after completion.
+    const net::SimTime deadline = loop_.now() + net::seconds(120);
+    while (!result.has_value() && loop_.now() < deadline) {
+      loop_.run_until(loop_.now() + net::milliseconds(10));
+    }
+    return result;
+  }
+
+  net::EventLoop loop_;
+  net::SimNetwork network_;
+  struct Holder {
+    Holder(net::Transport& t, net::EventLoop& l) : server(t, l) {}
+    AuthServer server;
+    AuthServer* operator->() { return &server; }
+    AuthServer& operator*() { return server; }
+  };
+  Holder root_;
+  Holder auth_;
+  CachingResolver resolver_;
+};
+
+TEST_F(ResolverTest, IterativeResolution) {
+  const auto r = resolve("www.example.com");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Outcome::Status::kOk);
+  ASSERT_FALSE(r->rrset.empty());
+  EXPECT_EQ(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+            ip("192.0.2.80"));
+  EXPECT_FALSE(r->from_cache);
+  // Root referral + auth answer = 2 upstream queries.
+  EXPECT_EQ(resolver_.stats().upstream_queries, 2u);
+}
+
+TEST_F(ResolverTest, SecondLookupFromCache) {
+  resolve("www.example.com");
+  const auto before = resolver_.stats().upstream_queries;
+  const auto r = resolve("www.example.com");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->from_cache);
+  EXPECT_EQ(resolver_.stats().upstream_queries, before);
+}
+
+TEST_F(ResolverTest, CachedTtlCountsDown) {
+  resolve("www.example.com");
+  loop_.run_until(loop_.now() + net::seconds(100));
+  const auto r = resolve("www.example.com");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->from_cache);
+  EXPECT_LE(r->rrset.ttl, 200u);
+  EXPECT_GE(r->rrset.ttl, 195u);
+}
+
+TEST_F(ResolverTest, CacheExpiresAfterTtl) {
+  resolve("www.example.com");
+  const auto before = resolver_.stats().upstream_queries;
+  loop_.run_until(loop_.now() + net::seconds(301));
+  const auto r = resolve("www.example.com");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->from_cache);
+  EXPECT_GT(resolver_.stats().upstream_queries, before);
+}
+
+TEST_F(ResolverTest, NsCachedSoSecondDomainSkipsRoot) {
+  resolve("www.example.com");
+  resolver_.cache().invalidate(mk("www.example.com"), RRType::kA);
+  // NS + glue are cached; a fresh lookup should go straight to auth.
+  const auto before = resolver_.stats().upstream_queries;
+  const auto r = resolve("www.example.com");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Outcome::Status::kOk);
+  EXPECT_EQ(resolver_.stats().upstream_queries, before + 1);
+}
+
+TEST_F(ResolverTest, CnameChaseInAuthAnswer) {
+  const auto r = resolve("alias.example.com");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Outcome::Status::kOk);
+  ASSERT_EQ(r->cname_chain.size(), 1u);
+  EXPECT_EQ(r->cname_chain[0].type(), RRType::kCNAME);
+  EXPECT_EQ(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+            ip("192.0.2.80"));
+}
+
+TEST_F(ResolverTest, CachedCnameChased) {
+  resolve("alias.example.com");
+  const auto r = resolve("alias.example.com");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Outcome::Status::kOk);
+  EXPECT_TRUE(r->from_cache);
+  EXPECT_EQ(r->cname_chain.size(), 1u);
+}
+
+TEST_F(ResolverTest, NxDomainNegativeCached) {
+  const auto r = resolve("missing.example.com");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Outcome::Status::kNXDomain);
+  const auto before = resolver_.stats().upstream_queries;
+  const auto r2 = resolve("missing.example.com");
+  EXPECT_EQ(r2->status, Outcome::Status::kNXDomain);
+  EXPECT_TRUE(r2->from_cache);
+  EXPECT_EQ(resolver_.stats().upstream_queries, before);
+}
+
+TEST_F(ResolverTest, NegativeCacheExpires) {
+  resolve("missing.example.com");
+  // Negative TTL derives from the SOA minimum (45 s).
+  loop_.run_until(loop_.now() + net::seconds(46));
+  const auto before = resolver_.stats().upstream_queries;
+  resolve("missing.example.com");
+  EXPECT_GT(resolver_.stats().upstream_queries, before);
+}
+
+TEST_F(ResolverTest, NoDataAnswer) {
+  const auto r = resolve("www.example.com", RRType::kMX);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Outcome::Status::kNoData);
+}
+
+TEST_F(ResolverTest, GluelessDelegationResolved) {
+  const auto r = resolve("www.glueless.org");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Outcome::Status::kOk);
+  EXPECT_EQ(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+            ip("198.51.100.9"));
+}
+
+TEST_F(ResolverTest, CnameLoopFailsCleanly) {
+  const auto r = resolve("loop1.example.com");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Outcome::Status::kServFail);
+  // Bounded work: the loop guard kicked in well before 100 queries.
+  EXPECT_LT(resolver_.stats().upstream_queries, 100u);
+}
+
+TEST_F(ResolverTest, LongCnameChainResolvesWithBoundedWork) {
+  // A 16-hop chain exceeds a single answer's chase limit, so the
+  // resolver restarts at the dangling target (bounded by the depth
+  // guard) — it must succeed without runaway queries.
+  const auto r = resolve("c0.example.com");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Outcome::Status::kOk);
+  EXPECT_EQ(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+            ip("192.0.2.15"));
+  EXPECT_LT(resolver_.stats().upstream_queries, 20u);
+}
+
+TEST_F(ResolverTest, ModerateCnameChainSucceeds) {
+  // 4 hops from c12 to the terminal A record is within limits.
+  const auto r = resolve("c12.example.com");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Outcome::Status::kOk);
+  EXPECT_EQ(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+            ip("192.0.2.15"));
+  EXPECT_GE(r->cname_chain.size(), 3u);
+}
+
+TEST_F(ResolverTest, CoalescesIdenticalInflightQueries) {
+  std::optional<Outcome> r1, r2;
+  resolver_.resolve(mk("www.example.com"), RRType::kA,
+                    [&](const Outcome& o) { r1 = o; });
+  resolver_.resolve(mk("www.example.com"), RRType::kA,
+                    [&](const Outcome& o) { r2 = o; });
+  loop_.run_for(net::seconds(60));
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(resolver_.stats().coalesced, 1u);
+  EXPECT_EQ(resolver_.stats().upstream_queries, 2u);  // not 4
+}
+
+TEST_F(ResolverTest, RetriesThroughPacketLoss) {
+  // 60% loss on a dedicated resolver -> auth path; with a generous retry
+  // budget the retransmissions get through (failure odds 0.6^8 < 2%, and
+  // the seed is fixed so the run is deterministic).
+  const net::Endpoint lossy_ep{net::make_ip(10, 0, 2, 2), 53};
+  CachingResolver::Config config;
+  config.max_retries = 7;
+  CachingResolver lossy_resolver(network_.bind(lossy_ep), loop_,
+                                 {net::Endpoint{kRootIp, 53}}, config);
+  network_.set_link(lossy_ep, {kAuthIp, 53},
+                    {net::milliseconds(1), 0, 0.6, 0.0});
+  std::optional<Outcome> result;
+  lossy_resolver.resolve(mk("www.example.com"), RRType::kA,
+                         [&](const Outcome& o) { result = o; });
+  loop_.run_for(net::seconds(60));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, Outcome::Status::kOk);
+  EXPECT_GT(lossy_resolver.stats().retransmissions, 0u);
+}
+
+TEST_F(ResolverTest, TotalOutageTimesOut) {
+  network_.partition({net::make_ip(10, 0, 2, 1), 53}, {kRootIp, 53});
+  const auto r = resolve("www.example.com");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, Outcome::Status::kTimeout);
+  EXPECT_GT(resolver_.stats().timeouts, 0u);
+}
+
+TEST_F(ResolverTest, ClientQueriesOverWire) {
+  auto& client = network_.bind({net::make_ip(10, 0, 3, 3), 4444});
+  std::optional<dns::Message> got;
+  client.set_receive_handler(
+      [&](const net::Endpoint&, std::span<const uint8_t> data) {
+        got = dns::Message::decode(data).value();
+      });
+  dns::Message q;
+  q.id = 77;
+  q.flags.rd = true;
+  q.questions.push_back(
+      dns::Question{mk("www.example.com"), RRType::kA, dns::RRClass::kIN, 0});
+  client.send({net::make_ip(10, 0, 2, 1), 53}, q.encode());
+  loop_.run_for(net::seconds(60));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->id, 77);
+  EXPECT_TRUE(got->flags.qr);
+  EXPECT_TRUE(got->flags.ra);
+  ASSERT_EQ(got->answers.size(), 1u);
+  EXPECT_EQ(resolver_.stats().client_queries, 1u);
+}
+
+TEST_F(ResolverTest, SpoofedResponseIgnored) {
+  // An attacker who guesses the qid but answers from the wrong address
+  // must be ignored.
+  auto& attacker = network_.bind({net::make_ip(10, 6, 6, 6), 53});
+  std::optional<Outcome> result;
+  resolver_.resolve(mk("www.example.com"), RRType::kA,
+                    [&](const Outcome& o) { result = o; });
+  // Forge responses with every plausible qid before the real answer lands.
+  for (uint16_t qid = 1; qid < 10; ++qid) {
+    dns::Message forged;
+    forged.id = qid;
+    forged.flags.qr = true;
+    forged.questions.push_back(dns::Question{mk("www.example.com"),
+                                             RRType::kA, dns::RRClass::kIN,
+                                             0});
+    forged.answers.push_back(dns::ResourceRecord{
+        mk("www.example.com"), dns::RRClass::kIN, 300,
+        dns::ARdata{ip("6.6.6.6")}});
+    attacker.send({net::make_ip(10, 0, 2, 1), 53}, forged.encode());
+  }
+  loop_.run_for(net::seconds(60));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, Outcome::Status::kOk);
+  EXPECT_EQ(std::get<dns::ARdata>(result->rrset.rdatas[0]).address,
+            ip("192.0.2.80"));
+}
+
+}  // namespace
+}  // namespace dnscup::server

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/sim_network.h"
+
+namespace dnscup::net {
+namespace {
+
+const Endpoint kA{make_ip(10, 0, 0, 1), 53};
+const Endpoint kB{make_ip(10, 0, 0, 2), 53};
+
+std::vector<uint8_t> payload(const char* text) {
+  return {reinterpret_cast<const uint8_t*>(text),
+          reinterpret_cast<const uint8_t*>(text) + strlen(text)};
+}
+
+struct Received {
+  Endpoint from;
+  std::vector<uint8_t> data;
+  SimTime at;
+};
+
+TEST(SimNetwork, DeliversWithLatency) {
+  EventLoop loop;
+  SimNetwork net(loop, 1);
+  net.set_default_link({milliseconds(5), 0, 0.0, 0.0});
+  auto& ta = net.bind(kA);
+  auto& tb = net.bind(kB);
+
+  std::vector<Received> received;
+  tb.set_receive_handler([&](const Endpoint& from,
+                             std::span<const uint8_t> data) {
+    received.push_back({from, {data.begin(), data.end()}, loop.now()});
+  });
+  const auto msg = payload("hello");
+  ta.send(kB, msg);
+  loop.run_all();
+
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].from, kA);
+  EXPECT_EQ(received[0].data, msg);
+  EXPECT_EQ(received[0].at, milliseconds(5));
+}
+
+TEST(SimNetwork, EndpointFormatting) {
+  EXPECT_EQ(kA.to_string(), "10.0.0.1:53");
+}
+
+TEST(SimNetwork, UnboundDestinationDropsSilently) {
+  EventLoop loop;
+  SimNetwork net(loop, 1);
+  auto& ta = net.bind(kA);
+  ta.send(kB, payload("void"));
+  loop.run_all();
+  EXPECT_EQ(net.packets_dropped(), 1u);
+  EXPECT_EQ(net.packets_delivered(), 0u);
+}
+
+TEST(SimNetwork, FullLossDropsEverything) {
+  EventLoop loop;
+  SimNetwork net(loop, 1);
+  net.set_default_link({milliseconds(1), 0, 1.0, 0.0});
+  auto& ta = net.bind(kA);
+  auto& tb = net.bind(kB);
+  int received = 0;
+  tb.set_receive_handler([&](const Endpoint&, std::span<const uint8_t>) {
+    ++received;
+  });
+  for (int i = 0; i < 20; ++i) ta.send(kB, payload("x"));
+  loop.run_all();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.packets_dropped(), 20u);
+}
+
+TEST(SimNetwork, PartialLossIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    EventLoop loop;
+    SimNetwork net(loop, seed);
+    net.set_default_link({milliseconds(1), 0, 0.5, 0.0});
+    auto& ta = net.bind(kA);
+    auto& tb = net.bind(kB);
+    int received = 0;
+    tb.set_receive_handler([&](const Endpoint&, std::span<const uint8_t>) {
+      ++received;
+    });
+    for (int i = 0; i < 200; ++i) ta.send(kB, payload("x"));
+    loop.run_all();
+    return received;
+  };
+  EXPECT_EQ(run(7), run(7));          // reproducible
+  const int got = run(7);
+  EXPECT_GT(got, 50);                 // roughly half
+  EXPECT_LT(got, 150);
+}
+
+TEST(SimNetwork, DuplicationDeliversTwice) {
+  EventLoop loop;
+  SimNetwork net(loop, 3);
+  net.set_default_link({milliseconds(1), 0, 0.0, 1.0});
+  auto& ta = net.bind(kA);
+  auto& tb = net.bind(kB);
+  int received = 0;
+  tb.set_receive_handler([&](const Endpoint&, std::span<const uint8_t>) {
+    ++received;
+  });
+  ta.send(kB, payload("dup"));
+  loop.run_all();
+  EXPECT_EQ(received, 2);
+}
+
+TEST(SimNetwork, PerPathOverride) {
+  EventLoop loop;
+  SimNetwork net(loop, 4);
+  net.set_default_link({milliseconds(1), 0, 0.0, 0.0});
+  net.set_link(kA, kB, {milliseconds(50), 0, 0.0, 0.0});
+  auto& ta = net.bind(kA);
+  auto& tb = net.bind(kB);
+  SimTime a_to_b = -1;
+  SimTime b_to_a = -1;
+  tb.set_receive_handler([&](const Endpoint&, std::span<const uint8_t>) {
+    a_to_b = loop.now();
+  });
+  ta.set_receive_handler([&](const Endpoint&, std::span<const uint8_t>) {
+    b_to_a = loop.now();
+  });
+  ta.send(kB, payload("slow"));
+  tb.send(kA, payload("fast"));
+  loop.run_all();
+  EXPECT_EQ(a_to_b, milliseconds(50));  // override applies one way
+  EXPECT_EQ(b_to_a, milliseconds(1));   // default the other way
+}
+
+TEST(SimNetwork, PartitionAndHeal) {
+  EventLoop loop;
+  SimNetwork net(loop, 5);
+  auto& ta = net.bind(kA);
+  auto& tb = net.bind(kB);
+  int received = 0;
+  tb.set_receive_handler([&](const Endpoint&, std::span<const uint8_t>) {
+    ++received;
+  });
+  net.partition(kA, kB);
+  ta.send(kB, payload("lost"));
+  loop.run_all();
+  EXPECT_EQ(received, 0);
+  net.heal(kA, kB);
+  ta.send(kB, payload("found"));
+  loop.run_all();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(SimNetwork, JitterBoundsDelay) {
+  EventLoop loop;
+  SimNetwork net(loop, 6);
+  net.set_default_link({milliseconds(10), milliseconds(5), 0.0, 0.0});
+  auto& ta = net.bind(kA);
+  auto& tb = net.bind(kB);
+  std::vector<SimTime> arrivals;
+  tb.set_receive_handler([&](const Endpoint&, std::span<const uint8_t>) {
+    arrivals.push_back(loop.now());
+  });
+  for (int i = 0; i < 50; ++i) ta.send(kB, payload("j"));
+  loop.run_all();
+  ASSERT_EQ(arrivals.size(), 50u);
+  for (SimTime t : arrivals) {
+    EXPECT_GE(t, milliseconds(10));
+    EXPECT_LE(t, milliseconds(15));
+  }
+}
+
+TEST(SimNetwork, TransportStatsAndMaxPacket) {
+  EventLoop loop;
+  SimNetwork net(loop, 7);
+  auto& ta = net.bind(kA);
+  auto& tb = net.bind(kB);
+  tb.set_receive_handler([](const Endpoint&, std::span<const uint8_t>) {});
+  ta.send(kB, payload("12345"));
+  ta.send(kB, payload("123456789"));
+  loop.run_all();
+  EXPECT_EQ(ta.stats().packets_sent, 2u);
+  EXPECT_EQ(ta.stats().bytes_sent, 14u);
+  EXPECT_EQ(ta.stats().max_packet_bytes, 9u);
+  EXPECT_EQ(tb.stats().packets_received, 2u);
+  EXPECT_EQ(tb.stats().bytes_received, 14u);
+  EXPECT_EQ(net.max_packet_bytes(), 9u);
+  EXPECT_EQ(net.packets_delivered(), 2u);
+}
+
+TEST(SimNetwork, SelfSendWorks) {
+  EventLoop loop;
+  SimNetwork net(loop, 8);
+  auto& ta = net.bind(kA);
+  int received = 0;
+  ta.set_receive_handler([&](const Endpoint& from, std::span<const uint8_t>) {
+    EXPECT_EQ(from, kA);
+    ++received;
+  });
+  ta.send(kA, payload("loop"));
+  loop.run_all();
+  EXPECT_EQ(received, 1);
+}
+
+}  // namespace
+}  // namespace dnscup::net

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "net/sim_network.h"
+#include "server/authoritative.h"
+#include "server/resolver.h"
+#include "server/stub.h"
+
+namespace dnscup::server {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+using Answer = StubResolver::Answer;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+dns::Ipv4 ip(const char* text) { return dns::Ipv4::parse(text).value(); }
+
+// Client host -> (two) local nameservers -> authority.
+class StubTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kAuthIp = net::make_ip(10, 0, 1, 1);
+  static constexpr uint32_t kNs1Ip = net::make_ip(10, 0, 2, 1);
+  static constexpr uint32_t kNs2Ip = net::make_ip(10, 0, 2, 2);
+
+  StubTest()
+      : network_(loop_, 1),
+        auth_(network_.bind({kAuthIp, 53}), loop_),
+        ns1_(network_.bind({kNs1Ip, 53}), loop_,
+             std::vector<net::Endpoint>{{kAuthIp, 53}}),
+        ns2_(network_.bind({kNs2Ip, 53}), loop_,
+             std::vector<net::Endpoint>{{kAuthIp, 53}}),
+        stub_(network_.bind({net::make_ip(10, 0, 3, 1), 40000}), loop_,
+              {{kNs1Ip, 53}, {kNs2Ip, 53}}) {
+    dns::SOARdata soa;
+    soa.mname = mk("ns.example.com");
+    soa.rname = mk("admin.example.com");
+    soa.serial = 1;
+    soa.minimum = 30;
+    dns::Zone zone = dns::Zone::make(mk("example.com"), soa, 3600,
+                                     {mk("ns.example.com")}, 3600);
+    zone.add_record(mk("www.example.com"), RRType::kA, 300,
+                    dns::ARdata{ip("192.0.2.80")});
+    // The local nameservers use the authority as their "root".
+    auth_.add_zone(dns::Zone(zone));
+    // Root-style zone so referrals resolve: authority serves everything.
+    dns::SOARdata root_soa;
+    root_soa.mname = mk("a.root");
+    root_soa.rname = mk("admin.root");
+    root_soa.serial = 1;
+    root_soa.minimum = 30;
+    dns::Zone root(Name::root());
+    root.add_record(Name::root(), RRType::kSOA, 86400, root_soa);
+    root.add_record(Name::root(), RRType::kNS, 86400,
+                    dns::NSRdata{mk("a.root")});
+    root.add_record(mk("example.com"), RRType::kNS, 3600,
+                    dns::NSRdata{mk("ns.example.com")});
+    root.add_record(mk("ns.example.com"), RRType::kA, 3600,
+                    dns::ARdata{dns::Ipv4{kAuthIp}});
+    auth_.add_zone(std::move(root));
+  }
+
+  std::optional<Answer> ask(const char* qname,
+                            RRType qtype = RRType::kA,
+                            net::Duration budget = net::seconds(30)) {
+    std::optional<Answer> result;
+    stub_.query(mk(qname), qtype, [&](const Answer& a) { result = a; });
+    const net::SimTime deadline = loop_.now() + budget;
+    while (!result.has_value() && loop_.now() < deadline) {
+      loop_.run_until(loop_.now() + net::milliseconds(10));
+    }
+    return result;
+  }
+
+  net::EventLoop loop_;
+  net::SimNetwork network_;
+  AuthServer auth_;
+  CachingResolver ns1_;
+  CachingResolver ns2_;
+  StubResolver stub_;
+};
+
+TEST_F(StubTest, ResolvesThroughLocalNameserver) {
+  const auto a = ask("www.example.com");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->status, Answer::Status::kOk);
+  ASSERT_TRUE(a->address().has_value());
+  EXPECT_EQ(*a->address(), ip("192.0.2.80"));
+  EXPECT_EQ(stub_.stats().failovers, 0u);
+}
+
+TEST_F(StubTest, NXDomainPropagates) {
+  const auto a = ask("missing.example.com");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->status, Answer::Status::kNXDomain);
+  EXPECT_EQ(a->rcode, dns::Rcode::kNXDomain);
+}
+
+TEST_F(StubTest, NoDataPropagates) {
+  const auto a = ask("www.example.com", RRType::kMX);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->status, Answer::Status::kNoData);
+}
+
+TEST_F(StubTest, FailsOverToSecondNameserver) {
+  // First nameserver unreachable: the stub must fail over to NS2.
+  network_.partition({net::make_ip(10, 0, 3, 1), 40000}, {kNs1Ip, 53});
+  const auto a = ask("www.example.com", RRType::kA, net::seconds(60));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->status, Answer::Status::kOk);
+  EXPECT_GE(stub_.stats().failovers, 1u);
+}
+
+TEST_F(StubTest, AllNameserversDownTimesOut) {
+  network_.partition({net::make_ip(10, 0, 3, 1), 40000}, {kNs1Ip, 53});
+  network_.partition({net::make_ip(10, 0, 3, 1), 40000}, {kNs2Ip, 53});
+  const auto a = ask("www.example.com", RRType::kA, net::seconds(120));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->status, Answer::Status::kTimeout);
+  EXPECT_GE(stub_.stats().timeouts, 1u);
+}
+
+TEST_F(StubTest, RetransmitsThroughLoss) {
+  network_.set_link({net::make_ip(10, 0, 3, 1), 40000}, {kNs1Ip, 53},
+                    {net::milliseconds(1), 0, 0.5, 0.0});
+  const auto a = ask("www.example.com", RRType::kA, net::seconds(60));
+  ASSERT_TRUE(a.has_value());
+  // Either a retry got through to NS1 or we failed over to NS2.
+  EXPECT_EQ(a->status, Answer::Status::kOk);
+  EXPECT_GT(stub_.stats().retransmissions + stub_.stats().failovers, 0u);
+}
+
+TEST_F(StubTest, ConcurrentQueriesKeptApart) {
+  std::optional<Answer> a1, a2;
+  stub_.query(mk("www.example.com"), RRType::kA,
+              [&](const Answer& a) { a1 = a; });
+  stub_.query(mk("missing.example.com"), RRType::kA,
+              [&](const Answer& a) { a2 = a; });
+  loop_.run_for(net::seconds(30));
+  ASSERT_TRUE(a1.has_value());
+  ASSERT_TRUE(a2.has_value());
+  EXPECT_EQ(a1->status, Answer::Status::kOk);
+  EXPECT_EQ(a2->status, Answer::Status::kNXDomain);
+}
+
+}  // namespace
+}  // namespace dnscup::server

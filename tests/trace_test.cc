@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "sim/trace.h"
+#include "sim/trace_gen.h"
+#include "util/stats.h"
+#include "workload/domain_population.h"
+
+namespace dnscup::sim {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+
+TEST(Trace, SerializeParseRoundTrip) {
+  std::vector<TraceRecord> records{
+      {net::seconds(1), 0, 17, mk("www.a.com"), RRType::kA},
+      {net::seconds(2), 1, 18, mk("www.b.org"), RRType::kTXT},
+      {net::milliseconds(2500), 2, 19, mk("c.net"), RRType::kA},
+  };
+  const std::string text = serialize_trace(records);
+  const auto parsed = parse_trace(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value(), records);
+}
+
+TEST(Trace, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_trace("nonsense\n").ok());
+  EXPECT_FALSE(parse_trace("1 0 1 not..a..name A\n").ok());
+  EXPECT_FALSE(parse_trace("1 0 1 a.com. BOGUS\n").ok());
+  EXPECT_TRUE(parse_trace("").ok());
+  EXPECT_TRUE(parse_trace("\n\n").ok());
+}
+
+TEST(Trace, SortOrdersByTimeThenNsThenClient) {
+  std::vector<TraceRecord> records{
+      {net::seconds(5), 0, 1, mk("a.com"), RRType::kA},
+      {net::seconds(1), 2, 9, mk("b.com"), RRType::kA},
+      {net::seconds(1), 1, 5, mk("c.com"), RRType::kA},
+      {net::seconds(1), 1, 2, mk("d.com"), RRType::kA},
+  };
+  sort_trace(records);
+  EXPECT_EQ(records[0].qname, mk("d.com"));
+  EXPECT_EQ(records[0].nameserver, 1);
+  EXPECT_EQ(records[0].client, 2u);
+  EXPECT_EQ(records[1].client, 5u);
+  EXPECT_EQ(records[2].nameserver, 2);
+  EXPECT_EQ(records[3].timestamp, net::seconds(5));
+}
+
+class TraceGenTest : public ::testing::Test {
+ protected:
+  TraceGenTest() {
+    workload::PopulationConfig pop_config;
+    pop_config.regular_per_group = 40;
+    pop_config.cdn_domains = 20;
+    pop_config.dyn_domains = 20;
+    pop_config.seed = 5;
+    population_ = workload::DomainPopulation::generate(pop_config);
+  }
+
+  TraceGenConfig small_trace() {
+    TraceGenConfig config;
+    config.nameservers = 3;
+    config.clients = 60;
+    config.duration_s = 6 * 3600.0;
+    config.sessions_per_client_hour = 6.0;
+    config.seed = 21;
+    return config;
+  }
+
+  workload::DomainPopulation population_{
+      workload::DomainPopulation::generate({})};
+};
+
+TEST_F(TraceGenTest, GeneratesSortedRecordsWithinDuration) {
+  const auto trace = generate_trace(population_, small_trace());
+  ASSERT_GT(trace.size(), 100u);
+  net::SimTime prev = 0;
+  for (const auto& r : trace) {
+    EXPECT_GE(r.timestamp, prev);
+    EXPECT_LT(r.timestamp, net::from_seconds(6 * 3600.0));
+    EXPECT_LT(r.nameserver, 3);
+    EXPECT_LT(r.client, 60u);
+    prev = r.timestamp;
+  }
+}
+
+TEST_F(TraceGenTest, DeterministicForSeed) {
+  const auto a = generate_trace(population_, small_trace());
+  const auto b = generate_trace(population_, small_trace());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(TraceGenTest, ClientsPinnedToNameservers) {
+  const auto trace = generate_trace(population_, small_trace());
+  std::map<uint32_t, uint16_t> assignment;
+  for (const auto& r : trace) {
+    auto [it, inserted] = assignment.emplace(r.client, r.nameserver);
+    if (!inserted) {
+      EXPECT_EQ(it->second, r.nameserver);
+    }
+  }
+}
+
+TEST_F(TraceGenTest, ClientCacheSuppressesQueries) {
+  TraceGenConfig with_cache = small_trace();
+  with_cache.client_cache_s = 900.0;
+  TraceGenConfig no_cache = small_trace();
+  no_cache.client_cache_s = 0.0;
+  const auto cached = generate_trace(population_, with_cache);
+  const auto uncached = generate_trace(population_, no_cache);
+  EXPECT_LT(cached.size(), uncached.size());
+}
+
+TEST_F(TraceGenTest, PoissonIntervalsWithoutClientCache) {
+  // Figure 4's premise: with client caching removed, per-nameserver query
+  // inter-arrival CV approaches 1 (Poisson).  We aggregate over all
+  // domains at one nameserver.
+  TraceGenConfig config = small_trace();
+  config.client_cache_s = 0.0;
+  config.clients = 120;
+  config.duration_s = 12 * 3600.0;
+  const auto trace = generate_trace(population_, config);
+  util::RunningStats intervals;
+  net::SimTime prev = -1;
+  for (const auto& r : trace) {
+    if (r.nameserver != 0) continue;
+    if (prev >= 0) {
+      intervals.add(net::to_seconds(r.timestamp - prev));
+    }
+    prev = r.timestamp;
+  }
+  ASSERT_GT(intervals.count(), 500u);
+  EXPECT_NEAR(intervals.cv(), 1.0, 0.15);
+}
+
+TEST_F(TraceGenTest, PopularDomainsDominat) {
+  const auto trace = generate_trace(population_, small_trace());
+  std::map<std::string, std::size_t> counts;
+  for (const auto& r : trace) ++counts[r.qname.to_string()];
+  std::vector<std::size_t> sorted;
+  for (const auto& [name, count] : counts) sorted.push_back(count);
+  std::sort(sorted.rbegin(), sorted.rend());
+  ASSERT_GT(sorted.size(), 10u);
+  // Zipf head: the most popular domain far exceeds the median.
+  EXPECT_GT(sorted.front(),
+            sorted[sorted.size() / 2] * 5);
+}
+
+}  // namespace
+}  // namespace dnscup::sim

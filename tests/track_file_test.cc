@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "core/track_file.h"
+
+namespace dnscup::core {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+
+const net::Endpoint kCacheA{net::make_ip(10, 0, 2, 1), 53};
+const net::Endpoint kCacheB{net::make_ip(10, 0, 2, 2), 53};
+
+TEST(TrackFile, GrantAndFind) {
+  TrackFile tf;
+  tf.grant(kCacheA, mk("www.a.com"), RRType::kA, 0, net::seconds(100));
+  const Lease* lease = tf.find(kCacheA, mk("www.a.com"), RRType::kA);
+  ASSERT_NE(lease, nullptr);
+  EXPECT_EQ(lease->holder, kCacheA);
+  EXPECT_EQ(lease->expiry(), net::seconds(100));
+  EXPECT_TRUE(lease->valid(net::seconds(99)));
+  EXPECT_FALSE(lease->valid(net::seconds(100)));
+  EXPECT_EQ(tf.stats().grants, 1u);
+}
+
+TEST(TrackFile, FindMissReturnsNull) {
+  TrackFile tf;
+  EXPECT_EQ(tf.find(kCacheA, mk("x.com"), RRType::kA), nullptr);
+  tf.grant(kCacheA, mk("x.com"), RRType::kA, 0, net::seconds(10));
+  EXPECT_EQ(tf.find(kCacheB, mk("x.com"), RRType::kA), nullptr);
+  EXPECT_EQ(tf.find(kCacheA, mk("x.com"), RRType::kTXT), nullptr);
+}
+
+TEST(TrackFile, RenewalRestartsTerm) {
+  TrackFile tf;
+  tf.grant(kCacheA, mk("x.com"), RRType::kA, 0, net::seconds(100));
+  tf.grant(kCacheA, mk("x.com"), RRType::kA, net::seconds(50),
+           net::seconds(100));
+  EXPECT_EQ(tf.find(kCacheA, mk("x.com"), RRType::kA)->expiry(),
+            net::seconds(150));
+  EXPECT_EQ(tf.stats().grants, 1u);
+  EXPECT_EQ(tf.stats().renewals, 1u);
+  EXPECT_EQ(tf.size(), 1u);
+}
+
+TEST(TrackFile, RegrantAfterExpiryCountsAsGrant) {
+  TrackFile tf;
+  tf.grant(kCacheA, mk("x.com"), RRType::kA, 0, net::seconds(10));
+  tf.grant(kCacheA, mk("x.com"), RRType::kA, net::seconds(20),
+           net::seconds(10));
+  EXPECT_EQ(tf.stats().grants, 2u);
+  EXPECT_EQ(tf.stats().renewals, 0u);
+}
+
+TEST(TrackFile, HoldersOfFiltersValidity) {
+  TrackFile tf;
+  tf.grant(kCacheA, mk("x.com"), RRType::kA, 0, net::seconds(100));
+  tf.grant(kCacheB, mk("x.com"), RRType::kA, 0, net::seconds(10));
+  EXPECT_EQ(tf.holders_of(mk("x.com"), RRType::kA, net::seconds(5)).size(),
+            2u);
+  const auto late = tf.holders_of(mk("x.com"), RRType::kA, net::seconds(50));
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_EQ(late[0].holder, kCacheA);
+  EXPECT_TRUE(
+      tf.holders_of(mk("y.com"), RRType::kA, net::seconds(5)).empty());
+}
+
+TEST(TrackFile, LeasesOfHolder) {
+  TrackFile tf;
+  tf.grant(kCacheA, mk("x.com"), RRType::kA, 0, net::seconds(100));
+  tf.grant(kCacheA, mk("y.com"), RRType::kA, 0, net::seconds(100));
+  tf.grant(kCacheB, mk("x.com"), RRType::kA, 0, net::seconds(100));
+  EXPECT_EQ(tf.leases_of(kCacheA, net::seconds(1)).size(), 2u);
+  EXPECT_EQ(tf.leases_of(kCacheB, net::seconds(1)).size(), 1u);
+}
+
+TEST(TrackFile, Revoke) {
+  TrackFile tf;
+  tf.grant(kCacheA, mk("x.com"), RRType::kA, 0, net::seconds(100));
+  EXPECT_TRUE(tf.revoke(kCacheA, mk("x.com"), RRType::kA));
+  EXPECT_FALSE(tf.revoke(kCacheA, mk("x.com"), RRType::kA));
+  EXPECT_EQ(tf.size(), 0u);
+  EXPECT_EQ(tf.stats().revocations, 1u);
+}
+
+TEST(TrackFile, PruneDropsExpiredOnly) {
+  TrackFile tf;
+  tf.grant(kCacheA, mk("x.com"), RRType::kA, 0, net::seconds(10));
+  tf.grant(kCacheB, mk("x.com"), RRType::kA, 0, net::seconds(100));
+  tf.grant(kCacheA, mk("y.com"), RRType::kA, 0, net::seconds(10));
+  EXPECT_EQ(tf.prune(net::seconds(50)), 2u);
+  EXPECT_EQ(tf.size(), 1u);
+  EXPECT_EQ(tf.live_count(net::seconds(50)), 1u);
+}
+
+TEST(TrackFile, LiveCountIgnoresExpired) {
+  TrackFile tf;
+  tf.grant(kCacheA, mk("x.com"), RRType::kA, 0, net::seconds(10));
+  tf.grant(kCacheB, mk("y.com"), RRType::kA, 0, net::seconds(100));
+  EXPECT_EQ(tf.live_count(net::seconds(5)), 2u);
+  EXPECT_EQ(tf.live_count(net::seconds(50)), 1u);
+  EXPECT_EQ(tf.size(), 2u);  // expired tuple still stored until prune
+}
+
+TEST(TrackFile, SerializeOnlyValidLeases) {
+  TrackFile tf;
+  tf.grant(kCacheA, mk("live.com"), RRType::kA, 0, net::seconds(100));
+  tf.grant(kCacheB, mk("dead.com"), RRType::kA, 0, net::seconds(1));
+  const std::string text = tf.serialize(net::seconds(50));
+  EXPECT_NE(text.find("live.com."), std::string::npos);
+  EXPECT_EQ(text.find("dead.com."), std::string::npos);
+  EXPECT_NE(text.find("10.0.2.1:53"), std::string::npos);
+}
+
+TEST(TrackFile, SerializeParseRoundTrip) {
+  TrackFile tf;
+  tf.grant(kCacheA, mk("a.com"), RRType::kA, net::seconds(5),
+           net::seconds(100));
+  tf.grant(kCacheB, mk("b.com"), RRType::kTXT, net::seconds(7),
+           net::seconds(200));
+  const std::string text = tf.serialize(net::seconds(10));
+  auto parsed = TrackFile::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const TrackFile& copy = parsed.value();
+  EXPECT_EQ(copy.size(), 2u);
+  const Lease* a = copy.find(kCacheA, mk("a.com"), RRType::kA);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->granted_at, net::seconds(5));
+  EXPECT_EQ(a->length, net::seconds(100));
+  const Lease* b = copy.find(kCacheB, mk("b.com"), RRType::kTXT);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->length, net::seconds(200));
+}
+
+TEST(TrackFile, ParseRejectsGarbage) {
+  EXPECT_FALSE(TrackFile::parse("not a lease line\n").ok());
+  EXPECT_FALSE(TrackFile::parse("10.0.0.1:53 a.com. BOGUS 1 2\n").ok());
+  EXPECT_FALSE(TrackFile::parse("noport a.com. A 1 2\n").ok());
+  EXPECT_TRUE(TrackFile::parse("").ok());  // empty file is an empty table
+}
+
+TEST(TrackFile, ForEachVisitsAllTuples) {
+  TrackFile tf;
+  tf.grant(kCacheA, mk("a.com"), RRType::kA, 0, net::seconds(10));
+  tf.grant(kCacheB, mk("a.com"), RRType::kA, 0, net::seconds(10));
+  tf.grant(kCacheA, mk("b.com"), RRType::kA, 0, net::seconds(10));
+  std::size_t n = 0;
+  tf.for_each([&](const Lease&) { ++n; });
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(TrackFile, ManyLeasesStress) {
+  TrackFile tf;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    const net::Endpoint holder{net::make_ip(10, 1, static_cast<uint8_t>(i / 250),
+                                            static_cast<uint8_t>(i % 250)),
+                               53};
+    tf.grant(holder, mk(("d" + std::to_string(i % 100) + ".com").c_str()),
+             RRType::kA, 0, net::seconds(60 + i % 50));
+  }
+  EXPECT_EQ(tf.size(), 1000u);
+  EXPECT_EQ(tf.live_count(net::seconds(59)), 1000u);
+  EXPECT_EQ(tf.live_count(net::seconds(200)), 0u);
+  const std::string text = tf.serialize(net::seconds(1));
+  EXPECT_EQ(TrackFile::parse(text).value().size(), 1000u);
+}
+
+}  // namespace
+}  // namespace dnscup::core

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "net/udp_transport.h"
+
+namespace dnscup::net {
+namespace {
+
+// Real-socket smoke tests: two loopback sockets exchanging datagrams.
+// Everything protocol-level runs on SimNetwork; these only prove the
+// Transport abstraction holds on real UDP (the prototype path).
+
+struct Waiter {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::vector<uint8_t>> received;
+  Endpoint last_from;
+
+  bool wait_for_messages(std::size_t n) {
+    std::unique_lock lock(mutex);
+    return cv.wait_for(lock, std::chrono::seconds(5),
+                       [&] { return received.size() >= n; });
+  }
+};
+
+TEST(UdpTransport, BindEphemeralPort) {
+  auto t = UdpTransport::bind(0);
+  ASSERT_TRUE(t.ok()) << t.error().to_string();
+  EXPECT_NE(t.value()->local_endpoint().port, 0);
+  EXPECT_EQ(t.value()->local_endpoint().ip, 0x7F000001u);
+}
+
+TEST(UdpTransport, SendAndReceive) {
+  auto a = UdpTransport::bind(0);
+  auto b = UdpTransport::bind(0);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  Waiter waiter;
+  b.value()->set_receive_handler(
+      [&](const Endpoint& from, std::span<const uint8_t> data) {
+        std::lock_guard lock(waiter.mutex);
+        waiter.received.emplace_back(data.begin(), data.end());
+        waiter.last_from = from;
+        waiter.cv.notify_all();
+      });
+
+  const std::vector<uint8_t> msg{1, 2, 3, 4, 5};
+  a.value()->send(b.value()->local_endpoint(), msg);
+  ASSERT_TRUE(waiter.wait_for_messages(1));
+  EXPECT_EQ(waiter.received[0], msg);
+  EXPECT_EQ(waiter.last_from, a.value()->local_endpoint());
+}
+
+TEST(UdpTransport, RoundTripBothDirections) {
+  auto a = UdpTransport::bind(0);
+  auto b = UdpTransport::bind(0);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  Waiter wa, wb;
+  a.value()->set_receive_handler(
+      [&](const Endpoint&, std::span<const uint8_t> data) {
+        std::lock_guard lock(wa.mutex);
+        wa.received.emplace_back(data.begin(), data.end());
+        wa.cv.notify_all();
+      });
+  b.value()->set_receive_handler(
+      [&](const Endpoint& from, std::span<const uint8_t> data) {
+        std::lock_guard lock(wb.mutex);
+        wb.received.emplace_back(data.begin(), data.end());
+        wb.cv.notify_all();
+        // Echo back.
+        b.value()->send(from, data);
+      });
+
+  const std::vector<uint8_t> msg{9, 8, 7};
+  a.value()->send(b.value()->local_endpoint(), msg);
+  ASSERT_TRUE(wb.wait_for_messages(1));
+  ASSERT_TRUE(wa.wait_for_messages(1));
+  EXPECT_EQ(wa.received[0], msg);
+}
+
+TEST(UdpTransport, StatsCount) {
+  auto a = UdpTransport::bind(0);
+  auto b = UdpTransport::bind(0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Waiter waiter;
+  b.value()->set_receive_handler(
+      [&](const Endpoint&, std::span<const uint8_t> data) {
+        std::lock_guard lock(waiter.mutex);
+        waiter.received.emplace_back(data.begin(), data.end());
+        waiter.cv.notify_all();
+      });
+  const std::vector<uint8_t> msg(100, 0xAB);
+  a.value()->send(b.value()->local_endpoint(), msg);
+  a.value()->send(b.value()->local_endpoint(), msg);
+  ASSERT_TRUE(waiter.wait_for_messages(2));
+  EXPECT_EQ(a.value()->stats().packets_sent, 2u);
+  EXPECT_EQ(a.value()->stats().bytes_sent, 200u);
+  EXPECT_EQ(a.value()->stats().max_packet_bytes, 100u);
+  EXPECT_EQ(b.value()->stats().packets_received, 2u);
+}
+
+TEST(UdpTransport, CleanShutdownWithoutTraffic) {
+  // Destroying an idle transport must join its receiver thread promptly.
+  auto t = UdpTransport::bind(0);
+  ASSERT_TRUE(t.ok());
+  t.value().reset();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dnscup::net

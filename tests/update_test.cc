@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include "dns/zone.h"
+#include "net/sim_network.h"
+#include "server/authoritative.h"
+#include "server/update.h"
+
+namespace dnscup::server {
+namespace {
+
+using dns::Message;
+using dns::Name;
+using dns::Rcode;
+using dns::RRType;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+dns::Ipv4 ip(const char* text) { return dns::Ipv4::parse(text).value(); }
+
+dns::Zone test_zone() {
+  dns::SOARdata soa;
+  soa.mname = mk("ns1.example.com");
+  soa.rname = mk("admin.example.com");
+  soa.serial = 10;
+  soa.minimum = 60;
+  dns::Zone z = dns::Zone::make(mk("example.com"), soa, 3600,
+                                {mk("ns1.example.com")}, 3600);
+  z.add_record(mk("www.example.com"), RRType::kA, 300,
+               dns::ARdata{ip("192.0.2.80")});
+  z.add_record(mk("txt.example.com"), RRType::kTXT, 300,
+               dns::TXTRdata{{"v1"}});
+  return z;
+}
+
+// ---- prerequisite matrix (RFC 2136 §3.2) -------------------------------------
+
+struct PrereqCase {
+  const char* description;
+  // Builder configures the prerequisite under test.
+  void (*configure)(UpdateBuilder&);
+  Rcode expected;
+};
+
+void name_in_use_yes(UpdateBuilder& b) {
+  b.require_name_in_use(mk("www.example.com"));
+}
+void name_in_use_no(UpdateBuilder& b) {
+  b.require_name_in_use(mk("missing.example.com"));
+}
+void name_not_in_use_yes(UpdateBuilder& b) {
+  b.require_name_not_in_use(mk("missing.example.com"));
+}
+void name_not_in_use_no(UpdateBuilder& b) {
+  b.require_name_not_in_use(mk("www.example.com"));
+}
+void rrset_exists_yes(UpdateBuilder& b) {
+  b.require_rrset_exists(mk("www.example.com"), RRType::kA);
+}
+void rrset_exists_no(UpdateBuilder& b) {
+  b.require_rrset_exists(mk("www.example.com"), RRType::kMX);
+}
+void rrset_absent_yes(UpdateBuilder& b) {
+  b.require_rrset_absent(mk("www.example.com"), RRType::kMX);
+}
+void rrset_absent_no(UpdateBuilder& b) {
+  b.require_rrset_absent(mk("www.example.com"), RRType::kA);
+}
+void value_match_yes(UpdateBuilder& b) {
+  b.require_rrset_exists_value(mk("www.example.com"),
+                               dns::ARdata{ip("192.0.2.80")});
+}
+void value_match_no(UpdateBuilder& b) {
+  b.require_rrset_exists_value(mk("www.example.com"),
+                               dns::ARdata{ip("1.2.3.4")});
+}
+void value_match_partial(UpdateBuilder& b) {
+  // Zone has exactly one A; requiring two means the whole-set compare fails.
+  b.require_rrset_exists_value(mk("www.example.com"),
+                               dns::ARdata{ip("192.0.2.80")});
+  b.require_rrset_exists_value(mk("www.example.com"),
+                               dns::ARdata{ip("192.0.2.81")});
+}
+
+class PrereqMatrix : public ::testing::TestWithParam<PrereqCase> {};
+
+TEST_P(PrereqMatrix, Evaluates) {
+  const dns::Zone zone = test_zone();
+  UpdateBuilder builder(mk("example.com"));
+  GetParam().configure(builder);
+  const Message m = builder.build(1);
+  EXPECT_EQ(check_prerequisites(zone, m.answers), GetParam().expected)
+      << GetParam().description;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc2136, PrereqMatrix,
+    ::testing::Values(
+        PrereqCase{"name in use ok", name_in_use_yes, Rcode::kNoError},
+        PrereqCase{"name in use fails", name_in_use_no, Rcode::kNXDomain},
+        PrereqCase{"name not in use ok", name_not_in_use_yes,
+                   Rcode::kNoError},
+        PrereqCase{"name not in use fails", name_not_in_use_no,
+                   Rcode::kYXDomain},
+        PrereqCase{"rrset exists ok", rrset_exists_yes, Rcode::kNoError},
+        PrereqCase{"rrset exists fails", rrset_exists_no, Rcode::kNXRRSet},
+        PrereqCase{"rrset absent ok", rrset_absent_yes, Rcode::kNoError},
+        PrereqCase{"rrset absent fails", rrset_absent_no, Rcode::kYXRRSet},
+        PrereqCase{"value match ok", value_match_yes, Rcode::kNoError},
+        PrereqCase{"value mismatch", value_match_no, Rcode::kNXRRSet},
+        PrereqCase{"value partial mismatch", value_match_partial,
+                   Rcode::kNXRRSet}));
+
+TEST(Prereq, OutOfZoneIsNotZone) {
+  const dns::Zone zone = test_zone();
+  UpdateBuilder b(mk("example.com"));
+  b.require_name_in_use(mk("www.other.org"));
+  EXPECT_EQ(check_prerequisites(zone, b.build(1).answers), Rcode::kNotZone);
+}
+
+// ---- update application ----------------------------------------------------------
+
+TEST(ApplyUpdate, AddRecord) {
+  dns::Zone zone = test_zone();
+  bool changed = false;
+  const Message m = UpdateBuilder(mk("example.com"))
+                        .add(mk("new.example.com"), 120,
+                             dns::ARdata{ip("203.0.113.9")})
+                        .build(1);
+  EXPECT_EQ(apply_update_section(zone, m.authority, changed),
+            Rcode::kNoError);
+  EXPECT_TRUE(changed);
+  EXPECT_NE(zone.find(mk("new.example.com"), RRType::kA), nullptr);
+}
+
+TEST(ApplyUpdate, AddDuplicateIsNoChange) {
+  dns::Zone zone = test_zone();
+  bool changed = true;
+  const Message m = UpdateBuilder(mk("example.com"))
+                        .add(mk("www.example.com"), 300,
+                             dns::ARdata{ip("192.0.2.80")})
+                        .build(1);
+  EXPECT_EQ(apply_update_section(zone, m.authority, changed),
+            Rcode::kNoError);
+  EXPECT_FALSE(changed);
+}
+
+TEST(ApplyUpdate, DeleteRRset) {
+  dns::Zone zone = test_zone();
+  bool changed = false;
+  const Message m = UpdateBuilder(mk("example.com"))
+                        .delete_rrset(mk("www.example.com"), RRType::kA)
+                        .build(1);
+  EXPECT_EQ(apply_update_section(zone, m.authority, changed),
+            Rcode::kNoError);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(zone.find(mk("www.example.com"), RRType::kA), nullptr);
+}
+
+TEST(ApplyUpdate, DeleteSpecificRecord) {
+  dns::Zone zone = test_zone();
+  zone.add_record(mk("www.example.com"), RRType::kA, 300,
+                  dns::ARdata{ip("192.0.2.81")});
+  bool changed = false;
+  const Message m = UpdateBuilder(mk("example.com"))
+                        .delete_record(mk("www.example.com"),
+                                       dns::ARdata{ip("192.0.2.80")})
+                        .build(1);
+  EXPECT_EQ(apply_update_section(zone, m.authority, changed),
+            Rcode::kNoError);
+  EXPECT_TRUE(changed);
+  const dns::RRset* a = zone.find(mk("www.example.com"), RRType::kA);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->size(), 1u);
+}
+
+TEST(ApplyUpdate, DeleteName) {
+  dns::Zone zone = test_zone();
+  bool changed = false;
+  const Message m = UpdateBuilder(mk("example.com"))
+                        .delete_name(mk("txt.example.com"))
+                        .build(1);
+  EXPECT_EQ(apply_update_section(zone, m.authority, changed),
+            Rcode::kNoError);
+  EXPECT_FALSE(zone.name_exists(mk("txt.example.com")));
+}
+
+TEST(ApplyUpdate, ReplaceA) {
+  dns::Zone zone = test_zone();
+  bool changed = false;
+  const Message m = UpdateBuilder(mk("example.com"))
+                        .replace_a(mk("www.example.com"), 300,
+                                   ip("198.51.100.5"))
+                        .build(1);
+  EXPECT_EQ(apply_update_section(zone, m.authority, changed),
+            Rcode::kNoError);
+  const dns::RRset* a = zone.find(mk("www.example.com"), RRType::kA);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->size(), 1u);
+  EXPECT_EQ(std::get<dns::ARdata>(a->rdatas[0]).address, ip("198.51.100.5"));
+}
+
+TEST(ApplyUpdate, SoaProtectedFromDeletion) {
+  dns::Zone zone = test_zone();
+  bool changed = false;
+  const Message m = UpdateBuilder(mk("example.com"))
+                        .delete_rrset(mk("example.com"), RRType::kSOA)
+                        .build(1);
+  EXPECT_EQ(apply_update_section(zone, m.authority, changed),
+            Rcode::kNoError);
+  EXPECT_FALSE(changed);
+  EXPECT_TRUE(zone.validate().ok());
+}
+
+TEST(ApplyUpdate, PrescanRejectsAtomically) {
+  dns::Zone zone = test_zone();
+  // One good add followed by a malformed record (class IN, type ANY).
+  std::vector<dns::ResourceRecord> updates;
+  updates.push_back(dns::ResourceRecord{
+      mk("good.example.com"), dns::RRClass::kIN, 60,
+      dns::ARdata{ip("203.0.113.1")}});
+  updates.push_back(dns::ResourceRecord{
+      mk("bad.example.com"), dns::RRClass::kIN, 60,
+      dns::GenericRdata{static_cast<uint16_t>(RRType::kANY), {}}});
+  bool changed = false;
+  EXPECT_EQ(apply_update_section(zone, updates, changed), Rcode::kFormErr);
+  EXPECT_FALSE(changed);
+  // Nothing was applied.
+  EXPECT_EQ(zone.find(mk("good.example.com"), RRType::kA), nullptr);
+}
+
+TEST(ApplyUpdate, OutOfZoneRejected) {
+  dns::Zone zone = test_zone();
+  bool changed = false;
+  const Message m = UpdateBuilder(mk("example.com"))
+                        .add(mk("www.other.org"), 60,
+                             dns::ARdata{ip("1.1.1.1")})
+                        .build(1);
+  EXPECT_EQ(apply_update_section(zone, m.authority, changed),
+            Rcode::kNotZone);
+}
+
+// ---- full server path --------------------------------------------------------------
+
+class UpdateServerTest : public ::testing::Test {
+ protected:
+  UpdateServerTest()
+      : network_(loop_, 1),
+        server_(network_.bind({net::make_ip(10, 0, 0, 1), 53}), loop_) {
+    server_.add_zone(test_zone());
+  }
+
+  net::EventLoop loop_;
+  net::SimNetwork network_;
+  AuthServer server_;
+  net::Endpoint admin_{net::make_ip(10, 0, 0, 9), 5353};
+};
+
+TEST_F(UpdateServerTest, WireUpdateAppliesAndBumpsSerial) {
+  const Message m = UpdateBuilder(mk("example.com"))
+                        .require_rrset_exists(mk("www.example.com"),
+                                              RRType::kA)
+                        .replace_a(mk("www.example.com"), 300,
+                                   ip("198.51.100.7"))
+                        .build(7);
+  const auto resp = server_.handle(admin_, m);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->flags.rcode, Rcode::kNoError);
+  EXPECT_EQ(resp->flags.opcode, dns::Opcode::kUpdate);
+  EXPECT_EQ(server_.find_zone(mk("example.com"))->serial(), 11u);
+  EXPECT_EQ(server_.stats().updates, 1u);
+}
+
+TEST_F(UpdateServerTest, FailedPrereqAppliesNothing) {
+  const Message m = UpdateBuilder(mk("example.com"))
+                        .require_name_in_use(mk("missing.example.com"))
+                        .replace_a(mk("www.example.com"), 300,
+                                   ip("198.51.100.7"))
+                        .build(8);
+  const auto resp = server_.handle(admin_, m);
+  EXPECT_EQ(resp->flags.rcode, Rcode::kNXDomain);
+  const dns::RRset* a =
+      server_.find_zone(mk("example.com"))->find(mk("www.example.com"),
+                                                 RRType::kA);
+  EXPECT_EQ(std::get<dns::ARdata>(a->rdatas[0]).address, ip("192.0.2.80"));
+  EXPECT_EQ(server_.find_zone(mk("example.com"))->serial(), 10u);
+}
+
+TEST_F(UpdateServerTest, UnknownZoneNotAuth) {
+  const Message m = UpdateBuilder(mk("other.org"))
+                        .add(mk("www.other.org"), 60,
+                             dns::ARdata{ip("1.1.1.1")})
+                        .build(9);
+  EXPECT_EQ(server_.handle(admin_, m)->flags.rcode, Rcode::kNotAuth);
+}
+
+TEST_F(UpdateServerTest, SlaveRefusesUpdates) {
+  AuthServer slave(network_.bind({net::make_ip(10, 0, 0, 2), 53}), loop_,
+                   AuthServer::Role::kSlave);
+  slave.add_zone(test_zone());
+  const Message m = UpdateBuilder(mk("example.com"))
+                        .replace_a(mk("www.example.com"), 300,
+                                   ip("9.9.9.9"))
+                        .build(10);
+  EXPECT_EQ(slave.handle(admin_, m)->flags.rcode, Rcode::kNotAuth);
+}
+
+TEST_F(UpdateServerTest, NoOpUpdateDoesNotBumpSerialOrNotify) {
+  int events = 0;
+  server_.add_change_listener(
+      [&](const dns::Zone&, const std::vector<dns::RRsetChange>&) {
+        ++events;
+      });
+  const Message m = UpdateBuilder(mk("example.com"))
+                        .add(mk("www.example.com"), 300,
+                             dns::ARdata{ip("192.0.2.80")})
+                        .build(11);
+  EXPECT_EQ(server_.handle(admin_, m)->flags.rcode, Rcode::kNoError);
+  EXPECT_EQ(server_.find_zone(mk("example.com"))->serial(), 10u);
+  EXPECT_EQ(events, 0);
+}
+
+TEST_F(UpdateServerTest, ChangeHookGetsDiff) {
+  std::vector<dns::RRsetChange> seen;
+  server_.add_change_listener(
+      [&](const dns::Zone&, const std::vector<dns::RRsetChange>& changes) {
+        seen = changes;
+      });
+  const Message m = UpdateBuilder(mk("example.com"))
+                        .replace_a(mk("www.example.com"), 300,
+                                   ip("198.51.100.7"))
+                        .build(12);
+  server_.handle(admin_, m);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].name, mk("www.example.com"));
+  ASSERT_TRUE(seen[0].after.has_value());
+  EXPECT_EQ(std::get<dns::ARdata>(seen[0].after->rdatas[0]).address,
+            ip("198.51.100.7"));
+}
+
+TEST_F(UpdateServerTest, UpdateRoundTripsOverWire) {
+  auto& admin_transport = network_.bind(admin_);
+  std::optional<Message> got;
+  admin_transport.set_receive_handler(
+      [&](const net::Endpoint&, std::span<const uint8_t> data) {
+        got = Message::decode(data).value();
+      });
+  const Message m = UpdateBuilder(mk("example.com"))
+                        .replace_a(mk("www.example.com"), 300,
+                                   ip("198.51.100.8"))
+                        .build(13);
+  admin_transport.send({net::make_ip(10, 0, 0, 1), 53}, m.encode());
+  loop_.run_all();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->flags.rcode, Rcode::kNoError);
+  EXPECT_EQ(got->id, 13);
+}
+
+}  // namespace
+}  // namespace dnscup::server

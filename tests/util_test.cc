@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace dnscup::util {
+namespace {
+
+// ---- Result / Status ------------------------------------------------------
+
+Result<int> half(int x) {
+  if (x % 2 != 0) {
+    return make_error(ErrorCode::kInvalidArgument, "odd input");
+  }
+  return x / 2;
+}
+
+Result<int> quarter(int x) {
+  DNSCUP_ASSIGN_OR_RETURN(int h, half(x));
+  DNSCUP_ASSIGN_OR_RETURN(int q, half(h));
+  return q;
+}
+
+Status check_even(int x) {
+  if (x % 2 != 0) return Status(ErrorCode::kInvalidArgument, "odd");
+  return {};
+}
+
+TEST(Result, HoldsValue) {
+  auto r = half(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(Result, HoldsError) {
+  auto r = half(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(r.error().message, "odd input");
+}
+
+TEST(Result, ValueOr) {
+  EXPECT_EQ(half(3).value_or(-1), -1);
+  EXPECT_EQ(half(8).value_or(-1), 4);
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(quarter(8).value(), 2);
+  EXPECT_FALSE(quarter(8 + 2).ok());  // 10/2=5 is odd -> propagated error
+  EXPECT_FALSE(quarter(7).ok());
+}
+
+TEST(Result, ErrorToString) {
+  const Error e = make_error(ErrorCode::kTruncated, "short read");
+  EXPECT_EQ(e.to_string(), "truncated: short read");
+}
+
+TEST(Status, OkAndError) {
+  EXPECT_TRUE(check_even(2).ok());
+  const Status s = check_even(3);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(Status, TryMacro) {
+  auto both_even = [](int a, int b) -> Status {
+    DNSCUP_TRY(check_even(a));
+    DNSCUP_TRY(check_even(b));
+    return {};
+  };
+  EXPECT_TRUE(both_even(2, 4).ok());
+  EXPECT_FALSE(both_even(2, 3).ok());
+  EXPECT_FALSE(both_even(1, 4).ok());
+}
+
+TEST(ErrorCode, AllNamesDistinct) {
+  EXPECT_STREQ(to_string(ErrorCode::kTruncated), "truncated");
+  EXPECT_STREQ(to_string(ErrorCode::kMalformed), "malformed");
+  EXPECT_STREQ(to_string(ErrorCode::kNotFound), "not-found");
+  EXPECT_STREQ(to_string(ErrorCode::kIo), "io");
+}
+
+// ---- RunningStats ----------------------------------------------------------
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, CvOfConstantIsZero) {
+  RunningStats s;
+  for (int i = 0; i < 10; ++i) s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(RunningStats, CvOfExponentialNearOne) {
+  // The CV of an exponential distribution is exactly 1 — the property the
+  // paper's Figure 4 uses to validate the Poisson assumption.
+  Rng rng(123);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.exponential(2.0));
+  EXPECT_NEAR(s.cv(), 1.0, 0.02);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  Rng rng(7);
+  RunningStats a, b, combined;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    combined.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  Rng rng(9);
+  RunningStats small, large;
+  for (int i = 0; i < 100; ++i) small.add(rng.normal(0, 1));
+  for (int i = 0; i < 10000; ++i) large.add(rng.normal(0, 1));
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+  EXPECT_NEAR(large.ci95_halfwidth(), 1.96 / 100.0, 0.004);
+}
+
+// ---- Histogram --------------------------------------------------------------
+
+TEST(Histogram, BinningAndPdf) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.05);   // bin 0
+  h.add(0.05);
+  h.add(0.55);   // bin 5
+  h.add(0.95);   // bin 9
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  const auto pdf = h.pdf();
+  EXPECT_DOUBLE_EQ(pdf[0], 0.5);
+  EXPECT_DOUBLE_EQ(pdf[5], 0.25);
+  double sum = 0.0;
+  for (double p : pdf) sum += p;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(2.0);
+  h.add(1.0);  // exactly hi clamps into the last bin
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 2u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.125);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 0.875);
+}
+
+TEST(Histogram, EmptyPdfAllZero) {
+  Histogram h(0.0, 1.0, 3);
+  for (double p : h.pdf()) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+// ---- percentile --------------------------------------------------------------
+
+TEST(Percentile, Basics) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 10), 1.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 99), 42.0);
+}
+
+// ---- Rng ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(555), b(555);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, ForkIndependentButDeterministic) {
+  Rng a(1), b(1);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  EXPECT_EQ(fa.uniform_int(0, 1 << 30), fb.uniform_int(0, 1 << 30));
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(6);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) {
+    s.add(static_cast<double>(rng.poisson(3.0)));
+  }
+  EXPECT_NEAR(s.mean(), 3.0, 0.05);
+  EXPECT_NEAR(s.variance(), 3.0, 0.1);  // Poisson: var = mean
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+// ---- Zipf ------------------------------------------------------------------
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 0.9);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 100; ++i) sum += zipf.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, RankZeroMostPopular) {
+  ZipfDistribution zipf(50, 1.0);
+  for (std::size_t i = 1; i < 50; ++i) {
+    EXPECT_GT(zipf.pmf(0), zipf.pmf(i));
+  }
+}
+
+TEST(Zipf, EmpiricalMatchesPmf) {
+  ZipfDistribution zipf(10, 1.0);
+  Rng rng(77);
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, zipf.pmf(r), 0.01);
+  }
+}
+
+TEST(Zipf, SamplesInRange) {
+  ZipfDistribution zipf(7, 0.5);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace dnscup::util

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "dns/wire.h"
+#include "util/rng.h"
+
+namespace dnscup::dns {
+namespace {
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+
+// ---- integer primitives -----------------------------------------------------
+
+TEST(ByteWriter, BigEndianIntegers) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  const auto& b = w.data();
+  ASSERT_EQ(b.size(), 7u);
+  EXPECT_EQ(b[0], 0xAB);
+  EXPECT_EQ(b[1], 0x12);
+  EXPECT_EQ(b[2], 0x34);
+  EXPECT_EQ(b[3], 0xDE);
+  EXPECT_EQ(b[4], 0xAD);
+  EXPECT_EQ(b[5], 0xBE);
+  EXPECT_EQ(b[6], 0xEF);
+}
+
+TEST(ByteReader, ReadsBackIntegers) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16(65535);
+  w.u32(123456789);
+  ByteReader r({w.data().data(), w.data().size()});
+  EXPECT_EQ(r.u8().value(), 7);
+  EXPECT_EQ(r.u16().value(), 65535);
+  EXPECT_EQ(r.u32().value(), 123456789u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteReader, TruncationErrors) {
+  const std::vector<uint8_t> three{1, 2, 3};
+  ByteReader r({three.data(), three.size()});
+  EXPECT_FALSE(r.u32().ok());
+  EXPECT_TRUE(r.u16().ok());
+  EXPECT_TRUE(r.u8().ok());
+  EXPECT_FALSE(r.u8().ok());
+  EXPECT_FALSE(r.bytes(1).ok());
+}
+
+TEST(ByteReader, SeekBounds) {
+  const std::vector<uint8_t> data{1, 2, 3};
+  ByteReader r({data.data(), data.size()});
+  EXPECT_TRUE(r.seek(3).ok());
+  EXPECT_TRUE(r.at_end());
+  EXPECT_FALSE(r.seek(4).ok());
+}
+
+TEST(ByteWriter, PatchU16) {
+  ByteWriter w;
+  w.u16(0);
+  w.u8(9);
+  w.patch_u16(0, 0xBEEF);
+  EXPECT_EQ(w.data()[0], 0xBE);
+  EXPECT_EQ(w.data()[1], 0xEF);
+  EXPECT_EQ(w.data()[2], 9);
+}
+
+// ---- names -------------------------------------------------------------------
+
+TEST(WireName, SimpleRoundTrip) {
+  ByteWriter w;
+  w.name(mk("www.example.com"));
+  ByteReader r({w.data().data(), w.data().size()});
+  EXPECT_EQ(r.name().value(), mk("www.example.com"));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(WireName, RootEncodesAsSingleZero) {
+  ByteWriter w;
+  w.name(Name::root());
+  ASSERT_EQ(w.data().size(), 1u);
+  EXPECT_EQ(w.data()[0], 0);
+}
+
+TEST(WireName, CompressionReusesSuffix) {
+  ByteWriter w;
+  w.name(mk("www.example.com"));
+  const std::size_t first = w.size();
+  w.name(mk("ftp.example.com"));  // shares "example.com"
+  const std::size_t second = w.size() - first;
+  // Second name: 1+3 ("ftp") + 2 (pointer) = 6 bytes.
+  EXPECT_EQ(second, 6u);
+
+  ByteReader r({w.data().data(), w.data().size()});
+  EXPECT_EQ(r.name().value(), mk("www.example.com"));
+  EXPECT_EQ(r.name().value(), mk("ftp.example.com"));
+}
+
+TEST(WireName, FullPointerForRepeatedName) {
+  ByteWriter w;
+  w.name(mk("a.b.c"));
+  const std::size_t first = w.size();
+  w.name(mk("a.b.c"));
+  EXPECT_EQ(w.size() - first, 2u);  // single pointer
+}
+
+TEST(WireName, CompressionIsCaseInsensitive) {
+  ByteWriter w;
+  w.name(mk("www.Example.COM"));
+  const std::size_t first = w.size();
+  w.name(mk("ftp.example.com"));
+  EXPECT_EQ(w.size() - first, 6u);
+  ByteReader r({w.data().data(), w.data().size()});
+  EXPECT_EQ(r.name().value(), mk("www.example.com"));
+  EXPECT_EQ(r.name().value(), mk("ftp.example.com"));
+}
+
+TEST(WireName, UncompressedNeverPoints) {
+  ByteWriter w;
+  w.name(mk("host.example.com"));
+  const std::size_t first = w.size();
+  w.name_uncompressed(mk("host.example.com"));
+  EXPECT_EQ(w.size() - first, mk("host.example.com").wire_length());
+}
+
+TEST(WireName, PointerLoopRejected) {
+  // A name that points at itself: offset 0 contains a pointer to 0...
+  // Forward/self pointers are rejected outright.
+  const std::vector<uint8_t> self_loop{0xC0, 0x00};
+  ByteReader r({self_loop.data(), self_loop.size()});
+  EXPECT_FALSE(r.name().ok());
+}
+
+TEST(WireName, MutualLoopRejected) {
+  // label "a" then pointer to offset 0: 0 -> "a" -> pointer at 2 -> 0 ...
+  const std::vector<uint8_t> loop{1, 'a', 0xC0, 0x00};
+  ByteReader r({loop.data(), loop.size()});
+  ASSERT_TRUE(r.seek(2).ok());
+  // Pointer at offset 2 targets offset 0, whose name runs into the same
+  // pointer again -> forward-pointer rule kills it.
+  EXPECT_FALSE(r.name().ok());
+}
+
+TEST(WireName, BackwardPointerAccepted) {
+  ByteWriter w;
+  w.name(mk("example.com"));      // offset 0
+  w.u16(0xC000);                  // manual pointer to offset 0
+  ByteReader r({w.data().data(), w.data().size()});
+  EXPECT_EQ(r.name().value(), mk("example.com"));
+  EXPECT_EQ(r.name().value(), mk("example.com"));
+}
+
+TEST(WireName, TruncatedLabelRejected) {
+  const std::vector<uint8_t> bad{5, 'a', 'b'};  // label claims 5, has 2
+  ByteReader r({bad.data(), bad.size()});
+  EXPECT_FALSE(r.name().ok());
+}
+
+TEST(WireName, MissingTerminatorRejected) {
+  const std::vector<uint8_t> bad{1, 'a'};  // no root octet
+  ByteReader r({bad.data(), bad.size()});
+  EXPECT_FALSE(r.name().ok());
+}
+
+TEST(WireName, ReservedLabelTypeRejected) {
+  const std::vector<uint8_t> bad{0x80, 'a', 0};
+  ByteReader r({bad.data(), bad.size()});
+  EXPECT_FALSE(r.name().ok());
+}
+
+TEST(WireName, TruncatedPointerRejected) {
+  const std::vector<uint8_t> bad{0xC0};
+  ByteReader r({bad.data(), bad.size()});
+  EXPECT_FALSE(r.name().ok());
+}
+
+class WireNameProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireNameProperty, RandomNameSequencesRoundTrip) {
+  util::Rng rng(GetParam());
+  // Write a random sequence of related names (to exercise compression),
+  // then read them all back.
+  std::vector<Name> names;
+  ByteWriter w;
+  const Name base = mk("example.com");
+  for (int i = 0; i < 50; ++i) {
+    Name n = base;
+    const auto depth = rng.uniform_int(0, 3);
+    for (int64_t d = 0; d < depth; ++d) {
+      std::string label;
+      const auto len = rng.uniform_int(1, 8);
+      for (int64_t c = 0; c < len; ++c) {
+        label += static_cast<char>('a' + rng.uniform_int(0, 25));
+      }
+      n = n.prepend(label);
+    }
+    names.push_back(n);
+    w.name(n);
+  }
+  ByteReader r({w.data().data(), w.data().size()});
+  for (const Name& expected : names) {
+    auto got = r.name();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), expected);
+  }
+  EXPECT_TRUE(r.at_end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireNameProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+class WireFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireFuzz, RandomBytesNeverCrashNameDecoder) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<uint8_t> junk(
+        static_cast<std::size_t>(rng.uniform_int(0, 64)));
+    for (auto& b : junk) {
+      b = static_cast<uint8_t>(rng.uniform_int(0, 255));
+    }
+    ByteReader r({junk.data(), junk.size()});
+    (void)r.name();  // must terminate and never crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace dnscup::dns

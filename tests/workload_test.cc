@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/stats.h"
+#include "workload/change_model.h"
+#include "workload/domain_population.h"
+#include "workload/prober.h"
+
+namespace dnscup::workload {
+namespace {
+
+PopulationConfig small_population() {
+  PopulationConfig config;
+  config.regular_per_group = 200;
+  config.cdn_domains = 100;
+  config.dyn_domains = 100;
+  config.seed = 13;
+  return config;
+}
+
+// ---- TTL classes -------------------------------------------------------------
+
+TEST(TtlClass, Table1Boundaries) {
+  EXPECT_EQ(ttl_class_of(0), 1);
+  EXPECT_EQ(ttl_class_of(59), 1);
+  EXPECT_EQ(ttl_class_of(60), 2);
+  EXPECT_EQ(ttl_class_of(299), 2);
+  EXPECT_EQ(ttl_class_of(300), 3);
+  EXPECT_EQ(ttl_class_of(3599), 3);
+  EXPECT_EQ(ttl_class_of(3600), 4);
+  EXPECT_EQ(ttl_class_of(86399), 4);
+  EXPECT_EQ(ttl_class_of(86400), 5);
+  EXPECT_EQ(ttl_class_of(10000000), 5);
+}
+
+TEST(Table1, MatchesPaper) {
+  ASSERT_EQ(kTable1.size(), 5u);
+  EXPECT_EQ(kTable1[0].resolution_s, 20.0);
+  EXPECT_EQ(kTable1[0].duration_s, 86400.0);
+  EXPECT_EQ(kTable1[1].resolution_s, 60.0);
+  EXPECT_EQ(kTable1[1].duration_s, 3 * 86400.0);
+  EXPECT_EQ(kTable1[2].resolution_s, 300.0);
+  EXPECT_EQ(kTable1[4].resolution_s, 86400.0);
+  EXPECT_EQ(kTable1[4].duration_s, 30 * 86400.0);
+  for (int cls = 1; cls <= 5; ++cls) {
+    EXPECT_EQ(probe_params_for_class(cls).ttl_class, cls);
+  }
+}
+
+// ---- population ----------------------------------------------------------------
+
+TEST(Population, CountsPerCategory) {
+  const auto pop = DomainPopulation::generate(small_population());
+  EXPECT_EQ(pop.by_category(DomainCategory::kCdn).size(), 100u);
+  EXPECT_EQ(pop.by_category(DomainCategory::kDyn).size(), 100u);
+  // 5 major groups x 200 + tails.
+  EXPECT_GE(pop.by_category(DomainCategory::kRegular).size(), 1000u);
+}
+
+TEST(Population, FiveMajorTldGroupsPresent) {
+  const auto pop = DomainPopulation::generate(small_population());
+  for (const char* tld : {"com", "net", "org", "edu", "country"}) {
+    std::size_t regular = 0;
+    for (const auto* d : pop.by_tld(tld)) {
+      if (d->category == DomainCategory::kRegular) ++regular;
+    }
+    EXPECT_EQ(regular, 200u) << tld;
+  }
+  EXPECT_GT(pop.by_tld("gov").size(), 0u);
+  EXPECT_GT(pop.by_tld("biz").size(), 0u);
+}
+
+TEST(Population, CdnAndDynTtlsBoundedBy300) {
+  const auto pop = DomainPopulation::generate(small_population());
+  for (const auto* d : pop.by_category(DomainCategory::kCdn)) {
+    EXPECT_LE(d->ttl, 300u);
+    EXPECT_LE(d->ttl_class, 2);
+    EXPECT_TRUE(d->provider == "akamai" || d->provider == "speedera");
+  }
+  for (const auto* d : pop.by_category(DomainCategory::kDyn)) {
+    EXPECT_LE(d->ttl, 300u);
+    EXPECT_LE(d->ttl_class, 2);
+  }
+}
+
+TEST(Population, CdnProvidersUseTheirSignatureTtls) {
+  const auto pop = DomainPopulation::generate(small_population());
+  for (const auto* d : pop.by_category(DomainCategory::kCdn)) {
+    if (d->provider == "akamai") {
+      EXPECT_EQ(d->ttl, 20u);
+    }
+    if (d->provider == "speedera") {
+      EXPECT_EQ(d->ttl, 120u);
+    }
+  }
+}
+
+TEST(Population, RegularTtlMassBetweenOneHourAndOneDay) {
+  const auto pop = DomainPopulation::generate(small_population());
+  std::size_t class4 = 0;
+  const auto regular = pop.by_category(DomainCategory::kRegular);
+  for (const auto* d : regular) {
+    if (d->ttl_class == 4) ++class4;
+  }
+  // §1: the majority of TTLs range from one hour to one day.
+  EXPECT_GT(static_cast<double>(class4) /
+                static_cast<double>(regular.size()),
+            0.40);
+}
+
+TEST(Population, AllFiveClassesPopulated) {
+  const auto pop = DomainPopulation::generate(small_population());
+  for (int cls = 1; cls <= 5; ++cls) {
+    EXPECT_GT(pop.by_class(cls).size(), 0u) << "class " << cls;
+  }
+}
+
+TEST(Population, NamesAreUniqueAndValid) {
+  const auto pop = DomainPopulation::generate(small_population());
+  std::map<std::string, int> seen;
+  for (const auto& d : pop.domains()) {
+    EXPECT_GE(d.name.label_count(), 2u);
+    ++seen[d.name.to_string()];
+  }
+  for (const auto& [name, count] : seen) {
+    EXPECT_EQ(count, 1) << name;
+  }
+}
+
+TEST(Population, DeterministicForSeed) {
+  const auto a = DomainPopulation::generate(small_population());
+  const auto b = DomainPopulation::generate(small_population());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].ttl, b[i].ttl);
+    EXPECT_EQ(a[i].initial_address, b[i].initial_address);
+  }
+}
+
+TEST(Population, RequestCountsHeavyTailed) {
+  const auto pop = DomainPopulation::generate(small_population());
+  util::RunningStats stats;
+  for (const auto& d : pop.domains()) {
+    stats.add(static_cast<double>(d.request_count));
+  }
+  // Pareto tail: max requests far above the mean.
+  EXPECT_GT(stats.max(), stats.mean() * 10);
+}
+
+// ---- change behaviour calibration ------------------------------------------------
+
+TEST(ChangeBehavior, SpeederaChangesNearlyEveryProbe) {
+  util::Rng rng(1);
+  const auto pop = DomainPopulation::generate(small_population());
+  for (const auto* d : pop.by_category(DomainCategory::kCdn)) {
+    const auto b = assign_change_behavior(*d, rng);
+    EXPECT_TRUE(b.changes);
+    EXPECT_EQ(b.cause, ChangeCause::kRotation);
+    if (d->provider == "speedera") {
+      EXPECT_GE(b.per_probe_change_prob, 0.9);
+    } else {
+      EXPECT_LT(b.per_probe_change_prob, 0.5);
+    }
+  }
+}
+
+TEST(ChangeBehavior, DynDomainsRarelyChange) {
+  util::Rng rng(2);
+  const auto pop = DomainPopulation::generate(small_population());
+  util::RunningStats freq;
+  for (const auto* d : pop.by_category(DomainCategory::kDyn)) {
+    const auto b = assign_change_behavior(*d, rng);
+    freq.add(b.changes ? b.per_probe_change_prob : 0.0);
+    if (b.changes) {
+      EXPECT_EQ(b.cause, ChangeCause::kRelocation);
+    }
+  }
+  EXPECT_LT(freq.mean(), 0.02);  // §3.2: ≈ 0.4%
+}
+
+TEST(ChangeBehavior, RegularClassFractionsCalibrated) {
+  util::Rng rng(3);
+  // Large synthetic class populations to check the calibrated fractions.
+  PopulationConfig config = small_population();
+  config.regular_per_group = 2000;
+  const auto pop = DomainPopulation::generate(config);
+  std::map<int, std::pair<int, int>> per_class;  // class -> (changed, total)
+  for (const auto* d : pop.by_category(DomainCategory::kRegular)) {
+    const auto b = assign_change_behavior(*d, rng);
+    auto& [changed, total] = per_class[d->ttl_class];
+    ++total;
+    if (b.changes) ++changed;
+  }
+  // Classes 3-5: about 95% intact (§3.2).
+  for (int cls : {3, 4, 5}) {
+    const auto [changed, total] = per_class[cls];
+    ASSERT_GT(total, 100) << cls;
+    const double fraction =
+        static_cast<double>(changed) / static_cast<double>(total);
+    EXPECT_NEAR(fraction, 0.05, 0.03) << "class " << cls;
+  }
+  // Class 1: ~70% change.
+  {
+    const auto [changed, total] = per_class[1];
+    ASSERT_GT(total, 30);
+    EXPECT_NEAR(static_cast<double>(changed) / total, 0.70, 0.2);
+  }
+}
+
+// ---- change process ---------------------------------------------------------------
+
+TEST(ChangeProcess, StaticDomainNeverChanges) {
+  const auto pop = DomainPopulation::generate(small_population());
+  ChangeBehavior none;
+  DomainChangeProcess process(pop[0], none, 300.0, 1);
+  const auto before = process.addresses();
+  process.advance_to(1e7);
+  EXPECT_EQ(process.addresses(), before);
+  EXPECT_EQ(process.changes_applied(), 0u);
+}
+
+TEST(ChangeProcess, RelocationProducesFreshAddresses) {
+  const auto pop = DomainPopulation::generate(small_population());
+  ChangeBehavior b{true, 0.5, ChangeCause::kRelocation};
+  DomainChangeProcess process(pop[0], b, 100.0, 2);
+  std::set<uint32_t> seen{process.primary().addr};
+  uint32_t last = process.primary().addr;
+  for (int i = 1; i <= 100; ++i) {
+    process.advance_to(i * 100.0);
+    const uint32_t current = process.primary().addr;
+    if (current != last) {
+      // Relocation must never revisit a previously observed address
+      // (changes between probes go unobserved, but what we do observe
+      // must always be fresh).
+      EXPECT_EQ(seen.count(current), 0u);
+      seen.insert(current);
+      last = current;
+    }
+  }
+  EXPECT_GT(process.changes_applied(), 10u);
+  EXPECT_GT(seen.size(), 10u);
+  EXPECT_EQ(process.addresses().size(), 1u);  // one-to-one mapping
+}
+
+TEST(ChangeProcess, RotationStaysInPool) {
+  const auto pop = DomainPopulation::generate(small_population());
+  ChangeBehavior b{true, 1.0, ChangeCause::kRotation};
+  DomainChangeProcess process(pop[0], b, 10.0, 3);
+  std::set<uint32_t> seen;
+  for (int i = 1; i <= 500; ++i) {
+    process.advance_to(i * 10.0);
+    seen.insert(process.primary().addr);
+  }
+  EXPECT_GT(process.changes_applied(), 100u);
+  EXPECT_LE(seen.size(), 18u);  // bounded rotation pool (hot rotator)
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(ChangeProcess, AddressIncreaseGrowsSet) {
+  const auto pop = DomainPopulation::generate(small_population());
+  ChangeBehavior b{true, 0.8, ChangeCause::kAddressIncrease};
+  DomainChangeProcess process(pop[0], b, 10.0, 4);
+  process.advance_to(200.0);
+  ASSERT_GT(process.changes_applied(), 2u);
+  EXPECT_GT(process.addresses().size(), 1u);
+  EXPECT_LE(process.addresses().size(), 12u);  // bounded
+}
+
+TEST(ChangeProcess, EventRateMatchesCalibration) {
+  const auto pop = DomainPopulation::generate(small_population());
+  ChangeBehavior b{true, 0.1, ChangeCause::kRotation};
+  DomainChangeProcess process(pop[0], b, 100.0, 5);
+  // rate = 0.1 / 100 s = 1e-3/s; over 1e6 s expect ~1000 changes.
+  process.advance_to(1e6);
+  EXPECT_NEAR(static_cast<double>(process.changes_applied()), 1000.0, 150.0);
+}
+
+// ---- prober ------------------------------------------------------------------------
+
+TEST(Prober, DetectsAndClassifiesCauses) {
+  PopulationConfig config = small_population();
+  config.regular_per_group = 60;
+  config.cdn_domains = 40;
+  config.dyn_domains = 20;
+  const auto pop = DomainPopulation::generate(config);
+  ProberConfig prober_config;
+  prober_config.duration_scale = 0.05;  // keep the test fast
+  const auto results = run_probing_campaign(pop, prober_config);
+  ASSERT_EQ(results.size(), pop.size());
+
+  // CDN domains must be detected as rotating with high frequency for
+  // speedera.
+  util::RunningStats speedera_freq;
+  for (const auto& r : results) {
+    if (r.provider == "speedera") {
+      speedera_freq.add(r.change_frequency());
+      if (r.changes_detected > 3) {
+        EXPECT_EQ(r.classified_cause, ChangeCause::kRotation);
+      }
+    }
+  }
+  ASSERT_GT(speedera_freq.count(), 0u);
+  EXPECT_GT(speedera_freq.mean(), 0.5);
+}
+
+TEST(Prober, ProbeCountsMatchResolutionAndDuration) {
+  PopulationConfig config = small_population();
+  config.regular_per_group = 20;
+  config.cdn_domains = 10;
+  config.dyn_domains = 10;
+  const auto pop = DomainPopulation::generate(config);
+  ProberConfig prober_config;
+  prober_config.duration_scale = 0.02;
+  const auto results = run_probing_campaign(pop, prober_config);
+  for (const auto& r : results) {
+    const auto& params = probe_params_for_class(r.ttl_class);
+    const auto scaled = static_cast<std::size_t>(
+        params.duration_s * prober_config.duration_scale /
+        params.resolution_s);
+    const auto expected = std::max(scaled, prober_config.min_probes);
+    EXPECT_EQ(r.probes, expected);
+    EXPECT_LE(r.changes_detected, r.probes);
+  }
+}
+
+TEST(Prober, StaticDomainsReportZeroFrequency) {
+  PopulationConfig config = small_population();
+  config.regular_per_group = 100;
+  config.cdn_domains = 0;
+  config.dyn_domains = 0;
+  const auto pop = DomainPopulation::generate(config);
+  ProberConfig prober_config;
+  prober_config.duration_scale = 0.02;
+  const auto results = run_probing_campaign(pop, prober_config);
+  std::size_t intact = 0;
+  for (const auto& r : results) {
+    if (r.changes_detected == 0) {
+      ++intact;
+      EXPECT_EQ(r.classified_cause, ChangeCause::kNone);
+      EXPECT_DOUBLE_EQ(r.change_frequency(), 0.0);
+    }
+  }
+  EXPECT_GT(intact, results.size() / 2);
+}
+
+}  // namespace
+}  // namespace dnscup::workload

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include "dns/zone.h"
+
+namespace dnscup::dns {
+namespace {
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+
+Ipv4 ip(const char* text) { return Ipv4::parse(text).value(); }
+
+Zone example_zone() {
+  SOARdata soa;
+  soa.mname = mk("ns1.example.com");
+  soa.rname = mk("admin.example.com");
+  soa.serial = 100;
+  soa.minimum = 60;
+  Zone z = Zone::make(mk("example.com"), soa, 3600, {mk("ns1.example.com")},
+                      3600);
+  z.add_record(mk("ns1.example.com"), RRType::kA, 3600,
+               ARdata{ip("192.0.2.1")});
+  z.add_record(mk("www.example.com"), RRType::kA, 300,
+               ARdata{ip("192.0.2.80")});
+  z.add_record(mk("www.example.com"), RRType::kA, 300,
+               ARdata{ip("192.0.2.81")});
+  z.add_record(mk("alias.example.com"), RRType::kCNAME, 300,
+               CNAMERdata{mk("www.example.com")});
+  z.add_record(mk("mail.example.com"), RRType::kMX, 300,
+               MXRdata{10, mk("mx1.example.com")});
+  // Delegation: sub.example.com is a child zone.
+  z.add_record(mk("sub.example.com"), RRType::kNS, 3600,
+               NSRdata{mk("ns.sub.example.com")});
+  z.add_record(mk("ns.sub.example.com"), RRType::kA, 3600,
+               ARdata{ip("192.0.2.53")});  // glue
+  // Empty non-terminal: records only below deep.example.com.
+  z.add_record(mk("host.deep.example.com"), RRType::kA, 300,
+               ARdata{ip("192.0.2.99")});
+  return z;
+}
+
+// ---- serial arithmetic ------------------------------------------------------
+
+TEST(Serial, Rfc1982Comparison) {
+  EXPECT_TRUE(serial_gt(2, 1));
+  EXPECT_FALSE(serial_gt(1, 2));
+  EXPECT_FALSE(serial_gt(5, 5));
+  // Wraparound: 0 is "greater" than 0xFFFFFFFF.
+  EXPECT_TRUE(serial_gt(0, 0xFFFFFFFFu));
+  EXPECT_TRUE(serial_gt(0x80000000u, 1));
+  EXPECT_FALSE(serial_gt(1, 0x80000000u));
+}
+
+TEST(Serial, AdditionWraps) {
+  EXPECT_EQ(serial_add(0xFFFFFFFFu, 1), 0u);
+  EXPECT_EQ(serial_add(10, 5), 15u);
+  EXPECT_TRUE(serial_gt(serial_add(0xFFFFFFF0u, 0x20), 0xFFFFFFF0u));
+}
+
+// ---- construction / validation ----------------------------------------------
+
+TEST(Zone, ValidateRequiresSoa) {
+  Zone empty(mk("example.com"));
+  EXPECT_FALSE(empty.validate().ok());
+  EXPECT_TRUE(example_zone().validate().ok());
+}
+
+TEST(Zone, SoaAccessors) {
+  const Zone z = example_zone();
+  EXPECT_EQ(z.serial(), 100u);
+  EXPECT_EQ(z.soa().minimum, 60u);
+  EXPECT_EQ(z.soa_ttl(), 3600u);
+}
+
+TEST(Zone, BumpSerial) {
+  Zone z = example_zone();
+  z.bump_serial();
+  EXPECT_EQ(z.serial(), 101u);
+  EXPECT_TRUE(serial_gt(z.serial(), 100));
+}
+
+TEST(Zone, RecordCounts) {
+  const Zone z = example_zone();
+  EXPECT_GT(z.rrset_count(), 5u);
+  EXPECT_EQ(z.record_count(), z.rrset_count() + 1);  // www has 2 rdatas
+}
+
+// ---- mutation ------------------------------------------------------------------
+
+TEST(Zone, AddRecordMergesRRset) {
+  Zone z = example_zone();
+  const RRset* www = z.find(mk("www.example.com"), RRType::kA);
+  ASSERT_NE(www, nullptr);
+  EXPECT_EQ(www->size(), 2u);
+  // Adding a duplicate changes nothing.
+  EXPECT_FALSE(z.add_record(mk("www.example.com"), RRType::kA, 300,
+                            ARdata{ip("192.0.2.80")}));
+  // Adding a new address changes data.
+  EXPECT_TRUE(z.add_record(mk("www.example.com"), RRType::kA, 300,
+                           ARdata{ip("192.0.2.82")}));
+  EXPECT_EQ(z.find(mk("www.example.com"), RRType::kA)->size(), 3u);
+}
+
+TEST(Zone, AddRecordTtlChangeIsAChange) {
+  Zone z = example_zone();
+  EXPECT_TRUE(z.add_record(mk("www.example.com"), RRType::kA, 999,
+                           ARdata{ip("192.0.2.80")}));
+  EXPECT_EQ(z.find(mk("www.example.com"), RRType::kA)->ttl, 999u);
+}
+
+TEST(Zone, CnameIsSingleton) {
+  Zone z = example_zone();
+  z.add_record(mk("alias.example.com"), RRType::kCNAME, 300,
+               CNAMERdata{mk("www2.example.com")});
+  const RRset* cname = z.find(mk("alias.example.com"), RRType::kCNAME);
+  ASSERT_NE(cname, nullptr);
+  EXPECT_EQ(cname->size(), 1u);
+  EXPECT_EQ(std::get<CNAMERdata>(cname->rdatas[0]).target,
+            mk("www2.example.com"));
+}
+
+TEST(Zone, RemoveRecordDropsEmptyRRset) {
+  Zone z = example_zone();
+  EXPECT_TRUE(z.remove_record(mk("www.example.com"), RRType::kA,
+                              ARdata{ip("192.0.2.80")}));
+  EXPECT_TRUE(z.remove_record(mk("www.example.com"), RRType::kA,
+                              ARdata{ip("192.0.2.81")}));
+  EXPECT_EQ(z.find(mk("www.example.com"), RRType::kA), nullptr);
+  EXPECT_FALSE(z.remove_record(mk("www.example.com"), RRType::kA,
+                               ARdata{ip("192.0.2.80")}));
+}
+
+TEST(Zone, SoaAndApexNsProtected) {
+  Zone z = example_zone();
+  EXPECT_FALSE(z.remove_rrset(mk("example.com"), RRType::kSOA));
+  EXPECT_FALSE(z.remove_rrset(mk("example.com"), RRType::kNS));
+  // Last apex NS record cannot be removed either.
+  EXPECT_FALSE(z.remove_record(mk("example.com"), RRType::kNS,
+                               NSRdata{mk("ns1.example.com")}));
+  // remove_name at the apex keeps SOA + NS.
+  z.add_record(mk("example.com"), RRType::kTXT, 60, TXTRdata{{"apex"}});
+  EXPECT_TRUE(z.remove_name(mk("example.com")));
+  EXPECT_NE(z.find(mk("example.com"), RRType::kSOA), nullptr);
+  EXPECT_NE(z.find(mk("example.com"), RRType::kNS), nullptr);
+  EXPECT_EQ(z.find(mk("example.com"), RRType::kTXT), nullptr);
+}
+
+TEST(Zone, RemoveName) {
+  Zone z = example_zone();
+  EXPECT_TRUE(z.remove_name(mk("www.example.com")));
+  EXPECT_FALSE(z.name_exists(mk("www.example.com")));
+  EXPECT_FALSE(z.remove_name(mk("nonexistent.example.com")));
+}
+
+// ---- lookup --------------------------------------------------------------------
+
+TEST(ZoneLookup, Success) {
+  const Zone z = example_zone();
+  const auto r = z.lookup(mk("www.example.com"), RRType::kA);
+  EXPECT_EQ(r.status, Zone::LookupStatus::kSuccess);
+  ASSERT_EQ(r.rrsets.size(), 1u);
+  EXPECT_EQ(r.rrsets[0].size(), 2u);
+}
+
+TEST(ZoneLookup, CaseInsensitive) {
+  const Zone z = example_zone();
+  EXPECT_EQ(z.lookup(mk("WWW.EXAMPLE.COM"), RRType::kA).status,
+            Zone::LookupStatus::kSuccess);
+}
+
+TEST(ZoneLookup, CnamePrecedence) {
+  const Zone z = example_zone();
+  const auto r = z.lookup(mk("alias.example.com"), RRType::kA);
+  EXPECT_EQ(r.status, Zone::LookupStatus::kCName);
+  ASSERT_EQ(r.rrsets.size(), 1u);
+  EXPECT_EQ(r.rrsets[0].type, RRType::kCNAME);
+}
+
+TEST(ZoneLookup, CnameQueryReturnsCname) {
+  const Zone z = example_zone();
+  const auto r = z.lookup(mk("alias.example.com"), RRType::kCNAME);
+  EXPECT_EQ(r.status, Zone::LookupStatus::kSuccess);
+}
+
+TEST(ZoneLookup, Delegation) {
+  const Zone z = example_zone();
+  const auto r = z.lookup(mk("host.sub.example.com"), RRType::kA);
+  EXPECT_EQ(r.status, Zone::LookupStatus::kDelegation);
+  EXPECT_EQ(r.cut, mk("sub.example.com"));
+  ASSERT_EQ(r.rrsets.size(), 1u);
+  EXPECT_EQ(r.rrsets[0].type, RRType::kNS);
+}
+
+TEST(ZoneLookup, DelegationAtTheCutItself) {
+  const Zone z = example_zone();
+  const auto r = z.lookup(mk("sub.example.com"), RRType::kA);
+  EXPECT_EQ(r.status, Zone::LookupStatus::kDelegation);
+}
+
+TEST(ZoneLookup, NXDomain) {
+  const Zone z = example_zone();
+  EXPECT_EQ(z.lookup(mk("missing.example.com"), RRType::kA).status,
+            Zone::LookupStatus::kNXDomain);
+}
+
+TEST(ZoneLookup, NoData) {
+  const Zone z = example_zone();
+  EXPECT_EQ(z.lookup(mk("www.example.com"), RRType::kMX).status,
+            Zone::LookupStatus::kNoData);
+}
+
+TEST(ZoneLookup, EmptyNonTerminalIsNoDataNotNXDomain) {
+  const Zone z = example_zone();
+  // deep.example.com owns nothing but host.deep.example.com exists below.
+  EXPECT_EQ(z.lookup(mk("deep.example.com"), RRType::kA).status,
+            Zone::LookupStatus::kNoData);
+  EXPECT_EQ(z.lookup(mk("other.deep.example.com"), RRType::kA).status,
+            Zone::LookupStatus::kNXDomain);
+}
+
+TEST(ZoneLookup, NotInZone) {
+  const Zone z = example_zone();
+  EXPECT_EQ(z.lookup(mk("www.other.org"), RRType::kA).status,
+            Zone::LookupStatus::kNotInZone);
+}
+
+TEST(ZoneLookup, AnyReturnsAllTypes) {
+  Zone z = example_zone();
+  z.add_record(mk("www.example.com"), RRType::kTXT, 60, TXTRdata{{"hi"}});
+  const auto r = z.lookup(mk("www.example.com"), RRType::kANY);
+  EXPECT_EQ(r.status, Zone::LookupStatus::kSuccess);
+  EXPECT_EQ(r.rrsets.size(), 2u);  // A + TXT
+}
+
+TEST(ZoneLookup, ApexQueryIsNotDelegation) {
+  const Zone z = example_zone();
+  const auto r = z.lookup(mk("example.com"), RRType::kNS);
+  EXPECT_EQ(r.status, Zone::LookupStatus::kSuccess);
+}
+
+// ---- enumeration / AXFR order ---------------------------------------------------
+
+TEST(Zone, AllRRsetsSoaFirst) {
+  const Zone z = example_zone();
+  const auto sets = z.all_rrsets();
+  ASSERT_FALSE(sets.empty());
+  EXPECT_EQ(sets.front().type, RRType::kSOA);
+  // SOA appears exactly once.
+  std::size_t soa_count = 0;
+  for (const auto& s : sets) {
+    if (s.type == RRType::kSOA) ++soa_count;
+  }
+  EXPECT_EQ(soa_count, 1u);
+}
+
+// ---- diffing -------------------------------------------------------------------
+
+TEST(ZoneDiff, NoChanges) {
+  const Zone z = example_zone();
+  EXPECT_TRUE(diff_zones(z, z).empty());
+}
+
+TEST(ZoneDiff, SerialOnlyChangeIgnored) {
+  const Zone before = example_zone();
+  Zone after = before;
+  after.bump_serial();
+  EXPECT_TRUE(diff_zones(before, after).empty());
+}
+
+TEST(ZoneDiff, DataChangeDetected) {
+  const Zone before = example_zone();
+  Zone after = before;
+  after.remove_record(mk("www.example.com"), RRType::kA,
+                      ARdata{ip("192.0.2.80")});
+  after.add_record(mk("www.example.com"), RRType::kA, 300,
+                   ARdata{ip("198.51.100.1")});
+  const auto changes = diff_zones(before, after);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].name, mk("www.example.com"));
+  EXPECT_EQ(changes[0].type, RRType::kA);
+  ASSERT_TRUE(changes[0].before.has_value());
+  ASSERT_TRUE(changes[0].after.has_value());
+  EXPECT_EQ(changes[0].after->size(), 2u);
+}
+
+TEST(ZoneDiff, AdditionAndRemovalDetected) {
+  const Zone before = example_zone();
+  Zone after = before;
+  after.add_record(mk("new.example.com"), RRType::kA, 60,
+                   ARdata{ip("203.0.113.5")});
+  after.remove_rrset(mk("mail.example.com"), RRType::kMX);
+  const auto changes = diff_zones(before, after);
+  ASSERT_EQ(changes.size(), 2u);
+  bool saw_add = false;
+  bool saw_remove = false;
+  for (const auto& c : changes) {
+    if (!c.before.has_value()) {
+      saw_add = true;
+      EXPECT_EQ(c.name, mk("new.example.com"));
+    }
+    if (!c.after.has_value()) {
+      saw_remove = true;
+      EXPECT_EQ(c.name, mk("mail.example.com"));
+    }
+  }
+  EXPECT_TRUE(saw_add);
+  EXPECT_TRUE(saw_remove);
+}
+
+TEST(ZoneDiff, TtlOnlyChangeDetected) {
+  const Zone before = example_zone();
+  Zone after = before;
+  after.add_record(mk("www.example.com"), RRType::kA, 9999,
+                   ARdata{ip("192.0.2.80")});
+  const auto changes = diff_zones(before, after);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].after->ttl, 9999u);
+}
+
+// ---- RRset helpers ---------------------------------------------------------------
+
+TEST(RRset, SameDataIgnoresOrderAndTtl) {
+  RRset a{mk("x.com"), RRType::kA, RRClass::kIN, 300, {}};
+  a.add(ARdata{ip("1.1.1.1")});
+  a.add(ARdata{ip("2.2.2.2")});
+  RRset b{mk("x.com"), RRType::kA, RRClass::kIN, 600, {}};
+  b.add(ARdata{ip("2.2.2.2")});
+  b.add(ARdata{ip("1.1.1.1")});
+  EXPECT_TRUE(a.same_data(b));
+  b.add(ARdata{ip("3.3.3.3")});
+  EXPECT_FALSE(a.same_data(b));
+}
+
+TEST(RRset, ToRecordsExpands) {
+  RRset a{mk("x.com"), RRType::kA, RRClass::kIN, 300, {}};
+  a.add(ARdata{ip("1.1.1.1")});
+  a.add(ARdata{ip("2.2.2.2")});
+  const auto records = a.to_records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, mk("x.com"));
+  EXPECT_EQ(records[0].ttl, 300u);
+}
+
+}  // namespace
+}  // namespace dnscup::dns

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "dns/zone_text.h"
+
+namespace dnscup::dns {
+namespace {
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+
+constexpr const char* kZoneText = R"($ORIGIN example.com.
+$TTL 3600
+; the apex
+@      IN SOA ns1.example.com. admin.example.com. 7 7200 900 604800 300
+@      IN NS  ns1.example.com.
+ns1    IN A   192.0.2.1
+www 60 IN A   192.0.2.80
+www 60 IN A   192.0.2.81
+alias  IN CNAME www.example.com.
+mail   IN MX  10 mx1.example.com.
+txt    IN TXT "hello world"
+)";
+
+TEST(ZoneText, ParsesExample) {
+  const auto z = parse_zone_text(kZoneText, mk("example.com"));
+  ASSERT_TRUE(z.ok()) << z.error().to_string();
+  const Zone& zone = z.value();
+  EXPECT_EQ(zone.origin(), mk("example.com"));
+  EXPECT_EQ(zone.serial(), 7u);
+  const RRset* www = zone.find(mk("www.example.com"), RRType::kA);
+  ASSERT_NE(www, nullptr);
+  EXPECT_EQ(www->size(), 2u);
+  EXPECT_EQ(www->ttl, 60u);
+  const RRset* ns1 = zone.find(mk("ns1.example.com"), RRType::kA);
+  ASSERT_NE(ns1, nullptr);
+  EXPECT_EQ(ns1->ttl, 3600u);  // $TTL default
+}
+
+TEST(ZoneText, RelativeNamesQualified) {
+  const Zone zone = parse_zone_text(kZoneText, mk("example.com")).value();
+  EXPECT_NE(zone.find(mk("alias.example.com"), RRType::kCNAME), nullptr);
+  EXPECT_NE(zone.find(mk("mail.example.com"), RRType::kMX), nullptr);
+}
+
+TEST(ZoneText, AtSignIsOrigin) {
+  const Zone zone = parse_zone_text(kZoneText, mk("example.com")).value();
+  EXPECT_NE(zone.find(mk("example.com"), RRType::kSOA), nullptr);
+  EXPECT_NE(zone.find(mk("example.com"), RRType::kNS), nullptr);
+}
+
+TEST(ZoneText, DefaultOriginUsedWithoutDirective) {
+  const char* text =
+      "@ IN SOA ns. admin. 1 1 1 1 1\n"
+      "@ IN NS ns.other.org.\n"
+      "www IN A 10.0.0.1\n";
+  const auto z = parse_zone_text(text, mk("other.org"));
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(z.value().origin(), mk("other.org"));
+  EXPECT_NE(z.value().find(mk("www.other.org"), RRType::kA), nullptr);
+}
+
+TEST(ZoneText, CommentsAndBlankLinesIgnored) {
+  const char* text =
+      "; leading comment\n"
+      "\n"
+      "@ IN SOA ns. admin. 1 1 1 1 1  ; trailing comment\n"
+      "www IN A 10.0.0.1\n";
+  EXPECT_TRUE(parse_zone_text(text, mk("x.org")).ok());
+}
+
+TEST(ZoneText, ErrorsNameTheLine) {
+  const char* text =
+      "@ IN SOA ns. admin. 1 1 1 1 1\n"
+      "www IN A not-an-ip\n";
+  const auto z = parse_zone_text(text, mk("x.org"));
+  ASSERT_FALSE(z.ok());
+  EXPECT_NE(z.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(ZoneText, RejectsMissingType) {
+  EXPECT_FALSE(parse_zone_text("www 300 IN\n", mk("x.org")).ok());
+}
+
+TEST(ZoneText, RejectsRecordOutsideZone) {
+  const char* text =
+      "$ORIGIN a.org.\n"
+      "@ IN SOA ns. admin. 1 1 1 1 1\n"
+      "www.b.org. IN A 10.0.0.1\n";
+  const auto z = parse_zone_text(text, mk("a.org"));
+  ASSERT_FALSE(z.ok());
+  EXPECT_NE(z.error().message.find("outside zone"), std::string::npos);
+}
+
+TEST(ZoneText, RejectsZoneWithoutSoa) {
+  EXPECT_FALSE(parse_zone_text("www IN A 10.0.0.1\n", mk("x.org")).ok());
+}
+
+TEST(ZoneText, RejectsEmptyInput) {
+  EXPECT_FALSE(parse_zone_text("", mk("x.org")).ok());
+  EXPECT_FALSE(parse_zone_text("; only a comment\n", mk("x.org")).ok());
+}
+
+TEST(ZoneText, BadDirectives) {
+  EXPECT_FALSE(parse_zone_text("$ORIGIN\n", mk("x.org")).ok());
+  EXPECT_FALSE(parse_zone_text("$TTL abc\n", mk("x.org")).ok());
+}
+
+TEST(ZoneText, SerializeRoundTrip) {
+  const Zone zone = parse_zone_text(kZoneText, mk("example.com")).value();
+  const std::string text = serialize_zone_text(zone);
+  const auto reparsed = parse_zone_text(text, zone.origin());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string();
+  EXPECT_TRUE(diff_zones(zone, reparsed.value()).empty());
+  EXPECT_EQ(reparsed.value().serial(), zone.serial());
+  EXPECT_EQ(reparsed.value().rrset_count(), zone.rrset_count());
+}
+
+TEST(ZoneText, FileRoundTrip) {
+  const Zone zone = parse_zone_text(kZoneText, mk("example.com")).value();
+  const std::string path = ::testing::TempDir() + "dnscup_zone_test.zone";
+  ASSERT_TRUE(save_zone_file(zone, path).ok());
+  const auto loaded = load_zone_file(path, zone.origin());
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  EXPECT_TRUE(diff_zones(zone, loaded.value()).empty());
+  EXPECT_EQ(loaded.value().serial(), zone.serial());
+  std::remove(path.c_str());
+}
+
+TEST(ZoneText, LoadMissingFileIsIoError) {
+  const auto r = load_zone_file("/nonexistent/zone.db", mk("x.org"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, util::ErrorCode::kIo);
+}
+
+TEST(ZoneText, LoadMalformedFileNamesThePath) {
+  const std::string path = ::testing::TempDir() + "dnscup_bad_test.zone";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("www IN A not-an-ip\n", f);
+  std::fclose(f);
+  const auto r = load_zone_file(path, mk("x.org"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find(path), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ZoneText, ContinuationOwnerInheritsLastName) {
+  const char* text =
+      "@ IN SOA ns. admin. 1 1 1 1 1\n"
+      "www IN A 10.0.0.1\n"
+      "    IN A 10.0.0.2\n";  // leading whitespace -> same owner
+  const auto z = parse_zone_text(text, mk("x.org"));
+  ASSERT_TRUE(z.ok()) << z.error().to_string();
+  const RRset* www = z.value().find(mk("www.x.org"), RRType::kA);
+  ASSERT_NE(www, nullptr);
+  EXPECT_EQ(www->size(), 2u);
+}
+
+}  // namespace
+}  // namespace dnscup::dns

@@ -1,0 +1,121 @@
+// dnsq — a dig-lite query client for dnscupd (or any DNS-over-UDP
+// endpoint speaking this repository's wire format, which is plain
+// RFC 1035 unless --ext is given).
+//
+// Usage:
+//   dnsq <ip:port> <name> [type] [--ext [rrc]] [--timeout ms]
+//
+//   dnsq 127.0.0.1:5300 www.example.com A
+//   dnsq 127.0.0.1:5300 www.example.com A --ext 120   # DNScup EXT query
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <optional>
+
+#include "dns/message.h"
+#include "net/udp_transport.h"
+
+using namespace dnscup;
+
+namespace {
+
+std::optional<net::Endpoint> parse_endpoint(const char* text) {
+  const std::string s = text;
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos) return std::nullopt;
+  auto ip = dns::Ipv4::parse(s.substr(0, colon));
+  if (!ip.ok()) return std::nullopt;
+  const int port = std::atoi(s.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return std::nullopt;
+  return net::Endpoint{ip.value().addr, static_cast<uint16_t>(port)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: dnsq <ip:port> <name> [type] [--ext [rrc]] "
+                 "[--timeout ms]\n");
+    return 2;
+  }
+  const auto server = parse_endpoint(argv[1]);
+  if (!server.has_value()) {
+    std::fprintf(stderr, "bad server endpoint: %s\n", argv[1]);
+    return 2;
+  }
+  auto qname = dns::Name::parse(argv[2]);
+  if (!qname.ok()) {
+    std::fprintf(stderr, "bad name: %s\n", qname.error().to_string().c_str());
+    return 2;
+  }
+
+  dns::RRType qtype = dns::RRType::kA;
+  bool ext = false;
+  uint16_t rrc = 0;
+  int timeout_ms = 2000;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ext") == 0) {
+      ext = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        rrc = static_cast<uint16_t>(std::atoi(argv[++i]));
+      }
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      timeout_ms = std::atoi(argv[++i]);
+    } else {
+      auto t = dns::rrtype_from_string(argv[i]);
+      if (!t.ok()) {
+        std::fprintf(stderr, "bad type: %s\n", argv[i]);
+        return 2;
+      }
+      qtype = t.value();
+    }
+  }
+
+  auto transport = net::UdpTransport::bind(0);
+  if (!transport.ok()) {
+    std::fprintf(stderr, "socket: %s\n",
+                 transport.error().to_string().c_str());
+    return 1;
+  }
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::optional<dns::Message> response;
+  transport.value()->set_receive_handler(
+      [&](const net::Endpoint&, std::span<const uint8_t> data) {
+        auto m = dns::Message::decode(data);
+        if (m.ok()) {
+          std::lock_guard lock(mutex);
+          response = std::move(m).value();
+          cv.notify_all();
+        }
+      });
+
+  dns::Message query;
+  query.id = static_cast<uint16_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count() & 0xFFFF);
+  query.flags.opcode = dns::Opcode::kQuery;
+  query.flags.rd = true;
+  query.flags.ext = ext;
+  query.questions.push_back(
+      dns::Question{std::move(qname).value(), qtype, dns::RRClass::kIN,
+                    rrc});
+  transport.value()->send(*server, query.encode());
+
+  std::unique_lock lock(mutex);
+  if (!cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                   [&] { return response.has_value(); })) {
+    std::fprintf(stderr, ";; timeout after %d ms\n", timeout_ms);
+    return 1;
+  }
+  std::printf("%s", response->to_string().c_str());
+  if (response->flags.ext && response->llt > 0) {
+    std::printf(";; DNScup lease granted: %llu seconds\n",
+                static_cast<unsigned long long>(
+                    dns::llt_to_seconds(response->llt)));
+  }
+  return response->flags.rcode == dns::Rcode::kNoError ? 0 : 1;
+}
