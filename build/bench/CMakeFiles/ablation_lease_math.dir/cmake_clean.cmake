@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lease_math.dir/ablation_lease_math.cc.o"
+  "CMakeFiles/ablation_lease_math.dir/ablation_lease_math.cc.o.d"
+  "ablation_lease_math"
+  "ablation_lease_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lease_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

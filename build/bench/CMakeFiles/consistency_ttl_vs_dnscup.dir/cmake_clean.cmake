@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_ttl_vs_dnscup.dir/consistency_ttl_vs_dnscup.cc.o"
+  "CMakeFiles/consistency_ttl_vs_dnscup.dir/consistency_ttl_vs_dnscup.cc.o.d"
+  "consistency_ttl_vs_dnscup"
+  "consistency_ttl_vs_dnscup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_ttl_vs_dnscup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

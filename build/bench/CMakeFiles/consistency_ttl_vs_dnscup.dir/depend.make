@@ -1,0 +1,2 @@
+# Empty dependencies file for consistency_ttl_vs_dnscup.
+# This may be replaced when dependencies are built.

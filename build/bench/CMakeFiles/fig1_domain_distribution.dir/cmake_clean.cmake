@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_domain_distribution.dir/fig1_domain_distribution.cc.o"
+  "CMakeFiles/fig1_domain_distribution.dir/fig1_domain_distribution.cc.o.d"
+  "fig1_domain_distribution"
+  "fig1_domain_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_domain_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_change_frequency.dir/fig2_change_frequency.cc.o"
+  "CMakeFiles/fig2_change_frequency.dir/fig2_change_frequency.cc.o.d"
+  "fig2_change_frequency"
+  "fig2_change_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_change_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

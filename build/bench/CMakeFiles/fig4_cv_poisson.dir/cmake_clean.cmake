@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cv_poisson.dir/fig4_cv_poisson.cc.o"
+  "CMakeFiles/fig4_cv_poisson.dir/fig4_cv_poisson.cc.o.d"
+  "fig4_cv_poisson"
+  "fig4_cv_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cv_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

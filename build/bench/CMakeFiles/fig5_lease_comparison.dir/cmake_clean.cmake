@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_lease_comparison.dir/fig5_lease_comparison.cc.o"
+  "CMakeFiles/fig5_lease_comparison.dir/fig5_lease_comparison.cc.o.d"
+  "fig5_lease_comparison"
+  "fig5_lease_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_lease_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/prototype_overhead.cc" "bench/CMakeFiles/prototype_overhead.dir/prototype_overhead.cc.o" "gcc" "bench/CMakeFiles/prototype_overhead.dir/prototype_overhead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dnscup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dnscup_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dnscup_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/dnscup_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dnscup_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnscup_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnscup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prototype_overhead.dir/prototype_overhead.cc.o"
+  "CMakeFiles/prototype_overhead.dir/prototype_overhead.cc.o.d"
+  "prototype_overhead"
+  "prototype_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prototype_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

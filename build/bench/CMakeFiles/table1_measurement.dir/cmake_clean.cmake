@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_measurement.dir/table1_measurement.cc.o"
+  "CMakeFiles/table1_measurement.dir/table1_measurement.cc.o.d"
+  "table1_measurement"
+  "table1_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_e2e.dir/testbed_e2e.cc.o"
+  "CMakeFiles/testbed_e2e.dir/testbed_e2e.cc.o.d"
+  "testbed_e2e"
+  "testbed_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_load_balance.dir/cdn_load_balance.cc.o"
+  "CMakeFiles/cdn_load_balance.dir/cdn_load_balance.cc.o.d"
+  "cdn_load_balance"
+  "cdn_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

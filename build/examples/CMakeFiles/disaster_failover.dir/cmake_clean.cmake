@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaster_failover.dir/disaster_failover.cc.o"
+  "CMakeFiles/disaster_failover.dir/disaster_failover.cc.o.d"
+  "disaster_failover"
+  "disaster_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaster_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_dns.dir/dynamic_dns.cc.o"
+  "CMakeFiles/dynamic_dns.dir/dynamic_dns.cc.o.d"
+  "dynamic_dns"
+  "dynamic_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lame_delegation.dir/lame_delegation.cc.o"
+  "CMakeFiles/lame_delegation.dir/lame_delegation.cc.o.d"
+  "lame_delegation"
+  "lame_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lame_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

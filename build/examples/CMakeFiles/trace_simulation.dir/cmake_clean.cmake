@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_simulation.dir/trace_simulation.cc.o"
+  "CMakeFiles/trace_simulation.dir/trace_simulation.cc.o.d"
+  "trace_simulation"
+  "trace_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

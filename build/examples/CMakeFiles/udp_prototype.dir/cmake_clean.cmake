@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_prototype.dir/udp_prototype.cc.o"
+  "CMakeFiles/udp_prototype.dir/udp_prototype.cc.o.d"
+  "udp_prototype"
+  "udp_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/auth.cc" "src/core/CMakeFiles/dnscup_core.dir/auth.cc.o" "gcc" "src/core/CMakeFiles/dnscup_core.dir/auth.cc.o.d"
+  "/root/repo/src/core/cache_update.cc" "src/core/CMakeFiles/dnscup_core.dir/cache_update.cc.o" "gcc" "src/core/CMakeFiles/dnscup_core.dir/cache_update.cc.o.d"
+  "/root/repo/src/core/delegation_audit.cc" "src/core/CMakeFiles/dnscup_core.dir/delegation_audit.cc.o" "gcc" "src/core/CMakeFiles/dnscup_core.dir/delegation_audit.cc.o.d"
+  "/root/repo/src/core/dnscup_authority.cc" "src/core/CMakeFiles/dnscup_core.dir/dnscup_authority.cc.o" "gcc" "src/core/CMakeFiles/dnscup_core.dir/dnscup_authority.cc.o.d"
+  "/root/repo/src/core/dynamic_lease.cc" "src/core/CMakeFiles/dnscup_core.dir/dynamic_lease.cc.o" "gcc" "src/core/CMakeFiles/dnscup_core.dir/dynamic_lease.cc.o.d"
+  "/root/repo/src/core/lease_client.cc" "src/core/CMakeFiles/dnscup_core.dir/lease_client.cc.o" "gcc" "src/core/CMakeFiles/dnscup_core.dir/lease_client.cc.o.d"
+  "/root/repo/src/core/listener.cc" "src/core/CMakeFiles/dnscup_core.dir/listener.cc.o" "gcc" "src/core/CMakeFiles/dnscup_core.dir/listener.cc.o.d"
+  "/root/repo/src/core/notifier.cc" "src/core/CMakeFiles/dnscup_core.dir/notifier.cc.o" "gcc" "src/core/CMakeFiles/dnscup_core.dir/notifier.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/dnscup_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/dnscup_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/rate_tracker.cc" "src/core/CMakeFiles/dnscup_core.dir/rate_tracker.cc.o" "gcc" "src/core/CMakeFiles/dnscup_core.dir/rate_tracker.cc.o.d"
+  "/root/repo/src/core/track_file.cc" "src/core/CMakeFiles/dnscup_core.dir/track_file.cc.o" "gcc" "src/core/CMakeFiles/dnscup_core.dir/track_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/dnscup_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnscup_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dnscup_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnscup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

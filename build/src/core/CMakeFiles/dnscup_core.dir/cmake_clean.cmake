@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnscup_core.dir/auth.cc.o"
+  "CMakeFiles/dnscup_core.dir/auth.cc.o.d"
+  "CMakeFiles/dnscup_core.dir/cache_update.cc.o"
+  "CMakeFiles/dnscup_core.dir/cache_update.cc.o.d"
+  "CMakeFiles/dnscup_core.dir/delegation_audit.cc.o"
+  "CMakeFiles/dnscup_core.dir/delegation_audit.cc.o.d"
+  "CMakeFiles/dnscup_core.dir/dnscup_authority.cc.o"
+  "CMakeFiles/dnscup_core.dir/dnscup_authority.cc.o.d"
+  "CMakeFiles/dnscup_core.dir/dynamic_lease.cc.o"
+  "CMakeFiles/dnscup_core.dir/dynamic_lease.cc.o.d"
+  "CMakeFiles/dnscup_core.dir/lease_client.cc.o"
+  "CMakeFiles/dnscup_core.dir/lease_client.cc.o.d"
+  "CMakeFiles/dnscup_core.dir/listener.cc.o"
+  "CMakeFiles/dnscup_core.dir/listener.cc.o.d"
+  "CMakeFiles/dnscup_core.dir/notifier.cc.o"
+  "CMakeFiles/dnscup_core.dir/notifier.cc.o.d"
+  "CMakeFiles/dnscup_core.dir/policy.cc.o"
+  "CMakeFiles/dnscup_core.dir/policy.cc.o.d"
+  "CMakeFiles/dnscup_core.dir/rate_tracker.cc.o"
+  "CMakeFiles/dnscup_core.dir/rate_tracker.cc.o.d"
+  "CMakeFiles/dnscup_core.dir/track_file.cc.o"
+  "CMakeFiles/dnscup_core.dir/track_file.cc.o.d"
+  "libdnscup_core.a"
+  "libdnscup_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnscup_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnscup_dns.dir/message.cc.o"
+  "CMakeFiles/dnscup_dns.dir/message.cc.o.d"
+  "CMakeFiles/dnscup_dns.dir/name.cc.o"
+  "CMakeFiles/dnscup_dns.dir/name.cc.o.d"
+  "CMakeFiles/dnscup_dns.dir/rdata.cc.o"
+  "CMakeFiles/dnscup_dns.dir/rdata.cc.o.d"
+  "CMakeFiles/dnscup_dns.dir/rr.cc.o"
+  "CMakeFiles/dnscup_dns.dir/rr.cc.o.d"
+  "CMakeFiles/dnscup_dns.dir/wire.cc.o"
+  "CMakeFiles/dnscup_dns.dir/wire.cc.o.d"
+  "CMakeFiles/dnscup_dns.dir/zone.cc.o"
+  "CMakeFiles/dnscup_dns.dir/zone.cc.o.d"
+  "CMakeFiles/dnscup_dns.dir/zone_text.cc.o"
+  "CMakeFiles/dnscup_dns.dir/zone_text.cc.o.d"
+  "libdnscup_dns.a"
+  "libdnscup_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnscup_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

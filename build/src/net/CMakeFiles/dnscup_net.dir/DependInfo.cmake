@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/event_loop.cc" "src/net/CMakeFiles/dnscup_net.dir/event_loop.cc.o" "gcc" "src/net/CMakeFiles/dnscup_net.dir/event_loop.cc.o.d"
+  "/root/repo/src/net/sim_network.cc" "src/net/CMakeFiles/dnscup_net.dir/sim_network.cc.o" "gcc" "src/net/CMakeFiles/dnscup_net.dir/sim_network.cc.o.d"
+  "/root/repo/src/net/udp_transport.cc" "src/net/CMakeFiles/dnscup_net.dir/udp_transport.cc.o" "gcc" "src/net/CMakeFiles/dnscup_net.dir/udp_transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dnscup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

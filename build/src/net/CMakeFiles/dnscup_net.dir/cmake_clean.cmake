@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnscup_net.dir/event_loop.cc.o"
+  "CMakeFiles/dnscup_net.dir/event_loop.cc.o.d"
+  "CMakeFiles/dnscup_net.dir/sim_network.cc.o"
+  "CMakeFiles/dnscup_net.dir/sim_network.cc.o.d"
+  "CMakeFiles/dnscup_net.dir/udp_transport.cc.o"
+  "CMakeFiles/dnscup_net.dir/udp_transport.cc.o.d"
+  "libdnscup_net.a"
+  "libdnscup_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnscup_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

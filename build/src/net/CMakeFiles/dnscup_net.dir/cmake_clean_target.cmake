@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdnscup_net.a"
+)

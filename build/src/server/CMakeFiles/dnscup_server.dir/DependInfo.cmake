@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/authoritative.cc" "src/server/CMakeFiles/dnscup_server.dir/authoritative.cc.o" "gcc" "src/server/CMakeFiles/dnscup_server.dir/authoritative.cc.o.d"
+  "/root/repo/src/server/cache.cc" "src/server/CMakeFiles/dnscup_server.dir/cache.cc.o" "gcc" "src/server/CMakeFiles/dnscup_server.dir/cache.cc.o.d"
+  "/root/repo/src/server/resolver.cc" "src/server/CMakeFiles/dnscup_server.dir/resolver.cc.o" "gcc" "src/server/CMakeFiles/dnscup_server.dir/resolver.cc.o.d"
+  "/root/repo/src/server/stub.cc" "src/server/CMakeFiles/dnscup_server.dir/stub.cc.o" "gcc" "src/server/CMakeFiles/dnscup_server.dir/stub.cc.o.d"
+  "/root/repo/src/server/update.cc" "src/server/CMakeFiles/dnscup_server.dir/update.cc.o" "gcc" "src/server/CMakeFiles/dnscup_server.dir/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/dnscup_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dnscup_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnscup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnscup_server.dir/authoritative.cc.o"
+  "CMakeFiles/dnscup_server.dir/authoritative.cc.o.d"
+  "CMakeFiles/dnscup_server.dir/cache.cc.o"
+  "CMakeFiles/dnscup_server.dir/cache.cc.o.d"
+  "CMakeFiles/dnscup_server.dir/resolver.cc.o"
+  "CMakeFiles/dnscup_server.dir/resolver.cc.o.d"
+  "CMakeFiles/dnscup_server.dir/stub.cc.o"
+  "CMakeFiles/dnscup_server.dir/stub.cc.o.d"
+  "CMakeFiles/dnscup_server.dir/update.cc.o"
+  "CMakeFiles/dnscup_server.dir/update.cc.o.d"
+  "libdnscup_server.a"
+  "libdnscup_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnscup_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnscup_sim.dir/consistency_sim.cc.o"
+  "CMakeFiles/dnscup_sim.dir/consistency_sim.cc.o.d"
+  "CMakeFiles/dnscup_sim.dir/lease_sim.cc.o"
+  "CMakeFiles/dnscup_sim.dir/lease_sim.cc.o.d"
+  "CMakeFiles/dnscup_sim.dir/rates.cc.o"
+  "CMakeFiles/dnscup_sim.dir/rates.cc.o.d"
+  "CMakeFiles/dnscup_sim.dir/testbed.cc.o"
+  "CMakeFiles/dnscup_sim.dir/testbed.cc.o.d"
+  "CMakeFiles/dnscup_sim.dir/trace.cc.o"
+  "CMakeFiles/dnscup_sim.dir/trace.cc.o.d"
+  "CMakeFiles/dnscup_sim.dir/trace_gen.cc.o"
+  "CMakeFiles/dnscup_sim.dir/trace_gen.cc.o.d"
+  "libdnscup_sim.a"
+  "libdnscup_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnscup_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

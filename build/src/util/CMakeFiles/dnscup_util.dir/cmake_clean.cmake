@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnscup_util.dir/logging.cc.o"
+  "CMakeFiles/dnscup_util.dir/logging.cc.o.d"
+  "CMakeFiles/dnscup_util.dir/rng.cc.o"
+  "CMakeFiles/dnscup_util.dir/rng.cc.o.d"
+  "CMakeFiles/dnscup_util.dir/stats.cc.o"
+  "CMakeFiles/dnscup_util.dir/stats.cc.o.d"
+  "libdnscup_util.a"
+  "libdnscup_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnscup_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/change_model.cc" "src/workload/CMakeFiles/dnscup_workload.dir/change_model.cc.o" "gcc" "src/workload/CMakeFiles/dnscup_workload.dir/change_model.cc.o.d"
+  "/root/repo/src/workload/domain_population.cc" "src/workload/CMakeFiles/dnscup_workload.dir/domain_population.cc.o" "gcc" "src/workload/CMakeFiles/dnscup_workload.dir/domain_population.cc.o.d"
+  "/root/repo/src/workload/prober.cc" "src/workload/CMakeFiles/dnscup_workload.dir/prober.cc.o" "gcc" "src/workload/CMakeFiles/dnscup_workload.dir/prober.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/dnscup_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnscup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnscup_workload.dir/change_model.cc.o"
+  "CMakeFiles/dnscup_workload.dir/change_model.cc.o.d"
+  "CMakeFiles/dnscup_workload.dir/domain_population.cc.o"
+  "CMakeFiles/dnscup_workload.dir/domain_population.cc.o.d"
+  "CMakeFiles/dnscup_workload.dir/prober.cc.o"
+  "CMakeFiles/dnscup_workload.dir/prober.cc.o.d"
+  "libdnscup_workload.a"
+  "libdnscup_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnscup_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_hooks_test.dir/auth_hooks_test.cc.o"
+  "CMakeFiles/auth_hooks_test.dir/auth_hooks_test.cc.o.d"
+  "auth_hooks_test"
+  "auth_hooks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_hooks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

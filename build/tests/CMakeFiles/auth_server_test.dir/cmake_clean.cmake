@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_server_test.dir/auth_server_test.cc.o"
+  "CMakeFiles/auth_server_test.dir/auth_server_test.cc.o.d"
+  "auth_server_test"
+  "auth_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

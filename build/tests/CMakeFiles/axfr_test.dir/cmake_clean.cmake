@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axfr_test.dir/axfr_test.cc.o"
+  "CMakeFiles/axfr_test.dir/axfr_test.cc.o.d"
+  "axfr_test"
+  "axfr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axfr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_update_test.dir/cache_update_test.cc.o"
+  "CMakeFiles/cache_update_test.dir/cache_update_test.cc.o.d"
+  "cache_update_test"
+  "cache_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delegation_audit_test.dir/delegation_audit_test.cc.o"
+  "CMakeFiles/delegation_audit_test.dir/delegation_audit_test.cc.o.d"
+  "delegation_audit_test"
+  "delegation_audit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delegation_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnscup_e2e_test.dir/dnscup_e2e_test.cc.o"
+  "CMakeFiles/dnscup_e2e_test.dir/dnscup_e2e_test.cc.o.d"
+  "dnscup_e2e_test"
+  "dnscup_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnscup_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_lease_test.dir/dynamic_lease_test.cc.o"
+  "CMakeFiles/dynamic_lease_test.dir/dynamic_lease_test.cc.o.d"
+  "dynamic_lease_test"
+  "dynamic_lease_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_lease_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixfr_test.dir/ixfr_test.cc.o"
+  "CMakeFiles/ixfr_test.dir/ixfr_test.cc.o.d"
+  "ixfr_test"
+  "ixfr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixfr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

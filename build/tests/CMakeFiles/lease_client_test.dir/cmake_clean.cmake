@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lease_client_test.dir/lease_client_test.cc.o"
+  "CMakeFiles/lease_client_test.dir/lease_client_test.cc.o.d"
+  "lease_client_test"
+  "lease_client_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lease_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

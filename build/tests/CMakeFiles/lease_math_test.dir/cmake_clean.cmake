@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lease_math_test.dir/lease_math_test.cc.o"
+  "CMakeFiles/lease_math_test.dir/lease_math_test.cc.o.d"
+  "lease_math_test"
+  "lease_math_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lease_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lease_sim_test.dir/lease_sim_test.cc.o"
+  "CMakeFiles/lease_sim_test.dir/lease_sim_test.cc.o.d"
+  "lease_sim_test"
+  "lease_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lease_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/name_test.dir/name_test.cc.o"
+  "CMakeFiles/name_test.dir/name_test.cc.o.d"
+  "name_test"
+  "name_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/name_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notifier_test.dir/notifier_test.cc.o"
+  "CMakeFiles/notifier_test.dir/notifier_test.cc.o.d"
+  "notifier_test"
+  "notifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_tracker_test.dir/rate_tracker_test.cc.o"
+  "CMakeFiles/rate_tracker_test.dir/rate_tracker_test.cc.o.d"
+  "rate_tracker_test"
+  "rate_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rates_test.dir/rates_test.cc.o"
+  "CMakeFiles/rates_test.dir/rates_test.cc.o.d"
+  "rates_test"
+  "rates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

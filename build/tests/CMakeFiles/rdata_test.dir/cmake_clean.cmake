@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdata_test.dir/rdata_test.cc.o"
+  "CMakeFiles/rdata_test.dir/rdata_test.cc.o.d"
+  "rdata_test"
+  "rdata_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_file_test.dir/track_file_test.cc.o"
+  "CMakeFiles/track_file_test.dir/track_file_test.cc.o.d"
+  "track_file_test"
+  "track_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

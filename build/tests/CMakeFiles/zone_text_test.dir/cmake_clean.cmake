@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_text_test.dir/zone_text_test.cc.o"
+  "CMakeFiles/zone_text_test.dir/zone_text_test.cc.o.d"
+  "zone_text_test"
+  "zone_text_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnscupd.dir/dnscupd.cc.o"
+  "CMakeFiles/dnscupd.dir/dnscupd.cc.o.d"
+  "dnscupd"
+  "dnscupd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnscupd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

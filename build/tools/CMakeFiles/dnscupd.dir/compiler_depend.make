@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dnscupd.
+# This may be replaced when dependencies are built.

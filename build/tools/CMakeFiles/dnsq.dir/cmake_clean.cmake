@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsq.dir/dnsq.cc.o"
+  "CMakeFiles/dnsq.dir/dnsq.cc.o.d"
+  "dnsq"
+  "dnsq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaseplan.dir/leaseplan.cc.o"
+  "CMakeFiles/leaseplan.dir/leaseplan.cc.o.d"
+  "leaseplan"
+  "leaseplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaseplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
