@@ -7,8 +7,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
+
+#include "util/metrics.h"
 
 namespace dnscup::bench {
 
@@ -18,6 +21,31 @@ inline void heading(const std::string& title) {
 
 inline void subheading(const std::string& title) {
   std::printf("\n-- %s --\n", title.c_str());
+}
+
+/// Extracts a `--metrics-out <file>` argument; empty when absent.
+inline std::string metrics_out_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
+/// Writes the snapshot's JSON to `path`; no-op when `path` is empty.
+inline void write_snapshot(const metrics::Snapshot& snapshot,
+                           const std::string& path) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  const std::string json = snapshot.to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("\nmetrics snapshot (%zu instruments) written to %s\n",
+              snapshot.entries.size(), path.c_str());
 }
 
 /// An x-sorted polyline; interpolates y at arbitrary x (clamped ends).

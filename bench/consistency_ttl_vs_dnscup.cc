@@ -7,8 +7,12 @@
 #include "bench_util.h"
 #include "sim/consistency_sim.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dnscup;
+  const std::string metrics_out = bench::metrics_out_arg(argc, argv);
+  // Aggregate of every run's private registry (shard merge): counters add
+  // across runs, histogram moments merge exactly.
+  metrics::Snapshot merged;
   bench::heading("Time-to-consistency: TTL vs DNScup (full stack)");
 
   std::printf("%-8s %-8s %-9s %-10s %-11s %-10s %-9s\n", "ttl(s)",
@@ -26,6 +30,7 @@ int main() {
       config.mean_change_interval_s = 240.0;
       config.seed = 100 + ttl;
       const auto r = run_consistency_experiment(config);
+      merged.merge(r.snapshot);
       std::printf("%-8u %-8s %-9llu %-10llu %-11.3f %-10.1f %-9llu\n", ttl,
                   dnscup ? "dnscup" : "ttl",
                   static_cast<unsigned long long>(r.answered),
@@ -56,10 +61,12 @@ int main() {
     config.loss_probability = 0.05;
     config.seed = 500;
     const auto r = run_consistency_experiment(config);
+    merged.merge(r.snapshot);
     std::printf("%-8s %-9llu %-11.3f %-10llu\n", dnscup ? "dnscup" : "ttl",
                 static_cast<unsigned long long>(r.stale_answers),
                 100.0 * r.stale_fraction,
                 static_cast<unsigned long long>(r.packets_dropped));
   }
+  bench::write_snapshot(merged, metrics_out);
   return 0;
 }

@@ -9,8 +9,9 @@
 #include "bench_util.h"
 #include "sim/testbed.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dnscup;
+  const std::string metrics_out = bench::metrics_out_arg(argc, argv);
   bench::heading("Prototype testbed (Figure 7): 40 zones, 2 caches, 2 slaves");
 
   sim::TestbedConfig config;
@@ -88,5 +89,6 @@ int main() {
   std::printf("total datagrams delivered:    %llu\n",
               static_cast<unsigned long long>(
                   tb.network().packets_delivered()));
+  bench::write_snapshot(tb.metrics_snapshot(), metrics_out);
   return consistent == 80 ? 0 : 1;
 }

@@ -21,6 +21,7 @@
 #include "server/authoritative.h"
 #include "server/resolver.h"
 #include "server/update.h"
+#include "util/metrics.h"
 
 using namespace dnscup;
 using dns::Name;
@@ -48,8 +49,11 @@ int main() {
   std::printf("== DNScup quickstart ==\n\n");
 
   // ---- the network -------------------------------------------------------
-  net::EventLoop loop;
-  net::SimNetwork network(loop, /*seed=*/1);
+  // One registry observes the whole stack; every component below
+  // publishes its instruments here.
+  metrics::MetricsRegistry registry;
+  net::EventLoop loop(&registry);
+  net::SimNetwork network(loop, /*seed=*/1, &registry);
   const net::Endpoint auth_ep{net::make_ip(10, 0, 1, 1), 53};
   const net::Endpoint cache_ep{net::make_ip(10, 0, 2, 1), 53};
   const net::Endpoint admin_ep{net::make_ip(10, 0, 9, 9), 5353};
@@ -70,19 +74,26 @@ int main() {
   zone.add_record(mk("www.example.com"), RRType::kA, 600,
                   dns::ARdata{dns::Ipv4::parse("192.0.2.80").value()});
 
-  server::AuthServer authority(network.bind(auth_ep), loop);
+  server::AuthServer authority(network.bind(auth_ep), loop,
+                               server::AuthServer::Role::kMaster, &registry);
   authority.add_zone(std::move(zone));
 
   // Attach the DNScup middleware: track file + lease policy + the
   // detection / listening / notification modules.
   core::DnscupAuthority::Config dnscup_config;
   dnscup_config.max_lease = [](const Name&, RRType) { return net::hours(6); };
+  dnscup_config.metrics = &registry;
   core::DnscupAuthority dnscup(authority, loop, dnscup_config);
 
   // ---- local caching nameserver -------------------------------------------
   // It iterates from "root hints" — here, straight at the authority.
-  server::CachingResolver cache(network.bind(cache_ep), loop, {auth_ep});
-  core::LeaseClient lease_client(cache);  // DNScup cache-side module
+  server::CachingResolver::Config resolver_config;
+  resolver_config.metrics = &registry;
+  server::CachingResolver cache(network.bind(cache_ep), loop, {auth_ep},
+                                resolver_config);
+  core::LeaseClient::Config client_config;
+  client_config.metrics = &registry;
+  core::LeaseClient lease_client(cache, client_config);  // cache-side module
 
   // ---- 1+2: resolve, get a lease -------------------------------------------
   server::CachingResolver::Outcome outcome;
@@ -135,5 +146,23 @@ int main() {
       "\nthe cache served the *new* address from its cache without any\n"
       "re-resolution: strong consistency, %llu total datagrams exchanged.\n",
       static_cast<unsigned long long>(network.packets_delivered()));
+
+  // ---- telemetry: everything above, from one snapshot ----------------------
+  const metrics::Snapshot snapshot = registry.snapshot(loop.now());
+  std::printf(
+      "\nregistry snapshot (%zu instruments) of the same exchange:\n"
+      "  auth queries answered:  %llu\n"
+      "  lease decisions:        %llu\n"
+      "  cache-update messages:  %llu\n"
+      "  events fired:           %llu\n",
+      snapshot.entries.size(),
+      static_cast<unsigned long long>(
+          snapshot.counter_total("auth_server_requests")),
+      static_cast<unsigned long long>(
+          snapshot.counter_total("listener_lease_decisions")),
+      static_cast<unsigned long long>(
+          snapshot.counter_total("cache_update_messages")),
+      static_cast<unsigned long long>(
+          snapshot.counter_total("event_loop_events_fired")));
   return 0;
 }

@@ -6,13 +6,24 @@ namespace dnscup::core {
 
 namespace {
 
+/// Resolves the deprecated always_grant alias into `policy` so the two
+/// fields can never disagree downstream, and defaults the notifier's
+/// registry to the authority-wide one.
+DnscupAuthority::Config normalize(DnscupAuthority::Config config) {
+  if (config.always_grant) {
+    config.policy = DnscupAuthority::PolicyKind::kAlwaysGrant;
+  }
+  if (config.notification.metrics == nullptr) {
+    config.notification.metrics = config.metrics;
+  }
+  return config;
+}
+
 std::unique_ptr<GrantPolicy> make_policy(const DnscupAuthority::Config& config,
                                          const TrackFile* track_file) {
   DNSCUP_ASSERT(config.max_lease != nullptr);
   using PolicyKind = DnscupAuthority::PolicyKind;
-  const PolicyKind kind =
-      config.always_grant ? PolicyKind::kAlwaysGrant : config.policy;
-  switch (kind) {
+  switch (config.policy) {
     case PolicyKind::kAlwaysGrant:
       return std::make_unique<AlwaysGrantPolicy>(config.max_lease);
     case PolicyKind::kCommBudget: {
@@ -36,10 +47,21 @@ DnscupAuthority::DnscupAuthority(server::AuthServer& server,
                                  net::EventLoop& loop, Config config)
     : server_(&server),
       loop_(&loop),
-      policy_(make_policy(config, &track_file_)),
-      listener_(&track_file_, policy_.get()),
+      config_(normalize(std::move(config))),
+      track_file_(config_.metrics),
+      policy_(make_policy(config_, &track_file_)),
+      listener_(&track_file_, policy_.get(), config_.metrics),
       notifier_(&server.transport(), &loop, &track_file_,
-                config.notification) {
+                config_.notification) {
+  auto& registry = metrics::resolve(config_.metrics);
+  detection_stats_.change_events =
+      registry.counter("detection_change_events");
+  detection_stats_.rrsets_changed =
+      registry.counter("detection_rrsets_changed");
+  live_leases_ = registry.gauge("authority_live_leases");
+  storage_budget_ = registry.gauge("authority_storage_budget");
+  storage_budget_.set(static_cast<double>(config_.storage_budget));
+
   // Listening module: sees every query/response pair.
   server_->set_query_hook([this](const net::Endpoint& from,
                                  const dns::Message& query,
@@ -55,6 +77,7 @@ DnscupAuthority::DnscupAuthority(server::AuthServer& server,
         ++detection_stats_.change_events;
         detection_stats_.rrsets_changed += changes.size();
         notifier_.on_zone_change(zone, changes);
+        refresh_gauges();
       });
 
   // Notification module: consumes CACHE-UPDATE acknowledgements before
@@ -63,6 +86,18 @@ DnscupAuthority::DnscupAuthority(server::AuthServer& server,
       [this](const net::Endpoint& from, const dns::Message& message) {
         return notifier_.on_message(from, message);
       });
+}
+
+DnscupAuthority::DetectionStats DnscupAuthority::detection_stats() const {
+  return DetectionStats{
+      .change_events = detection_stats_.change_events,
+      .rrsets_changed = detection_stats_.rrsets_changed,
+  };
+}
+
+void DnscupAuthority::refresh_gauges() {
+  live_leases_.set(static_cast<double>(track_file_.live_count(loop_->now())));
+  storage_budget_.set(static_cast<double>(config_.storage_budget));
 }
 
 }  // namespace dnscup::core

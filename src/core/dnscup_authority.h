@@ -38,8 +38,12 @@ class DnscupAuthority {
     std::size_t storage_budget = 100000;        ///< live-lease target
     double message_budget = 1e6;                ///< messages/s (kCommBudget)
     NotificationModule::Config notification;    ///< retransmit behaviour
-    /// Deprecated alias for policy = kAlwaysGrant.
+    /// Deprecated alias for policy = kAlwaysGrant.  Normalized into
+    /// `policy` by the constructor, so the two can never disagree.
     bool always_grant = false;
+    /// Registry for authority/track-file/listener/notifier instruments
+    /// (default_registry() when null).
+    metrics::MetricsRegistry* metrics = nullptr;
   };
 
   /// Attaches DNScup to `server`.  The server must outlive this object.
@@ -52,20 +56,37 @@ class DnscupAuthority {
   NotificationModule& notifier() { return notifier_; }
   GrantPolicy& policy() { return *policy_; }
 
+  /// The policy actually in effect after deprecated-alias normalization.
+  PolicyKind policy_kind() const { return config_.policy; }
+
   struct DetectionStats {
     uint64_t change_events = 0;
     uint64_t rrsets_changed = 0;
   };
-  const DetectionStats& detection_stats() const { return detection_stats_; }
+  /// Value snapshot of the registry-backed counters.
+  DetectionStats detection_stats() const;
+
+  /// Recomputes the authority_live_leases / authority_storage_budget
+  /// occupancy gauges (live_count is O(leases), so this is not done on
+  /// the query hot path — change events and periodic dumps call it).
+  void refresh_gauges();
 
  private:
+  struct Instruments {
+    metrics::Counter change_events;
+    metrics::Counter rrsets_changed;
+  };
+
   server::AuthServer* server_;
   net::EventLoop* loop_;
+  Config config_;
   TrackFile track_file_;
   std::unique_ptr<GrantPolicy> policy_;
   ListeningModule listener_;
   NotificationModule notifier_;
-  DetectionStats detection_stats_;
+  Instruments detection_stats_;
+  metrics::Gauge live_leases_;
+  metrics::Gauge storage_budget_;
 };
 
 }  // namespace dnscup::core

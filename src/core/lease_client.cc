@@ -11,6 +11,47 @@ using server::LeaseState;
 LeaseClient::LeaseClient(server::CachingResolver& resolver, Config config)
     : resolver_(&resolver), config_(config) {
   resolver_->set_extension(this);
+  auto& registry = metrics::resolve(config.metrics);
+  const metrics::Labels base{
+      {"instance", registry.next_instance("lease_client")}};
+  auto labeled = [&](const char* key, const char* value) {
+    metrics::Labels labels = base;
+    labels.emplace_back(key, value);
+    return labels;
+  };
+  stats_.rrc_reports = registry.counter("lease_client_rrc_reports", base);
+  stats_.leases_registered = registry.counter(
+      "lease_client_leases", labeled("event", "registered"));
+  stats_.lease_renewals =
+      registry.counter("lease_client_leases", labeled("event", "renewed"));
+  stats_.updates_received = registry.counter(
+      "lease_client_updates", labeled("result", "received"));
+  stats_.updates_applied =
+      registry.counter("lease_client_updates", labeled("result", "applied"));
+  stats_.stale_updates_ignored = registry.counter(
+      "lease_client_updates", labeled("result", "stale_ignored"));
+  stats_.unauthorized_updates = registry.counter(
+      "lease_client_updates", labeled("result", "unauthorized"));
+  stats_.auth_failures = registry.counter("lease_client_updates",
+                                          labeled("result", "auth_failed"));
+  stats_.acks_sent = registry.counter("lease_client_acks_sent", base);
+  stats_.renegotiations =
+      registry.counter("lease_client_renegotiations", base);
+}
+
+LeaseClient::Stats LeaseClient::stats() const {
+  return Stats{
+      .rrc_reports = stats_.rrc_reports,
+      .leases_registered = stats_.leases_registered,
+      .lease_renewals = stats_.lease_renewals,
+      .updates_received = stats_.updates_received,
+      .updates_applied = stats_.updates_applied,
+      .stale_updates_ignored = stats_.stale_updates_ignored,
+      .unauthorized_updates = stats_.unauthorized_updates,
+      .auth_failures = stats_.auth_failures,
+      .acks_sent = stats_.acks_sent,
+      .renegotiations = stats_.renegotiations,
+  };
 }
 
 void LeaseClient::on_client_query(const dns::Name& qname, dns::RRType qtype) {

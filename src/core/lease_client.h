@@ -22,6 +22,7 @@
 #include "core/rate_tracker.h"
 #include "dns/zone.h"
 #include "server/resolver.h"
+#include "util/metrics.h"
 
 namespace dnscup::core {
 
@@ -52,6 +53,9 @@ class LeaseClient final : public server::CachingResolver::Extension {
     /// (paper §5.3); unverifiable pushes are dropped without an ack.
     /// Not owned, may be null (plain text).
     MessageAuthenticator* authenticator = nullptr;
+    /// Registry for lease_client_* instruments (default_registry() when
+    /// null).
+    metrics::MetricsRegistry* metrics = nullptr;
   };
 
   /// The resolver must outlive the client; attaches itself as extension.
@@ -70,10 +74,24 @@ class LeaseClient final : public server::CachingResolver::Extension {
   /// Live leases currently registered in the cache.
   std::size_t live_leases(net::SimTime now) const;
 
-  const Stats& stats() const { return stats_; }
+  /// Value snapshot of the registry-backed counters.
+  Stats stats() const;
   const RateTracker& client_rates() const { return rates_; }
 
  private:
+  struct Instruments {
+    metrics::Counter rrc_reports;
+    metrics::Counter leases_registered;
+    metrics::Counter lease_renewals;
+    metrics::Counter updates_received;
+    metrics::Counter updates_applied;
+    metrics::Counter stale_updates_ignored;
+    metrics::Counter unauthorized_updates;
+    metrics::Counter auth_failures;
+    metrics::Counter acks_sent;
+    metrics::Counter renegotiations;
+  };
+
   struct LeaseMeta {
     double rate_at_grant = 0.0;
     net::SimTime last_renegotiation = 0;
@@ -96,7 +114,7 @@ class LeaseClient final : public server::CachingResolver::Extension {
   /// Highest zone serial applied, per zone (dedupe / ordering guard).
   std::map<dns::Name, uint32_t> zone_serials_;
   std::map<MetaKey, LeaseMeta> lease_meta_;
-  Stats stats_;
+  Instruments stats_;
 };
 
 }  // namespace dnscup::core

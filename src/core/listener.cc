@@ -2,6 +2,36 @@
 
 namespace dnscup::core {
 
+ListeningModule::ListeningModule(TrackFile* track_file, GrantPolicy* policy,
+                                 metrics::MetricsRegistry* metrics)
+    : track_file_(track_file), policy_(policy) {
+  auto& registry = metrics::resolve(metrics);
+  const metrics::Labels base{
+      {"instance", registry.next_instance("listener")}};
+  auto labeled = [&](const char* key, const char* value) {
+    metrics::Labels labels = base;
+    labels.emplace_back(key, value);
+    return labels;
+  };
+  stats_.ext_queries =
+      registry.counter("listener_queries", labeled("kind", "ext"));
+  stats_.legacy_queries =
+      registry.counter("listener_queries", labeled("kind", "legacy"));
+  stats_.leases_granted = registry.counter("listener_lease_decisions",
+                                           labeled("result", "granted"));
+  stats_.leases_denied = registry.counter("listener_lease_decisions",
+                                          labeled("result", "denied"));
+}
+
+ListeningModule::Stats ListeningModule::stats() const {
+  return Stats{
+      .ext_queries = stats_.ext_queries,
+      .legacy_queries = stats_.legacy_queries,
+      .leases_granted = stats_.leases_granted,
+      .leases_denied = stats_.leases_denied,
+  };
+}
+
 void ListeningModule::on_query(const net::Endpoint& from,
                                const dns::Message& query,
                                dns::Message& response, net::SimTime now) {

@@ -14,6 +14,7 @@
 #include "core/track_file.h"
 #include "dns/message.h"
 #include "net/time.h"
+#include "util/metrics.h"
 
 namespace dnscup::core {
 
@@ -26,9 +27,10 @@ class ListeningModule {
     uint64_t leases_denied = 0;
   };
 
-  /// Neither the track file nor the policy is owned.
-  ListeningModule(TrackFile* track_file, GrantPolicy* policy)
-      : track_file_(track_file), policy_(policy) {}
+  /// Neither the track file nor the policy is owned.  Counters register in
+  /// `metrics` (default_registry() when null) under listener_*.
+  ListeningModule(TrackFile* track_file, GrantPolicy* policy,
+                  metrics::MetricsRegistry* metrics = nullptr);
 
   /// AuthServer query-hook entry point: inspects the query, possibly
   /// grants a lease and sets response.llt.  Only positive authoritative
@@ -42,13 +44,21 @@ class ListeningModule {
   /// audits and the workload analyses.
   const RateTracker& observed_rates() const { return observed_; }
 
-  const Stats& stats() const { return stats_; }
+  /// Value snapshot of the registry-backed counters.
+  Stats stats() const;
 
  private:
+  struct Instruments {
+    metrics::Counter ext_queries;
+    metrics::Counter legacy_queries;
+    metrics::Counter leases_granted;
+    metrics::Counter leases_denied;
+  };
+
   TrackFile* track_file_;
   GrantPolicy* policy_;
   RateTracker observed_;
-  Stats stats_;
+  Instruments stats_;
 };
 
 }  // namespace dnscup::core

@@ -17,6 +17,38 @@ NotificationModule::NotificationModule(net::Transport* transport,
       config_(config) {
   DNSCUP_ASSERT(transport_ != nullptr && loop_ != nullptr &&
                 track_file_ != nullptr);
+  auto& registry = metrics::resolve(config.metrics);
+  const metrics::Labels base{
+      {"instance", registry.next_instance("notifier")}};
+  auto labeled = [&](const char* key, const char* value) {
+    metrics::Labels labels = base;
+    labels.emplace_back(key, value);
+    return labels;
+  };
+  stats_.changes_observed =
+      registry.counter("cache_update_changes_observed", base);
+  stats_.updates_sent =
+      registry.counter("cache_update_messages", labeled("result", "sent"));
+  stats_.retransmissions = registry.counter("cache_update_messages",
+                                            labeled("result", "retransmit"));
+  stats_.acks_received =
+      registry.counter("cache_update_messages", labeled("result", "acked"));
+  stats_.failures =
+      registry.counter("cache_update_messages", labeled("result", "failed"));
+  stats_.ack_latency_us = registry.histogram(
+      "cache_update_ack_latency_us", base,
+      metrics::HistogramOptions{0.0, 1'000'000.0, 20});
+}
+
+NotificationModule::Stats NotificationModule::stats() const {
+  return Stats{
+      .changes_observed = stats_.changes_observed,
+      .updates_sent = stats_.updates_sent,
+      .retransmissions = stats_.retransmissions,
+      .acks_received = stats_.acks_received,
+      .failures = stats_.failures,
+      .ack_latency_us = stats_.ack_latency_us.moments(),
+  };
 }
 
 void NotificationModule::on_zone_change(

@@ -19,6 +19,7 @@
 #include "dns/zone.h"
 #include "net/event_loop.h"
 #include "net/transport.h"
+#include "util/metrics.h"
 #include "util/stats.h"
 
 namespace dnscup::core {
@@ -32,6 +33,9 @@ class NotificationModule {
     /// When set, every CACHE-UPDATE is signed before transmission
     /// (paper §5.3); not owned, may be null (plain text).
     MessageAuthenticator* authenticator = nullptr;
+    /// Registry for cache_update_* instruments (default_registry() when
+    /// null).
+    metrics::MetricsRegistry* metrics = nullptr;
   };
 
   struct Stats {
@@ -58,9 +62,20 @@ class NotificationModule {
   bool on_message(const net::Endpoint& from, const dns::Message& message);
 
   std::size_t in_flight() const { return pending_.size(); }
-  const Stats& stats() const { return stats_; }
+  /// Value snapshot of the registry-backed counters; ack_latency_us is the
+  /// materialized moments of the cache_update_ack_latency_us histogram.
+  Stats stats() const;
 
  private:
+  struct Instruments {
+    metrics::Counter changes_observed;
+    metrics::Counter updates_sent;
+    metrics::Counter retransmissions;
+    metrics::Counter acks_received;
+    metrics::Counter failures;
+    metrics::HistogramMetric ack_latency_us;
+  };
+
   struct Pending {
     net::Endpoint target;
     dns::Message message;
@@ -81,7 +96,7 @@ class NotificationModule {
   Config config_;
   std::map<uint16_t, Pending> pending_;
   uint16_t next_id_ = 1;
-  Stats stats_;
+  Instruments stats_;
 };
 
 }  // namespace dnscup::core

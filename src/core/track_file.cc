@@ -7,6 +7,32 @@
 
 namespace dnscup::core {
 
+TrackFile::TrackFile(metrics::MetricsRegistry* metrics) {
+  auto& registry = metrics::resolve(metrics);
+  const metrics::Labels base{
+      {"instance", registry.next_instance("track_file")}};
+  auto labeled = [&](const char* op) {
+    metrics::Labels labels = base;
+    labels.emplace_back("op", op);
+    return labels;
+  };
+  stats_.grants = registry.counter("track_file_lease_ops", labeled("grant"));
+  stats_.renewals =
+      registry.counter("track_file_lease_ops", labeled("renew"));
+  stats_.revocations =
+      registry.counter("track_file_lease_ops", labeled("revoke"));
+  stats_.pruned = registry.counter("track_file_pruned", base);
+}
+
+TrackFile::Stats TrackFile::stats() const {
+  return Stats{
+      .grants = stats_.grants,
+      .renewals = stats_.renewals,
+      .revocations = stats_.revocations,
+      .pruned = stats_.pruned,
+  };
+}
+
 void TrackFile::grant(const net::Endpoint& holder, const dns::Name& name,
                       dns::RRType type, net::SimTime now,
                       net::Duration length) {

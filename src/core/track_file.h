@@ -16,6 +16,7 @@
 #include "dns/rdata.h"
 #include "net/endpoint.h"
 #include "net/time.h"
+#include "util/metrics.h"
 #include "util/result.h"
 
 namespace dnscup::core {
@@ -39,6 +40,10 @@ class TrackFile {
     uint64_t revocations = 0;
     uint64_t pruned = 0;
   };
+
+  /// Lease-op counters register in `metrics` (default_registry() when
+  /// null) under track_file_* with a per-instance label.
+  explicit TrackFile(metrics::MetricsRegistry* metrics = nullptr);
 
   /// Grants or renews a lease; renewal restarts the term at `now`.
   void grant(const net::Endpoint& holder, const dns::Name& name,
@@ -70,7 +75,8 @@ class TrackFile {
   /// Total tuples including expired-but-unpruned.
   std::size_t size() const;
 
-  const Stats& stats() const { return stats_; }
+  /// Value snapshot of the registry-backed counters.
+  Stats stats() const;
 
   /// One "address name type grant_time_us length_us" line per valid lease.
   std::string serialize(net::SimTime now) const;
@@ -94,8 +100,15 @@ class TrackFile {
     }
   };
 
+  struct Instruments {
+    metrics::Counter grants;
+    metrics::Counter renewals;
+    metrics::Counter revocations;
+    metrics::Counter pruned;
+  };
+
   std::map<Key, std::map<net::Endpoint, Lease>> leases_;
-  Stats stats_;
+  Instruments stats_;
 };
 
 }  // namespace dnscup::core

@@ -7,10 +7,26 @@
 namespace dnscup::net {
 
 void TimerHandle::cancel() {
-  if (cancelled_) *cancelled_ = true;
+  if (!state_ || state_->cancelled) return;
+  state_->cancelled = true;
+  if (state_->fired) return;  // the fire path already removed it
+  state_->pending_live.add(-1.0);
+  ++state_->cancelled_count;
 }
 
-bool TimerHandle::active() const { return cancelled_ && !*cancelled_; }
+bool TimerHandle::active() const { return state_ && !state_->cancelled; }
+
+EventLoop::EventLoop(metrics::MetricsRegistry* metrics) {
+  auto& registry = metrics::resolve(metrics);
+  const metrics::Labels base{
+      {"instance", registry.next_instance("event_loop")}};
+  events_fired_ = registry.counter("event_loop_events_fired", base);
+  timers_scheduled_ = registry.counter("event_loop_timers_scheduled", base);
+  timers_cancelled_ = registry.counter("event_loop_timers_cancelled", base);
+  pending_live_ = registry.gauge("event_loop_pending", base);
+  schedule_latency_us_ =
+      registry.histogram("event_loop_schedule_latency_us", base);
+}
 
 TimerHandle EventLoop::schedule(Duration delay, std::function<void()> fn) {
   if (delay < 0) delay = 0;
@@ -20,15 +36,24 @@ TimerHandle EventLoop::schedule(Duration delay, std::function<void()> fn) {
 TimerHandle EventLoop::schedule_at(SimTime when, std::function<void()> fn) {
   DNSCUP_ASSERT(fn != nullptr);
   if (when < now_) when = now_;
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
-  return TimerHandle(cancelled);
+  auto state = std::make_shared<detail::CancelState>();
+  state->pending_live = pending_live_;
+  state->cancelled_count = timers_cancelled_;
+  ++timers_scheduled_;
+  pending_live_.add(1.0);
+  // Events fire exactly at `when`, so the fire-time latency equals the
+  // scheduling delay; recording here keeps the histogram deterministic
+  // even for events still queued at snapshot time.
+  schedule_latency_us_.add(static_cast<double>(when - now_));
+  queue_.push(Event{when, next_seq_++, std::move(fn), state});
+  return TimerHandle(std::move(state));
 }
 
 bool EventLoop::fire_next(SimTime deadline) {
   while (!queue_.empty()) {
     const Event& top = queue_.top();
-    if (*top.cancelled) {
+    if (top.state->cancelled) {
+      // Lazily reaped; pending_live_ was already decremented on cancel.
       queue_.pop();
       continue;
     }
@@ -37,6 +62,9 @@ bool EventLoop::fire_next(SimTime deadline) {
     Event ev = std::move(const_cast<Event&>(top));
     queue_.pop();
     now_ = ev.when;
+    ev.state->fired = true;
+    pending_live_.add(-1.0);
+    ++events_fired_;
     ev.fn();
     return true;
   }

@@ -10,10 +10,26 @@
 #include <vector>
 
 #include "net/time.h"
+#include "util/metrics.h"
 
 namespace dnscup::net {
 
 class EventLoop;
+
+namespace detail {
+
+/// Shared between the queue entry and every TimerHandle copy.  Carries the
+/// loop's live-event gauge / cancel counter so a cancel after the loop has
+/// been destroyed still updates the (registry-owned) instruments exactly
+/// once.
+struct CancelState {
+  bool cancelled = false;
+  bool fired = false;  ///< guards against decrementing after the fire path
+  metrics::Gauge pending_live;
+  metrics::Counter cancelled_count;
+};
+
+}  // namespace detail
 
 /// Cancellation handle for a scheduled event.  Cheap to copy; cancel() is
 /// idempotent and safe after the event fired.
@@ -26,14 +42,17 @@ class TimerHandle {
 
  private:
   friend class EventLoop;
-  explicit TimerHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;
+  explicit TimerHandle(std::shared_ptr<detail::CancelState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::CancelState> state_;
 };
 
 class EventLoop : public Clock {
  public:
-  EventLoop() = default;
+  EventLoop() : EventLoop(nullptr) {}
+  /// Registers event_loop_* instruments in `metrics` (default_registry()
+  /// when null) under a per-loop instance label.
+  explicit EventLoop(metrics::MetricsRegistry* metrics);
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
@@ -59,14 +78,26 @@ class EventLoop : public Clock {
   /// Number of queued events, including cancelled ones not yet reaped
   /// (cancelled events are discarded lazily when the loop reaches them).
   std::size_t pending() const { return queue_.size(); }
+
+  /// Number of live (not-cancelled) queued events — the true queue depth,
+  /// maintained eagerly on cancel and mirrored by the event_loop_pending
+  /// gauge.
+  std::size_t pending_live() const {
+    return static_cast<std::size_t>(pending_live_.value());
+  }
+
   bool empty() const { return queue_.empty(); }
+
+  uint64_t events_fired() const { return events_fired_; }
+  uint64_t timers_scheduled() const { return timers_scheduled_; }
+  uint64_t timers_cancelled() const { return timers_cancelled_; }
 
  private:
   struct Event {
     SimTime when;
     uint64_t seq;
     std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::shared_ptr<detail::CancelState> state;
 
     bool operator>(const Event& other) const {
       if (when != other.when) return when > other.when;
@@ -79,6 +110,11 @@ class EventLoop : public Clock {
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  metrics::Counter events_fired_;
+  metrics::Counter timers_scheduled_;
+  metrics::Counter timers_cancelled_;
+  metrics::Gauge pending_live_;
+  metrics::HistogramMetric schedule_latency_us_;
 };
 
 }  // namespace dnscup::net

@@ -6,10 +6,18 @@
 
 namespace dnscup::net {
 
+SimTransport::SimTransport(SimNetwork* network, Endpoint local)
+    : network_(network), local_(local) {
+  // The owning network's instance id disambiguates transports bound to
+  // the same endpoint in different networks (common in test fixtures).
+  stats_.register_in(metrics::resolve(network_->registry_),
+                     network_->instance_ + "/" + local_.to_string());
+}
+
 void SimTransport::send(const Endpoint& to, std::span<const uint8_t> data) {
   ++stats_.packets_sent;
   stats_.bytes_sent += data.size();
-  stats_.max_packet_bytes = std::max(stats_.max_packet_bytes, data.size());
+  stats_.max_packet_bytes.set_max(static_cast<double>(data.size()));
   network_->route(local_, to, data);
 }
 
@@ -17,6 +25,29 @@ void SimTransport::deliver(const Endpoint& from, std::vector<uint8_t> data) {
   ++stats_.packets_received;
   stats_.bytes_received += data.size();
   if (handler_) handler_(from, data);
+}
+
+SimNetwork::SimNetwork(EventLoop& loop, uint64_t seed,
+                       metrics::MetricsRegistry* metrics)
+    : loop_(&loop), rng_(seed), registry_(metrics) {
+  auto& registry = metrics::resolve(metrics);
+  instance_ = registry.next_instance("sim_network");
+  const metrics::Labels base{{"instance", instance_}};
+  auto labeled = [&](const char* reason) {
+    metrics::Labels labels = base;
+    labels.emplace_back("reason", reason);
+    return labels;
+  };
+  packets_delivered_ =
+      registry.counter("sim_network_packets_delivered", base);
+  dropped_loss_ =
+      registry.counter("sim_network_packets_dropped", labeled("loss"));
+  dropped_unbound_ =
+      registry.counter("sim_network_packets_dropped", labeled("unbound"));
+  duplicates_ = registry.counter("sim_network_duplicates", base);
+  max_packet_bytes_ = registry.gauge("sim_network_max_packet_bytes", base);
+  delivery_latency_us_ =
+      registry.histogram("sim_network_delivery_latency_us", base);
 }
 
 SimTransport& SimNetwork::bind(const Endpoint& endpoint) {
@@ -49,11 +80,11 @@ const LinkParams& SimNetwork::link_for(const Endpoint& src,
 
 void SimNetwork::route(const Endpoint& from, const Endpoint& to,
                        std::span<const uint8_t> data) {
-  max_packet_bytes_ = std::max(max_packet_bytes_, data.size());
+  max_packet_bytes_.set_max(static_cast<double>(data.size()));
   auto target = transports_.find(to);
   if (target == transports_.end()) {
     // No listener: the packet silently vanishes, as with real UDP.
-    ++packets_dropped_;
+    ++dropped_unbound_;
     return;
   }
   const LinkParams& link = link_for(from, to);
@@ -61,12 +92,14 @@ void SimNetwork::route(const Endpoint& from, const Endpoint& to,
   if (rng_.chance(link.loss_probability)) copies = 0;
   if (copies == 1 && rng_.chance(link.duplicate_probability)) copies = 2;
   if (copies == 0) {
-    ++packets_dropped_;
+    ++dropped_loss_;
     return;
   }
+  if (copies == 2) ++duplicates_;
   for (int i = 0; i < copies; ++i) {
     Duration delay = link.latency;
     if (link.jitter > 0) delay += rng_.uniform_int(0, link.jitter);
+    delivery_latency_us_.add(static_cast<double>(delay));
     // The transport object is owned by this network and outlives the loop
     // run, so capturing the raw pointer is safe.
     SimTransport* transport = target->second.get();

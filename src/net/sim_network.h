@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/endpoint.h"
@@ -37,25 +38,27 @@ class SimTransport final : public Transport {
     handler_ = std::move(handler);
   }
 
-  const TrafficStats& stats() const { return stats_; }
+  /// Value snapshot of the registry-backed traffic counters.
+  TrafficStats stats() const { return stats_.snapshot(); }
 
  private:
   friend class SimNetwork;
-  SimTransport(SimNetwork* network, Endpoint local)
-      : network_(network), local_(local) {}
+  SimTransport(SimNetwork* network, Endpoint local);
 
   void deliver(const Endpoint& from, std::vector<uint8_t> data);
 
   SimNetwork* network_;
   Endpoint local_;
   ReceiveHandler handler_;
-  TrafficStats stats_;
+  TrafficInstruments stats_;
 };
 
 class SimNetwork {
  public:
-  SimNetwork(EventLoop& loop, uint64_t seed)
-      : loop_(&loop), rng_(seed) {}
+  /// `metrics` receives the sim_network_* and per-transport transport_*
+  /// instruments (default_registry() when null).
+  SimNetwork(EventLoop& loop, uint64_t seed,
+             metrics::MetricsRegistry* metrics = nullptr);
 
   SimNetwork(const SimNetwork&) = delete;
   SimNetwork& operator=(const SimNetwork&) = delete;
@@ -77,8 +80,14 @@ class SimNetwork {
 
   /// Network-wide counters (delivered + dropped across all paths).
   uint64_t packets_delivered() const { return packets_delivered_; }
-  uint64_t packets_dropped() const { return packets_dropped_; }
-  std::size_t max_packet_bytes() const { return max_packet_bytes_; }
+  /// Total drops: random loss plus packets sent to unbound endpoints.
+  uint64_t packets_dropped() const {
+    return dropped_loss_.value() + dropped_unbound_.value();
+  }
+  uint64_t packets_duplicated() const { return duplicates_; }
+  std::size_t max_packet_bytes() const {
+    return static_cast<std::size_t>(max_packet_bytes_.value());
+  }
 
   EventLoop& loop() { return *loop_; }
 
@@ -90,12 +99,17 @@ class SimNetwork {
 
   EventLoop* loop_;
   util::Rng rng_;
+  metrics::MetricsRegistry* registry_;
+  std::string instance_;
   LinkParams default_link_;
   std::map<std::pair<Endpoint, Endpoint>, LinkParams> link_overrides_;
   std::map<Endpoint, std::unique_ptr<SimTransport>> transports_;
-  uint64_t packets_delivered_ = 0;
-  uint64_t packets_dropped_ = 0;
-  std::size_t max_packet_bytes_ = 0;
+  metrics::Counter packets_delivered_;
+  metrics::Counter dropped_loss_;
+  metrics::Counter dropped_unbound_;
+  metrics::Counter duplicates_;
+  metrics::Gauge max_packet_bytes_;
+  metrics::HistogramMetric delivery_latency_us_;
 };
 
 }  // namespace dnscup::net

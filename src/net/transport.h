@@ -7,9 +7,12 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
+#include <utility>
 
 #include "net/endpoint.h"
 #include "net/time.h"
+#include "util/metrics.h"
 
 namespace dnscup::net {
 
@@ -39,6 +42,42 @@ struct TrafficStats {
   uint64_t bytes_sent = 0;
   uint64_t bytes_received = 0;
   std::size_t max_packet_bytes = 0;
+};
+
+/// Registry-backed counterpart of TrafficStats shared by both transports:
+/// transport_packets{dir=tx|rx} / transport_bytes{dir=tx|rx} counters and a
+/// transport_max_packet_bytes high-water gauge, all labeled with the local
+/// endpoint.  Detached (registry-invisible) until register_in is called.
+struct TrafficInstruments {
+  metrics::Counter packets_sent;
+  metrics::Counter packets_received;
+  metrics::Counter bytes_sent;
+  metrics::Counter bytes_received;
+  metrics::Gauge max_packet_bytes;
+
+  void register_in(metrics::MetricsRegistry& registry,
+                   const std::string& endpoint) {
+    auto labeled = [&](const char* dir) {
+      return metrics::Labels{{"dir", dir}, {"endpoint", endpoint}};
+    };
+    packets_sent = registry.counter("transport_packets", labeled("tx"));
+    packets_received = registry.counter("transport_packets", labeled("rx"));
+    bytes_sent = registry.counter("transport_bytes", labeled("tx"));
+    bytes_received = registry.counter("transport_bytes", labeled("rx"));
+    max_packet_bytes = registry.gauge("transport_max_packet_bytes",
+                                      {{"endpoint", endpoint}});
+  }
+
+  TrafficStats snapshot() const {
+    return TrafficStats{
+        .packets_sent = packets_sent,
+        .packets_received = packets_received,
+        .bytes_sent = bytes_sent,
+        .bytes_received = bytes_received,
+        .max_packet_bytes =
+            static_cast<std::size_t>(max_packet_bytes.value()),
+    };
+  }
 };
 
 }  // namespace dnscup::net

@@ -18,7 +18,8 @@ namespace {
 constexpr uint32_t kLoopbackIp = 0x7F000001;  // 127.0.0.1
 }
 
-util::Result<std::unique_ptr<UdpTransport>> UdpTransport::bind(uint16_t port) {
+util::Result<std::unique_ptr<UdpTransport>> UdpTransport::bind(
+    uint16_t port, metrics::MetricsRegistry* metrics) {
   const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd < 0) {
     return util::make_error(util::ErrorCode::kIo,
@@ -47,11 +48,21 @@ util::Result<std::unique_ptr<UdpTransport>> UdpTransport::bind(uint16_t port) {
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
 
   Endpoint local{kLoopbackIp, ntohs(addr.sin_port)};
-  return std::unique_ptr<UdpTransport>(new UdpTransport(fd, local));
+  return std::unique_ptr<UdpTransport>(new UdpTransport(fd, local, metrics));
 }
 
-UdpTransport::UdpTransport(int fd, Endpoint local) : fd_(fd), local_(local) {
+UdpTransport::UdpTransport(int fd, Endpoint local,
+                           metrics::MetricsRegistry* metrics)
+    : fd_(fd), local_(local) {
+  // Registration happens before the receiver thread starts, so the
+  // (single-threaded) registry is never touched concurrently.
+  stats_.register_in(metrics::resolve(metrics), local_.to_string());
   receiver_ = std::thread([this] { receive_loop(); });
+}
+
+TrafficStats UdpTransport::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_.snapshot();
 }
 
 UdpTransport::~UdpTransport() {
@@ -72,7 +83,7 @@ void UdpTransport::send(const Endpoint& to, std::span<const uint8_t> data) {
   if (n >= 0) {
     ++stats_.packets_sent;
     stats_.bytes_sent += static_cast<uint64_t>(n);
-    stats_.max_packet_bytes = std::max(stats_.max_packet_bytes, data.size());
+    stats_.max_packet_bytes.set_max(static_cast<double>(data.size()));
   }
 }
 

@@ -17,8 +17,10 @@ namespace dnscup::net {
 class UdpTransport final : public Transport {
  public:
   /// Binds a UDP socket on 127.0.0.1.  Port 0 lets the OS pick; the chosen
-  /// port is reflected in local_endpoint().
-  static util::Result<std::unique_ptr<UdpTransport>> bind(uint16_t port);
+  /// port is reflected in local_endpoint().  Traffic counters register in
+  /// `metrics` (default_registry() when null) labeled with the endpoint.
+  static util::Result<std::unique_ptr<UdpTransport>> bind(
+      uint16_t port, metrics::MetricsRegistry* metrics = nullptr);
 
   ~UdpTransport() override;
 
@@ -29,18 +31,19 @@ class UdpTransport final : public Transport {
   void send(const Endpoint& to, std::span<const uint8_t> data) override;
   void set_receive_handler(ReceiveHandler handler) override;
 
-  const TrafficStats& stats() const { return stats_; }
+  /// Value snapshot of the traffic counters (taken under the mutex).
+  TrafficStats stats() const;
 
  private:
-  UdpTransport(int fd, Endpoint local);
+  UdpTransport(int fd, Endpoint local, metrics::MetricsRegistry* metrics);
   void receive_loop();
 
   int fd_;
   Endpoint local_;
   std::atomic<bool> stopping_{false};
-  std::mutex mutex_;  // guards handler_ and stats_
+  mutable std::mutex mutex_;  // guards handler_ and stats_
   ReceiveHandler handler_;
-  TrafficStats stats_;
+  TrafficInstruments stats_;
   std::thread receiver_;
 };
 

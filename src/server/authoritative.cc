@@ -19,12 +19,60 @@ using dns::RRType;
 using dns::Zone;
 
 AuthServer::AuthServer(net::Transport& transport, net::EventLoop& loop,
-                       Role role)
+                       Role role, metrics::MetricsRegistry* metrics)
     : transport_(&transport), loop_(&loop), role_(role) {
+  auto& registry = metrics::resolve(metrics);
+  const metrics::Labels base{
+      {"instance", registry.next_instance("auth_server")}};
+  auto labeled = [&](const char* key, const char* value) {
+    metrics::Labels labels = base;
+    labels.emplace_back(key, value);
+    return labels;
+  };
+  stats_.queries =
+      registry.counter("auth_server_requests", labeled("op", "query"));
+  stats_.updates =
+      registry.counter("auth_server_requests", labeled("op", "update"));
+  stats_.notifies_received =
+      registry.counter("auth_server_requests", labeled("op", "notify"));
+  stats_.notifies_sent = registry.counter("auth_server_notifies_sent", base);
+  stats_.axfr_served = registry.counter("auth_server_transfers",
+                                        labeled("kind", "axfr_served"));
+  stats_.axfr_pulled = registry.counter("auth_server_transfers",
+                                        labeled("kind", "axfr_pulled"));
+  stats_.ixfr_served = registry.counter("auth_server_transfers",
+                                        labeled("kind", "ixfr_served"));
+  stats_.ixfr_fallbacks = registry.counter("auth_server_transfers",
+                                           labeled("kind", "ixfr_fallback"));
+  stats_.ixfr_applied = registry.counter("auth_server_transfers",
+                                         labeled("kind", "ixfr_applied"));
+  stats_.transfer_aborts =
+      registry.counter("auth_server_transfers", labeled("kind", "abort"));
+  stats_.refused =
+      registry.counter("auth_server_errors", labeled("rcode", "refused"));
+  stats_.formerr =
+      registry.counter("auth_server_errors", labeled("rcode", "formerr"));
   transport_->set_receive_handler(
       [this](const net::Endpoint& from, std::span<const uint8_t> data) {
         on_datagram(from, data);
       });
+}
+
+AuthServer::Stats AuthServer::stats() const {
+  return Stats{
+      .queries = stats_.queries,
+      .updates = stats_.updates,
+      .notifies_sent = stats_.notifies_sent,
+      .notifies_received = stats_.notifies_received,
+      .axfr_served = stats_.axfr_served,
+      .axfr_pulled = stats_.axfr_pulled,
+      .ixfr_served = stats_.ixfr_served,
+      .ixfr_fallbacks = stats_.ixfr_fallbacks,
+      .ixfr_applied = stats_.ixfr_applied,
+      .transfer_aborts = stats_.transfer_aborts,
+      .refused = stats_.refused,
+      .formerr = stats_.formerr,
+  };
 }
 
 void AuthServer::add_zone(Zone zone) {

@@ -32,6 +32,7 @@
 #include "dns/zone.h"
 #include "net/event_loop.h"
 #include "net/transport.h"
+#include "util/metrics.h"
 
 namespace dnscup::server {
 
@@ -67,7 +68,8 @@ class AuthServer {
       const dns::Zone& zone, const std::vector<dns::RRsetChange>& changes)>;
 
   AuthServer(net::Transport& transport, net::EventLoop& loop,
-             Role role = Role::kMaster);
+             Role role = Role::kMaster,
+             metrics::MetricsRegistry* metrics = nullptr);
 
   Role role() const { return role_; }
 
@@ -137,10 +139,26 @@ class AuthServer {
   /// path from the paper).  Fires change hooks exactly like a wire update.
   dns::Rcode apply_update(const dns::Message& update);
 
-  const Stats& stats() const { return stats_; }
+  /// Value snapshot of the registry-backed counters.
+  Stats stats() const;
   net::Transport& transport() { return *transport_; }
 
  private:
+  struct Instruments {
+    metrics::Counter queries;
+    metrics::Counter updates;
+    metrics::Counter notifies_sent;
+    metrics::Counter notifies_received;
+    metrics::Counter axfr_served;
+    metrics::Counter axfr_pulled;
+    metrics::Counter ixfr_served;
+    metrics::Counter ixfr_fallbacks;
+    metrics::Counter ixfr_applied;
+    metrics::Counter transfer_aborts;
+    metrics::Counter refused;
+    metrics::Counter formerr;
+  };
+
   dns::Message handle_query(const net::Endpoint& from,
                             const dns::Message& request);
   dns::Message handle_update(const net::Endpoint& from,
@@ -175,7 +193,7 @@ class AuthServer {
   QueryHook query_hook_;
   ExtensionHandler extension_handler_;
   std::vector<ChangeHook> change_hooks_;
-  Stats stats_;
+  Instruments stats_;
   bool round_robin_ = false;
   std::map<dns::Name, uint32_t> rotation_counters_;
 

@@ -4,6 +4,42 @@
 
 namespace dnscup::server {
 
+ResolverCache::ResolverCache(std::size_t capacity,
+                             metrics::MetricsRegistry* metrics)
+    : capacity_(capacity) {
+  auto& registry = metrics::resolve(metrics);
+  const metrics::Labels base{
+      {"instance", registry.next_instance("resolver_cache")}};
+  auto labeled = [&](const char* key, const char* value) {
+    metrics::Labels labels = base;
+    labels.emplace_back(key, value);
+    return labels;
+  };
+  stats_.hits = registry.counter("resolver_cache_lookups",
+                                 labeled("result", "hit"));
+  stats_.misses = registry.counter("resolver_cache_lookups",
+                                   labeled("result", "miss"));
+  stats_.expired = registry.counter("resolver_cache_lookups",
+                                    labeled("result", "expired"));
+  stats_.insertions = registry.counter("resolver_cache_mutations",
+                                       labeled("op", "insert"));
+  stats_.invalidations = registry.counter("resolver_cache_mutations",
+                                          labeled("op", "invalidate"));
+  stats_.evictions = registry.counter("resolver_cache_mutations",
+                                      labeled("op", "evict"));
+}
+
+ResolverCache::Stats ResolverCache::stats() const {
+  return Stats{
+      .hits = stats_.hits,
+      .misses = stats_.misses,
+      .expired = stats_.expired,
+      .insertions = stats_.insertions,
+      .invalidations = stats_.invalidations,
+      .evictions = stats_.evictions,
+  };
+}
+
 const CacheEntry* ResolverCache::lookup(const dns::Name& name,
                                         dns::RRType type, net::SimTime now) {
   auto it = entries_.find(CacheKey{name, type});

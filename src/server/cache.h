@@ -14,6 +14,7 @@
 #include "dns/rr.h"
 #include "net/endpoint.h"
 #include "net/time.h"
+#include "util/metrics.h"
 
 namespace dnscup::server {
 
@@ -66,7 +67,10 @@ class ResolverCache {
   };
 
   /// `capacity` bounds the entry count (LRU eviction); 0 = unbounded.
-  explicit ResolverCache(std::size_t capacity = 0) : capacity_(capacity) {}
+  /// Counters register in `metrics` (default_registry() when null) under
+  /// resolver_cache_* with a per-instance label.
+  explicit ResolverCache(std::size_t capacity = 0,
+                         metrics::MetricsRegistry* metrics = nullptr);
 
   /// Fresh entry lookup; counts hit/miss/expired.  Returns nullptr on miss.
   const CacheEntry* lookup(const dns::Name& name, dns::RRType type,
@@ -93,7 +97,8 @@ class ResolverCache {
   std::size_t purge_expired(net::SimTime now);
 
   std::size_t size() const { return entries_.size(); }
-  const Stats& stats() const { return stats_; }
+  /// Value snapshot of the registry-backed counters.
+  Stats stats() const;
 
   /// Iterates all entries (tests and the DNScup lease module).
   template <typename Fn>
@@ -107,13 +112,24 @@ class ResolverCache {
     std::list<CacheKey>::iterator lru_it;
   };
 
+  /// Registry-backed instruments mirroring Stats field-for-field; bump
+  /// sites write through these handles, stats() materializes the values.
+  struct Instruments {
+    metrics::Counter hits;
+    metrics::Counter misses;
+    metrics::Counter expired;
+    metrics::Counter insertions;
+    metrics::Counter invalidations;
+    metrics::Counter evictions;
+  };
+
   void touch(Node& node, const CacheKey& key);
   void evict_if_needed();
 
   std::size_t capacity_;
   std::unordered_map<CacheKey, Node, CacheKeyHash> entries_;
   std::list<CacheKey> lru_;  // front = most recent
-  Stats stats_;
+  Instruments stats_;
 };
 
 }  // namespace dnscup::server

@@ -57,12 +57,39 @@ CachingResolver::CachingResolver(net::Transport& transport,
       loop_(&loop),
       roots_(std::move(root_servers)),
       config_(config),
-      cache_(config.cache_capacity) {
+      cache_(config.cache_capacity, config.metrics) {
   DNSCUP_ASSERT(!roots_.empty());
+  auto& registry = metrics::resolve(config.metrics);
+  const metrics::Labels base{
+      {"instance", registry.next_instance("resolver")}};
+  auto labeled = [&](const char* key, const char* value) {
+    metrics::Labels labels = base;
+    labels.emplace_back(key, value);
+    return labels;
+  };
+  stats_.client_queries =
+      registry.counter("resolver_queries", labeled("side", "client"));
+  stats_.upstream_queries =
+      registry.counter("resolver_queries", labeled("side", "upstream"));
+  stats_.retransmissions = registry.counter("resolver_retransmissions", base);
+  stats_.timeouts = registry.counter("resolver_timeouts", base);
+  stats_.servfails = registry.counter("resolver_servfails", base);
+  stats_.coalesced = registry.counter("resolver_coalesced", base);
   transport_->set_receive_handler(
       [this](const net::Endpoint& from, std::span<const uint8_t> data) {
         on_datagram(from, data);
       });
+}
+
+CachingResolver::Stats CachingResolver::stats() const {
+  return Stats{
+      .client_queries = stats_.client_queries,
+      .upstream_queries = stats_.upstream_queries,
+      .retransmissions = stats_.retransmissions,
+      .timeouts = stats_.timeouts,
+      .servfails = stats_.servfails,
+      .coalesced = stats_.coalesced,
+  };
 }
 
 void CachingResolver::on_datagram(const net::Endpoint& from,

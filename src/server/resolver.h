@@ -34,6 +34,9 @@ class CachingResolver {
     int max_indirections = 4;      ///< nested NS-address resolutions
     std::size_t cache_capacity = 0;
     uint32_t default_negative_ttl = 60;
+    /// Registry for resolver_* and resolver_cache_* instruments
+    /// (default_registry() when null).
+    metrics::MetricsRegistry* metrics = nullptr;
   };
 
   struct Outcome {
@@ -99,7 +102,8 @@ class CachingResolver {
   void refresh(const dns::Name& qname, dns::RRType qtype, Callback cb);
 
   ResolverCache& cache() { return cache_; }
-  const Stats& stats() const { return stats_; }
+  /// Value snapshot of the registry-backed counters.
+  Stats stats() const;
   net::Transport& transport() { return *transport_; }
   net::EventLoop& loop() { return *loop_; }
 
@@ -150,13 +154,22 @@ class CachingResolver {
                       const std::function<void()>& notify_extension);
   void process_referral(uint16_t qid, const dns::Message& response);
 
+  struct Instruments {
+    metrics::Counter client_queries;
+    metrics::Counter upstream_queries;
+    metrics::Counter retransmissions;
+    metrics::Counter timeouts;
+    metrics::Counter servfails;
+    metrics::Counter coalesced;
+  };
+
   net::Transport* transport_;
   net::EventLoop* loop_;
   std::vector<net::Endpoint> roots_;
   Config config_;
   ResolverCache cache_;
   Extension* extension_ = nullptr;
-  Stats stats_;
+  Instruments stats_;
 
   std::map<uint16_t, Task> tasks_;
   std::map<TaskKey, uint16_t> task_by_key_;

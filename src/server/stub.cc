@@ -25,10 +25,25 @@ StubResolver::StubResolver(net::Transport& transport, net::EventLoop& loop,
       servers_(std::move(nameservers)),
       config_(config) {
   DNSCUP_ASSERT(!servers_.empty());
+  auto& registry = metrics::resolve(config.metrics);
+  const metrics::Labels base{{"instance", registry.next_instance("stub")}};
+  stats_.queries = registry.counter("stub_queries", base);
+  stats_.retransmissions = registry.counter("stub_retransmissions", base);
+  stats_.failovers = registry.counter("stub_failovers", base);
+  stats_.timeouts = registry.counter("stub_timeouts", base);
   transport_->set_receive_handler(
       [this](const net::Endpoint& from, std::span<const uint8_t> data) {
         on_datagram(from, data);
       });
+}
+
+StubResolver::Stats StubResolver::stats() const {
+  return Stats{
+      .queries = stats_.queries,
+      .retransmissions = stats_.retransmissions,
+      .failovers = stats_.failovers,
+      .timeouts = stats_.timeouts,
+  };
 }
 
 void StubResolver::query(const dns::Name& qname, RRType qtype, Callback cb) {

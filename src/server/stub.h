@@ -12,6 +12,7 @@
 #include "dns/message.h"
 #include "net/event_loop.h"
 #include "net/transport.h"
+#include "util/metrics.h"
 
 namespace dnscup::server {
 
@@ -20,6 +21,8 @@ class StubResolver {
   struct Config {
     int max_retries = 1;                ///< retransmissions per server
     net::Duration query_timeout = net::seconds(3);
+    /// Registry for stub_* instruments (default_registry() when null).
+    metrics::MetricsRegistry* metrics = nullptr;
   };
 
   struct Answer {
@@ -49,9 +52,17 @@ class StubResolver {
   /// Sends one query; the callback fires exactly once.
   void query(const dns::Name& qname, dns::RRType qtype, Callback cb);
 
-  const Stats& stats() const { return stats_; }
+  /// Value snapshot of the registry-backed counters.
+  Stats stats() const;
 
  private:
+  struct Instruments {
+    metrics::Counter queries;
+    metrics::Counter retransmissions;
+    metrics::Counter failovers;
+    metrics::Counter timeouts;
+  };
+
   struct Pending {
     dns::Name qname;
     dns::RRType qtype;
@@ -72,7 +83,7 @@ class StubResolver {
   Config config_;
   std::map<uint16_t, Pending> pending_;
   uint16_t next_id_ = 1;
-  Stats stats_;
+  Instruments stats_;
 };
 
 }  // namespace dnscup::server

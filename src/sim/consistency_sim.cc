@@ -32,6 +32,18 @@ ConsistencyResult run_consistency_experiment(const ConsistencyConfig& config) {
   net::EventLoop& loop = testbed.loop();
   const net::SimTime end_time = net::from_seconds(config.duration_s);
 
+  // The experiment driver's own tallies live in the same registry as the
+  // protocol stack's, so one snapshot captures the whole run.
+  metrics::MetricsRegistry& registry = testbed.metrics();
+  metrics::Counter queries = registry.counter("consistency_queries");
+  metrics::Counter fresh_answers =
+      registry.counter("consistency_answers", {{"result", "fresh"}});
+  metrics::Counter stale_answers =
+      registry.counter("consistency_answers", {{"result", "stale"}});
+  metrics::Counter changes = registry.counter("consistency_changes_applied");
+  metrics::HistogramMetric stale_age_s =
+      registry.histogram("consistency_stale_age_s");
+
   ConsistencyResult result;
 
   // Authoritative truth per zone, as known to the experiment driver.
@@ -58,7 +70,7 @@ ConsistencyResult run_consistency_experiment(const ConsistencyConfig& config) {
       const dns::Ipv4 fresh{next_fresh_ip++};
       testbed.repoint_web_host_async(zone, fresh);
       truth[zone] = Truth{fresh, loop.now()};
-      ++result.changes;
+      ++changes;
       schedule_change();
     });
   };
@@ -71,7 +83,7 @@ ConsistencyResult run_consistency_experiment(const ConsistencyConfig& config) {
     if (loop.now() + delay >= end_time) return;
     loop.schedule(delay, [&, cache] {
       const std::size_t zone = zipf.sample(rng);
-      ++result.queries;
+      ++queries;
       testbed.cache(cache).resolve(
           testbed.web_host(zone), dns::RRType::kA,
           [&, zone](const server::CachingResolver::Outcome& outcome) {
@@ -80,14 +92,14 @@ ConsistencyResult run_consistency_experiment(const ConsistencyConfig& config) {
                 outcome.rrset.empty()) {
               return;
             }
-            ++result.answered;
             const auto answered =
                 std::get<dns::ARdata>(outcome.rrset.rdatas.front()).address;
             const Truth& t = truth[zone];
             if (answered != t.address) {
-              ++result.stale_answers;
-              result.stale_age_s.add(net::to_seconds(loop.now() -
-                                                     t.changed_at));
+              ++stale_answers;
+              stale_age_s.add(net::to_seconds(loop.now() - t.changed_at));
+            } else {
+              ++fresh_answers;
             }
           });
       schedule_query(cache);
@@ -98,6 +110,13 @@ ConsistencyResult run_consistency_experiment(const ConsistencyConfig& config) {
   loop.run_until(end_time);
   loop.run_for(net::seconds(30));  // drain in-flight resolutions
 
+  // Everything below is a read-back from the run's registry: the bespoke
+  // tallies this experiment once kept are now ordinary instruments.
+  result.queries = queries.value();
+  result.answered = fresh_answers.value() + stale_answers.value();
+  result.stale_answers = stale_answers.value();
+  result.changes = changes.value();
+  result.stale_age_s = stale_age_s.moments();
   result.stale_fraction =
       result.answered == 0
           ? 0.0
@@ -106,13 +125,14 @@ ConsistencyResult run_consistency_experiment(const ConsistencyConfig& config) {
   result.packets_delivered = testbed.network().packets_delivered();
   result.packets_dropped = testbed.network().packets_dropped();
   if (testbed.dnscup() != nullptr) {
-    const auto& notifier_stats = testbed.dnscup()->notifier().stats();
+    const auto notifier_stats = testbed.dnscup()->notifier().stats();
     result.cache_updates_sent =
         notifier_stats.updates_sent + notifier_stats.retransmissions;
     result.cache_update_acks = notifier_stats.acks_received;
     result.leases_granted = testbed.dnscup()->listener().stats().leases_granted;
     result.notification_failures = notifier_stats.failures;
   }
+  result.snapshot = testbed.metrics_snapshot();
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "sim/testbed.h"
+#include "util/metrics.h"
 #include "util/stats.h"
 
 namespace dnscup::sim {
@@ -50,6 +51,11 @@ struct ConsistencyResult {
   uint64_t cache_update_acks = 0;
   uint64_t leases_granted = 0;
   uint64_t notification_failures = 0;  ///< pushes abandoned after retries
+  /// Sim-time-stamped snapshot of every instrument in the run's private
+  /// registry: the testbed stack plus the experiment's own consistency_*
+  /// counters.  Identically-configured runs produce byte-identical
+  /// serializations.
+  metrics::Snapshot snapshot;
 };
 
 ConsistencyResult run_consistency_experiment(const ConsistencyConfig& config);

@@ -16,6 +16,20 @@ LeaseSimResult simulate_leases(const std::vector<core::DemandEntry>& demands,
   result.duration_s = duration_s;
   double lease_time_integral = 0.0;  // Σ over pairs of total leased time
 
+  // Per-run private registry: replays are independent, so their counters
+  // must not alias across calls.
+  metrics::MetricsRegistry registry;
+  metrics::Counter queries = registry.counter("lease_sim_queries");
+  metrics::Counter absorbed =
+      registry.counter("lease_sim_arrivals", {{"outcome", "lease_hit"}});
+  metrics::Counter messages =
+      registry.counter("lease_sim_arrivals", {{"outcome", "authority"}});
+  metrics::Gauge mean_live = registry.gauge("lease_sim_mean_live_leases");
+  metrics::Gauge storage_pct = registry.gauge("lease_sim_storage_pct");
+  metrics::Gauge query_rate_pct = registry.gauge("lease_sim_query_rate_pct");
+  metrics::HistogramMetric lease_span_s =
+      registry.histogram("lease_sim_lease_span_s");
+
   // Pairs are independent: simulate each pair's renewal process alone.
   for (std::size_t i = 0; i < demands.size(); ++i) {
     const double rate = demands[i].rate;
@@ -26,21 +40,26 @@ LeaseSimResult simulate_leases(const std::vector<core::DemandEntry>& demands,
     double t = rng.exponential(rate);
     double lease_until = 0.0;
     while (t < duration_s) {
-      ++result.queries;
+      ++queries;
       if (t >= lease_until) {
         // No live lease: this query reaches the authority (a renewal under
         // leasing, a plain query under polling).
-        ++result.messages;
+        ++messages;
         if (lease > 0.0) {
           const double end = std::min(t + lease, duration_s);
           lease_time_integral += end - t;
+          lease_span_s.add(end - t);
           lease_until = t + lease;
         }
+      } else {
+        ++absorbed;
       }
       t += rng.exponential(rate);
     }
   }
 
+  result.queries = queries.value();
+  result.messages = messages.value();
   result.message_rate = static_cast<double>(result.messages) / duration_s;
   result.mean_live_leases = lease_time_integral / duration_s;
   result.storage_percentage =
@@ -51,6 +70,11 @@ LeaseSimResult simulate_leases(const std::vector<core::DemandEntry>& demands,
       result.queries == 0 ? 0.0
                           : 100.0 * static_cast<double>(result.messages) /
                                 static_cast<double>(result.queries);
+  mean_live.set(result.mean_live_leases);
+  storage_pct.set(result.storage_percentage);
+  query_rate_pct.set(result.query_rate_percentage);
+  result.snapshot =
+      registry.snapshot(static_cast<int64_t>(duration_s * 1'000'000.0));
   return result;
 }
 

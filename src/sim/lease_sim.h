@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/dynamic_lease.h"
+#include "util/metrics.h"
 
 namespace dnscup::sim {
 
@@ -23,6 +24,10 @@ struct LeaseSimResult {
   double mean_live_leases = 0.0;    ///< time-averaged live-lease count
   double storage_percentage = 0.0;  ///< mean live / pair count, x100
   double query_rate_percentage = 0.0;  ///< messages / queries, x100
+  /// Snapshot of the run's private lease_sim_* instruments, stamped with
+  /// the simulated duration.  Deterministic for a given (demands, lease
+  /// lengths, duration, seed) tuple.
+  metrics::Snapshot snapshot;
 };
 
 /// Replays `duration_s` of Poisson arrivals for every demand pair under

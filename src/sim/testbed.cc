@@ -29,7 +29,14 @@ net::Endpoint admin_ep() { return {net::make_ip(10, 0, 9, 9), 5353}; }
 }  // namespace
 
 Testbed::Testbed(TestbedConfig config)
-    : config_(config), network_(loop_, config.seed) {
+    : config_(config),
+      owned_metrics_(config.metrics != nullptr
+                         ? nullptr
+                         : std::make_unique<metrics::MetricsRegistry>()),
+      metrics_(config.metrics != nullptr ? config.metrics
+                                         : owned_metrics_.get()),
+      loop_(metrics_),
+      network_(loop_, config.seed, metrics_) {
   network_.set_default_link(config_.link);
   master_endpoint_ = master_ep();
 
@@ -45,7 +52,8 @@ Testbed::Testbed(TestbedConfig config)
                        dns::NSRdata{root_soa.mname});
 
   master_ = std::make_unique<server::AuthServer>(
-      network_.bind(master_ep()), loop_, server::AuthServer::Role::kMaster);
+      network_.bind(master_ep()), loop_, server::AuthServer::Role::kMaster,
+      metrics_);
 
   for (std::size_t i = 0; i < config_.zones; ++i) {
     const Name origin =
@@ -97,14 +105,16 @@ Testbed::Testbed(TestbedConfig config)
     master_->add_zone(std::move(zone));
   }
 
-  root_ = std::make_unique<server::AuthServer>(network_.bind(root_endpoint()),
-                                               loop_);
+  root_ = std::make_unique<server::AuthServer>(
+      network_.bind(root_endpoint()), loop_,
+      server::AuthServer::Role::kMaster, metrics_);
   root_->add_zone(std::move(root_zone));
 
   // ---- slaves (NOTIFY + AXFR replication of every zone) ----------------
   for (std::size_t i = 0; i < config_.slaves; ++i) {
     auto slave = std::make_unique<server::AuthServer>(
-        network_.bind(slave_ep(i)), loop_, server::AuthServer::Role::kSlave);
+        network_.bind(slave_ep(i)), loop_, server::AuthServer::Role::kSlave,
+        metrics_);
     slave->set_master(master_ep());
     master_->add_slave(slave_ep(i));
     slaves_.push_back(std::move(slave));
@@ -118,6 +128,7 @@ Testbed::Testbed(TestbedConfig config)
       return max_lease;
     };
     dnscup_config.storage_budget = config_.storage_budget;
+    dnscup_config.metrics = metrics_;
     dnscup_config.notification.max_retries = config_.notification_max_retries;
     if (!config_.auth_key.empty()) {
       authenticator_ =
@@ -129,13 +140,16 @@ Testbed::Testbed(TestbedConfig config)
   }
 
   // ---- caches -----------------------------------------------------------
+  server::CachingResolver::Config resolver_config;
+  resolver_config.metrics = metrics_;
   for (std::size_t i = 0; i < config_.caches; ++i) {
     auto cache = std::make_unique<server::CachingResolver>(
         network_.bind(cache_ep(i)), loop_,
-        std::vector<net::Endpoint>{root_endpoint()});
+        std::vector<net::Endpoint>{root_endpoint()}, resolver_config);
     if (config_.dnscup_enabled) {
       core::LeaseClient::Config client_config;
       client_config.authenticator = authenticator_.get();
+      client_config.metrics = metrics_;
       lease_clients_.push_back(
           std::make_unique<core::LeaseClient>(*cache, client_config));
     }

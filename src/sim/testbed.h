@@ -45,6 +45,10 @@ struct TestbedConfig {
   std::string auth_key;
   net::LinkParams link;  ///< default: 1 ms LAN links
   uint64_t seed = 42;
+  /// Registry every component publishes into.  Null: the testbed owns a
+  /// private registry, so identically-seeded testbeds produce identical
+  /// (byte-for-byte) snapshots regardless of what else ran in-process.
+  metrics::MetricsRegistry* metrics = nullptr;
 };
 
 class Testbed {
@@ -53,6 +57,14 @@ class Testbed {
 
   net::EventLoop& loop() { return loop_; }
   net::SimNetwork& network() { return network_; }
+
+  /// The registry all testbed components publish into.
+  metrics::MetricsRegistry& metrics() { return *metrics_; }
+
+  /// Sim-time-stamped snapshot of every instrument in the testbed.
+  metrics::Snapshot metrics_snapshot() const {
+    return metrics_->snapshot(loop_.now());
+  }
 
   server::AuthServer& root() { return *root_; }
   server::AuthServer& master() { return *master_; }
@@ -94,6 +106,9 @@ class Testbed {
 
  private:
   TestbedConfig config_;
+  /// Owned fallback registry; must precede every metric-publishing member.
+  std::unique_ptr<metrics::MetricsRegistry> owned_metrics_;
+  metrics::MetricsRegistry* metrics_;
   net::EventLoop loop_;
   net::SimNetwork network_;
   std::vector<dns::Name> zone_origins_;

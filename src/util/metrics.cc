@@ -1,0 +1,702 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.h"
+
+namespace dnscup::metrics {
+
+namespace {
+
+const char* kind_name(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter: return "counter";
+    case InstrumentKind::kGauge: return "gauge";
+    case InstrumentKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+/// Shortest-round-trip double formatting (std::to_chars), deterministic for
+/// equal values — the property the byte-identical-snapshot guarantee needs.
+std::string format_double(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  DNSCUP_ASSERT(ec == std::errc());
+  return std::string(buf, ptr);
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_prometheus_labels(std::string& out, const Labels& labels,
+                              std::string_view extra_key = {},
+                              std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return;
+  out += '{';
+  bool first = true;
+  auto emit = [&](std::string_view key, std::string_view value) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    for (const char c : value) {
+      if (c == '\\') {
+        out += "\\\\";
+      } else if (c == '"') {
+        out += "\\\"";
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+  };
+  for (const auto& [key, value] : labels) emit(key, value);
+  if (!extra_key.empty()) emit(extra_key, extra_value);
+  out += '}';
+}
+
+Labels sorted_labels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+/// Reconstructs Welford's M2 from a sample stddev, enabling exact moment
+/// merging of two HistogramData summaries.
+double m2_of(const Snapshot::HistogramData& h) {
+  if (h.count < 2) return 0.0;
+  return h.stddev * h.stddev * static_cast<double>(h.count - 1);
+}
+
+// ---- minimal JSON reader for exactly the schema to_json emits ------------
+
+struct JsonReader {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  util::Result<std::string> string() {
+    skip_ws();
+    if (!consume('"')) {
+      return util::make_error(util::ErrorCode::kMalformed,
+                              "expected string at offset " +
+                                  std::to_string(pos));
+    }
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) {
+        const char esc = text[pos++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) {
+              return util::make_error(util::ErrorCode::kTruncated,
+                                      "bad \\u escape");
+            }
+            unsigned value = 0;
+            const auto res = std::from_chars(text.data() + pos,
+                                             text.data() + pos + 4, value, 16);
+            if (res.ec != std::errc()) {
+              return util::make_error(util::ErrorCode::kMalformed,
+                                      "bad \\u escape");
+            }
+            pos += 4;
+            c = static_cast<char>(value);  // emitted only for < 0x20
+            break;
+          }
+          default: c = esc;
+        }
+      }
+      out += c;
+    }
+    if (!consume('"')) {
+      return util::make_error(util::ErrorCode::kTruncated,
+                              "unterminated string");
+    }
+    return out;
+  }
+
+  util::Result<double> number() {
+    skip_ws();
+    const char* begin = text.data() + pos;
+    const char* end = text.data() + text.size();
+    double value = 0.0;
+    const auto res = std::from_chars(begin, end, value);
+    if (res.ec != std::errc()) {
+      return util::make_error(util::ErrorCode::kMalformed,
+                              "expected number at offset " +
+                                  std::to_string(pos));
+    }
+    pos += static_cast<std::size_t>(res.ptr - begin);
+    return value;
+  }
+};
+
+}  // namespace
+
+// ---- Snapshot ------------------------------------------------------------
+
+const Snapshot::Entry* Snapshot::find(std::string_view name,
+                                      const Labels& labels) const {
+  const Labels sorted = sorted_labels(labels);
+  for (const auto& entry : entries) {
+    if (entry.name == name && entry.labels == sorted) return &entry;
+  }
+  return nullptr;
+}
+
+uint64_t Snapshot::counter_total(std::string_view name) const {
+  uint64_t total = 0;
+  for (const auto& entry : entries) {
+    if (entry.name == name && entry.kind == InstrumentKind::kCounter) {
+      total += entry.counter_value;
+    }
+  }
+  return total;
+}
+
+Snapshot Snapshot::diff(const Snapshot& before, const Snapshot& after) {
+  std::map<std::pair<std::string, Labels>, const Entry*> base;
+  for (const auto& entry : before.entries) {
+    base.emplace(std::make_pair(entry.name, entry.labels), &entry);
+  }
+
+  Snapshot out;
+  out.timestamp_us = after.timestamp_us;
+  out.entries.reserve(after.entries.size());
+  for (const auto& entry : after.entries) {
+    Entry delta = entry;
+    const auto it = base.find({entry.name, entry.labels});
+    if (it != base.end() && it->second->kind == entry.kind) {
+      const Entry& prev = *it->second;
+      switch (entry.kind) {
+        case InstrumentKind::kCounter:
+          delta.counter_value = entry.counter_value >= prev.counter_value
+                                    ? entry.counter_value - prev.counter_value
+                                    : 0;
+          break;
+        case InstrumentKind::kGauge:
+          break;  // gauges report the window-end value
+        case InstrumentKind::kHistogram: {
+          HistogramData& h = delta.histogram;
+          const HistogramData& p = prev.histogram;
+          h.count = h.count >= p.count ? h.count - p.count : 0;
+          h.sum -= p.sum;
+          h.mean = h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count);
+          // stddev/min/max stay as the window-end values: running moments
+          // are not subtractable.
+          if (h.bucket_counts.size() == p.bucket_counts.size()) {
+            for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+              h.bucket_counts[i] = h.bucket_counts[i] >= p.bucket_counts[i]
+                                       ? h.bucket_counts[i] -
+                                             p.bucket_counts[i]
+                                       : 0;
+            }
+          }
+          break;
+        }
+      }
+    }
+    out.entries.push_back(std::move(delta));
+  }
+  return out;
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  timestamp_us = std::max(timestamp_us, other.timestamp_us);
+  std::map<std::pair<std::string, Labels>, Entry*> mine;
+  for (auto& entry : entries) {
+    mine.emplace(std::make_pair(entry.name, entry.labels), &entry);
+  }
+  for (const auto& entry : other.entries) {
+    const auto it = mine.find({entry.name, entry.labels});
+    if (it == mine.end() || it->second->kind != entry.kind) {
+      entries.push_back(entry);
+      continue;
+    }
+    Entry& target = *it->second;
+    switch (entry.kind) {
+      case InstrumentKind::kCounter:
+        target.counter_value += entry.counter_value;
+        break;
+      case InstrumentKind::kGauge:
+        target.gauge_value += entry.gauge_value;
+        break;
+      case InstrumentKind::kHistogram: {
+        HistogramData& a = target.histogram;
+        const HistogramData& b = entry.histogram;
+        if (b.count == 0) break;
+        if (a.count == 0) {
+          a = b;
+          break;
+        }
+        // Welford-style merge of (count, mean, M2); mirrors
+        // util::RunningStats::merge on the summarized form.
+        const double n1 = static_cast<double>(a.count);
+        const double n2 = static_cast<double>(b.count);
+        const double delta = b.mean - a.mean;
+        const double n = n1 + n2;
+        const double m2 = m2_of(a) + m2_of(b) + delta * delta * n1 * n2 / n;
+        a.count += b.count;
+        a.sum += b.sum;
+        a.mean += delta * n2 / n;
+        a.stddev = a.count < 2
+                       ? 0.0
+                       : std::sqrt(m2 / static_cast<double>(a.count - 1));
+        a.min = std::min(a.min, b.min);
+        a.max = std::max(a.max, b.max);
+        if (a.bucket_counts.size() == b.bucket_counts.size()) {
+          for (std::size_t i = 0; i < a.bucket_counts.size(); ++i) {
+            a.bucket_counts[i] += b.bucket_counts[i];
+          }
+        } else {
+          a.bucket_counts.clear();  // incompatible shapes: drop buckets
+        }
+        break;
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+}
+
+std::string Snapshot::to_json() const {
+  std::string out;
+  out.reserve(128 + entries.size() * 96);
+  out += "{\"timestamp_us\":";
+  out += std::to_string(timestamp_us);
+  out += ",\"metrics\":[";
+  bool first = true;
+  for (const auto& entry : entries) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, entry.name);
+    out += ",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [key, value] : entry.labels) {
+      if (!first_label) out += ',';
+      first_label = false;
+      append_json_string(out, key);
+      out += ':';
+      append_json_string(out, value);
+    }
+    out += "},\"type\":\"";
+    out += kind_name(entry.kind);
+    out += '"';
+    switch (entry.kind) {
+      case InstrumentKind::kCounter:
+        out += ",\"value\":";
+        out += std::to_string(entry.counter_value);
+        break;
+      case InstrumentKind::kGauge:
+        out += ",\"value\":";
+        out += format_double(entry.gauge_value);
+        break;
+      case InstrumentKind::kHistogram: {
+        const HistogramData& h = entry.histogram;
+        out += ",\"count\":";
+        out += std::to_string(h.count);
+        out += ",\"sum\":";
+        out += format_double(h.sum);
+        out += ",\"mean\":";
+        out += format_double(h.mean);
+        out += ",\"stddev\":";
+        out += format_double(h.stddev);
+        out += ",\"min\":";
+        out += format_double(h.min);
+        out += ",\"max\":";
+        out += format_double(h.max);
+        if (!h.bucket_counts.empty()) {
+          out += ",\"lo\":";
+          out += format_double(h.lo);
+          out += ",\"hi\":";
+          out += format_double(h.hi);
+          out += ",\"buckets\":[";
+          for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+            if (i > 0) out += ',';
+            out += std::to_string(h.bucket_counts[i]);
+          }
+          out += ']';
+        }
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Snapshot::to_prometheus() const {
+  std::string out;
+  out.reserve(128 + entries.size() * 96);
+  std::string_view last_name;
+  for (const auto& entry : entries) {
+    if (entry.name != last_name) {
+      last_name = entry.name;
+      out += "# TYPE ";
+      out += entry.name;
+      out += ' ';
+      switch (entry.kind) {
+        case InstrumentKind::kCounter: out += "counter"; break;
+        case InstrumentKind::kGauge: out += "gauge"; break;
+        case InstrumentKind::kHistogram:
+          out += entry.histogram.bucket_counts.empty() ? "summary"
+                                                       : "histogram";
+          break;
+      }
+      out += '\n';
+    }
+    switch (entry.kind) {
+      case InstrumentKind::kCounter:
+        out += entry.name;
+        append_prometheus_labels(out, entry.labels);
+        out += ' ';
+        out += std::to_string(entry.counter_value);
+        out += '\n';
+        break;
+      case InstrumentKind::kGauge:
+        out += entry.name;
+        append_prometheus_labels(out, entry.labels);
+        out += ' ';
+        out += format_double(entry.gauge_value);
+        out += '\n';
+        break;
+      case InstrumentKind::kHistogram: {
+        const HistogramData& h = entry.histogram;
+        if (!h.bucket_counts.empty()) {
+          // Cumulative le buckets; values above hi land in +Inf only.
+          uint64_t cumulative = 0;
+          const double width =
+              (h.hi - h.lo) / static_cast<double>(h.bucket_counts.size());
+          for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+            cumulative += h.bucket_counts[i];
+            out += entry.name;
+            out += "_bucket";
+            append_prometheus_labels(
+                out, entry.labels, "le",
+                format_double(h.lo + width * static_cast<double>(i + 1)));
+            out += ' ';
+            out += std::to_string(cumulative);
+            out += '\n';
+          }
+          out += entry.name;
+          out += "_bucket";
+          append_prometheus_labels(out, entry.labels, "le", "+Inf");
+          out += ' ';
+          out += std::to_string(h.count);
+          out += '\n';
+        }
+        out += entry.name;
+        out += "_sum";
+        append_prometheus_labels(out, entry.labels);
+        out += ' ';
+        out += format_double(h.sum);
+        out += '\n';
+        out += entry.name;
+        out += "_count";
+        append_prometheus_labels(out, entry.labels);
+        out += ' ';
+        out += std::to_string(h.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+util::Result<Snapshot> Snapshot::from_json(std::string_view text) {
+  JsonReader reader{text};
+  Snapshot out;
+  if (!reader.consume('{')) {
+    return util::make_error(util::ErrorCode::kMalformed, "expected '{'");
+  }
+  DNSCUP_ASSIGN_OR_RETURN(const std::string ts_key, reader.string());
+  if (ts_key != "timestamp_us" || !reader.consume(':')) {
+    return util::make_error(util::ErrorCode::kMalformed,
+                            "expected timestamp_us");
+  }
+  DNSCUP_ASSIGN_OR_RETURN(const double ts, reader.number());
+  out.timestamp_us = static_cast<int64_t>(ts);
+  if (!reader.consume(',')) {
+    return util::make_error(util::ErrorCode::kMalformed, "expected ','");
+  }
+  DNSCUP_ASSIGN_OR_RETURN(const std::string metrics_key, reader.string());
+  if (metrics_key != "metrics" || !reader.consume(':') ||
+      !reader.consume('[')) {
+    return util::make_error(util::ErrorCode::kMalformed,
+                            "expected metrics array");
+  }
+  if (!reader.consume(']')) {
+    do {
+      if (!reader.consume('{')) {
+        return util::make_error(util::ErrorCode::kMalformed,
+                                "expected metric object");
+      }
+      Entry entry;
+      std::string type;
+      bool done = false;
+      while (!done) {
+        DNSCUP_ASSIGN_OR_RETURN(const std::string key, reader.string());
+        if (!reader.consume(':')) {
+          return util::make_error(util::ErrorCode::kMalformed,
+                                  "expected ':'");
+        }
+        if (key == "name") {
+          DNSCUP_ASSIGN_OR_RETURN(entry.name, reader.string());
+        } else if (key == "labels") {
+          if (!reader.consume('{')) {
+            return util::make_error(util::ErrorCode::kMalformed,
+                                    "expected labels object");
+          }
+          if (!reader.consume('}')) {
+            do {
+              DNSCUP_ASSIGN_OR_RETURN(std::string label_key, reader.string());
+              if (!reader.consume(':')) {
+                return util::make_error(util::ErrorCode::kMalformed,
+                                        "expected ':' in labels");
+              }
+              DNSCUP_ASSIGN_OR_RETURN(std::string label_value,
+                                      reader.string());
+              entry.labels.emplace_back(std::move(label_key),
+                                        std::move(label_value));
+            } while (reader.consume(','));
+            if (!reader.consume('}')) {
+              return util::make_error(util::ErrorCode::kMalformed,
+                                      "unterminated labels");
+            }
+          }
+        } else if (key == "type") {
+          DNSCUP_ASSIGN_OR_RETURN(type, reader.string());
+        } else if (key == "buckets") {
+          if (!reader.consume('[')) {
+            return util::make_error(util::ErrorCode::kMalformed,
+                                    "expected bucket array");
+          }
+          if (!reader.consume(']')) {
+            do {
+              DNSCUP_ASSIGN_OR_RETURN(const double v, reader.number());
+              entry.histogram.bucket_counts.push_back(
+                  static_cast<uint64_t>(v));
+            } while (reader.consume(','));
+            if (!reader.consume(']')) {
+              return util::make_error(util::ErrorCode::kMalformed,
+                                      "unterminated bucket array");
+            }
+          }
+        } else {
+          DNSCUP_ASSIGN_OR_RETURN(const double v, reader.number());
+          if (key == "value") {
+            entry.counter_value = static_cast<uint64_t>(v);
+            entry.gauge_value = v;
+          } else if (key == "count") {
+            entry.histogram.count = static_cast<uint64_t>(v);
+          } else if (key == "sum") {
+            entry.histogram.sum = v;
+          } else if (key == "mean") {
+            entry.histogram.mean = v;
+          } else if (key == "stddev") {
+            entry.histogram.stddev = v;
+          } else if (key == "min") {
+            entry.histogram.min = v;
+          } else if (key == "max") {
+            entry.histogram.max = v;
+          } else if (key == "lo") {
+            entry.histogram.lo = v;
+          } else if (key == "hi") {
+            entry.histogram.hi = v;
+          } else {
+            return util::make_error(util::ErrorCode::kUnsupported,
+                                    "unknown key: " + key);
+          }
+        }
+        if (!reader.consume(',')) done = true;
+      }
+      if (!reader.consume('}')) {
+        return util::make_error(util::ErrorCode::kMalformed,
+                                "unterminated metric object");
+      }
+      if (type == "counter") {
+        entry.kind = InstrumentKind::kCounter;
+        entry.gauge_value = 0.0;
+      } else if (type == "gauge") {
+        entry.kind = InstrumentKind::kGauge;
+        entry.counter_value = 0;
+      } else if (type == "histogram") {
+        entry.kind = InstrumentKind::kHistogram;
+        entry.counter_value = 0;
+        entry.gauge_value = 0.0;
+      } else {
+        return util::make_error(util::ErrorCode::kMalformed,
+                                "bad metric type: " + type);
+      }
+      out.entries.push_back(std::move(entry));
+    } while (reader.consume(','));
+    if (!reader.consume(']')) {
+      return util::make_error(util::ErrorCode::kMalformed,
+                              "unterminated metrics array");
+    }
+  }
+  if (!reader.consume('}')) {
+    return util::make_error(util::ErrorCode::kMalformed, "expected '}'");
+  }
+  return out;
+}
+
+// ---- MetricsRegistry -----------------------------------------------------
+
+Counter MetricsRegistry::counter(std::string_view name, Labels labels) {
+  auto key = std::make_pair(std::string(name), sorted_labels(std::move(labels)));
+  auto [it, inserted] = instruments_.try_emplace(std::move(key));
+  Instrument& instrument = it->second;
+  if (inserted) {
+    instrument.kind = InstrumentKind::kCounter;
+    instrument.counter = std::make_shared<detail::CounterCell>();
+  }
+  DNSCUP_ASSERT(instrument.kind == InstrumentKind::kCounter &&
+                "metric re-registered with a different kind");
+  return Counter(instrument.counter);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  auto key = std::make_pair(std::string(name), sorted_labels(std::move(labels)));
+  auto [it, inserted] = instruments_.try_emplace(std::move(key));
+  Instrument& instrument = it->second;
+  if (inserted) {
+    instrument.kind = InstrumentKind::kGauge;
+    instrument.gauge = std::make_shared<detail::GaugeCell>();
+  }
+  DNSCUP_ASSERT(instrument.kind == InstrumentKind::kGauge &&
+                "metric re-registered with a different kind");
+  return Gauge(instrument.gauge);
+}
+
+HistogramMetric MetricsRegistry::histogram(std::string_view name,
+                                           Labels labels,
+                                           HistogramOptions options) {
+  auto key = std::make_pair(std::string(name), sorted_labels(std::move(labels)));
+  auto [it, inserted] = instruments_.try_emplace(std::move(key));
+  Instrument& instrument = it->second;
+  if (inserted) {
+    instrument.kind = InstrumentKind::kHistogram;
+    instrument.histogram = std::make_shared<detail::HistogramCell>();
+    instrument.histogram->options = options;
+    if (options.bucketed()) {
+      instrument.histogram->buckets.emplace(options.lo, options.hi,
+                                            options.bins);
+    }
+  }
+  DNSCUP_ASSERT(instrument.kind == InstrumentKind::kHistogram &&
+                "metric re-registered with a different kind");
+  return HistogramMetric(instrument.histogram);
+}
+
+std::string MetricsRegistry::next_instance(std::string_view scope) {
+  auto it = instance_counters_.find(scope);
+  if (it == instance_counters_.end()) {
+    it = instance_counters_.emplace(std::string(scope), 0).first;
+  }
+  return std::to_string(it->second++);
+}
+
+Snapshot MetricsRegistry::snapshot(int64_t timestamp_us) const {
+  Snapshot out;
+  out.timestamp_us = timestamp_us;
+  out.entries.reserve(instruments_.size());
+  for (const auto& [key, instrument] : instruments_) {
+    Snapshot::Entry entry;
+    entry.name = key.first;
+    entry.labels = key.second;
+    entry.kind = instrument.kind;
+    switch (instrument.kind) {
+      case InstrumentKind::kCounter:
+        entry.counter_value = instrument.counter->value;
+        break;
+      case InstrumentKind::kGauge:
+        entry.gauge_value = instrument.gauge->value;
+        break;
+      case InstrumentKind::kHistogram: {
+        const detail::HistogramCell& cell = *instrument.histogram;
+        Snapshot::HistogramData& h = entry.histogram;
+        h.count = cell.moments.count();
+        h.sum = cell.moments.sum();
+        h.mean = cell.moments.mean();
+        h.stddev = cell.moments.stddev();
+        h.min = cell.moments.min();
+        h.max = cell.moments.max();
+        if (cell.buckets.has_value()) {
+          h.lo = cell.options.lo;
+          h.hi = cell.options.hi;
+          h.bucket_counts.resize(cell.buckets->bins());
+          for (std::size_t i = 0; i < cell.buckets->bins(); ++i) {
+            h.bucket_counts[i] = cell.buckets->bin_count(i);
+          }
+        }
+        break;
+      }
+    }
+    out.entries.push_back(std::move(entry));
+  }
+  // std::map iteration is already (name, labels)-sorted.
+  return out;
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace dnscup::metrics

@@ -1,0 +1,79 @@
+// DnscupAuthority configuration tests: normalization of the deprecated
+// always_grant alias into Config::policy, and the authority-level
+// occupancy gauges published at construction.
+#include "core/dnscup_authority.h"
+
+#include <gtest/gtest.h>
+
+#include "net/sim_network.h"
+
+namespace dnscup::core {
+namespace {
+
+using PolicyKind = DnscupAuthority::PolicyKind;
+
+struct Fixture {
+  net::EventLoop loop;
+  net::SimNetwork network{loop, /*seed=*/1};
+  server::AuthServer server{network.bind({net::make_ip(10, 0, 0, 1), 53}),
+                            loop};
+
+  DnscupAuthority make(DnscupAuthority::Config config) {
+    if (config.max_lease == nullptr) {
+      config.max_lease = [](const dns::Name&, dns::RRType) {
+        return net::hours(1);
+      };
+    }
+    return DnscupAuthority(server, loop, std::move(config));
+  }
+};
+
+TEST(DnscupAuthorityConfig, DefaultPolicyIsStorageBudget) {
+  Fixture fx;
+  DnscupAuthority authority = fx.make({});
+  EXPECT_EQ(authority.policy_kind(), PolicyKind::kStorageBudget);
+}
+
+// Regression: the deprecated alias used to be consulted only inside
+// make_policy, leaving policy_kind() (and anything else reading
+// Config::policy) reporting kStorageBudget while an AlwaysGrantPolicy was
+// actually in effect.  The constructor now normalizes the alias into
+// `policy` so the two can never disagree.
+TEST(DnscupAuthorityConfig, AlwaysGrantAliasNormalizedIntoPolicy) {
+  Fixture fx;
+  DnscupAuthority::Config config;
+  config.always_grant = true;
+  DnscupAuthority authority = fx.make(std::move(config));
+  EXPECT_EQ(authority.policy_kind(), PolicyKind::kAlwaysGrant);
+}
+
+TEST(DnscupAuthorityConfig, ExplicitPolicyKeptWhenAliasUnset) {
+  Fixture fx;
+  DnscupAuthority::Config config;
+  config.policy = PolicyKind::kCommBudget;
+  DnscupAuthority authority = fx.make(std::move(config));
+  EXPECT_EQ(authority.policy_kind(), PolicyKind::kCommBudget);
+}
+
+TEST(DnscupAuthorityMetrics, OccupancyGaugesPublishedAtConstruction) {
+  Fixture fx;
+  metrics::MetricsRegistry registry;
+  DnscupAuthority::Config config;
+  config.metrics = &registry;
+  config.storage_budget = 1234;
+  DnscupAuthority authority = fx.make(std::move(config));
+  authority.refresh_gauges();
+
+  const metrics::Snapshot snap = registry.snapshot();
+  const auto* budget = snap.find("authority_storage_budget");
+  ASSERT_NE(budget, nullptr);
+  EXPECT_DOUBLE_EQ(budget->gauge_value, 1234.0);
+  const auto* live = snap.find("authority_live_leases");
+  ASSERT_NE(live, nullptr);
+  EXPECT_DOUBLE_EQ(live->gauge_value, 0.0);
+  // The wrapped modules registered their families in the same registry.
+  EXPECT_NE(snap.find("detection_change_events"), nullptr);
+}
+
+}  // namespace
+}  // namespace dnscup::core

@@ -138,6 +138,54 @@ TEST(EventLoop, ScheduleAtAbsoluteTime) {
   EXPECT_EQ(observed, seconds(7));
 }
 
+TEST(EventLoop, PendingLiveTracksScheduleFireAndCancel) {
+  EventLoop loop;
+  EXPECT_EQ(loop.pending_live(), 0u);
+  TimerHandle a = loop.schedule(seconds(1), [] {});
+  TimerHandle b = loop.schedule(seconds(2), [] {});
+  loop.schedule(seconds(3), [] {});
+  EXPECT_EQ(loop.pending_live(), 3u);
+
+  b.cancel();  // cancellation decrements immediately, not at fire time
+  EXPECT_EQ(loop.pending_live(), 2u);
+  b.cancel();  // double-cancel must not decrement twice
+  EXPECT_EQ(loop.pending_live(), 2u);
+
+  loop.run_until(seconds(1));
+  EXPECT_EQ(loop.pending_live(), 1u);
+  a.cancel();  // cancel after fire: already counted down, no change
+  EXPECT_EQ(loop.pending_live(), 1u);
+
+  loop.run_all();
+  EXPECT_EQ(loop.pending_live(), 0u);
+}
+
+TEST(EventLoop, MetricsCountersTrackActivity) {
+  metrics::MetricsRegistry registry;
+  EventLoop loop(&registry);
+  TimerHandle h = loop.schedule(seconds(1), [] {});
+  loop.schedule(seconds(2), [] {});
+  h.cancel();
+  loop.run_all();
+  EXPECT_EQ(loop.timers_scheduled(), 2u);
+  EXPECT_EQ(loop.timers_cancelled(), 1u);
+  EXPECT_EQ(loop.events_fired(), 1u);
+
+  const metrics::Snapshot snap = registry.snapshot(loop.now());
+  const auto* fired =
+      snap.find("event_loop_events_fired", {{"instance", "0"}});
+  ASSERT_NE(fired, nullptr);
+  EXPECT_EQ(fired->counter_value, 1u);
+  const auto* pending =
+      snap.find("event_loop_pending", {{"instance", "0"}});
+  ASSERT_NE(pending, nullptr);
+  EXPECT_DOUBLE_EQ(pending->gauge_value, 0.0);
+  const auto* latency =
+      snap.find("event_loop_schedule_latency_us", {{"instance", "0"}});
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->histogram.count, 2u);
+}
+
 TEST(EventLoop, ManyEventsStressOrder) {
   EventLoop loop;
   SimTime last = -1;

@@ -1,0 +1,273 @@
+// Unit tests for the unified telemetry layer (util/metrics.h): instrument
+// semantics, labeled families, snapshot algebra (diff/merge), both
+// serializers, and end-to-end snapshot determinism across identically
+// seeded simulation runs.
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/consistency_sim.h"
+#include "sim/lease_sim.h"
+
+namespace dnscup::metrics {
+namespace {
+
+TEST(Counter, SharesRegistryCell) {
+  MetricsRegistry registry;
+  Counter a = registry.counter("requests");
+  Counter b = registry.counter("requests");
+  ++a;
+  a += 4;
+  b.inc();
+  EXPECT_EQ(a.value(), 6u);
+  EXPECT_EQ(b.value(), 6u);
+  EXPECT_EQ(static_cast<uint64_t>(a), 6u);
+}
+
+TEST(Counter, DetachedDefaultHandleIsUsable) {
+  Counter detached;
+  ++detached;
+  EXPECT_EQ(detached.value(), 1u);
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.instrument_count(), 0u);
+}
+
+TEST(Gauge, SetAddAndHighWaterMark) {
+  MetricsRegistry registry;
+  Gauge g = registry.gauge("occupancy");
+  g.set(10.0);
+  g.add(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  g.set_max(5.0);  // below current: no change
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  g.set_max(12.0);
+  EXPECT_DOUBLE_EQ(g.value(), 12.0);
+}
+
+TEST(HistogramMetric, MomentsOnly) {
+  MetricsRegistry registry;
+  HistogramMetric h = registry.histogram("latency_us");
+  h.add(1.0);
+  h.add(3.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  EXPECT_EQ(h.buckets(), nullptr);
+}
+
+TEST(HistogramMetric, Bucketed) {
+  MetricsRegistry registry;
+  HistogramMetric h =
+      registry.histogram("size_bytes", {}, HistogramOptions{0.0, 100.0, 10});
+  h.add(5.0);
+  h.add(15.0);
+  h.add(15.0);
+  ASSERT_NE(h.buckets(), nullptr);
+  EXPECT_EQ(h.buckets()->bin_count(0), 1u);
+  EXPECT_EQ(h.buckets()->bin_count(1), 2u);
+}
+
+TEST(Registry, LabelOrderDoesNotMatter) {
+  MetricsRegistry registry;
+  Counter a = registry.counter("rpc", {{"dir", "tx"}, {"peer", "ns1"}});
+  Counter b = registry.counter("rpc", {{"peer", "ns1"}, {"dir", "tx"}});
+  ++a;
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(registry.instrument_count(), 1u);
+}
+
+TEST(Registry, LabeledFamilyMembersAreDistinct) {
+  MetricsRegistry registry;
+  Counter sent = registry.counter("msgs", {{"result", "sent"}});
+  Counter failed = registry.counter("msgs", {{"result", "failed"}});
+  sent += 3;
+  ++failed;
+  EXPECT_EQ(sent.value(), 3u);
+  EXPECT_EQ(failed.value(), 1u);
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_total("msgs"), 4u);
+}
+
+TEST(Registry, NextInstanceIsSequentialPerScope) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.next_instance("loop"), "0");
+  EXPECT_EQ(registry.next_instance("loop"), "1");
+  EXPECT_EQ(registry.next_instance("net"), "0");
+}
+
+TEST(Snapshot, EntriesSortedAndFindable) {
+  MetricsRegistry registry;
+  registry.counter("zeta").inc(1);
+  registry.counter("alpha", {{"k", "v"}}).inc(2);
+  registry.gauge("alpha").set(1.5);
+  const Snapshot snap = registry.snapshot(123);
+  EXPECT_EQ(snap.timestamp_us, 123);
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].name, "alpha");
+  EXPECT_TRUE(snap.entries[0].labels.empty());  // {} sorts before {{"k","v"}}
+  EXPECT_EQ(snap.entries[2].name, "zeta");
+
+  const Snapshot::Entry* labeled = snap.find("alpha", {{"k", "v"}});
+  ASSERT_NE(labeled, nullptr);
+  EXPECT_EQ(labeled->counter_value, 2u);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+TEST(Snapshot, DiffSubtractsCountersKeepsGauges) {
+  MetricsRegistry registry;
+  Counter c = registry.counter("events");
+  Gauge g = registry.gauge("depth");
+  HistogramMetric h = registry.histogram("lat");
+  c += 10;
+  g.set(5.0);
+  h.add(2.0);
+  const Snapshot before = registry.snapshot(100);
+  c += 7;
+  g.set(9.0);
+  h.add(4.0);
+  h.add(6.0);
+  const Snapshot after = registry.snapshot(200);
+
+  const Snapshot delta = Snapshot::diff(before, after);
+  EXPECT_EQ(delta.timestamp_us, 200);
+  EXPECT_EQ(delta.find("events")->counter_value, 7u);
+  EXPECT_DOUBLE_EQ(delta.find("depth")->gauge_value, 9.0);
+  EXPECT_EQ(delta.find("lat")->histogram.count, 2u);
+  EXPECT_DOUBLE_EQ(delta.find("lat")->histogram.sum, 10.0);
+  EXPECT_DOUBLE_EQ(delta.find("lat")->histogram.mean, 5.0);
+}
+
+TEST(Snapshot, DiffClampsBackwardCounters) {
+  MetricsRegistry before_reg;
+  MetricsRegistry after_reg;
+  before_reg.counter("n").inc(10);
+  after_reg.counter("n").inc(3);  // "after" below "before": clamp to zero
+  const Snapshot delta =
+      Snapshot::diff(before_reg.snapshot(), after_reg.snapshot());
+  EXPECT_EQ(delta.find("n")->counter_value, 0u);
+}
+
+TEST(Snapshot, MergeAddsCountersAndMomentsExactly) {
+  MetricsRegistry shard_a;
+  MetricsRegistry shard_b;
+  shard_a.counter("n").inc(2);
+  shard_b.counter("n").inc(5);
+  shard_b.counter("only_b").inc(1);
+  HistogramMetric ha = shard_a.histogram("lat");
+  HistogramMetric hb = shard_b.histogram("lat");
+  util::RunningStats reference;
+  for (double x : {1.0, 2.0, 7.0}) {
+    ha.add(x);
+    reference.add(x);
+  }
+  for (double x : {3.0, 11.0}) {
+    hb.add(x);
+    reference.add(x);
+  }
+
+  Snapshot merged = shard_a.snapshot();
+  merged.merge(shard_b.snapshot());
+  EXPECT_EQ(merged.find("n")->counter_value, 7u);
+  EXPECT_EQ(merged.find("only_b")->counter_value, 1u);
+  const Snapshot::HistogramData& lat = merged.find("lat")->histogram;
+  EXPECT_EQ(lat.count, reference.count());
+  EXPECT_DOUBLE_EQ(lat.mean, reference.mean());
+  EXPECT_NEAR(lat.stddev, reference.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(lat.min, 1.0);
+  EXPECT_DOUBLE_EQ(lat.max, 11.0);
+}
+
+TEST(Snapshot, MergeAddsBucketCounts) {
+  const HistogramOptions options{0.0, 10.0, 5};
+  MetricsRegistry shard_a;
+  MetricsRegistry shard_b;
+  shard_a.histogram("h", {}, options).add(1.0);
+  shard_b.histogram("h", {}, options).add(1.5);
+  shard_b.histogram("h", {}, options).add(9.0);
+  Snapshot merged = shard_a.snapshot();
+  merged.merge(shard_b.snapshot());
+  const Snapshot::HistogramData& h = merged.find("h")->histogram;
+  ASSERT_EQ(h.bucket_counts.size(), 5u);
+  EXPECT_EQ(h.bucket_counts[0], 2u);
+  EXPECT_EQ(h.bucket_counts[4], 1u);
+}
+
+TEST(Snapshot, JsonRoundTrip) {
+  MetricsRegistry registry;
+  registry.counter("c", {{"weird", "q\"uo\\te\n"}}).inc(42);
+  registry.gauge("g").set(0.1);
+  HistogramMetric h =
+      registry.histogram("h", {}, HistogramOptions{0.0, 4.0, 2});
+  h.add(1.0);
+  h.add(3.7);
+  const Snapshot original = registry.snapshot(987654);
+
+  const auto parsed = Snapshot::from_json(original.to_json());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value(), original);
+  // Shortest-round-trip doubles: a second serialization is byte-identical.
+  EXPECT_EQ(parsed.value().to_json(), original.to_json());
+}
+
+TEST(Snapshot, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(Snapshot::from_json("").ok());
+  EXPECT_FALSE(Snapshot::from_json("{\"metrics\":").ok());
+  EXPECT_FALSE(Snapshot::from_json("[1,2,3]").ok());
+}
+
+TEST(Snapshot, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.counter("dns_queries", {{"side", "client"}}).inc(5);
+  registry.gauge("live_leases").set(3.0);
+  HistogramMetric h =
+      registry.histogram("push_lat", {}, HistogramOptions{0.0, 2.0, 2});
+  h.add(0.5);
+  h.add(1.5);
+  const std::string text = registry.snapshot().to_prometheus();
+  EXPECT_NE(text.find("# TYPE dns_queries counter"), std::string::npos);
+  EXPECT_NE(text.find("dns_queries{side=\"client\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE live_leases gauge"), std::string::npos);
+  EXPECT_NE(text.find("push_lat_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("push_lat_count 2"), std::string::npos);
+}
+
+// The tentpole's end-to-end guarantee: identically configured, identically
+// seeded runs of the full protocol stack produce byte-identical snapshot
+// serializations (private per-run registries, sorted entries, shortest
+// round-trip doubles).
+TEST(SnapshotDeterminism, ConsistencyExperimentByteIdentical) {
+  sim::ConsistencyConfig config;
+  config.zones = 3;
+  config.caches = 1;
+  config.duration_s = 120.0;
+  config.queries_per_cache_per_s = 0.5;
+  config.mean_change_interval_s = 30.0;
+  config.seed = 7;
+  const auto first = run_consistency_experiment(config);
+  const auto second = run_consistency_experiment(config);
+  EXPECT_GT(first.queries, 0u);
+  EXPECT_EQ(first.snapshot, second.snapshot);
+  EXPECT_EQ(first.snapshot.to_json(), second.snapshot.to_json());
+  EXPECT_EQ(first.snapshot.to_prometheus(), second.snapshot.to_prometheus());
+}
+
+TEST(SnapshotDeterminism, LeaseSimByteIdentical) {
+  std::vector<core::DemandEntry> demands(4);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    demands[i].record = i;
+    demands[i].cache = 0;
+    demands[i].rate = 0.01 * static_cast<double>(i + 1);
+    demands[i].max_lease = 3600.0;
+  }
+  const std::vector<double> leases{0.0, 60.0, 600.0, 3600.0};
+  const auto first = sim::simulate_leases(demands, leases, 3600.0, 11);
+  const auto second = sim::simulate_leases(demands, leases, 3600.0, 11);
+  EXPECT_GT(first.queries, 0u);
+  EXPECT_EQ(first.snapshot.to_json(), second.snapshot.to_json());
+  EXPECT_EQ(first.snapshot.counter_total("lease_sim_queries"),
+            first.queries);
+}
+
+}  // namespace
+}  // namespace dnscup::metrics

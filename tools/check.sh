@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build and run the full test suite, then
+# repeat under AddressSanitizer + UBSan (the DNSCUP_SANITIZE CMake option).
+#
+# Usage:
+#   tools/check.sh                # plain Release build + ctest
+#   tools/check.sh --sanitize    # additionally build/test with asan+ubsan
+#   JOBS=4 tools/check.sh        # override build parallelism
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+jobs=${JOBS:-$(nproc)}
+sanitize=0
+[[ "${1:-}" == "--sanitize" ]] && sanitize=1
+
+run_suite() {
+  local build_dir=$1
+  shift
+  cmake -B "$build_dir" -S "$repo_root" "$@"
+  cmake --build "$build_dir" -j "$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+echo "== tier-1: release build + ctest =="
+run_suite "$repo_root/build"
+
+if [[ $sanitize -eq 1 ]]; then
+  echo "== tier-1 under address,undefined sanitizers =="
+  run_suite "$repo_root/build-sanitize" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDNSCUP_SANITIZE=address,undefined
+fi
+
+echo "== all checks passed =="

@@ -8,9 +8,14 @@
 //   dnscupd --port 5300 --zone example.com=example.com.zone \
 //           [--zone other.org=other.zone] [--max-lease 3600] [--no-dnscup]
 //           [--round-robin] [--verbose]
+//           [--metrics-out metrics.json] [--metrics-interval 10]
 //
 // The daemon prints one status line per second with lease/track-file
-// statistics; SIGINT exits.  Pair it with `dnsq` for interactive queries:
+// statistics; SIGINT exits.  With --metrics-out it also dumps a JSON
+// snapshot of every registry instrument (queries, lease grants,
+// CACHE-UPDATE pushes, transport traffic, event-loop depth, ...) to the
+// given file every --metrics-interval seconds and once at shutdown.
+// Pair it with `dnsq` for interactive queries:
 //   dnsq 127.0.0.1:5300 www.example.com A
 #include <atomic>
 #include <chrono>
@@ -18,6 +23,7 @@
 #include <cstdio>
 #include <cstring>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -26,6 +32,7 @@
 #include "net/udp_transport.h"
 #include "server/authoritative.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 using namespace dnscup;
 
@@ -42,6 +49,8 @@ struct Options {
   bool dnscup = true;
   bool round_robin = false;
   bool verbose = false;
+  std::string metrics_out;        ///< empty: no metrics dumps
+  int64_t metrics_interval_s = 10;
 };
 
 bool parse_args(int argc, char** argv, Options& opts) {
@@ -65,6 +74,15 @@ bool parse_args(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (v == nullptr) return false;
       opts.max_lease_s = std::atoll(v);
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.metrics_out = v;
+    } else if (arg == "--metrics-interval") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.metrics_interval_s = std::atoll(v);
+      if (opts.metrics_interval_s <= 0) return false;
     } else if (arg == "--no-dnscup") {
       opts.dnscup = false;
     } else if (arg == "--round-robin") {
@@ -105,6 +123,22 @@ class LockedTransport final : public net::Transport {
   std::mutex* mutex_;
 };
 
+/// Writes the snapshot JSON to `path` (truncate + replace; callers hold
+/// the stack mutex, so the snapshot itself is consistent).
+void dump_metrics(const metrics::Snapshot& snapshot,
+                  const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "metrics dump failed: cannot open %s\n",
+                 path.c_str());
+    return;
+  }
+  const std::string json = snapshot.to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -114,22 +148,25 @@ int main(int argc, char** argv) {
         stderr,
         "usage: dnscupd --port N --zone origin=path [--zone ...]\n"
         "               [--max-lease seconds] [--no-dnscup]\n"
-        "               [--round-robin] [--verbose]\n");
+        "               [--round-robin] [--verbose]\n"
+        "               [--metrics-out file] [--metrics-interval seconds]\n");
     return 2;
   }
   if (opts.verbose) util::set_log_level(util::LogLevel::kDebug);
 
-  auto transport = net::UdpTransport::bind(opts.port);
+  metrics::MetricsRegistry registry;
+  auto transport = net::UdpTransport::bind(opts.port, &registry);
   if (!transport.ok()) {
     std::fprintf(stderr, "bind failed: %s\n",
                  transport.error().to_string().c_str());
     return 1;
   }
 
-  net::EventLoop loop;
+  net::EventLoop loop(&registry);
   std::mutex mutex;
   LockedTransport locked(*transport.value(), mutex);
-  server::AuthServer authority(locked, loop);
+  server::AuthServer authority(locked, loop, server::AuthServer::Role::kMaster,
+                               &registry);
   authority.set_round_robin(opts.round_robin);
 
   for (const auto& [origin_text, path] : opts.zones) {
@@ -156,6 +193,7 @@ int main(int argc, char** argv) {
     config.max_lease = [max_lease](const dns::Name&, dns::RRType) {
       return max_lease;
     };
+    config.metrics = &registry;
     dnscup = std::make_unique<core::DnscupAuthority>(authority, loop, config);
   }
 
@@ -166,6 +204,7 @@ int main(int argc, char** argv) {
               opts.dnscup ? "DNScup enabled" : "plain TTL");
 
   auto last_report = std::chrono::steady_clock::now();
+  auto last_metrics = last_report;
   while (!g_stop.load()) {
     {
       std::lock_guard lock(mutex);
@@ -173,6 +212,12 @@ int main(int argc, char** argv) {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
     const auto now = std::chrono::steady_clock::now();
+    if (!opts.metrics_out.empty() &&
+        now - last_metrics >= std::chrono::seconds(opts.metrics_interval_s)) {
+      last_metrics = now;
+      std::lock_guard lock(mutex);
+      dump_metrics(registry.snapshot(loop.now()), opts.metrics_out);
+    }
     if (opts.verbose && now - last_report >= std::chrono::seconds(1)) {
       last_report = now;
       std::lock_guard lock(mutex);
@@ -191,6 +236,12 @@ int main(int argc, char** argv) {
                     dnscup->notifier().stats().acks_received)
               : 0ull);
     }
+  }
+  if (!opts.metrics_out.empty()) {
+    std::lock_guard lock(mutex);
+    dump_metrics(registry.snapshot(loop.now()), opts.metrics_out);
+    std::printf("\nfinal metrics snapshot written to %s\n",
+                opts.metrics_out.c_str());
   }
   std::printf("\nshutting down; final track file:\n%s",
               dnscup != nullptr

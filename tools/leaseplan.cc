@@ -10,6 +10,10 @@
 //   leaseplan --message-budget 50    < rates.txt   # §4.2.2
 //   leaseplan --fixed 3600           < rates.txt   # fixed-length baseline
 //   leaseplan --compare 1000         < rates.txt   # dynamic vs fixed table
+//
+// With `--metrics-out file` every evaluated scheme's aggregate costs are
+// also published as leaseplan_* gauges and written as a JSON metrics
+// snapshot (timestamp 0: the tool is offline, there is no clock).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -19,6 +23,7 @@
 #include <vector>
 
 #include "core/dynamic_lease.h"
+#include "util/metrics.h"
 
 using namespace dnscup;
 
@@ -51,6 +56,20 @@ bool read_rates(std::istream& in, Input& input) {
   return !input.demands.empty();
 }
 
+/// Publishes one scheme's aggregate costs into the snapshot registry.
+void record_plan(metrics::MetricsRegistry& registry, const char* scheme,
+                 const core::LeasePlan& plan) {
+  const metrics::Labels labels{{"scheme", scheme}};
+  registry.gauge("leaseplan_total_storage_leases", labels)
+      .set(plan.total_storage);
+  registry.gauge("leaseplan_storage_pct", labels)
+      .set(plan.storage_percentage);
+  registry.gauge("leaseplan_message_rate_per_s", labels)
+      .set(plan.total_message_rate);
+  registry.gauge("leaseplan_query_rate_pct", labels)
+      .set(plan.query_rate_percentage);
+}
+
 void print_plan(const Input& input, const core::LeasePlan& plan) {
   std::printf("%-32s %-7s %-12s %-12s\n", "name", "cache", "rate q/s",
               "lease s");
@@ -73,6 +92,7 @@ int main(int argc, char** argv) {
   double message_budget = -1;
   double fixed = -1;
   double compare = -1;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() { return i + 1 < argc ? std::atof(argv[++i]) : -1.0; };
     if (std::strcmp(argv[i], "--storage-budget") == 0) {
@@ -83,6 +103,8 @@ int main(int argc, char** argv) {
       fixed = next();
     } else if (std::strcmp(argv[i], "--compare") == 0) {
       compare = next();
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
@@ -91,7 +113,8 @@ int main(int argc, char** argv) {
   if (storage_budget < 0 && message_budget < 0 && fixed < 0 && compare < 0) {
     std::fprintf(stderr,
                  "usage: leaseplan --storage-budget N | --message-budget N |"
-                 " --fixed T | --compare N  < rates.txt\n"
+                 " --fixed T | --compare N  [--metrics-out file]"
+                 " < rates.txt\n"
                  "input lines: <name> <cache-id> <rate_qps> <max_lease_s>\n");
     return 2;
   }
@@ -99,19 +122,28 @@ int main(int argc, char** argv) {
   Input input;
   if (!read_rates(std::cin, input)) return 1;
 
+  metrics::MetricsRegistry registry;
+  registry.counter("leaseplan_demand_pairs") += input.demands.size();
+
   if (storage_budget >= 0) {
     std::printf("# storage-constrained dynamic lease (budget %.1f)\n",
                 storage_budget);
-    print_plan(input,
-               core::plan_storage_constrained(input.demands, storage_budget));
+    const auto plan =
+        core::plan_storage_constrained(input.demands, storage_budget);
+    record_plan(registry, "storage_constrained", plan);
+    print_plan(input, plan);
   } else if (message_budget >= 0) {
     std::printf("# communication-constrained dynamic lease (budget %.3f/s)\n",
                 message_budget);
-    print_plan(input,
-               core::plan_comm_constrained(input.demands, message_budget));
+    const auto plan =
+        core::plan_comm_constrained(input.demands, message_budget);
+    record_plan(registry, "comm_constrained", plan);
+    print_plan(input, plan);
   } else if (fixed >= 0) {
     std::printf("# fixed-length lease (%.0f s)\n", fixed);
-    print_plan(input, core::plan_fixed(input.demands, fixed));
+    const auto plan = core::plan_fixed(input.demands, fixed);
+    record_plan(registry, "fixed", plan);
+    print_plan(input, plan);
   } else {
     const auto dynamic =
         core::plan_storage_constrained(input.demands, compare);
@@ -124,7 +156,9 @@ int main(int argc, char** argv) {
                   plan.total_storage, plan.total_message_rate,
                   plan.query_rate_percentage);
     };
-    row("polling (TTL only)", core::plan_polling(input.demands));
+    const auto polling = core::plan_polling(input.demands);
+    row("polling (TTL only)", polling);
+    record_plan(registry, "polling", polling);
     // A fixed lease tuned to land on the same storage budget.
     double lo = 1.0;
     double hi = 1e7;
@@ -136,8 +170,23 @@ int main(int argc, char** argv) {
         hi = mid;
       }
     }
-    row("fixed (equal storage)", core::plan_fixed(input.demands, lo));
+    const auto fixed_plan = core::plan_fixed(input.demands, lo);
+    row("fixed (equal storage)", fixed_plan);
+    record_plan(registry, "fixed_equal_storage", fixed_plan);
     row("dynamic (storage-constr.)", dynamic);
+    record_plan(registry, "storage_constrained", dynamic);
+  }
+
+  if (!metrics_out.empty()) {
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+    const std::string json = registry.snapshot(0).to_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
   }
   return 0;
 }
