@@ -1,6 +1,13 @@
 #include "core/dnscup_authority.h"
 
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <utility>
+
 #include "util/assert.h"
+#include "util/logging.h"
 
 namespace dnscup::core {
 
@@ -61,6 +68,11 @@ DnscupAuthority::DnscupAuthority(server::AuthServer& server,
   live_leases_ = registry.gauge("authority_live_leases");
   storage_budget_ = registry.gauge("authority_storage_budget");
   storage_budget_.set(static_cast<double>(config_.storage_budget));
+  recovered_leases_ = registry.gauge("authority_recovered_leases");
+  recovery_changes_pushed_ =
+      registry.counter("authority_recovery_changes_pushed");
+
+  track_file_.set_journal(config_.journal);
 
   // Listening module: sees every query/response pair.
   server_->set_query_hook([this](const net::Endpoint& from,
@@ -77,6 +89,12 @@ DnscupAuthority::DnscupAuthority(server::AuthServer& server,
         ++detection_stats_.change_events;
         detection_stats_.rrsets_changed += changes.size();
         notifier_.on_zone_change(zone, changes);
+        // Persist the serial the leaseholders have now been told about:
+        // after a crash, a mismatch against the loaded zone is the signal
+        // to re-push.
+        if (config_.journal != nullptr) {
+          config_.journal->record_zone_serial(zone.origin(), zone.serial());
+        }
         refresh_gauges();
       });
 
@@ -98,6 +116,98 @@ DnscupAuthority::DetectionStats DnscupAuthority::detection_stats() const {
 void DnscupAuthority::refresh_gauges() {
   live_leases_.set(static_cast<double>(track_file_.live_count(loop_->now())));
   storage_budget_.set(static_cast<double>(config_.storage_budget));
+}
+
+DnscupAuthority::RecoveryReport DnscupAuthority::recover(
+    const RecoveredState& state) {
+  const net::SimTime now = loop_->now();
+  RecoveryReport report;
+
+  // 1. Re-adopt leases that are still in term; leases that ran out while
+  // the authority was down fall back to TTL semantics on their caches and
+  // are simply dropped.
+  for (const Lease& lease : state.leases) {
+    if (lease.valid(now)) {
+      track_file_.restore(lease);
+      ++report.leases_restored;
+    } else {
+      ++report.leases_expired;
+    }
+  }
+  recovered_leases_.set(static_cast<double>(report.leases_restored));
+
+  // 2. Re-arm expiry so recovered leases leave the track file (and the
+  // durable store) on schedule even with no query traffic.
+  arm_expiry_timer();
+
+  // 3. Resume CACHE-UPDATE fan-out.  The journal records the serial the
+  // leaseholders were last notified about; a loaded zone with a different
+  // serial changed while we were down (or mid-crash), so its current
+  // RRsets are pushed to every surviving leaseholder.
+  std::map<dns::Name, dns::Zone*> changed;
+  for (const dns::Name& origin : server_->zone_origins()) {
+    dns::Zone* zone = server_->find_zone(origin);
+    DNSCUP_ASSERT(zone != nullptr);
+    auto it = state.zone_serials.find(origin);
+    if (it != state.zone_serials.end() && it->second != zone->serial()) {
+      changed.emplace(origin, zone);
+      ++report.zones_changed;
+    }
+    // Re-anchor the journal at the serial now being served, so the next
+    // crash compares against reality.
+    if (config_.journal != nullptr) {
+      config_.journal->record_zone_serial(origin, zone->serial());
+    }
+  }
+
+  if (!changed.empty()) {
+    std::map<dns::Zone*, std::set<std::pair<dns::Name, dns::RRType>>> leased;
+    track_file_.for_each([&](const Lease& lease) {
+      if (!lease.valid(now)) return;
+      dns::Zone* zone = server_->find_zone(lease.name);
+      if (zone != nullptr && changed.count(zone->origin()) > 0) {
+        leased[zone].emplace(lease.name, lease.type);
+      }
+    });
+    for (const auto& [zone, pairs] : leased) {
+      std::vector<dns::RRsetChange> changes;
+      changes.reserve(pairs.size());
+      for (const auto& [name, type] : pairs) {
+        const dns::RRset* after = zone->find(name, type);
+        changes.push_back(dns::RRsetChange{
+            name, type, std::nullopt,
+            after != nullptr ? std::optional<dns::RRset>(*after)
+                             : std::nullopt});
+      }
+      notifier_.on_zone_change(*zone, changes);
+      report.changes_pushed += changes.size();
+      recovery_changes_pushed_ += changes.size();
+    }
+  }
+
+  refresh_gauges();
+  DNSCUP_LOG_INFO(
+      "recovery: %llu leases restored, %llu expired, %llu zones changed "
+      "while down, %llu changes re-pushed",
+      static_cast<unsigned long long>(report.leases_restored),
+      static_cast<unsigned long long>(report.leases_expired),
+      static_cast<unsigned long long>(report.zones_changed),
+      static_cast<unsigned long long>(report.changes_pushed));
+  return report;
+}
+
+void DnscupAuthority::arm_expiry_timer() {
+  expiry_timer_.cancel();
+  net::SimTime earliest = std::numeric_limits<net::SimTime>::max();
+  track_file_.for_each([&](const Lease& lease) {
+    earliest = std::min(earliest, lease.expiry());
+  });
+  if (earliest == std::numeric_limits<net::SimTime>::max()) return;
+  expiry_timer_ = loop_->schedule_at(earliest, [this] {
+    track_file_.prune(loop_->now());
+    refresh_gauges();
+    arm_expiry_timer();
+  });
 }
 
 }  // namespace dnscup::core

@@ -18,6 +18,7 @@
 
 #include "core/listener.h"
 #include "core/notifier.h"
+#include "core/persistence.h"
 #include "core/policy.h"
 #include "core/track_file.h"
 #include "server/authoritative.h"
@@ -44,6 +45,11 @@ class DnscupAuthority {
     /// Registry for authority/track-file/listener/notifier instruments
     /// (default_registry() when null).
     metrics::MetricsRegistry* metrics = nullptr;
+    /// Durable-state journal (store::LeaseStore or any StateJournal).
+    /// When set, every lease mutation and zone-serial change is recorded
+    /// through it; recover() restores the journal's state after a crash.
+    /// Not owned, may be null (volatile authority, the previous default).
+    StateJournal* journal = nullptr;
   };
 
   /// Attaches DNScup to `server`.  The server must outlive this object.
@@ -71,7 +77,26 @@ class DnscupAuthority {
   /// the query hot path — change events and periodic dumps call it).
   void refresh_gauges();
 
+  /// What recover() did, for logging and tests.
+  struct RecoveryReport {
+    uint64_t leases_restored = 0;   ///< still valid at recovery time
+    uint64_t leases_expired = 0;    ///< expired during the outage, dropped
+    uint64_t zones_changed = 0;     ///< zones whose serial moved while down
+    uint64_t changes_pushed = 0;    ///< RRset changes fanned out on resume
+  };
+
+  /// Crash recovery: re-adopts the surviving lease set from the durable
+  /// store, re-arms the expiry (prune) timer, and resumes CACHE-UPDATE
+  /// fan-out — any zone whose serial no longer matches the last serial
+  /// the leaseholders were notified about is pushed to every surviving
+  /// holder.  Call once, after zones are loaded and before serving.
+  RecoveryReport recover(const RecoveredState& state);
+
  private:
+  /// Schedules a prune at the earliest lease expiry (re-armed after every
+  /// sweep), so expired tuples leave the track file — and the durable
+  /// store — without waiting for traffic.
+  void arm_expiry_timer();
   struct Instruments {
     metrics::Counter change_events;
     metrics::Counter rrsets_changed;
@@ -87,6 +112,9 @@ class DnscupAuthority {
   Instruments detection_stats_;
   metrics::Gauge live_leases_;
   metrics::Gauge storage_budget_;
+  metrics::Gauge recovered_leases_;
+  metrics::Counter recovery_changes_pushed_;
+  net::TimerHandle expiry_timer_;
 };
 
 }  // namespace dnscup::core

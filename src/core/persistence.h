@@ -1,0 +1,51 @@
+// Persistence hooks between the DNScup core and the durable state store.
+//
+// The core publishes every hard-state mutation — lease grants/renewals,
+// revocations, prunes and zone-serial changes — through the StateJournal
+// interface; src/store's LeaseStore implements it with a write-ahead log
+// and snapshots.  The core never depends on the store layer, only on this
+// interface, so simulations and tests run unchanged with no journal
+// attached.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/track_file.h"
+
+namespace dnscup::core {
+
+class StateJournal {
+ public:
+  virtual ~StateJournal() = default;
+
+  /// A lease was granted (or renewed — same replay semantics, kept
+  /// distinct for observability).
+  virtual void record_grant(const Lease& lease, bool renewal) = 0;
+  virtual void record_revoke(const net::Endpoint& holder,
+                             const dns::Name& name, dns::RRType type) = 0;
+  /// Expired leases were pruned at `now`; replay re-applies the same
+  /// deterministic expiry filter.
+  virtual void record_prune(net::SimTime now) = 0;
+  /// A zone changed; `serial` is its serial after the change.  Recovery
+  /// compares this against the currently loaded zone to detect changes
+  /// that happened while the authority was down.
+  virtual void record_zone_serial(const dns::Name& origin,
+                                  uint32_t serial) = 0;
+};
+
+/// What the store hands back after crash recovery: the surviving lease
+/// set (validity not yet filtered — the authority drops leases that
+/// expired during the outage), the last zone serial each leaseholder was
+/// notified about, and recovery telemetry.
+struct RecoveredState {
+  std::vector<Lease> leases;
+  std::map<dns::Name, uint32_t> zone_serials;
+  uint64_t snapshot_lsn = 0;     ///< 0 when no snapshot was found
+  uint64_t replayed_records = 0;
+  uint64_t torn_records = 0;
+  int64_t duration_us = 0;       ///< wall-clock recovery time
+};
+
+}  // namespace dnscup::core

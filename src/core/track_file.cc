@@ -3,6 +3,7 @@
 #include <charconv>
 #include <sstream>
 
+#include "core/persistence.h"
 #include "util/assert.h"
 
 namespace dnscup::core {
@@ -39,12 +40,18 @@ void TrackFile::grant(const net::Endpoint& holder, const dns::Name& name,
   DNSCUP_ASSERT(length > 0);
   auto& holders = leases_[Key{name, type}];
   auto [it, inserted] = holders.try_emplace(holder);
-  if (inserted || !it->second.valid(now)) {
-    ++stats_.grants;
-  } else {
+  const bool renewal = !inserted && it->second.valid(now);
+  if (renewal) {
     ++stats_.renewals;
+  } else {
+    ++stats_.grants;
   }
   it->second = Lease{holder, name, type, now, length};
+  if (journal_ != nullptr) journal_->record_grant(it->second, renewal);
+}
+
+void TrackFile::restore(const Lease& lease) {
+  leases_[Key{lease.name, lease.type}][lease.holder] = lease;
 }
 
 const Lease* TrackFile::find(const net::Endpoint& holder,
@@ -86,6 +93,7 @@ bool TrackFile::revoke(const net::Endpoint& holder, const dns::Name& name,
   if (it->second.erase(holder) == 0) return false;
   if (it->second.empty()) leases_.erase(it);
   ++stats_.revocations;
+  if (journal_ != nullptr) journal_->record_revoke(holder, name, type);
   return true;
 }
 
@@ -104,6 +112,9 @@ std::size_t TrackFile::prune(net::SimTime now) {
     it = holders.empty() ? leases_.erase(it) : std::next(it);
   }
   stats_.pruned += removed;
+  // One compact WAL record covers the whole sweep: replay re-applies the
+  // same expiry filter.  An empty sweep changes nothing, so skip it.
+  if (removed > 0 && journal_ != nullptr) journal_->record_prune(now);
   return removed;
 }
 
@@ -182,7 +193,15 @@ util::Result<TrackFile> TrackFile::parse(std::string_view text) {
     DNSCUP_ASSIGN_OR_RETURN(dns::RRType type,
                             dns::rrtype_from_string(type_text));
     auto& holders = tf.leases_[Key{name, type}];
-    holders[holder] = Lease{holder, name, type, granted, length};
+    const bool inserted =
+        holders.try_emplace(holder, Lease{holder, name, type, granted, length})
+            .second;
+    if (!inserted) {
+      return util::make_error(
+          util::ErrorCode::kExists,
+          "duplicate lease for " + holder.to_string() + " on track file line " +
+              std::to_string(lineno));
+    }
   }
   return tf;
 }

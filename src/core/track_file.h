@@ -21,6 +21,8 @@
 
 namespace dnscup::core {
 
+class StateJournal;  // persistence.h — durable-store hook
+
 struct Lease {
   net::Endpoint holder;       ///< the DNS cache (local nameserver)
   dns::Name name;
@@ -45,9 +47,19 @@ class TrackFile {
   /// null) under track_file_* with a per-instance label.
   explicit TrackFile(metrics::MetricsRegistry* metrics = nullptr);
 
+  /// Attaches a durable-state journal (persistence.h); every grant,
+  /// revoke and non-empty prune is recorded through it.  Not owned; null
+  /// detaches.  restore() bypasses the journal — recovered leases already
+  /// live in the store.
+  void set_journal(StateJournal* journal) { journal_ = journal; }
+
   /// Grants or renews a lease; renewal restarts the term at `now`.
   void grant(const net::Endpoint& holder, const dns::Name& name,
              dns::RRType type, net::SimTime now, net::Duration length);
+
+  /// Re-inserts a lease recovered from the durable store: no stats
+  /// counting, no journaling — the tuple is already persistent.
+  void restore(const Lease& lease);
 
   /// The lease a holder has on (name, type), expired or not.
   const Lease* find(const net::Endpoint& holder, const dns::Name& name,
@@ -80,6 +92,10 @@ class TrackFile {
 
   /// One "address name type grant_time_us length_us" line per valid lease.
   std::string serialize(net::SimTime now) const;
+  /// Parses serialize() output.  Malformed lines and duplicate
+  /// (holder, name, type) tuples are hard errors, not silent skips: a
+  /// track file is authoritative state, and a duplicate means two grant
+  /// times for one lease with no way to know which is real.
   static util::Result<TrackFile> parse(std::string_view text);
 
   template <typename Fn>
@@ -109,6 +125,7 @@ class TrackFile {
 
   std::map<Key, std::map<net::Endpoint, Lease>> leases_;
   Instruments stats_;
+  StateJournal* journal_ = nullptr;
 };
 
 }  // namespace dnscup::core

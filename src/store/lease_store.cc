@@ -1,0 +1,305 @@
+#include "store/lease_store.h"
+
+#include <chrono>
+#include <tuple>
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace dnscup::store {
+
+namespace {
+
+int64_t wall_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+using LeaseKey = std::tuple<net::Endpoint, dns::Name, dns::RRType>;
+
+LeaseKey key_of(const core::Lease& lease) {
+  return {lease.holder, lease.name, lease.type};
+}
+
+}  // namespace
+
+util::Result<FsyncPolicy> fsync_policy_from_string(std::string_view text) {
+  if (text == "always") return FsyncPolicy::kAlways;
+  if (text == "interval") return FsyncPolicy::kInterval;
+  if (text == "never") return FsyncPolicy::kNever;
+  return util::make_error(util::ErrorCode::kInvalidArgument,
+                          "unknown fsync policy: " + std::string(text));
+}
+
+const char* to_string(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNever: return "never";
+    case FsyncPolicy::kInterval: return "interval";
+    case FsyncPolicy::kAlways: return "always";
+  }
+  return "unknown";
+}
+
+LeaseStore::LeaseStore(Storage* storage, Config config)
+    : storage_(storage), config_(std::move(config)) {
+  auto& registry = metrics::resolve(config_.metrics);
+  auto typed = [&](const char* type) {
+    return metrics::Labels{{"type", type}};
+  };
+  stats_.append_latency_us = registry.histogram(
+      "store_append_latency_us", {}, metrics::HistogramOptions{0.0, 50'000.0, 20});
+  stats_.fsync_latency_us = registry.histogram(
+      "store_fsync_latency_us", {}, metrics::HistogramOptions{0.0, 50'000.0, 20});
+  stats_.records_grant = registry.counter("store_records", typed("grant"));
+  stats_.records_renew = registry.counter("store_records", typed("renew"));
+  stats_.records_revoke = registry.counter("store_records", typed("revoke"));
+  stats_.records_prune = registry.counter("store_records", typed("prune"));
+  stats_.records_zone_serial =
+      registry.counter("store_records", typed("zone-serial"));
+  stats_.io_errors = registry.counter("store_io_errors");
+  stats_.snapshots_written = registry.counter("store_snapshots_written");
+  stats_.wal_segments = registry.gauge("store_wal_segments");
+  stats_.wal_bytes = registry.gauge("store_wal_bytes");
+  stats_.recovery_duration_us = registry.gauge("store_recovery_duration_us");
+  stats_.replayed_records = registry.counter("store_replayed_records");
+  stats_.torn_records = registry.counter("store_torn_records");
+  stats_.recovered_leases = registry.gauge("store_recovered_leases");
+}
+
+util::Result<std::unique_ptr<LeaseStore>> LeaseStore::open(
+    Storage* storage, Config config, core::RecoveredState* recovered) {
+  DNSCUP_ASSERT(storage != nullptr && recovered != nullptr);
+  DNSCUP_ASSERT(!config.dir.empty());
+  const int64_t started = wall_us();
+  DNSCUP_TRY(storage->create_dir(config.dir));
+  auto store =
+      std::unique_ptr<LeaseStore>(new LeaseStore(storage, std::move(config)));
+  const Config& cfg = store->config_;
+
+  // 1. Newest snapshot whose CRC verifies; corrupt ones are skipped (and
+  // counted) so a torn snapshot write degrades to the previous one.
+  SnapshotData base;
+  DNSCUP_ASSIGN_OR_RETURN(auto snapshots,
+                          list_snapshots(storage, cfg.dir));
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    const std::string path = cfg.dir + "/" + it->second;
+    auto bytes = storage->read(path);
+    if (bytes.ok()) {
+      auto decoded = decode_snapshot(bytes.value());
+      if (decoded.ok()) {
+        base = std::move(decoded).value();
+        break;
+      }
+      DNSCUP_LOG_WARN("store: corrupt snapshot %s (%s); falling back",
+                      path.c_str(), decoded.error().to_string().c_str());
+    }
+    ++store->stats_.io_errors;
+  }
+
+  std::map<LeaseKey, core::Lease> leases;
+  for (const core::Lease& lease : base.leases) leases[key_of(lease)] = lease;
+  store->zone_serials_ = std::move(base.zone_serials);
+  store->snapshot_lsn_ = base.last_lsn;
+
+  // 2. Replay the WAL tail above the snapshot.
+  auto replayed = replay_wal(
+      storage, cfg.dir, base.last_lsn,
+      [&](uint64_t, const WalRecord& record) {
+        switch (record.type) {
+          case WalRecordType::kGrant:
+          case WalRecordType::kRenew:
+            leases[key_of(record.lease)] = record.lease;
+            break;
+          case WalRecordType::kRevoke:
+            leases.erase(key_of(record.lease));
+            break;
+          case WalRecordType::kPrune:
+            for (auto it = leases.begin(); it != leases.end();) {
+              it = it->second.valid(record.prune_now) ? std::next(it)
+                                                      : leases.erase(it);
+            }
+            break;
+          case WalRecordType::kZoneSerial:
+            store->zone_serials_[record.origin] = record.serial;
+            break;
+        }
+      });
+  DNSCUP_TRY(replayed);
+  const WalReplayStats& wal_stats = replayed.value();
+
+  // 3. Fresh segment for new appends.
+  DNSCUP_ASSIGN_OR_RETURN(
+      store->wal_, WalWriter::open(storage, cfg.dir, wal_stats.next_lsn,
+                                   WalOptions{cfg.segment_bytes}));
+  store->records_since_snapshot_ =
+      wal_stats.next_lsn - 1 - store->snapshot_lsn_;
+
+  recovered->leases.clear();
+  recovered->leases.reserve(leases.size());
+  for (auto& [key, lease] : leases) recovered->leases.push_back(lease);
+  recovered->zone_serials = store->zone_serials_;
+  recovered->snapshot_lsn = store->snapshot_lsn_;
+  recovered->replayed_records = wal_stats.replayed;
+  recovered->torn_records = wal_stats.torn;
+  recovered->duration_us = wall_us() - started;
+
+  store->stats_.recovery_duration_us.set(
+      static_cast<double>(recovered->duration_us));
+  store->stats_.replayed_records += wal_stats.replayed;
+  store->stats_.torn_records += wal_stats.torn;
+  store->stats_.recovered_leases.set(
+      static_cast<double>(recovered->leases.size()));
+  store->refresh_wal_gauges();
+  return store;
+}
+
+void LeaseStore::append(const WalRecord& record) {
+  if (!healthy_) return;
+  const int64_t start = wall_us();
+  util::Status status = wal_->append(record);
+  stats_.append_latency_us.add(static_cast<double>(wall_us() - start));
+  if (!status.ok()) {
+    DNSCUP_LOG_WARN("store: WAL append failed (%s); degrading to in-memory",
+                    status.error().to_string().c_str());
+    ++stats_.io_errors;
+    healthy_ = false;
+    return;
+  }
+  ++records_since_snapshot_;
+  stats_.wal_bytes.set(static_cast<double>(wal_->active_segment_bytes()));
+
+  bool want_sync = config_.fsync == FsyncPolicy::kAlways;
+  if (config_.fsync == FsyncPolicy::kInterval &&
+      ++appends_since_sync_ >= config_.fsync_interval) {
+    want_sync = true;
+  }
+  if (want_sync) {
+    appends_since_sync_ = 0;
+    util::Status synced = sync();
+    (void)synced;  // sync() already latched degraded state on failure
+  }
+}
+
+util::Status LeaseStore::sync() {
+  if (!healthy_) {
+    return util::make_error(util::ErrorCode::kIo, "store degraded");
+  }
+  const int64_t start = wall_us();
+  util::Status status = wal_->sync();
+  stats_.fsync_latency_us.add(static_cast<double>(wall_us() - start));
+  if (!status.ok()) {
+    DNSCUP_LOG_WARN("store: fsync failed (%s); degrading to in-memory",
+                    status.error().to_string().c_str());
+    ++stats_.io_errors;
+    healthy_ = false;
+  }
+  return status;
+}
+
+void LeaseStore::record_grant(const core::Lease& lease, bool renewal) {
+  WalRecord record;
+  record.type = renewal ? WalRecordType::kRenew : WalRecordType::kGrant;
+  record.lease = lease;
+  append(record);
+  ++(renewal ? stats_.records_renew : stats_.records_grant);
+}
+
+void LeaseStore::record_revoke(const net::Endpoint& holder,
+                               const dns::Name& name, dns::RRType type) {
+  WalRecord record;
+  record.type = WalRecordType::kRevoke;
+  record.lease.holder = holder;
+  record.lease.name = name;
+  record.lease.type = type;
+  append(record);
+  ++stats_.records_revoke;
+}
+
+void LeaseStore::record_prune(net::SimTime now) {
+  WalRecord record;
+  record.type = WalRecordType::kPrune;
+  record.prune_now = now;
+  append(record);
+  ++stats_.records_prune;
+}
+
+void LeaseStore::record_zone_serial(const dns::Name& origin, uint32_t serial) {
+  zone_serials_[origin] = serial;
+  WalRecord record;
+  record.type = WalRecordType::kZoneSerial;
+  record.origin = origin;
+  record.serial = serial;
+  append(record);
+  ++stats_.records_zone_serial;
+}
+
+util::Status LeaseStore::write_snapshot(const core::TrackFile& track,
+                                        net::SimTime now) {
+  if (!healthy_) {
+    return util::make_error(util::ErrorCode::kIo, "store degraded");
+  }
+  SnapshotData snapshot;
+  snapshot.last_lsn = wal_->next_lsn() - 1;
+  snapshot.as_of = now;
+  snapshot.zone_serials = zone_serials_;
+  track.for_each([&](const core::Lease& lease) {
+    snapshot.leases.push_back(lease);
+  });
+
+  const std::vector<uint8_t> bytes = encode_snapshot(snapshot);
+  const std::string path =
+      config_.dir + "/" + snapshot_file_name(snapshot.last_lsn);
+  util::Status written = storage_->write_atomic(path, bytes);
+  if (!written.ok()) {
+    DNSCUP_LOG_WARN("store: snapshot write failed (%s)",
+                    written.error().to_string().c_str());
+    ++stats_.io_errors;
+    healthy_ = false;
+    return written;
+  }
+
+  // Seal the active segment so every record <= last_lsn lives in a
+  // now-covered segment, then unlink covered segments and old snapshots.
+  DNSCUP_TRY(wal_->rotate());
+  DNSCUP_ASSIGN_OR_RETURN(auto segments,
+                          list_wal_segments(storage_, config_.dir));
+  const std::string active = wal_->active_segment();
+  for (const auto& [first_lsn, name] : segments) {
+    const std::string segment_path = config_.dir + "/" + name;
+    if (first_lsn <= snapshot.last_lsn && segment_path != active) {
+      DNSCUP_TRY(storage_->remove(segment_path));
+    }
+  }
+  DNSCUP_ASSIGN_OR_RETURN(auto snapshots,
+                          list_snapshots(storage_, config_.dir));
+  for (const auto& [last_lsn, name] : snapshots) {
+    if (last_lsn < snapshot.last_lsn) {
+      DNSCUP_TRY(storage_->remove(config_.dir + "/" + name));
+    }
+  }
+
+  snapshot_lsn_ = snapshot.last_lsn;
+  records_since_snapshot_ = 0;
+  ++stats_.snapshots_written;
+  refresh_wal_gauges();
+  return util::Status();
+}
+
+util::Status LeaseStore::maybe_snapshot(const core::TrackFile& track,
+                                        net::SimTime now) {
+  if (records_since_snapshot_ < config_.snapshot_every_records) {
+    return util::Status();
+  }
+  return write_snapshot(track, now);
+}
+
+void LeaseStore::refresh_wal_gauges() {
+  auto segments = list_wal_segments(storage_, config_.dir);
+  if (segments.ok()) {
+    stats_.wal_segments.set(static_cast<double>(segments.value().size()));
+  }
+  stats_.wal_bytes.set(static_cast<double>(wal_->active_segment_bytes()));
+}
+
+}  // namespace dnscup::store

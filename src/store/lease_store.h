@@ -1,0 +1,134 @@
+// LeaseStore: the durable lease-state store of the DNScup authority.
+//
+// Implements core::StateJournal over a CRC-framed, segment-rotating
+// write-ahead log plus periodic compacting snapshots (see wal.h and
+// snapshot.h for the on-disk formats).  Opening the store performs crash
+// recovery:
+//
+//   1. load the newest snapshot whose CRC verifies (falling back to older
+//      snapshots when the newest is corrupt);
+//   2. replay the WAL tail — every record above the snapshot's LSN — onto
+//      that state, truncating torn trailing records;
+//   3. hand the surviving lease set and zone serials back to the caller
+//      and start a fresh WAL segment for new appends.
+//
+// Durability knobs: FsyncPolicy controls how often appended records are
+// fsynced (every record / every N records / never), snapshots compact the
+// log and unlink covered segments.  An I/O failure latches the store into
+// a degraded read-only state (healthy() == false) rather than crashing
+// the authority: in-memory protocol state stays correct, durability is
+// reported lost through metrics and the status API.
+//
+// All store operations publish through the metrics registry:
+// store_append_latency_us / store_fsync_latency_us histograms,
+// store_records{type=...} counters, store_wal_segments / store_wal_bytes
+// gauges, store_snapshots_written, and the recovery family
+// (store_recovery_duration_us, store_replayed_records,
+// store_torn_records, store_recovered_leases).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/persistence.h"
+#include "core/track_file.h"
+#include "store/snapshot.h"
+#include "store/storage.h"
+#include "store/wal.h"
+#include "util/metrics.h"
+#include "util/result.h"
+
+namespace dnscup::store {
+
+/// When appended WAL records reach stable storage.
+enum class FsyncPolicy {
+  kNever,     ///< leave flushing to the OS (fastest, weakest)
+  kInterval,  ///< fsync every Config::fsync_interval appends
+  kAlways,    ///< fsync after every record (strongest, default)
+};
+
+util::Result<FsyncPolicy> fsync_policy_from_string(std::string_view text);
+const char* to_string(FsyncPolicy policy);
+
+class LeaseStore final : public core::StateJournal {
+ public:
+  struct Config {
+    std::string dir;                      ///< state directory (required)
+    FsyncPolicy fsync = FsyncPolicy::kAlways;
+    uint32_t fsync_interval = 64;         ///< appends per fsync (kInterval)
+    uint64_t segment_bytes = 1 << 20;     ///< WAL rotation threshold
+    /// maybe_snapshot() compacts once this many records accumulated since
+    /// the last snapshot.
+    uint64_t snapshot_every_records = 4096;
+    /// Registry for store_* instruments (default_registry() when null).
+    metrics::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Opens the store and runs crash recovery; `recovered` (required)
+  /// receives the surviving state.  The storage backend must outlive the
+  /// store.
+  static util::Result<std::unique_ptr<LeaseStore>> open(
+      Storage* storage, Config config, core::RecoveredState* recovered);
+
+  // StateJournal -----------------------------------------------------------
+  void record_grant(const core::Lease& lease, bool renewal) override;
+  void record_revoke(const net::Endpoint& holder, const dns::Name& name,
+                     dns::RRType type) override;
+  void record_prune(net::SimTime now) override;
+  void record_zone_serial(const dns::Name& origin, uint32_t serial) override;
+
+  // Snapshots --------------------------------------------------------------
+  /// Writes a snapshot of `track` (all tuples, expired included) and the
+  /// known zone serials, then unlinks covered WAL segments and stale
+  /// snapshots.
+  util::Status write_snapshot(const core::TrackFile& track, net::SimTime now);
+  /// write_snapshot, but only once snapshot_every_records appends have
+  /// accumulated; cheap to call on every change event.
+  util::Status maybe_snapshot(const core::TrackFile& track, net::SimTime now);
+
+  /// Forces appended records to stable storage regardless of policy.
+  util::Status sync();
+
+  /// False once an I/O failure latched the store degraded: appends are
+  /// dropped (in-memory state stays authoritative, durability is lost).
+  bool healthy() const { return healthy_; }
+  uint64_t records_since_snapshot() const { return records_since_snapshot_; }
+  uint64_t next_lsn() const { return wal_->next_lsn(); }
+
+ private:
+  LeaseStore(Storage* storage, Config config);
+
+  void append(const WalRecord& record);
+  void refresh_wal_gauges();
+
+  Storage* storage_;
+  Config config_;
+  std::unique_ptr<WalWriter> wal_;
+  std::map<dns::Name, uint32_t> zone_serials_;
+  uint64_t snapshot_lsn_ = 0;           ///< last snapshot's covered LSN
+  uint64_t records_since_snapshot_ = 0;
+  uint64_t appends_since_sync_ = 0;
+  bool healthy_ = true;
+
+  struct Instruments {
+    metrics::HistogramMetric append_latency_us;
+    metrics::HistogramMetric fsync_latency_us;
+    metrics::Counter records_grant;
+    metrics::Counter records_renew;
+    metrics::Counter records_revoke;
+    metrics::Counter records_prune;
+    metrics::Counter records_zone_serial;
+    metrics::Counter io_errors;
+    metrics::Counter snapshots_written;
+    metrics::Gauge wal_segments;
+    metrics::Gauge wal_bytes;
+    metrics::Gauge recovery_duration_us;
+    metrics::Counter replayed_records;
+    metrics::Counter torn_records;
+    metrics::Gauge recovered_leases;
+  } stats_;
+};
+
+}  // namespace dnscup::store

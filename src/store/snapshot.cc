@@ -1,0 +1,142 @@
+#include "store/snapshot.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "dns/wire.h"
+#include "util/crc32.h"
+
+namespace dnscup::store {
+
+namespace {
+
+constexpr uint8_t kSnapshotMagic[8] = {'D', 'C', 'U', 'P',
+                                       'S', 'N', 'P', 0x01};
+
+void put_u64(dns::ByteWriter& writer, uint64_t v) {
+  writer.u32(static_cast<uint32_t>(v >> 32));
+  writer.u32(static_cast<uint32_t>(v));
+}
+
+util::Result<uint64_t> get_u64(dns::ByteReader& reader) {
+  DNSCUP_ASSIGN_OR_RETURN(uint32_t hi, reader.u32());
+  DNSCUP_ASSIGN_OR_RETURN(uint32_t lo, reader.u32());
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+void put_name(dns::ByteWriter& writer, const dns::Name& name) {
+  const std::string text = name.to_string();
+  writer.u16(static_cast<uint16_t>(text.size()));
+  writer.bytes(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(text.data()), text.size()));
+}
+
+util::Result<dns::Name> get_name(dns::ByteReader& reader) {
+  DNSCUP_ASSIGN_OR_RETURN(uint16_t len, reader.u16());
+  DNSCUP_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, reader.bytes(len));
+  return dns::Name::parse(
+      std::string_view(reinterpret_cast<const char*>(raw.data()), raw.size()));
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_snapshot(const SnapshotData& snapshot) {
+  dns::ByteWriter body;
+  put_u64(body, snapshot.last_lsn);
+  put_u64(body, static_cast<uint64_t>(snapshot.as_of));
+  body.u32(static_cast<uint32_t>(snapshot.zone_serials.size()));
+  for (const auto& [origin, serial] : snapshot.zone_serials) {
+    body.u32(serial);
+    put_name(body, origin);
+  }
+  body.u32(static_cast<uint32_t>(snapshot.leases.size()));
+  for (const core::Lease& lease : snapshot.leases) {
+    body.u32(lease.holder.ip);
+    body.u16(lease.holder.port);
+    body.u16(static_cast<uint16_t>(lease.type));
+    put_u64(body, static_cast<uint64_t>(lease.granted_at));
+    put_u64(body, static_cast<uint64_t>(lease.length));
+    put_name(body, lease.name);
+  }
+
+  dns::ByteWriter file;
+  file.bytes(kSnapshotMagic);
+  file.bytes(body.data());
+  file.u32(util::crc32(body.data()));
+  return file.take();
+}
+
+util::Result<SnapshotData> decode_snapshot(std::span<const uint8_t> data) {
+  if (data.size() < sizeof kSnapshotMagic + 4 ||
+      !std::equal(kSnapshotMagic, kSnapshotMagic + 8, data.data())) {
+    return util::make_error(util::ErrorCode::kMalformed,
+                            "bad snapshot magic");
+  }
+  const auto body = data.subspan(8, data.size() - 12);
+  dns::ByteReader crc_reader(data.subspan(data.size() - 4));
+  if (util::crc32(body) != crc_reader.u32().value()) {
+    return util::make_error(util::ErrorCode::kMalformed,
+                            "snapshot CRC mismatch");
+  }
+
+  dns::ByteReader reader(body);
+  SnapshotData snapshot;
+  DNSCUP_ASSIGN_OR_RETURN(snapshot.last_lsn, get_u64(reader));
+  DNSCUP_ASSIGN_OR_RETURN(uint64_t as_of, get_u64(reader));
+  snapshot.as_of = static_cast<net::SimTime>(as_of);
+  DNSCUP_ASSIGN_OR_RETURN(uint32_t zone_count, reader.u32());
+  for (uint32_t i = 0; i < zone_count; ++i) {
+    uint32_t serial = 0;
+    DNSCUP_ASSIGN_OR_RETURN(serial, reader.u32());
+    DNSCUP_ASSIGN_OR_RETURN(dns::Name origin, get_name(reader));
+    snapshot.zone_serials.emplace(std::move(origin), serial);
+  }
+  DNSCUP_ASSIGN_OR_RETURN(uint32_t lease_count, reader.u32());
+  snapshot.leases.reserve(lease_count);
+  for (uint32_t i = 0; i < lease_count; ++i) {
+    core::Lease lease;
+    DNSCUP_ASSIGN_OR_RETURN(lease.holder.ip, reader.u32());
+    DNSCUP_ASSIGN_OR_RETURN(lease.holder.port, reader.u16());
+    uint16_t type = 0;
+    DNSCUP_ASSIGN_OR_RETURN(type, reader.u16());
+    lease.type = static_cast<dns::RRType>(type);
+    DNSCUP_ASSIGN_OR_RETURN(uint64_t granted, get_u64(reader));
+    DNSCUP_ASSIGN_OR_RETURN(uint64_t length, get_u64(reader));
+    lease.granted_at = static_cast<net::SimTime>(granted);
+    lease.length = static_cast<net::Duration>(length);
+    DNSCUP_ASSIGN_OR_RETURN(lease.name, get_name(reader));
+    snapshot.leases.push_back(std::move(lease));
+  }
+  if (!reader.at_end()) {
+    return util::make_error(util::ErrorCode::kMalformed,
+                            "trailing bytes in snapshot");
+  }
+  return snapshot;
+}
+
+std::string snapshot_file_name(uint64_t last_lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "snapshot-%016llx.snap",
+                static_cast<unsigned long long>(last_lsn));
+  return buf;
+}
+
+util::Result<std::vector<std::pair<uint64_t, std::string>>> list_snapshots(
+    Storage* storage, const std::string& dir) {
+  DNSCUP_ASSIGN_OR_RETURN(std::vector<std::string> names, storage->list(dir));
+  std::vector<std::pair<uint64_t, std::string>> snapshots;
+  for (const std::string& name : names) {
+    if (name.size() != 9 + 16 + 5 || name.rfind("snapshot-", 0) != 0 ||
+        name.compare(name.size() - 5, 5, ".snap") != 0) {
+      continue;
+    }
+    uint64_t last_lsn = 0;
+    const char* begin = name.data() + 9;
+    const auto [ptr, ec] = std::from_chars(begin, begin + 16, last_lsn, 16);
+    if (ec != std::errc() || ptr != begin + 16) continue;
+    snapshots.emplace_back(last_lsn, name);
+  }
+  return snapshots;
+}
+
+}  // namespace dnscup::store

@@ -1,0 +1,50 @@
+// Compacting snapshots of the authority's durable state: the full lease
+// table (the TrackFile, expired-but-unpruned tuples included) plus the
+// last known serial of every zone.
+//
+// File layout (big-endian, dns::ByteWriter):
+//
+//     "DCUPSNP\x01"
+//     u64 last_lsn       — the WAL position this snapshot covers
+//     u64 as_of          — sim time at capture (informational)
+//     u32 zone_count     { u32 serial, u16 origin_len, origin }*
+//     u32 lease_count    { u32 ip, u16 port, u16 rrtype,
+//                          u64 granted_at, u64 length,
+//                          u16 name_len, name }*
+//     u32 crc32          — over everything after the magic
+//
+// Snapshots are written with Storage::write_atomic, so a crash leaves the
+// previous snapshot intact; recovery picks the newest snapshot whose CRC
+// verifies and falls back to older ones.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/track_file.h"
+#include "store/storage.h"
+#include "util/result.h"
+
+namespace dnscup::store {
+
+struct SnapshotData {
+  uint64_t last_lsn = 0;
+  net::SimTime as_of = 0;
+  std::vector<core::Lease> leases;
+  std::map<dns::Name, uint32_t> zone_serials;
+};
+
+std::vector<uint8_t> encode_snapshot(const SnapshotData& snapshot);
+util::Result<SnapshotData> decode_snapshot(std::span<const uint8_t> data);
+
+/// Basename of the snapshot covering the WAL through `last_lsn`.
+std::string snapshot_file_name(uint64_t last_lsn);
+
+/// (last_lsn, basename) pairs of the snapshot-*.snap files in `dir`,
+/// sorted ascending by last_lsn.
+util::Result<std::vector<std::pair<uint64_t, std::string>>> list_snapshots(
+    Storage* storage, const std::string& dir);
+
+}  // namespace dnscup::store

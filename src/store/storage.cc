@@ -1,0 +1,354 @@
+#include "store/storage.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace dnscup::store {
+
+namespace {
+
+util::Error errno_error(const std::string& what, const std::string& path) {
+  return util::make_error(util::ErrorCode::kIo,
+                          what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ---- PosixStorage ---------------------------------------------------------
+
+namespace {
+
+class PosixAppendFile final : public AppendFile {
+ public:
+  PosixAppendFile(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+  ~PosixAppendFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  util::Status append(std::span<const uint8_t> data) override {
+    std::size_t done = 0;
+    while (done < data.size()) {
+      const ssize_t n = ::write(fd_, data.data() + done, data.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return errno_error("write", path_);
+      }
+      done += static_cast<std::size_t>(n);
+      size_ += static_cast<uint64_t>(n);
+    }
+    return util::Status();
+  }
+
+  util::Status sync() override {
+    if (::fsync(fd_) != 0) return errno_error("fsync", path_);
+    return util::Status();
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  int fd_;
+  uint64_t size_;
+  std::string path_;
+};
+
+util::Status fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return errno_error("open dir", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return errno_error("fsync dir", dir);
+  return util::Status();
+}
+
+}  // namespace
+
+util::Status PosixStorage::create_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return util::Status();
+  }
+  return errno_error("mkdir", path);
+}
+
+util::Result<std::vector<std::string>> PosixStorage::list(
+    const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return errno_error("opendir", dir);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st{};
+    if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+util::Result<std::vector<uint8_t>> PosixStorage::read(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return errno_error("open", path);
+  std::vector<uint8_t> data;
+  uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return errno_error("read", path);
+    }
+    if (n == 0) break;
+    data.insert(data.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return data;
+}
+
+util::Status PosixStorage::write_atomic(const std::string& path,
+                                        std::span<const uint8_t> data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return errno_error("open", tmp);
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return errno_error("write", tmp);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return errno_error("fsync", tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return errno_error("rename", tmp);
+  }
+  return fsync_parent_dir(path);
+}
+
+util::Result<std::unique_ptr<AppendFile>> PosixStorage::open_append(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return errno_error("open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return errno_error("fstat", path);
+  }
+  return std::unique_ptr<AppendFile>(std::make_unique<PosixAppendFile>(
+      fd, static_cast<uint64_t>(st.st_size), path));
+}
+
+util::Status PosixStorage::truncate(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return errno_error("truncate", path);
+  }
+  return util::Status();
+}
+
+util::Status PosixStorage::remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) return errno_error("unlink", path);
+  return util::Status();
+}
+
+// ---- MemStorage -----------------------------------------------------------
+
+namespace {
+
+/// Points into MemStorage's map; std::map nodes are address-stable, so the
+/// reference survives later inserts.
+class MemAppendFile final : public AppendFile {
+ public:
+  explicit MemAppendFile(std::vector<uint8_t>* contents)
+      : contents_(contents) {}
+
+  util::Status append(std::span<const uint8_t> data) override {
+    contents_->insert(contents_->end(), data.begin(), data.end());
+    return util::Status();
+  }
+  util::Status sync() override { return util::Status(); }
+  uint64_t size() const override { return contents_->size(); }
+
+ private:
+  std::vector<uint8_t>* contents_;
+};
+
+}  // namespace
+
+util::Status MemStorage::create_dir(const std::string&) {
+  return util::Status();
+}
+
+util::Result<std::vector<std::string>> MemStorage::list(
+    const std::string& dir) {
+  const std::string prefix = dir + "/";
+  std::vector<std::string> names;
+  for (const auto& [path, contents] : files_) {
+    if (path.rfind(prefix, 0) != 0) continue;
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;  // map iteration order is already sorted
+}
+
+util::Result<std::vector<uint8_t>> MemStorage::read(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound, path);
+  }
+  return it->second;
+}
+
+util::Status MemStorage::write_atomic(const std::string& path,
+                                      std::span<const uint8_t> data) {
+  files_[path].assign(data.begin(), data.end());
+  return util::Status();
+}
+
+util::Result<std::unique_ptr<AppendFile>> MemStorage::open_append(
+    const std::string& path) {
+  return std::unique_ptr<AppendFile>(
+      std::make_unique<MemAppendFile>(&files_[path]));
+}
+
+util::Status MemStorage::truncate(const std::string& path, uint64_t size) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound, path);
+  }
+  if (size < it->second.size()) it->second.resize(size);
+  return util::Status();
+}
+
+util::Status MemStorage::remove(const std::string& path) {
+  if (files_.erase(path) == 0) {
+    return util::make_error(util::ErrorCode::kNotFound, path);
+  }
+  return util::Status();
+}
+
+// ---- FaultInjectingStorage ------------------------------------------------
+
+// Namespace scope (not anonymous) so the friend declaration in storage.h
+// matches.
+class FaultInjectingAppendFile final : public AppendFile {
+ public:
+  FaultInjectingAppendFile(std::unique_ptr<AppendFile> inner,
+                           FaultInjectingStorage* owner)
+      : inner_(std::move(inner)), owner_(owner) {}
+
+  util::Status append(std::span<const uint8_t> data) override;
+  util::Status sync() override;
+  uint64_t size() const override { return inner_->size(); }
+
+ private:
+  std::unique_ptr<AppendFile> inner_;
+  FaultInjectingStorage* owner_;
+};
+
+util::Status FaultInjectingStorage::check_alive() const {
+  if (crashed_) {
+    return util::make_error(util::ErrorCode::kIo, "storage crashed");
+  }
+  return util::Status();
+}
+
+util::Status FaultInjectingStorage::create_dir(const std::string& path) {
+  DNSCUP_TRY(check_alive());
+  return inner_->create_dir(path);
+}
+
+util::Result<std::vector<std::string>> FaultInjectingStorage::list(
+    const std::string& dir) {
+  return inner_->list(dir);
+}
+
+util::Result<std::vector<uint8_t>> FaultInjectingStorage::read(
+    const std::string& path) {
+  auto data = inner_->read(path);
+  if (!data.ok()) return data;
+  std::vector<uint8_t> bytes = std::move(data).value();
+  for (const auto& flip : plan_.flips) {
+    if (flip.path == path && flip.offset < bytes.size()) {
+      bytes[flip.offset] ^= flip.mask;
+    }
+  }
+  return bytes;
+}
+
+util::Status FaultInjectingStorage::write_atomic(
+    const std::string& path, std::span<const uint8_t> data) {
+  DNSCUP_TRY(check_alive());
+  if (appended_bytes_ + data.size() > plan_.crash_after_bytes) {
+    // Atomic replace either happens or doesn't: a crash mid-write leaves
+    // the old file, so nothing partial lands — but the budget is spent.
+    crashed_ = true;
+    return util::make_error(util::ErrorCode::kIo, "simulated crash");
+  }
+  appended_bytes_ += data.size();
+  return inner_->write_atomic(path, data);
+}
+
+util::Result<std::unique_ptr<AppendFile>> FaultInjectingStorage::open_append(
+    const std::string& path) {
+  DNSCUP_TRY(check_alive());
+  auto inner = inner_->open_append(path);
+  if (!inner.ok()) return inner.error();
+  return std::unique_ptr<AppendFile>(std::make_unique<FaultInjectingAppendFile>(
+      std::move(inner).value(), this));
+}
+
+util::Status FaultInjectingStorage::truncate(const std::string& path,
+                                             uint64_t size) {
+  DNSCUP_TRY(check_alive());
+  return inner_->truncate(path, size);
+}
+
+util::Status FaultInjectingStorage::remove(const std::string& path) {
+  DNSCUP_TRY(check_alive());
+  return inner_->remove(path);
+}
+
+util::Status FaultInjectingAppendFile::append(std::span<const uint8_t> data) {
+  DNSCUP_TRY(owner_->check_alive());
+  const uint64_t budget = owner_->plan_.crash_after_bytes;
+  if (owner_->appended_bytes_ + data.size() > budget) {
+    // Short write: persist only the bytes that fit, then die.
+    const uint64_t fits = budget - owner_->appended_bytes_;
+    owner_->appended_bytes_ = budget;
+    owner_->crashed_ = true;
+    (void)inner_->append(data.first(static_cast<std::size_t>(fits)));
+    return util::make_error(util::ErrorCode::kIo, "simulated crash");
+  }
+  owner_->appended_bytes_ += data.size();
+  return inner_->append(data);
+}
+
+util::Status FaultInjectingAppendFile::sync() {
+  DNSCUP_TRY(owner_->check_alive());
+  if (owner_->sync_calls_ >= owner_->plan_.fail_sync_after) {
+    return util::make_error(util::ErrorCode::kIo, "simulated fsync failure");
+  }
+  ++owner_->sync_calls_;
+  return inner_->sync();
+}
+
+}  // namespace dnscup::store

@@ -1,0 +1,148 @@
+// Storage: the byte-level backend of the durable lease-state store.
+//
+// The write-ahead log and snapshot layers never touch the filesystem
+// directly; they go through this interface, which has three
+// implementations:
+//
+//   PosixStorage          — real files (dnscupd's --state-dir);
+//   MemStorage            — an in-process file map, copyable so tests can
+//                           freeze the exact bytes "on disk" at any point;
+//   FaultInjectingStorage — wraps another Storage and injects short
+//                           writes, a crash at an arbitrary byte offset,
+//                           failing fsyncs and read-side bit flips, the
+//                           failure modes crash-recovery must survive.
+//
+// All operations report failures via util::Status/Result; none throw.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dnscup::store {
+
+/// An open append-only file (one WAL segment).
+class AppendFile {
+ public:
+  virtual ~AppendFile() = default;
+  virtual util::Status append(std::span<const uint8_t> data) = 0;
+  /// Flushes written bytes to stable storage (fsync for PosixStorage).
+  virtual util::Status sync() = 0;
+  virtual uint64_t size() const = 0;
+};
+
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  /// Creates `path` (one level); succeeds if it already exists.
+  virtual util::Status create_dir(const std::string& path) = 0;
+  /// Sorted basenames of the regular files directly inside `dir`.
+  virtual util::Result<std::vector<std::string>> list(
+      const std::string& dir) = 0;
+  virtual util::Result<std::vector<uint8_t>> read(const std::string& path) = 0;
+  /// Durable whole-file replace: write to a temporary sibling, flush,
+  /// rename over `path`.  A crash leaves either the old or the new file.
+  virtual util::Status write_atomic(const std::string& path,
+                                    std::span<const uint8_t> data) = 0;
+  virtual util::Result<std::unique_ptr<AppendFile>> open_append(
+      const std::string& path) = 0;
+  /// Shrinks `path` to `size` bytes (recovery chops torn WAL tails).
+  virtual util::Status truncate(const std::string& path, uint64_t size) = 0;
+  virtual util::Status remove(const std::string& path) = 0;
+};
+
+/// Real files under a directory tree.
+class PosixStorage final : public Storage {
+ public:
+  util::Status create_dir(const std::string& path) override;
+  util::Result<std::vector<std::string>> list(const std::string& dir) override;
+  util::Result<std::vector<uint8_t>> read(const std::string& path) override;
+  util::Status write_atomic(const std::string& path,
+                            std::span<const uint8_t> data) override;
+  util::Result<std::unique_ptr<AppendFile>> open_append(
+      const std::string& path) override;
+  util::Status truncate(const std::string& path, uint64_t size) override;
+  util::Status remove(const std::string& path) override;
+};
+
+/// In-process storage: a map from path to contents.  Copy-constructing a
+/// MemStorage freezes the simulated on-disk state, which is how the
+/// recovery tests model "the machine died here".
+class MemStorage final : public Storage {
+ public:
+  MemStorage() = default;
+  MemStorage(const MemStorage& other) : files_(other.files_) {}
+
+  util::Status create_dir(const std::string& path) override;
+  util::Result<std::vector<std::string>> list(const std::string& dir) override;
+  util::Result<std::vector<uint8_t>> read(const std::string& path) override;
+  util::Status write_atomic(const std::string& path,
+                            std::span<const uint8_t> data) override;
+  util::Result<std::unique_ptr<AppendFile>> open_append(
+      const std::string& path) override;
+  util::Status truncate(const std::string& path, uint64_t size) override;
+  util::Status remove(const std::string& path) override;
+
+  /// Direct access for tests (corrupting bytes, inspecting segments).
+  std::map<std::string, std::vector<uint8_t>>& files() { return files_; }
+
+ private:
+  std::map<std::string, std::vector<uint8_t>> files_;
+};
+
+/// Failure plan for FaultInjectingStorage.
+struct FaultPlan {
+  /// Total appended bytes (across all files, headers included) after which
+  /// the storage "crashes": the final append is written only up to the
+  /// limit (a short write) and every later mutation fails with kIo.
+  uint64_t crash_after_bytes = UINT64_MAX;
+  /// sync() calls start failing after this many successes.
+  uint64_t fail_sync_after = UINT64_MAX;
+
+  struct BitFlip {
+    std::string path;   ///< exact path the flip applies to
+    uint64_t offset = 0;
+    uint8_t mask = 0x01;
+  };
+  /// Applied to read() results — models latent media corruption.
+  std::vector<BitFlip> flips;
+};
+
+class FaultInjectingStorage final : public Storage {
+ public:
+  FaultInjectingStorage(Storage* inner, FaultPlan plan)
+      : inner_(inner), plan_(std::move(plan)) {}
+
+  util::Status create_dir(const std::string& path) override;
+  util::Result<std::vector<std::string>> list(const std::string& dir) override;
+  util::Result<std::vector<uint8_t>> read(const std::string& path) override;
+  util::Status write_atomic(const std::string& path,
+                            std::span<const uint8_t> data) override;
+  util::Result<std::unique_ptr<AppendFile>> open_append(
+      const std::string& path) override;
+  util::Status truncate(const std::string& path, uint64_t size) override;
+  util::Status remove(const std::string& path) override;
+
+  bool crashed() const { return crashed_; }
+  uint64_t appended_bytes() const { return appended_bytes_; }
+  uint64_t sync_calls() const { return sync_calls_; }
+
+ private:
+  friend class FaultInjectingAppendFile;
+
+  util::Status check_alive() const;
+
+  Storage* inner_;
+  FaultPlan plan_;
+  bool crashed_ = false;
+  uint64_t appended_bytes_ = 0;
+  uint64_t sync_calls_ = 0;
+};
+
+}  // namespace dnscup::store

@@ -1,0 +1,339 @@
+#include "store/wal.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "dns/wire.h"
+#include "util/assert.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace dnscup::store {
+
+namespace {
+
+constexpr uint8_t kSegmentMagic[8] = {'D', 'C', 'U', 'P',
+                                      'W', 'A', 'L', 0x01};
+constexpr std::size_t kSegmentHeaderBytes = 16;
+constexpr std::size_t kFrameHeaderBytes = 8;
+
+void put_u64(dns::ByteWriter& writer, uint64_t v) {
+  writer.u32(static_cast<uint32_t>(v >> 32));
+  writer.u32(static_cast<uint32_t>(v));
+}
+
+util::Result<uint64_t> get_u64(dns::ByteReader& reader) {
+  DNSCUP_ASSIGN_OR_RETURN(uint32_t hi, reader.u32());
+  DNSCUP_ASSIGN_OR_RETURN(uint32_t lo, reader.u32());
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+void put_name(dns::ByteWriter& writer, const dns::Name& name) {
+  const std::string text = name.to_string();
+  DNSCUP_ASSERT(text.size() <= UINT16_MAX);
+  writer.u16(static_cast<uint16_t>(text.size()));
+  writer.bytes(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(text.data()), text.size()));
+}
+
+util::Result<dns::Name> get_name(dns::ByteReader& reader) {
+  DNSCUP_ASSIGN_OR_RETURN(uint16_t len, reader.u16());
+  DNSCUP_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, reader.bytes(len));
+  return dns::Name::parse(
+      std::string_view(reinterpret_cast<const char*>(raw.data()), raw.size()));
+}
+
+void put_lease_key(dns::ByteWriter& writer, const core::Lease& lease) {
+  writer.u32(lease.holder.ip);
+  writer.u16(lease.holder.port);
+  writer.u16(static_cast<uint16_t>(lease.type));
+  put_name(writer, lease.name);
+}
+
+util::Status get_lease_key(dns::ByteReader& reader, core::Lease& lease) {
+  DNSCUP_ASSIGN_OR_RETURN(lease.holder.ip, reader.u32());
+  DNSCUP_ASSIGN_OR_RETURN(lease.holder.port, reader.u16());
+  uint16_t type = 0;
+  DNSCUP_ASSIGN_OR_RETURN(type, reader.u16());
+  lease.type = static_cast<dns::RRType>(type);
+  DNSCUP_ASSIGN_OR_RETURN(lease.name, get_name(reader));
+  return util::Status();
+}
+
+}  // namespace
+
+const char* to_string(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kGrant: return "grant";
+    case WalRecordType::kRenew: return "renew";
+    case WalRecordType::kRevoke: return "revoke";
+    case WalRecordType::kPrune: return "prune";
+    case WalRecordType::kZoneSerial: return "zone-serial";
+  }
+  return "unknown";
+}
+
+std::vector<uint8_t> encode_wal_record(const WalRecord& record) {
+  dns::ByteWriter writer;
+  writer.u8(static_cast<uint8_t>(record.type));
+  switch (record.type) {
+    case WalRecordType::kGrant:
+    case WalRecordType::kRenew:
+      put_lease_key(writer, record.lease);
+      put_u64(writer, static_cast<uint64_t>(record.lease.granted_at));
+      put_u64(writer, static_cast<uint64_t>(record.lease.length));
+      break;
+    case WalRecordType::kRevoke:
+      put_lease_key(writer, record.lease);
+      break;
+    case WalRecordType::kPrune:
+      put_u64(writer, static_cast<uint64_t>(record.prune_now));
+      break;
+    case WalRecordType::kZoneSerial:
+      writer.u32(record.serial);
+      put_name(writer, record.origin);
+      break;
+  }
+  return writer.take();
+}
+
+util::Result<WalRecord> decode_wal_record(std::span<const uint8_t> payload) {
+  dns::ByteReader reader(payload);
+  WalRecord record;
+  DNSCUP_ASSIGN_OR_RETURN(uint8_t raw_type, reader.u8());
+  record.type = static_cast<WalRecordType>(raw_type);
+  switch (record.type) {
+    case WalRecordType::kGrant:
+    case WalRecordType::kRenew: {
+      DNSCUP_TRY(get_lease_key(reader, record.lease));
+      DNSCUP_ASSIGN_OR_RETURN(uint64_t granted, get_u64(reader));
+      DNSCUP_ASSIGN_OR_RETURN(uint64_t length, get_u64(reader));
+      record.lease.granted_at = static_cast<net::SimTime>(granted);
+      record.lease.length = static_cast<net::Duration>(length);
+      break;
+    }
+    case WalRecordType::kRevoke: {
+      DNSCUP_TRY(get_lease_key(reader, record.lease));
+      break;
+    }
+    case WalRecordType::kPrune: {
+      DNSCUP_ASSIGN_OR_RETURN(uint64_t now, get_u64(reader));
+      record.prune_now = static_cast<net::SimTime>(now);
+      break;
+    }
+    case WalRecordType::kZoneSerial: {
+      DNSCUP_ASSIGN_OR_RETURN(record.serial, reader.u32());
+      DNSCUP_ASSIGN_OR_RETURN(record.origin, get_name(reader));
+      break;
+    }
+    default:
+      return util::make_error(util::ErrorCode::kMalformed,
+                              "unknown WAL record type");
+  }
+  if (!reader.at_end()) {
+    return util::make_error(util::ErrorCode::kMalformed,
+                            "trailing bytes in WAL record");
+  }
+  return record;
+}
+
+std::string wal_segment_name(uint64_t first_lsn) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "wal-%016llx.log",
+                static_cast<unsigned long long>(first_lsn));
+  return buf;
+}
+
+util::Result<std::vector<std::pair<uint64_t, std::string>>> list_wal_segments(
+    Storage* storage, const std::string& dir) {
+  DNSCUP_ASSIGN_OR_RETURN(std::vector<std::string> names, storage->list(dir));
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  for (const std::string& name : names) {
+    if (name.size() != 4 + 16 + 4 || name.rfind("wal-", 0) != 0 ||
+        name.compare(name.size() - 4, 4, ".log") != 0) {
+      continue;
+    }
+    uint64_t first_lsn = 0;
+    const char* begin = name.data() + 4;
+    const auto [ptr, ec] = std::from_chars(begin, begin + 16, first_lsn, 16);
+    if (ec != std::errc() || ptr != begin + 16) continue;
+    segments.emplace_back(first_lsn, name);
+  }
+  // `names` is sorted and the hex field is fixed-width, so `segments` is
+  // already ordered by first_lsn.
+  return segments;
+}
+
+// ---- WalWriter ------------------------------------------------------------
+
+util::Result<std::unique_ptr<WalWriter>> WalWriter::open(
+    Storage* storage, const std::string& dir, uint64_t next_lsn,
+    WalOptions options) {
+  DNSCUP_ASSERT(next_lsn >= 1);
+  auto writer = std::unique_ptr<WalWriter>(
+      new WalWriter(storage, dir, next_lsn, options));
+  DNSCUP_TRY(writer->open_segment());
+  return writer;
+}
+
+util::Status WalWriter::open_segment() {
+  segment_path_ = dir_ + "/" + wal_segment_name(next_lsn_);
+  DNSCUP_ASSIGN_OR_RETURN(file_, storage_->open_append(segment_path_));
+  if (file_->size() != 0) {
+    return util::make_error(util::ErrorCode::kExists,
+                            "WAL segment already exists: " + segment_path_);
+  }
+  dns::ByteWriter header;
+  header.bytes(kSegmentMagic);
+  put_u64(header, next_lsn_);
+  return file_->append(header.data());
+}
+
+util::Status WalWriter::append(const WalRecord& record) {
+  if (file_->size() >= options_.segment_bytes) {
+    DNSCUP_TRY(file_->sync());
+    DNSCUP_TRY(open_segment());
+  }
+  const std::vector<uint8_t> payload = encode_wal_record(record);
+  dns::ByteWriter frame;
+  frame.u32(static_cast<uint32_t>(payload.size()));
+  frame.u32(util::crc32(payload));
+  frame.bytes(payload);
+  // One append call per frame: a short write tears at most this record.
+  DNSCUP_TRY(file_->append(frame.data()));
+  ++next_lsn_;
+  return util::Status();
+}
+
+util::Status WalWriter::sync() { return file_->sync(); }
+
+util::Status WalWriter::rotate() {
+  if (file_->size() <= kSegmentHeaderBytes) return util::Status();
+  DNSCUP_TRY(file_->sync());
+  return open_segment();
+}
+
+uint64_t WalWriter::active_segment_bytes() const { return file_->size(); }
+
+// ---- Replay ---------------------------------------------------------------
+
+namespace {
+
+/// Reads the frames of one segment, calling `fn` for records above
+/// `after_lsn`.  Returns the byte offset where a tear was found, or the
+/// file size if the segment is clean.
+struct SegmentScan {
+  uint64_t valid_end = 0;   ///< offset of the first invalid byte
+  uint64_t records = 0;     ///< valid records in the segment
+  uint64_t replayed = 0;
+  uint64_t skipped = 0;
+  bool torn = false;
+};
+
+SegmentScan scan_segment(
+    std::span<const uint8_t> data, uint64_t first_lsn, uint64_t after_lsn,
+    const std::function<void(uint64_t lsn, const WalRecord&)>& fn) {
+  SegmentScan scan;
+  std::size_t pos = kSegmentHeaderBytes;
+  while (pos < data.size()) {
+    if (pos + kFrameHeaderBytes > data.size()) break;
+    dns::ByteReader header(data.subspan(pos, kFrameHeaderBytes));
+    const uint32_t len = header.u32().value();
+    const uint32_t crc = header.u32().value();
+    if (pos + kFrameHeaderBytes + len > data.size()) break;
+    const auto payload = data.subspan(pos + kFrameHeaderBytes, len);
+    if (util::crc32(payload) != crc) break;
+    auto record = decode_wal_record(payload);
+    if (!record.ok()) break;
+    const uint64_t lsn = first_lsn + scan.records;
+    ++scan.records;
+    if (lsn > after_lsn) {
+      fn(lsn, record.value());
+      ++scan.replayed;
+    } else {
+      ++scan.skipped;
+    }
+    pos += kFrameHeaderBytes + len;
+  }
+  scan.valid_end = pos;
+  scan.torn = pos < data.size();
+  return scan;
+}
+
+}  // namespace
+
+util::Result<WalReplayStats> replay_wal(
+    Storage* storage, const std::string& dir, uint64_t after_lsn,
+    const std::function<void(uint64_t lsn, const WalRecord&)>& fn) {
+  DNSCUP_ASSIGN_OR_RETURN(auto segments, list_wal_segments(storage, dir));
+  WalReplayStats stats;
+  stats.next_lsn = after_lsn + 1;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto& [first_lsn, name] = segments[i];
+    const std::string path = dir + "/" + name;
+    DNSCUP_ASSIGN_OR_RETURN(std::vector<uint8_t> data, storage->read(path));
+    ++stats.segments;
+
+    // Header check: a segment created but torn before its header landed is
+    // dropped whole; a header that disagrees with the file name means the
+    // log is not trustworthy.
+    bool header_ok = data.size() >= kSegmentHeaderBytes &&
+                     std::equal(kSegmentMagic, kSegmentMagic + 8, data.data());
+    if (header_ok) {
+      dns::ByteReader reader(
+          std::span<const uint8_t>(data).subspan(8, 8));
+      header_ok = get_u64(reader).value() == first_lsn;
+    }
+    if (!header_ok) {
+      if (i + 1 != segments.size()) {
+        return util::make_error(util::ErrorCode::kMalformed,
+                                "corrupt WAL segment header: " + path);
+      }
+      ++stats.torn;
+      DNSCUP_TRY(storage->remove(path));
+      break;
+    }
+
+    // A segment starting past everything seen so far means records are
+    // missing in between — that is loss, not a tear, so fail loudly.
+    if (first_lsn > stats.next_lsn) {
+      return util::make_error(util::ErrorCode::kMalformed,
+                              "gap in WAL before " + path);
+    }
+
+    const SegmentScan scan = scan_segment(data, first_lsn, after_lsn, fn);
+    stats.replayed += scan.replayed;
+    stats.skipped += scan.skipped;
+    const uint64_t end_lsn = first_lsn + scan.records;
+    if (end_lsn > stats.next_lsn) stats.next_lsn = end_lsn;
+
+    if (scan.torn) {
+      // Everything from the tear on is unusable: truncate this segment and
+      // unlink any later ones (their records would leave a gap).  A segment
+      // with no surviving records is removed outright so the next writer
+      // can reopen its LSN.
+      ++stats.torn;
+      DNSCUP_LOG_WARN("wal: torn record in %s at offset %llu; truncating",
+                      path.c_str(),
+                      static_cast<unsigned long long>(scan.valid_end));
+      if (scan.records == 0) {
+        DNSCUP_TRY(storage->remove(path));
+      } else {
+        DNSCUP_TRY(storage->truncate(path, scan.valid_end));
+      }
+      for (std::size_t j = i + 1; j < segments.size(); ++j) {
+        DNSCUP_TRY(storage->remove(dir + "/" + segments[j].second));
+        ++stats.segments_dropped;
+      }
+      break;
+    }
+    if (i + 1 == segments.size() && scan.records == 0) {
+      // Header-only active segment (crash right after rotation): remove it
+      // so the next writer can recreate the same LSN cleanly.
+      DNSCUP_TRY(storage->remove(path));
+    }
+  }
+  return stats;
+}
+
+}  // namespace dnscup::store

@@ -1,0 +1,136 @@
+// Write-ahead log for lease-state mutations (grant / renew / revoke /
+// prune) and zone-serial changes.
+//
+// Layout: a directory of append-only segments named wal-%016x.log, where
+// the hex field is the LSN (1-based, monotonically increasing record
+// sequence number) of the segment's first record.  Each segment starts
+// with an 16-byte header
+//
+//     "DCUPWAL\x01"  u64 first_lsn
+//
+// followed by CRC-framed records:
+//
+//     u32 payload_len | u32 crc32(payload) | payload
+//
+// Payloads are big-endian (dns::ByteWriter) and carry one WalRecord.
+// Appends only ever touch the newest segment; rotation closes it (with a
+// final sync) and opens a fresh segment named by the next LSN, so
+// compaction can unlink whole covered segments.
+//
+// Recovery replays segments in LSN order and stops at the first frame
+// that fails its length or CRC check: that frame and everything after it
+// are torn (a crash mid-append) or corrupt, and are truncated/unlinked so
+// the log is clean for the next writer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/track_file.h"
+#include "store/storage.h"
+#include "util/result.h"
+
+namespace dnscup::store {
+
+enum class WalRecordType : uint8_t {
+  kGrant = 1,
+  kRenew = 2,
+  kRevoke = 3,
+  kPrune = 4,
+  kZoneSerial = 5,
+};
+
+const char* to_string(WalRecordType type);
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kGrant;
+  /// kGrant/kRenew: the full lease.  kRevoke: holder/name/type only.
+  core::Lease lease;
+  /// kPrune: the prune instant (replay drops leases expired at this time).
+  net::SimTime prune_now = 0;
+  /// kZoneSerial: the zone and its serial after a change.
+  dns::Name origin;
+  uint32_t serial = 0;
+};
+
+/// Record payload codec (framing is the writer/replayer's job).
+std::vector<uint8_t> encode_wal_record(const WalRecord& record);
+util::Result<WalRecord> decode_wal_record(std::span<const uint8_t> payload);
+
+struct WalOptions {
+  /// Rotation threshold: a new segment opens once the current one reaches
+  /// this size.
+  uint64_t segment_bytes = 1 << 20;
+};
+
+/// Appender over the newest segment.  Callers decide when to sync();
+/// rotation syncs the outgoing segment before the new one opens.
+class WalWriter {
+ public:
+  /// Starts a fresh segment at `next_lsn` (recovery never appends into an
+  /// old segment — a clean boundary beats reopening a repaired file).
+  static util::Result<std::unique_ptr<WalWriter>> open(
+      Storage* storage, const std::string& dir, uint64_t next_lsn,
+      WalOptions options);
+
+  /// Appends one record (framing + rotation); on success the record owns
+  /// LSN next_lsn()-1.
+  util::Status append(const WalRecord& record);
+  util::Status sync();
+
+  /// Seals the active segment (sync + fresh segment at next_lsn) so
+  /// compaction can unlink it.  No-op while the active segment is empty.
+  util::Status rotate();
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// Path of the segment currently being appended to.
+  const std::string& active_segment() const { return segment_path_; }
+  uint64_t active_segment_bytes() const;
+
+ private:
+  WalWriter(Storage* storage, std::string dir, uint64_t next_lsn,
+            WalOptions options)
+      : storage_(storage),
+        dir_(std::move(dir)),
+        next_lsn_(next_lsn),
+        options_(options) {}
+
+  util::Status open_segment();
+
+  Storage* storage_;
+  std::string dir_;
+  uint64_t next_lsn_;
+  WalOptions options_;
+  std::unique_ptr<AppendFile> file_;
+  std::string segment_path_;
+};
+
+struct WalReplayStats {
+  uint64_t replayed = 0;       ///< records delivered to the callback
+  uint64_t skipped = 0;        ///< records at or below `after_lsn`
+  uint64_t torn = 0;           ///< invalid frames dropped at the tail
+  uint64_t segments = 0;       ///< segments visited
+  uint64_t segments_dropped = 0;  ///< later segments unlinked after a tear
+  uint64_t next_lsn = 1;       ///< where a new writer should continue
+};
+
+/// Replays every record with LSN > `after_lsn` through `fn` in order.
+/// Invalid frames end the log: the segment is truncated at the tear and
+/// any later segments are unlinked (their ordering can no longer be
+/// trusted).  Segment files with unreadable headers fail recovery.
+util::Result<WalReplayStats> replay_wal(
+    Storage* storage, const std::string& dir, uint64_t after_lsn,
+    const std::function<void(uint64_t lsn, const WalRecord&)>& fn);
+
+/// Segment bookkeeping for compaction: (first_lsn, basename) pairs of the
+/// wal-*.log files in `dir`, sorted by first_lsn.
+util::Result<std::vector<std::pair<uint64_t, std::string>>> list_wal_segments(
+    Storage* storage, const std::string& dir);
+
+/// Basename of the segment whose first record is `first_lsn`.
+std::string wal_segment_name(uint64_t first_lsn);
+
+}  // namespace dnscup::store

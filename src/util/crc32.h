@@ -1,0 +1,42 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320): the checksum
+// framing every durable-store record and snapshot, so torn or bit-flipped
+// bytes on disk are detected before they can corrupt recovered state.
+// Table is built at compile time; no external dependency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace dnscup::util {
+
+namespace detail {
+
+constexpr std::array<uint32_t, 256> make_crc32_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental form: pass the previous return value as `seed` to extend a
+/// checksum over multiple buffers.
+constexpr uint32_t crc32(std::span<const uint8_t> data,
+                         uint32_t seed = 0) {
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    c = detail::kCrc32Table[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dnscup::util

@@ -1,0 +1,336 @@
+// Crash-recovery acceptance tests for the durable lease-state store.
+//
+// The central property (ISSUE acceptance criterion): kill the authority
+// at an *arbitrary* WAL byte offset, restart it on what survived, and the
+// recovered lease set must exactly match a never-crashed control that
+// applied only the operations whose WAL frames fully reached "disk" —
+// compared via the byte-identical track-file serialization.  On top of
+// that, a zone change after the restart must reach every surviving
+// leaseholder, resumed fan-out must cover zones that changed while the
+// authority was down, and recovered leases must still expire on schedule
+// (the re-armed prune timer) with the prune journaled durably.
+#include <gtest/gtest.h>
+
+#include "core/cache_update.h"
+#include "core/dnscup_authority.h"
+#include "net/sim_network.h"
+#include "store/lease_store.h"
+
+namespace dnscup::core {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+using store::FaultInjectingStorage;
+using store::FaultPlan;
+using store::LeaseStore;
+using store::MemStorage;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+dns::Ipv4 ip(const char* text) { return dns::Ipv4::parse(text).value(); }
+
+constexpr net::Endpoint kAuthority{net::make_ip(10, 0, 1, 1), 53};
+constexpr net::Endpoint kCacheA{net::make_ip(10, 0, 2, 1), 53};
+constexpr net::Endpoint kCacheB{net::make_ip(10, 0, 2, 2), 53};
+constexpr net::Endpoint kCacheC{net::make_ip(10, 0, 2, 3), 53};
+
+dns::Zone make_zone(uint32_t serial) {
+  dns::SOARdata soa;
+  soa.mname = mk("ns1.example.com");
+  soa.rname = mk("admin.example.com");
+  soa.serial = serial;
+  dns::Zone z = dns::Zone::make(mk("example.com"), soa, 300,
+                                {mk("ns1.example.com")}, 300);
+  z.add_record(mk("www.example.com"), RRType::kA, 300,
+               dns::ARdata{ip("192.0.2.80")});
+  z.add_record(mk("ftp.example.com"), RRType::kA, 300,
+               dns::ARdata{ip("192.0.2.81")});
+  return z;
+}
+
+LeaseStore::Config store_config() {
+  LeaseStore::Config config;
+  config.dir = "state";
+  config.fsync = store::FsyncPolicy::kAlways;
+  return config;
+}
+
+// ---- Kill-and-restart equivalence -----------------------------------------
+
+/// One journaled track-file mutation of the scripted workload.
+struct Op {
+  enum Kind { kGrant, kRevoke, kPrune } kind;
+  net::Endpoint holder;
+  const char* name;
+  net::SimTime at;
+  net::Duration length;
+};
+
+const std::vector<Op>& workload() {
+  static const std::vector<Op> ops = {
+      {Op::kGrant, kCacheA, "www.example.com", net::seconds(0),
+       net::seconds(3600)},
+      {Op::kGrant, kCacheB, "www.example.com", net::seconds(1),
+       net::seconds(5)},
+      {Op::kGrant, kCacheC, "ftp.example.com", net::seconds(2),
+       net::seconds(3600)},
+      {Op::kGrant, kCacheA, "www.example.com", net::seconds(3),
+       net::seconds(3600)},                                    // renewal
+      {Op::kPrune, {}, nullptr, net::seconds(30), 0},          // drops B
+      {Op::kRevoke, kCacheC, "ftp.example.com", net::seconds(31), 0},
+      {Op::kGrant, kCacheB, "ftp.example.com", net::seconds(32),
+       net::seconds(3600)},
+  };
+  return ops;
+}
+
+void apply(TrackFile& track, const Op& op) {
+  switch (op.kind) {
+    case Op::kGrant:
+      track.grant(op.holder, mk(op.name), RRType::kA, op.at, op.length);
+      break;
+    case Op::kRevoke:
+      track.revoke(op.holder, mk(op.name), RRType::kA);
+      break;
+    case Op::kPrune:
+      track.prune(op.at);
+      break;
+  }
+}
+
+/// WAL size (bytes) after each op when nothing crashes; boundary[i] is the
+/// offset up to which the first i+1 ops are fully durable.
+std::vector<uint64_t> op_boundaries() {
+  MemStorage mem;
+  RecoveredState state;
+  auto store = LeaseStore::open(&mem, store_config(), &state);
+  EXPECT_TRUE(store.ok());
+  TrackFile track;
+  track.set_journal(store.value().get());
+  std::vector<uint64_t> boundaries;
+  for (const Op& op : workload()) {
+    apply(track, op);
+    boundaries.push_back(mem.files().at("state/" + store::wal_segment_name(1))
+                             .size());
+  }
+  return boundaries;
+}
+
+/// Serialization of a control track file that applied the first
+/// `ops_survived` ops and nothing else.
+std::string control_serialization(std::size_t ops_survived,
+                                  net::SimTime now) {
+  TrackFile control;
+  for (std::size_t i = 0; i < ops_survived; ++i) {
+    apply(control, workload()[i]);
+  }
+  return control.serialize(now);
+}
+
+TEST(KillAndRestart, RecoveryMatchesControlAtEveryCrashOffset) {
+  const std::vector<uint64_t> boundaries = op_boundaries();
+  const net::SimTime check_at = net::seconds(40);
+
+  // Crash at every op boundary (all of the last op survives) and a few
+  // bytes into every frame (the op is torn and must be dropped).
+  struct Crash {
+    uint64_t offset;
+    std::size_t ops_survived;
+  };
+  std::vector<Crash> crashes;
+  crashes.push_back({16, 0});  // segment header only
+  crashes.push_back({20, 0});  // torn first frame
+  for (std::size_t i = 0; i < boundaries.size(); ++i) {
+    crashes.push_back({boundaries[i], i + 1});
+    crashes.push_back({boundaries[i] + 3, i + 1});  // tears frame i+2
+  }
+  crashes.back().offset = boundaries.back();  // no frame after the last
+
+  for (const Crash& crash : crashes) {
+    SCOPED_TRACE("crash at WAL offset " + std::to_string(crash.offset));
+    MemStorage disk;
+    FaultPlan plan;
+    plan.crash_after_bytes = crash.offset;
+    FaultInjectingStorage faulty(&disk, plan);
+
+    RecoveredState state;
+    auto store = LeaseStore::open(&faulty, store_config(), &state);
+    ASSERT_TRUE(store.ok());
+    TrackFile track;
+    track.set_journal(store.value().get());
+    for (const Op& op : workload()) apply(track, op);  // runs into the crash
+
+    // "Reboot": recover from the bytes that actually landed.
+    RecoveredState recovered;
+    auto reopened = LeaseStore::open(&disk, store_config(), &recovered);
+    ASSERT_TRUE(reopened.ok()) << reopened.error().to_string();
+    TrackFile restarted;
+    for (const Lease& lease : recovered.leases) restarted.restore(lease);
+
+    EXPECT_EQ(restarted.serialize(check_at),
+              control_serialization(crash.ops_survived, check_at));
+  }
+}
+
+// ---- Full-stack restart: fan-out resumes, timers re-arm -------------------
+
+/// An authority stack (event loop, sim network, server, DNScup wrapper)
+/// with an attached LeaseStore journal, plus acking caches.
+struct Stack {
+  explicit Stack(MemStorage* disk, uint32_t zone_serial) {
+    auth_transport = &network.bind(kAuthority);
+    server.emplace(*auth_transport, loop);
+    server->add_zone(make_zone(zone_serial));
+    auto opened = LeaseStore::open(disk, store_config(), &recovered);
+    EXPECT_TRUE(opened.ok());
+    store = std::move(opened).value();
+    DnscupAuthority::Config config;
+    config.max_lease = [](const Name&, RRType) { return net::hours(4); };
+    config.journal = store.get();
+    dnscup.emplace(*server, loop, std::move(config));
+  }
+
+  /// Binds an acking cache that records the CACHE-UPDATEs it receives.
+  void add_cache(const net::Endpoint& endpoint,
+                 std::vector<dns::Message>* received) {
+    auto& transport = network.bind(endpoint);
+    transport.set_receive_handler(
+        [&transport, received](const net::Endpoint& from,
+                               std::span<const uint8_t> data) {
+          auto m = dns::Message::decode(data);
+          ASSERT_TRUE(m.ok());
+          received->push_back(m.value());
+          transport.send(from, make_cache_update_ack(m.value()).encode());
+        });
+  }
+
+  net::EventLoop loop;
+  net::SimNetwork network{loop, /*seed=*/1};
+  net::SimTransport* auth_transport = nullptr;
+  std::optional<server::AuthServer> server;
+  RecoveredState recovered;
+  std::unique_ptr<LeaseStore> store;
+  std::optional<DnscupAuthority> dnscup;
+};
+
+TEST(KillAndRestart, ZoneChangedWhileDownReachesEverySurvivingHolder) {
+  MemStorage disk;
+  {
+    // First life: recover (anchors zone serial 7 in the journal), grant
+    // two leases on www and one on ftp, then "power loss" — the Stack is
+    // simply destroyed with no shutdown snapshot.
+    Stack first(&disk, /*zone_serial=*/7);
+    first.dnscup->recover(first.recovered);
+    TrackFile& track = first.dnscup->track_file();
+    track.grant(kCacheA, mk("www.example.com"), RRType::kA, 0,
+                net::hours(4));
+    track.grant(kCacheB, mk("www.example.com"), RRType::kA, 0,
+                net::seconds(5));  // will be expired by the restart
+    track.grant(kCacheC, mk("ftp.example.com"), RRType::kA, 0,
+                net::hours(4));
+  }
+
+  // Second life: the zone changed while the authority was down (serial 7
+  // -> 9).  Recovery must push the changed zone's records to the holders
+  // that survived — and only to them.
+  Stack second(&disk, /*zone_serial=*/9);
+  std::vector<dns::Message> at_a, at_b, at_c;
+  second.add_cache(kCacheA, &at_a);
+  second.add_cache(kCacheB, &at_b);
+  second.add_cache(kCacheC, &at_c);
+  second.loop.run_until(net::seconds(10));  // B's 5s lease lapses
+
+  ASSERT_EQ(second.recovered.leases.size(), 3u);
+  const auto report = second.dnscup->recover(second.recovered);
+  EXPECT_EQ(report.leases_restored, 2u);
+  EXPECT_EQ(report.leases_expired, 1u);
+  EXPECT_EQ(report.zones_changed, 1u);
+  EXPECT_EQ(report.changes_pushed, 2u);  // www for A, ftp for C
+  second.loop.run_for(net::seconds(5));
+
+  ASSERT_EQ(at_a.size(), 1u);
+  EXPECT_TRUE(at_b.empty());
+  ASSERT_EQ(at_c.size(), 1u);
+  EXPECT_EQ(second.dnscup->notifier().stats().acks_received, 2u);
+  EXPECT_EQ(second.dnscup->notifier().in_flight(), 0u);
+}
+
+TEST(KillAndRestart, UnchangedZoneTriggersNoFanOut) {
+  MemStorage disk;
+  {
+    Stack first(&disk, /*zone_serial=*/7);
+    first.dnscup->recover(first.recovered);
+    first.dnscup->track_file().grant(kCacheA, mk("www.example.com"),
+                                     RRType::kA, 0, net::hours(4));
+  }
+  Stack second(&disk, /*zone_serial=*/7);
+  std::vector<dns::Message> at_a;
+  second.add_cache(kCacheA, &at_a);
+  const auto report = second.dnscup->recover(second.recovered);
+  EXPECT_EQ(report.leases_restored, 1u);
+  EXPECT_EQ(report.zones_changed, 0u);
+  EXPECT_EQ(report.changes_pushed, 0u);
+  second.loop.run_for(net::seconds(5));
+  EXPECT_TRUE(at_a.empty());
+  EXPECT_EQ(second.network.packets_delivered(), 0u);
+}
+
+TEST(KillAndRestart, PostRestartZoneChangeReachesSurvivors) {
+  MemStorage disk;
+  {
+    Stack first(&disk, /*zone_serial=*/7);
+    first.dnscup->recover(first.recovered);
+    TrackFile& track = first.dnscup->track_file();
+    track.grant(kCacheA, mk("www.example.com"), RRType::kA, 0,
+                net::hours(4));
+    track.grant(kCacheB, mk("www.example.com"), RRType::kA, 0,
+                net::hours(4));
+  }
+
+  Stack second(&disk, /*zone_serial=*/7);
+  std::vector<dns::Message> at_a, at_b;
+  second.add_cache(kCacheA, &at_a);
+  second.add_cache(kCacheB, &at_b);
+  second.dnscup->recover(second.recovered);
+
+  // A fresh change after the restart (operator zone reload): every
+  // surviving holder hears it.
+  dns::Zone edited = make_zone(/*serial=*/7);
+  edited.add_record(mk("www.example.com"), RRType::kA, 300,
+                    dns::ARdata{ip("198.51.100.9")});
+  EXPECT_GE(second.server->reload_zone(std::move(edited)), 1u);
+  second.loop.run_for(net::seconds(5));
+
+  EXPECT_EQ(at_a.size(), 1u);
+  EXPECT_EQ(at_b.size(), 1u);
+  // The new serial was journaled: another restart sees it as unchanged.
+  const dns::Zone* zone = second.server->find_zone(mk("www.example.com"));
+  ASSERT_NE(zone, nullptr);
+  Stack third(&disk, /*zone_serial=*/zone->serial());
+  const auto report = third.dnscup->recover(third.recovered);
+  EXPECT_EQ(report.zones_changed, 0u);
+}
+
+TEST(KillAndRestart, RecoveredLeasesExpireViaRearmedTimerAndAreJournaled) {
+  MemStorage disk;
+  {
+    Stack first(&disk, /*zone_serial=*/7);
+    first.dnscup->recover(first.recovered);
+    first.dnscup->track_file().grant(kCacheA, mk("www.example.com"),
+                                     RRType::kA, 0, net::seconds(60));
+  }
+  Stack second(&disk, /*zone_serial=*/7);
+  second.dnscup->recover(second.recovered);
+  EXPECT_EQ(second.dnscup->track_file().size(), 1u);
+
+  // No queries, no changes: only the re-armed expiry timer can prune.
+  second.loop.run_until(net::seconds(120));
+  EXPECT_EQ(second.dnscup->track_file().size(), 0u);
+
+  // The prune was journaled, so a third life starts empty.
+  Stack third(&disk, /*zone_serial=*/7);
+  EXPECT_TRUE(third.recovered.leases.empty());
+}
+
+}  // namespace
+}  // namespace dnscup::core

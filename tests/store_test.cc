@@ -1,0 +1,575 @@
+// Durable lease-state store: storage backends, WAL framing/replay,
+// snapshot codec, and the LeaseStore end-to-end open/append/compact
+// cycle, including the fault-injected failure modes recovery must
+// survive (short writes, bit flips, failing fsyncs).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "store/lease_store.h"
+#include "store/snapshot.h"
+#include "store/storage.h"
+#include "store/wal.h"
+
+namespace dnscup::store {
+namespace {
+
+using core::Lease;
+using core::TrackFile;
+using dns::Name;
+using dns::RRType;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+
+const net::Endpoint kCacheA{net::make_ip(10, 0, 2, 1), 53};
+const net::Endpoint kCacheB{net::make_ip(10, 0, 2, 2), 5353};
+
+Lease make_lease(const net::Endpoint& holder, const char* name,
+                 RRType type = RRType::kA, net::SimTime granted = 0,
+                 net::Duration length = net::seconds(3600)) {
+  return Lease{holder, mk(name), type, granted, length};
+}
+
+std::vector<uint8_t> bytes_of(const char* text) {
+  const auto* p = reinterpret_cast<const uint8_t*>(text);
+  return std::vector<uint8_t>(p, p + std::strlen(text));
+}
+
+// ---- MemStorage -----------------------------------------------------------
+
+TEST(MemStorage, WriteReadListRemove) {
+  MemStorage mem;
+  ASSERT_TRUE(mem.create_dir("state").ok());
+  ASSERT_TRUE(mem.write_atomic("state/a", bytes_of("alpha")).ok());
+  ASSERT_TRUE(mem.write_atomic("state/b", bytes_of("beta")).ok());
+  ASSERT_TRUE(mem.write_atomic("other/c", bytes_of("gamma")).ok());
+
+  auto listed = mem.list("state");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed.value(), (std::vector<std::string>{"a", "b"}));
+
+  auto a = mem.read("state/a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value(), bytes_of("alpha"));
+  EXPECT_FALSE(mem.read("state/missing").ok());
+
+  ASSERT_TRUE(mem.truncate("state/a", 2).ok());
+  EXPECT_EQ(mem.read("state/a").value(), bytes_of("al"));
+
+  ASSERT_TRUE(mem.remove("state/a").ok());
+  EXPECT_FALSE(mem.read("state/a").ok());
+  EXPECT_FALSE(mem.remove("state/a").ok());
+}
+
+TEST(MemStorage, AppendFileAndCopyFreeze) {
+  MemStorage mem;
+  auto file = mem.open_append("state/log");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->append(bytes_of("one")).ok());
+  EXPECT_EQ(file.value()->size(), 3u);
+
+  MemStorage frozen(mem);  // the crash point
+  ASSERT_TRUE(file.value()->append(bytes_of("two")).ok());
+
+  EXPECT_EQ(mem.read("state/log").value(), bytes_of("onetwo"));
+  EXPECT_EQ(frozen.read("state/log").value(), bytes_of("one"));
+}
+
+TEST(PosixStorage, SmokeRoundTrip) {
+  // Runs in the build tree's working directory, never /tmp.
+  const std::string dir =
+      "posix_storage_smoke." + std::to_string(::getpid());
+  PosixStorage posix;
+  ASSERT_TRUE(posix.create_dir(dir).ok());
+  ASSERT_TRUE(posix.create_dir(dir).ok());  // idempotent
+
+  ASSERT_TRUE(posix.write_atomic(dir + "/snap", bytes_of("payload")).ok());
+  auto file = posix.open_append(dir + "/log");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->append(bytes_of("abcdef")).ok());
+  ASSERT_TRUE(file.value()->sync().ok());
+  EXPECT_EQ(file.value()->size(), 6u);
+
+  auto listed = posix.list(dir);
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed.value(), (std::vector<std::string>{"log", "snap"}));
+
+  ASSERT_TRUE(posix.truncate(dir + "/log", 3).ok());
+  EXPECT_EQ(posix.read(dir + "/log").value(), bytes_of("abc"));
+  EXPECT_EQ(posix.read(dir + "/snap").value(), bytes_of("payload"));
+
+  ASSERT_TRUE(posix.remove(dir + "/log").ok());
+  ASSERT_TRUE(posix.remove(dir + "/snap").ok());
+  ::rmdir(dir.c_str());
+}
+
+// ---- WAL ------------------------------------------------------------------
+
+std::vector<WalRecord> all_record_types() {
+  std::vector<WalRecord> records;
+  WalRecord grant;
+  grant.type = WalRecordType::kGrant;
+  grant.lease = make_lease(kCacheA, "www.example.com", RRType::kA,
+                           net::seconds(5), net::seconds(100));
+  records.push_back(grant);
+
+  WalRecord renew = grant;
+  renew.type = WalRecordType::kRenew;
+  renew.lease.holder = kCacheB;
+  renew.lease.granted_at = net::seconds(50);
+  records.push_back(renew);
+
+  WalRecord revoke;
+  revoke.type = WalRecordType::kRevoke;
+  // Revocations carry only the lease key; term fields stay zero.
+  revoke.lease = make_lease(kCacheA, "www.example.com", RRType::kTXT, 0, 0);
+  records.push_back(revoke);
+
+  WalRecord prune;
+  prune.type = WalRecordType::kPrune;
+  prune.prune_now = net::seconds(123);
+  records.push_back(prune);
+
+  WalRecord serial;
+  serial.type = WalRecordType::kZoneSerial;
+  serial.origin = mk("example.com");
+  serial.serial = 2026080601;
+  records.push_back(serial);
+  return records;
+}
+
+void expect_records_equal(const WalRecord& want, const WalRecord& got) {
+  EXPECT_EQ(want.type, got.type);
+  EXPECT_EQ(want.lease.holder, got.lease.holder);
+  EXPECT_EQ(want.lease.name.to_string(), got.lease.name.to_string());
+  EXPECT_EQ(want.lease.type, got.lease.type);
+  EXPECT_EQ(want.lease.granted_at, got.lease.granted_at);
+  EXPECT_EQ(want.lease.length, got.lease.length);
+  EXPECT_EQ(want.prune_now, got.prune_now);
+  EXPECT_EQ(want.origin.to_string(), got.origin.to_string());
+  EXPECT_EQ(want.serial, got.serial);
+}
+
+TEST(WalCodec, AllRecordTypesRoundTrip) {
+  for (const WalRecord& record : all_record_types()) {
+    const std::vector<uint8_t> payload = encode_wal_record(record);
+    auto decoded = decode_wal_record(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+    expect_records_equal(record, decoded.value());
+  }
+}
+
+TEST(WalCodec, RejectsTruncatedPayload) {
+  const std::vector<uint8_t> payload =
+      encode_wal_record(all_record_types()[0]);
+  for (std::size_t n : {std::size_t{0}, payload.size() / 2}) {
+    EXPECT_FALSE(
+        decode_wal_record(std::span(payload.data(), n)).ok());
+  }
+}
+
+TEST(Wal, AppendReplayRoundTrip) {
+  MemStorage mem;
+  const std::vector<WalRecord> records = all_record_types();
+  {
+    auto writer = WalWriter::open(&mem, "state", 1, WalOptions{});
+    ASSERT_TRUE(writer.ok());
+    for (const WalRecord& record : records) {
+      ASSERT_TRUE(writer.value()->append(record).ok());
+    }
+    ASSERT_TRUE(writer.value()->sync().ok());
+    EXPECT_EQ(writer.value()->next_lsn(), records.size() + 1);
+  }
+
+  std::vector<std::pair<uint64_t, WalRecord>> seen;
+  auto stats = replay_wal(&mem, "state", 0,
+                          [&](uint64_t lsn, const WalRecord& record) {
+                            seen.emplace_back(lsn, record);
+                          });
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_EQ(stats.value().replayed, records.size());
+  EXPECT_EQ(stats.value().torn, 0u);
+  EXPECT_EQ(stats.value().next_lsn, records.size() + 1);
+  ASSERT_EQ(seen.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(seen[i].first, i + 1);
+    expect_records_equal(records[i], seen[i].second);
+  }
+}
+
+TEST(Wal, ReplaySkipsRecordsAtOrBelowAfterLsn) {
+  MemStorage mem;
+  auto writer = WalWriter::open(&mem, "state", 1, WalOptions{});
+  ASSERT_TRUE(writer.ok());
+  for (const WalRecord& record : all_record_types()) {
+    ASSERT_TRUE(writer.value()->append(record).ok());
+  }
+  std::vector<uint64_t> lsns;
+  auto stats = replay_wal(&mem, "state", 3,
+                          [&](uint64_t lsn, const WalRecord&) {
+                            lsns.push_back(lsn);
+                          });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().skipped, 3u);
+  EXPECT_EQ(lsns, (std::vector<uint64_t>{4, 5}));
+}
+
+TEST(Wal, RotationSplitsSegmentsAndReplayCrossesThem) {
+  MemStorage mem;
+  // Tiny threshold: every append overflows, so each record gets its own
+  // segment.
+  auto writer = WalWriter::open(&mem, "state", 1, WalOptions{64});
+  ASSERT_TRUE(writer.ok());
+  const std::vector<WalRecord> records = all_record_types();
+  for (const WalRecord& record : records) {
+    ASSERT_TRUE(writer.value()->append(record).ok());
+  }
+
+  auto segments = list_wal_segments(&mem, "state");
+  ASSERT_TRUE(segments.ok());
+  EXPECT_GE(segments.value().size(), 2u);
+  for (const auto& [first_lsn, name] : segments.value()) {
+    EXPECT_EQ(name, wal_segment_name(first_lsn));
+  }
+
+  std::size_t n = 0;
+  auto stats = replay_wal(&mem, "state", 0,
+                          [&](uint64_t, const WalRecord&) { ++n; });
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_EQ(n, records.size());
+  EXPECT_EQ(stats.value().segments, segments.value().size());
+}
+
+TEST(Wal, TornTailTruncatedAndLogReusable) {
+  MemStorage mem;
+  auto writer = WalWriter::open(&mem, "state", 1, WalOptions{});
+  ASSERT_TRUE(writer.ok());
+  const std::vector<WalRecord> records = all_record_types();
+  for (const WalRecord& record : records) {
+    ASSERT_TRUE(writer.value()->append(record).ok());
+  }
+  // Chop 3 bytes off the last frame: a crash mid-append.
+  const std::string segment = "state/" + wal_segment_name(1);
+  std::vector<uint8_t>& contents = mem.files()[segment];
+  const uint64_t whole = contents.size();
+  contents.resize(whole - 3);
+
+  std::size_t n = 0;
+  auto stats = replay_wal(&mem, "state", 0,
+                          [&](uint64_t, const WalRecord&) { ++n; });
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_EQ(n, records.size() - 1);
+  EXPECT_EQ(stats.value().torn, 1u);
+  EXPECT_EQ(stats.value().next_lsn, records.size());
+  EXPECT_LT(mem.files()[segment].size(), whole - 3);  // tear truncated away
+
+  // The repaired log accepts a new writer at the continuation LSN and the
+  // whole history replays cleanly.
+  auto writer2 =
+      WalWriter::open(&mem, "state", stats.value().next_lsn, WalOptions{});
+  ASSERT_TRUE(writer2.ok()) << writer2.error().to_string();
+  ASSERT_TRUE(writer2.value()->append(records[0]).ok());
+  n = 0;
+  auto stats2 = replay_wal(&mem, "state", 0,
+                           [&](uint64_t, const WalRecord&) { ++n; });
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(n, records.size());
+  EXPECT_EQ(stats2.value().torn, 0u);
+}
+
+TEST(Wal, BitFlipDetectedByCrcAndTailDropped) {
+  MemStorage mem;
+  auto writer = WalWriter::open(&mem, "state", 1, WalOptions{});
+  ASSERT_TRUE(writer.ok());
+  const std::vector<WalRecord> records = all_record_types();
+  for (const WalRecord& record : records) {
+    ASSERT_TRUE(writer.value()->append(record).ok());
+  }
+
+  // Latent corruption in the third record's payload (header 16 bytes,
+  // two whole frames, then past the next frame header).
+  const std::string segment = "state/" + wal_segment_name(1);
+  uint64_t offset = 16;
+  for (int i = 0; i < 2; ++i) {
+    offset += 8 + encode_wal_record(records[i]).size();
+  }
+  FaultPlan plan;
+  plan.flips.push_back({segment, offset + 8 + 2, 0x40});
+  FaultInjectingStorage faulty(&mem, plan);
+
+  std::size_t n = 0;
+  auto stats = replay_wal(&faulty, "state", 0,
+                          [&](uint64_t, const WalRecord&) { ++n; });
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_EQ(n, 2u);  // everything from the flipped record on is dropped
+  EXPECT_GE(stats.value().torn, 1u);
+  EXPECT_EQ(stats.value().next_lsn, 3u);
+}
+
+TEST(Wal, CrashMidAppendLeavesShortWriteThatReplayTruncates) {
+  MemStorage mem;
+  const std::vector<WalRecord> records = all_record_types();
+  uint64_t two_whole = 16;  // segment header
+  for (int i = 0; i < 2; ++i) {
+    two_whole += 8 + encode_wal_record(records[i]).size();
+  }
+  FaultPlan plan;
+  plan.crash_after_bytes = two_whole + 5;  // dies 5 bytes into record 3
+  FaultInjectingStorage faulty(&mem, plan);
+
+  auto writer = WalWriter::open(&faulty, "state", 1, WalOptions{});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->append(records[0]).ok());
+  ASSERT_TRUE(writer.value()->append(records[1]).ok());
+  EXPECT_FALSE(writer.value()->append(records[2]).ok());
+  EXPECT_TRUE(faulty.crashed());
+  EXPECT_EQ(mem.files()["state/" + wal_segment_name(1)].size(),
+            two_whole + 5);
+
+  std::size_t n = 0;
+  auto stats = replay_wal(&mem, "state", 0,
+                          [&](uint64_t, const WalRecord&) { ++n; });
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(stats.value().torn, 1u);
+  EXPECT_EQ(stats.value().next_lsn, 3u);
+}
+
+// ---- Snapshots ------------------------------------------------------------
+
+SnapshotData sample_snapshot() {
+  SnapshotData snapshot;
+  snapshot.last_lsn = 42;
+  snapshot.as_of = net::seconds(99);
+  snapshot.leases.push_back(make_lease(kCacheA, "www.example.com"));
+  snapshot.leases.push_back(make_lease(kCacheB, "ftp.example.com",
+                                       RRType::kTXT, net::seconds(7),
+                                       net::seconds(1)));
+  snapshot.zone_serials[mk("example.com")] = 7;
+  snapshot.zone_serials[mk("other.org")] = 2026080601;
+  return snapshot;
+}
+
+TEST(Snapshot, EncodeDecodeRoundTrip) {
+  const SnapshotData snapshot = sample_snapshot();
+  auto decoded = decode_snapshot(encode_snapshot(snapshot));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded.value().last_lsn, 42u);
+  EXPECT_EQ(decoded.value().as_of, net::seconds(99));
+  ASSERT_EQ(decoded.value().leases.size(), 2u);
+  EXPECT_EQ(decoded.value().leases[1].holder, kCacheB);
+  EXPECT_EQ(decoded.value().leases[1].type, RRType::kTXT);
+  EXPECT_EQ(decoded.value().zone_serials.at(mk("example.com")), 7u);
+  EXPECT_EQ(decoded.value().zone_serials.at(mk("other.org")), 2026080601u);
+}
+
+TEST(Snapshot, AnySingleBitFlipRejected) {
+  std::vector<uint8_t> bytes = encode_snapshot(sample_snapshot());
+  // Flipping any byte after the magic must trip the CRC; flipping the
+  // magic must trip the magic check.  Sample a spread of positions.
+  for (std::size_t offset : {std::size_t{0}, std::size_t{9},
+                             bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<uint8_t> corrupt = bytes;
+    corrupt[offset] ^= 0x10;
+    EXPECT_FALSE(decode_snapshot(corrupt).ok()) << "offset " << offset;
+  }
+  EXPECT_FALSE(decode_snapshot(std::span(bytes.data(), 10)).ok());
+}
+
+// ---- LeaseStore -----------------------------------------------------------
+
+LeaseStore::Config store_config(const char* dir = "state") {
+  LeaseStore::Config config;
+  config.dir = dir;
+  config.fsync = FsyncPolicy::kNever;  // MemStorage syncs are free anyway
+  return config;
+}
+
+TEST(LeaseStore, JournalSurvivesReopen) {
+  MemStorage mem;
+  core::RecoveredState state;
+  {
+    auto store = LeaseStore::open(&mem, store_config(), &state);
+    ASSERT_TRUE(store.ok()) << store.error().to_string();
+    EXPECT_TRUE(state.leases.empty());
+    store.value()->record_grant(make_lease(kCacheA, "a.example.com"), false);
+    store.value()->record_grant(make_lease(kCacheB, "b.example.com"), false);
+    store.value()->record_grant(
+        make_lease(kCacheA, "a.example.com", RRType::kA, net::seconds(9)),
+        true);
+    store.value()->record_revoke(kCacheB, mk("b.example.com"), RRType::kA);
+    store.value()->record_zone_serial(mk("example.com"), 8);
+    EXPECT_TRUE(store.value()->healthy());
+  }
+
+  auto store = LeaseStore::open(&mem, store_config(), &state);
+  ASSERT_TRUE(store.ok()) << store.error().to_string();
+  EXPECT_EQ(state.replayed_records, 5u);
+  EXPECT_EQ(state.torn_records, 0u);
+  ASSERT_EQ(state.leases.size(), 1u);
+  EXPECT_EQ(state.leases[0].holder, kCacheA);
+  EXPECT_EQ(state.leases[0].granted_at, net::seconds(9));  // the renewal won
+  EXPECT_EQ(state.zone_serials.at(mk("example.com")), 8u);
+}
+
+TEST(LeaseStore, PruneReplaysDeterministically) {
+  MemStorage mem;
+  core::RecoveredState state;
+  {
+    auto store = LeaseStore::open(&mem, store_config(), &state);
+    ASSERT_TRUE(store.ok());
+    store.value()->record_grant(
+        make_lease(kCacheA, "short.example.com", RRType::kA, 0,
+                   net::seconds(10)),
+        false);
+    store.value()->record_grant(
+        make_lease(kCacheB, "long.example.com", RRType::kA, 0,
+                   net::seconds(1000)),
+        false);
+    store.value()->record_prune(net::seconds(50));
+  }
+  auto store = LeaseStore::open(&mem, store_config(), &state);
+  ASSERT_TRUE(store.ok());
+  ASSERT_EQ(state.leases.size(), 1u);
+  EXPECT_EQ(state.leases[0].name.to_string(), "long.example.com.");
+}
+
+TEST(LeaseStore, SnapshotCompactsWalAndReopenUsesIt) {
+  MemStorage mem;
+  core::RecoveredState state;
+  TrackFile track;
+  auto store = LeaseStore::open(&mem, store_config(), &state);
+  ASSERT_TRUE(store.ok());
+  track.set_journal(store.value().get());
+
+  track.grant(kCacheA, mk("a.example.com"), RRType::kA, 0, net::seconds(100));
+  track.grant(kCacheB, mk("b.example.com"), RRType::kA, 0, net::seconds(100));
+  store.value()->record_zone_serial(mk("example.com"), 7);
+  EXPECT_EQ(store.value()->records_since_snapshot(), 3u);
+
+  ASSERT_TRUE(store.value()->write_snapshot(track, net::seconds(1)).ok());
+  EXPECT_EQ(store.value()->records_since_snapshot(), 0u);
+  // The records now live in the snapshot; their segment is unlinked.
+  auto segments = list_wal_segments(&mem, "state");
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments.value().size(), 1u);  // only the fresh active segment
+  EXPECT_EQ(segments.value()[0].first, 4u);
+
+  // One more record after the snapshot: reopen replays exactly that one.
+  track.grant(kCacheA, mk("c.example.com"), RRType::kA, 0, net::seconds(100));
+  auto reopened = LeaseStore::open(&mem, store_config(), &state);
+  ASSERT_TRUE(reopened.ok()) << reopened.error().to_string();
+  EXPECT_EQ(state.snapshot_lsn, 3u);
+  EXPECT_EQ(state.replayed_records, 1u);
+  EXPECT_EQ(state.leases.size(), 3u);
+  EXPECT_EQ(state.zone_serials.at(mk("example.com")), 7u);
+}
+
+TEST(LeaseStore, CorruptNewestSnapshotFallsBackToOlder) {
+  MemStorage mem;
+  core::RecoveredState state;
+  TrackFile track;
+  auto store = LeaseStore::open(&mem, store_config(), &state);
+  ASSERT_TRUE(store.ok());
+  track.set_journal(store.value().get());
+  track.grant(kCacheA, mk("a.example.com"), RRType::kA, 0, net::seconds(100));
+  ASSERT_TRUE(store.value()->write_snapshot(track, net::seconds(1)).ok());
+  track.grant(kCacheB, mk("b.example.com"), RRType::kA, 0, net::seconds(100));
+
+  // A later snapshot lands with rotted bytes; the WAL tail above the good
+  // snapshot is still present, so recovery degrades gracefully to it.
+  mem.files()["state/" + snapshot_file_name(2)] = bytes_of("rotten");
+  auto reopened = LeaseStore::open(&mem, store_config(), &state);
+  ASSERT_TRUE(reopened.ok()) << reopened.error().to_string();
+  EXPECT_EQ(state.snapshot_lsn, 1u);
+  EXPECT_EQ(state.replayed_records, 1u);
+  EXPECT_EQ(state.leases.size(), 2u);
+}
+
+TEST(LeaseStore, FsyncPolicyControlsSyncCadence) {
+  struct Case {
+    FsyncPolicy policy;
+    uint32_t interval;
+    uint64_t want_syncs;  // for 4 appended records
+  };
+  for (const Case& c : {Case{FsyncPolicy::kAlways, 64, 4},
+                        Case{FsyncPolicy::kInterval, 2, 2},
+                        Case{FsyncPolicy::kNever, 64, 0}}) {
+    MemStorage mem;
+    FaultInjectingStorage counting(&mem, FaultPlan{});
+    core::RecoveredState state;
+    LeaseStore::Config config = store_config();
+    config.fsync = c.policy;
+    config.fsync_interval = c.interval;
+    auto store = LeaseStore::open(&counting, config, &state);
+    ASSERT_TRUE(store.ok());
+    const uint64_t baseline = counting.sync_calls();
+    for (int i = 0; i < 4; ++i) {
+      store.value()->record_grant(
+          make_lease(kCacheA, ("n" + std::to_string(i) + ".com").c_str()),
+          false);
+    }
+    EXPECT_EQ(counting.sync_calls() - baseline, c.want_syncs)
+        << "policy " << to_string(c.policy);
+  }
+}
+
+TEST(LeaseStore, IoFailureLatchesDegradedInsteadOfCrashing) {
+  MemStorage mem;
+  FaultPlan plan;
+  plan.fail_sync_after = 1;
+  FaultInjectingStorage faulty(&mem, plan);
+  core::RecoveredState state;
+  LeaseStore::Config config = store_config();
+  config.fsync = FsyncPolicy::kAlways;
+  auto store = LeaseStore::open(&faulty, config, &state);
+  ASSERT_TRUE(store.ok());
+
+  store.value()->record_grant(make_lease(kCacheA, "a.com"), false);  // sync ok
+  EXPECT_TRUE(store.value()->healthy());
+  store.value()->record_grant(make_lease(kCacheB, "b.com"), false);  // fails
+  EXPECT_FALSE(store.value()->healthy());
+  // Later appends are dropped silently; the store stays degraded, the
+  // process does not crash.
+  store.value()->record_grant(make_lease(kCacheA, "c.com"), false);
+  EXPECT_FALSE(store.value()->sync().ok());
+
+  TrackFile track;
+  EXPECT_FALSE(store.value()->write_snapshot(track, 0).ok());
+}
+
+TEST(LeaseStore, StorePublishesMetrics) {
+  MemStorage mem;
+  metrics::MetricsRegistry registry;
+  core::RecoveredState state;
+  LeaseStore::Config config = store_config();
+  config.metrics = &registry;
+  auto store = LeaseStore::open(&mem, config, &state);
+  ASSERT_TRUE(store.ok());
+  store.value()->record_grant(make_lease(kCacheA, "a.com"), false);
+  store.value()->record_grant(make_lease(kCacheA, "a.com"), true);
+  store.value()->record_zone_serial(mk("example.com"), 3);
+  TrackFile track;
+  ASSERT_TRUE(store.value()->write_snapshot(track, 0).ok());
+
+  const metrics::Snapshot snap = registry.snapshot();
+  const auto* grants = snap.find("store_records", {{"type", "grant"}});
+  ASSERT_NE(grants, nullptr);
+  EXPECT_EQ(grants->counter_value, 1u);
+  const auto* renews = snap.find("store_records", {{"type", "renew"}});
+  ASSERT_NE(renews, nullptr);
+  EXPECT_EQ(renews->counter_value, 1u);
+  const auto* append_latency = snap.find("store_append_latency_us");
+  ASSERT_NE(append_latency, nullptr);
+  EXPECT_EQ(append_latency->histogram.count, 3u);
+  const auto* snapshots = snap.find("store_snapshots_written");
+  ASSERT_NE(snapshots, nullptr);
+  EXPECT_EQ(snapshots->counter_value, 1u);
+  EXPECT_NE(snap.find("store_wal_segments"), nullptr);
+  EXPECT_NE(snap.find("store_recovery_duration_us"), nullptr);
+}
+
+}  // namespace
+}  // namespace dnscup::store

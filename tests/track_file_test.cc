@@ -141,6 +141,83 @@ TEST(TrackFile, ParseRejectsGarbage) {
   EXPECT_TRUE(TrackFile::parse("").ok());  // empty file is an empty table
 }
 
+// Regression: duplicate (holder, name, type) lines used to silently
+// last-write-win; a track file with two grant times for one lease is
+// ambiguous and must be rejected as a whole.
+TEST(TrackFile, ParseRejectsDuplicateTuples) {
+  const std::string text =
+      "10.0.2.1:53 a.com. A 1000000 2000000\n"
+      "10.0.2.2:53 a.com. A 1000000 2000000\n"   // different holder: fine
+      "10.0.2.1:53 a.com. TXT 1000000 2000000\n" // different type: fine
+      "10.0.2.1:53 a.com. A 5000000 9000000\n";  // exact tuple again: error
+  auto parsed = TrackFile::parse(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, util::ErrorCode::kExists);
+  EXPECT_NE(parsed.error().message.find("line 4"), std::string::npos)
+      << parsed.error().message;
+
+  // Without the offending line the same file parses.
+  EXPECT_TRUE(TrackFile::parse(
+                  "10.0.2.1:53 a.com. A 1000000 2000000\n"
+                  "10.0.2.2:53 a.com. A 1000000 2000000\n"
+                  "10.0.2.1:53 a.com. TXT 1000000 2000000\n")
+                  .ok());
+}
+
+TEST(TrackFile, RoundTripDropsExpiredLeases) {
+  TrackFile tf;
+  tf.grant(kCacheA, mk("live.com"), RRType::kA, 0, net::seconds(100));
+  tf.grant(kCacheB, mk("dead.com"), RRType::kA, 0, net::seconds(1));
+  // Serialization is the valid-lease view: the expired tuple is dropped
+  // on the way out, so the round trip is the surviving state only.
+  auto parsed = TrackFile::parse(tf.serialize(net::seconds(50)));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 1u);
+  EXPECT_NE(parsed.value().find(kCacheA, mk("live.com"), RRType::kA),
+            nullptr);
+  EXPECT_EQ(parsed.value().find(kCacheB, mk("dead.com"), RRType::kA),
+            nullptr);
+}
+
+TEST(TrackFile, MaximalLengthNameRoundTrips) {
+  // Three 63-octet labels plus one 61-octet label: 255 wire octets, the
+  // RFC 1035 ceiling.
+  const std::string l63a(63, 'a'), l63b(63, 'b'), l63c(63, 'c');
+  const std::string l61(61, 'd');
+  const std::string max_name = l63a + "." + l63b + "." + l63c + "." + l61;
+  const Name name = mk(max_name.c_str());
+
+  TrackFile tf;
+  tf.grant(kCacheA, name, RRType::kA, net::seconds(3), net::seconds(100));
+  auto parsed = TrackFile::parse(tf.serialize(net::seconds(10)));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const Lease* lease = parsed.value().find(kCacheA, name, RRType::kA);
+  ASSERT_NE(lease, nullptr);
+  EXPECT_EQ(lease->name.to_string(), max_name + ".");
+  EXPECT_EQ(lease->granted_at, net::seconds(3));
+
+  // One label longer would overflow the wire limit and must not parse.
+  EXPECT_FALSE(Name::parse(max_name + ".e").ok());
+}
+
+TEST(TrackFile, EveryConcreteRRTypeRoundTrips) {
+  const RRType types[] = {RRType::kA,   RRType::kNS,  RRType::kCNAME,
+                          RRType::kSOA, RRType::kPTR, RRType::kMX,
+                          RRType::kTXT, RRType::kAAAA};
+  TrackFile tf;
+  for (RRType type : types) {
+    tf.grant(kCacheA, mk("multi.example.com"), type, 0, net::seconds(100));
+  }
+  auto parsed = TrackFile::parse(tf.serialize(net::seconds(1)));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().size(), std::size(types));
+  for (RRType type : types) {
+    EXPECT_NE(parsed.value().find(kCacheA, mk("multi.example.com"), type),
+              nullptr)
+        << dns::to_string(type);
+  }
+}
+
 TEST(TrackFile, ForEachVisitsAllTuples) {
   TrackFile tf;
   tf.grant(kCacheA, mk("a.com"), RRType::kA, 0, net::seconds(10));

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build and run the full test suite, then
-# repeat under AddressSanitizer + UBSan (the DNSCUP_SANITIZE CMake option).
+# run the durable-store suites (store_test, recovery_test) under
+# AddressSanitizer + UBSan — the WAL/snapshot layer does raw byte-level
+# I/O and crash-path truncation, exactly where the sanitizers earn their
+# keep.  --sanitize widens the sanitizer leg to the whole tree.
 #
 # Usage:
-#   tools/check.sh                # plain Release build + ctest
-#   tools/check.sh --sanitize    # additionally build/test with asan+ubsan
+#   tools/check.sh                # Release build + ctest + store sanitizers
+#   tools/check.sh --sanitize    # sanitize the full suite, not just store
 #   JOBS=4 tools/check.sh        # override build parallelism
 set -euo pipefail
 
@@ -29,6 +32,15 @@ if [[ $sanitize -eq 1 ]]; then
   run_suite "$repo_root/build-sanitize" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDNSCUP_SANITIZE=address,undefined
+else
+  echo "== durable store under address,undefined sanitizers =="
+  cmake -B "$repo_root/build-store-sanitize" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDNSCUP_SANITIZE=address,undefined
+  cmake --build "$repo_root/build-store-sanitize" -j "$jobs" \
+    --target store_test recovery_test
+  ctest --test-dir "$repo_root/build-store-sanitize" \
+    -R '^(store_test|recovery_test)$' --output-on-failure -j "$jobs"
 fi
 
 echo "== all checks passed =="
