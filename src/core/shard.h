@@ -1,0 +1,95 @@
+// Track-file sharding (the seam the multi-worker runtime partitions on).
+//
+// The authority's hard state — the lease tuples of the track file — is
+// keyed by (holder, name, type).  shard_of() maps such a key onto one of N
+// shards with a stable FNV-1a hash, giving three properties the runtime
+// and its tests rely on:
+//
+//  * stability: the mapping depends only on the key bytes, never on
+//    process layout, so recovery partitions a durable lease set the same
+//    way on every start;
+//  * doubling compatibility: shard_of(k, 2N) % N == shard_of(k, N), i.e.
+//    going from N to 2N workers either keeps a key in place or moves it to
+//    shard(old + N) — resharding moves only the expected keys;
+//  * holder affinity (per shard count): all leases of one holder endpoint
+//    still spread by name, but any single (holder, name, type) tuple lives
+//    in exactly one shard, so grant/renew/revoke for a tuple is always a
+//    single-writer operation.
+//
+// Live traffic under SO_REUSEPORT is placed by the kernel's flow hash
+// (per holder socket), not by shard_of(); shard_of() governs recovered
+// state and the per-worker-port fallback.  A tuple that migrates between
+// the two placements is benign: CACHE-UPDATE is idempotent, and the
+// single-writer journal dedupes by key.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <vector>
+
+#include "core/persistence.h"
+#include "core/track_file.h"
+
+namespace dnscup::core {
+
+/// Stable 64-bit FNV-1a over the lease key bytes.  Name labels hash via
+/// their canonical (lower-cased) text so equal names always collide.
+inline uint64_t shard_hash(const net::Endpoint& holder, const dns::Name& name,
+                           dns::RRType type) {
+  constexpr uint64_t kOffset = 1469598103934665603ull;
+  constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t h = kOffset;
+  auto mix = [&h](uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= kPrime;
+    }
+  };
+  mix(holder.ip, 4);
+  mix(holder.port, 2);
+  const std::string text = name.to_string();
+  for (const char c : text) {
+    // Names compare case-insensitively, so equal names must hash equally.
+    h ^= static_cast<uint8_t>(
+        std::tolower(static_cast<unsigned char>(c)));
+    h *= kPrime;
+  }
+  mix(static_cast<uint64_t>(type), 2);
+  return h;
+}
+
+/// Shard index in [0, shards) for a lease key; shards must be >= 1.
+inline std::size_t shard_of(const net::Endpoint& holder,
+                            const dns::Name& name, dns::RRType type,
+                            std::size_t shards) {
+  return static_cast<std::size_t>(shard_hash(holder, name, type) % shards);
+}
+
+inline std::size_t shard_of(const Lease& lease, std::size_t shards) {
+  return shard_of(lease.holder, lease.name, lease.type, shards);
+}
+
+/// Splits a recovered state into per-shard states: leases partition by
+/// shard_of(); the zone-serial map (cross-shard by nature) is replicated
+/// so every shard's authority can detect missed zone changes for its own
+/// leaseholders.  Recovery telemetry stays on shard 0 to avoid
+/// double-counting when reports are summed.
+inline std::vector<RecoveredState> partition_recovered(
+    const RecoveredState& state, std::size_t shards) {
+  std::vector<RecoveredState> parts(shards);
+  for (RecoveredState& part : parts) {
+    part.zone_serials = state.zone_serials;
+    part.snapshot_lsn = state.snapshot_lsn;
+  }
+  if (!parts.empty()) {
+    parts[0].replayed_records = state.replayed_records;
+    parts[0].torn_records = state.torn_records;
+    parts[0].duration_us = state.duration_us;
+  }
+  for (const Lease& lease : state.leases) {
+    parts[shard_of(lease, shards)].leases.push_back(lease);
+  }
+  return parts;
+}
+
+}  // namespace dnscup::core

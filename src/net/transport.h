@@ -48,6 +48,9 @@ struct TrafficStats {
 /// transport_packets{dir=tx|rx} / transport_bytes{dir=tx|rx} counters and a
 /// transport_max_packet_bytes high-water gauge, all labeled with the local
 /// endpoint.  Detached (registry-invisible) until register_in is called.
+/// Counter/Gauge cells are relaxed atomics, so a UdpTransport may bump the
+/// rx side from its receiver thread while protocol code bumps tx — no lock
+/// is required around increments or snapshot().
 struct TrafficInstruments {
   metrics::Counter packets_sent;
   metrics::Counter packets_received;

@@ -19,16 +19,49 @@ constexpr uint32_t kLoopbackIp = 0x7F000001;  // 127.0.0.1
 }
 
 util::Result<std::unique_ptr<UdpTransport>> UdpTransport::bind(
-    uint16_t port, metrics::MetricsRegistry* metrics) {
+    const Options& options) {
   const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd < 0) {
     return util::make_error(util::ErrorCode::kIo,
                             std::string("socket: ") + std::strerror(errno));
   }
+  if (options.reuseport) {
+#ifdef SO_REUSEPORT
+    const int one = 1;
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return util::make_error(
+          util::ErrorCode::kUnsupported,
+          std::string("SO_REUSEPORT: ") + std::strerror(err));
+    }
+#else
+    ::close(fd);
+    return util::make_error(util::ErrorCode::kUnsupported,
+                            "SO_REUSEPORT not available on this platform");
+#endif
+  }
+  if (options.rcvbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &options.rcvbuf_bytes,
+                 sizeof options.rcvbuf_bytes);
+  }
+  if (options.sndbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options.sndbuf_bytes,
+                 sizeof options.sndbuf_bytes);
+  }
+#ifdef SO_RXQ_OVFL
+  {
+    // Ask the kernel to report receive-queue drops as ancillary data so
+    // the udp_rx_overflow counter reflects real loss, not just what we
+    // happened to read.
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_RXQ_OVFL, &one, sizeof one);
+  }
+#endif
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(kLoopbackIp);
-  addr.sin_port = htons(port);
+  addr.sin_port = htons(options.port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     const int err = errno;
     ::close(fd);
@@ -48,7 +81,16 @@ util::Result<std::unique_ptr<UdpTransport>> UdpTransport::bind(
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
 
   Endpoint local{kLoopbackIp, ntohs(addr.sin_port)};
-  return std::unique_ptr<UdpTransport>(new UdpTransport(fd, local, metrics));
+  return std::unique_ptr<UdpTransport>(
+      new UdpTransport(fd, local, options.metrics));
+}
+
+util::Result<std::unique_ptr<UdpTransport>> UdpTransport::bind(
+    uint16_t port, metrics::MetricsRegistry* metrics) {
+  Options options;
+  options.port = port;
+  options.metrics = metrics;
+  return bind(options);
 }
 
 UdpTransport::UdpTransport(int fd, Endpoint local,
@@ -56,18 +98,22 @@ UdpTransport::UdpTransport(int fd, Endpoint local,
     : fd_(fd), local_(local) {
   // Registration happens before the receiver thread starts, so the
   // (single-threaded) registry is never touched concurrently.
-  stats_.register_in(metrics::resolve(metrics), local_.to_string());
+  auto& registry = metrics::resolve(metrics);
+  stats_.register_in(registry, local_.to_string());
+  rx_overflow_ = registry.counter("udp_rx_overflow",
+                                  {{"endpoint", local_.to_string()}});
   receiver_ = std::thread([this] { receive_loop(); });
 }
 
-TrafficStats UdpTransport::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_.snapshot();
+TrafficStats UdpTransport::stats() const { return stats_.snapshot(); }
+
+void UdpTransport::stop_receiving() {
+  stopping_.store(true);
+  if (receiver_.joinable()) receiver_.join();
 }
 
 UdpTransport::~UdpTransport() {
-  stopping_.store(true);
-  if (receiver_.joinable()) receiver_.join();
+  stop_receiving();
   ::close(fd_);
 }
 
@@ -79,7 +125,6 @@ void UdpTransport::send(const Endpoint& to, std::span<const uint8_t> data) {
   const ssize_t n =
       ::sendto(fd_, data.data(), data.size(), 0,
                reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
-  std::lock_guard lock(mutex_);
   if (n >= 0) {
     ++stats_.packets_sent;
     stats_.bytes_sent += static_cast<uint64_t>(n);
@@ -88,7 +133,7 @@ void UdpTransport::send(const Endpoint& to, std::span<const uint8_t> data) {
 }
 
 void UdpTransport::set_receive_handler(ReceiveHandler handler) {
-  std::lock_guard lock(mutex_);
+  std::lock_guard lock(handler_mutex_);
   handler_ = std::move(handler);
 }
 
@@ -96,20 +141,40 @@ void UdpTransport::receive_loop() {
   std::array<uint8_t, 65536> buf;
   while (!stopping_.load()) {
     sockaddr_in from{};
-    socklen_t from_len = sizeof from;
-    const ssize_t n =
-        ::recvfrom(fd_, buf.data(), buf.size(), 0,
-                   reinterpret_cast<sockaddr*>(&from), &from_len);
+    iovec iov{buf.data(), buf.size()};
+    alignas(cmsghdr) std::array<uint8_t, 64> control;
+    msghdr msg{};
+    msg.msg_name = &from;
+    msg.msg_namelen = sizeof from;
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = control.data();
+    msg.msg_controllen = control.size();
+    const ssize_t n = ::recvmsg(fd_, &msg, 0);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
       break;  // socket closed or fatal error
     }
+#ifdef SO_RXQ_OVFL
+    for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+         cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+      if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SO_RXQ_OVFL) {
+        // The kernel reports the cumulative drop count; publish the delta.
+        uint32_t dropped = 0;
+        std::memcpy(&dropped, CMSG_DATA(cmsg), sizeof dropped);
+        if (dropped > last_overflow_) {
+          rx_overflow_ += dropped - last_overflow_;
+        }
+        last_overflow_ = dropped;
+      }
+    }
+#endif
     const Endpoint source{ntohl(from.sin_addr.s_addr), ntohs(from.sin_port)};
+    ++stats_.packets_received;
+    stats_.bytes_received += static_cast<uint64_t>(n);
     ReceiveHandler handler;
     {
-      std::lock_guard lock(mutex_);
-      ++stats_.packets_received;
-      stats_.bytes_received += static_cast<uint64_t>(n);
+      std::lock_guard lock(handler_mutex_);
       handler = handler_;
     }
     if (handler) {

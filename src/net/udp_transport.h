@@ -1,8 +1,13 @@
-// Real-socket UDP transport (loopback prototype).  A background thread
-// blocks on recvfrom and hands datagrams to the receive handler under a
-// mutex, so a single protocol object is never entered concurrently.
-// Used by the prototype example and socket smoke tests; everything else
-// runs on SimNetwork.
+// Real-socket UDP transport.  A background thread blocks on recvmsg and
+// hands datagrams to the receive handler; the handler pointer is the only
+// state behind the mutex.  Traffic counters are registry-backed atomics,
+// so send() is lock-free — protocol code may send from inside a receive
+// callback (the DNScup authority answers queries exactly there) without
+// serializing against stats reads.
+//
+// The sharded runtime (src/runtime) binds one such transport per worker
+// with SO_REUSEPORT so the kernel spreads query flows across workers;
+// everything deterministic still runs on SimNetwork.
 #pragma once
 
 #include <atomic>
@@ -16,6 +21,26 @@ namespace dnscup::net {
 
 class UdpTransport final : public Transport {
  public:
+  struct Options {
+    uint16_t port = 0;       ///< 0 lets the OS pick (see local_endpoint())
+    /// Join a SO_REUSEPORT group: several transports bind the same port
+    /// and the kernel hashes query flows across them.  bind() fails with
+    /// kUnsupported on kernels without it so callers can fall back to
+    /// per-worker ports.
+    bool reuseport = false;
+    /// Socket buffer sizes in bytes; 0 keeps the OS default.  An honest
+    /// load test needs a known rx buffer plus the overflow counter below.
+    int rcvbuf_bytes = 0;
+    int sndbuf_bytes = 0;
+    /// Traffic counters register here (default_registry() when null),
+    /// labeled with the local endpoint.
+    metrics::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Binds a UDP socket on 127.0.0.1 with the given options.
+  static util::Result<std::unique_ptr<UdpTransport>> bind(
+      const Options& options);
+
   /// Binds a UDP socket on 127.0.0.1.  Port 0 lets the OS pick; the chosen
   /// port is reflected in local_endpoint().  Traffic counters register in
   /// `metrics` (default_registry() when null) labeled with the endpoint.
@@ -31,8 +56,17 @@ class UdpTransport final : public Transport {
   void send(const Endpoint& to, std::span<const uint8_t> data) override;
   void set_receive_handler(ReceiveHandler handler) override;
 
-  /// Value snapshot of the traffic counters (taken under the mutex).
+  /// Joins the receiver thread; the socket stays open for send().  Used
+  /// by the runtime's drain sequence (stop intake, keep answering) and
+  /// idempotent — the destructor calls it too.
+  void stop_receiving();
+
+  /// Value snapshot of the traffic counters (atomics — no lock taken).
   TrafficStats stats() const;
+
+  /// Datagrams the kernel dropped because the socket's receive queue was
+  /// full (SO_RXQ_OVFL ancillary data; stays 0 where unsupported).
+  uint64_t rx_overflow() const { return rx_overflow_.value(); }
 
  private:
   UdpTransport(int fd, Endpoint local, metrics::MetricsRegistry* metrics);
@@ -41,9 +75,11 @@ class UdpTransport final : public Transport {
   int fd_;
   Endpoint local_;
   std::atomic<bool> stopping_{false};
-  mutable std::mutex mutex_;  // guards handler_ and stats_
+  mutable std::mutex handler_mutex_;  // guards handler_ only
   ReceiveHandler handler_;
   TrafficInstruments stats_;
+  metrics::Counter rx_overflow_;
+  uint32_t last_overflow_ = 0;  ///< receiver-thread-only cumulative mark
   std::thread receiver_;
 };
 

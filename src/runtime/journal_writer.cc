@@ -1,0 +1,135 @@
+#include "runtime/journal_writer.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace dnscup::runtime {
+
+util::Result<std::unique_ptr<JournalWriter>> JournalWriter::open(
+    store::Storage* storage, store::LeaseStore::Config config,
+    std::function<net::SimTime()> clock, core::RecoveredState* recovered) {
+  DNSCUP_ASSERT(recovered != nullptr);
+  auto writer =
+      std::unique_ptr<JournalWriter>(new JournalWriter(std::move(clock)));
+  config.metrics = &writer->registry_;
+  auto opened = store::LeaseStore::open(storage, config, recovered);
+  if (!opened.ok()) return opened.error();
+  writer->store_ = std::move(opened).value();
+  // Seed the mirror and the serial dedupe map with the recovered state:
+  // the store already holds these, so replaying them again would bloat
+  // the WAL without adding information.
+  for (const core::Lease& lease : recovered->leases) {
+    writer->mirror_.restore(lease);
+  }
+  writer->last_serial_ = recovered->zone_serials;
+  return writer;
+}
+
+JournalWriter::JournalWriter(std::function<net::SimTime()> clock)
+    : clock_(std::move(clock)) {}
+
+JournalWriter::~JournalWriter() { stop(); }
+
+void JournalWriter::start() {
+  DNSCUP_ASSERT(!running_.load());
+  stop_requested_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { run(); });
+}
+
+void JournalWriter::stop() {
+  if (!running_.load()) return;
+  stop_requested_.store(true);
+  wake_.wake();
+  thread_.join();
+  running_.store(false);
+}
+
+void JournalWriter::enqueue(Op op) { queue_.push(std::move(op)); }
+
+void JournalWriter::run_on_writer(std::function<void()> fn) {
+  if (!running_.load()) {
+    // Startup (before start()) and shutdown (after stop()) are
+    // single-threaded; run inline.
+    fn();
+    return;
+  }
+  std::promise<void> done;
+  auto future = done.get_future();
+  enqueue(OpCommand{[&fn, &done] {
+    fn();
+    done.set_value();
+  }});
+  future.wait();
+}
+
+metrics::Snapshot JournalWriter::metrics() {
+  metrics::Snapshot snapshot;
+  run_on_writer([&] { snapshot = registry_.snapshot(clock_()); });
+  return snapshot;
+}
+
+util::Status JournalWriter::write_snapshot() {
+  util::Status status = util::Status::ok_status();
+  run_on_writer([&] { status = store_->write_snapshot(mirror_, clock_()); });
+  return status;
+}
+
+bool JournalWriter::healthy() {
+  bool healthy = true;
+  run_on_writer([&] { healthy = store_->healthy(); });
+  return healthy;
+}
+
+void JournalWriter::run() {
+  std::deque<Op> batch;
+  for (;;) {
+    queue_.drain(batch);
+    if (batch.empty()) {
+      if (stop_requested_.load()) break;
+      wake_.wait_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    for (Op& op : batch) apply(op);
+    if (auto status = store_->maybe_snapshot(mirror_, clock_());
+        !status.ok()) {
+      DNSCUP_LOG_WARN("journal snapshot failed: %s",
+                      status.error().to_string().c_str());
+    }
+  }
+  // Final compaction so a clean shutdown restarts from a snapshot, not a
+  // WAL replay.
+  if (auto status = store_->write_snapshot(mirror_, clock_());
+      !status.ok()) {
+    DNSCUP_LOG_WARN("final journal snapshot failed: %s",
+                    status.error().to_string().c_str());
+  }
+}
+
+void JournalWriter::apply(Op& op) {
+  if (auto* grant = std::get_if<OpGrant>(&op)) {
+    store_->record_grant(grant->lease, grant->renewal);
+    mirror_.grant(grant->lease.holder, grant->lease.name, grant->lease.type,
+                  grant->lease.granted_at, grant->lease.length);
+  } else if (auto* revoke = std::get_if<OpRevoke>(&op)) {
+    store_->record_revoke(revoke->holder, revoke->name, revoke->type);
+    mirror_.revoke(revoke->holder, revoke->name, revoke->type);
+  } else if (auto* prune = std::get_if<OpPrune>(&op)) {
+    store_->record_prune(prune->now);
+    mirror_.prune(prune->now);
+  } else if (auto* serial = std::get_if<OpZoneSerial>(&op)) {
+    // Every shard's detection module reports the same serial change; one
+    // WAL record per actual change suffices.
+    auto it = last_serial_.find(serial->origin);
+    if (it != last_serial_.end() && it->second == serial->serial) return;
+    last_serial_[serial->origin] = serial->serial;
+    store_->record_zone_serial(serial->origin, serial->serial);
+  } else if (auto* command = std::get_if<OpCommand>(&op)) {
+    command->fn();
+  }
+}
+
+}  // namespace dnscup::runtime

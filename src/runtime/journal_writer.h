@@ -1,0 +1,140 @@
+// Single-writer durable journaling for the sharded runtime.
+//
+// The WAL/snapshot store (store::LeaseStore) is strictly single-threaded,
+// and the recovery equivalence guarantee depends on one totally-ordered
+// record stream.  Workers therefore never touch the store: each worker's
+// DnscupAuthority journals into a ShardJournal facade that forwards every
+// lease op over a bounded MPSC queue (blocking push — durability ops are
+// never dropped, a full queue backpressures the worker) to one writer
+// thread, which owns the LeaseStore plus a *mirror* TrackFile.  The mirror
+// is the union of all shards' lease state rebuilt from the op stream; it
+// is what compacting snapshots serialize, so snapshots stay whole-state
+// even though no worker ever sees another worker's shard.
+//
+// Per-key ordering is preserved end to end: all ops for one
+// (holder, name, type) tuple originate from the single worker that owns
+// the flow, and the queue is FIFO per producer.  Cross-key interleaving
+// across workers is arbitrary — exactly as meaningless to replay as it is
+// in a single-threaded run.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <thread>
+#include <variant>
+
+#include "core/persistence.h"
+#include "core/shard.h"
+#include "core/track_file.h"
+#include "runtime/mpsc_queue.h"
+#include "store/lease_store.h"
+#include "util/metrics.h"
+#include "util/result.h"
+
+namespace dnscup::runtime {
+
+class JournalWriter {
+ public:
+  /// Opens the store under `config.dir` (crash recovery included; the
+  /// surviving state lands in `recovered`) and prepares — but does not
+  /// start — the writer thread.  `clock` supplies the runtime's wall
+  /// microsecond clock for snapshot timestamps.  The storage backend must
+  /// outlive the writer.
+  static util::Result<std::unique_ptr<JournalWriter>> open(
+      store::Storage* storage, store::LeaseStore::Config config,
+      std::function<net::SimTime()> clock, core::RecoveredState* recovered);
+
+  ~JournalWriter();
+
+  /// Starts the writer thread.  Call after all workers are constructed
+  /// (their recover() runs on the starting thread first).
+  void start();
+
+  /// Drains the op queue, writes a final compacting snapshot and joins.
+  /// Idempotent.  Producers must already be quiescent.
+  void stop();
+
+  /// The StateJournal facade workers attach to their track files.  One
+  /// instance serves every shard: the methods only enqueue.
+  core::StateJournal& shard_journal() { return shard_journal_; }
+
+  /// Blocking scrape of the writer's registry (store_* instruments and
+  /// the mirror's track_file_* counters), executed on the writer thread.
+  metrics::Snapshot metrics();
+
+  /// Forces a compacting snapshot of the mirror now (blocking).
+  util::Status write_snapshot();
+
+  bool healthy();
+
+ private:
+  struct OpGrant {
+    core::Lease lease;
+    bool renewal;
+  };
+  struct OpRevoke {
+    net::Endpoint holder;
+    dns::Name name;
+    dns::RRType type;
+  };
+  struct OpPrune {
+    net::SimTime now;
+  };
+  struct OpZoneSerial {
+    dns::Name origin;
+    uint32_t serial;
+  };
+  struct OpCommand {
+    std::function<void()> fn;
+  };
+  using Op = std::variant<OpGrant, OpRevoke, OpPrune, OpZoneSerial,
+                          OpCommand>;
+
+  class ShardJournal final : public core::StateJournal {
+   public:
+    explicit ShardJournal(JournalWriter* writer) : writer_(writer) {}
+    void record_grant(const core::Lease& lease, bool renewal) override {
+      writer_->enqueue(OpGrant{lease, renewal});
+    }
+    void record_revoke(const net::Endpoint& holder, const dns::Name& name,
+                       dns::RRType type) override {
+      writer_->enqueue(OpRevoke{holder, name, type});
+    }
+    void record_prune(net::SimTime now) override {
+      writer_->enqueue(OpPrune{now});
+    }
+    void record_zone_serial(const dns::Name& origin,
+                            uint32_t serial) override {
+      writer_->enqueue(OpZoneSerial{origin, serial});
+    }
+
+   private:
+    JournalWriter* writer_;
+  };
+
+  explicit JournalWriter(std::function<net::SimTime()> clock);
+
+  void enqueue(Op op);
+  /// Runs `fn` on the writer thread and waits — or inline when the
+  /// thread is not running (startup and post-stop are single-threaded).
+  void run_on_writer(std::function<void()> fn);
+  void run();
+  void apply(Op& op);
+
+  std::function<net::SimTime()> clock_;
+  metrics::MetricsRegistry registry_;
+  std::unique_ptr<store::LeaseStore> store_;
+  core::TrackFile mirror_{&registry_};
+  std::map<dns::Name, uint32_t> last_serial_;
+  ShardJournal shard_journal_{this};
+  WakeSignal wake_;
+  BoundedMpscQueue<Op> queue_{8192, &wake_};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace dnscup::runtime

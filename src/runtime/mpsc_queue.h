@@ -1,0 +1,107 @@
+// Bounded multi-producer/single-consumer queue — the only way state
+// crosses threads in the sharded runtime (the "no shared mutable state
+// without a queue" rule, DESIGN.md §5).
+//
+// Producers choose their overload behaviour per call site:
+//   push()      blocks until space frees up — backpressure for producers
+//               that must not lose items (journal ops, control commands);
+//   try_push()  fails fast — for producers that must never block (the UDP
+//               receiver thread drops the datagram and counts it, exactly
+//               like a full kernel socket queue).
+// The single consumer drains with drain(), which swaps the whole batch
+// out under one lock acquisition.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+namespace dnscup::runtime {
+
+/// Latched wakeup flag: wake() from any thread, wait_for() on the
+/// consumer.  The latch closes the race between "queues look empty" and
+/// "producer pushed right after" — a wake arriving before the wait still
+/// terminates it immediately.
+class WakeSignal {
+ public:
+  void wake() {
+    {
+      std::lock_guard lock(mutex_);
+      pending_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  template <typename Rep, typename Period>
+  void wait_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    cv_.wait_for(lock, timeout, [this] { return pending_; });
+    pending_ = false;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool pending_ = false;
+};
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  /// `wake` (optional, not owned) is signalled after every successful
+  /// push so the consumer need not poll.
+  explicit BoundedMpscQueue(std::size_t capacity, WakeSignal* wake = nullptr)
+      : capacity_(capacity), wake_(wake) {}
+
+  /// Blocks while the queue is full (producer backpressure).
+  void push(T item) {
+    {
+      std::unique_lock lock(mutex_);
+      not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+      items_.push_back(std::move(item));
+    }
+    if (wake_ != nullptr) wake_->wake();
+  }
+
+  /// Non-blocking; false when full (caller drops and accounts the item).
+  bool try_push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    if (wake_ != nullptr) wake_->wake();
+    return true;
+  }
+
+  /// Swaps the queued batch into `out` (cleared first).  Single consumer.
+  void drain(std::deque<T>& out) {
+    out.clear();
+    {
+      std::lock_guard lock(mutex_);
+      items_.swap(out);
+    }
+    if (!out.empty()) not_full_.notify_all();
+  }
+
+  bool empty() const {
+    std::lock_guard lock(mutex_);
+    return items_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  WakeSignal* wake_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+};
+
+}  // namespace dnscup::runtime

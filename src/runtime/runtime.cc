@@ -1,0 +1,312 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace dnscup::runtime {
+
+ServingRuntime::Worker::Worker(const Config& config)
+    : inbox(config.inbox_capacity, &wake),
+      commands(config.command_capacity, &wake) {}
+
+ServingRuntime::ServingRuntime(Config config) : config_(std::move(config)) {
+  if (config_.workers < 1) config_.workers = 1;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+ServingRuntime::~ServingRuntime() { stop(); }
+
+net::SimTime ServingRuntime::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+util::Status ServingRuntime::bind_sockets() {
+  const int n = config_.workers;
+  auto options_for = [this](Worker& worker, uint16_t port, bool reuseport) {
+    net::UdpTransport::Options options;
+    options.port = port;
+    options.reuseport = reuseport;
+    options.rcvbuf_bytes = config_.rcvbuf_bytes;
+    options.sndbuf_bytes = config_.sndbuf_bytes;
+    options.metrics = &worker.registry;
+    return options;
+  };
+
+  if (config_.reuseport) {
+    bool unsupported = false;
+    uint16_t group_port = config_.port;
+    for (int i = 0; i < n; ++i) {
+      auto bound =
+          net::UdpTransport::bind(options_for(*workers_[i], group_port, true));
+      if (!bound.ok()) {
+        if (bound.error().code == util::ErrorCode::kUnsupported) {
+          // Kernel without SO_REUSEPORT: release what we bound and fall
+          // back to one port per worker below.
+          unsupported = true;
+          for (int j = 0; j < i; ++j) workers_[j]->udp.reset();
+          break;
+        }
+        return bound.error();
+      }
+      workers_[i]->udp = std::move(bound).value();
+      // Port 0 resolves on the first bind; the rest join that group.
+      group_port = workers_[i]->udp->local_endpoint().port;
+    }
+    if (!unsupported) {
+      reuseport_active_ = true;
+      endpoints_ = {workers_[0]->udp->local_endpoint()};
+      return util::Status::ok_status();
+    }
+  }
+
+  // Per-worker ports: worker i serves port + i (all ephemeral when the
+  // configured port is 0).  shard.h's shard_of() tells clients with a
+  // recovered lease which port their tuple lives behind.
+  reuseport_active_ = false;
+  endpoints_.clear();
+  for (int i = 0; i < n; ++i) {
+    const uint16_t port =
+        config_.port == 0 ? 0 : static_cast<uint16_t>(config_.port + i);
+    auto bound = net::UdpTransport::bind(options_for(*workers_[i], port, false));
+    if (!bound.ok()) return bound.error();
+    workers_[i]->udp = std::move(bound).value();
+    endpoints_.push_back(workers_[i]->udp->local_endpoint());
+  }
+  return util::Status::ok_status();
+}
+
+util::Result<std::unique_ptr<ServingRuntime>> ServingRuntime::start(
+    Config config, std::vector<dns::Zone> zones) {
+  auto runtime =
+      std::unique_ptr<ServingRuntime>(new ServingRuntime(std::move(config)));
+  const Config& cfg = runtime->config_;
+  const int n = cfg.workers;
+
+  // Durable path first: recovery must finish before any shard serves.
+  core::RecoveredState recovered;
+  if (cfg.dnscup && !cfg.state_dir.empty()) {
+    store::LeaseStore::Config store_config;
+    store_config.dir = cfg.state_dir;
+    store_config.fsync = cfg.fsync;
+    store_config.snapshot_every_records = cfg.snapshot_every_records;
+    ServingRuntime* rt = runtime.get();
+    auto writer = JournalWriter::open(
+        &runtime->storage_, store_config, [rt] { return rt->now_us(); },
+        &recovered);
+    if (!writer.ok()) return writer.error();
+    runtime->writer_ = std::move(writer).value();
+  }
+
+  runtime->workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    runtime->workers_.push_back(std::make_unique<Worker>(cfg));
+    runtime->workers_.back()->index = i;
+  }
+  if (auto status = runtime->bind_sockets(); !status.ok()) {
+    return status.error();
+  }
+
+  // Per-shard protocol stacks.  Each worker gets its own copy of every
+  // zone; the registries stay per-worker and merge only at scrape time.
+  const std::size_t shard_budget =
+      std::max<std::size_t>(1, (cfg.storage_budget + n - 1) / n);
+  for (int i = 0; i < n; ++i) {
+    Worker& worker = *runtime->workers_[i];
+    worker.shim.udp = worker.udp.get();
+    worker.inbox_dropped = worker.registry.counter(
+        "runtime_inbox_dropped", {{"worker", std::to_string(i)}});
+    worker.server = std::make_unique<server::AuthServer>(
+        worker.shim, worker.loop, server::AuthServer::Role::kMaster,
+        &worker.registry);
+    worker.server->set_round_robin(cfg.round_robin);
+    for (const dns::Zone& zone : zones) worker.server->add_zone(zone);
+    if (cfg.dnscup) {
+      core::DnscupAuthority::Config dc;
+      const net::Duration max_lease = cfg.max_lease;
+      dc.max_lease = [max_lease](const dns::Name&, dns::RRType) {
+        return max_lease;
+      };
+      dc.policy = cfg.policy;
+      dc.storage_budget = shard_budget;
+      dc.notification = cfg.notification;
+      dc.notification.metrics = &worker.registry;
+      dc.metrics = &worker.registry;
+      dc.journal = runtime->writer_ != nullptr
+                       ? &runtime->writer_->shard_journal()
+                       : nullptr;
+      worker.dnscup = std::make_unique<core::DnscupAuthority>(
+          *worker.server, worker.loop, dc);
+    }
+  }
+
+  // Recovery: partition the surviving lease set by shard_of() and let
+  // every shard re-adopt its slice (runs on this thread; no worker
+  // threads exist yet, so no locking).
+  if (runtime->writer_ != nullptr) {
+    runtime->recovery_.replayed_records = recovered.replayed_records;
+    runtime->recovery_.torn_records = recovered.torn_records;
+    const auto parts = core::partition_recovered(recovered, n);
+    for (int i = 0; i < n; ++i) {
+      const auto report = runtime->workers_[i]->dnscup->recover(parts[i]);
+      runtime->recovery_.leases_restored += report.leases_restored;
+      runtime->recovery_.leases_expired += report.leases_expired;
+      runtime->recovery_.changes_pushed += report.changes_pushed;
+      runtime->recovery_.zones_changed =
+          std::max(runtime->recovery_.zones_changed, report.zones_changed);
+    }
+  }
+
+  // Go live: journal thread, worker threads, then socket intake.
+  if (runtime->writer_ != nullptr) runtime->writer_->start();
+  runtime->running_.store(true);
+  for (int i = 0; i < n; ++i) {
+    Worker& worker = *runtime->workers_[i];
+    worker.thread =
+        std::thread([rt = runtime.get(), &worker] { rt->worker_loop(worker); });
+    worker.udp->set_receive_handler(
+        [&worker](const net::Endpoint& from, std::span<const uint8_t> data) {
+          Datagram datagram{from, {data.begin(), data.end()}};
+          if (!worker.inbox.try_push(std::move(datagram))) {
+            worker.inbox_dropped.inc();
+          }
+        });
+  }
+  return runtime;
+}
+
+void ServingRuntime::worker_loop(Worker& worker) {
+  std::deque<Datagram> datagrams;
+  std::deque<std::function<void()>> commands;
+  for (;;) {
+    worker.inbox.drain(datagrams);
+    for (Datagram& datagram : datagrams) {
+      if (worker.shim.handler) {
+        worker.shim.handler(datagram.from, datagram.data);
+      }
+    }
+    worker.commands.drain(commands);
+    for (auto& command : commands) command();
+    // Advance the shard's event loop to wall time: retransmission timers
+    // and lease-expiry prunes fire here, on the owning thread.
+    worker.loop.run_until(now_us());
+    if (worker.stop.load(std::memory_order_acquire)) {
+      if (worker.inbox.empty() && worker.commands.empty()) break;
+      continue;  // drain what arrived before intake stopped
+    }
+    if (worker.inbox.empty() && worker.commands.empty()) {
+      worker.wake.wait_for(std::chrono::milliseconds(2));
+    }
+  }
+}
+
+void ServingRuntime::stop() {
+  if (!running_.exchange(false)) return;
+  // 1. Stop intake: join the socket receiver threads.  The sockets stay
+  //    open, so queued queries drained below can still be answered.
+  for (auto& worker : workers_) worker->udp->stop_receiving();
+  // 2. Drain and join the workers.
+  for (auto& worker : workers_) {
+    worker->stop.store(true, std::memory_order_release);
+    worker->wake.wake();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  // 3. Flush the journal: every op the workers enqueued lands in the WAL,
+  //    then a final compacting snapshot.
+  if (writer_ != nullptr) writer_->stop();
+}
+
+void ServingRuntime::run_on_worker(Worker& worker, std::function<void()> fn) {
+  if (!running_.load()) {
+    // Workers are quiescent (pre-start never happens — start() returns a
+    // running runtime — so this is post-stop inspection).
+    fn();
+    return;
+  }
+  std::promise<void> done;
+  auto finished = done.get_future();
+  worker.commands.push([&fn, &done] {
+    fn();
+    done.set_value();
+  });
+  finished.wait();
+}
+
+std::size_t ServingRuntime::reload_zone(dns::Zone zone) {
+  // One immutable snapshot of the new version, shared by every shard;
+  // each worker copies from it and diffs/swaps on its own thread.
+  auto snapshot = std::make_shared<const dns::Zone>(std::move(zone));
+  std::size_t changes = 0;
+  for (auto& worker : workers_) {
+    run_on_worker(*worker, [&worker, &snapshot, &changes] {
+      changes = worker->server->reload_zone(*snapshot);
+    });
+  }
+  return changes;
+}
+
+metrics::Snapshot ServingRuntime::metrics() {
+  metrics::Snapshot merged;
+  merged.timestamp_us = now_us();
+  bool first = true;
+  for (auto& worker : workers_) {
+    metrics::Snapshot shard;
+    run_on_worker(*worker, [this, &worker, &shard] {
+      shard = worker->registry.snapshot(now_us());
+    });
+    if (first) {
+      shard.timestamp_us = merged.timestamp_us;
+      merged = std::move(shard);
+      first = false;
+    } else {
+      merged.merge(shard);
+    }
+  }
+  if (writer_ != nullptr) merged.merge(writer_->metrics());
+  return merged;
+}
+
+std::vector<core::Lease> ServingRuntime::collect_leases() {
+  std::vector<core::Lease> all;
+  for (auto& worker : workers_) {
+    if (worker->dnscup == nullptr) continue;
+    run_on_worker(*worker, [&worker, &all] {
+      worker->dnscup->track_file().for_each(
+          [&all](const core::Lease& lease) { all.push_back(lease); });
+    });
+  }
+  return all;
+}
+
+std::string ServingRuntime::serialize_track_files() {
+  // Rebuild one track file from all shards: restore() bypasses journal
+  // and stats, and the map ordering makes the output canonical — byte
+  // identical to a single-threaded authority holding the same leases.
+  metrics::MetricsRegistry scratch;
+  core::TrackFile merged(&scratch);
+  for (const core::Lease& lease : collect_leases()) merged.restore(lease);
+  return merged.serialize(now_us());
+}
+
+std::size_t ServingRuntime::live_leases() {
+  const net::SimTime now = now_us();
+  std::size_t live = 0;
+  for (const core::Lease& lease : collect_leases()) {
+    if (lease.valid(now)) ++live;
+  }
+  return live;
+}
+
+util::Status ServingRuntime::write_snapshot() {
+  if (writer_ == nullptr) return util::Status::ok_status();
+  return writer_->write_snapshot();
+}
+
+}  // namespace dnscup::runtime

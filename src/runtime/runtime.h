@@ -1,0 +1,221 @@
+// Sharded multi-worker serving runtime.
+//
+// ServingRuntime runs N workers.  Each worker owns, privately and
+// exclusively on its own thread:
+//
+//   * an EventLoop (retransmission timers, lease expiry),
+//   * a real UDP socket — all workers in one SO_REUSEPORT group on the
+//     configured port, so the kernel's flow hash spreads query streams
+//     across workers (per-worker ports when REUSEPORT is unavailable),
+//   * an AuthServer with its own copy of the (immutable-per-version) zone
+//     data, and
+//   * a DnscupAuthority shard: the worker's slice of the track file, its
+//     own grant policy and CACHE-UPDATE retransmission state.
+//
+// The query hot path — receive, grant lease, answer, push updates — takes
+// zero locks: every touched structure is worker-private, and the only
+// shared cells are relaxed-atomic metrics.  Everything cross-shard flows
+// over bounded MPSC queues:
+//
+//   * datagrams: the socket's receiver thread enqueues into the worker's
+//     inbox (try_push; overflow is dropped and counted, mirroring kernel
+//     socket-queue behaviour),
+//   * control commands (zone reload, metrics scrape, lease collection,
+//     graceful drain): closures with completion futures,
+//   * durability: lease ops stream to the single JournalWriter thread
+//     that owns the PR-2 LeaseStore (see journal_writer.h).
+//
+// Zone distribution is snapshot-based: reload_zone() materializes one
+// shared_ptr<const Zone> and hands it to every worker; each worker diffs
+// and swaps its served copy on its own thread, then fans CACHE-UPDATE out
+// to the leaseholders in its shard.
+//
+// Deterministic simulation tests are untouched by all of this: they keep
+// driving a single EventLoop directly; the runtime is the real-socket
+// serving layer on top of the same components.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dnscup_authority.h"
+#include "core/shard.h"
+#include "net/event_loop.h"
+#include "net/udp_transport.h"
+#include "runtime/journal_writer.h"
+#include "runtime/mpsc_queue.h"
+#include "server/authoritative.h"
+#include "store/lease_store.h"
+#include "util/metrics.h"
+#include "util/result.h"
+
+namespace dnscup::runtime {
+
+struct Config {
+  /// Serving port; 0 picks an ephemeral port (reflected in endpoints()).
+  uint16_t port = 5300;
+  int workers = 1;
+  /// Try one SO_REUSEPORT group on `port`.  When binding the group fails
+  /// (old kernel), the runtime falls back to per-worker ports: worker i
+  /// serves port + i (all ephemeral when port == 0).
+  bool reuseport = true;
+  int rcvbuf_bytes = 1 << 20;
+  int sndbuf_bytes = 1 << 20;
+
+  bool dnscup = true;
+  bool round_robin = false;
+  net::Duration max_lease = net::seconds(3600);
+  core::DnscupAuthority::PolicyKind policy =
+      core::DnscupAuthority::PolicyKind::kStorageBudget;
+  /// Total live-lease budget, split evenly across shards.
+  std::size_t storage_budget = 100000;
+  core::NotificationModule::Config notification;
+
+  /// Durable state directory; empty = volatile authority.
+  std::string state_dir;
+  store::FsyncPolicy fsync = store::FsyncPolicy::kAlways;
+  uint64_t snapshot_every_records = 4096;
+
+  /// Datagrams buffered per worker between the socket's receiver thread
+  /// and the worker thread; overflow drops (counted as
+  /// runtime_inbox_dropped).
+  std::size_t inbox_capacity = 4096;
+  std::size_t command_capacity = 256;
+};
+
+/// What start() recovered from the durable store, summed over shards.
+struct RecoverySummary {
+  uint64_t leases_restored = 0;
+  uint64_t leases_expired = 0;
+  uint64_t zones_changed = 0;
+  uint64_t changes_pushed = 0;
+  uint64_t replayed_records = 0;
+  uint64_t torn_records = 0;
+};
+
+class ServingRuntime {
+ public:
+  /// Binds sockets, builds all shards, runs crash recovery (when
+  /// `config.state_dir` is set) and starts the worker + journal threads.
+  /// `zones` is copied into every shard.
+  static util::Result<std::unique_ptr<ServingRuntime>> start(
+      Config config, std::vector<dns::Zone> zones);
+
+  ~ServingRuntime();
+
+  ServingRuntime(const ServingRuntime&) = delete;
+  ServingRuntime& operator=(const ServingRuntime&) = delete;
+
+  /// Graceful drain: stops socket intake, lets every worker answer what
+  /// is already queued, flushes the journal and writes a final snapshot.
+  /// Idempotent.  Unacked CACHE-UPDATE retransmissions are abandoned
+  /// (their leases stay durable and recover on the next start).
+  void stop();
+
+  /// The serving endpoints: one entry in REUSEPORT mode, one per worker
+  /// in fallback mode.
+  const std::vector<net::Endpoint>& endpoints() const { return endpoints_; }
+  bool reuseport_active() const { return reuseport_active_; }
+  int workers() const { return static_cast<int>(workers_.size()); }
+  const RecoverySummary& recovery() const { return recovery_; }
+  bool durable() const { return writer_ != nullptr; }
+
+  /// Microseconds since start() — the wall clock every shard's EventLoop
+  /// advances to, so lease timestamps are comparable across shards.
+  net::SimTime now_us() const;
+
+  // Cross-shard control plane (each call fans a command to every worker
+  // and blocks for completion; callable from any non-worker thread).
+
+  /// Distributes a new zone version to every shard; returns the RRset
+  /// change count the diff detected (identical in every shard).
+  std::size_t reload_zone(dns::Zone zone);
+
+  /// Merged snapshot: per-worker registries (scraped on their own
+  /// threads) + the journal writer's registry, aggregated with
+  /// Snapshot::merge.
+  metrics::Snapshot metrics();
+
+  /// All shards' leases, collected on their owning threads.
+  std::vector<core::Lease> collect_leases();
+
+  /// Merged track-file serialization (canonical order — what a
+  /// single-threaded authority with the same leases would print).
+  std::string serialize_track_files();
+
+  /// Valid leases across all shards at now_us().
+  std::size_t live_leases();
+
+  /// Forces a durable snapshot; ok_status() when volatile.
+  util::Status write_snapshot();
+
+ private:
+  struct Datagram {
+    net::Endpoint from;
+    std::vector<uint8_t> data;
+  };
+
+  /// Transport facade the protocol stack sees: sends go straight to the
+  /// worker's UDP socket (lock-free), the receive handler is invoked by
+  /// the worker thread when it drains its inbox.
+  class ShimTransport final : public net::Transport {
+   public:
+    const net::Endpoint& local_endpoint() const override {
+      return udp->local_endpoint();
+    }
+    void send(const net::Endpoint& to,
+              std::span<const uint8_t> data) override {
+      udp->send(to, data);
+    }
+    void set_receive_handler(ReceiveHandler h) override {
+      handler = std::move(h);
+    }
+
+    net::UdpTransport* udp = nullptr;
+    ReceiveHandler handler;
+  };
+
+  struct Worker {
+    explicit Worker(const Config& config);
+
+    int index = 0;
+    metrics::MetricsRegistry registry;
+    net::EventLoop loop{&registry};
+    WakeSignal wake;
+    BoundedMpscQueue<Datagram> inbox;
+    BoundedMpscQueue<std::function<void()>> commands;
+    ShimTransport shim;
+    std::unique_ptr<net::UdpTransport> udp;
+    std::unique_ptr<server::AuthServer> server;
+    std::unique_ptr<core::DnscupAuthority> dnscup;
+    metrics::Counter inbox_dropped;
+    std::atomic<bool> stop{false};
+    std::thread thread;
+  };
+
+  explicit ServingRuntime(Config config);
+
+  util::Status bind_sockets();
+  void worker_loop(Worker& worker);
+  /// Runs `fn` on worker `w` and waits.  After stop() the workers are
+  /// quiescent and the closure runs inline on the caller.
+  void run_on_worker(Worker& worker, std::function<void()> fn);
+
+  Config config_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<net::Endpoint> endpoints_;
+  bool reuseport_active_ = false;
+  store::PosixStorage storage_;
+  std::unique_ptr<JournalWriter> writer_;
+  RecoverySummary recovery_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace dnscup::runtime

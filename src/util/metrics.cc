@@ -663,10 +663,12 @@ Snapshot MetricsRegistry::snapshot(int64_t timestamp_us) const {
     entry.kind = instrument.kind;
     switch (instrument.kind) {
       case InstrumentKind::kCounter:
-        entry.counter_value = instrument.counter->value;
+        entry.counter_value =
+            instrument.counter->value.load(std::memory_order_relaxed);
         break;
       case InstrumentKind::kGauge:
-        entry.gauge_value = instrument.gauge->value;
+        entry.gauge_value =
+            instrument.gauge->value.load(std::memory_order_relaxed);
         break;
       case InstrumentKind::kHistogram: {
         const detail::HistogramCell& cell = *instrument.histogram;

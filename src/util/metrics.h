@@ -3,9 +3,12 @@
 // Every module publishes its counters through a MetricsRegistry instead of
 // ad-hoc `struct Stats` fields.  The design follows three constraints:
 //
-//  * hot-path increments are plain uint64_t/double bumps behind an inline
-//    handle — no locks, no atomics: the event loop is single-threaded by
-//    design (UdpTransport serializes its receive path with its own mutex);
+//  * hot-path increments are relaxed atomic bumps behind an inline handle —
+//    no locks: Counter and Gauge cells are lock-free atomics so the sharded
+//    runtime's worker threads and the UDP receiver threads can bump (and a
+//    scraper can read) the same cell without a data race.  Histograms stay
+//    single-threaded by design (multi-threaded components snapshot them on
+//    their owning thread and merge the snapshots);
 //  * instruments are *registry-owned cells*; handles (Counter, Gauge,
 //    HistogramMetric) are cheap shared references, so a module's public
 //    `Stats` accessor can materialize a value snapshot without the module
@@ -22,6 +25,7 @@
 //   cache_update_messages{result="sent"|"retransmit"|"acked"|"failed"}.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -55,12 +59,16 @@ struct HistogramOptions {
 
 namespace detail {
 
+// Counter/Gauge cells are relaxed atomics: increments never synchronize
+// anything (they are pure telemetry), they only need to be free of data
+// races when a transport receiver thread and a worker thread touch the
+// same registry.
 struct CounterCell {
-  uint64_t value = 0;
+  std::atomic<uint64_t> value{0};
 };
 
 struct GaugeCell {
-  double value = 0.0;
+  std::atomic<double> value{0.0};
 };
 
 struct HistogramCell {
@@ -78,18 +86,22 @@ class Counter {
  public:
   Counter() : cell_(std::make_shared<detail::CounterCell>()) {}
 
-  void inc(uint64_t n = 1) { cell_->value += n; }
-  uint64_t value() const { return cell_->value; }
+  void inc(uint64_t n = 1) {
+    cell_->value.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const {
+    return cell_->value.load(std::memory_order_relaxed);
+  }
 
   Counter& operator++() {
-    ++cell_->value;
+    inc();
     return *this;
   }
   Counter& operator+=(uint64_t n) {
-    cell_->value += n;
+    inc(n);
     return *this;
   }
-  operator uint64_t() const { return cell_->value; }
+  operator uint64_t() const { return value(); }
 
  private:
   friend class MetricsRegistry;
@@ -103,14 +115,26 @@ class Gauge {
  public:
   Gauge() : cell_(std::make_shared<detail::GaugeCell>()) {}
 
-  void set(double v) { cell_->value = v; }
-  void add(double d) { cell_->value += d; }
+  void set(double v) { cell_->value.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    // CAS loop instead of fetch_add: atomic<double>::fetch_add is C++20
+    // but not universally lock-free; this compiles to the same loop.
+    double cur = cell_->value.load(std::memory_order_relaxed);
+    while (!cell_->value.compare_exchange_weak(cur, cur + d,
+                                               std::memory_order_relaxed)) {
+    }
+  }
   /// High-water-mark update: keeps the maximum of all observed values.
   void set_max(double v) {
-    if (v > cell_->value) cell_->value = v;
+    double cur = cell_->value.load(std::memory_order_relaxed);
+    while (cur < v && !cell_->value.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
   }
-  double value() const { return cell_->value; }
-  operator double() const { return cell_->value; }
+  double value() const {
+    return cell_->value.load(std::memory_order_relaxed);
+  }
+  operator double() const { return value(); }
 
  private:
   friend class MetricsRegistry;

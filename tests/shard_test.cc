@@ -1,0 +1,152 @@
+#include "core/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/rng.h"
+
+namespace dnscup::core {
+namespace {
+
+Lease make_lease(uint32_t ip, uint16_t port, const std::string& name,
+                 dns::RRType type = dns::RRType::kA) {
+  Lease lease;
+  lease.holder = net::Endpoint{ip, port};
+  lease.name = dns::Name::parse(name).value();
+  lease.type = type;
+  lease.granted_at = 1000;
+  lease.length = net::seconds(60);
+  return lease;
+}
+
+/// A synthetic-but-diverse lease population: many holders, Zipf-ish name
+/// reuse, mixed types.
+std::vector<Lease> population(std::size_t count) {
+  util::Rng rng(42);
+  std::vector<Lease> leases;
+  leases.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const uint32_t ip = net::make_ip(
+        10, 0, static_cast<uint8_t>(rng.uniform_int(0, 3)),
+        static_cast<uint8_t>(rng.uniform_int(1, 250)));
+    const uint16_t port =
+        static_cast<uint16_t>(rng.uniform_int(1024, 65000));
+    const std::string name =
+        "w" + std::to_string(rng.uniform_int(0, 499)) + ".example.com";
+    const dns::RRType type =
+        rng.chance(0.2) ? dns::RRType::kAAAA : dns::RRType::kA;
+    leases.push_back(make_lease(ip, port, name, type));
+  }
+  return leases;
+}
+
+TEST(Shard, StableAndInRange) {
+  for (const Lease& lease : population(500)) {
+    for (const std::size_t n : {1u, 2u, 3u, 7u, 16u}) {
+      const std::size_t shard = shard_of(lease, n);
+      EXPECT_LT(shard, n);
+      // Deterministic: same key, same shard, every time.
+      EXPECT_EQ(shard, shard_of(lease.holder, lease.name, lease.type, n));
+    }
+  }
+}
+
+TEST(Shard, NameCaseDoesNotChangeShard) {
+  // dns::Name comparisons are case-insensitive, so two spellings of one
+  // name are the same lease key and must land in the same shard.
+  const auto lower = make_lease(0x0A000001, 5353, "www.example.com");
+  const auto upper = make_lease(0x0A000001, 5353, "WWW.Example.COM");
+  for (const std::size_t n : {2u, 4u, 13u}) {
+    EXPECT_EQ(shard_of(lower, n), shard_of(upper, n)) << "shards=" << n;
+  }
+}
+
+TEST(Shard, DoublingMovesOnlyExpectedKeys) {
+  // Resharding property: going N -> 2N, a key either stays on its shard s
+  // or moves to s + N; equivalently shard_of(k, 2N) % N == shard_of(k, N).
+  for (const Lease& lease : population(2000)) {
+    for (const std::size_t n : {1u, 2u, 4u, 8u}) {
+      const std::size_t before = shard_of(lease, n);
+      const std::size_t after = shard_of(lease, 2 * n);
+      EXPECT_EQ(after % n, before)
+          << "key must stay or move exactly +" << n;
+      EXPECT_TRUE(after == before || after == before + n);
+    }
+  }
+}
+
+TEST(Shard, SpreadIsReasonable) {
+  // Not a statistical guarantee, just a tripwire against a degenerate
+  // hash: 2000 keys over 8 shards should not starve any shard.
+  std::map<std::size_t, std::size_t> counts;
+  const auto leases = population(2000);
+  for (const Lease& lease : leases) ++counts[shard_of(lease, 8)];
+  ASSERT_EQ(counts.size(), 8u);
+  for (const auto& [shard, count] : counts) {
+    EXPECT_GT(count, leases.size() / 8 / 3)
+        << "shard " << shard << " is starved";
+  }
+}
+
+TEST(Shard, PartitionPreservesEveryLeaseExactlyOnce) {
+  RecoveredState state;
+  state.leases = population(1000);
+  state.zone_serials[dns::Name::parse("example.com").value()] = 7;
+  state.snapshot_lsn = 123;
+  state.replayed_records = 55;
+  state.torn_records = 1;
+
+  const auto parts = partition_recovered(state, 4);
+  ASSERT_EQ(parts.size(), 4u);
+
+  // Per-shard lease counts sum to the unsharded total, and every lease
+  // sits in the shard shard_of() names.
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    total += parts[i].leases.size();
+    for (const Lease& lease : parts[i].leases) {
+      EXPECT_EQ(shard_of(lease, 4), i);
+    }
+    // Zone serials and snapshot LSN replicate to every shard.
+    EXPECT_EQ(parts[i].zone_serials, state.zone_serials);
+    EXPECT_EQ(parts[i].snapshot_lsn, state.snapshot_lsn);
+  }
+  EXPECT_EQ(total, state.leases.size());
+
+  // Recovery telemetry is not double-counted: shard 0 only.
+  EXPECT_EQ(parts[0].replayed_records, 55u);
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    EXPECT_EQ(parts[i].replayed_records, 0u);
+    EXPECT_EQ(parts[i].torn_records, 0u);
+  }
+}
+
+TEST(Shard, PartitionedTrackFileCountsMatchUnsharded) {
+  // Restoring each partition into its own TrackFile and summing live
+  // counts must equal the single unsharded TrackFile's count.
+  RecoveredState state;
+  state.leases = population(800);
+
+  metrics::MetricsRegistry registry;
+  core::TrackFile whole(&registry);
+  for (const Lease& lease : state.leases) whole.restore(lease);
+
+  const net::SimTime now = 2000;  // all leases valid (granted 1000, 60s)
+  const auto parts = partition_recovered(state, 5);
+  std::size_t sharded_live = 0;
+  std::size_t sharded_size = 0;
+  for (const auto& part : parts) {
+    core::TrackFile shard_file(&registry);
+    for (const Lease& lease : part.leases) shard_file.restore(lease);
+    sharded_live += shard_file.live_count(now);
+    sharded_size += shard_file.size();
+  }
+  EXPECT_EQ(sharded_live, whole.live_count(now));
+  EXPECT_EQ(sharded_size, whole.size());
+}
+
+}  // namespace
+}  // namespace dnscup::core

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Measure serving-runtime scaling: run dnsflood against dnscupd at each
+# worker count and collect the per-run JSON into one report
+# (BENCH_runtime_throughput.json by default).  Release build, loopback.
+#
+# Usage:
+#   tools/bench_runtime.sh                 # workers 1 and 4, 5 s each
+#   WORKERS="1 2 4 8" DURATION=10 tools/bench_runtime.sh
+#   OUT=/tmp/report.json tools/bench_runtime.sh
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+jobs=${JOBS:-$(nproc)}
+workers_list=${WORKERS:-"1 4"}
+duration=${DURATION:-5}
+out=${OUT:-$repo_root/BENCH_runtime_throughput.json}
+
+build_dir="$repo_root/build"
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j "$jobs" --target dnscupd dnsflood
+
+bench_dir="$build_dir/bench"
+mkdir -p "$bench_dir"
+
+zone="$bench_dir/scaling.zone"
+{
+  echo '$ORIGIN example.com.'
+  echo '@ IN SOA ns1.example.com. admin.example.com. 1 7200 900 604800 300'
+  echo '@ 300 IN NS ns1.example.com.'
+  echo 'ns1 300 IN A 10.0.0.1'
+  for i in $(seq 0 999); do
+    echo "w$i 300 IN A 10.1.$((i / 256)).$((i % 256))"
+  done
+} > "$zone"
+
+runs=()
+for workers in $workers_list; do
+  port=$(( 20000 + RANDOM % 10000 ))
+  log="$bench_dir/scaling-dnscupd-w$workers.log"
+  "$build_dir/tools/dnscupd" --port "$port" \
+    --zone "example.com=$zone" --workers "$workers" > "$log" 2>&1 &
+  daemon=$!
+  sleep 0.5
+  kill -0 "$daemon" || { echo "dnscupd failed to start:"; cat "$log"; exit 1; }
+
+  run_json="$bench_dir/scaling-flood-w$workers.json"
+  echo "== $workers worker(s), ${duration}s =="
+  "$build_dir/tools/dnsflood" --server "127.0.0.1:$port" \
+    --duration "$duration" --sockets 4 --concurrency 16 \
+    --names 1000 --zipf 1.0 --lease-fraction 0.2 \
+    --workers-label "$workers" --out "$run_json"
+  kill -TERM "$daemon" 2>/dev/null || true
+  wait "$daemon" 2>/dev/null || true
+  runs+=("$run_json")
+done
+
+python3 - "$out" "${runs[@]}" <<'EOF'
+import json, os, sys
+out, *paths = sys.argv[1:]
+entries = []
+for path in paths:
+    with open(path) as f:
+        run = json.load(f)
+    entries.append({k: run[k] for k in (
+        "workers", "mode", "duration_s", "sockets", "concurrency",
+        "names", "zipf_s", "lease_fraction", "sent", "answered",
+        "achieved_qps", "p50_us", "p95_us", "p99_us", "loss_rate")})
+entries.sort(key=lambda e: e["workers"])
+cpus = len(os.sched_getaffinity(0))
+report = {"bench": "runtime_throughput",
+          "description": "dnsflood closed-loop vs dnscupd on loopback, "
+                         "Release build",
+          "host_cpus": cpus,
+          "runs": entries}
+base = entries[0]["achieved_qps"]
+peak = max(e["achieved_qps"] for e in entries)
+report["scaling_vs_first"] = round(peak / base, 2) if base else None
+top = max(e["workers"] for e in entries)
+if cpus < top:
+    # Worker threads beyond the core count time-slice; true scaling
+    # needs at least as many cores as workers.
+    report["note"] = (f"host exposes {cpus} CPU(s) for {top} workers; "
+                      "runs are CPU-saturated, scaling_vs_first reflects "
+                      "time-slicing, not parallel speedup")
+with open(out, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+for e in entries:
+    print(f"workers={e['workers']:>2}  {e['achieved_qps']:>10.0f} q/s  "
+          f"p50 {e['p50_us']} us  p99 {e['p99_us']} us  "
+          f"loss {100 * e['loss_rate']:.3f}%")
+print(f"scaling: {report['scaling_vs_first']}x "
+      f"({cpus} host CPU(s))  -> {out}")
+if "note" in report:
+    print(f"note: {report['note']}")
+EOF

@@ -5,16 +5,27 @@
 # I/O and crash-path truncation, exactly where the sanitizers earn their
 # keep.  --sanitize widens the sanitizer leg to the whole tree.
 #
+# The multi-threaded serving runtime gets its own legs:
+#   --tsan         build runtime_test + udp_transport_test under
+#                  ThreadSanitizer and fail on any report — the worker /
+#                  receiver / journal-writer thread interplay is where a
+#                  data race would hide;
+#   --bench-smoke  Release build, start a 2-worker dnscupd on loopback,
+#                  drive it with dnsflood for 2 s and fail if the
+#                  lost-answer rate exceeds 1%; the JSON result is kept
+#                  under build/bench/.
+#
 # Usage:
 #   tools/check.sh                # Release build + ctest + store sanitizers
 #   tools/check.sh --sanitize    # sanitize the full suite, not just store
+#   tools/check.sh --tsan        # ThreadSanitizer leg only
+#   tools/check.sh --bench-smoke # serving-runtime load smoke only
 #   JOBS=4 tools/check.sh        # override build parallelism
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 jobs=${JOBS:-$(nproc)}
-sanitize=0
-[[ "${1:-}" == "--sanitize" ]] && sanitize=1
+mode=${1:-}
 
 run_suite() {
   local build_dir=$1
@@ -24,23 +35,101 @@ run_suite() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 }
 
-echo "== tier-1: release build + ctest =="
-run_suite "$repo_root/build"
+run_tsan() {
+  echo "== threaded runtime under ThreadSanitizer =="
+  local build_dir="$repo_root/build-tsan"
+  cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDNSCUP_SANITIZE=thread
+  cmake --build "$build_dir" -j "$jobs" \
+    --target runtime_test udp_transport_test
+  # halt_on_error turns any race report into a test failure.
+  TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build_dir" \
+    -R '^(runtime_test|udp_transport_test)$' --output-on-failure
+}
 
-if [[ $sanitize -eq 1 ]]; then
-  echo "== tier-1 under address,undefined sanitizers =="
-  run_suite "$repo_root/build-sanitize" \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DDNSCUP_SANITIZE=address,undefined
-else
-  echo "== durable store under address,undefined sanitizers =="
-  cmake -B "$repo_root/build-store-sanitize" -S "$repo_root" \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DDNSCUP_SANITIZE=address,undefined
-  cmake --build "$repo_root/build-store-sanitize" -j "$jobs" \
-    --target store_test recovery_test
-  ctest --test-dir "$repo_root/build-store-sanitize" \
-    -R '^(store_test|recovery_test)$' --output-on-failure -j "$jobs"
-fi
+run_bench_smoke() {
+  echo "== serving-runtime load smoke (2 workers, 2 s) =="
+  local build_dir="$repo_root/build"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j "$jobs" --target dnscupd dnsflood
+  local bench_dir="$build_dir/bench"
+  mkdir -p "$bench_dir"
+
+  local zone="$bench_dir/smoke.zone"
+  {
+    echo '$ORIGIN example.com.'
+    echo '@ IN SOA ns1.example.com. admin.example.com. 1 7200 900 604800 300'
+    echo '@ 300 IN NS ns1.example.com.'
+    echo 'ns1 300 IN A 10.0.0.1'
+    for i in $(seq 0 199); do
+      echo "w$i 300 IN A 10.1.$((i / 256)).$((i % 256))"
+    done
+  } > "$zone"
+
+  local port=$(( 20000 + RANDOM % 10000 ))
+  "$build_dir/tools/dnscupd" --port "$port" \
+    --zone "example.com=$zone" --workers 2 \
+    > "$bench_dir/smoke-dnscupd.log" 2>&1 &
+  local daemon=$!
+  trap 'kill "$daemon" 2>/dev/null || true' RETURN
+  sleep 0.5
+  kill -0 "$daemon" || {
+    echo "dnscupd failed to start:"; cat "$bench_dir/smoke-dnscupd.log"
+    return 1
+  }
+
+  local out="$bench_dir/smoke-flood.json"
+  "$build_dir/tools/dnsflood" --server "127.0.0.1:$port" --duration 2 \
+    --sockets 4 --concurrency 16 --names 200 --workers-label 2 \
+    --out "$out"
+  kill -TERM "$daemon" 2>/dev/null || true
+  wait "$daemon" 2>/dev/null || true
+
+  # Fail the smoke when more than 1% of answered-or-timed-out queries
+  # were lost.
+  python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    result = json.load(f)
+loss = result["loss_rate"]
+print(f"achieved {result['achieved_qps']:.0f} q/s, "
+      f"p99 {result['p99_us']} us, loss {100 * loss:.3f}%")
+if loss > 0.01:
+    sys.exit(f"FAIL: loss rate {loss:.4f} exceeds 1%")
+if result["answered"] == 0:
+    sys.exit("FAIL: no queries answered")
+EOF
+  echo "bench smoke ok; result archived at $out"
+}
+
+case "$mode" in
+  --tsan)
+    run_tsan
+    ;;
+  --bench-smoke)
+    run_bench_smoke
+    ;;
+  --sanitize)
+    echo "== tier-1: release build + ctest =="
+    run_suite "$repo_root/build"
+    echo "== tier-1 under address,undefined sanitizers =="
+    run_suite "$repo_root/build-sanitize" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DDNSCUP_SANITIZE=address,undefined
+    ;;
+  *)
+    echo "== tier-1: release build + ctest =="
+    run_suite "$repo_root/build"
+    echo "== durable store under address,undefined sanitizers =="
+    cmake -B "$repo_root/build-store-sanitize" -S "$repo_root" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DDNSCUP_SANITIZE=address,undefined
+    cmake --build "$repo_root/build-store-sanitize" -j "$jobs" \
+      --target store_test recovery_test
+    ctest --test-dir "$repo_root/build-store-sanitize" \
+      -R '^(store_test|recovery_test)$' --output-on-failure -j "$jobs"
+    ;;
+esac
 
 echo "== all checks passed =="

@@ -1,49 +1,49 @@
 // dnscupd — a DNScup-enabled authoritative nameserver over real UDP.
 //
-// Loads one or more zone files, binds a loopback UDP port, and serves
-// QUERY / UPDATE / NOTIFY / AXFR / IXFR with the DNScup middleware
-// attached (lease grants on EXT queries, CACHE-UPDATE pushes on change).
+// Loads one or more zone files and serves them through the sharded
+// multi-worker runtime (src/runtime): --workers N worker threads, each
+// owning its own event loop, UDP socket (one SO_REUSEPORT group on
+// --port, or per-worker ports where the kernel lacks it) and its shard
+// of the lease state.  QUERY / UPDATE / NOTIFY / AXFR / IXFR are served
+// with the DNScup middleware attached (lease grants on EXT queries,
+// CACHE-UPDATE pushes on change).
 //
 // Usage:
 //   dnscupd --port 5300 --zone example.com=example.com.zone \
-//           [--zone other.org=other.zone] [--max-lease 3600] [--no-dnscup]
-//           [--round-robin] [--verbose]
+//           [--zone other.org=other.zone] [--workers 4] [--no-reuseport]
+//           [--max-lease 3600] [--no-dnscup] [--round-robin] [--verbose]
+//           [--rcvbuf bytes] [--sndbuf bytes]
 //           [--metrics-out metrics.json] [--metrics-interval 10]
 //           [--state-dir dir] [--fsync-policy always|interval|never]
 //           [--snapshot-interval 60]
 //
-// The daemon prints one status line per second with lease/track-file
-// statistics; SIGINT and SIGTERM both run the full shutdown path (final
-// state snapshot + metrics dump), so process managers stopping the
-// daemon get the same durability as Ctrl-C.  With --metrics-out it also
-// dumps a JSON snapshot of every registry instrument (queries, lease
-// grants, CACHE-UPDATE pushes, transport traffic, store append/fsync
-// latency, event-loop depth, ...) to the given file every
-// --metrics-interval seconds and once at shutdown.
+// The daemon prints one status line per second with aggregated (all
+// workers merged) lease/track-file statistics; SIGINT and SIGTERM both
+// run the full shutdown path (graceful drain, journal flush, final state
+// snapshot + metrics dump), so process managers stopping the daemon get
+// the same durability as Ctrl-C.  With --metrics-out it also dumps a
+// JSON snapshot of every registry instrument across all workers and the
+// journal writer to the given file every --metrics-interval seconds and
+// once at shutdown.
 //
-// With --state-dir the authority is durable: every lease grant/renewal/
-// revocation/prune and zone-serial change is written to a CRC-framed
-// write-ahead log under the directory, compacted into snapshots every
-// --snapshot-interval seconds, and recovered on the next start — leases
-// survive crashes, and zone changes that happened while the daemon was
-// down are pushed to every surviving leaseholder at startup.
-// Pair it with `dnsq` for interactive queries:
+// With --state-dir the authority is durable: every shard journals lease
+// ops through the runtime's single writer thread into a CRC-framed
+// write-ahead log, compacted into snapshots, and recovered (repartitioned
+// across the shards) on the next start.
+// Pair it with `dnsq` for interactive queries and `dnsflood` for load:
 //   dnsq 127.0.0.1:5300 www.example.com A
+//   dnsflood --server 127.0.0.1:5300 --duration 5
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "core/dnscup_authority.h"
 #include "dns/zone_text.h"
-#include "net/udp_transport.h"
-#include "server/authoritative.h"
-#include "store/lease_store.h"
+#include "runtime/runtime.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 
@@ -58,6 +58,10 @@ void handle_signal(int sig) { g_signal.store(sig); }
 struct Options {
   uint16_t port = 5300;
   std::vector<std::pair<std::string, std::string>> zones;  // origin=path
+  int workers = 1;
+  bool reuseport = true;
+  int rcvbuf = 1 << 20;
+  int sndbuf = 1 << 20;
   int64_t max_lease_s = 3600;
   bool dnscup = true;
   bool round_robin = false;
@@ -86,6 +90,21 @@ bool parse_args(int argc, char** argv, Options& opts) {
       const auto eq = spec.find('=');
       if (eq == std::string::npos) return false;
       opts.zones.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.workers = std::atoi(v);
+      if (opts.workers < 1) return false;
+    } else if (arg == "--no-reuseport") {
+      opts.reuseport = false;
+    } else if (arg == "--rcvbuf") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.rcvbuf = std::atoi(v);
+    } else if (arg == "--sndbuf") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.sndbuf = std::atoi(v);
     } else if (arg == "--max-lease") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -131,34 +150,7 @@ bool parse_args(int argc, char** argv, Options& opts) {
   return !opts.zones.empty();
 }
 
-/// Serializes datagram delivery with the timer pump (the protocol stack
-/// is single-threaded by design).
-class LockedTransport final : public net::Transport {
- public:
-  LockedTransport(net::Transport& inner, std::mutex& mutex)
-      : inner_(&inner), mutex_(&mutex) {}
-  const net::Endpoint& local_endpoint() const override {
-    return inner_->local_endpoint();
-  }
-  void send(const net::Endpoint& to, std::span<const uint8_t> data) override {
-    inner_->send(to, data);
-  }
-  void set_receive_handler(ReceiveHandler handler) override {
-    inner_->set_receive_handler(
-        [this, handler = std::move(handler)](
-            const net::Endpoint& from, std::span<const uint8_t> data) {
-          std::lock_guard lock(*mutex_);
-          handler(from, data);
-        });
-  }
-
- private:
-  net::Transport* inner_;
-  std::mutex* mutex_;
-};
-
-/// Writes the snapshot JSON to `path` (truncate + replace; callers hold
-/// the stack mutex, so the snapshot itself is consistent).
+/// Writes the snapshot JSON to `path` (truncate + replace).
 void dump_metrics(const metrics::Snapshot& snapshot,
                   const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -173,6 +165,29 @@ void dump_metrics(const metrics::Snapshot& snapshot,
   std::fclose(f);
 }
 
+/// Sum of all counters named `name` whose labels contain (key, value);
+/// any (key, value) when key is null.  Collapses per-worker instances.
+uint64_t counter_sum(const metrics::Snapshot& snapshot, const char* name,
+                     const char* key = nullptr, const char* value = nullptr) {
+  uint64_t total = 0;
+  for (const auto& entry : snapshot.entries) {
+    if (entry.kind != metrics::InstrumentKind::kCounter) continue;
+    if (entry.name != name) continue;
+    if (key != nullptr) {
+      bool match = false;
+      for (const auto& [k, v] : entry.labels) {
+        if (k == key && v == value) {
+          match = true;
+          break;
+        }
+      }
+      if (!match) continue;
+    }
+    total += entry.counter_value;
+  }
+  return total;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -181,6 +196,8 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: dnscupd --port N --zone origin=path [--zone ...]\n"
+        "               [--workers N] [--no-reuseport]\n"
+        "               [--rcvbuf bytes] [--sndbuf bytes]\n"
         "               [--max-lease seconds] [--no-dnscup]\n"
         "               [--round-robin] [--verbose]\n"
         "               [--metrics-out file] [--metrics-interval seconds]\n"
@@ -191,21 +208,7 @@ int main(int argc, char** argv) {
   }
   if (opts.verbose) util::set_log_level(util::LogLevel::kDebug);
 
-  metrics::MetricsRegistry registry;
-  auto transport = net::UdpTransport::bind(opts.port, &registry);
-  if (!transport.ok()) {
-    std::fprintf(stderr, "bind failed: %s\n",
-                 transport.error().to_string().c_str());
-    return 1;
-  }
-
-  net::EventLoop loop(&registry);
-  std::mutex mutex;
-  LockedTransport locked(*transport.value(), mutex);
-  server::AuthServer authority(locked, loop, server::AuthServer::Role::kMaster,
-                               &registry);
-  authority.set_round_robin(opts.round_robin);
-
+  std::vector<dns::Zone> zones;
   for (const auto& [origin_text, path] : opts.zones) {
     auto origin = dns::Name::parse(origin_text);
     if (!origin.ok()) {
@@ -220,136 +223,115 @@ int main(int argc, char** argv) {
     std::printf("loaded zone %s (%zu RRsets, serial %u) from %s\n",
                 origin_text.c_str(), zone.value().rrset_count(),
                 zone.value().serial(), path.c_str());
-    authority.add_zone(std::move(zone).value());
+    zones.push_back(std::move(zone).value());
   }
 
-  store::PosixStorage posix_storage;
-  std::unique_ptr<store::LeaseStore> lease_store;
-  core::RecoveredState recovered;
-  if (opts.dnscup && !opts.state_dir.empty()) {
-    store::LeaseStore::Config store_config;
-    store_config.dir = opts.state_dir;
-    store_config.fsync = opts.fsync;
-    store_config.metrics = &registry;
-    auto opened =
-        store::LeaseStore::open(&posix_storage, store_config, &recovered);
-    if (!opened.ok()) {
-      std::fprintf(stderr, "state recovery failed: %s\n",
-                   opened.error().to_string().c_str());
-      return 1;
-    }
-    lease_store = std::move(opened).value();
+  runtime::Config config;
+  config.port = opts.port;
+  config.workers = opts.workers;
+  config.reuseport = opts.reuseport;
+  config.rcvbuf_bytes = opts.rcvbuf;
+  config.sndbuf_bytes = opts.sndbuf;
+  config.dnscup = opts.dnscup;
+  config.round_robin = opts.round_robin;
+  config.max_lease = net::seconds(opts.max_lease_s);
+  config.state_dir = opts.dnscup ? opts.state_dir : std::string();
+  config.fsync = opts.fsync;
+
+  auto started = runtime::ServingRuntime::start(config, std::move(zones));
+  if (!started.ok()) {
+    std::fprintf(stderr, "runtime start failed: %s\n",
+                 started.error().to_string().c_str());
+    return 1;
+  }
+  runtime::ServingRuntime& rt = *started.value();
+
+  if (rt.durable()) {
+    const auto& recovery = rt.recovery();
     std::printf(
-        "state dir %s (fsync %s): %zu leases recovered, %llu WAL records "
-        "replayed, %llu torn, in %lld us\n",
+        "state dir %s (fsync %s): %llu WAL records replayed, %llu torn; "
+        "%llu leases restored, %llu expired, %llu zones changed while "
+        "down, %llu changes re-pushed\n",
         opts.state_dir.c_str(), store::to_string(opts.fsync),
-        recovered.leases.size(),
-        static_cast<unsigned long long>(recovered.replayed_records),
-        static_cast<unsigned long long>(recovered.torn_records),
-        static_cast<long long>(recovered.duration_us));
-  }
-
-  std::unique_ptr<core::DnscupAuthority> dnscup;
-  if (opts.dnscup) {
-    core::DnscupAuthority::Config config;
-    const net::Duration max_lease = net::seconds(opts.max_lease_s);
-    config.max_lease = [max_lease](const dns::Name&, dns::RRType) {
-      return max_lease;
-    };
-    config.metrics = &registry;
-    config.journal = lease_store.get();
-    dnscup = std::make_unique<core::DnscupAuthority>(authority, loop, config);
-    if (lease_store != nullptr) {
-      std::lock_guard lock(mutex);
-      const auto report = dnscup->recover(recovered);
-      std::printf(
-          "recovery: %llu leases restored, %llu expired, %llu zones changed "
-          "while down, %llu changes re-pushed\n",
-          static_cast<unsigned long long>(report.leases_restored),
-          static_cast<unsigned long long>(report.leases_expired),
-          static_cast<unsigned long long>(report.zones_changed),
-          static_cast<unsigned long long>(report.changes_pushed));
-    }
+        static_cast<unsigned long long>(recovery.replayed_records),
+        static_cast<unsigned long long>(recovery.torn_records),
+        static_cast<unsigned long long>(recovery.leases_restored),
+        static_cast<unsigned long long>(recovery.leases_expired),
+        static_cast<unsigned long long>(recovery.zones_changed),
+        static_cast<unsigned long long>(recovery.changes_pushed));
   }
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
-  std::printf("dnscupd listening on %s (%s)\n",
-              transport.value()->local_endpoint().to_string().c_str(),
-              opts.dnscup ? "DNScup enabled" : "plain TTL");
+  if (rt.reuseport_active()) {
+    std::printf("dnscupd listening on %s, %d workers (SO_REUSEPORT; %s)\n",
+                rt.endpoints()[0].to_string().c_str(), rt.workers(),
+                opts.dnscup ? "DNScup enabled" : "plain TTL");
+  } else {
+    std::printf("dnscupd: %d workers on per-worker ports (%s):\n",
+                rt.workers(), opts.dnscup ? "DNScup enabled" : "plain TTL");
+    for (const auto& endpoint : rt.endpoints()) {
+      std::printf("  %s\n", endpoint.to_string().c_str());
+    }
+  }
 
   auto last_report = std::chrono::steady_clock::now();
   auto last_metrics = last_report;
   auto last_snapshot = last_report;
   while (g_signal.load() == 0) {
-    {
-      std::lock_guard lock(mutex);
-      loop.run_for(net::milliseconds(20));
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // The workers serve on their own threads; this thread only does the
+    // periodic jobs (each fans a command across workers and blocks).
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
     const auto now = std::chrono::steady_clock::now();
     if (!opts.metrics_out.empty() &&
         now - last_metrics >= std::chrono::seconds(opts.metrics_interval_s)) {
       last_metrics = now;
-      std::lock_guard lock(mutex);
-      dump_metrics(registry.snapshot(loop.now()), opts.metrics_out);
+      dump_metrics(rt.metrics(), opts.metrics_out);
     }
-    if (lease_store != nullptr &&
+    if (rt.durable() &&
         now - last_snapshot >=
             std::chrono::seconds(opts.snapshot_interval_s)) {
       last_snapshot = now;
-      std::lock_guard lock(mutex);
-      if (auto status = lease_store->write_snapshot(dnscup->track_file(),
-                                                    loop.now());
-          !status.ok()) {
+      if (auto status = rt.write_snapshot(); !status.ok()) {
         std::fprintf(stderr, "snapshot failed: %s\n",
                      status.error().to_string().c_str());
       }
     }
     if (opts.verbose && now - last_report >= std::chrono::seconds(1)) {
       last_report = now;
-      std::lock_guard lock(mutex);
+      const auto snapshot = rt.metrics();
       std::printf(
-          "queries=%llu updates=%llu leases=%zu pushes=%llu acks=%llu\n",
-          static_cast<unsigned long long>(authority.stats().queries),
-          static_cast<unsigned long long>(authority.stats().updates),
-          dnscup != nullptr ? dnscup->track_file().live_count(loop.now())
-                            : 0,
-          dnscup != nullptr
-              ? static_cast<unsigned long long>(
-                    dnscup->notifier().stats().updates_sent)
-              : 0ull,
-          dnscup != nullptr
-              ? static_cast<unsigned long long>(
-                    dnscup->notifier().stats().acks_received)
-              : 0ull);
+          "queries=%llu updates=%llu leases=%zu pushes=%llu acks=%llu "
+          "inbox_drops=%llu\n",
+          static_cast<unsigned long long>(
+              counter_sum(snapshot, "auth_server_requests", "op", "query")),
+          static_cast<unsigned long long>(
+              counter_sum(snapshot, "auth_server_requests", "op", "update")),
+          rt.live_leases(),
+          static_cast<unsigned long long>(counter_sum(
+              snapshot, "cache_update_messages", "result", "sent")),
+          static_cast<unsigned long long>(counter_sum(
+              snapshot, "cache_update_messages", "result", "acked")),
+          static_cast<unsigned long long>(
+              counter_sum(snapshot, "runtime_inbox_dropped")));
     }
   }
   const int sig = g_signal.load();
   std::printf("\nshutting down (%s)\n",
               sig == SIGTERM ? "SIGTERM" : sig == SIGINT ? "SIGINT"
                                                          : "signal");
-  if (lease_store != nullptr) {
-    std::lock_guard lock(mutex);
-    if (auto status =
-            lease_store->write_snapshot(dnscup->track_file(), loop.now());
-        status.ok()) {
-      std::printf("final state snapshot written to %s\n",
-                  opts.state_dir.c_str());
-    } else {
-      std::fprintf(stderr, "final snapshot failed: %s\n",
-                   status.error().to_string().c_str());
-    }
+  // Graceful drain: stop intake, answer what is queued, flush the
+  // journal; stop() writes the final compacting snapshot itself.
+  rt.stop();
+  if (rt.durable()) {
+    std::printf("final state snapshot written to %s\n",
+                opts.state_dir.c_str());
   }
   if (!opts.metrics_out.empty()) {
-    std::lock_guard lock(mutex);
-    dump_metrics(registry.snapshot(loop.now()), opts.metrics_out);
+    dump_metrics(rt.metrics(), opts.metrics_out);
     std::printf("final metrics snapshot written to %s\n",
                 opts.metrics_out.c_str());
   }
-  std::printf("final track file:\n%s",
-              dnscup != nullptr
-                  ? dnscup->track_file().serialize(loop.now()).c_str()
-                  : "");
+  std::printf("final track file:\n%s", rt.serialize_track_files().c_str());
   return 0;
 }
