@@ -1,0 +1,214 @@
+// Wire hot-path micro-benchmark: encode/decode throughput and — via a
+// counting global allocator — heap traffic per operation.  The refactor's
+// contract is that arena-backed encode and view-based decode allocate
+// nothing in steady state; this bench measures it and emits the numbers
+// as JSON (BENCH_wire_micro.json) so regressions show up as a diff.
+//
+//   build/bench/wire_micro [--out BENCH_wire_micro.json]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/name.h"
+#include "dns/rdata.h"
+#include "dns/wire.h"
+#include "util/assert.h"
+
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+// Counting allocator: every heap allocation in the process ticks the
+// counters.  Frees are uncounted — the bench reports allocation traffic,
+// not live bytes.
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) -
+                                    1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace dnscup {
+namespace {
+
+using dns::Message;
+using dns::Name;
+using dns::RRClass;
+using dns::RRType;
+
+struct BenchResult {
+  double ops_per_sec = 0.0;
+  double allocs_per_op = 0.0;
+  double bytes_per_op = 0.0;
+};
+
+template <typename Fn>
+BenchResult run_bench(const char* name, std::size_t iters, Fn&& fn) {
+  for (std::size_t i = 0; i < 2000; ++i) fn();  // warm arenas and caches
+  const uint64_t allocs0 = g_allocs.load();
+  const uint64_t bytes0 = g_alloc_bytes.load();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  const uint64_t allocs1 = g_allocs.load();
+  const uint64_t bytes1 = g_alloc_bytes.load();
+  const double secs =
+      std::chrono::duration<double>(t1 - t0).count();
+  BenchResult r;
+  r.ops_per_sec = static_cast<double>(iters) / secs;
+  r.allocs_per_op =
+      static_cast<double>(allocs1 - allocs0) / static_cast<double>(iters);
+  r.bytes_per_op =
+      static_cast<double>(bytes1 - bytes0) / static_cast<double>(iters);
+  std::printf("%-24s %12.0f ops/s  %8.3f allocs/op  %10.1f bytes/op\n",
+              name, r.ops_per_sec, r.allocs_per_op, r.bytes_per_op);
+  return r;
+}
+
+/// A representative response: one question, a 4-member A RRset and an
+/// SOA in authority — compression-heavy names under one origin.
+Message make_message() {
+  Message m;
+  m.id = 0x1234;
+  m.flags.qr = true;
+  m.flags.aa = true;
+  m.questions.push_back(dns::Question{
+      Name::parse("www.cdn.example.com").value(), RRType::kA, RRClass::kIN,
+      0});
+  for (uint32_t i = 0; i < 4; ++i) {
+    m.answers.push_back(dns::ResourceRecord{
+        Name::parse("www.cdn.example.com").value(), RRClass::kIN, 300,
+        dns::ARdata{dns::Ipv4{.addr = 0x0A000001 + i}}});
+  }
+  m.authority.push_back(dns::ResourceRecord{
+      Name::parse("example.com").value(), RRClass::kIN, 300,
+      dns::SOARdata{Name::parse("ns1.example.com").value(),
+                    Name::parse("admin.example.com").value(), 1, 7200, 900,
+                    604800, 300}});
+  return m;
+}
+
+void append_json(std::string& out, const char* key, const BenchResult& r,
+                 bool last) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "  \"%s\": {\"ops_per_sec\": %.0f, \"allocs_per_op\": %.4f, "
+                "\"bytes_allocated_per_op\": %.1f}%s\n",
+                key, r.ops_per_sec, r.allocs_per_op, r.bytes_per_op,
+                last ? "" : ",");
+  out += buf;
+}
+
+int run(int argc, char** argv) {
+  std::string out_path = "BENCH_wire_micro.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+  }
+
+  const Message message = make_message();
+  const std::vector<uint8_t> wire = message.encode();
+  std::printf("message: %zu wire bytes, %zu answers\n\n", wire.size(),
+              message.answers.size());
+  constexpr std::size_t kIters = 200000;
+
+  // Arena encode: the steady-state tx path (AuthServer::encode_scratch).
+  std::vector<uint8_t> arena;
+  const BenchResult encode_arena =
+      run_bench("encode (arena)", kIters, [&message, &arena] {
+        arena.clear();
+        dns::ByteWriter w(arena);
+        message.encode_into(w);
+        DNSCUP_ASSERT(!w.message().empty());
+      });
+
+  // Owning encode: the old per-response-vector path, for comparison.
+  const BenchResult encode_owning =
+      run_bench("encode (owning)", kIters, [&message] {
+        const std::vector<uint8_t> bytes = message.encode();
+        DNSCUP_ASSERT(!bytes.empty());
+      });
+
+  // View decode: structural parse only — what the serve fast path does.
+  // The view is reused across iterations (parse_into), so its section
+  // vectors keep their capacity and a warm parse never allocates.
+  dns::MessageView view;
+  const BenchResult decode_view =
+      run_bench("decode (view)", kIters, [&wire, &view] {
+        const auto st = dns::MessageView::parse_into(wire, view);
+        DNSCUP_ASSERT(st.ok());
+        DNSCUP_ASSERT(view.answers.size() == 4);
+      });
+
+  // Owning decode: full materialization (cold paths, tests).
+  const BenchResult decode_owning =
+      run_bench("decode (owning)", kIters, [&wire] {
+        auto decoded = Message::decode(wire);
+        DNSCUP_ASSERT(decoded.ok());
+      });
+
+  // The refactor's contract: arena encode and view decode are
+  // allocation-free in steady state.
+  if (encode_arena.allocs_per_op > 0.0 || decode_view.allocs_per_op > 0.0) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state hot path allocated (encode %.4f/op, "
+                 "decode view %.4f/op)\n",
+                 encode_arena.allocs_per_op, decode_view.allocs_per_op);
+    return 1;
+  }
+  std::printf("\nhot path steady-state allocations: 0 (contract holds)\n");
+
+  std::string json = "{\n  \"bench\": \"wire_micro\",\n";
+  char sized[128];
+  std::snprintf(sized, sizeof sized, "  \"wire_bytes\": %zu,\n", wire.size());
+  json += sized;
+  append_json(json, "encode_arena", encode_arena, false);
+  append_json(json, "encode_owning", encode_owning, false);
+  append_json(json, "decode_view", decode_view, false);
+  append_json(json, "decode_owning", decode_owning, true);
+  json += "}\n";
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dnscup
+
+int main(int argc, char** argv) { return dnscup::run(argc, argv); }

@@ -80,6 +80,14 @@ DnscupAuthority::DnscupAuthority(server::AuthServer& server,
                                  dns::Message& response) {
     listener_.on_query(from, query, response, loop_->now());
   });
+  // Zero-copy twin of the above for plain legacy queries: on_query never
+  // mutates the response for non-EXT queries, so the fast path only needs
+  // the rate observation and the legacy counter replicated.
+  server_->set_fast_query_hook([this](const net::Endpoint&,
+                                      const dns::NameView& qname,
+                                      dns::RRType qtype) {
+    listener_.on_query_view(qname, qtype, loop_->now());
+  });
 
   // Detection module: every zone-data change (dynamic update, manual
   // reload, AXFR refresh) arrives here and fans out via the notifier.
@@ -100,10 +108,13 @@ DnscupAuthority::DnscupAuthority(server::AuthServer& server,
 
   // Notification module: consumes CACHE-UPDATE acknowledgements before
   // the server's normal dispatch.
+  // The notifier only eats CACHE-UPDATE acknowledgements, never plain
+  // queries, so the fast path may bypass it (may_consume_queries=false).
   server_->set_extension_handler(
       [this](const net::Endpoint& from, const dns::Message& message) {
         return notifier_.on_message(from, message);
-      });
+      },
+      /*may_consume_queries=*/false);
 }
 
 DnscupAuthority::DetectionStats DnscupAuthority::detection_stats() const {

@@ -65,4 +65,10 @@ void ListeningModule::on_query(const net::Endpoint& from,
       static_cast<uint64_t>(net::to_seconds(decision.length)));
 }
 
+void ListeningModule::on_query_view(const dns::NameView& qname,
+                                    dns::RRType qtype, net::SimTime now) {
+  observed_.record_view(qname, qtype, now);
+  ++stats_.legacy_queries;
+}
+
 }  // namespace dnscup::core

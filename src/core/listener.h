@@ -40,6 +40,13 @@ class ListeningModule {
   void on_query(const net::Endpoint& from, const dns::Message& query,
                 dns::Message& response, net::SimTime now);
 
+  /// AuthServer fast-query-hook entry point: the allocation-free twin of
+  /// on_query for plain legacy queries (no EXT flag, so no lease grant and
+  /// no response mutation) — records the observed rate and counts the
+  /// query.  Must stay behaviorally identical to on_query's legacy branch.
+  void on_query_view(const dns::NameView& qname, dns::RRType qtype,
+                     net::SimTime now);
+
   /// Observed (not reported) per-record query rates, for re-negotiation
   /// audits and the workload analyses.
   const RateTracker& observed_rates() const { return observed_; }

@@ -94,7 +94,13 @@ void NotificationModule::on_zone_change(
 
 void NotificationModule::transmit(uint16_t id) {
   Pending& pending = pending_.at(id);
-  transport_->send(pending.target, pending.message.encode());
+  // Encode into the reusable scratch arena: during a lease-push storm
+  // every fan-out transmission reuses the same buffer instead of
+  // allocating a fresh vector per leaseholder.
+  scratch_.clear();
+  dns::ByteWriter w(scratch_);
+  pending.message.encode_into(w);
+  transport_->send(pending.target, w.message());
   pending.timer = loop_->schedule(pending.next_delay,
                                   [this, id] { on_retry_timer(id); });
 }

@@ -97,6 +97,8 @@ class NotificationModule {
   std::map<uint16_t, Pending> pending_;
   uint16_t next_id_ = 1;
   Instruments stats_;
+  std::vector<uint8_t> scratch_;  ///< reusable tx encode arena
+
 };
 
 }  // namespace dnscup::core

@@ -4,14 +4,26 @@ namespace dnscup::core {
 
 void RateTracker::record(const dns::Name& name, dns::RRType type,
                          net::SimTime now) {
-  auto& times = samples_[Key{name, type}];
-  times.push_back(now);
-  if (times.size() > max_samples_) times.pop_front();
-  trim(times, now);
+  auto [it, inserted] =
+      samples_.try_emplace(Key{name, type}, max_samples_);
+  it->second.push(now);
+  trim(it->second, now);
 }
 
-void RateTracker::trim(std::deque<net::SimTime>& times,
-                       net::SimTime now) const {
+void RateTracker::record_view(const dns::NameView& name, dns::RRType type,
+                              net::SimTime now) {
+  auto it = samples_.find(KeyView{name, type});
+  if (it == samples_.end()) {
+    // First sighting of this key: materialize an owning Name (the only
+    // allocation this path ever makes — steady state hits the view probe).
+    it = samples_.try_emplace(Key{name.materialize(), type}, max_samples_)
+             .first;
+  }
+  it->second.push(now);
+  trim(it->second, now);
+}
+
+void RateTracker::trim(SampleRing& times, net::SimTime now) const {
   const net::SimTime horizon = now - window_;
   while (!times.empty() && times.front() < horizon) times.pop_front();
 }
@@ -23,8 +35,8 @@ double RateTracker::rate(const dns::Name& name, dns::RRType type,
   // Count in-window samples without mutating state (const method).
   const net::SimTime horizon = now - window_;
   std::size_t live = 0;
-  for (auto t : it->second) {
-    if (t >= horizon) ++live;
+  for (std::size_t i = 0; i < it->second.size(); ++i) {
+    if (it->second.at(i) >= horizon) ++live;
   }
   if (live == 0) return 0.0;
   return static_cast<double>(live) / net::to_seconds(window_);
@@ -36,8 +48,8 @@ std::size_t RateTracker::count(const dns::Name& name, dns::RRType type,
   if (it == samples_.end()) return 0;
   const net::SimTime horizon = now - window_;
   std::size_t live = 0;
-  for (auto t : it->second) {
-    if (t >= horizon) ++live;
+  for (std::size_t i = 0; i < it->second.size(); ++i) {
+    if (it->second.at(i) >= horizon) ++live;
   }
   return live;
 }

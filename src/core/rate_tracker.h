@@ -4,17 +4,65 @@
 // originated from the local clients", §5.2); authorities use it as a
 // fallback estimate when a legacy cache sends no RRC, and to drive lease
 // re-negotiation when observed rates drift from reported ones.
+//
+// Samples live in per-key ring buffers (not deques, whose block churn
+// allocates on every push/pop cycle), and keys can be probed with a wire
+// NameView via transparent hashing — so on the serve hot path, recording a
+// query for an already-tracked name performs zero heap allocations.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "dns/name.h"
 #include "dns/rdata.h"
 #include "net/time.h"
 
 namespace dnscup::core {
+
+/// Fixed-capacity FIFO of timestamps.  Storage grows geometrically up to
+/// `capacity` and is then reused forever; once warm, push/pop are
+/// allocation-free (unlike std::deque's block churn).
+class SampleRing {
+ public:
+  explicit SampleRing(std::size_t capacity) : cap_(capacity) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  net::SimTime front() const { return buf_[head_]; }
+  net::SimTime at(std::size_t i) const {
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  /// Appends; drops the oldest sample when at capacity.
+  void push(net::SimTime t) {
+    if (size_ == cap_ && size_ > 0) pop_front();
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) % buf_.size()] = t;
+    ++size_;
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+  }
+
+ private:
+  void grow() {
+    std::size_t next = buf_.empty() ? 8 : buf_.size() * 2;
+    if (next > cap_) next = cap_;
+    std::vector<net::SimTime> fresh(next);
+    for (std::size_t i = 0; i < size_; ++i) fresh[i] = at(i);
+    buf_ = std::move(fresh);
+    head_ = 0;
+  }
+
+  std::size_t cap_;
+  std::vector<net::SimTime> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
 
 class RateTracker {
  public:
@@ -26,6 +74,11 @@ class RateTracker {
       : window_(window), max_samples_(max_samples_per_key) {}
 
   void record(const dns::Name& name, dns::RRType type, net::SimTime now);
+
+  /// Hot-path variant: probes by view; the owning Name key is materialized
+  /// only the first time a (name, type) is seen.
+  void record_view(const dns::NameView& name, dns::RRType type,
+                   net::SimTime now);
 
   /// Estimated arrival rate in events/second over the window at `now`.
   /// With zero or one retained sample the estimate is count/window.
@@ -49,17 +102,36 @@ class RateTracker {
       return type == other.type && name == other.name;
     }
   };
+  /// Borrowed probe key for transparent lookups from wire views.
+  struct KeyView {
+    const dns::NameView& name;
+    dns::RRType type;
+  };
   struct KeyHash {
+    using is_transparent = void;
     std::size_t operator()(const Key& k) const {
       return k.name.hash() * 31 + static_cast<std::size_t>(k.type);
     }
+    std::size_t operator()(const KeyView& k) const {
+      return k.name.hash() * 31 + static_cast<std::size_t>(k.type);
+    }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const Key& a, const Key& b) const { return a == b; }
+    bool operator()(const Key& a, const KeyView& b) const {
+      return a.type == b.type && b.name.equals(a.name);
+    }
+    bool operator()(const KeyView& a, const Key& b) const {
+      return a.type == b.type && a.name.equals(b.name);
+    }
   };
 
-  void trim(std::deque<net::SimTime>& times, net::SimTime now) const;
+  void trim(SampleRing& times, net::SimTime now) const;
 
   net::Duration window_;
   std::size_t max_samples_;
-  std::unordered_map<Key, std::deque<net::SimTime>, KeyHash> samples_;
+  std::unordered_map<Key, SampleRing, KeyHash, KeyEq> samples_;
 };
 
 }  // namespace dnscup::core

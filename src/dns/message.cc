@@ -90,12 +90,18 @@ uint16_t rrc_from_rate(double queries_per_second) {
 double rrc_to_rate(uint16_t rrc) { return static_cast<double>(rrc) / 3600.0; }
 
 std::vector<uint8_t> Message::encode() const {
+  ByteWriter w;
+  encode_into(w);
+  return w.take();
+}
+
+void Message::encode_into(ByteWriter& w) const {
   DNSCUP_ASSERT(questions.size() <= 0xFFFF);
   DNSCUP_ASSERT(answers.size() <= 0xFFFF);
   DNSCUP_ASSERT(authority.size() <= 0xFFFF);
   DNSCUP_ASSERT(additional.size() <= 0xFFFF);
 
-  ByteWriter w;
+  w.begin_message();
   w.u16(id);
   w.u16(flags.pack());
   w.u16(static_cast<uint16_t>(questions.size()));
@@ -114,12 +120,40 @@ std::vector<uint8_t> Message::encode() const {
   for (const auto& rr : answers) encode_record(rr, w);
   for (const auto& rr : authority) encode_record(rr, w);
   for (const auto& rr : additional) encode_record(rr, w);
-  return w.take();
 }
 
 util::Result<Message> Message::decode(std::span<const uint8_t> wire) {
+  DNSCUP_ASSIGN_OR_RETURN(MessageView view, MessageView::parse(wire));
+  return view.materialize();
+}
+
+Question QuestionView::materialize() const {
+  Question q;
+  q.qname = qname.materialize();
+  q.qtype = qtype;
+  q.qclass = qclass;
+  q.rrc = rrc;
+  return q;
+}
+
+util::Result<ResourceRecord> RecordView::materialize(
+    std::span<const uint8_t> wire) const {
+  // Re-decode from the wire: decode_record is the single source of truth
+  // for record semantics (incl. deep RDATA parsing and compression-pointer
+  // resolution), so materialized records are byte-identical to the old
+  // owning decode.
   ByteReader r(wire);
-  Message m;
+  DNSCUP_TRY(r.seek(name_offset));
+  return decode_record(r);
+}
+
+namespace {
+
+// Shared body of MessageView::parse / parse_into.  `m` arrives with empty
+// (capacity-preserved) vectors; on error the caller resets it.
+util::Status parse_view_body(std::span<const uint8_t> wire, MessageView& m) {
+  ByteReader r(wire);
+  m.wire = wire;
   DNSCUP_ASSIGN_OR_RETURN(m.id, r.u16());
   DNSCUP_ASSIGN_OR_RETURN(uint16_t raw_flags, r.u16());
   m.flags = Flags::unpack(raw_flags);
@@ -130,8 +164,9 @@ util::Result<Message> Message::decode(std::span<const uint8_t> wire) {
 
   m.questions.reserve(qdcount);
   for (uint16_t i = 0; i < qdcount; ++i) {
-    Question q;
-    DNSCUP_ASSIGN_OR_RETURN(q.qname, r.name());
+    QuestionView q;
+    q.qname_offset = r.offset();
+    DNSCUP_TRY(r.name_view(q.qname));
     DNSCUP_ASSIGN_OR_RETURN(uint16_t qtype, r.u16());
     DNSCUP_ASSIGN_OR_RETURN(uint16_t qclass, r.u16());
     q.qtype = static_cast<RRType>(qtype);
@@ -139,17 +174,28 @@ util::Result<Message> Message::decode(std::span<const uint8_t> wire) {
     if (m.flags.ext) {
       DNSCUP_ASSIGN_OR_RETURN(q.rrc, r.u16());
     }
-    m.questions.push_back(std::move(q));
+    m.questions.push_back(q);
   }
   if (m.flags.ext && m.flags.qr) {
     DNSCUP_ASSIGN_OR_RETURN(m.llt, r.u16());
   }
-  auto read_section = [&r](uint16_t count, std::vector<ResourceRecord>& out)
+  auto read_section = [&r](uint16_t count, std::vector<RecordView>& out)
       -> util::Status {
     out.reserve(count);
+    NameView scratch;
     for (uint16_t i = 0; i < count; ++i) {
-      DNSCUP_ASSIGN_OR_RETURN(ResourceRecord rr, decode_record(r));
-      out.push_back(std::move(rr));
+      RecordView rr;
+      rr.name_offset = r.offset();
+      DNSCUP_TRY(r.name_view(scratch));
+      DNSCUP_ASSIGN_OR_RETURN(uint16_t type_raw, r.u16());
+      DNSCUP_ASSIGN_OR_RETURN(uint16_t class_raw, r.u16());
+      DNSCUP_ASSIGN_OR_RETURN(rr.ttl, r.u32());
+      DNSCUP_ASSIGN_OR_RETURN(uint16_t rdlength, r.u16());
+      rr.type = static_cast<RRType>(type_raw);
+      rr.rrclass = static_cast<RRClass>(class_raw);
+      rr.rdata.offset = r.offset();
+      DNSCUP_ASSIGN_OR_RETURN(rr.rdata.bytes, r.bytes(rdlength));
+      out.push_back(rr);
     }
     return {};
   };
@@ -160,6 +206,54 @@ util::Result<Message> Message::decode(std::span<const uint8_t> wire) {
     return util::make_error(util::ErrorCode::kMalformed,
                             "trailing bytes after message");
   }
+  return {};
+}
+
+}  // namespace
+
+util::Result<MessageView> MessageView::parse(std::span<const uint8_t> wire) {
+  MessageView m;
+  DNSCUP_TRY(parse_into(wire, m));
+  return m;
+}
+
+util::Status MessageView::parse_into(std::span<const uint8_t> wire,
+                                     MessageView& out) {
+  out.questions.clear();
+  out.answers.clear();
+  out.authority.clear();
+  out.additional.clear();
+  out.llt = 0;
+  const util::Status st = parse_view_body(wire, out);
+  if (!st.ok()) {
+    out.questions.clear();
+    out.answers.clear();
+    out.authority.clear();
+    out.additional.clear();
+    out.wire = {};
+  }
+  return st;
+}
+
+util::Result<Message> MessageView::materialize() const {
+  Message m;
+  m.id = id;
+  m.flags = flags;
+  m.llt = llt;
+  m.questions.reserve(questions.size());
+  for (const auto& q : questions) m.questions.push_back(q.materialize());
+  auto fill = [this](const std::vector<RecordView>& in,
+                     std::vector<ResourceRecord>& out) -> util::Status {
+    out.reserve(in.size());
+    for (const auto& rv : in) {
+      DNSCUP_ASSIGN_OR_RETURN(ResourceRecord rr, rv.materialize(wire));
+      out.push_back(std::move(rr));
+    }
+    return {};
+  };
+  DNSCUP_TRY(fill(answers, m.answers));
+  DNSCUP_TRY(fill(authority, m.authority));
+  DNSCUP_TRY(fill(additional, m.additional));
   return m;
 }
 

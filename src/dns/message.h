@@ -106,12 +106,79 @@ struct Message {
   uint16_t llt = 0;
 
   std::vector<uint8_t> encode() const;
+
+  /// Encodes into a caller-supplied writer (typically arena-backed).
+  /// Calls writer.begin_message() first, so compression state is fresh and
+  /// writer.message() afterwards spans exactly this message's bytes.
+  void encode_into(ByteWriter& writer) const;
+
   static util::Result<Message> decode(std::span<const uint8_t> wire);
 
   /// Multi-line dig-style rendering for logs and examples.
   std::string to_string() const;
 
   bool operator==(const Message&) const = default;
+};
+
+/// Raw RDATA bytes as they sit in the message.  The span may contain
+/// compression pointers (NS/CNAME/SOA/MX targets), so interpret it via
+/// RecordView::materialize(), which decodes against the whole message.
+/// Valid only while the wire buffer is — one receive batch on the hot path.
+struct RdataView {
+  std::size_t offset = 0;  ///< wire offset where RDATA starts
+  std::span<const uint8_t> bytes;
+};
+
+/// One parsed question; qname labels point into the wire buffer.
+struct QuestionView {
+  NameView qname;
+  std::size_t qname_offset = 0;
+  RRType qtype = RRType::kA;
+  RRClass qclass = RRClass::kIN;
+  uint16_t rrc = 0;
+
+  Question materialize() const;
+};
+
+/// One structurally validated record.  Stores offsets rather than an
+/// inline NameView (records can be numerous; NameView is ~2 KB);
+/// materialize() re-reads from the wire, which also deep-parses RDATA.
+struct RecordView {
+  std::size_t name_offset = 0;  ///< wire offset of NAME
+  RRType type = RRType::kA;
+  RRClass rrclass = RRClass::kIN;
+  uint32_t ttl = 0;
+  RdataView rdata;
+
+  util::Result<ResourceRecord> materialize(
+      std::span<const uint8_t> wire) const;
+};
+
+/// Span-backed decoded message: names and RDATA reference the wire buffer
+/// instead of owning copies.  parse() validates structure (header,
+/// name walks incl. pointer safety, section counts, RDLENGTH bounds,
+/// trailing bytes); RDATA interiors are deep-parsed on materialize().
+/// Message::decode() == parse() + materialize(), so views materialize
+/// byte-identically to the old owning decode.
+struct MessageView {
+  uint16_t id = 0;
+  Flags flags;
+  std::vector<QuestionView> questions;
+  std::vector<RecordView> answers;
+  std::vector<RecordView> authority;
+  std::vector<RecordView> additional;
+  uint16_t llt = 0;
+  std::span<const uint8_t> wire;
+
+  static util::Result<MessageView> parse(std::span<const uint8_t> wire);
+
+  /// Re-parses into an existing view, reusing its vectors' capacity —
+  /// a warm view parses with zero heap allocations.  On error `out` is
+  /// left cleared.
+  static util::Status parse_into(std::span<const uint8_t> wire,
+                                 MessageView& out);
+
+  util::Result<Message> materialize() const;
 };
 
 /// Builds a response skeleton: copies id, question(s) and opcode, sets QR,

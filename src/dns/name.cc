@@ -163,18 +163,101 @@ bool Name::operator<(const Name& other) const {
   return labels_.size() < other.labels_.size();
 }
 
-std::size_t Name::hash() const {
-  // FNV-1a over lowercased labels with a separator per label.
+namespace {
+
+/// FNV-1a over lowercased labels with a separator per label; Name::hash()
+/// and NameView::hash() both call this so heterogeneous lookups agree.
+template <typename LabelAt>
+std::size_t hash_labels(std::size_t count, LabelAt&& label_at) {
   std::size_t h = 1469598103934665603ull;
   auto mix = [&h](char c) {
     h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ull;
   };
-  for (const auto& l : labels_) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string_view l = label_at(i);
     for (char c : l) mix(ascii_lower(c));
     mix('\0');
   }
   return h;
+}
+
+}  // namespace
+
+std::size_t Name::hash() const {
+  return hash_labels(labels_.size(),
+                     [this](std::size_t i) -> std::string_view {
+                       return labels_[i];
+                     });
+}
+
+int compare_name_to_labels(const Name& a,
+                           std::span<const std::string_view> b) {
+  const std::size_t na = a.label_count();
+  const std::size_t nb = b.size();
+  const std::size_t n = std::min(na, nb);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const int c = label_compare(a.label(na - i), b[nb - i]);
+    if (c != 0) return c;
+  }
+  if (na == nb) return 0;
+  return na < nb ? -1 : 1;
+}
+
+std::size_t NameView::wire_length() const {
+  std::size_t len = 1;
+  for (std::size_t i = 0; i < count_; ++i) len += 1 + labels_[i].size();
+  return len;
+}
+
+void NameView::push_label(std::string_view label) {
+  DNSCUP_ASSERT(count_ < kMaxLabels);
+  DNSCUP_ASSERT(!label.empty() && label.size() <= kMaxLabelLength);
+  labels_[count_++] = label;
+}
+
+Name NameView::materialize() const {
+  std::vector<std::string> labels;
+  labels.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) labels.emplace_back(labels_[i]);
+  return Name::from_labels(std::move(labels));
+}
+
+bool NameView::equals(const Name& other) const {
+  if (count_ != other.label_count()) return false;
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (!label_equal(labels_[i], other.label(i))) return false;
+  }
+  return true;
+}
+
+int NameView::compare(const Name& other) const {
+  return -compare_name_to_labels(other, labels());
+}
+
+bool NameView::is_subdomain_of(const Name& ancestor) const {
+  const std::size_t nb = ancestor.label_count();
+  if (nb > count_) return false;
+  for (std::size_t i = 1; i <= nb; ++i) {
+    if (!label_equal(labels_[count_ - i], ancestor.label(nb - i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t NameView::hash() const {
+  return hash_labels(count_, [this](std::size_t i) { return labels_[i]; });
+}
+
+std::string NameView::to_string() const {
+  if (is_root()) return ".";
+  std::string out;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out += labels_[i];
+    out += '.';
+  }
+  return out;
 }
 
 }  // namespace dnscup::dns

@@ -4,7 +4,9 @@
 // they were created with.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -74,6 +76,65 @@ class Name {
 /// Case-insensitive label comparison (ASCII only, per RFC 4343).
 bool label_equal(std::string_view a, std::string_view b);
 int label_compare(std::string_view a, std::string_view b);
+
+/// Non-owning view of a domain name: a fixed-capacity sequence of
+/// string_view labels pointing into wire bytes (or any other backing
+/// storage).  A NameView is only valid while the bytes it points into
+/// are — on the serve hot path that is one receive batch.  Call
+/// materialize() for the few owners that must outlive the buffer.
+///
+/// Comparisons and hashing match Name exactly (case-insensitive, same
+/// FNV-1a), so a NameView can probe containers keyed by Name without
+/// allocating.
+class NameView {
+ public:
+  static constexpr std::size_t kMaxLabels = 128;
+
+  NameView() = default;
+
+  bool is_root() const { return count_ == 0; }
+  std::size_t label_count() const { return count_; }
+  std::string_view label(std::size_t i) const { return labels_[i]; }
+  std::span<const std::string_view> labels() const {
+    return {labels_.data(), count_};
+  }
+
+  /// Wire-format length of the (uncompressed) name, incl. the root octet.
+  std::size_t wire_length() const;
+
+  void clear() { count_ = 0; }
+  /// Appends one label; asserts the capacity and label-length limits that
+  /// the wire parser already enforces.
+  void push_label(std::string_view label);
+
+  /// Copies the labels into an owning Name.
+  Name materialize() const;
+
+  /// Case-insensitive equality / canonical-order comparison against an
+  /// owning Name (same semantics as Name::operator== / operator<).
+  bool equals(const Name& other) const;
+  int compare(const Name& other) const;
+
+  /// True if this name equals `ancestor` or is below it.
+  bool is_subdomain_of(const Name& ancestor) const;
+
+  /// Matches Name::hash() bit-for-bit so heterogeneous unordered lookups
+  /// land in the same bucket.
+  std::size_t hash() const;
+
+  std::string to_string() const;
+
+ private:
+  std::array<std::string_view, kMaxLabels> labels_;
+  std::size_t count_ = 0;
+};
+
+/// Canonical-order comparison of an owning Name against a raw label
+/// sequence (as produced by NameView::labels()); <0 / 0 / >0 like strcmp.
+/// Shared by the transparent container comparators in zone.h and
+/// rate_tracker.h.
+int compare_name_to_labels(const Name& a,
+                           std::span<const std::string_view> b);
 
 struct NameHash {
   std::size_t operator()(const Name& n) const { return n.hash(); }

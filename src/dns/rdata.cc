@@ -249,8 +249,8 @@ util::Result<Rdata> decode_rdata(RRType type, uint16_t rdlength,
     }
     default: {
       DNSCUP_ASSIGN_OR_RETURN(auto raw, reader.bytes(rdlength));
-      return Rdata{
-          GenericRdata{static_cast<uint16_t>(type), std::move(raw)}};
+      return Rdata{GenericRdata{static_cast<uint16_t>(type),
+                                std::vector<uint8_t>(raw.begin(), raw.end())}};
     }
   }
 }

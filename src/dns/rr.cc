@@ -51,18 +51,35 @@ bool RRset::same_data(const RRset& other) const {
   return true;
 }
 
-void encode_record(const ResourceRecord& rr, ByteWriter& writer) {
-  writer.name(rr.name);
-  writer.u16(static_cast<uint16_t>(rr.type()));
-  writer.u16(static_cast<uint16_t>(rr.rrclass));
-  writer.u32(rr.ttl);
+namespace {
+
+void encode_record_parts(const Name& name, RRType type, RRClass rrclass,
+                         uint32_t ttl, const Rdata& rdata,
+                         ByteWriter& writer) {
+  writer.name(name);
+  writer.u16(static_cast<uint16_t>(type));
+  writer.u16(static_cast<uint16_t>(rrclass));
+  writer.u32(ttl);
   const std::size_t rdlength_at = writer.size();
   writer.u16(0);  // placeholder
   const std::size_t rdata_start = writer.size();
-  encode_rdata(rr.rdata, writer);
+  encode_rdata(rdata, writer);
   const std::size_t rdata_len = writer.size() - rdata_start;
   DNSCUP_ASSERT(rdata_len <= 0xFFFF);
   writer.patch_u16(rdlength_at, static_cast<uint16_t>(rdata_len));
+}
+
+}  // namespace
+
+void encode_record(const ResourceRecord& rr, ByteWriter& writer) {
+  encode_record_parts(rr.name, rr.type(), rr.rrclass, rr.ttl, rr.rdata,
+                      writer);
+}
+
+void encode_rrset(const RRset& set, ByteWriter& writer) {
+  for (const auto& rd : set.rdatas) {
+    encode_record_parts(set.name, set.type, set.rrclass, set.ttl, rd, writer);
+  }
 }
 
 util::Result<ResourceRecord> decode_record(ByteReader& reader) {

@@ -61,6 +61,11 @@ struct RRset {
 /// Encodes one record: NAME TYPE CLASS TTL RDLENGTH RDATA.
 void encode_record(const ResourceRecord& rr, ByteWriter& writer);
 
+/// Encodes every member of an RRset directly from the set — no
+/// ResourceRecord materialization, so no Name copies.  Bytes are identical
+/// to calling encode_record on each of set.to_records().
+void encode_rrset(const RRset& set, ByteWriter& writer);
+
 /// Decodes one record at the reader's cursor.
 util::Result<ResourceRecord> decode_record(ByteReader& reader);
 

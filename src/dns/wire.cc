@@ -1,7 +1,6 @@
 #include "dns/wire.h"
 
 #include <algorithm>
-#include <cctype>
 
 #include "util/assert.h"
 
@@ -12,53 +11,82 @@ namespace {
 constexpr uint16_t kPointerMask = 0xC000;
 constexpr std::size_t kMaxPointerOffset = 0x3FFF;
 constexpr int kMaxPointerHops = 32;
-constexpr std::size_t kMaxLabels = 128;
-
-std::string lower_suffix_key(const Name& n, std::size_t from_label) {
-  std::string key;
-  for (std::size_t i = from_label; i < n.label_count(); ++i) {
-    const std::string& l = n.label(i);
-    for (char c : l) {
-      key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    }
-    key += '.';
-  }
-  return key;
-}
 
 }  // namespace
 
-void ByteWriter::u8(uint8_t v) { buf_.push_back(v); }
+void ByteWriter::begin_message() {
+  base_ = buf_->size();
+  compression_count_ = 0;
+}
+
+void ByteWriter::u8(uint8_t v) { buf_->push_back(v); }
 
 void ByteWriter::u16(uint16_t v) {
-  buf_.push_back(static_cast<uint8_t>(v >> 8));
-  buf_.push_back(static_cast<uint8_t>(v & 0xFF));
+  buf_->push_back(static_cast<uint8_t>(v >> 8));
+  buf_->push_back(static_cast<uint8_t>(v & 0xFF));
 }
 
 void ByteWriter::u32(uint32_t v) {
-  buf_.push_back(static_cast<uint8_t>(v >> 24));
-  buf_.push_back(static_cast<uint8_t>((v >> 16) & 0xFF));
-  buf_.push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
-  buf_.push_back(static_cast<uint8_t>(v & 0xFF));
+  buf_->push_back(static_cast<uint8_t>(v >> 24));
+  buf_->push_back(static_cast<uint8_t>((v >> 16) & 0xFF));
+  buf_->push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
+  buf_->push_back(static_cast<uint8_t>(v & 0xFF));
 }
 
 void ByteWriter::bytes(std::span<const uint8_t> data) {
-  buf_.insert(buf_.end(), data.begin(), data.end());
+  buf_->insert(buf_->end(), data.begin(), data.end());
+}
+
+bool ByteWriter::suffix_matches(uint16_t offset, const Name& n,
+                                std::size_t from) const {
+  // We only record offsets of names this writer emitted, so the bytes at
+  // `offset` are well-formed and any pointers there point backwards.
+  const std::vector<uint8_t>& b = *buf_;
+  std::size_t cursor = base_ + offset;
+  std::size_t i = from;
+  for (;;) {
+    DNSCUP_ASSERT(cursor < b.size());
+    const uint8_t len = b[cursor];
+    if ((len & 0xC0) == 0xC0) {
+      DNSCUP_ASSERT(cursor + 1 < b.size());
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3F) << 8) | b[cursor + 1];
+      cursor = base_ + target;
+      continue;
+    }
+    if (len == 0) return i == n.label_count();
+    if (i == n.label_count()) return false;
+    const std::string& label = n.label(i);
+    if (label.size() != len) return false;
+    const std::string_view written(reinterpret_cast<const char*>(&b[cursor + 1]),
+                                   len);
+    if (!label_equal(written, label)) return false;
+    ++i;
+    cursor += 1 + len;
+  }
+}
+
+void ByteWriter::record_offset(std::size_t message_relative) {
+  if (message_relative <= kMaxPointerOffset &&
+      compression_count_ < kCompressionSlots) {
+    compression_[compression_count_++] =
+        static_cast<uint16_t>(message_relative);
+  }
 }
 
 void ByteWriter::name(const Name& n) {
   // For each suffix of the name, either emit a compression pointer to a
   // previous occurrence or write the label and remember this offset.
+  // Offsets are scanned in insertion order, which reproduces the
+  // first-occurrence-wins behaviour of the old string-keyed map.
   for (std::size_t i = 0; i < n.label_count(); ++i) {
-    const std::string key = lower_suffix_key(n, i);
-    auto it = compression_.find(key);
-    if (it != compression_.end()) {
-      u16(static_cast<uint16_t>(kPointerMask | it->second));
-      return;
+    for (std::size_t s = 0; s < compression_count_; ++s) {
+      if (suffix_matches(compression_[s], n, i)) {
+        u16(static_cast<uint16_t>(kPointerMask | compression_[s]));
+        return;
+      }
     }
-    if (buf_.size() <= kMaxPointerOffset) {
-      compression_.emplace(key, static_cast<uint16_t>(buf_.size()));
-    }
+    record_offset(size());
     const std::string& label = n.label(i);
     u8(static_cast<uint8_t>(label.size()));
     bytes({reinterpret_cast<const uint8_t*>(label.data()), label.size()});
@@ -75,10 +103,30 @@ void ByteWriter::name_uncompressed(const Name& n) {
   u8(0);
 }
 
+void ByteWriter::register_name(std::size_t offset) {
+  const std::vector<uint8_t>& b = *buf_;
+  std::size_t cursor = base_ + offset;
+  for (;;) {
+    DNSCUP_ASSERT(cursor < b.size());
+    const uint8_t len = b[cursor];
+    // Stop at the root octet; callers pass pointer-free names, but a
+    // pointer (or reserved label) also safely ends registration.
+    if (len == 0 || (len & 0xC0) != 0) return;
+    DNSCUP_ASSERT(cursor + 1 + len <= b.size());
+    record_offset(cursor - base_);
+    cursor += 1 + len;
+  }
+}
+
 void ByteWriter::patch_u16(std::size_t offset, uint16_t v) {
-  DNSCUP_ASSERT(offset + 2 <= buf_.size());
-  buf_[offset] = static_cast<uint8_t>(v >> 8);
-  buf_[offset + 1] = static_cast<uint8_t>(v & 0xFF);
+  DNSCUP_ASSERT(base_ + offset + 2 <= buf_->size());
+  (*buf_)[base_ + offset] = static_cast<uint8_t>(v >> 8);
+  (*buf_)[base_ + offset + 1] = static_cast<uint8_t>(v & 0xFF);
+}
+
+std::vector<uint8_t> ByteWriter::take() {
+  DNSCUP_ASSERT(buf_ == &own_);
+  return std::move(own_);
 }
 
 util::Result<uint8_t> ByteReader::u8() {
@@ -110,13 +158,11 @@ util::Result<uint32_t> ByteReader::u32() {
   return v;
 }
 
-util::Result<std::vector<uint8_t>> ByteReader::bytes(std::size_t n) {
+util::Result<std::span<const uint8_t>> ByteReader::bytes(std::size_t n) {
   if (remaining() < n) {
     return util::make_error(util::ErrorCode::kTruncated, "bytes past end");
   }
-  std::vector<uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                           data_.begin() +
-                               static_cast<std::ptrdiff_t>(pos_ + n));
+  const std::span<const uint8_t> out = data_.subspan(pos_, n);
   pos_ += n;
   return out;
 }
@@ -130,8 +176,8 @@ util::Status ByteReader::seek(std::size_t offset) {
   return {};
 }
 
-util::Result<Name> ByteReader::name() {
-  std::vector<std::string> labels;
+util::Status ByteReader::name_view(NameView& out) {
+  out.clear();
   std::size_t cursor = pos_;
   std::size_t after_first_pointer = 0;
   bool jumped = false;
@@ -179,21 +225,26 @@ util::Result<Name> ByteReader::name() {
       return util::make_error(util::ErrorCode::kTruncated,
                               "label runs past end");
     }
-    if (labels.size() >= kMaxLabels) {
+    if (out.label_count() >= NameView::kMaxLabels) {
       return util::make_error(util::ErrorCode::kMalformed, "too many labels");
     }
-    labels.emplace_back(reinterpret_cast<const char*>(&data_[cursor + 1]),
-                        len);
+    out.push_label(std::string_view(
+        reinterpret_cast<const char*>(&data_[cursor + 1]), len));
     cursor += 1 + len;
   }
 
-  std::size_t wire_len = 1;
-  for (const auto& l : labels) wire_len += 1 + l.size();
-  if (wire_len > 255) {
+  if (out.wire_length() > 255) {
     return util::make_error(util::ErrorCode::kMalformed,
                             "decoded name longer than 255 octets");
   }
-  return Name::from_labels(std::move(labels));
+  return {};
+}
+
+util::Result<Name> ByteReader::name() {
+  NameView view;
+  const util::Status st = name_view(view);
+  if (!st.ok()) return st.error();
+  return view.materialize();
 }
 
 }  // namespace dnscup::dns

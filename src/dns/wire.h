@@ -2,12 +2,26 @@
 // readers/writers and domain-name encoding with message compression
 // (§4.1.4).  All reads come from untrusted bytes and report failures via
 // util::Result; they never assert or throw on bad input.
+//
+// ByteWriter runs in one of two modes:
+//  * owning (default constructor): the writer owns its buffer; take()
+//    moves it out.  This is the legacy one-message-per-vector path.
+//  * arena (explicit constructor): the writer appends into a caller-owned
+//    reusable buffer.  begin_message() marks the start of a new message in
+//    the arena and resets compression state; size(), patch_u16() and the
+//    compression pointers are all message-relative, so several messages
+//    can share one arena and the arena can be cleared and reused without
+//    any per-message allocation.
+//
+// Name compression no longer keys a map by presentation strings: the
+// writer keeps a small table of wire offsets where (suffixes of) names
+// start in the output buffer and matches candidates by walking the
+// already-written bytes, which is allocation-free.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "dns/name.h"
@@ -17,6 +31,21 @@ namespace dnscup::dns {
 
 class ByteWriter {
  public:
+  /// Owning mode: the writer allocates and owns its buffer.
+  ByteWriter() : buf_(&own_) {}
+
+  /// Arena mode: appends into `arena` starting at its current end.  The
+  /// caller owns the buffer; clear it between batches to reuse capacity.
+  explicit ByteWriter(std::vector<uint8_t>& arena)
+      : buf_(&arena), base_(arena.size()) {}
+
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
+
+  /// Starts a new message at the arena's current end: resets the
+  /// message base offset and the compression table.
+  void begin_message();
+
   void u8(uint8_t v);
   void u16(uint16_t v);
   void u32(uint32_t v);
@@ -32,19 +61,50 @@ class ByteWriter {
   /// forbidden by RFC 3597 semantics).
   void name_uncompressed(const Name& n);
 
-  std::size_t size() const { return buf_.size(); }
+  /// Registers an already-written, pointer-free name (each of its label
+  /// starts) as compression targets, exactly as if name() had written it.
+  /// `offset` is message-relative.  Used when echoing raw question bytes
+  /// so later records still compress against the qname.
+  void register_name(std::size_t offset);
+
+  /// Bytes written for the current message (message-relative).
+  std::size_t size() const { return buf_->size() - base_; }
 
   /// Overwrites a previously written 16-bit slot (e.g. to patch RDLENGTH
-  /// or section counts after the fact).
+  /// or section counts after the fact).  `offset` is message-relative.
   void patch_u16(std::size_t offset, uint16_t v);
 
-  const std::vector<uint8_t>& data() const { return buf_; }
-  std::vector<uint8_t> take() { return std::move(buf_); }
+  /// The current message's bytes.  The span is invalidated by any further
+  /// append (the arena may reallocate).
+  std::span<const uint8_t> message() const {
+    return {buf_->data() + base_, buf_->size() - base_};
+  }
+
+  /// Arena offset where the current message starts.
+  std::size_t message_offset() const { return base_; }
+
+  /// The whole underlying buffer (in owning mode, exactly the message).
+  const std::vector<uint8_t>& data() const { return *buf_; }
+
+  /// Moves the buffer out; owning mode only.
+  std::vector<uint8_t> take();
 
  private:
-  std::vector<uint8_t> buf_;
-  // Maps a name's presentation suffix (lowercased) to its wire offset.
-  std::unordered_map<std::string, uint16_t> compression_;
+  /// True when the labels n.label(from..) match the name written at
+  /// message-relative `offset` (following already-written pointers).
+  bool suffix_matches(uint16_t offset, const Name& n, std::size_t from) const;
+  void record_offset(std::size_t message_relative);
+
+  // Compression table: message-relative wire offsets where a (suffix of
+  // a) name starts.  Fixed-size — once full, later names simply stop
+  // registering new targets; output stays valid, just less compressed.
+  static constexpr std::size_t kCompressionSlots = 64;
+
+  std::vector<uint8_t> own_;
+  std::vector<uint8_t>* buf_;
+  std::size_t base_ = 0;
+  std::array<uint16_t, kCompressionSlots> compression_{};
+  std::size_t compression_count_ = 0;
 };
 
 class ByteReader {
@@ -54,11 +114,19 @@ class ByteReader {
   util::Result<uint8_t> u8();
   util::Result<uint16_t> u16();
   util::Result<uint32_t> u32();
-  util::Result<std::vector<uint8_t>> bytes(std::size_t n);
+
+  /// A view of the next `n` bytes (no copy); the span aliases the
+  /// reader's backing buffer.
+  util::Result<std::span<const uint8_t>> bytes(std::size_t n);
 
   /// Reads a possibly-compressed name.  Follows pointers with a hop limit
   /// so malicious pointer loops terminate.
   util::Result<Name> name();
+
+  /// Reads a possibly-compressed name into `out` as label views into the
+  /// backing buffer — no allocation.  Identical validation and cursor
+  /// semantics to name().
+  util::Status name_view(NameView& out);
 
   std::size_t offset() const { return pos_; }
   std::size_t remaining() const { return data_.size() - pos_; }

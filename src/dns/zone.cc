@@ -1,6 +1,7 @@
 #include "dns/zone.h"
 
 #include <algorithm>
+#include <array>
 
 #include "util/assert.h"
 
@@ -167,6 +168,85 @@ bool Zone::remove_name(const Name& name) {
     removed = true;
   }
   return removed;
+}
+
+namespace {
+
+/// True when `n` equals the label sequence `ancestor` or sits below it.
+bool name_below_labels(const Name& n, std::span<const std::string_view> anc) {
+  const std::size_t nn = n.label_count();
+  const std::size_t na = anc.size();
+  if (na > nn) return false;
+  for (std::size_t i = 1; i <= na; ++i) {
+    if (!label_equal(n.label(nn - i), anc[na - i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const RRset* Zone::find_ref(std::span<const std::string_view> labels,
+                            RRType type) const {
+  auto it = rrsets_.find(KeyRef{labels, type});
+  return it == rrsets_.end() ? nullptr : &it->second;
+}
+
+const RRset* Zone::find_apex_soa() const {
+  std::array<std::string_view, NameView::kMaxLabels> labels;
+  const std::size_t count = origin_.label_count();
+  DNSCUP_ASSERT(count <= labels.size());
+  for (std::size_t i = 0; i < count; ++i) labels[i] = origin_.label(i);
+  return find_ref(std::span<const std::string_view>(labels.data(), count),
+                  RRType::kSOA);
+}
+
+bool Zone::name_exists_ref(std::span<const std::string_view> labels) const {
+  auto it = rrsets_.lower_bound(KeyRef{labels, static_cast<RRType>(0)});
+  return it != rrsets_.end() && name_below_labels(it->first.name, labels);
+}
+
+Zone::LookupRef Zone::lookup_ref(const NameView& qname, RRType qtype) const {
+  DNSCUP_ASSERT(qtype != RRType::kANY && qtype != RRType::kAXFR &&
+                qtype != RRType::kIXFR);
+  LookupRef result;
+  if (!contains_name(qname)) {
+    result.status = LookupStatus::kNotInZone;
+    return result;
+  }
+
+  // Zone cut strictly below the apex, at or above qname: probe each
+  // ancestor as a suffix subspan of the view's labels — no Name churn.
+  const std::size_t qlabels = qname.label_count();
+  const std::size_t olabels = origin_.label_count();
+  for (std::size_t depth = olabels + 1; depth <= qlabels; ++depth) {
+    const auto candidate = qname.labels().subspan(qlabels - depth);
+    if (const RRset* ns = find_ref(candidate, RRType::kNS)) {
+      result.status = LookupStatus::kDelegation;
+      result.rrset = ns;
+      return result;
+    }
+  }
+
+  if (!name_exists_ref(qname.labels())) {
+    result.status = LookupStatus::kNXDomain;
+    return result;
+  }
+
+  if (qtype != RRType::kCNAME) {
+    if (const RRset* cname = find_ref(qname.labels(), RRType::kCNAME)) {
+      result.status = LookupStatus::kCName;
+      result.rrset = cname;
+      return result;
+    }
+  }
+
+  if (const RRset* set = find_ref(qname.labels(), qtype)) {
+    result.status = LookupStatus::kSuccess;
+    result.rrset = set;
+    return result;
+  }
+  result.status = LookupStatus::kNoData;
+  return result;
 }
 
 Zone::LookupResult Zone::lookup(const Name& qname, RRType qtype) const {

@@ -11,7 +11,9 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dns/name.h"
@@ -38,6 +40,9 @@ class Zone {
 
   /// True when `name` is at or below the origin.
   bool contains_name(const Name& name) const {
+    return name.is_subdomain_of(origin_);
+  }
+  bool contains_name(const NameView& name) const {
     return name.is_subdomain_of(origin_);
   }
 
@@ -95,6 +100,23 @@ class Zone {
 
   LookupResult lookup(const Name& qname, RRType qtype) const;
 
+  /// Allocation-free lookup for the serve hot path: the qname stays a view
+  /// into the request wire bytes (heterogeneous map probes — no Name is
+  /// materialized) and the answer is a pointer into zone storage instead of
+  /// an RRset copy.  Semantics mirror lookup() exactly; `rrset` is set for
+  /// kSuccess / kCName / kDelegation.  qtype must be a concrete type
+  /// (not ANY/AXFR/IXFR — callers route those to the slow path).
+  struct LookupRef {
+    LookupStatus status = LookupStatus::kNotInZone;
+    const RRset* rrset = nullptr;
+  };
+  LookupRef lookup_ref(const NameView& qname, RRType qtype) const;
+
+  /// The apex SOA RRset without materializing a map key (allocation-free;
+  /// negative answers on the serve hot path attach it).  Null only for a
+  /// zone that never passed validate().
+  const RRset* find_apex_soa() const;
+
   // ---- Enumeration -------------------------------------------------------
 
   /// All RRsets, SOA first then canonical name order (AXFR order).
@@ -114,8 +136,34 @@ class Zone {
     }
   };
 
+  /// Borrowed probe key for heterogeneous lookups: the label sequence of a
+  /// NameView (or any suffix of one) plus a type — no Name construction.
+  struct KeyRef {
+    std::span<const std::string_view> labels;
+    RRType type;
+  };
+
+  struct KeyLess {
+    using is_transparent = void;
+    bool operator()(const Key& a, const Key& b) const { return a < b; }
+    bool operator()(const Key& a, const KeyRef& b) const {
+      const int c = compare_name_to_labels(a.name, b.labels);
+      if (c != 0) return c < 0;
+      return a.type < b.type;
+    }
+    bool operator()(const KeyRef& a, const Key& b) const {
+      const int c = compare_name_to_labels(b.name, a.labels);
+      if (c != 0) return c > 0;
+      return a.type < b.type;
+    }
+  };
+
+  const RRset* find_ref(std::span<const std::string_view> labels,
+                        RRType type) const;
+  bool name_exists_ref(std::span<const std::string_view> labels) const;
+
   Name origin_;
-  std::map<Key, RRset> rrsets_;
+  std::map<Key, RRset, KeyLess> rrsets_;
 };
 
 /// One (name, type) whose data differs between two zone snapshots; used by

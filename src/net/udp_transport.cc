@@ -2,13 +2,16 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <vector>
 
 #include "util/assert.h"
 
@@ -16,7 +19,25 @@ namespace dnscup::net {
 
 namespace {
 constexpr uint32_t kLoopbackIp = 0x7F000001;  // 127.0.0.1
+
+/// Datagrams per sendmmsg/recvmmsg syscall.
+constexpr std::size_t kBatchSlots = 64;
+/// Bytes per batch receive slot — generous for this protocol, whose
+/// datagrams never exceed kMaxUdpPayload; larger inbound packets are
+/// dropped and counted in udp_rx_truncated.
+constexpr std::size_t kRxSlotBytes = 4096;
+/// EAGAIN retry budget per datagram before it is dropped as a tx error.
+constexpr int kMaxEagainRetries = 8;
+constexpr int kPollOutTimeoutMs = 10;
+
+sockaddr_in make_addr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(ep.ip);
+  addr.sin_port = htons(ep.port);
+  return addr;
 }
+}  // namespace
 
 util::Result<std::unique_ptr<UdpTransport>> UdpTransport::bind(
     const Options& options) {
@@ -100,8 +121,15 @@ UdpTransport::UdpTransport(int fd, Endpoint local,
   // (single-threaded) registry is never touched concurrently.
   auto& registry = metrics::resolve(metrics);
   stats_.register_in(registry, local_.to_string());
-  rx_overflow_ = registry.counter("udp_rx_overflow",
-                                  {{"endpoint", local_.to_string()}});
+  const metrics::Labels ep{{"endpoint", local_.to_string()}};
+  rx_overflow_ = registry.counter("udp_rx_overflow", ep);
+  rx_truncated_ = registry.counter("udp_rx_truncated", ep);
+  tx_eagain_ = registry.counter("udp_tx_eagain_waits", ep);
+  tx_short_ = registry.counter("udp_tx_short_writes", ep);
+  tx_errors_ = registry.counter("udp_tx_errors", ep);
+  rx_batch_size_ = registry.histogram("udp_rx_batch_size", ep);
+  tx_batch_size_ = registry.histogram("udp_tx_batch_size", ep);
+  tx_flush_us_ = registry.histogram("udp_tx_flush_us", ep);
   receiver_ = std::thread([this] { receive_loop(); });
 }
 
@@ -117,19 +145,96 @@ UdpTransport::~UdpTransport() {
   ::close(fd_);
 }
 
+void UdpTransport::wait_writable() {
+  pollfd p{};
+  p.fd = fd_;
+  p.events = POLLOUT;
+  ::poll(&p, 1, kPollOutTimeoutMs);  // bounded; timeout just retries
+}
+
+void UdpTransport::count_sent(std::size_t requested, std::size_t accepted) {
+  ++stats_.packets_sent;
+  stats_.bytes_sent += static_cast<uint64_t>(accepted);
+  stats_.max_packet_bytes.set_max(static_cast<double>(requested));
+  if (accepted != requested) ++tx_short_;
+}
+
 void UdpTransport::send(const Endpoint& to, std::span<const uint8_t> data) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(to.ip);
-  addr.sin_port = htons(to.port);
-  const ssize_t n =
-      ::sendto(fd_, data.data(), data.size(), 0,
-               reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
-  if (n >= 0) {
-    ++stats_.packets_sent;
-    stats_.bytes_sent += static_cast<uint64_t>(n);
-    stats_.max_packet_bytes.set_max(static_cast<double>(data.size()));
+  const sockaddr_in addr = make_addr(to);
+  for (int attempt = 0; attempt <= kMaxEagainRetries; ++attempt) {
+    const ssize_t n =
+        ::sendto(fd_, data.data(), data.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+    if (n >= 0) {
+      count_sent(data.size(), static_cast<std::size_t>(n));
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Kernel send buffer full: wait (bounded) for room, then retry.
+      ++tx_eagain_;
+      wait_writable();
+      continue;
+    }
+    ++tx_errors_;  // hard error: drop the datagram, keep serving
+    return;
   }
+  ++tx_errors_;  // retry budget exhausted while the buffer stayed full
+}
+
+std::size_t UdpTransport::send_batch(std::span<const TxPacket> packets) {
+  if (packets.empty()) return 0;
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t sent = 0;
+#ifdef __linux__
+  std::array<mmsghdr, kBatchSlots> msgs;
+  std::array<iovec, kBatchSlots> iovs;
+  std::array<sockaddr_in, kBatchSlots> addrs;
+  std::size_t cursor = 0;
+  int eagain_budget = kMaxEagainRetries;
+  while (cursor < packets.size()) {
+    const std::size_t n = std::min(kBatchSlots, packets.size() - cursor);
+    for (std::size_t i = 0; i < n; ++i) {
+      const TxPacket& p = packets[cursor + i];
+      addrs[i] = make_addr(p.to);
+      iovs[i] = {const_cast<uint8_t*>(p.data.data()), p.data.size()};
+      msgs[i] = {};
+      msgs[i].msg_hdr.msg_name = &addrs[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof addrs[i];
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int r = ::sendmmsg(fd_, msgs.data(), static_cast<unsigned>(n), 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) && eagain_budget-- > 0) {
+        ++tx_eagain_;
+        wait_writable();
+        continue;
+      }
+      tx_errors_ += packets.size() - cursor;  // drop the rest of the batch
+      break;
+    }
+    for (int i = 0; i < r; ++i) {
+      count_sent(packets[cursor + i].data.size(), msgs[i].msg_len);
+    }
+    sent += static_cast<std::size_t>(r);
+    cursor += static_cast<std::size_t>(r);
+    // Partial acceptance (r < n) means the buffer filled mid-batch; the
+    // loop re-offers the remainder, guarded by the same EAGAIN budget.
+  }
+#else
+  for (const TxPacket& p : packets) {
+    send(p.to, p.data);
+    ++sent;
+  }
+#endif
+  tx_batch_size_.add(static_cast<double>(packets.size()));
+  tx_flush_us_.add(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return sent;
 }
 
 void UdpTransport::set_receive_handler(ReceiveHandler handler) {
@@ -137,7 +242,91 @@ void UdpTransport::set_receive_handler(ReceiveHandler handler) {
   handler_ = std::move(handler);
 }
 
+void UdpTransport::set_batch_receive_handler(BatchReceiveHandler handler) {
+  std::lock_guard lock(handler_mutex_);
+  batch_handler_ = std::move(handler);
+}
+
 void UdpTransport::receive_loop() {
+#ifdef __linux__
+  // Batched intake: one recvmmsg drains the kernel's whole backlog (up
+  // to kBatchSlots) per syscall.  MSG_WAITFORONE blocks for the first
+  // datagram only — under load the syscall returns full batches, while
+  // an idle socket still honours SO_RCVTIMEO so shutdown is noticed.
+  struct RxSlot {
+    std::array<uint8_t, kRxSlotBytes> buf;
+    sockaddr_in from;
+    alignas(cmsghdr) std::array<uint8_t, 64> control;
+  };
+  std::vector<RxSlot> slots(kBatchSlots);  // one-time setup allocation
+  std::array<mmsghdr, kBatchSlots> msgs;
+  std::array<iovec, kBatchSlots> iovs;
+  std::vector<RxPacket> batch;
+  batch.reserve(kBatchSlots);
+  while (!stopping_.load()) {
+    for (std::size_t i = 0; i < kBatchSlots; ++i) {
+      iovs[i] = {slots[i].buf.data(), slots[i].buf.size()};
+      msgs[i] = {};
+      msgs[i].msg_hdr.msg_name = &slots[i].from;
+      msgs[i].msg_hdr.msg_namelen = sizeof slots[i].from;
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+      msgs[i].msg_hdr.msg_control = slots[i].control.data();
+      msgs[i].msg_hdr.msg_controllen = slots[i].control.size();
+    }
+    const int r = ::recvmmsg(fd_, msgs.data(), kBatchSlots, MSG_WAITFORONE,
+                             nullptr);
+    if (r < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      break;  // socket closed or fatal error
+    }
+    batch.clear();
+    for (int i = 0; i < r; ++i) {
+      const msghdr& hdr = msgs[i].msg_hdr;
+#ifdef SO_RXQ_OVFL
+      for (cmsghdr* cmsg = CMSG_FIRSTHDR(&hdr); cmsg != nullptr;
+           cmsg = CMSG_NXTHDR(const_cast<msghdr*>(&hdr), cmsg)) {
+        if (cmsg->cmsg_level == SOL_SOCKET &&
+            cmsg->cmsg_type == SO_RXQ_OVFL) {
+          // The kernel reports the cumulative drop count; publish the
+          // delta.
+          uint32_t dropped = 0;
+          std::memcpy(&dropped, CMSG_DATA(cmsg), sizeof dropped);
+          if (dropped > last_overflow_) {
+            rx_overflow_ += dropped - last_overflow_;
+          }
+          last_overflow_ = dropped;
+        }
+      }
+#endif
+      if ((hdr.msg_flags & MSG_TRUNC) != 0) {
+        ++rx_truncated_;  // larger than a slot: not a valid DNS datagram
+        continue;
+      }
+      ++stats_.packets_received;
+      stats_.bytes_received += msgs[i].msg_len;
+      batch.push_back(RxPacket{
+          Endpoint{ntohl(slots[i].from.sin_addr.s_addr),
+                   ntohs(slots[i].from.sin_port)},
+          std::span<const uint8_t>(slots[i].buf.data(), msgs[i].msg_len)});
+    }
+    if (batch.empty()) continue;
+    rx_batch_size_.add(static_cast<double>(batch.size()));
+    BatchReceiveHandler batch_handler;
+    ReceiveHandler handler;
+    {
+      std::lock_guard lock(handler_mutex_);
+      batch_handler = batch_handler_;
+      handler = handler_;
+    }
+    if (batch_handler) {
+      batch_handler(std::span<const RxPacket>(batch));
+    } else if (handler) {
+      for (const RxPacket& p : batch) handler(p.from, p.data);
+    }
+  }
+#else
+  // Portable fallback: one recvmsg per datagram.
   std::array<uint8_t, 65536> buf;
   while (!stopping_.load()) {
     sockaddr_in from{};
@@ -155,33 +344,27 @@ void UdpTransport::receive_loop() {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
       break;  // socket closed or fatal error
     }
-#ifdef SO_RXQ_OVFL
-    for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
-         cmsg = CMSG_NXTHDR(&msg, cmsg)) {
-      if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SO_RXQ_OVFL) {
-        // The kernel reports the cumulative drop count; publish the delta.
-        uint32_t dropped = 0;
-        std::memcpy(&dropped, CMSG_DATA(cmsg), sizeof dropped);
-        if (dropped > last_overflow_) {
-          rx_overflow_ += dropped - last_overflow_;
-        }
-        last_overflow_ = dropped;
-      }
-    }
-#endif
     const Endpoint source{ntohl(from.sin_addr.s_addr), ntohs(from.sin_port)};
     ++stats_.packets_received;
     stats_.bytes_received += static_cast<uint64_t>(n);
+    rx_batch_size_.add(1.0);
+    BatchReceiveHandler batch_handler;
     ReceiveHandler handler;
     {
       std::lock_guard lock(handler_mutex_);
+      batch_handler = batch_handler_;
       handler = handler_;
     }
-    if (handler) {
-      handler(source, std::span<const uint8_t>(
-                          buf.data(), static_cast<std::size_t>(n)));
+    const RxPacket packet{
+        source,
+        std::span<const uint8_t>(buf.data(), static_cast<std::size_t>(n))};
+    if (batch_handler) {
+      batch_handler(std::span<const RxPacket>(&packet, 1));
+    } else if (handler) {
+      handler(packet.from, packet.data);
     }
   }
+#endif
 }
 
 }  // namespace dnscup::net

@@ -52,9 +52,43 @@ class UdpTransport final : public Transport {
   UdpTransport(const UdpTransport&) = delete;
   UdpTransport& operator=(const UdpTransport&) = delete;
 
+  /// One datagram in an outgoing batch; `data` is borrowed for the
+  /// duration of the send_batch call.
+  struct TxPacket {
+    Endpoint to;
+    std::span<const uint8_t> data;
+  };
+  /// One datagram in an incoming batch; `data` points into the
+  /// transport's receive buffers and is valid only inside the handler.
+  struct RxPacket {
+    Endpoint from;
+    std::span<const uint8_t> data;
+  };
+  /// Invoked on the receiver thread with every datagram the kernel had
+  /// queued (one recvmmsg worth).  Replaces the per-packet handler.
+  using BatchReceiveHandler = std::function<void(std::span<const RxPacket>)>;
+
   const Endpoint& local_endpoint() const override { return local_; }
+
+  /// Single-datagram send with explicit failure handling: EAGAIN waits
+  /// (bounded) for POLLOUT and retries, short writes and hard errors are
+  /// counted (udp_tx_short_writes / udp_tx_errors) and the datagram is
+  /// dropped — UDP semantics, but observable ones.
   void send(const Endpoint& to, std::span<const uint8_t> data) override;
+
+  /// Sends the whole batch with as few syscalls as the platform allows
+  /// (sendmmsg on Linux in chunks of 64, a sendto loop elsewhere).
+  /// Returns the number of datagrams handed to the kernel; the shortfall
+  /// is counted in udp_tx_errors.  Batch size and flush latency feed the
+  /// udp_tx_batch_size / udp_tx_flush_us histograms.
+  std::size_t send_batch(std::span<const TxPacket> packets);
+
   void set_receive_handler(ReceiveHandler handler) override;
+
+  /// Batch intake: when set, the receiver thread delivers whole kernel
+  /// bursts (recvmmsg with MSG_WAITFORONE on Linux) through this handler
+  /// instead of the per-packet one.  Burst sizes feed udp_rx_batch_size.
+  void set_batch_receive_handler(BatchReceiveHandler handler);
 
   /// Joins the receiver thread; the socket stays open for send().  Used
   /// by the runtime's drain sequence (stop intake, keep answering) and
@@ -68,17 +102,39 @@ class UdpTransport final : public Transport {
   /// full (SO_RXQ_OVFL ancillary data; stays 0 where unsupported).
   uint64_t rx_overflow() const { return rx_overflow_.value(); }
 
+  /// Sends that hit EAGAIN and waited for POLLOUT.
+  uint64_t tx_eagain_waits() const { return tx_eagain_.value(); }
+  /// Sends where the kernel accepted fewer bytes than the datagram.
+  uint64_t tx_short_writes() const { return tx_short_.value(); }
+  /// Datagrams dropped on a hard send error (or an exhausted EAGAIN
+  /// retry budget).
+  uint64_t tx_errors() const { return tx_errors_.value(); }
+  /// Inbound datagrams larger than a receive slot, dropped (Linux batch
+  /// path only; the fallback path's 64 KiB buffer never truncates).
+  uint64_t rx_truncated() const { return rx_truncated_.value(); }
+
  private:
   UdpTransport(int fd, Endpoint local, metrics::MetricsRegistry* metrics);
   void receive_loop();
+  /// Blocks (bounded) until the socket is writable after EAGAIN.
+  void wait_writable();
+  void count_sent(std::size_t requested, std::size_t accepted);
 
   int fd_;
   Endpoint local_;
   std::atomic<bool> stopping_{false};
-  mutable std::mutex handler_mutex_;  // guards handler_ only
+  mutable std::mutex handler_mutex_;  // guards handler_ / batch_handler_
   ReceiveHandler handler_;
+  BatchReceiveHandler batch_handler_;
   TrafficInstruments stats_;
   metrics::Counter rx_overflow_;
+  metrics::Counter rx_truncated_;
+  metrics::Counter tx_eagain_;
+  metrics::Counter tx_short_;
+  metrics::Counter tx_errors_;
+  metrics::HistogramMetric rx_batch_size_;
+  metrics::HistogramMetric tx_batch_size_;
+  metrics::HistogramMetric tx_flush_us_;
   uint32_t last_overflow_ = 0;  ///< receiver-thread-only cumulative mark
   std::thread receiver_;
 };

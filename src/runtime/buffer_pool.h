@@ -1,0 +1,144 @@
+// Per-worker fixed buffer pool for the zero-copy receive path.
+//
+// The socket's receiver thread and the worker thread exchange fixed-size
+// datagram slots through two single-producer/single-consumer index rings:
+//
+//     receiver --(filled ring)--> worker
+//     receiver <--(free ring)---- worker
+//
+// The receiver acquires a free slot, copies one datagram into it and
+// commits it; the worker takes filled slots, serves them and releases the
+// slots back.  All storage is allocated once at construction — in steady
+// state a datagram's journey from kernel to answer touches no allocator.
+// When the pool runs dry (worker behind) the receiver drops the datagram
+// and the caller counts it, mirroring kernel socket-queue behaviour.
+//
+// SPSC holds by construction: each worker owns one pool, one UDP socket
+// and therefore exactly one receiver thread.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.h"
+#include "util/assert.h"
+
+namespace dnscup::runtime {
+
+/// Lock-free single-producer/single-consumer ring of slot indices.
+/// Capacity is rounded up to a power of two; push fails when full, pop
+/// fails when empty — never blocks, never allocates after construction.
+class SpscIndexRing {
+ public:
+  explicit SpscIndexRing(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity + 1) cap <<= 1;  // one slot stays empty
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  bool push(uint32_t value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = (tail + 1) & mask_;
+    if (next == head_.load(std::memory_order_acquire)) return false;
+    slots_[tail] = value;
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  bool pop(uint32_t& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    value = slots_[head];
+    head_.store((head + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<uint32_t> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+};
+
+class BufferPool {
+ public:
+  /// Bytes per datagram slot.  This protocol's datagrams top out at
+  /// dns::kMaxUdpPayload (512); the headroom keeps the pool useful for
+  /// any UDP DNS payload a transport could hand us.
+  static constexpr std::size_t kSlotBytes = 2048;
+
+  struct Slot {
+    net::Endpoint from;
+    uint32_t len = 0;
+    std::array<uint8_t, kSlotBytes> bytes;
+  };
+
+  explicit BufferPool(std::size_t slot_count)
+      : slots_(slot_count), free_(slot_count), filled_(slot_count) {
+    for (std::size_t i = 0; i < slot_count; ++i) {
+      free_.push(static_cast<uint32_t>(i));
+    }
+  }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // -- Receiver-thread side --------------------------------------------
+
+  /// Pops a free slot to fill; nullptr when the worker has fallen behind
+  /// and every slot is in flight (caller drops and counts).
+  Slot* acquire() {
+    uint32_t index = 0;
+    if (!free_.pop(index)) return nullptr;
+    return &slots_[index];
+  }
+
+  /// Hands a filled slot to the worker.
+  void commit(Slot* slot) {
+    const bool pushed = filled_.push(index_of(slot));
+    DNSCUP_ASSERT(pushed);  // ring sized to hold every slot
+  }
+
+  /// Returns an acquired-but-unused slot (oversize datagram) to the free
+  /// ring without waking the worker.
+  void cancel(Slot* slot) {
+    const bool pushed = free_.push(index_of(slot));
+    DNSCUP_ASSERT(pushed);
+  }
+
+  // -- Worker-thread side ----------------------------------------------
+
+  /// Next filled slot, nullptr when none are pending.
+  Slot* take_filled() {
+    uint32_t index = 0;
+    if (!filled_.pop(index)) return nullptr;
+    return &slots_[index];
+  }
+
+  /// Recycles a served slot.
+  void release(Slot* slot) {
+    const bool pushed = free_.push(index_of(slot));
+    DNSCUP_ASSERT(pushed);
+  }
+
+  bool has_filled() const { return !filled_.empty(); }
+
+ private:
+  uint32_t index_of(const Slot* slot) const {
+    return static_cast<uint32_t>(slot - slots_.data());
+  }
+
+  std::vector<Slot> slots_;
+  SpscIndexRing free_;    ///< worker -> receiver
+  SpscIndexRing filled_;  ///< receiver -> worker
+};
+
+}  // namespace dnscup::runtime

@@ -1,6 +1,7 @@
 #include "runtime/runtime.h"
 
 #include <algorithm>
+#include <cstring>
 #include <future>
 #include <utility>
 
@@ -10,11 +11,12 @@
 namespace dnscup::runtime {
 
 ServingRuntime::Worker::Worker(const Config& config)
-    : inbox(config.inbox_capacity, &wake),
+    : pool(config.inbox_capacity),
       commands(config.command_capacity, &wake) {}
 
 ServingRuntime::ServingRuntime(Config config) : config_(std::move(config)) {
   if (config_.workers < 1) config_.workers = 1;
+  if (config_.batch_size < 1) config_.batch_size = 1;
   epoch_ = std::chrono::steady_clock::now();
 }
 
@@ -121,6 +123,8 @@ util::Result<std::unique_ptr<ServingRuntime>> ServingRuntime::start(
     worker.shim.udp = worker.udp.get();
     worker.inbox_dropped = worker.registry.counter(
         "runtime_inbox_dropped", {{"worker", std::to_string(i)}});
+    worker.oversize_dropped = worker.registry.counter(
+        "runtime_oversize_dropped", {{"worker", std::to_string(i)}});
     worker.server = std::make_unique<server::AuthServer>(
         worker.shim, worker.loop, server::AuthServer::Role::kMaster,
         &worker.registry);
@@ -169,40 +173,71 @@ util::Result<std::unique_ptr<ServingRuntime>> ServingRuntime::start(
     Worker& worker = *runtime->workers_[i];
     worker.thread =
         std::thread([rt = runtime.get(), &worker] { rt->worker_loop(worker); });
-    worker.udp->set_receive_handler(
-        [&worker](const net::Endpoint& from, std::span<const uint8_t> data) {
-          Datagram datagram{from, {data.begin(), data.end()}};
-          if (!worker.inbox.try_push(std::move(datagram))) {
-            worker.inbox_dropped.inc();
+    // The receiver thread copies each datagram of a kernel burst into a
+    // pool slot — the only copy on the receive path, into memory that is
+    // never reallocated — and wakes the worker once per burst.
+    worker.udp->set_batch_receive_handler(
+        [&worker](std::span<const net::UdpTransport::RxPacket> batch) {
+          for (const auto& packet : batch) {
+            if (packet.data.size() > BufferPool::kSlotBytes) {
+              worker.oversize_dropped.inc();
+              continue;
+            }
+            BufferPool::Slot* slot = worker.pool.acquire();
+            if (slot == nullptr) {
+              worker.inbox_dropped.inc();  // worker behind; shed load
+              continue;
+            }
+            slot->from = packet.from;
+            slot->len = static_cast<uint32_t>(packet.data.size());
+            std::memcpy(slot->bytes.data(), packet.data.data(),
+                        packet.data.size());
+            worker.pool.commit(slot);
           }
+          worker.wake.wake();
         });
   }
   return runtime;
 }
 
 void ServingRuntime::worker_loop(Worker& worker) {
-  std::deque<Datagram> datagrams;
+  const std::size_t batch_size = config_.batch_size;
   std::deque<std::function<void()>> commands;
+  // Steady state: serve one batch of pooled datagrams — responses
+  // accumulate in the shim's tx arena — then flush them as a single
+  // sendmmsg.  No allocation anywhere on this path once warm.
+  worker.shim.batching = true;
   for (;;) {
-    worker.inbox.drain(datagrams);
-    for (Datagram& datagram : datagrams) {
+    std::size_t served = 0;
+    BufferPool::Slot* slot = nullptr;
+    while (served < batch_size &&
+           (slot = worker.pool.take_filled()) != nullptr) {
       if (worker.shim.handler) {
-        worker.shim.handler(datagram.from, datagram.data);
+        worker.shim.handler(
+            slot->from,
+            std::span<const uint8_t>(slot->bytes.data(), slot->len));
       }
+      worker.pool.release(slot);
+      ++served;
     }
+    worker.shim.flush();
     worker.commands.drain(commands);
     for (auto& command : commands) command();
     // Advance the shard's event loop to wall time: retransmission timers
     // and lease-expiry prunes fire here, on the owning thread.
     worker.loop.run_until(now_us());
+    // Command- and timer-driven sends (CACHE-UPDATE fan-out on a zone
+    // reload, retransmissions) batch within their iteration too.
+    worker.shim.flush();
     if (worker.stop.load(std::memory_order_acquire)) {
-      if (worker.inbox.empty() && worker.commands.empty()) break;
+      if (!worker.pool.has_filled() && worker.commands.empty()) break;
       continue;  // drain what arrived before intake stopped
     }
-    if (worker.inbox.empty() && worker.commands.empty()) {
+    if (!worker.pool.has_filled() && worker.commands.empty()) {
       worker.wake.wait_for(std::chrono::milliseconds(2));
     }
   }
+  worker.shim.batching = false;  // post-stop inspection sends go direct
 }
 
 void ServingRuntime::stop() {

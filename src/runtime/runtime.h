@@ -48,6 +48,7 @@
 #include "core/shard.h"
 #include "net/event_loop.h"
 #include "net/udp_transport.h"
+#include "runtime/buffer_pool.h"
 #include "runtime/journal_writer.h"
 #include "runtime/mpsc_queue.h"
 #include "server/authoritative.h"
@@ -82,11 +83,16 @@ struct Config {
   store::FsyncPolicy fsync = store::FsyncPolicy::kAlways;
   uint64_t snapshot_every_records = 4096;
 
-  /// Datagrams buffered per worker between the socket's receiver thread
-  /// and the worker thread; overflow drops (counted as
-  /// runtime_inbox_dropped).
+  /// Fixed datagram slots per worker's BufferPool, shared between the
+  /// socket's receiver thread and the worker thread; when every slot is
+  /// in flight new datagrams drop (counted as runtime_inbox_dropped).
   std::size_t inbox_capacity = 4096;
   std::size_t command_capacity = 256;
+
+  /// Datagrams a worker serves per event-loop iteration before flushing
+  /// all buffered responses as one sendmmsg batch.  Higher values
+  /// amortise syscalls under load at the cost of per-query latency.
+  std::size_t batch_size = 32;
 };
 
 /// What start() recovered from the durable store, summed over shards.
@@ -156,14 +162,10 @@ class ServingRuntime {
   util::Status write_snapshot();
 
  private:
-  struct Datagram {
-    net::Endpoint from;
-    std::vector<uint8_t> data;
-  };
-
-  /// Transport facade the protocol stack sees: sends go straight to the
-  /// worker's UDP socket (lock-free), the receive handler is invoked by
-  /// the worker thread when it drains its inbox.
+  /// Transport facade the protocol stack sees.  While `batching` is on
+  /// (the worker loop's steady state) sends append into a reusable tx
+  /// arena and leave as one sendmmsg when the loop calls flush(); off
+  /// the worker thread (and after drain) sends go straight through.
   class ShimTransport final : public net::Transport {
    public:
     const net::Endpoint& local_endpoint() const override {
@@ -171,14 +173,47 @@ class ServingRuntime {
     }
     void send(const net::Endpoint& to,
               std::span<const uint8_t> data) override {
-      udp->send(to, data);
+      if (!batching) {
+        udp->send(to, data);
+        return;
+      }
+      const std::size_t offset = tx_arena.size();
+      tx_arena.insert(tx_arena.end(), data.begin(), data.end());
+      tx_entries.push_back(TxEntry{to, offset, data.size()});
     }
     void set_receive_handler(ReceiveHandler h) override {
       handler = std::move(h);
     }
 
+    /// Sends everything buffered since the last flush as one batch.
+    /// Entries carry offsets, not spans: the arena may reallocate while
+    /// a batch accumulates, so spans are built only here.
+    void flush() {
+      if (tx_entries.empty()) return;
+      tx_packets.clear();
+      for (const TxEntry& entry : tx_entries) {
+        tx_packets.push_back(net::UdpTransport::TxPacket{
+            entry.to, std::span<const uint8_t>(tx_arena.data() + entry.offset,
+                                               entry.len)});
+      }
+      udp->send_batch(tx_packets);
+      tx_entries.clear();
+      tx_arena.clear();  // keeps capacity: steady state reuses it
+    }
+
     net::UdpTransport* udp = nullptr;
     ReceiveHandler handler;
+    bool batching = false;
+
+   private:
+    struct TxEntry {
+      net::Endpoint to;
+      std::size_t offset = 0;
+      std::size_t len = 0;
+    };
+    std::vector<uint8_t> tx_arena;
+    std::vector<TxEntry> tx_entries;
+    std::vector<net::UdpTransport::TxPacket> tx_packets;
   };
 
   struct Worker {
@@ -188,13 +223,14 @@ class ServingRuntime {
     metrics::MetricsRegistry registry;
     net::EventLoop loop{&registry};
     WakeSignal wake;
-    BoundedMpscQueue<Datagram> inbox;
+    BufferPool pool;
     BoundedMpscQueue<std::function<void()>> commands;
     ShimTransport shim;
     std::unique_ptr<net::UdpTransport> udp;
     std::unique_ptr<server::AuthServer> server;
     std::unique_ptr<core::DnscupAuthority> dnscup;
-    metrics::Counter inbox_dropped;
+    metrics::Counter inbox_dropped;     ///< pool exhausted, datagram dropped
+    metrics::Counter oversize_dropped;  ///< datagram larger than a pool slot
     std::atomic<bool> stop{false};
     std::thread thread;
   };

@@ -157,7 +157,7 @@ void AuthServer::request_transfer(const Name& origin) {
     request.questions.push_back(
         dns::Question{origin, RRType::kAXFR, RRClass::kIN, 0});
   }
-  transport_->send(*master_, request.encode());
+  transport_->send(*master_, encode_scratch(request));
 }
 
 std::size_t AuthServer::journal_size(const Name& origin) const {
@@ -179,8 +179,16 @@ void AuthServer::add_change_listener(ChangeHook hook) {
   change_hooks_.push_back(std::move(hook));
 }
 
+std::span<const uint8_t> AuthServer::encode_scratch(const Message& m) {
+  scratch_.clear();
+  dns::ByteWriter w(scratch_);
+  m.encode_into(w);
+  return w.message();
+}
+
 void AuthServer::on_datagram(const net::Endpoint& from,
                              std::span<const uint8_t> data) {
+  if (try_fast_query(from, data)) return;
   auto decoded = Message::decode(data);
   if (!decoded) {
     ++stats_.formerr;
@@ -192,9 +200,121 @@ void AuthServer::on_datagram(const net::Endpoint& from,
   }
   auto response = handle(from, decoded.value());
   if (response.has_value()) {
-    const auto wire = response->encode();
-    transport_->send(from, wire);
+    transport_->send(from, encode_scratch(*response));
   }
+}
+
+bool AuthServer::try_fast_query(const net::Endpoint& from,
+                                std::span<const uint8_t> data) {
+  // Preconditions under which the fast path is bit-for-bit equivalent to
+  // decode + handle_query + encode.  Anything else falls through.
+  if (round_robin_) return false;
+  if (query_hook_ && !fast_query_hook_) return false;
+  if (extension_handler_ && ext_consumes_queries_) return false;
+  if (data.size() < 12) return false;
+
+  const auto be16 = [&data](std::size_t i) {
+    return static_cast<uint16_t>(data[i] << 8 | data[i + 1]);
+  };
+  const uint16_t id = be16(0);
+  const dns::Flags flags = dns::Flags::unpack(be16(2));
+  if (flags.qr || flags.ext || flags.opcode != Opcode::kQuery) return false;
+  if (be16(4) != 1 || be16(6) != 0 || be16(8) != 0 || be16(10) != 0) {
+    return false;  // exactly one question, no other sections
+  }
+
+  dns::ByteReader r(data);
+  (void)r.seek(12);
+  dns::NameView qname;
+  if (!r.name_view(qname).ok()) return false;
+  // Pointer-free qname required so the question can be byte-echoed below.
+  if (r.offset() != 12 + qname.wire_length()) return false;
+  const auto qtype_raw = r.u16();
+  if (!qtype_raw.ok()) return false;
+  if (!r.u16().ok()) return false;  // qclass (ignored by lookup, as in slow path)
+  if (!r.at_end()) return false;    // trailing bytes: slow path drops as formerr
+  const RRType qtype = static_cast<RRType>(qtype_raw.value());
+  if (qtype == RRType::kANY || qtype == RRType::kAXFR ||
+      qtype == RRType::kIXFR || qtype == RRType::kOPT) {
+    return false;
+  }
+
+  // Longest-match zone, same rule as find_zone but probing with the view.
+  const Zone* zone = nullptr;
+  std::size_t best_labels = 0;
+  for (const auto& [origin, z] : zones_) {
+    if (qname.is_subdomain_of(origin) &&
+        (zone == nullptr || origin.label_count() >= best_labels)) {
+      zone = &z;
+      best_labels = origin.label_count();
+    }
+  }
+
+  const std::size_t question_len = r.offset() - 12;
+  const auto send_fast = [&](const dns::Flags& rf, const RRset* answer,
+                             const RRset* authority) {
+    scratch_.clear();
+    dns::ByteWriter w(scratch_);
+    w.begin_message();
+    w.u16(id);
+    w.u16(rf.pack());
+    w.u16(1);
+    w.u16(answer != nullptr ? static_cast<uint16_t>(answer->size()) : 0);
+    w.u16(authority != nullptr ? static_cast<uint16_t>(authority->size())
+                               : 0);
+    w.u16(0);
+    // Echo the question bytes verbatim (identical to re-encoding, since the
+    // qname is pointer-free) and register the qname labels as compression
+    // targets so record owner names compress exactly as on the slow path.
+    w.bytes(data.subspan(12, question_len));
+    w.register_name(12);
+    if (answer != nullptr) dns::encode_rrset(*answer, w);
+    if (authority != nullptr) dns::encode_rrset(*authority, w);
+    transport_->send(from, w.message());
+  };
+
+  dns::Flags rf;
+  rf.qr = true;
+  rf.opcode = Opcode::kQuery;
+  rf.rd = flags.rd;
+
+  if (zone == nullptr) {
+    ++stats_.queries;
+    ++stats_.refused;
+    rf.rcode = Rcode::kRefused;
+    send_fast(rf, nullptr, nullptr);
+    // No hook: the slow path returns REFUSED before its QueryHook fires.
+    return true;
+  }
+
+  const Zone::LookupRef result = zone->lookup_ref(qname, qtype);
+  switch (result.status) {
+    case Zone::LookupStatus::kSuccess:
+      if (result.rrset->type == RRType::kNS ||
+          result.rrset->type == RRType::kMX) {
+        return false;  // answers that pull glue: slow path
+      }
+      ++stats_.queries;
+      rf.aa = true;
+      send_fast(rf, result.rrset, nullptr);
+      break;
+    case Zone::LookupStatus::kNXDomain:
+      ++stats_.queries;
+      rf.aa = true;
+      rf.rcode = Rcode::kNXDomain;
+      send_fast(rf, nullptr, zone->find_apex_soa());
+      break;
+    case Zone::LookupStatus::kNoData:
+      ++stats_.queries;
+      rf.aa = true;
+      send_fast(rf, nullptr, zone->find_apex_soa());
+      break;
+    default:
+      // CNAME chases, referrals, kNotInZone races: slow path.
+      return false;
+  }
+  if (fast_query_hook_) fast_query_hook_(from, qname, qtype);
+  return true;
 }
 
 std::optional<Message> AuthServer::handle(const net::Endpoint& from,
@@ -448,17 +568,17 @@ void AuthServer::send_record_stream(const net::Endpoint& to,
   Message chunk = fresh_chunk();
   for (auto& rec : stream) {
     chunk.answers.push_back(std::move(rec));
-    if (chunk.encode().size() > dns::kMaxUdpPayload) {
+    if (encode_scratch(chunk).size() > dns::kMaxUdpPayload) {
       ResourceRecord overflow = std::move(chunk.answers.back());
       chunk.answers.pop_back();
       DNSCUP_ASSERT(!chunk.answers.empty() &&
                     "single record exceeds datagram size");
-      transport_->send(to, chunk.encode());
+      transport_->send(to, encode_scratch(chunk));
       chunk = fresh_chunk();
       chunk.answers.push_back(std::move(overflow));
     }
   }
-  if (!chunk.answers.empty()) transport_->send(to, chunk.encode());
+  if (!chunk.answers.empty()) transport_->send(to, encode_scratch(chunk));
 }
 
 void AuthServer::serve_axfr(const net::Endpoint& to, const Message& request) {
@@ -467,7 +587,7 @@ void AuthServer::serve_axfr(const net::Endpoint& to, const Message& request) {
   if (it == zones_.end()) {
     Message resp = make_response(request);
     resp.flags.rcode = Rcode::kNotAuth;
-    transport_->send(to, resp.encode());
+    transport_->send(to, encode_scratch(resp));
     return;
   }
   ++stats_.axfr_served;
@@ -480,7 +600,7 @@ void AuthServer::serve_ixfr(const net::Endpoint& to, const Message& request) {
   if (it == zones_.end()) {
     Message resp = make_response(request);
     resp.flags.rcode = Rcode::kNotAuth;
-    transport_->send(to, resp.encode());
+    transport_->send(to, encode_scratch(resp));
     return;
   }
   const Zone& zone = it->second;
@@ -621,7 +741,7 @@ void AuthServer::finish_transfer(const Name& origin,
       full.flags.opcode = Opcode::kQuery;
       full.questions.push_back(
           dns::Question{origin, RRType::kAXFR, RRClass::kIN, 0});
-      transport_->send(*master_, full.encode());
+      transport_->send(*master_, encode_scratch(full));
     }
     return;
   }
@@ -746,7 +866,7 @@ void AuthServer::notify_slaves(const Zone& zone) {
         notify.answers.push_back(std::move(rec));
       }
     }
-    transport_->send(slave, notify.encode());
+    transport_->send(slave, encode_scratch(notify));
     ++stats_.notifies_sent;
   }
 }

@@ -61,6 +61,17 @@ class AuthServer {
       const net::Endpoint& from, const dns::Message& query,
       dns::Message& response)>;
 
+  /// Called instead of QueryHook for queries answered on the zero-copy
+  /// fast path (plain non-EXT single-question lookups).  The qname is a
+  /// view into the request datagram — valid only for the duration of the
+  /// call.  Installing this alongside a QueryHook asserts that, for plain
+  /// non-EXT queries, the QueryHook never mutates the response and this
+  /// hook replicates its side effects; without it, a QueryHook disables
+  /// the fast path entirely.
+  using FastQueryHook = std::function<void(
+      const net::Endpoint& from, const dns::NameView& qname,
+      dns::RRType qtype)>;
+
   /// Called after a zone's data changed (dynamic update or AXFR refresh),
   /// with the concrete RRset changes; the DNScup detection module and
   /// slave NOTIFY fan-out subscribe here.
@@ -124,8 +135,17 @@ class AuthServer {
   void set_round_robin(bool enabled) { round_robin_ = enabled; }
 
   void set_query_hook(QueryHook hook) { query_hook_ = std::move(hook); }
-  void set_extension_handler(ExtensionHandler handler) {
+  void set_fast_query_hook(FastQueryHook hook) {
+    fast_query_hook_ = std::move(hook);
+  }
+  /// `may_consume_queries` declares whether the handler can ever consume a
+  /// plain (non-EXT, non-response) QUERY.  When false — e.g. the DNScup
+  /// notifier, which only eats CACHE-UPDATE acknowledgements — the fast
+  /// path may answer such queries without offering them to the handler.
+  void set_extension_handler(ExtensionHandler handler,
+                             bool may_consume_queries = true) {
     extension_handler_ = std::move(handler);
+    ext_consumes_queries_ = may_consume_queries;
   }
   void add_change_listener(ChangeHook hook);
 
@@ -184,6 +204,19 @@ class AuthServer {
                          const std::vector<dns::RRsetChange>& changes);
   void on_datagram(const net::Endpoint& from, std::span<const uint8_t> data);
 
+  /// Zero-copy serve path: parses the request in place (NameView), looks
+  /// up via Zone::lookup_ref and encodes the response into the reusable
+  /// scratch arena — no heap allocation in steady state.  Returns true
+  /// when the datagram was fully handled; false falls through to the
+  /// owning decode/handle path (EXT queries, transfers, updates, CNAME
+  /// chases, referrals, glue-bearing answers, malformed packets).
+  bool try_fast_query(const net::Endpoint& from,
+                      std::span<const uint8_t> data);
+
+  /// Encodes into the reusable scratch arena; the span is valid until the
+  /// next encode_scratch / try_fast_query call.
+  std::span<const uint8_t> encode_scratch(const dns::Message& m);
+
   net::Transport* transport_;
   net::EventLoop* loop_;
   Role role_;
@@ -191,11 +224,14 @@ class AuthServer {
   std::vector<net::Endpoint> slaves_;
   std::optional<net::Endpoint> master_;
   QueryHook query_hook_;
+  FastQueryHook fast_query_hook_;
   ExtensionHandler extension_handler_;
+  bool ext_consumes_queries_ = true;
   std::vector<ChangeHook> change_hooks_;
   Instruments stats_;
   bool round_robin_ = false;
   std::map<dns::Name, uint32_t> rotation_counters_;
+  std::vector<uint8_t> scratch_;  ///< reusable tx encode arena
 
   // Transfer reassembly state (slave side), keyed by transfer id.  The
   // same stream carries either a full zone (AXFR) or an RFC 1995 diff

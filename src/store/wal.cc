@@ -38,7 +38,7 @@ void put_name(dns::ByteWriter& writer, const dns::Name& name) {
 
 util::Result<dns::Name> get_name(dns::ByteReader& reader) {
   DNSCUP_ASSIGN_OR_RETURN(uint16_t len, reader.u16());
-  DNSCUP_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, reader.bytes(len));
+  DNSCUP_ASSIGN_OR_RETURN(std::span<const uint8_t> raw, reader.bytes(len));
   return dns::Name::parse(
       std::string_view(reinterpret_cast<const char*>(raw.data()), raw.size()));
 }

@@ -10,9 +10,14 @@
 #                  ThreadSanitizer and fail on any report — the worker /
 #                  receiver / journal-writer thread interplay is where a
 #                  data race would hide;
-#   --bench-smoke  Release build, start a 2-worker dnscupd on loopback,
-#                  drive it with dnsflood for 2 s and fail if the
-#                  lost-answer rate exceeds 1%; the JSON result is kept
+#   --bench-smoke  Release build, assert the serve hot path is
+#                  allocation-free (hot_path_alloc_test), then start a
+#                  2-worker dnscupd on loopback, drive it with dnsflood
+#                  for 2 s and fail if the lost-answer rate exceeds 1%;
+#                  the JSON result is kept under build/bench/.
+#   --wire-micro   Release build, run the wire encode/decode
+#                  microbenchmark; it self-fails if the arena encode or
+#                  view decode allocates in steady state.  JSON archived
 #                  under build/bench/.
 #
 # Usage:
@@ -20,6 +25,7 @@
 #   tools/check.sh --sanitize    # sanitize the full suite, not just store
 #   tools/check.sh --tsan        # ThreadSanitizer leg only
 #   tools/check.sh --bench-smoke # serving-runtime load smoke only
+#   tools/check.sh --wire-micro  # wire hot-path microbenchmark only
 #   JOBS=4 tools/check.sh        # override build parallelism
 set -euo pipefail
 
@@ -48,13 +54,30 @@ run_tsan() {
     -R '^(runtime_test|udp_transport_test)$' --output-on-failure
 }
 
+run_wire_micro() {
+  echo "== wire hot-path microbenchmark (self-asserts 0 allocs/op) =="
+  local build_dir="$repo_root/build"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j "$jobs" --target wire_micro
+  mkdir -p "$build_dir/bench"
+  "$build_dir/bench/wire_micro" --out "$build_dir/bench/wire-micro.json"
+  echo "wire micro ok; result archived at $build_dir/bench/wire-micro.json"
+}
+
 run_bench_smoke() {
   echo "== serving-runtime load smoke (2 workers, 2 s) =="
   local build_dir="$repo_root/build"
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-  cmake --build "$build_dir" -j "$jobs" --target dnscupd dnsflood
+  cmake --build "$build_dir" -j "$jobs" \
+    --target dnscupd dnsflood hot_path_alloc_test
   local bench_dir="$build_dir/bench"
   mkdir -p "$bench_dir"
+
+  # Steady-state serving must not touch the heap: the counting-allocator
+  # suite fails if any serve-path query allocates after warmup.
+  echo "-- hot-path allocation contract --"
+  ctest --test-dir "$build_dir" -R '^hot_path_alloc_test$' \
+    --output-on-failure
 
   local zone="$bench_dir/smoke.zone"
   {
@@ -110,6 +133,9 @@ case "$mode" in
   --bench-smoke)
     run_bench_smoke
     ;;
+  --wire-micro)
+    run_wire_micro
+    ;;
   --sanitize)
     echo "== tier-1: release build + ctest =="
     run_suite "$repo_root/build"
@@ -121,14 +147,17 @@ case "$mode" in
   *)
     echo "== tier-1: release build + ctest =="
     run_suite "$repo_root/build"
-    echo "== durable store under address,undefined sanitizers =="
+    echo "== durable store + wire parser under address,undefined sanitizers =="
+    # malformed_packet_test rides along: the hostile-input wire-decoder
+    # suite is the other place raw byte handling hides memory bugs.
     cmake -B "$repo_root/build-store-sanitize" -S "$repo_root" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DDNSCUP_SANITIZE=address,undefined
     cmake --build "$repo_root/build-store-sanitize" -j "$jobs" \
-      --target store_test recovery_test
+      --target store_test recovery_test malformed_packet_test
     ctest --test-dir "$repo_root/build-store-sanitize" \
-      -R '^(store_test|recovery_test)$' --output-on-failure -j "$jobs"
+      -R '^(store_test|recovery_test|malformed_packet_test)$' \
+      --output-on-failure -j "$jobs"
     ;;
 esac
 

@@ -60,6 +60,7 @@ struct Options {
   std::vector<std::pair<std::string, std::string>> zones;  // origin=path
   int workers = 1;
   bool reuseport = true;
+  int batch = 32;  ///< datagrams served per worker iteration / tx flush
   int rcvbuf = 1 << 20;
   int sndbuf = 1 << 20;
   int64_t max_lease_s = 3600;
@@ -97,6 +98,11 @@ bool parse_args(int argc, char** argv, Options& opts) {
       if (opts.workers < 1) return false;
     } else if (arg == "--no-reuseport") {
       opts.reuseport = false;
+    } else if (arg == "--batch") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.batch = std::atoi(v);
+      if (opts.batch < 1) return false;
     } else if (arg == "--rcvbuf") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -196,7 +202,7 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: dnscupd --port N --zone origin=path [--zone ...]\n"
-        "               [--workers N] [--no-reuseport]\n"
+        "               [--workers N] [--no-reuseport] [--batch N]\n"
         "               [--rcvbuf bytes] [--sndbuf bytes]\n"
         "               [--max-lease seconds] [--no-dnscup]\n"
         "               [--round-robin] [--verbose]\n"
@@ -230,6 +236,7 @@ int main(int argc, char** argv) {
   config.port = opts.port;
   config.workers = opts.workers;
   config.reuseport = opts.reuseport;
+  config.batch_size = static_cast<std::size_t>(opts.batch);
   config.rcvbuf_bytes = opts.rcvbuf;
   config.sndbuf_bytes = opts.sndbuf;
   config.dnscup = opts.dnscup;
