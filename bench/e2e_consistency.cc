@@ -1,0 +1,276 @@
+// End-to-end stale-window probe for a running dnscupd + dnscached pair on
+// loopback.  Per trial: warm the cache on a record, repoint the record at
+// the authority via RFC 2136 UPDATE, then poll the cache until the new
+// address appears; the elapsed time is the end-to-end stale-read window a
+// client observes.  With DNScup it is one push round-trip; with a plain
+// TTL cache it is bounded below by the record's remaining TTL.
+//
+//   build/bench/e2e_consistency --authority 127.0.0.1:5300
+//       --cache 127.0.0.1:5301 --name www.example.com --zone example.com
+//       --trials 10 --ttl 300 --label dnscup --out windows.json
+//
+// Emits JSON: {"label", "trials", "ttl_s", "windows_ms": [...],
+// "mean_ms", "p50_ms", "max_ms"}.  tools/bench_e2e.sh runs it once per
+// mode and merges the halves with the daemons' metrics snapshots into
+// BENCH_e2e_consistency.json.
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dns/message.h"
+#include "net/udp_transport.h"
+#include "server/update.h"
+
+using namespace dnscup;
+
+namespace {
+
+/// Blocking query/response client on one UDP socket; responses are
+/// matched by id and source endpoint.
+class SyncClient {
+ public:
+  SyncClient() {
+    auto bound = net::UdpTransport::bind(0);
+    if (!bound.ok()) {
+      std::fprintf(stderr, "bind: %s\n", bound.error().to_string().c_str());
+      std::exit(1);
+    }
+    udp_ = std::move(bound).value();
+    udp_->set_receive_handler(
+        [this](const net::Endpoint& from, std::span<const uint8_t> data) {
+          auto message = dns::Message::decode(data);
+          if (!message.ok()) return;
+          std::lock_guard lock(mutex_);
+          last_from_ = from;
+          response_ = std::move(message).value();
+          cv_.notify_all();
+        });
+  }
+
+  /// Sends `message` to `server` and waits for the matching response;
+  /// nullopt on timeout.
+  std::optional<dns::Message> exchange(const net::Endpoint& server,
+                                       dns::Message message, int timeout_ms) {
+    {
+      std::lock_guard lock(mutex_);
+      response_.reset();
+    }
+    udp_->send(server, message.encode());
+    std::unique_lock lock(mutex_);
+    const bool got = cv_.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms), [&] {
+          return response_.has_value() && response_->id == message.id &&
+                 response_->flags.qr && last_from_ == server;
+        });
+    if (!got) return std::nullopt;
+    return response_;
+  }
+
+  uint16_t next_id() { return next_id_++; }
+
+ private:
+  std::unique_ptr<net::UdpTransport> udp_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::optional<dns::Message> response_;
+  net::Endpoint last_from_;
+  uint16_t next_id_ = 1;
+};
+
+std::optional<dns::Ipv4> answer_a(const dns::Message& response) {
+  for (const auto& rr : response.answers) {
+    if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) {
+      return a->address;
+    }
+  }
+  return std::nullopt;
+}
+
+dns::Message make_query(uint16_t id, const dns::Name& name) {
+  dns::Message query;
+  query.id = id;
+  query.flags.opcode = dns::Opcode::kQuery;
+  query.flags.rd = true;
+  query.questions.push_back(
+      dns::Question{name, dns::RRType::kA, dns::RRClass::kIN, 0});
+  return query;
+}
+
+struct Options {
+  net::Endpoint authority;
+  net::Endpoint cache;
+  dns::Name name;
+  dns::Name zone;
+  int trials = 10;
+  uint32_t ttl = 300;
+  int window_cap_ms = 15000;  ///< give up on a trial after this long
+  std::string label = "dnscup";
+  std::string out;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: e2e_consistency --authority ip:port --cache ip:port\n"
+               "         --name fqdn --zone origin [--trials N] [--ttl s]\n"
+               "         [--window-cap-ms N] [--label text] [--out file]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  bool have_authority = false, have_cache = false, have_name = false,
+       have_zone = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--authority" && (v = next()) != nullptr) {
+      auto endpoint = net::parse_endpoint(v);
+      if (!endpoint) return usage();
+      opts.authority = *endpoint;
+      have_authority = true;
+    } else if (arg == "--cache" && (v = next()) != nullptr) {
+      auto endpoint = net::parse_endpoint(v);
+      if (!endpoint) return usage();
+      opts.cache = *endpoint;
+      have_cache = true;
+    } else if (arg == "--name" && (v = next()) != nullptr) {
+      auto name = dns::Name::parse(v);
+      if (!name.ok()) return usage();
+      opts.name = std::move(name).value();
+      have_name = true;
+    } else if (arg == "--zone" && (v = next()) != nullptr) {
+      auto zone = dns::Name::parse(v);
+      if (!zone.ok()) return usage();
+      opts.zone = std::move(zone).value();
+      have_zone = true;
+    } else if (arg == "--trials" && (v = next()) != nullptr) {
+      opts.trials = std::atoi(v);
+    } else if (arg == "--ttl" && (v = next()) != nullptr) {
+      opts.ttl = static_cast<uint32_t>(std::atoll(v));
+    } else if (arg == "--window-cap-ms" && (v = next()) != nullptr) {
+      opts.window_cap_ms = std::atoi(v);
+    } else if (arg == "--label" && (v = next()) != nullptr) {
+      opts.label = v;
+    } else if (arg == "--out" && (v = next()) != nullptr) {
+      opts.out = v;
+    } else {
+      return usage();
+    }
+  }
+  if (!have_authority || !have_cache || !have_name || !have_zone ||
+      opts.trials < 1) {
+    return usage();
+  }
+
+  SyncClient client;
+  std::vector<double> windows_ms;
+
+  for (int trial = 0; trial < opts.trials; ++trial) {
+    // Fresh target address per trial so "converged" is unambiguous.
+    const dns::Ipv4 target =
+        dns::Ipv4::parse("198.18." + std::to_string(2 + trial / 250) + "." +
+                         std::to_string(1 + trial % 250))
+            .value();
+
+    // Warm the cache (and, with DNScup, the lease).
+    auto warm = client.exchange(
+        opts.cache, make_query(client.next_id(), opts.name), 3000);
+    if (!warm || !answer_a(*warm)) {
+      std::fprintf(stderr, "trial %d: cache warm query failed\n", trial);
+      return 1;
+    }
+
+    // Repoint at the authority.
+    const dns::Message update = server::UpdateBuilder(opts.zone)
+                                    .replace_a(opts.name, opts.ttl, target)
+                                    .build(client.next_id());
+    auto updated = client.exchange(opts.authority, update, 3000);
+    if (!updated || updated->flags.rcode != dns::Rcode::kNoError) {
+      std::fprintf(stderr, "trial %d: UPDATE failed\n", trial);
+      return 1;
+    }
+
+    // Poll the cache until the new mapping is served.
+    const auto start = std::chrono::steady_clock::now();
+    double window_ms = -1.0;
+    for (;;) {
+      auto polled = client.exchange(
+          opts.cache, make_query(client.next_id(), opts.name), 3000);
+      const auto now = std::chrono::steady_clock::now();
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(now - start).count();
+      if (polled) {
+        const auto address = answer_a(*polled);
+        if (address && *address == target) {
+          window_ms = elapsed_ms;
+          break;
+        }
+      }
+      if (elapsed_ms > opts.window_cap_ms) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (window_ms < 0) {
+      std::fprintf(stderr,
+                   "trial %d: cache never converged within %d ms\n", trial,
+                   opts.window_cap_ms);
+      return 1;
+    }
+    windows_ms.push_back(window_ms);
+    std::fprintf(stderr, "trial %d: stale window %.1f ms\n", trial,
+                 window_ms);
+  }
+
+  std::vector<double> sorted = windows_ms;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0;
+  for (double w : sorted) sum += w;
+  const double mean = sum / sorted.size();
+  const double p50 = sorted[sorted.size() / 2];
+  const double max = sorted.back();
+
+  std::string json = "{\n  \"label\": \"" + opts.label + "\",\n";
+  json += "  \"trials\": " + std::to_string(opts.trials) + ",\n";
+  json += "  \"ttl_s\": " + std::to_string(opts.ttl) + ",\n";
+  json += "  \"windows_ms\": [";
+  for (std::size_t i = 0; i < windows_ms.size(); ++i) {
+    if (i > 0) json += ", ";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", windows_ms[i]);
+    json += buf;
+  }
+  json += "],\n";
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "  \"mean_ms\": %.2f,\n  \"p50_ms\": %.2f,\n"
+                "  \"max_ms\": %.2f\n}",
+                mean, p50, max);
+  json += buf;
+  json += "\n";
+
+  if (opts.out.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(opts.out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", opts.out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+  std::fprintf(stderr, "%s: mean %.1f ms, p50 %.1f ms, max %.1f ms\n",
+               opts.label.c_str(), mean, p50, max);
+  return 0;
+}

@@ -1,0 +1,306 @@
+#include "cachert/cache_runtime.h"
+
+#include <cstring>
+#include <future>
+#include <utility>
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace dnscup::cachert {
+
+CacheRuntime::Worker::Worker(const Config& config)
+    : client_pool(config.inbox_capacity),
+      upstream_pool(config.inbox_capacity),
+      commands(config.command_capacity, &wake) {}
+
+CacheRuntime::CacheRuntime(Config config) : config_(std::move(config)) {
+  if (config_.workers < 1) config_.workers = 1;
+  if (config_.batch_size < 1) config_.batch_size = 1;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+CacheRuntime::~CacheRuntime() { stop(); }
+
+net::SimTime CacheRuntime::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+util::Status CacheRuntime::bind_sockets() {
+  const int n = config_.workers;
+  auto options_for = [this](Worker& worker, uint16_t port, bool reuseport) {
+    net::UdpTransport::Options options;
+    options.port = port;
+    options.reuseport = reuseport;
+    options.rcvbuf_bytes = config_.rcvbuf_bytes;
+    options.sndbuf_bytes = config_.sndbuf_bytes;
+    options.metrics = &worker.registry;
+    return options;
+  };
+
+  // Client-facing side: one REUSEPORT group, or per-worker ports.
+  if (config_.reuseport) {
+    bool unsupported = false;
+    uint16_t group_port = config_.port;
+    for (int i = 0; i < n; ++i) {
+      auto bound = net::UdpTransport::bind(
+          options_for(*workers_[i], group_port, true));
+      if (!bound.ok()) {
+        if (bound.error().code == util::ErrorCode::kUnsupported) {
+          unsupported = true;
+          for (int j = 0; j < i; ++j) workers_[j]->client_udp.reset();
+          break;
+        }
+        return bound.error();
+      }
+      workers_[i]->client_udp = std::move(bound).value();
+      group_port = workers_[i]->client_udp->local_endpoint().port;
+    }
+    if (!unsupported) {
+      reuseport_active_ = true;
+      endpoints_ = {workers_[0]->client_udp->local_endpoint()};
+    }
+  }
+  if (!reuseport_active_) {
+    endpoints_.clear();
+    for (int i = 0; i < n; ++i) {
+      const uint16_t port =
+          config_.port == 0 ? 0 : static_cast<uint16_t>(config_.port + i);
+      auto bound =
+          net::UdpTransport::bind(options_for(*workers_[i], port, false));
+      if (!bound.ok()) return bound.error();
+      workers_[i]->client_udp = std::move(bound).value();
+      endpoints_.push_back(workers_[i]->client_udp->local_endpoint());
+    }
+  }
+
+  // Upstream side: always one private ephemeral port per worker, so the
+  // authority's responses and pushes come back to the owning worker.
+  upstream_endpoints_.clear();
+  for (int i = 0; i < n; ++i) {
+    auto bound = net::UdpTransport::bind(options_for(*workers_[i], 0, false));
+    if (!bound.ok()) return bound.error();
+    workers_[i]->upstream_udp = std::move(bound).value();
+    upstream_endpoints_.push_back(workers_[i]->upstream_udp->local_endpoint());
+  }
+  return util::Status::ok_status();
+}
+
+util::Result<std::unique_ptr<CacheRuntime>> CacheRuntime::start(
+    Config config) {
+  if (config.upstreams.empty()) {
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       "cache runtime needs at least one upstream"};
+  }
+  auto runtime =
+      std::unique_ptr<CacheRuntime>(new CacheRuntime(std::move(config)));
+  const Config& cfg = runtime->config_;
+  const int n = cfg.workers;
+
+  runtime->workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    runtime->workers_.push_back(std::make_unique<Worker>(cfg));
+    runtime->workers_.back()->index = i;
+  }
+  if (auto status = runtime->bind_sockets(); !status.ok()) {
+    return status.error();
+  }
+
+  // Per-worker protocol stacks (built on this thread, before any worker
+  // thread exists — no locking needed).
+  for (int i = 0; i < n; ++i) {
+    Worker& worker = *runtime->workers_[i];
+    worker.router.client.udp = worker.client_udp.get();
+    worker.router.upstream.udp = worker.upstream_udp.get();
+    worker.router.upstreams = &cfg.upstreams;
+    worker.inbox_dropped = worker.registry.counter(
+        "cachert_inbox_dropped", {{"worker", std::to_string(i)}});
+    worker.oversize_dropped = worker.registry.counter(
+        "cachert_oversize_dropped", {{"worker", std::to_string(i)}});
+
+    server::CachingResolver::Config rc;
+    rc.max_retries = cfg.max_retries;
+    rc.query_timeout = cfg.query_timeout;
+    rc.cache_capacity = cfg.cache_capacity;
+    rc.default_negative_ttl = cfg.default_negative_ttl;
+    rc.metrics = &worker.registry;
+    worker.resolver = std::make_unique<server::CachingResolver>(
+        worker.router, worker.loop, cfg.upstreams, rc);
+    if (cfg.dnscup) {
+      core::LeaseClient::Config lc;
+      lc.renegotiate_rate_factor = cfg.renegotiate_rate_factor;
+      lc.trusted_authorities = cfg.upstreams;
+      lc.metrics = &worker.registry;
+      worker.lease_client =
+          std::make_unique<core::LeaseClient>(*worker.resolver, lc);
+    }
+  }
+
+  // Go live: worker threads first, then socket intake on both sides.
+  runtime->running_.store(true);
+  for (int i = 0; i < n; ++i) {
+    Worker& worker = *runtime->workers_[i];
+    worker.thread =
+        std::thread([rt = runtime.get(), &worker] { rt->worker_loop(worker); });
+    auto intake = [&worker](runtime::BufferPool& pool) {
+      return [&worker,
+              &pool](std::span<const net::UdpTransport::RxPacket> batch) {
+        for (const auto& packet : batch) {
+          if (packet.data.size() > runtime::BufferPool::kSlotBytes) {
+            worker.oversize_dropped.inc();
+            continue;
+          }
+          runtime::BufferPool::Slot* slot = pool.acquire();
+          if (slot == nullptr) {
+            worker.inbox_dropped.inc();  // worker behind; shed load
+            continue;
+          }
+          slot->from = packet.from;
+          slot->len = static_cast<uint32_t>(packet.data.size());
+          std::memcpy(slot->bytes.data(), packet.data.data(),
+                      packet.data.size());
+          pool.commit(slot);
+        }
+        worker.wake.wake();
+      };
+    };
+    worker.client_udp->set_batch_receive_handler(intake(worker.client_pool));
+    worker.upstream_udp->set_batch_receive_handler(
+        intake(worker.upstream_pool));
+  }
+  return runtime;
+}
+
+void CacheRuntime::pump_pool(Worker& worker, runtime::BufferPool& pool,
+                             net::UdpTransport& udp) {
+  (void)udp;
+  runtime::BufferPool::Slot* slot = nullptr;
+  while ((slot = pool.take_filled()) != nullptr) {
+    if (worker.router.handler) {
+      worker.router.handler(
+          slot->from, std::span<const uint8_t>(slot->bytes.data(), slot->len));
+    }
+    pool.release(slot);
+  }
+}
+
+void CacheRuntime::worker_loop(Worker& worker) {
+  const std::size_t batch_size = config_.batch_size;
+  std::deque<std::function<void()>> commands;
+  worker.router.client.batching = true;
+  worker.router.upstream.batching = true;
+  for (;;) {
+    // Upstream datagrams first: a response or CACHE-UPDATE that just
+    // arrived can turn pending client queries into cache hits within the
+    // same iteration.  Upstream bursts are small (one per in-flight task
+    // or push), so they are drained fully; client intake is bounded by
+    // the batch size like the authority runtime.
+    pump_pool(worker, worker.upstream_pool, *worker.upstream_udp);
+    std::size_t served = 0;
+    runtime::BufferPool::Slot* slot = nullptr;
+    while (served < batch_size &&
+           (slot = worker.client_pool.take_filled()) != nullptr) {
+      if (worker.router.handler) {
+        worker.router.handler(
+            slot->from,
+            std::span<const uint8_t>(slot->bytes.data(), slot->len));
+      }
+      worker.client_pool.release(slot);
+      ++served;
+    }
+    worker.router.flush();
+    worker.commands.drain(commands);
+    for (auto& command : commands) command();
+    // Resolver timers: upstream retransmissions, query timeouts,
+    // renegotiation refreshes — all on the owning thread.
+    worker.loop.run_until(now_us());
+    worker.router.flush();
+    if (worker.stop.load(std::memory_order_acquire)) {
+      if (!worker.client_pool.has_filled() &&
+          !worker.upstream_pool.has_filled() && worker.commands.empty()) {
+        break;
+      }
+      continue;  // drain what arrived before intake stopped
+    }
+    if (!worker.client_pool.has_filled() &&
+        !worker.upstream_pool.has_filled() && worker.commands.empty()) {
+      worker.wake.wait_for(std::chrono::milliseconds(2));
+    }
+  }
+  worker.router.client.batching = false;
+  worker.router.upstream.batching = false;
+}
+
+void CacheRuntime::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& worker : workers_) {
+    worker->client_udp->stop_receiving();
+    worker->upstream_udp->stop_receiving();
+  }
+  for (auto& worker : workers_) {
+    worker->stop.store(true, std::memory_order_release);
+    worker->wake.wake();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void CacheRuntime::run_on_worker(Worker& worker, std::function<void()> fn) {
+  if (!running_.load()) {
+    fn();  // post-stop inspection: workers are quiescent
+    return;
+  }
+  std::promise<void> done;
+  auto finished = done.get_future();
+  worker.commands.push([&fn, &done] {
+    fn();
+    done.set_value();
+  });
+  finished.wait();
+}
+
+metrics::Snapshot CacheRuntime::metrics() {
+  metrics::Snapshot merged;
+  merged.timestamp_us = now_us();
+  bool first = true;
+  for (auto& worker : workers_) {
+    metrics::Snapshot shard;
+    run_on_worker(*worker, [this, &worker, &shard] {
+      shard = worker->registry.snapshot(now_us());
+    });
+    if (first) {
+      shard.timestamp_us = merged.timestamp_us;
+      merged = std::move(shard);
+      first = false;
+    } else {
+      merged.merge(shard);
+    }
+  }
+  return merged;
+}
+
+std::size_t CacheRuntime::live_leases() {
+  std::size_t live = 0;
+  for (auto& worker : workers_) {
+    if (worker->lease_client == nullptr) continue;
+    run_on_worker(*worker, [this, &worker, &live] {
+      live += worker->lease_client->live_leases(now_us());
+    });
+  }
+  return live;
+}
+
+std::size_t CacheRuntime::cache_entries() {
+  std::size_t total = 0;
+  for (auto& worker : workers_) {
+    run_on_worker(*worker, [&worker, &total] {
+      total += worker->resolver->cache().size();
+    });
+  }
+  return total;
+}
+
+}  // namespace dnscup::cachert

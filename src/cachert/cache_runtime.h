@@ -1,0 +1,207 @@
+// Cache-side serving runtime: the paper's "local DNS nameserver" as a
+// multi-worker daemon over real sockets.
+//
+// CacheRuntime runs N workers.  Each worker owns, privately and
+// exclusively on its own thread:
+//
+//   * an EventLoop (upstream retransmission timers, renegotiation),
+//   * a *client-facing* UDP socket — all workers in one SO_REUSEPORT
+//     group on the configured port so the kernel spreads client query
+//     streams across workers (per-worker ports when REUSEPORT is
+//     unavailable),
+//   * an *upstream* UDP socket on an ephemeral port.  This one is per
+//     worker by construction: the authority's responses — and its
+//     unsolicited CACHE-UPDATE pushes, which go to the endpoint that sent
+//     the EXT query and registered the lease — must come back to the
+//     worker whose resolver state they belong to.  A shared REUSEPORT
+//     port cannot guarantee that (the kernel hashes the *flow*, not the
+//     sending socket), a private port trivially does,
+//   * a CachingResolver with its own TTL cache slice, and
+//   * (leases enabled) a LeaseClient: RRC reporting on EXT queries, LLT
+//     lease registration, CACHE-UPDATE consumption + ACK, renegotiation.
+//
+// The query hot path — client query in, cache hit, answer out — takes
+// zero locks; cross-thread work flows over the same bounded MPSC queues
+// and buffer pools as the authority runtime (src/runtime), and responses
+// batch through ShimTransport into one sendmmsg per loop iteration.
+//
+// When the authority goes silent the worker degrades exactly as the
+// paper prescribes: leases run out, entries fall back to TTL freshness,
+// and expired entries re-resolve (with retries/timeouts) like a classic
+// cache — strong consistency is an overlay, never a liveness dependency.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/lease_client.h"
+#include "net/event_loop.h"
+#include "net/udp_transport.h"
+#include "runtime/buffer_pool.h"
+#include "runtime/mpsc_queue.h"
+#include "runtime/shim_transport.h"
+#include "server/resolver.h"
+#include "util/metrics.h"
+#include "util/result.h"
+
+namespace dnscup::cachert {
+
+struct Config {
+  /// Client-facing port; 0 picks an ephemeral port (see endpoints()).
+  uint16_t port = 5301;
+  int workers = 1;
+  /// Try one SO_REUSEPORT group on `port`; per-worker ports (port + i)
+  /// when the kernel lacks it.
+  bool reuseport = true;
+  int rcvbuf_bytes = 1 << 20;
+  int sndbuf_bytes = 1 << 20;
+
+  /// Upstream authorities, tried in order with retries/failover.  These
+  /// double as the resolver's root set and as the LeaseClient's trusted
+  /// push sources.
+  std::vector<net::Endpoint> upstreams;
+
+  /// DNScup cache-side module on/off — off is the plain-TTL baseline for
+  /// A/B stale-window runs.
+  bool dnscup = true;
+  /// Cache entry bound per worker (LRU); 0 = unbounded.
+  std::size_t cache_capacity = 0;
+  net::Duration query_timeout = net::seconds(2);
+  int max_retries = 2;
+  uint32_t default_negative_ttl = 60;
+  /// LeaseClient renegotiation knobs (see core::LeaseClient::Config).
+  double renegotiate_rate_factor = 4.0;
+
+  /// Datagram slots per worker per socket side, shared with the socket's
+  /// receiver thread; overflow drops (counted cachert_inbox_dropped).
+  std::size_t inbox_capacity = 4096;
+  std::size_t command_capacity = 256;
+  /// Datagrams served per loop iteration before one sendmmsg flush.
+  std::size_t batch_size = 32;
+};
+
+class CacheRuntime {
+ public:
+  /// Binds both socket sides for every worker and starts the worker
+  /// threads.  Fails when `config.upstreams` is empty or a bind fails.
+  static util::Result<std::unique_ptr<CacheRuntime>> start(Config config);
+
+  ~CacheRuntime();
+
+  CacheRuntime(const CacheRuntime&) = delete;
+  CacheRuntime& operator=(const CacheRuntime&) = delete;
+
+  /// Graceful drain: stops socket intake, answers what is queued (cache
+  /// hits only — in-flight upstream tasks are abandoned), joins workers.
+  /// Idempotent.
+  void stop();
+
+  /// Client-facing endpoints: one entry in REUSEPORT mode, one per
+  /// worker in fallback mode.
+  const std::vector<net::Endpoint>& endpoints() const { return endpoints_; }
+  /// Per-worker upstream-side endpoints (lease identities at the
+  /// authority; tests assert CACHE-UPDATE pushes land here).
+  const std::vector<net::Endpoint>& upstream_endpoints() const {
+    return upstream_endpoints_;
+  }
+  bool reuseport_active() const { return reuseport_active_; }
+  int workers() const { return static_cast<int>(workers_.size()); }
+  bool dnscup_enabled() const { return config_.dnscup; }
+
+  /// Microseconds since start() — the wall clock every worker's
+  /// EventLoop advances to.
+  net::SimTime now_us() const;
+
+  // Cross-worker control plane (each call fans a command to every worker
+  // and blocks; callable from any non-worker thread).
+
+  /// Merged snapshot of every worker registry.
+  metrics::Snapshot metrics();
+
+  /// Valid leases across all workers at now_us(); 0 with dnscup off.
+  std::size_t live_leases();
+
+  /// Total cached entries across all workers.
+  std::size_t cache_entries();
+
+ private:
+  struct Worker {
+    explicit Worker(const Config& config);
+
+    int index = 0;
+    metrics::MetricsRegistry registry;
+    net::EventLoop loop{&registry};
+    runtime::WakeSignal wake;
+    runtime::BufferPool client_pool;
+    runtime::BufferPool upstream_pool;
+    runtime::BoundedMpscQueue<std::function<void()>> commands;
+
+    /// Routes resolver sends: destinations in the upstream set leave via
+    /// the upstream socket (so lease identity == upstream source port),
+    /// everything else answers clients via the listening socket.  Both
+    /// sides batch independently.
+    class RouterTransport final : public net::Transport {
+     public:
+      const net::Endpoint& local_endpoint() const override {
+        return client.local_endpoint();
+      }
+      void send(const net::Endpoint& to,
+                std::span<const uint8_t> data) override {
+        (is_upstream(to) ? static_cast<net::Transport&>(upstream)
+                         : static_cast<net::Transport&>(client))
+            .send(to, data);
+      }
+      void set_receive_handler(ReceiveHandler h) override {
+        handler = std::move(h);
+      }
+      bool is_upstream(const net::Endpoint& to) const {
+        for (const net::Endpoint& up : *upstreams) {
+          if (up == to) return true;
+        }
+        return false;
+      }
+      void flush() {
+        client.flush();
+        upstream.flush();
+      }
+
+      runtime::ShimTransport client;
+      runtime::ShimTransport upstream;
+      const std::vector<net::Endpoint>* upstreams = nullptr;
+      ReceiveHandler handler;
+    };
+
+    RouterTransport router;
+    std::unique_ptr<net::UdpTransport> client_udp;
+    std::unique_ptr<net::UdpTransport> upstream_udp;
+    std::unique_ptr<server::CachingResolver> resolver;
+    std::unique_ptr<core::LeaseClient> lease_client;
+    metrics::Counter inbox_dropped;
+    metrics::Counter oversize_dropped;
+    std::atomic<bool> stop{false};
+    std::thread thread;
+  };
+
+  explicit CacheRuntime(Config config);
+
+  util::Status bind_sockets();
+  void worker_loop(Worker& worker);
+  void run_on_worker(Worker& worker, std::function<void()> fn);
+  static void pump_pool(Worker& worker, runtime::BufferPool& pool,
+                        net::UdpTransport& udp);
+
+  Config config_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<net::Endpoint> endpoints_;
+  std::vector<net::Endpoint> upstream_endpoints_;
+  bool reuseport_active_ = false;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace dnscup::cachert

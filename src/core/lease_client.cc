@@ -132,6 +132,19 @@ bool LeaseClient::on_unsolicited(const net::Endpoint& from,
     return false;
   }
   ++stats_.updates_received;
+  if (!config_.trusted_authorities.empty()) {
+    bool trusted = false;
+    for (const net::Endpoint& authority : config_.trusted_authorities) {
+      if (authority == from) {
+        trusted = true;
+        break;
+      }
+    }
+    if (!trusted) {
+      ++stats_.unauthorized_updates;
+      return true;  // consumed silently; never ack an untrusted pusher
+    }
+  }
   dns::Message verified = message;
   if (config_.authenticator != nullptr &&
       !config_.authenticator->verify(verified)) {

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "core/auth.h"
 #include "core/rate_tracker.h"
@@ -53,6 +54,13 @@ class LeaseClient final : public server::CachingResolver::Extension {
     /// (paper §5.3); unverifiable pushes are dropped without an ack.
     /// Not owned, may be null (plain text).
     MessageAuthenticator* authenticator = nullptr;
+    /// Upstream trust set: when non-empty, unsolicited CACHE-UPDATE
+    /// pushes are accepted only from these endpoints (the configured
+    /// upstream authorities).  Without it, a push for a record we hold no
+    /// lease on would be applied from *any* sender — fine in a closed
+    /// simulation, a poisoning vector on a real socket.  The per-record
+    /// grantor check still applies on top.
+    std::vector<net::Endpoint> trusted_authorities;
     /// Registry for lease_client_* instruments (default_registry() when
     /// null).
     metrics::MetricsRegistry* metrics = nullptr;

@@ -6,7 +6,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace dnscup::net {
 
@@ -28,6 +30,42 @@ struct Endpoint {
 constexpr uint32_t make_ip(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
   return (static_cast<uint32_t>(a) << 24) | (static_cast<uint32_t>(b) << 16) |
          (static_cast<uint32_t>(c) << 8) | d;
+}
+
+/// Parses "a.b.c.d:port" (the form to_string() prints and every CLI tool
+/// accepts).  Rejects stray characters, octets > 255 and ports outside
+/// 1..65535.
+inline std::optional<Endpoint> parse_endpoint(std::string_view text) {
+  uint32_t ip = 0;
+  std::size_t pos = 0;
+  auto read_number = [&](uint32_t max) -> std::optional<uint32_t> {
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+      return std::nullopt;
+    }
+    uint32_t value = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      value = value * 10 + static_cast<uint32_t>(text[pos] - '0');
+      if (value > max) return std::nullopt;
+      ++pos;
+    }
+    return value;
+  };
+  for (int octet = 0; octet < 4; ++octet) {
+    const auto value = read_number(255);
+    if (!value.has_value()) return std::nullopt;
+    ip = (ip << 8) | *value;
+    if (octet < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos >= text.size() || text[pos] != ':') return std::nullopt;
+  ++pos;
+  const auto port = read_number(65535);
+  if (!port.has_value() || *port == 0 || pos != text.size()) {
+    return std::nullopt;
+  }
+  return Endpoint{ip, static_cast<uint16_t>(*port)};
 }
 
 struct EndpointHash {

@@ -168,6 +168,60 @@ TEST(DnscupE2E, CachePartitionRevokesLeaseAfterRetries) {
                   .empty());
 }
 
+TEST(DnscupE2E, RevokedLeaseCacheConvergesViaTtlExpiry) {
+  // The consumer side of retry exhaustion: after the notifier gives up
+  // and revokes the lease, the partitioned cache is a legacy cache in
+  // disguise — it serves the stale mapping only until its own lease and
+  // TTL lapse, then converges and re-leases.  Strong consistency degrades
+  // to TTL consistency, never to permanent staleness.
+  TestbedConfig config;
+  config.zones = 2;
+  config.caches = 1;
+  config.record_ttl = 300;
+  config.max_lease = net::minutes(10);
+  Testbed tb(config);
+
+  const auto warm = tb.resolve(0, tb.web_host(0), RRType::kA);
+  ASSERT_TRUE(warm.has_value());
+  const auto old_address = std::get<dns::ARdata>(warm->rrset.rdatas[0]).address;
+  EXPECT_EQ(tb.lease_client(0)->live_leases(tb.loop().now()), 1u);
+
+  // Partition the push path, change the mapping, exhaust the retries.
+  const net::Endpoint cache_ep{net::make_ip(10, 0, 2, 1), 53};
+  tb.network().partition(tb.master_endpoint(), cache_ep);
+  tb.repoint_web_host(0, ip("198.18.5.2"));
+  tb.loop().run_for(net::minutes(5));
+  EXPECT_GE(tb.dnscup()->notifier().stats().failures, 1u);
+  EXPECT_TRUE(tb.dnscup()
+                  ->track_file()
+                  .holders_of(tb.web_host(0), RRType::kA, tb.loop().now())
+                  .empty());
+
+  // Heal the network.  The cache never saw the push or the revocation: it
+  // still trusts its lease and serves the stale mapping from cache.
+  tb.network().heal(tb.master_endpoint(), cache_ep);
+  const auto stale = tb.resolve(0, tb.web_host(0), RRType::kA);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_TRUE(stale->from_cache);
+  EXPECT_EQ(std::get<dns::ARdata>(stale->rrset.rdatas[0]).address,
+            old_address);
+
+  // Once the lease (10 min) has lapsed — the TTL expired inside it — the
+  // next resolution goes back upstream and converges on the new mapping.
+  tb.loop().run_for(config.max_lease + net::minutes(1));
+  const auto fresh = tb.resolve(0, tb.web_host(0), RRType::kA);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_FALSE(fresh->from_cache);
+  EXPECT_EQ(std::get<dns::ARdata>(fresh->rrset.rdatas[0]).address,
+            ip("198.18.5.2"));
+  // The EXT re-resolution registered a fresh lease on both sides.
+  EXPECT_EQ(tb.lease_client(0)->live_leases(tb.loop().now()), 1u);
+  EXPECT_FALSE(tb.dnscup()
+                   ->track_file()
+                   .holders_of(tb.web_host(0), RRType::kA, tb.loop().now())
+                   .empty());
+}
+
 TEST(DnscupE2E, SlavesStayConsistentWithMaster) {
   TestbedConfig config;
   config.zones = 4;

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Smoke test for the real daemon binaries: starts a dnscupd authority and
+# a dnscached cache as separate processes on loopback, then drives the
+# whole DNScup loop with dnsq — plain query, EXT query with a granted
+# lease, an RFC 2136 --update at the authority, and the pushed change
+# visible at the cache without a TTL wait.
+#
+# Usage: dnsq_smoke.sh <dnscupd> <dnscached> <dnsq>
+set -u
+
+dnscupd="$1"
+dnscached="$2"
+dnsq="$3"
+
+workdir="$(mktemp -d)"
+auth_pid=""
+cache_pid=""
+cleanup() {
+  [ -n "$cache_pid" ] && kill "$cache_pid" 2>/dev/null
+  [ -n "$auth_pid" ] && kill "$auth_pid" 2>/dev/null
+  wait 2>/dev/null
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  echo "--- authority log ---" >&2; cat "$workdir/auth.log" >&2
+  echo "--- cache log ---" >&2; cat "$workdir/cache.log" >&2
+  exit 1
+}
+
+cat > "$workdir/zone" <<'EOF'
+$ORIGIN example.com.
+@ IN SOA ns1.example.com. admin.example.com. 1 7200 900 604800 300
+@ 300 IN NS ns1.example.com.
+ns1 300 IN A 10.0.0.1
+www 300 IN A 10.1.0.1
+EOF
+
+# Ports derived from the PID keep parallel ctest runs apart.
+auth_port=$(( 20000 + $$ % 10000 ))
+cache_port=$(( auth_port + 10000 ))
+
+"$dnscupd" --port "$auth_port" --zone "example.com=$workdir/zone" \
+  > "$workdir/auth.log" 2>&1 &
+auth_pid=$!
+"$dnscached" --port "$cache_port" --upstream "127.0.0.1:$auth_port" \
+  > "$workdir/cache.log" 2>&1 &
+cache_pid=$!
+
+# Wait for both daemons to report their listening endpoints.
+for _ in $(seq 50); do
+  grep -q "listening" "$workdir/auth.log" 2>/dev/null &&
+    grep -q "listening" "$workdir/cache.log" 2>/dev/null && break
+  kill -0 "$auth_pid" 2>/dev/null || fail "dnscupd exited early"
+  kill -0 "$cache_pid" 2>/dev/null || fail "dnscached exited early"
+  sleep 0.1
+done
+
+# 1. Plain query straight at the authority.
+out="$("$dnsq" "127.0.0.1:$auth_port" www.example.com A)" ||
+  fail "authority query failed: $out"
+echo "$out" | grep -q "10.1.0.1" || fail "authority served wrong answer"
+
+# 2. EXT query at the authority grants a lease (printed LLT).
+out="$("$dnsq" "127.0.0.1:$auth_port" www.example.com A --ext 120)" ||
+  fail "EXT query failed: $out"
+echo "$out" | grep -q "lease granted" || fail "no lease granted on EXT"
+
+# 3. Query through the cache: resolves via the authority, leases for real.
+out="$("$dnsq" "127.0.0.1:$cache_port" www.example.com A)" ||
+  fail "cache query failed: $out"
+echo "$out" | grep -q "10.1.0.1" || fail "cache served wrong answer"
+
+# 4. Repoint the record at the authority with an RFC 2136 UPDATE.
+"$dnsq" "127.0.0.1:$auth_port" www.example.com --update 10.9.9.9 \
+  > /dev/null || fail "UPDATE rejected"
+
+# 5. The push reaches the cache: the new address is visible well within
+# the 300 s TTL (poll up to 5 s).
+for i in $(seq 50); do
+  out="$("$dnsq" "127.0.0.1:$cache_port" www.example.com A)"
+  echo "$out" | grep -q "10.9.9.9" && break
+  [ "$i" = 50 ] && fail "pushed change never reached the cache: $out"
+  sleep 0.1
+done
+
+# 6. A response from the wrong question id / malformed args fail cleanly.
+"$dnsq" "127.0.0.1:$cache_port" 2>/dev/null && fail "bad usage accepted"
+
+echo "dnsq smoke: all checks passed"
+exit 0

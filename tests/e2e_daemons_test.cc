@@ -1,0 +1,253 @@
+// Two-daemon conformance tests over real loopback sockets: a DNScup
+// authority (ServingRuntime — what dnscupd runs) and a DNScup cache
+// (CacheRuntime — what dnscached runs), wired together exactly like the
+// deployed pair.  These assert the paper's end-to-end claim: a zone
+// change at the authority becomes visible at the cache through the
+// CACHE-UPDATE push long before the record's TTL would have expired —
+// and that without leases the cache is stale for the full TTL.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cachert/cache_runtime.h"
+#include "dns/zone_text.h"
+#include "runtime/runtime.h"
+
+namespace dnscup {
+namespace {
+
+dns::Zone zone_with(const char* address, uint32_t serial, uint32_t ttl) {
+  char text[512];
+  std::snprintf(text, sizeof text,
+                "$ORIGIN example.com.\n"
+                "@ IN SOA ns1.example.com. admin.example.com. %u 7200 900 "
+                "604800 300\n"
+                "@ %u IN NS ns1.example.com.\n"
+                "ns1 %u IN A 10.0.0.1\n"
+                "www %u IN A %s\n",
+                serial, ttl, ttl, ttl, address);
+  auto zone =
+      dns::parse_zone_text(text, dns::Name::parse("example.com").value());
+  EXPECT_TRUE(zone.ok()) << (zone.ok() ? "" : zone.error().to_string());
+  return std::move(zone).value();
+}
+
+/// A stub client on its own socket; queries a server and blocks for the
+/// matching response.
+class Client {
+ public:
+  Client() {
+    auto bound = net::UdpTransport::bind(0);
+    EXPECT_TRUE(bound.ok());
+    udp_ = std::move(bound).value();
+    udp_->set_receive_handler(
+        [this](const net::Endpoint&, std::span<const uint8_t> data) {
+          auto message = dns::Message::decode(data);
+          if (!message.ok()) return;
+          std::lock_guard lock(mutex_);
+          responses_.push_back(std::move(message).value());
+          cv_.notify_all();
+        });
+  }
+
+  dns::Message query(const net::Endpoint& server, const char* name) {
+    dns::Message query;
+    query.id = next_id_++;
+    query.flags.opcode = dns::Opcode::kQuery;
+    query.flags.rd = true;
+    query.questions.push_back(dns::Question{dns::Name::parse(name).value(),
+                                            dns::RRType::kA,
+                                            dns::RRClass::kIN, 0});
+    udp_->send(server, query.encode());
+    dns::Message response;
+    std::unique_lock lock(mutex_);
+    const bool got =
+        cv_.wait_for(lock, std::chrono::seconds(5), [&] {
+          for (const dns::Message& m : responses_) {
+            if (m.flags.qr && m.id == query.id) {
+              response = m;
+              return true;
+            }
+          }
+          return false;
+        });
+    EXPECT_TRUE(got) << "no response for " << name;
+    return response;
+  }
+
+  /// The A address in the response's answer section, or "" on none.
+  static std::string answer_a(const dns::Message& response) {
+    for (const auto& rr : response.answers) {
+      if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) {
+        return a->address.to_string();
+      }
+    }
+    return "";
+  }
+
+ private:
+  std::unique_ptr<net::UdpTransport> udp_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<dns::Message> responses_;
+  uint16_t next_id_ = 1;
+};
+
+struct Pair {
+  std::unique_ptr<runtime::ServingRuntime> authority;
+  std::unique_ptr<cachert::CacheRuntime> cache;
+};
+
+Pair start_pair(uint32_t ttl, bool cache_dnscup, int cache_workers = 1) {
+  runtime::Config auth_config;
+  auth_config.port = 0;
+  auth_config.workers = 1;
+  auto authority = runtime::ServingRuntime::start(
+      auth_config, {zone_with("10.1.0.10", 1, ttl)});
+  EXPECT_TRUE(authority.ok());
+
+  cachert::Config cache_config;
+  cache_config.port = 0;
+  cache_config.workers = cache_workers;
+  cache_config.upstreams = {authority.value()->endpoints()[0]};
+  cache_config.dnscup = cache_dnscup;
+  auto cache = cachert::CacheRuntime::start(cache_config);
+  EXPECT_TRUE(cache.ok());
+  return Pair{std::move(authority).value(), std::move(cache).value()};
+}
+
+/// Polls the cache until `name` resolves to `address`; returns the time
+/// it took, or `deadline` when it never did.
+std::chrono::milliseconds poll_until_address(
+    Client& client, const net::Endpoint& cache, const char* name,
+    const std::string& address, std::chrono::milliseconds deadline) {
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    const auto response = client.query(cache, name);
+    if (Client::answer_a(response) == address) {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start);
+    }
+    if (std::chrono::steady_clock::now() - start >= deadline) {
+      return deadline;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+// The tentpole conformance claim: with DNScup on, a zone change at the
+// authority reaches the cache by push — visible within milliseconds, not
+// after the 300-second TTL.
+TEST(E2eDaemons, ZoneChangeVisibleWithoutTtlWait) {
+  constexpr uint32_t kTtl = 300;  // seconds — far beyond the test budget
+  Pair pair = start_pair(kTtl, /*cache_dnscup=*/true);
+  Client client;
+  const net::Endpoint cache = pair.cache->endpoints()[0];
+
+  const auto warm = client.query(cache, "www.example.com");
+  EXPECT_EQ(Client::answer_a(warm), "10.1.0.10");
+
+  // The EXT handshake registered a lease on both sides, held by the
+  // cache worker's upstream socket (its lease identity).
+  EXPECT_EQ(pair.cache->live_leases(), 1u);
+  EXPECT_EQ(pair.authority->live_leases(), 1u);
+  const auto leases = pair.authority->collect_leases();
+  ASSERT_EQ(leases.size(), 1u);
+  EXPECT_EQ(leases[0].holder, pair.cache->upstream_endpoints()[0]);
+
+  pair.authority->reload_zone(zone_with("10.9.9.9", 2, kTtl));
+
+  const auto took =
+      poll_until_address(client, cache, "www.example.com", "10.9.9.9",
+                         std::chrono::milliseconds(5000));
+  EXPECT_LT(took.count(), 5000) << "push never reached the cache";
+  // Strong consistency bound: visible in a push round-trip, not a TTL.
+  EXPECT_LT(took.count(), static_cast<int64_t>(kTtl) * 1000 / 10);
+
+  // The push was applied and acknowledged, not re-resolved: the entry
+  // still carries its lease.
+  EXPECT_EQ(pair.cache->live_leases(), 1u);
+
+  pair.cache->stop();
+  pair.authority->stop();
+}
+
+// The baseline the paper improves on: leases off, the cache serves the
+// stale record for the full TTL — the stale window is real and nonzero.
+TEST(E2eDaemons, TtlOnlyCacheHasNonzeroStaleWindow) {
+  constexpr uint32_t kTtl = 2;  // seconds — short so the test converges
+  Pair pair = start_pair(kTtl, /*cache_dnscup=*/false);
+  Client client;
+  const net::Endpoint cache = pair.cache->endpoints()[0];
+
+  const auto warm = client.query(cache, "www.example.com");
+  EXPECT_EQ(Client::answer_a(warm), "10.1.0.10");
+  EXPECT_EQ(pair.cache->live_leases(), 0u);   // plain TTL mode
+  EXPECT_EQ(pair.authority->live_leases(), 0u);
+
+  pair.authority->reload_zone(zone_with("10.9.9.9", 2, kTtl));
+
+  // Immediately after the change the cache still answers from the TTL
+  // entry: the stale window is open.
+  const auto stale = client.query(cache, "www.example.com");
+  EXPECT_EQ(Client::answer_a(stale), "10.1.0.10");
+
+  // It converges only via TTL expiry and re-resolution.
+  const auto took =
+      poll_until_address(client, cache, "www.example.com", "10.9.9.9",
+                         std::chrono::milliseconds(10000));
+  EXPECT_LT(took.count(), 10000) << "cache never converged after TTL";
+
+  pair.cache->stop();
+  pair.authority->stop();
+}
+
+// Multi-worker cache: every worker keeps its own upstream socket, so
+// pushes land on the worker that owns the lease regardless of how the
+// kernel spreads client flows across the REUSEPORT group.
+TEST(E2eDaemons, MultiWorkerCachePropagatesPushes) {
+  constexpr uint32_t kTtl = 300;
+  Pair pair = start_pair(kTtl, /*cache_dnscup=*/true, /*cache_workers=*/2);
+  ASSERT_EQ(pair.cache->upstream_endpoints().size(), 2u);
+  Client client;
+  const net::Endpoint cache = pair.cache->endpoints()[0];
+
+  const auto warm = client.query(cache, "www.example.com");
+  EXPECT_EQ(Client::answer_a(warm), "10.1.0.10");
+  EXPECT_EQ(pair.cache->live_leases(), 1u);
+
+  pair.authority->reload_zone(zone_with("10.9.9.9", 2, kTtl));
+
+  const auto took =
+      poll_until_address(client, cache, "www.example.com", "10.9.9.9",
+                         std::chrono::milliseconds(5000));
+  EXPECT_LT(took.count(), 5000) << "push never reached the owning worker";
+
+  pair.cache->stop();
+  pair.authority->stop();
+}
+
+// Graceful drain: stop() leaves both runtimes answering consistent
+// control-plane queries and is idempotent.
+TEST(E2eDaemons, StopIsIdempotentAndStatsSurvive) {
+  Pair pair = start_pair(300, /*cache_dnscup=*/true);
+  Client client;
+  client.query(pair.cache->endpoints()[0], "www.example.com");
+
+  pair.cache->stop();
+  pair.cache->stop();
+  EXPECT_EQ(pair.cache->cache_entries(), 1u);
+  EXPECT_EQ(pair.cache->live_leases(), 1u);
+  const auto snapshot = pair.cache->metrics();
+  EXPECT_FALSE(snapshot.entries.empty());
+
+  pair.authority->stop();
+  pair.authority->stop();
+}
+
+}  // namespace
+}  // namespace dnscup

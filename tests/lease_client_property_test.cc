@@ -1,0 +1,158 @@
+// Seeded property tests for the cache-side lease module under adversarial
+// links: every packet in the testbed (pushes, acks, queries, updates) may
+// be lost, duplicated or reordered (jitter), across a sweep of RNG seeds.
+// Whatever the link does, three invariants must hold:
+//
+//   1. No rollback: a zone serial is applied at most once, so duplicated
+//      or reordered CACHE-UPDATE pushes can never regress the cache to
+//      older data (extra copies land in stale_updates_ignored instead).
+//   2. Idempotent acks: every authorized push that arrives is acked —
+//      including duplicates, so a notifier whose first ack was lost can
+//      always stop retransmitting.
+//   3. Convergence: once the lease and the TTL have both run out, a fresh
+//      resolution returns the authority's current data — lost pushes and
+//      exhausted retry budgets degrade freshness, never correctness.
+#include <gtest/gtest.h>
+
+#include "sim/testbed.h"
+
+namespace dnscup::core {
+namespace {
+
+using dns::RRType;
+using sim::Testbed;
+using sim::TestbedConfig;
+
+dns::Ipv4 address_for_round(int round) {
+  return dns::Ipv4::parse("198.18.1." + std::to_string(round + 1)).value();
+}
+
+/// Resolves through cache 0, retrying a few times — on a lossy link a
+/// single resolution may exhaust its retry budget, which is the
+/// resolver's business, not this test's.
+dns::Ipv4 resolved_address(Testbed& tb) {
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const auto r = tb.resolve(0, tb.web_host(0), RRType::kA);
+    if (r.has_value() &&
+        r->status == server::CachingResolver::Outcome::Status::kOk &&
+        !r->rrset.rdatas.empty()) {
+      return std::get<dns::ARdata>(r->rrset.rdatas[0]).address;
+    }
+  }
+  ADD_FAILURE() << "resolution never succeeded";
+  return dns::Ipv4{};
+}
+
+/// Repoints zone 0's web host, retrying when the UPDATE or its response
+/// fell to the lossy link.  replace_a is idempotent, so a retry after a
+/// lost *response* (update applied, ack dropped) is harmless.
+void repoint_until_applied(Testbed& tb, dns::Ipv4 address) {
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    if (tb.repoint_web_host(0, address) == dns::Rcode::kNoError) return;
+  }
+  FAIL() << "update never reached the master";
+}
+
+struct SweepParams {
+  double loss = 0.0;
+  double duplicate = 0.0;
+  net::Duration jitter = 0;
+};
+
+void run_seed(uint64_t seed, const SweepParams& params) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " loss=" + std::to_string(params.loss) +
+               " dup=" + std::to_string(params.duplicate));
+  TestbedConfig config;
+  config.zones = 2;
+  config.caches = 1;
+  config.record_ttl = 300;
+  config.max_lease = net::minutes(10);
+  config.seed = seed;
+  config.link.latency = net::milliseconds(1);
+  config.link.jitter = params.jitter;  // reorders packets in flight
+  config.link.loss_probability = params.loss;
+  config.link.duplicate_probability = params.duplicate;
+  Testbed tb(config);
+
+  // Warm + lease the record, then change it several times while the link
+  // mangles the pushes and the acks.
+  const uint32_t serial_before =
+      tb.master().find_zone(tb.zone_origin(0))->serial();
+  resolved_address(tb);
+  constexpr int kRounds = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    repoint_until_applied(tb, address_for_round(round));
+    tb.loop().run_for(net::seconds(30));
+  }
+  const uint32_t zone_changes =
+      tb.master().find_zone(tb.zone_origin(0))->serial() - serial_before;
+  ASSERT_GE(zone_changes, static_cast<uint32_t>(kRounds));
+
+  const auto stats = tb.lease_client(0)->stats();
+
+  // Invariant 1 — no rollback: each zone serial is applied at most once,
+  // no matter how many copies of each push arrived; every other arrival
+  // was recognized as stale/duplicate and ignored.
+  EXPECT_LE(stats.updates_applied, static_cast<uint64_t>(zone_changes));
+  EXPECT_EQ(stats.updates_received,
+            stats.updates_applied + stats.stale_updates_ignored);
+  EXPECT_EQ(stats.unauthorized_updates, 0u);
+  EXPECT_EQ(stats.auth_failures, 0u);
+
+  // Invariant 2 — idempotent acks: every authorized arrival was acked,
+  // duplicates included.
+  EXPECT_EQ(stats.acks_sent, stats.updates_received);
+
+  // The cache settled on *some* version; once the loop is idle its answer
+  // is stable (no torn application).
+  const auto settled = resolved_address(tb);
+  EXPECT_EQ(resolved_address(tb), settled);
+
+  // Invariant 3 — convergence: after lease (10 min) and TTL (5 min) have
+  // both expired, a fresh resolution reflects the final authority state,
+  // even when every push of it was lost and the notifier gave up.
+  tb.loop().run_for(config.max_lease + net::seconds(config.record_ttl) +
+                    net::minutes(1));
+  EXPECT_EQ(resolved_address(tb), address_for_round(kRounds - 1));
+}
+
+TEST(LeaseClientProperty, LossyDuplicatingReorderingLinks) {
+  const SweepParams regimes[] = {
+      {0.0, 0.5, net::milliseconds(20)},    // dup + reorder
+      {0.3, 0.0, net::milliseconds(20)},    // loss + reorder
+      {0.25, 0.25, net::milliseconds(50)},  // everything at once
+      {0.5, 0.5, net::milliseconds(5)},     // heavy loss and dup
+  };
+  // 4 regimes x 9 seeds = 36 adversarial runs (>= the 32-seed floor).
+  for (const SweepParams& params : regimes) {
+    for (uint64_t seed = 1; seed <= 9; ++seed) {
+      run_seed(seed * 7919, params);
+    }
+  }
+}
+
+TEST(LeaseClientProperty, PristineLinkAppliesEveryPushExactlyOnce) {
+  // Control run: with a perfect link the inequalities above collapse to
+  // equalities — every change pushed, applied once, acked once.
+  TestbedConfig config;
+  config.zones = 2;
+  config.caches = 1;
+  config.record_ttl = 300;
+  config.max_lease = net::minutes(10);
+  Testbed tb(config);
+  resolved_address(tb);
+  for (int round = 0; round < 3; ++round) {
+    repoint_until_applied(tb, address_for_round(round));
+    tb.loop().run_for(net::seconds(5));
+  }
+  const auto stats = tb.lease_client(0)->stats();
+  EXPECT_EQ(stats.updates_received, 3u);
+  EXPECT_EQ(stats.updates_applied, 3u);
+  EXPECT_EQ(stats.stale_updates_ignored, 0u);
+  EXPECT_EQ(stats.acks_sent, 3u);
+  EXPECT_EQ(resolved_address(tb), address_for_round(2));
+}
+
+}  // namespace
+}  // namespace dnscup::core

@@ -1,0 +1,199 @@
+#!/usr/bin/env bash
+# Two-daemon consistency benchmark: dnscupd (authority) + dnscached
+# (cache) as real processes on loopback, background dnsflood load through
+# the cache, and the e2e_consistency probe measuring the stale-read
+# window — the time between an RFC 2136 UPDATE landing at the authority
+# and the cache serving the new mapping.  Runs once with DNScup enabled
+# and once with the cache in plain TTL mode (--no-dnscup), then merges
+# the probe results with both daemons' final metrics snapshots into one
+# report: stale windows per mode plus the DNScup message overhead
+# (CACHE-UPDATE pushes, acks, EXT queries) that buys the improvement.
+#
+# Usage:
+#   tools/bench_e2e.sh                       # 8 trials, 2 s record TTL
+#   TRIALS=20 TTL=5 tools/bench_e2e.sh
+#   OUT=/tmp/report.json tools/bench_e2e.sh
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+jobs=${JOBS:-$(nproc)}
+trials=${TRIALS:-8}
+ttl=${TTL:-2}
+load_qps=${LOAD_QPS:-500}
+out=${OUT:-$repo_root/BENCH_e2e_consistency.json}
+
+build_dir="$repo_root/build"
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j "$jobs" \
+  --target dnscupd dnscached dnsflood e2e_consistency
+
+bench_dir="$build_dir/bench/e2e"
+mkdir -p "$bench_dir"
+
+# One mode = one fresh daemon pair + background load + probe run.
+# $1 = label; remaining args are extra dnscached flags (e.g. --no-dnscup).
+run_mode() {
+  local label=$1
+  shift
+
+  local zone="$bench_dir/$label.zone"
+  {
+    echo '$ORIGIN example.com.'
+    echo '@ IN SOA ns1.example.com. admin.example.com. 1 7200 900 604800 300'
+    echo "@ $ttl IN NS ns1.example.com."
+    echo "ns1 $ttl IN A 10.0.0.1"
+    echo "www $ttl IN A 10.1.0.1"
+    for i in $(seq 0 99); do
+      echo "w$i $ttl IN A 10.2.$((i / 256)).$((i % 256))"
+    done
+  } > "$zone"
+
+  local auth_port=$(( 21000 + RANDOM % 8000 ))
+  local cache_port=$(( auth_port + 8000 ))
+
+  "$build_dir/tools/dnscupd" --port "$auth_port" \
+    --zone "example.com=$zone" --workers 1 \
+    --metrics-out "$bench_dir/$label-auth-metrics.json" \
+    > "$bench_dir/$label-auth.log" 2>&1 &
+  local auth_pid=$!
+  "$build_dir/tools/dnscached" --port "$cache_port" \
+    --upstream "127.0.0.1:$auth_port" --workers 1 \
+    --metrics-out "$bench_dir/$label-cache-metrics.json" \
+    "$@" \
+    > "$bench_dir/$label-cache.log" 2>&1 &
+  local cache_pid=$!
+
+  local up=no
+  for _ in $(seq 50); do
+    if grep -q listening "$bench_dir/$label-auth.log" 2>/dev/null &&
+       grep -q listening "$bench_dir/$label-cache.log" 2>/dev/null; then
+      up=yes; break
+    fi
+    sleep 0.1
+  done
+  if [ "$up" != yes ]; then
+    echo "daemon pair failed to start ($label):"
+    cat "$bench_dir/$label-auth.log" "$bench_dir/$label-cache.log"
+    kill "$auth_pid" "$cache_pid" 2>/dev/null || true
+    return 1
+  fi
+
+  # Background client load through the cache for the whole probe run
+  # (rate-capped open loop; killed once the probe finishes).
+  "$build_dir/tools/dnsflood" --server "127.0.0.1:$cache_port" \
+    --duration $(( trials * 5 + 30 )) --sockets 1 --concurrency 8 \
+    --qps "$load_qps" --names 100 --lease-fraction 0 \
+    --out "$bench_dir/$label-flood.json" \
+    > "$bench_dir/$label-flood.log" 2>&1 &
+  local flood_pid=$!
+
+  echo "== $label: $trials trials, ${ttl}s record TTL, " \
+       "~$load_qps q/s background load =="
+  local probe_status=0
+  "$build_dir/bench/e2e_consistency" \
+    --authority "127.0.0.1:$auth_port" --cache "127.0.0.1:$cache_port" \
+    --name www.example.com --zone example.com \
+    --trials "$trials" --ttl "$ttl" --window-cap-ms $(( ttl * 1000 + 10000 )) \
+    --label "$label" --out "$bench_dir/$label-probe.json" || probe_status=$?
+
+  kill "$flood_pid" 2>/dev/null || true
+  # SIGTERM makes both daemons write their final metrics snapshot.
+  kill -TERM "$cache_pid" "$auth_pid" 2>/dev/null || true
+  wait "$cache_pid" "$auth_pid" 2>/dev/null || true
+  wait "$flood_pid" 2>/dev/null || true
+
+  if [ "$probe_status" != 0 ]; then
+    echo "probe failed ($label):"
+    cat "$bench_dir/$label-auth.log" "$bench_dir/$label-cache.log"
+    return "$probe_status"
+  fi
+}
+
+run_mode dnscup
+run_mode ttl --no-dnscup
+
+python3 - "$out" "$bench_dir" "$trials" "$ttl" <<'EOF'
+import json, sys
+
+out, bench_dir, trials, ttl = sys.argv[1:]
+
+def counter(snapshot, name, **labels):
+    """Sum of matching counter values in a metrics to_json snapshot."""
+    total = 0
+    for entry in snapshot["metrics"]:
+        if entry["name"] != name:
+            continue
+        if any(entry["labels"].get(k) != v for k, v in labels.items()):
+            continue
+        total += int(entry.get("value", 0))
+    return total
+
+report = {
+    "bench": "e2e_consistency",
+    "description": "stale-read window after an RFC 2136 UPDATE, measured "
+                   "against a live dnscupd+dnscached pair on loopback "
+                   "under background query load; DNScup push vs plain "
+                   "TTL expiry",
+    "trials": int(trials),
+    "record_ttl_s": int(ttl),
+    "modes": {},
+}
+for label in ("dnscup", "ttl"):
+    with open(f"{bench_dir}/{label}-probe.json") as f:
+        probe = json.load(f)
+    with open(f"{bench_dir}/{label}-auth-metrics.json") as f:
+        auth = json.load(f)
+    with open(f"{bench_dir}/{label}-cache-metrics.json") as f:
+        cache = json.load(f)
+    report["modes"][label] = {
+        "stale_window_ms": {
+            "mean": probe["mean_ms"],
+            "p50": probe["p50_ms"],
+            "max": probe["max_ms"],
+            "windows": probe["windows_ms"],
+        },
+        "messages": {
+            # Authority side: the DNScup invalidation traffic itself.
+            "cache_updates_sent": counter(auth, "cache_update_messages",
+                                          result="sent"),
+            "cache_update_retransmits": counter(auth, "cache_update_messages",
+                                                result="retransmit"),
+            "cache_updates_acked": counter(auth, "cache_update_messages",
+                                           result="acked"),
+            "ext_queries_at_authority": counter(auth, "listener_queries",
+                                                kind="ext"),
+            "legacy_queries_at_authority": counter(auth, "listener_queries",
+                                                   kind="legacy"),
+            # Cache side: upstream fetch volume and ack traffic.
+            "cache_upstream_queries": counter(cache, "resolver_queries",
+                                              side="upstream"),
+            "cache_client_queries": counter(cache, "resolver_queries",
+                                            side="client"),
+            "cache_acks_sent": counter(cache, "lease_client_acks_sent"),
+            "cache_updates_applied": counter(cache, "lease_client_updates",
+                                             result="applied"),
+        },
+    }
+
+dnscup = report["modes"]["dnscup"]["stale_window_ms"]
+plain = report["modes"]["ttl"]["stale_window_ms"]
+if dnscup["mean"] > 0:
+    report["mean_window_improvement"] = round(plain["mean"] / dnscup["mean"], 1)
+
+with open(out, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+for label in ("dnscup", "ttl"):
+    w = report["modes"][label]["stale_window_ms"]
+    m = report["modes"][label]["messages"]
+    print(f"{label:>6}: stale window mean {w['mean']:8.1f} ms  "
+          f"p50 {w['p50']:8.1f} ms  max {w['max']:8.1f} ms  |  "
+          f"pushes {m['cache_updates_sent']}"
+          f"+{m['cache_update_retransmits']} rtx, "
+          f"acks {m['cache_updates_acked']}, "
+          f"upstream queries {m['cache_upstream_queries']}")
+if "mean_window_improvement" in report:
+    print(f"DNScup shrinks the mean stale window "
+          f"{report['mean_window_improvement']}x  -> {out}")
+EOF

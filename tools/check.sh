@@ -5,11 +5,17 @@
 # I/O and crash-path truncation, exactly where the sanitizers earn their
 # keep.  --sanitize widens the sanitizer leg to the whole tree.
 #
+# Tests are labeled unit / sim / e2e (see tests/CMakeLists.txt).  The
+# default run executes the non-e2e labels first, then the real-socket e2e
+# leg on its own (`-L e2e`) so a socket-environment failure is
+# immediately distinguishable from a logic failure.  --no-e2e skips the
+# e2e leg entirely (for sandboxes without working loopback).
+#
 # The multi-threaded serving runtime gets its own legs:
-#   --tsan         build runtime_test + udp_transport_test under
-#                  ThreadSanitizer and fail on any report — the worker /
-#                  receiver / journal-writer thread interplay is where a
-#                  data race would hide;
+#   --tsan         build runtime_test + udp_transport_test +
+#                  e2e_daemons_test under ThreadSanitizer and fail on any
+#                  report — the worker / receiver / journal-writer thread
+#                  interplay is where a data race would hide;
 #   --bench-smoke  Release build, assert the serve hot path is
 #                  allocation-free (hot_path_alloc_test), then start a
 #                  2-worker dnscupd on loopback, drive it with dnsflood
@@ -22,6 +28,7 @@
 #
 # Usage:
 #   tools/check.sh                # Release build + ctest + store sanitizers
+#   tools/check.sh --no-e2e      # same, skipping the real-socket leg
 #   tools/check.sh --sanitize    # sanitize the full suite, not just store
 #   tools/check.sh --tsan        # ThreadSanitizer leg only
 #   tools/check.sh --bench-smoke # serving-runtime load smoke only
@@ -35,10 +42,18 @@ mode=${1:-}
 
 run_suite() {
   local build_dir=$1
-  shift
+  local run_e2e=$2
+  shift 2
   cmake -B "$build_dir" -S "$repo_root" "$@"
   cmake --build "$build_dir" -j "$jobs"
-  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+  echo "-- unit + sim labels --"
+  ctest --test-dir "$build_dir" -LE e2e --output-on-failure -j "$jobs"
+  if [ "$run_e2e" = yes ]; then
+    echo "-- e2e label (real loopback sockets, daemon pairs) --"
+    ctest --test-dir "$build_dir" -L e2e --output-on-failure -j "$jobs"
+  else
+    echo "-- e2e label skipped (--no-e2e) --"
+  fi
 }
 
 run_tsan() {
@@ -48,10 +63,11 @@ run_tsan() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDNSCUP_SANITIZE=thread
   cmake --build "$build_dir" -j "$jobs" \
-    --target runtime_test udp_transport_test
+    --target runtime_test udp_transport_test e2e_daemons_test
   # halt_on_error turns any race report into a test failure.
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build_dir" \
-    -R '^(runtime_test|udp_transport_test)$' --output-on-failure
+    -R '^(runtime_test|udp_transport_test|e2e_daemons_test)$' \
+    --output-on-failure
 }
 
 run_wire_micro() {
@@ -126,6 +142,12 @@ EOF
   echo "bench smoke ok; result archived at $out"
 }
 
+e2e=yes
+if [ "$mode" = --no-e2e ]; then
+  e2e=no
+  mode=""
+fi
+
 case "$mode" in
   --tsan)
     run_tsan
@@ -138,25 +160,33 @@ case "$mode" in
     ;;
   --sanitize)
     echo "== tier-1: release build + ctest =="
-    run_suite "$repo_root/build"
+    run_suite "$repo_root/build" "$e2e"
     echo "== tier-1 under address,undefined sanitizers =="
-    run_suite "$repo_root/build-sanitize" \
+    run_suite "$repo_root/build-sanitize" "$e2e" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DDNSCUP_SANITIZE=address,undefined
     ;;
   *)
     echo "== tier-1: release build + ctest =="
-    run_suite "$repo_root/build"
-    echo "== durable store + wire parser under address,undefined sanitizers =="
+    run_suite "$repo_root/build" "$e2e"
+    echo "== durable store + wire parser + daemon pair under" \
+         "address,undefined sanitizers =="
     # malformed_packet_test rides along: the hostile-input wire-decoder
     # suite is the other place raw byte handling hides memory bugs.
+    # e2e_daemons_test puts the new cache-side runtime's socket plumbing
+    # under ASan/UBSan too.
     cmake -B "$repo_root/build-store-sanitize" -S "$repo_root" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DDNSCUP_SANITIZE=address,undefined
     cmake --build "$repo_root/build-store-sanitize" -j "$jobs" \
-      --target store_test recovery_test malformed_packet_test
+      --target store_test recovery_test malformed_packet_test \
+               e2e_daemons_test
+    sanitize_tests='store_test|recovery_test|malformed_packet_test'
+    if [ "$e2e" = yes ]; then
+      sanitize_tests="$sanitize_tests|e2e_daemons_test"
+    fi
     ctest --test-dir "$repo_root/build-store-sanitize" \
-      -R '^(store_test|recovery_test|malformed_packet_test)$' \
+      -R "^($sanitize_tests)\$" \
       --output-on-failure -j "$jobs"
     ;;
 esac

@@ -281,6 +281,9 @@ int main(int argc, char** argv) {
       std::printf("  %s\n", endpoint.to_string().c_str());
     }
   }
+  // Supervisors wait for the "listening" line; make it visible even when
+  // stdout is a pipe or file (fully buffered).
+  std::fflush(stdout);
 
   auto last_report = std::chrono::steady_clock::now();
   auto last_metrics = last_report;
