@@ -28,15 +28,26 @@ net::SimTime CacheRuntime::now_us() const {
       .count();
 }
 
+int CacheRuntime::pin_cpu_for(int index) const {
+  if (config_.pin_cpus.empty()) return -1;
+  return config_.pin_cpus[static_cast<std::size_t>(index) %
+                          config_.pin_cpus.size()];
+}
+
 util::Status CacheRuntime::bind_sockets() {
   const int n = config_.workers;
+  // Resolve once (kDefault consults DNSCUP_IO_BACKEND) so both socket
+  // sides of every worker bind the same backend.
+  const net::IoBackendKind kind =
+      net::resolve_io_backend_kind(config_.io_backend);
   auto options_for = [this](Worker& worker, uint16_t port, bool reuseport) {
-    net::UdpTransport::Options options;
+    net::IoBackend::Options options;
     options.port = port;
     options.reuseport = reuseport;
     options.rcvbuf_bytes = config_.rcvbuf_bytes;
     options.sndbuf_bytes = config_.sndbuf_bytes;
     options.metrics = &worker.registry;
+    options.pin_cpu = pin_cpu_for(worker.index);
     return options;
   };
 
@@ -45,22 +56,22 @@ util::Status CacheRuntime::bind_sockets() {
     bool unsupported = false;
     uint16_t group_port = config_.port;
     for (int i = 0; i < n; ++i) {
-      auto bound = net::UdpTransport::bind(
-          options_for(*workers_[i], group_port, true));
+      auto bound = net::bind_io_backend(
+          kind, options_for(*workers_[i], group_port, true));
       if (!bound.ok()) {
         if (bound.error().code == util::ErrorCode::kUnsupported) {
           unsupported = true;
-          for (int j = 0; j < i; ++j) workers_[j]->client_udp.reset();
+          for (int j = 0; j < i; ++j) workers_[j]->client_io.reset();
           break;
         }
         return bound.error();
       }
-      workers_[i]->client_udp = std::move(bound).value();
-      group_port = workers_[i]->client_udp->local_endpoint().port;
+      workers_[i]->client_io = std::move(bound).value();
+      group_port = workers_[i]->client_io->local_endpoint().port;
     }
     if (!unsupported) {
       reuseport_active_ = true;
-      endpoints_ = {workers_[0]->client_udp->local_endpoint()};
+      endpoints_ = {workers_[0]->client_io->local_endpoint()};
     }
   }
   if (!reuseport_active_) {
@@ -69,10 +80,10 @@ util::Status CacheRuntime::bind_sockets() {
       const uint16_t port =
           config_.port == 0 ? 0 : static_cast<uint16_t>(config_.port + i);
       auto bound =
-          net::UdpTransport::bind(options_for(*workers_[i], port, false));
+          net::bind_io_backend(kind, options_for(*workers_[i], port, false));
       if (!bound.ok()) return bound.error();
-      workers_[i]->client_udp = std::move(bound).value();
-      endpoints_.push_back(workers_[i]->client_udp->local_endpoint());
+      workers_[i]->client_io = std::move(bound).value();
+      endpoints_.push_back(workers_[i]->client_io->local_endpoint());
     }
   }
 
@@ -80,10 +91,11 @@ util::Status CacheRuntime::bind_sockets() {
   // authority's responses and pushes come back to the owning worker.
   upstream_endpoints_.clear();
   for (int i = 0; i < n; ++i) {
-    auto bound = net::UdpTransport::bind(options_for(*workers_[i], 0, false));
+    auto bound =
+        net::bind_io_backend(kind, options_for(*workers_[i], 0, false));
     if (!bound.ok()) return bound.error();
-    workers_[i]->upstream_udp = std::move(bound).value();
-    upstream_endpoints_.push_back(workers_[i]->upstream_udp->local_endpoint());
+    workers_[i]->upstream_io = std::move(bound).value();
+    upstream_endpoints_.push_back(workers_[i]->upstream_io->local_endpoint());
   }
   return util::Status::ok_status();
 }
@@ -112,8 +124,8 @@ util::Result<std::unique_ptr<CacheRuntime>> CacheRuntime::start(
   // thread exists — no locking needed).
   for (int i = 0; i < n; ++i) {
     Worker& worker = *runtime->workers_[i];
-    worker.router.client.udp = worker.client_udp.get();
-    worker.router.upstream.udp = worker.upstream_udp.get();
+    worker.router.client.io = worker.client_io.get();
+    worker.router.upstream.io = worker.upstream_io.get();
     worker.router.upstreams = &cfg.upstreams;
     worker.inbox_dropped = worker.registry.counter(
         "cachert_inbox_dropped", {{"worker", std::to_string(i)}});
@@ -145,8 +157,7 @@ util::Result<std::unique_ptr<CacheRuntime>> CacheRuntime::start(
     worker.thread =
         std::thread([rt = runtime.get(), &worker] { rt->worker_loop(worker); });
     auto intake = [&worker](runtime::BufferPool& pool) {
-      return [&worker,
-              &pool](std::span<const net::UdpTransport::RxPacket> batch) {
+      return [&worker, &pool](std::span<const net::RxPacket> batch) {
         for (const auto& packet : batch) {
           if (packet.data.size() > runtime::BufferPool::kSlotBytes) {
             worker.oversize_dropped.inc();
@@ -166,16 +177,14 @@ util::Result<std::unique_ptr<CacheRuntime>> CacheRuntime::start(
         worker.wake.wake();
       };
     };
-    worker.client_udp->set_batch_receive_handler(intake(worker.client_pool));
-    worker.upstream_udp->set_batch_receive_handler(
+    worker.client_io->set_batch_receive_handler(intake(worker.client_pool));
+    worker.upstream_io->set_batch_receive_handler(
         intake(worker.upstream_pool));
   }
   return runtime;
 }
 
-void CacheRuntime::pump_pool(Worker& worker, runtime::BufferPool& pool,
-                             net::UdpTransport& udp) {
-  (void)udp;
+void CacheRuntime::pump_pool(Worker& worker, runtime::BufferPool& pool) {
   runtime::BufferPool::Slot* slot = nullptr;
   while ((slot = pool.take_filled()) != nullptr) {
     if (worker.router.handler) {
@@ -187,6 +196,8 @@ void CacheRuntime::pump_pool(Worker& worker, runtime::BufferPool& pool,
 }
 
 void CacheRuntime::worker_loop(Worker& worker) {
+  // Same CPU as both receiver threads when pinning is configured.
+  net::pin_current_thread_to_cpu(pin_cpu_for(worker.index));
   const std::size_t batch_size = config_.batch_size;
   std::deque<std::function<void()>> commands;
   worker.router.client.batching = true;
@@ -197,7 +208,7 @@ void CacheRuntime::worker_loop(Worker& worker) {
     // same iteration.  Upstream bursts are small (one per in-flight task
     // or push), so they are drained fully; client intake is bounded by
     // the batch size like the authority runtime.
-    pump_pool(worker, worker.upstream_pool, *worker.upstream_udp);
+    pump_pool(worker, worker.upstream_pool);
     std::size_t served = 0;
     runtime::BufferPool::Slot* slot = nullptr;
     while (served < batch_size &&
@@ -236,8 +247,8 @@ void CacheRuntime::worker_loop(Worker& worker) {
 void CacheRuntime::stop() {
   if (!running_.exchange(false)) return;
   for (auto& worker : workers_) {
-    worker->client_udp->stop_receiving();
-    worker->upstream_udp->stop_receiving();
+    worker->client_io->stop_receiving();
+    worker->upstream_io->stop_receiving();
   }
   for (auto& worker : workers_) {
     worker->stop.store(true, std::memory_order_release);

@@ -41,7 +41,7 @@
 
 #include "core/lease_client.h"
 #include "net/event_loop.h"
-#include "net/udp_transport.h"
+#include "net/io_backend.h"
 #include "runtime/buffer_pool.h"
 #include "runtime/mpsc_queue.h"
 #include "runtime/shim_transport.h"
@@ -60,6 +60,15 @@ struct Config {
   bool reuseport = true;
   int rcvbuf_bytes = 1 << 20;
   int sndbuf_bytes = 1 << 20;
+
+  /// Datagram I/O backend for both socket sides of every worker.
+  /// kDefault consults DNSCUP_IO_BACKEND; an explicit kUring degrades to
+  /// portable (with a warning) when the kernel lacks support.
+  net::IoBackendKind io_backend = net::IoBackendKind::kDefault;
+
+  /// Worker CPU affinity: worker i (loop thread + both receiver
+  /// threads) is pinned to pin_cpus[i % size].  Empty = no pinning.
+  std::vector<int> pin_cpus;
 
   /// Upstream authorities, tried in order with retries/failover.  These
   /// double as the resolver's root set and as the LeaseClient's trusted
@@ -112,6 +121,12 @@ class CacheRuntime {
   bool reuseport_active() const { return reuseport_active_; }
   int workers() const { return static_cast<int>(workers_.size()); }
   bool dnscup_enabled() const { return config_.dnscup; }
+  /// Name of the I/O backend actually serving ("portable" or "uring" —
+  /// after any fallback).
+  std::string_view io_backend_name() const {
+    return workers_.empty() ? std::string_view{}
+                            : workers_.front()->client_io->backend_name();
+  }
 
   /// Microseconds since start() — the wall clock every worker's
   /// EventLoop advances to.
@@ -177,8 +192,8 @@ class CacheRuntime {
     };
 
     RouterTransport router;
-    std::unique_ptr<net::UdpTransport> client_udp;
-    std::unique_ptr<net::UdpTransport> upstream_udp;
+    std::unique_ptr<net::IoBackend> client_io;
+    std::unique_ptr<net::IoBackend> upstream_io;
     std::unique_ptr<server::CachingResolver> resolver;
     std::unique_ptr<core::LeaseClient> lease_client;
     metrics::Counter inbox_dropped;
@@ -190,10 +205,11 @@ class CacheRuntime {
   explicit CacheRuntime(Config config);
 
   util::Status bind_sockets();
+  /// CPU for worker `index` per Config::pin_cpus (-1 = unpinned).
+  int pin_cpu_for(int index) const;
   void worker_loop(Worker& worker);
   void run_on_worker(Worker& worker, std::function<void()> fn);
-  static void pump_pool(Worker& worker, runtime::BufferPool& pool,
-                        net::UdpTransport& udp);
+  static void pump_pool(Worker& worker, runtime::BufferPool& pool);
 
   Config config_;
   std::chrono::steady_clock::time_point epoch_;

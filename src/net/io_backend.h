@@ -1,0 +1,146 @@
+// Pluggable datagram I/O backends.
+//
+// IoBackend is the seam between protocol code and the kernel's datagram
+// machinery.  A backend owns one bound UDP socket plus whatever syscall
+// strategy it serves it with:
+//
+//   * "portable" (UdpTransport) — blocking recvmmsg/sendmmsg on a
+//     receiver thread; works on every kernel and is the fallback,
+//   * "uring" (UringBackend)   — io_uring multishot receive into a
+//     registered provided-buffer ring, batched submit-and-wait sends;
+//     compiled when <linux/io_uring.h> is present and engaged only when
+//     the running kernel accepts the ring setup.
+//
+// Every backend delivers the same contract: kernel bursts arrive as one
+// BatchReceiveHandler call on the backend's receiver thread (spans valid
+// only inside the handler — callers copy into their BufferPool slots),
+// and send_batch() hands a whole response batch to the kernel in as few
+// syscalls as the strategy allows.  Readiness is the backend's own
+// affair: each runs a dedicated receiver thread and integrates with the
+// worker's EventLoop through the wake signal the handler raises, so the
+// worker loop never blocks on socket state.
+//
+// Selection: bind_io_backend() resolves kDefault through the
+// DNSCUP_IO_BACKEND environment variable (portable when unset), tries
+// the requested backend, and falls back to portable — with a logged
+// warning, never an error — when the kernel or build lacks io_uring.
+// Callers that must know what actually engaged read backend_name().
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "net/transport.h"
+#include "util/result.h"
+
+namespace dnscup::net {
+
+/// One datagram in an outgoing batch; `data` is borrowed until the
+/// send_batch call returns (backends that complete sends asynchronously
+/// must wait for kernel completion before returning).
+struct TxPacket {
+  Endpoint to;
+  std::span<const uint8_t> data;
+};
+
+/// One datagram in an incoming batch; `data` points into the backend's
+/// receive buffers and is valid only inside the handler.
+struct RxPacket {
+  Endpoint from;
+  std::span<const uint8_t> data;
+};
+
+enum class IoBackendKind {
+  kDefault,   ///< resolve via $DNSCUP_IO_BACKEND, else portable
+  kPortable,  ///< recvmmsg/sendmmsg receiver thread (UdpTransport)
+  kUring,     ///< io_uring multishot receive + batched submits
+};
+
+/// "portable" / "uring" / "default"; nullopt on anything else.
+std::optional<IoBackendKind> parse_io_backend_kind(std::string_view text);
+const char* to_string(IoBackendKind kind);
+
+/// kDefault -> $DNSCUP_IO_BACKEND (unset or unparsable -> portable);
+/// explicit kinds pass through.
+IoBackendKind resolve_io_backend_kind(IoBackendKind kind);
+
+class IoBackend : public Transport {
+ public:
+  struct Options {
+    uint16_t port = 0;  ///< 0 lets the OS pick (see local_endpoint())
+    /// Join a SO_REUSEPORT group: several backends bind the same port
+    /// and the kernel hashes query flows across them.  Binding fails
+    /// with kUnsupported on kernels without it so callers can fall back
+    /// to per-worker ports.
+    bool reuseport = false;
+    /// Socket buffer sizes in bytes; 0 keeps the OS default.
+    int rcvbuf_bytes = 0;
+    int sndbuf_bytes = 0;
+    /// Traffic counters register here (default_registry() when null),
+    /// labeled with the local endpoint and the backend name.
+    metrics::MetricsRegistry* metrics = nullptr;
+    /// Pin the backend's receiver thread to this CPU; -1 leaves it to
+    /// the scheduler.
+    int pin_cpu = -1;
+  };
+
+  /// Invoked on the receiver thread with every datagram the kernel had
+  /// queued (one syscall's worth).  Replaces the per-packet handler.
+  using BatchReceiveHandler = std::function<void(std::span<const RxPacket>)>;
+
+  /// Stable identifier of the engaged strategy ("portable", "uring",
+  /// "sim"); metrics carry it as the `backend` label.
+  virtual std::string_view backend_name() const = 0;
+
+  /// Datagrams one receive/send syscall (or ring submission) can carry.
+  virtual std::size_t batch_slots() const = 0;
+
+  /// Sends the whole batch with as few syscalls as the strategy allows.
+  /// Returns the number of datagrams the kernel accepted; the shortfall
+  /// is counted in the backend's tx error metric.
+  virtual std::size_t send_batch(std::span<const TxPacket> packets) = 0;
+
+  /// Batch intake: when set, the receiver thread delivers whole kernel
+  /// bursts through this handler instead of the per-packet one.
+  virtual void set_batch_receive_handler(BatchReceiveHandler handler) = 0;
+
+  /// Joins the receiver thread; the socket stays open for send().  Used
+  /// by the runtimes' drain sequence (stop intake, keep answering) and
+  /// idempotent — destructors call it too.
+  virtual void stop_receiving() = 0;
+
+  /// Value snapshot of the traffic counters (atomics — no lock taken).
+  virtual TrafficStats stats() const = 0;
+};
+
+/// Binds a backend of the resolved kind on 127.0.0.1.  A uring request
+/// degrades to portable (with a logged warning) when io_uring is not
+/// compiled in or the kernel refuses the ring; every other bind error is
+/// returned as-is.
+util::Result<std::unique_ptr<IoBackend>> bind_io_backend(
+    IoBackendKind kind, const IoBackend::Options& options);
+
+/// True when the io_uring backend was compiled in (the build saw
+/// <linux/io_uring.h>).
+bool uring_compiled();
+
+/// ok_status() when a uring backend can actually serve on this kernel
+/// (probed by setting up and tearing down a real ring); otherwise the
+/// reason — callers print it as an explicit SKIP.
+util::Status uring_runtime_probe();
+
+/// Pins the calling thread to `cpu` (no-op, returning false, when
+/// unsupported or cpu < 0).
+bool pin_current_thread_to_cpu(int cpu);
+
+namespace detail {
+/// Opens + binds the loopback UDP socket every backend serves: applies
+/// reuseport/buffer options, SO_RXQ_OVFL drop accounting and the 50 ms
+/// receive timeout that bounds shutdown latency.  Returns the fd and
+/// fills `local` with the bound endpoint.
+util::Result<int> open_udp_socket(const IoBackend::Options& options,
+                                  Endpoint* local);
+}  // namespace detail
+
+}  // namespace dnscup::net

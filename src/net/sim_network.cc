@@ -11,7 +11,8 @@ SimTransport::SimTransport(SimNetwork* network, Endpoint local)
   // The owning network's instance id disambiguates transports bound to
   // the same endpoint in different networks (common in test fixtures).
   stats_.register_in(metrics::resolve(network_->registry_),
-                     network_->instance_ + "/" + local_.to_string());
+                     network_->instance_ + "/" + local_.to_string(), "sim",
+                     1);
 }
 
 void SimTransport::send(const Endpoint& to, std::span<const uint8_t> data) {

@@ -44,31 +44,42 @@ struct TrafficStats {
   std::size_t max_packet_bytes = 0;
 };
 
-/// Registry-backed counterpart of TrafficStats shared by both transports:
-/// transport_packets{dir=tx|rx} / transport_bytes{dir=tx|rx} counters and a
-/// transport_max_packet_bytes high-water gauge, all labeled with the local
-/// endpoint.  Detached (registry-invisible) until register_in is called.
-/// Counter/Gauge cells are relaxed atomics, so a UdpTransport may bump the
-/// rx side from its receiver thread while protocol code bumps tx — no lock
-/// is required around increments or snapshot().
+/// Registry-backed counterpart of TrafficStats shared by all transports:
+/// transport_packets{dir=tx|rx} / transport_bytes{dir=tx|rx} counters, a
+/// transport_max_packet_bytes high-water gauge and a transport_batch_slots
+/// gauge, all labeled with the local endpoint and the I/O backend that
+/// serves it ("portable", "uring", "sim") — a metrics snapshot names the
+/// engaged backend and its batch geometry, so BENCH files and scrapes are
+/// self-describing.  Detached (registry-invisible) until register_in is
+/// called.  Counter/Gauge cells are relaxed atomics, so a backend may bump
+/// the rx side from its receiver thread while protocol code bumps tx — no
+/// lock is required around increments or snapshot().
 struct TrafficInstruments {
   metrics::Counter packets_sent;
   metrics::Counter packets_received;
   metrics::Counter bytes_sent;
   metrics::Counter bytes_received;
   metrics::Gauge max_packet_bytes;
+  metrics::Gauge batch_slots;
 
   void register_in(metrics::MetricsRegistry& registry,
-                   const std::string& endpoint) {
+                   const std::string& endpoint, const std::string& backend,
+                   std::size_t batch) {
     auto labeled = [&](const char* dir) {
-      return metrics::Labels{{"dir", dir}, {"endpoint", endpoint}};
+      return metrics::Labels{
+          {"backend", backend}, {"dir", dir}, {"endpoint", endpoint}};
     };
     packets_sent = registry.counter("transport_packets", labeled("tx"));
     packets_received = registry.counter("transport_packets", labeled("rx"));
     bytes_sent = registry.counter("transport_bytes", labeled("tx"));
     bytes_received = registry.counter("transport_bytes", labeled("rx"));
-    max_packet_bytes = registry.gauge("transport_max_packet_bytes",
-                                      {{"endpoint", endpoint}});
+    max_packet_bytes = registry.gauge(
+        "transport_max_packet_bytes",
+        {{"backend", backend}, {"endpoint", endpoint}});
+    batch_slots = registry.gauge(
+        "transport_batch_slots",
+        {{"backend", backend}, {"endpoint", endpoint}});
+    batch_slots.set(static_cast<double>(batch));
   }
 
   TrafficStats snapshot() const {

@@ -18,8 +18,6 @@
 namespace dnscup::net {
 
 namespace {
-constexpr uint32_t kLoopbackIp = 0x7F000001;  // 127.0.0.1
-
 /// Datagrams per sendmmsg/recvmmsg syscall.
 constexpr std::size_t kBatchSlots = 64;
 /// Bytes per batch receive slot — generous for this protocol, whose
@@ -41,70 +39,14 @@ sockaddr_in make_addr(const Endpoint& ep) {
 
 util::Result<std::unique_ptr<UdpTransport>> UdpTransport::bind(
     const Options& options) {
-  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
-  if (fd < 0) {
-    return util::make_error(util::ErrorCode::kIo,
-                            std::string("socket: ") + std::strerror(errno));
-  }
-  if (options.reuseport) {
-#ifdef SO_REUSEPORT
-    const int one = 1;
-    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
-      const int err = errno;
-      ::close(fd);
-      return util::make_error(
-          util::ErrorCode::kUnsupported,
-          std::string("SO_REUSEPORT: ") + std::strerror(err));
-    }
-#else
-    ::close(fd);
-    return util::make_error(util::ErrorCode::kUnsupported,
-                            "SO_REUSEPORT not available on this platform");
-#endif
-  }
-  if (options.rcvbuf_bytes > 0) {
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &options.rcvbuf_bytes,
-                 sizeof options.rcvbuf_bytes);
-  }
-  if (options.sndbuf_bytes > 0) {
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options.sndbuf_bytes,
-                 sizeof options.sndbuf_bytes);
-  }
-#ifdef SO_RXQ_OVFL
-  {
-    // Ask the kernel to report receive-queue drops as ancillary data so
-    // the udp_rx_overflow counter reflects real loss, not just what we
-    // happened to read.
-    const int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_RXQ_OVFL, &one, sizeof one);
-  }
-#endif
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(kLoopbackIp);
-  addr.sin_port = htons(options.port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const int err = errno;
-    ::close(fd);
-    return util::make_error(util::ErrorCode::kIo,
-                            std::string("bind: ") + std::strerror(err));
-  }
-  socklen_t len = sizeof addr;
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    const int err = errno;
-    ::close(fd);
-    return util::make_error(util::ErrorCode::kIo,
-                            std::string("getsockname: ") + std::strerror(err));
-  }
-  // A short receive timeout lets the receiver thread notice shutdown.
-  timeval tv{};
-  tv.tv_usec = 50 * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-
-  Endpoint local{kLoopbackIp, ntohs(addr.sin_port)};
+  Endpoint local{};
+  auto fd = detail::open_udp_socket(options, &local);
+  if (!fd.ok()) return fd.error();
   return std::unique_ptr<UdpTransport>(
-      new UdpTransport(fd, local, options.metrics));
+      new UdpTransport(fd.value(), local, options));
 }
+
+std::size_t UdpTransport::batch_slots() const { return kBatchSlots; }
 
 util::Result<std::unique_ptr<UdpTransport>> UdpTransport::bind(
     uint16_t port, metrics::MetricsRegistry* metrics) {
@@ -114,13 +56,12 @@ util::Result<std::unique_ptr<UdpTransport>> UdpTransport::bind(
   return bind(options);
 }
 
-UdpTransport::UdpTransport(int fd, Endpoint local,
-                           metrics::MetricsRegistry* metrics)
-    : fd_(fd), local_(local) {
+UdpTransport::UdpTransport(int fd, Endpoint local, const Options& options)
+    : fd_(fd), local_(local), pin_cpu_(options.pin_cpu) {
   // Registration happens before the receiver thread starts, so the
   // (single-threaded) registry is never touched concurrently.
-  auto& registry = metrics::resolve(metrics);
-  stats_.register_in(registry, local_.to_string());
+  auto& registry = metrics::resolve(options.metrics);
+  stats_.register_in(registry, local_.to_string(), "portable", kBatchSlots);
   const metrics::Labels ep{{"endpoint", local_.to_string()}};
   rx_overflow_ = registry.counter("udp_rx_overflow", ep);
   rx_truncated_ = registry.counter("udp_rx_truncated", ep);
@@ -248,6 +189,7 @@ void UdpTransport::set_batch_receive_handler(BatchReceiveHandler handler) {
 }
 
 void UdpTransport::receive_loop() {
+  pin_current_thread_to_cpu(pin_cpu_);
 #ifdef __linux__
   // Batched intake: one recvmmsg drains the kernel's whole backlog (up
   // to kBatchSlots) per syscall.  MSG_WAITFORONE blocks for the first

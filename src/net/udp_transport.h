@@ -1,41 +1,30 @@
-// Real-socket UDP transport.  A background thread blocks on recvmsg and
-// hands datagrams to the receive handler; the handler pointer is the only
-// state behind the mutex.  Traffic counters are registry-backed atomics,
-// so send() is lock-free — protocol code may send from inside a receive
-// callback (the DNScup authority answers queries exactly there) without
-// serializing against stats reads.
+// Portable datagram I/O backend (the "portable" IoBackend): a background
+// thread blocks on recvmmsg/recvmsg and hands whole kernel bursts to the
+// batch receive handler; sends leave via sendto/sendmmsg.  Works on every
+// kernel and is the fallback every other backend degrades to.
 //
-// The sharded runtime (src/runtime) binds one such transport per worker
-// with SO_REUSEPORT so the kernel spreads query flows across workers;
-// everything deterministic still runs on SimNetwork.
+// The handler pointer is the only state behind the mutex.  Traffic
+// counters are registry-backed atomics, so send() is lock-free — protocol
+// code may send from inside a receive callback (the DNScup authority
+// answers queries exactly there) without serializing against stats reads.
+//
+// The sharded runtimes (src/runtime, src/cachert) bind one backend per
+// worker with SO_REUSEPORT so the kernel spreads query flows across
+// workers; everything deterministic still runs on SimNetwork.
 #pragma once
 
 #include <atomic>
 #include <mutex>
 #include <thread>
 
-#include "net/transport.h"
+#include "net/io_backend.h"
 #include "util/result.h"
 
 namespace dnscup::net {
 
-class UdpTransport final : public Transport {
+class UdpTransport final : public IoBackend {
  public:
-  struct Options {
-    uint16_t port = 0;       ///< 0 lets the OS pick (see local_endpoint())
-    /// Join a SO_REUSEPORT group: several transports bind the same port
-    /// and the kernel hashes query flows across them.  bind() fails with
-    /// kUnsupported on kernels without it so callers can fall back to
-    /// per-worker ports.
-    bool reuseport = false;
-    /// Socket buffer sizes in bytes; 0 keeps the OS default.  An honest
-    /// load test needs a known rx buffer plus the overflow counter below.
-    int rcvbuf_bytes = 0;
-    int sndbuf_bytes = 0;
-    /// Traffic counters register here (default_registry() when null),
-    /// labeled with the local endpoint.
-    metrics::MetricsRegistry* metrics = nullptr;
-  };
+  using Options = IoBackend::Options;
 
   /// Binds a UDP socket on 127.0.0.1 with the given options.
   static util::Result<std::unique_ptr<UdpTransport>> bind(
@@ -52,23 +41,14 @@ class UdpTransport final : public Transport {
   UdpTransport(const UdpTransport&) = delete;
   UdpTransport& operator=(const UdpTransport&) = delete;
 
-  /// One datagram in an outgoing batch; `data` is borrowed for the
-  /// duration of the send_batch call.
-  struct TxPacket {
-    Endpoint to;
-    std::span<const uint8_t> data;
-  };
-  /// One datagram in an incoming batch; `data` points into the
-  /// transport's receive buffers and is valid only inside the handler.
-  struct RxPacket {
-    Endpoint from;
-    std::span<const uint8_t> data;
-  };
-  /// Invoked on the receiver thread with every datagram the kernel had
-  /// queued (one recvmmsg worth).  Replaces the per-packet handler.
-  using BatchReceiveHandler = std::function<void(std::span<const RxPacket>)>;
+  // Aliases kept from before the IoBackend extraction; the packet types
+  // now live at net:: scope, shared by every backend.
+  using TxPacket = net::TxPacket;
+  using RxPacket = net::RxPacket;
 
   const Endpoint& local_endpoint() const override { return local_; }
+  std::string_view backend_name() const override { return "portable"; }
+  std::size_t batch_slots() const override;
 
   /// Single-datagram send with explicit failure handling: EAGAIN waits
   /// (bounded) for POLLOUT and retries, short writes and hard errors are
@@ -81,22 +61,22 @@ class UdpTransport final : public Transport {
   /// Returns the number of datagrams handed to the kernel; the shortfall
   /// is counted in udp_tx_errors.  Batch size and flush latency feed the
   /// udp_tx_batch_size / udp_tx_flush_us histograms.
-  std::size_t send_batch(std::span<const TxPacket> packets);
+  std::size_t send_batch(std::span<const TxPacket> packets) override;
 
   void set_receive_handler(ReceiveHandler handler) override;
 
   /// Batch intake: when set, the receiver thread delivers whole kernel
   /// bursts (recvmmsg with MSG_WAITFORONE on Linux) through this handler
   /// instead of the per-packet one.  Burst sizes feed udp_rx_batch_size.
-  void set_batch_receive_handler(BatchReceiveHandler handler);
+  void set_batch_receive_handler(BatchReceiveHandler handler) override;
 
   /// Joins the receiver thread; the socket stays open for send().  Used
   /// by the runtime's drain sequence (stop intake, keep answering) and
   /// idempotent — the destructor calls it too.
-  void stop_receiving();
+  void stop_receiving() override;
 
   /// Value snapshot of the traffic counters (atomics — no lock taken).
-  TrafficStats stats() const;
+  TrafficStats stats() const override;
 
   /// Datagrams the kernel dropped because the socket's receive queue was
   /// full (SO_RXQ_OVFL ancillary data; stays 0 where unsupported).
@@ -114,7 +94,7 @@ class UdpTransport final : public Transport {
   uint64_t rx_truncated() const { return rx_truncated_.value(); }
 
  private:
-  UdpTransport(int fd, Endpoint local, metrics::MetricsRegistry* metrics);
+  UdpTransport(int fd, Endpoint local, const Options& options);
   void receive_loop();
   /// Blocks (bounded) until the socket is writable after EAGAIN.
   void wait_writable();
@@ -122,6 +102,7 @@ class UdpTransport final : public Transport {
 
   int fd_;
   Endpoint local_;
+  int pin_cpu_ = -1;
   std::atomic<bool> stopping_{false};
   mutable std::mutex handler_mutex_;  // guards handler_ / batch_handler_
   ReceiveHandler handler_;

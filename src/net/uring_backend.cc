@@ -1,0 +1,590 @@
+#include "net/uring_backend.h"
+
+#ifdef DNSCUP_HAVE_IO_URING
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace dnscup::net {
+
+namespace {
+
+constexpr unsigned kBufGroup = 0;
+constexpr uint64_t kRecvUserData = ~0ULL;
+constexpr uint64_t kProvideUserData = ~0ULL - 1;
+constexpr int kMaxEagainRetries = 8;
+constexpr int kPollOutTimeoutMs = 10;
+constexpr long kWaitTimeoutNs = 50 * 1000 * 1000;  // mirrors SO_RCVTIMEO
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_register(int fd, unsigned opcode, const void* arg,
+                          unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+sockaddr_in make_addr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(ep.ip);
+  addr.sin_port = htons(ep.port);
+  return addr;
+}
+
+util::Error unsupported(const char* what, int err) {
+  return util::make_error(
+      util::ErrorCode::kUnsupported,
+      std::string(what) + ": " + std::strerror(err));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Ring: minimal single-mmap io_uring wrapper (no liburing in the image).
+
+util::Status UringBackend::Ring::init(unsigned sq_entries,
+                                      unsigned cq_entries) {
+  io_uring_params p{};
+  p.flags = IORING_SETUP_CQSIZE | IORING_SETUP_CLAMP;
+  p.cq_entries = cq_entries;
+  fd = sys_io_uring_setup(sq_entries, &p);
+  if (fd < 0) return unsupported("io_uring_setup", errno);
+
+  // Single-mmap layout + EXT_ARG timed waits + lossless CQ: all present
+  // since 5.11, and this backend leans on each of them.
+  constexpr unsigned kNeeded = IORING_FEAT_SINGLE_MMAP |
+                               IORING_FEAT_NODROP | IORING_FEAT_EXT_ARG;
+  if ((p.features & kNeeded) != kNeeded) {
+    close_ring();
+    return util::make_error(util::ErrorCode::kUnsupported,
+                            "io_uring lacks SINGLE_MMAP/NODROP/EXT_ARG "
+                            "(kernel too old)");
+  }
+
+  const std::size_t sq_bytes =
+      p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  const std::size_t cq_bytes =
+      p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  ring_bytes = std::max(sq_bytes, cq_bytes);
+  ring_mmap = ::mmap(nullptr, ring_bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+  if (ring_mmap == MAP_FAILED) {
+    ring_mmap = nullptr;
+    close_ring();
+    return unsupported("io_uring ring mmap", errno);
+  }
+  sqe_bytes = p.sq_entries * sizeof(io_uring_sqe);
+  sqes = static_cast<io_uring_sqe*>(
+      ::mmap(nullptr, sqe_bytes, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES));
+  if (sqes == MAP_FAILED) {
+    sqes = nullptr;
+    close_ring();
+    return unsupported("io_uring sqe mmap", errno);
+  }
+
+  auto* base = static_cast<uint8_t*>(ring_mmap);
+  sq_head = reinterpret_cast<unsigned*>(base + p.sq_off.head);
+  sq_tail = reinterpret_cast<unsigned*>(base + p.sq_off.tail);
+  sq_mask = *reinterpret_cast<unsigned*>(base + p.sq_off.ring_mask);
+  sq_array = reinterpret_cast<unsigned*>(base + p.sq_off.array);
+  cq_head = reinterpret_cast<unsigned*>(base + p.cq_off.head);
+  cq_tail = reinterpret_cast<unsigned*>(base + p.cq_off.tail);
+  cq_mask = *reinterpret_cast<unsigned*>(base + p.cq_off.ring_mask);
+  cqes = reinterpret_cast<io_uring_cqe*>(base + p.cq_off.cqes);
+  return util::Status::ok_status();
+}
+
+void UringBackend::Ring::close_ring() {
+  if (sqes != nullptr) ::munmap(sqes, sqe_bytes);
+  if (ring_mmap != nullptr) ::munmap(ring_mmap, ring_bytes);
+  if (fd >= 0) ::close(fd);
+  sqes = nullptr;
+  ring_mmap = nullptr;
+  fd = -1;
+}
+
+io_uring_sqe* UringBackend::Ring::get_sqe() {
+  // Single producer per ring (receiver thread on rx, tx_mutex_ holder on
+  // tx); only the kernel-consumed head needs an acquire.
+  const unsigned head = __atomic_load_n(sq_head, __ATOMIC_ACQUIRE);
+  const unsigned tail = *sq_tail;
+  if (tail - head > sq_mask) return nullptr;  // ring full
+  io_uring_sqe* sqe = &sqes[tail & sq_mask];
+  std::memset(sqe, 0, sizeof *sqe);
+  sq_array[tail & sq_mask] = tail & sq_mask;
+  __atomic_store_n(sq_tail, tail + 1, __ATOMIC_RELEASE);
+  return sqe;
+}
+
+int UringBackend::Ring::enter(unsigned to_submit, unsigned min_complete,
+                              unsigned flags, const void* arg,
+                              std::size_t argsz) {
+  const long r = ::syscall(__NR_io_uring_enter, fd, to_submit, min_complete,
+                           flags, arg, argsz);
+  return r < 0 ? -errno : static_cast<int>(r);
+}
+
+// ---------------------------------------------------------------------
+// Bind / setup / teardown.
+
+util::Result<std::unique_ptr<UringBackend>> UringBackend::bind(
+    const Options& options) {
+  Endpoint local{};
+  auto fd = detail::open_udp_socket(options, &local);
+  if (!fd.ok()) return fd.error();
+  std::unique_ptr<UringBackend> backend(
+      new UringBackend(fd.value(), local, options));
+  if (auto status = backend->setup(options); !status.ok()) {
+    return status.error();  // backend dtor tears down what came up
+  }
+  backend->receiver_ = std::thread([b = backend.get()] { b->receive_loop(); });
+  return backend;
+}
+
+UringBackend::UringBackend(int fd, Endpoint local, const Options& options)
+    : fd_(fd), local_(local), pin_cpu_(options.pin_cpu) {
+  auto& registry = metrics::resolve(options.metrics);
+  stats_.register_in(registry, local_.to_string(), "uring", kTxSlots);
+  // Same instrument names as the portable backend: the `backend` label
+  // distinguishes them, and cross-backend sums stay meaningful.
+  const metrics::Labels ep{{"backend", "uring"},
+                           {"endpoint", local_.to_string()}};
+  rx_overflow_ = registry.counter("udp_rx_overflow", ep);
+  rx_truncated_ = registry.counter("udp_rx_truncated", ep);
+  tx_eagain_ = registry.counter("udp_tx_eagain_waits", ep);
+  tx_errors_ = registry.counter("udp_tx_errors", ep);
+  rx_batch_size_ = registry.histogram("udp_rx_batch_size", ep);
+  tx_batch_size_ = registry.histogram("udp_tx_batch_size", ep);
+  tx_flush_us_ = registry.histogram("udp_tx_flush_us", ep);
+  tx_addrs_.resize(kTxSlots);
+  tx_iovs_.resize(kTxSlots);
+  tx_msgs_.resize(kTxSlots);
+}
+
+util::Status UringBackend::setup(const Options& options) {
+  (void)options;
+  // rx ring: at most one armed SQE, but CQ bursts of one CQE per
+  // datagram; tx ring: one SQE per datagram in a batch.
+  DNSCUP_TRY(rx_ring_.init(8, 2 * kRxBufCount));
+  DNSCUP_TRY(tx_ring_.init(kTxSlots, 2 * kTxSlots));
+
+  // Provided-buffer group: one PROVIDE_BUFFERS op hands the kernel the
+  // whole pool-slot-sized slab (contiguous slots, bid == slot index);
+  // its inline completion tells us right here whether the kernel
+  // supports buffer groups at all.
+  rx_slab_.resize(kRxBufCount * kRxSlotBytes);
+  recycle_bids_.reserve(kRxBufCount);
+  io_uring_sqe* sqe = rx_ring_.get_sqe();
+  DNSCUP_ASSERT(sqe != nullptr);  // fresh ring, SQ is empty
+  fill_provide_sqe(sqe, 0, kRxBufCount);
+  int r;
+  while ((r = rx_ring_.enter(1, 1, IORING_ENTER_GETEVENTS, nullptr, 0)) ==
+         -EINTR) {
+  }
+  if (r < 0) return unsupported("PROVIDE_BUFFERS submit", -r);
+  {
+    const unsigned head = *rx_ring_.cq_head;
+    const unsigned tail = __atomic_load_n(rx_ring_.cq_tail, __ATOMIC_ACQUIRE);
+    for (unsigned i = head; i != tail; ++i) {
+      const io_uring_cqe& cqe = rx_ring_.cqes[i & rx_ring_.cq_mask];
+      if (cqe.user_data == kProvideUserData && cqe.res < 0) {
+        __atomic_store_n(rx_ring_.cq_head, tail, __ATOMIC_RELEASE);
+        return unsupported("IORING_OP_PROVIDE_BUFFERS", -cqe.res);
+      }
+    }
+    __atomic_store_n(rx_ring_.cq_head, tail, __ATOMIC_RELEASE);
+  }
+
+  // Arm the multishot receive; an unsupported combination (pre-6.0
+  // kernel) rejects it with an inline error CQE we can see right here.
+  arm_multishot();
+  const unsigned head = *rx_ring_.cq_head;
+  const unsigned tail = __atomic_load_n(rx_ring_.cq_tail, __ATOMIC_ACQUIRE);
+  for (unsigned i = head; i != tail; ++i) {
+    const io_uring_cqe& cqe = rx_ring_.cqes[i & rx_ring_.cq_mask];
+    if (cqe.user_data == kRecvUserData && cqe.res < 0) {
+      __atomic_store_n(rx_ring_.cq_head, tail, __ATOMIC_RELEASE);
+      return unsupported("multishot recvmsg", -cqe.res);
+    }
+  }
+  return util::Status::ok_status();
+}
+
+void UringBackend::teardown() {
+  // The provided-buffer group dies with the ring fd; nothing to
+  // unregister separately.
+  rx_ring_.close_ring();
+  tx_ring_.close_ring();
+}
+
+UringBackend::~UringBackend() {
+  stop_receiving();
+  teardown();
+  ::close(fd_);
+}
+
+void UringBackend::stop_receiving() {
+  stopping_.store(true);
+  if (receiver_.joinable()) receiver_.join();
+}
+
+TrafficStats UringBackend::stats() const { return stats_.snapshot(); }
+
+void UringBackend::set_receive_handler(ReceiveHandler handler) {
+  std::lock_guard lock(handler_mutex_);
+  handler_ = std::move(handler);
+}
+
+void UringBackend::set_batch_receive_handler(BatchReceiveHandler handler) {
+  std::lock_guard lock(handler_mutex_);
+  batch_handler_ = std::move(handler);
+}
+
+// ---------------------------------------------------------------------
+// Receive path.
+
+void UringBackend::arm_multishot() {
+  rx_msghdr_ = msghdr{};
+  // No iovec: the kernel picks a provided buffer per datagram and lays
+  // out recvmsg_out header + name + control + payload inside it.
+  rx_msghdr_.msg_namelen = kRxNameSpace;
+  rx_msghdr_.msg_controllen = kRxControlSpace;
+  io_uring_sqe* sqe = rx_ring_.get_sqe();
+  DNSCUP_ASSERT(sqe != nullptr);  // rx SQ holds 8, we arm one at a time
+  sqe->opcode = IORING_OP_RECVMSG;
+  sqe->fd = fd_;
+  sqe->addr = reinterpret_cast<uint64_t>(&rx_msghdr_);
+  sqe->len = 1;
+  sqe->ioprio = IORING_RECV_MULTISHOT;
+  sqe->flags = IOSQE_BUFFER_SELECT;
+  sqe->buf_group = kBufGroup;
+  sqe->user_data = kRecvUserData;
+  while (rx_ring_.enter(1, 0, 0, nullptr, 0) == -EINTR) {
+  }
+}
+
+void UringBackend::fill_provide_sqe(io_uring_sqe* sqe, unsigned first_bid,
+                                    unsigned count) {
+  sqe->opcode = IORING_OP_PROVIDE_BUFFERS;
+  sqe->fd = static_cast<int>(count);
+  sqe->addr = reinterpret_cast<uint64_t>(
+      rx_slab_.data() + std::size_t{first_bid} * kRxSlotBytes);
+  sqe->len = kRxSlotBytes;
+  sqe->off = first_bid;  // bids assigned sequentially from here
+  sqe->buf_group = kBufGroup;
+  sqe->user_data = kProvideUserData;
+}
+
+void UringBackend::recycle_rx_buffer(unsigned bid) {
+  recycle_bids_.push_back(bid);
+}
+
+void UringBackend::publish_rx_buffers() {
+  if (recycle_bids_.empty()) return;
+  // Multishot hands buffers out in provide order, so a drained burst is
+  // mostly consecutive bids: sort and collapse each run into one SQE.
+  std::sort(recycle_bids_.begin(), recycle_bids_.end());
+  unsigned filled = 0;
+  std::size_t i = 0;
+  while (i < recycle_bids_.size()) {
+    const unsigned first = recycle_bids_[i];
+    unsigned count = 1;
+    while (i + count < recycle_bids_.size() &&
+           recycle_bids_[i + count] == first + count) {
+      ++count;
+    }
+    i += count;
+    io_uring_sqe* sqe = rx_ring_.get_sqe();
+    if (sqe == nullptr) {
+      // SQ full (it only holds 8): flush what we queued, then retry.
+      while (rx_ring_.enter(filled, 0, 0, nullptr, 0) == -EINTR) {
+      }
+      filled = 0;
+      sqe = rx_ring_.get_sqe();
+      DNSCUP_ASSERT(sqe != nullptr);
+    }
+    fill_provide_sqe(sqe, first, count);
+    ++filled;
+  }
+  while (rx_ring_.enter(filled, 0, 0, nullptr, 0) == -EINTR) {
+  }
+  recycle_bids_.clear();
+}
+
+void UringBackend::receive_loop() {
+  pin_current_thread_to_cpu(pin_cpu_);
+  std::vector<RxPacket> batch;
+  std::vector<unsigned> consumed_bids;
+  batch.reserve(kRxBufCount);
+  consumed_bids.reserve(kRxBufCount);
+  while (!stopping_.load()) {
+    unsigned head = *rx_ring_.cq_head;
+    unsigned tail = __atomic_load_n(rx_ring_.cq_tail, __ATOMIC_ACQUIRE);
+    if (head == tail) {
+      // Bounded wait so shutdown is noticed: EXT_ARG carries a 50 ms
+      // timeout into the GETEVENTS sleep.
+      __kernel_timespec ts{};
+      ts.tv_nsec = kWaitTimeoutNs;
+      io_uring_getevents_arg arg{};
+      arg.ts = reinterpret_cast<uint64_t>(&ts);
+      const int r =
+          rx_ring_.enter(0, 1, IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG,
+                         &arg, sizeof arg);
+      if (r < 0 && r != -ETIME && r != -EINTR && r != -EAGAIN &&
+          r != -EBUSY) {
+        break;  // ring torn down under us: fatal
+      }
+      tail = __atomic_load_n(rx_ring_.cq_tail, __ATOMIC_ACQUIRE);
+      if (head == tail) continue;
+    }
+
+    batch.clear();
+    consumed_bids.clear();
+    bool rearm = false;
+    for (; head != tail; ++head) {
+      const io_uring_cqe& cqe = rx_ring_.cqes[head & rx_ring_.cq_mask];
+      if (cqe.user_data == kProvideUserData) {
+        if (cqe.res < 0) {
+          // Should not happen after setup validated the op; the slots in
+          // that run are gone until restart, so say so.
+          DNSCUP_LOG_WARN("uring PROVIDE_BUFFERS failed (%s): rx slots lost",
+                          std::strerror(-cqe.res));
+        }
+        continue;
+      }
+      if (cqe.user_data != kRecvUserData) continue;
+      if ((cqe.flags & IORING_CQE_F_MORE) == 0) rearm = true;
+      if (cqe.res < 0) continue;  // -ENOBUFS etc: rearm handles it
+      if ((cqe.flags & IORING_CQE_F_BUFFER) == 0) continue;
+      const unsigned bid = cqe.flags >> IORING_CQE_BUFFER_SHIFT;
+      consumed_bids.push_back(bid);
+      uint8_t* slot = rx_slab_.data() + std::size_t{bid} * kRxSlotBytes;
+      if (static_cast<std::size_t>(cqe.res) < sizeof(io_uring_recvmsg_out)) {
+        continue;
+      }
+      auto* out = reinterpret_cast<io_uring_recvmsg_out*>(slot);
+#ifdef SO_RXQ_OVFL
+      if (out->controllen > 0) {
+        // The control area sits between name space and payload; walk it
+        // with a scratch msghdr so CMSG_* macros apply.
+        msghdr scratch{};
+        scratch.msg_control = slot + sizeof(io_uring_recvmsg_out) +
+                              kRxNameSpace;
+        scratch.msg_controllen = out->controllen;
+        for (cmsghdr* cmsg = CMSG_FIRSTHDR(&scratch); cmsg != nullptr;
+             cmsg = CMSG_NXTHDR(&scratch, cmsg)) {
+          if (cmsg->cmsg_level == SOL_SOCKET &&
+              cmsg->cmsg_type == SO_RXQ_OVFL) {
+            uint32_t dropped = 0;
+            std::memcpy(&dropped, CMSG_DATA(cmsg), sizeof dropped);
+            if (dropped > last_overflow_) {
+              rx_overflow_ += dropped - last_overflow_;
+            }
+            last_overflow_ = dropped;
+          }
+        }
+      }
+#endif
+      if ((out->flags & MSG_TRUNC) != 0) {
+        ++rx_truncated_;  // datagram larger than a 2 KiB slot: drop
+        continue;
+      }
+      const std::size_t stored =
+          static_cast<std::size_t>(cqe.res) - sizeof(io_uring_recvmsg_out) -
+          kRxNameSpace - kRxControlSpace;
+      const std::size_t len =
+          std::min<std::size_t>(out->payloadlen, stored);
+      sockaddr_in from{};
+      std::memcpy(&from, slot + sizeof(io_uring_recvmsg_out),
+                  std::min<std::size_t>(out->namelen, sizeof from));
+      ++stats_.packets_received;
+      stats_.bytes_received += len;
+      batch.push_back(RxPacket{
+          Endpoint{ntohl(from.sin_addr.s_addr), ntohs(from.sin_port)},
+          std::span<const uint8_t>(
+              slot + sizeof(io_uring_recvmsg_out) + kRxNameSpace +
+                  kRxControlSpace,
+              len)});
+    }
+    __atomic_store_n(rx_ring_.cq_head, head, __ATOMIC_RELEASE);
+
+    if (!batch.empty()) {
+      rx_batch_size_.add(static_cast<double>(batch.size()));
+      BatchReceiveHandler batch_handler;
+      ReceiveHandler handler;
+      {
+        std::lock_guard lock(handler_mutex_);
+        batch_handler = batch_handler_;
+        handler = handler_;
+      }
+      if (batch_handler) {
+        batch_handler(std::span<const RxPacket>(batch));
+      } else if (handler) {
+        for (const RxPacket& p : batch) handler(p.from, p.data);
+      }
+    }
+    // The handler has returned: every span is dead, so the buffers can
+    // go back to the kernel in one tail publish.
+    for (const unsigned bid : consumed_bids) recycle_rx_buffer(bid);
+    publish_rx_buffers();
+    if (rearm && !stopping_.load()) arm_multishot();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Send path.
+
+void UringBackend::count_sent(std::size_t requested, std::size_t accepted) {
+  ++stats_.packets_sent;
+  stats_.bytes_sent += static_cast<uint64_t>(accepted);
+  stats_.max_packet_bytes.set_max(static_cast<double>(requested));
+}
+
+void UringBackend::wait_writable() {
+  pollfd p{};
+  p.fd = fd_;
+  p.events = POLLOUT;
+  ::poll(&p, 1, kPollOutTimeoutMs);  // bounded; timeout just retries
+}
+
+std::size_t UringBackend::submit_tx_batch(std::span<const TxPacket> packets) {
+  const std::size_t n = packets.size();
+  DNSCUP_ASSERT(n <= kTxSlots);
+  for (std::size_t i = 0; i < n; ++i) {
+    tx_addrs_[i] = make_addr(packets[i].to);
+    tx_iovs_[i] = {const_cast<uint8_t*>(packets[i].data.data()),
+                   packets[i].data.size()};
+    tx_msgs_[i] = msghdr{};
+    tx_msgs_[i].msg_name = &tx_addrs_[i];
+    tx_msgs_[i].msg_namelen = sizeof tx_addrs_[i];
+    tx_msgs_[i].msg_iov = &tx_iovs_[i];
+    tx_msgs_[i].msg_iovlen = 1;
+  }
+
+  std::size_t accepted = 0;
+  // Indices still to (re)offer; starts as the whole batch, shrinks to
+  // the EAGAIN stragglers on each retry round.
+  std::vector<std::size_t> pending(n);
+  for (std::size_t i = 0; i < n; ++i) pending[i] = i;
+  std::vector<std::size_t> retry;
+  int eagain_budget = kMaxEagainRetries;
+
+  while (!pending.empty()) {
+    for (const std::size_t i : pending) {
+      io_uring_sqe* sqe = tx_ring_.get_sqe();
+      DNSCUP_ASSERT(sqe != nullptr);  // batch chunked to the SQ size
+      sqe->opcode = IORING_OP_SENDMSG;
+      sqe->fd = fd_;
+      sqe->addr = reinterpret_cast<uint64_t>(&tx_msgs_[i]);
+      sqe->len = 1;
+      sqe->user_data = static_cast<uint64_t>(i);
+    }
+    // One syscall submits the whole round and waits for every
+    // completion: the packet spans are borrowed only until we return.
+    unsigned submitted = 0;
+    const auto want = static_cast<unsigned>(pending.size());
+    while (submitted < want) {
+      const int r = tx_ring_.enter(want - submitted, want,
+                                   IORING_ENTER_GETEVENTS, nullptr, 0);
+      if (r == -EINTR || r == -EAGAIN || r == -EBUSY) continue;
+      if (r < 0) break;  // ring failure: CQ drain below sees what landed
+      submitted += static_cast<unsigned>(r);
+    }
+    // Wait for the full round (enter above may return once min_complete
+    // was already satisfied by an earlier partial submit).
+    unsigned completed = 0;
+    retry.clear();
+    while (completed < want) {
+      unsigned head = *tx_ring_.cq_head;
+      unsigned tail = __atomic_load_n(tx_ring_.cq_tail, __ATOMIC_ACQUIRE);
+      if (head == tail) {
+        const int r = tx_ring_.enter(0, want - completed,
+                                     IORING_ENTER_GETEVENTS, nullptr, 0);
+        if (r < 0 && r != -EINTR && r != -EAGAIN && r != -EBUSY) break;
+        continue;
+      }
+      for (; head != tail; ++head) {
+        const io_uring_cqe& cqe = tx_ring_.cqes[head & tx_ring_.cq_mask];
+        const auto i = static_cast<std::size_t>(cqe.user_data);
+        ++completed;
+        if (cqe.res >= 0) {
+          count_sent(packets[i].data.size(),
+                     static_cast<std::size_t>(cqe.res));
+          ++accepted;
+        } else if (cqe.res == -EAGAIN || cqe.res == -EWOULDBLOCK) {
+          retry.push_back(i);
+        } else {
+          ++tx_errors_;  // hard error: drop, keep serving
+        }
+      }
+      __atomic_store_n(tx_ring_.cq_head, head, __ATOMIC_RELEASE);
+    }
+    if (retry.empty()) break;
+    if (eagain_budget-- <= 0) {
+      tx_errors_ += retry.size();  // buffer stayed full: drop the rest
+      break;
+    }
+    ++tx_eagain_;
+    wait_writable();
+    pending.swap(retry);
+  }
+  return accepted;
+}
+
+std::size_t UringBackend::send_batch(std::span<const TxPacket> packets) {
+  if (packets.empty()) return 0;
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t sent = 0;
+  {
+    std::lock_guard lock(tx_mutex_);
+    for (std::size_t cursor = 0; cursor < packets.size();
+         cursor += kTxSlots) {
+      const std::size_t n = std::min(kTxSlots, packets.size() - cursor);
+      sent += submit_tx_batch(packets.subspan(cursor, n));
+    }
+  }
+  tx_batch_size_.add(static_cast<double>(packets.size()));
+  tx_flush_us_.add(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return sent;
+}
+
+void UringBackend::send(const Endpoint& to, std::span<const uint8_t> data) {
+  const TxPacket packet{to, data};
+  std::lock_guard lock(tx_mutex_);
+  submit_tx_batch(std::span<const TxPacket>(&packet, 1));
+}
+
+// ---------------------------------------------------------------------
+
+util::Status uring_runtime_probe() {
+  metrics::MetricsRegistry scratch;
+  IoBackend::Options options;
+  options.metrics = &scratch;
+  auto bound = UringBackend::bind(options);
+  if (!bound.ok()) return bound.error();
+  bound.value()->stop_receiving();
+  return util::Status::ok_status();
+}
+
+}  // namespace dnscup::net
+
+#endif  // DNSCUP_HAVE_IO_URING

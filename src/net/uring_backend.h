@@ -1,0 +1,184 @@
+// io_uring datagram backend (the "uring" IoBackend).
+//
+// Receive path: one multishot IORING_OP_RECVMSG stays armed on the
+// socket; the kernel picks destination buffers from a registered
+// provided-buffer group whose slots are sized exactly like the
+// runtime's BufferPool slots (2 KiB), writes each datagram straight
+// into the slab and posts one CQE per datagram.  The receiver thread
+// drains the CQ in bursts, hands the whole burst to the batch handler
+// as spans into the registered slab (the handler's copy into its
+// worker's pool slot is the only copy on the path, same as the portable
+// backend — but the kernel side needs no per-datagram syscall and no
+// buffer repointing), then recycles the buffers with coalesced
+// IORING_OP_PROVIDE_BUFFERS submissions (consecutive slot runs collapse
+// into one SQE).  The classic provided-buffer group is used instead of
+// the newer IORING_REGISTER_PBUF_RING ring: kernels exist (observed in
+// this project's CI image) that accept the ring registration yet never
+// serve buffers from it — every buffer-select receive fails ENOBUFS —
+// while the classic group works everywhere multishot recvmsg does.
+// Waits are bounded (50 ms, IORING_ENTER_EXT_ARG) so shutdown is
+// prompt.
+//
+// Send path: a second, mutex-guarded ring.  send_batch() fills one
+// IORING_OP_SENDMSG SQE per datagram and issues a single
+// submit-and-wait io_uring_enter for the whole batch — the datagram
+// spans are only borrowed until send_batch returns, so the call waits
+// for the kernel's completions (UDP sendmsg completes inline; the wait
+// is the same syscall that submits).  EAGAIN retries are bounded and
+// counted exactly like the portable backend's.
+//
+// Everything is raw syscalls (io_uring_setup/enter/register) against
+// <linux/io_uring.h>; the build gates this file on that header
+// (DNSCUP_HAVE_IO_URING) and bind() degrades to kUnsupported — which
+// the factory turns into a portable fallback — when the running kernel
+// refuses the ring, the buffer provisioning, or multishot recvmsg.
+#pragma once
+
+#ifdef DNSCUP_HAVE_IO_URING
+
+#include <linux/io_uring.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/io_backend.h"
+#include "util/result.h"
+
+namespace dnscup::net {
+
+class UringBackend final : public IoBackend {
+ public:
+  /// Datagram capacity of one ring submission (tx) / one armed multishot
+  /// round (rx buffers are recycled continuously).
+  static constexpr std::size_t kTxSlots = 64;
+  /// Provided rx buffers registered with the kernel (power of two).
+  static constexpr std::size_t kRxBufCount = 256;
+  /// Bytes per rx buffer — the runtime BufferPool's slot geometry.
+  static constexpr std::size_t kRxSlotBytes = 2048;
+
+  static util::Result<std::unique_ptr<UringBackend>> bind(
+      const Options& options);
+
+  ~UringBackend() override;
+
+  UringBackend(const UringBackend&) = delete;
+  UringBackend& operator=(const UringBackend&) = delete;
+
+  const Endpoint& local_endpoint() const override { return local_; }
+  std::string_view backend_name() const override { return "uring"; }
+  std::size_t batch_slots() const override { return kTxSlots; }
+
+  void send(const Endpoint& to, std::span<const uint8_t> data) override;
+  std::size_t send_batch(std::span<const TxPacket> packets) override;
+  void set_receive_handler(ReceiveHandler handler) override;
+  void set_batch_receive_handler(BatchReceiveHandler handler) override;
+  void stop_receiving() override;
+  TrafficStats stats() const override;
+
+  /// Datagrams the kernel dropped at the socket receive queue
+  /// (SO_RXQ_OVFL deltas, as on the portable backend).
+  uint64_t rx_overflow() const { return rx_overflow_.value(); }
+  /// Datagrams truncated into a 2 KiB rx buffer and dropped.
+  uint64_t rx_truncated() const { return rx_truncated_.value(); }
+  /// Sends that hit EAGAIN and waited for POLLOUT.
+  uint64_t tx_eagain_waits() const { return tx_eagain_.value(); }
+  /// Datagrams dropped on a hard send error or exhausted retry budget.
+  uint64_t tx_errors() const { return tx_errors_.value(); }
+
+ private:
+  /// One io_uring instance: fd + mapped SQ/CQ rings (single-mmap
+  /// layout) + SQE array.  Plain struct; UringBackend drives it.
+  struct Ring {
+    int fd = -1;
+    void* ring_mmap = nullptr;
+    std::size_t ring_bytes = 0;
+    io_uring_sqe* sqes = nullptr;
+    std::size_t sqe_bytes = 0;
+    unsigned* sq_head = nullptr;
+    unsigned* sq_tail = nullptr;
+    unsigned sq_mask = 0;
+    unsigned* sq_array = nullptr;
+    unsigned* cq_head = nullptr;
+    unsigned* cq_tail = nullptr;
+    unsigned cq_mask = 0;
+    io_uring_cqe* cqes = nullptr;
+
+    util::Status init(unsigned sq_entries, unsigned cq_entries);
+    void close_ring();
+    io_uring_sqe* get_sqe();
+    /// io_uring_enter wrapper; returns -errno on failure.
+    int enter(unsigned to_submit, unsigned min_complete, unsigned flags,
+              const void* arg, std::size_t argsz);
+  };
+
+  UringBackend(int fd, Endpoint local, const Options& options);
+  util::Status setup(const Options& options);
+  void teardown();
+  void receive_loop();
+  void arm_multishot();
+  /// Queues a consumed rx buffer for return to the kernel (submission
+  /// deferred to publish_rx_buffers()).
+  void recycle_rx_buffer(unsigned bid);
+  /// Hands every queued buffer back to the kernel's buffer group:
+  /// sorts the pending bids, coalesces consecutive runs into single
+  /// IORING_OP_PROVIDE_BUFFERS SQEs, and submits them.
+  void publish_rx_buffers();
+  /// Fills one PROVIDE_BUFFERS SQE covering `count` contiguous slots
+  /// starting at `first_bid`.
+  void fill_provide_sqe(io_uring_sqe* sqe, unsigned first_bid,
+                        unsigned count);
+  void count_sent(std::size_t requested, std::size_t accepted);
+  /// Blocks (bounded) until the socket is writable after EAGAIN.
+  void wait_writable();
+  /// Submits `count` prepared tx SQEs and waits for all completions;
+  /// returns datagrams the kernel accepted.  Caller holds tx_mutex_.
+  std::size_t submit_tx_batch(std::span<const TxPacket> packets);
+
+  int fd_;
+  Endpoint local_;
+  int pin_cpu_ = -1;
+
+  Ring rx_ring_;
+  Ring tx_ring_;
+
+  // Provided-buffer group: the backing slab the kernel writes datagrams
+  // into (bid == slot index) plus the receiver-thread-local list of
+  // consumed bids awaiting re-provision.
+  std::vector<uint8_t> rx_slab_;
+  std::vector<unsigned> recycle_bids_;
+
+  /// msghdr template for the multishot recvmsg: reserves name + control
+  /// space in every selected buffer.  Must outlive the armed SQE.
+  msghdr rx_msghdr_{};
+  static constexpr std::size_t kRxNameSpace = sizeof(sockaddr_in);
+  static constexpr std::size_t kRxControlSpace = 64;
+
+  std::atomic<bool> stopping_{false};
+  mutable std::mutex handler_mutex_;  // guards handler_ / batch_handler_
+  ReceiveHandler handler_;
+  BatchReceiveHandler batch_handler_;
+
+  std::mutex tx_mutex_;  ///< serializes tx-ring submission state
+  std::vector<sockaddr_in> tx_addrs_;
+  std::vector<iovec> tx_iovs_;
+  std::vector<msghdr> tx_msgs_;
+
+  TrafficInstruments stats_;
+  metrics::Counter rx_overflow_;
+  metrics::Counter rx_truncated_;
+  metrics::Counter tx_eagain_;
+  metrics::Counter tx_errors_;
+  metrics::HistogramMetric rx_batch_size_;
+  metrics::HistogramMetric tx_batch_size_;
+  metrics::HistogramMetric tx_flush_us_;
+  uint32_t last_overflow_ = 0;  ///< receiver-thread-only cumulative mark
+  std::thread receiver_;
+};
+
+}  // namespace dnscup::net
+
+#endif  // DNSCUP_HAVE_IO_URING

@@ -28,15 +28,26 @@ net::SimTime ServingRuntime::now_us() const {
       .count();
 }
 
+int ServingRuntime::pin_cpu_for(int index) const {
+  if (config_.pin_cpus.empty()) return -1;
+  return config_.pin_cpus[static_cast<std::size_t>(index) %
+                          config_.pin_cpus.size()];
+}
+
 util::Status ServingRuntime::bind_sockets() {
   const int n = config_.workers;
+  // Resolve once (kDefault consults DNSCUP_IO_BACKEND) so every worker
+  // binds the same backend and any env warning prints once.
+  const net::IoBackendKind kind =
+      net::resolve_io_backend_kind(config_.io_backend);
   auto options_for = [this](Worker& worker, uint16_t port, bool reuseport) {
-    net::UdpTransport::Options options;
+    net::IoBackend::Options options;
     options.port = port;
     options.reuseport = reuseport;
     options.rcvbuf_bytes = config_.rcvbuf_bytes;
     options.sndbuf_bytes = config_.sndbuf_bytes;
     options.metrics = &worker.registry;
+    options.pin_cpu = pin_cpu_for(worker.index);
     return options;
   };
 
@@ -44,25 +55,25 @@ util::Status ServingRuntime::bind_sockets() {
     bool unsupported = false;
     uint16_t group_port = config_.port;
     for (int i = 0; i < n; ++i) {
-      auto bound =
-          net::UdpTransport::bind(options_for(*workers_[i], group_port, true));
+      auto bound = net::bind_io_backend(
+          kind, options_for(*workers_[i], group_port, true));
       if (!bound.ok()) {
         if (bound.error().code == util::ErrorCode::kUnsupported) {
           // Kernel without SO_REUSEPORT: release what we bound and fall
           // back to one port per worker below.
           unsupported = true;
-          for (int j = 0; j < i; ++j) workers_[j]->udp.reset();
+          for (int j = 0; j < i; ++j) workers_[j]->io.reset();
           break;
         }
         return bound.error();
       }
-      workers_[i]->udp = std::move(bound).value();
+      workers_[i]->io = std::move(bound).value();
       // Port 0 resolves on the first bind; the rest join that group.
-      group_port = workers_[i]->udp->local_endpoint().port;
+      group_port = workers_[i]->io->local_endpoint().port;
     }
     if (!unsupported) {
       reuseport_active_ = true;
-      endpoints_ = {workers_[0]->udp->local_endpoint()};
+      endpoints_ = {workers_[0]->io->local_endpoint()};
       return util::Status::ok_status();
     }
   }
@@ -75,10 +86,11 @@ util::Status ServingRuntime::bind_sockets() {
   for (int i = 0; i < n; ++i) {
     const uint16_t port =
         config_.port == 0 ? 0 : static_cast<uint16_t>(config_.port + i);
-    auto bound = net::UdpTransport::bind(options_for(*workers_[i], port, false));
+    auto bound =
+        net::bind_io_backend(kind, options_for(*workers_[i], port, false));
     if (!bound.ok()) return bound.error();
-    workers_[i]->udp = std::move(bound).value();
-    endpoints_.push_back(workers_[i]->udp->local_endpoint());
+    workers_[i]->io = std::move(bound).value();
+    endpoints_.push_back(workers_[i]->io->local_endpoint());
   }
   return util::Status::ok_status();
 }
@@ -120,7 +132,7 @@ util::Result<std::unique_ptr<ServingRuntime>> ServingRuntime::start(
       std::max<std::size_t>(1, (cfg.storage_budget + n - 1) / n);
   for (int i = 0; i < n; ++i) {
     Worker& worker = *runtime->workers_[i];
-    worker.shim.udp = worker.udp.get();
+    worker.shim.io = worker.io.get();
     worker.inbox_dropped = worker.registry.counter(
         "runtime_inbox_dropped", {{"worker", std::to_string(i)}});
     worker.oversize_dropped = worker.registry.counter(
@@ -176,8 +188,8 @@ util::Result<std::unique_ptr<ServingRuntime>> ServingRuntime::start(
     // The receiver thread copies each datagram of a kernel burst into a
     // pool slot — the only copy on the receive path, into memory that is
     // never reallocated — and wakes the worker once per burst.
-    worker.udp->set_batch_receive_handler(
-        [&worker](std::span<const net::UdpTransport::RxPacket> batch) {
+    worker.io->set_batch_receive_handler(
+        [&worker](std::span<const net::RxPacket> batch) {
           for (const auto& packet : batch) {
             if (packet.data.size() > BufferPool::kSlotBytes) {
               worker.oversize_dropped.inc();
@@ -201,6 +213,9 @@ util::Result<std::unique_ptr<ServingRuntime>> ServingRuntime::start(
 }
 
 void ServingRuntime::worker_loop(Worker& worker) {
+  // Same CPU as the socket's receiver thread: the pool handoff stays on
+  // one cache domain when pinning is configured.
+  net::pin_current_thread_to_cpu(pin_cpu_for(worker.index));
   const std::size_t batch_size = config_.batch_size;
   std::deque<std::function<void()>> commands;
   // Steady state: serve one batch of pooled datagrams — responses
@@ -244,7 +259,7 @@ void ServingRuntime::stop() {
   if (!running_.exchange(false)) return;
   // 1. Stop intake: join the socket receiver threads.  The sockets stay
   //    open, so queued queries drained below can still be answered.
-  for (auto& worker : workers_) worker->udp->stop_receiving();
+  for (auto& worker : workers_) worker->io->stop_receiving();
   // 2. Drain and join the workers.
   for (auto& worker : workers_) {
     worker->stop.store(true, std::memory_order_release);

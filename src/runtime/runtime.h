@@ -47,7 +47,7 @@
 #include "core/dnscup_authority.h"
 #include "core/shard.h"
 #include "net/event_loop.h"
-#include "net/udp_transport.h"
+#include "net/io_backend.h"
 #include "runtime/buffer_pool.h"
 #include "runtime/journal_writer.h"
 #include "runtime/mpsc_queue.h"
@@ -69,6 +69,16 @@ struct Config {
   bool reuseport = true;
   int rcvbuf_bytes = 1 << 20;
   int sndbuf_bytes = 1 << 20;
+
+  /// Datagram I/O backend for every worker socket.  kDefault consults
+  /// DNSCUP_IO_BACKEND; an explicit kUring degrades to portable (with a
+  /// warning) when the kernel lacks what the uring backend needs.
+  net::IoBackendKind io_backend = net::IoBackendKind::kDefault;
+
+  /// Worker CPU affinity: worker i (its loop thread and its socket's
+  /// receiver thread) is pinned to pin_cpus[i % size].  Empty = no
+  /// pinning.
+  std::vector<int> pin_cpus;
 
   bool dnscup = true;
   bool round_robin = false;
@@ -129,6 +139,12 @@ class ServingRuntime {
   /// in fallback mode.
   const std::vector<net::Endpoint>& endpoints() const { return endpoints_; }
   bool reuseport_active() const { return reuseport_active_; }
+  /// Name of the I/O backend actually serving ("portable" or "uring" —
+  /// after any fallback).
+  std::string_view io_backend_name() const {
+    return workers_.empty() ? std::string_view{}
+                            : workers_.front()->io->backend_name();
+  }
   int workers() const { return static_cast<int>(workers_.size()); }
   const RecoverySummary& recovery() const { return recovery_; }
   bool durable() const { return writer_ != nullptr; }
@@ -173,7 +189,7 @@ class ServingRuntime {
     BufferPool pool;
     BoundedMpscQueue<std::function<void()>> commands;
     ShimTransport shim;
-    std::unique_ptr<net::UdpTransport> udp;
+    std::unique_ptr<net::IoBackend> io;
     std::unique_ptr<server::AuthServer> server;
     std::unique_ptr<core::DnscupAuthority> dnscup;
     metrics::Counter inbox_dropped;     ///< pool exhausted, datagram dropped
@@ -185,6 +201,8 @@ class ServingRuntime {
   explicit ServingRuntime(Config config);
 
   util::Status bind_sockets();
+  /// CPU for worker `index` per Config::pin_cpus (-1 = unpinned).
+  int pin_cpu_for(int index) const;
   void worker_loop(Worker& worker);
   /// Runs `fn` on worker `w` and waits.  After stop() the workers are
   /// quiescent and the closure runs inline on the caller.

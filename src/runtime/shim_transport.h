@@ -1,27 +1,28 @@
 // Batching transport facade shared by the serving runtimes (authority and
 // cache side).  While `batching` is on (a worker loop's steady state)
-// sends append into a reusable tx arena and leave as one sendmmsg when the
-// loop calls flush(); off the worker thread (and after drain) sends go
-// straight through to the underlying UDP socket.
+// sends append into a reusable tx arena and leave as one backend batch
+// (sendmmsg / io_uring submit) when the loop calls flush(); off the worker
+// thread (and after drain) sends go straight through to the underlying
+// datagram backend.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "net/io_backend.h"
 #include "net/transport.h"
-#include "net/udp_transport.h"
 
 namespace dnscup::runtime {
 
 class ShimTransport final : public net::Transport {
  public:
   const net::Endpoint& local_endpoint() const override {
-    return udp->local_endpoint();
+    return io->local_endpoint();
   }
   void send(const net::Endpoint& to,
             std::span<const uint8_t> data) override {
     if (!batching) {
-      udp->send(to, data);
+      io->send(to, data);
       return;
     }
     const std::size_t offset = tx_arena.size();
@@ -34,21 +35,23 @@ class ShimTransport final : public net::Transport {
 
   /// Sends everything buffered since the last flush as one batch.
   /// Entries carry offsets, not spans: the arena may reallocate while
-  /// a batch accumulates, so spans are built only here.
+  /// a batch accumulates, so spans are built only here.  The backend
+  /// only borrows the spans until send_batch returns (both backends
+  /// wait out their submissions), so the arena reset below is safe.
   void flush() {
     if (tx_entries.empty()) return;
     tx_packets.clear();
     for (const TxEntry& entry : tx_entries) {
-      tx_packets.push_back(net::UdpTransport::TxPacket{
+      tx_packets.push_back(net::TxPacket{
           entry.to, std::span<const uint8_t>(tx_arena.data() + entry.offset,
                                              entry.len)});
     }
-    udp->send_batch(tx_packets);
+    io->send_batch(tx_packets);
     tx_entries.clear();
     tx_arena.clear();  // keeps capacity: steady state reuses it
   }
 
-  net::UdpTransport* udp = nullptr;
+  net::IoBackend* io = nullptr;
   ReceiveHandler handler;
   bool batching = false;
 
@@ -60,7 +63,7 @@ class ShimTransport final : public net::Transport {
   };
   std::vector<uint8_t> tx_arena;
   std::vector<TxEntry> tx_entries;
-  std::vector<net::UdpTransport::TxPacket> tx_packets;
+  std::vector<net::TxPacket> tx_packets;
 };
 
 }  // namespace dnscup::runtime

@@ -252,17 +252,18 @@ Snapshot Snapshot::diff(const Snapshot& before, const Snapshot& after) {
 
 void Snapshot::merge(const Snapshot& other) {
   timestamp_us = std::max(timestamp_us, other.timestamp_us);
-  std::map<std::pair<std::string, Labels>, Entry*> mine;
-  for (auto& entry : entries) {
-    mine.emplace(std::make_pair(entry.name, entry.labels), &entry);
+  // Indices, not pointers: the push_back below may reallocate entries.
+  std::map<std::pair<std::string, Labels>, std::size_t> mine;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    mine.emplace(std::make_pair(entries[i].name, entries[i].labels), i);
   }
   for (const auto& entry : other.entries) {
     const auto it = mine.find({entry.name, entry.labels});
-    if (it == mine.end() || it->second->kind != entry.kind) {
+    if (it == mine.end() || entries[it->second].kind != entry.kind) {
       entries.push_back(entry);
       continue;
     }
-    Entry& target = *it->second;
+    Entry& target = entries[it->second];
     switch (entry.kind) {
       case InstrumentKind::kCounter:
         target.counter_value += entry.counter_value;

@@ -15,6 +15,7 @@
 
 #include "cachert/cache_runtime.h"
 #include "dns/zone_text.h"
+#include "net/udp_transport.h"
 #include "runtime/runtime.h"
 
 namespace dnscup {

@@ -1,0 +1,418 @@
+// I/O-backend conformance: the portable (recvmmsg/sendmmsg) and io_uring
+// backends must be byte-for-byte interchangeable.  A backend is pure
+// plumbing — the DNS bytes on the wire, the CACHE-UPDATE push flow and
+// the ack bookkeeping may not depend on which one carries them.
+//
+// Every uring case skips (with a visible message) when the kernel lacks
+// the io_uring features the backend needs, so the suite stays green on
+// old kernels while exercising both backends where it can.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cachert/cache_runtime.h"
+#include "dns/zone_text.h"
+#include "net/io_backend.h"
+#include "net/udp_transport.h"
+#include "runtime/runtime.h"
+
+namespace dnscup {
+namespace {
+
+bool uring_available() {
+  return net::uring_compiled() && net::uring_runtime_probe().ok();
+}
+
+#define SKIP_WITHOUT_URING()                                              \
+  do {                                                                    \
+    if (!uring_available()) {                                             \
+      GTEST_SKIP() << "io_uring backend unavailable on this kernel — "    \
+                      "parity checked against portable only";             \
+    }                                                                     \
+  } while (0)
+
+dns::Zone zone_with(const char* address, uint32_t serial, uint32_t ttl) {
+  char text[512];
+  std::snprintf(text, sizeof text,
+                "$ORIGIN example.com.\n"
+                "@ IN SOA ns1.example.com. admin.example.com. %u 7200 900 "
+                "604800 300\n"
+                "@ %u IN NS ns1.example.com.\n"
+                "ns1 %u IN A 10.0.0.1\n"
+                "www %u IN A %s\n",
+                serial, ttl, ttl, ttl, address);
+  auto zone =
+      dns::parse_zone_text(text, dns::Name::parse("example.com").value());
+  EXPECT_TRUE(zone.ok()) << (zone.ok() ? "" : zone.error().to_string());
+  return std::move(zone).value();
+}
+
+uint64_t counter_sum(const metrics::Snapshot& snapshot, const char* name,
+                     const char* key = nullptr,
+                     const char* value = nullptr) {
+  uint64_t total = 0;
+  for (const auto& entry : snapshot.entries) {
+    if (entry.kind != metrics::InstrumentKind::kCounter) continue;
+    if (entry.name != name) continue;
+    if (key != nullptr) {
+      bool match = false;
+      for (const auto& [k, v] : entry.labels) {
+        if (k == key && v == value) {
+          match = true;
+          break;
+        }
+      }
+      if (!match) continue;
+    }
+    total += entry.counter_value;
+  }
+  return total;
+}
+
+/// A raw-bytes stub client (always on the portable backend, so the
+/// variable under test is only the *server's* backend).  Sends pre-built
+/// wire images and records each response verbatim.
+class RawClient {
+ public:
+  RawClient() {
+    auto bound = net::UdpTransport::bind(0);
+    EXPECT_TRUE(bound.ok());
+    udp_ = std::move(bound).value();
+    udp_->set_receive_handler(
+        [this](const net::Endpoint&, std::span<const uint8_t> data) {
+          std::lock_guard lock(mutex_);
+          responses_.emplace_back(data.begin(), data.end());
+          cv_.notify_all();
+        });
+  }
+  ~RawClient() { udp_->stop_receiving(); }
+
+  /// Sends `wire` and blocks for the response whose id matches its first
+  /// two bytes.  Returns the raw response bytes (empty on timeout).
+  std::vector<uint8_t> exchange(const net::Endpoint& server,
+                                std::span<const uint8_t> wire) {
+    udp_->send(server, wire);
+    std::vector<uint8_t> response;
+    std::unique_lock lock(mutex_);
+    cv_.wait_for(lock, std::chrono::seconds(5), [&] {
+      for (const auto& bytes : responses_) {
+        if (bytes.size() >= 2 && bytes[0] == wire[0] && bytes[1] == wire[1]) {
+          response = bytes;
+          return true;
+        }
+      }
+      return false;
+    });
+    return response;
+  }
+
+ private:
+  std::unique_ptr<net::UdpTransport> udp_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::vector<uint8_t>> responses_;
+};
+
+std::vector<uint8_t> encode_query(uint16_t id, const char* name, bool ext) {
+  dns::Message query;
+  query.id = id;
+  query.flags.opcode = dns::Opcode::kQuery;
+  query.flags.rd = true;
+  query.flags.ext = ext;
+  query.questions.push_back(
+      dns::Question{dns::Name::parse(name).value(), dns::RRType::kA,
+                    dns::RRClass::kIN,
+                    ext ? dns::rrc_from_rate(10.0) : static_cast<uint16_t>(0)});
+  return query.encode();
+}
+
+// ---------------------------------------------------------------------
+// Backend basics, run against each backend in turn.
+
+void roundtrip_scenario(net::IoBackendKind kind) {
+  net::IoBackend::Options options;
+  options.port = 0;
+  options.reuseport = false;
+  auto server = net::bind_io_backend(kind, options);
+  ASSERT_TRUE(server.ok()) << server.error().to_string();
+  auto client = net::bind_io_backend(kind, options);
+  ASSERT_TRUE(client.ok()) << client.error().to_string();
+
+  // The server echoes each datagram back with the first byte flipped,
+  // through the batched tx path.
+  net::IoBackend* server_io = server.value().get();
+  server_io->set_batch_receive_handler(
+      [server_io](std::span<const net::RxPacket> batch) {
+        std::vector<std::vector<uint8_t>> copies;
+        copies.reserve(batch.size());  // spans into copies must stay valid
+        std::vector<net::TxPacket> replies;
+        for (const auto& packet : batch) {
+          std::vector<uint8_t> bytes(packet.data.begin(), packet.data.end());
+          bytes[0] ^= 0xFF;
+          copies.push_back(std::move(bytes));
+          replies.push_back(net::TxPacket{packet.from, copies.back()});
+        }
+        server_io->send_batch(replies);
+      });
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::vector<uint8_t>> echoed;
+  client.value()->set_batch_receive_handler(
+      [&](std::span<const net::RxPacket> batch) {
+        std::lock_guard lock(mutex);
+        for (const auto& packet : batch) {
+          echoed.emplace_back(packet.data.begin(), packet.data.end());
+        }
+        cv.notify_all();
+      });
+
+  constexpr int kPackets = 100;
+  const net::Endpoint server_ep = server_io->local_endpoint();
+  for (int i = 0; i < kPackets; ++i) {
+    std::vector<uint8_t> payload(64, static_cast<uint8_t>(i));
+    client.value()->send(server_ep, payload);
+  }
+  std::unique_lock lock(mutex);
+  const bool all = cv.wait_for(lock, std::chrono::seconds(5), [&] {
+    return echoed.size() >= kPackets;
+  });
+  ASSERT_TRUE(all) << "echoed " << echoed.size() << "/" << kPackets;
+  for (const auto& bytes : echoed) {
+    ASSERT_EQ(bytes.size(), 64u);
+    EXPECT_EQ(bytes[0], static_cast<uint8_t>(bytes[1] ^ 0xFF));
+  }
+  lock.unlock();
+  client.value()->stop_receiving();
+  server_io->stop_receiving();
+}
+
+TEST(IoBackendBasics, PortableRoundtrip) {
+  roundtrip_scenario(net::IoBackendKind::kPortable);
+}
+
+TEST(IoBackendBasics, UringRoundtrip) {
+  SKIP_WITHOUT_URING();
+  roundtrip_scenario(net::IoBackendKind::kUring);
+}
+
+// Repeated bind / serve / stop / destroy cycles: no slot, ring or fd
+// leaks across restarts (the ASan leg turns any leak into a failure).
+void stop_restart_scenario(net::IoBackendKind kind) {
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    net::IoBackend::Options options;
+    options.port = 0;
+    options.reuseport = false;
+    auto io = net::bind_io_backend(kind, options);
+    ASSERT_TRUE(io.ok()) << "cycle " << cycle;
+    std::atomic<int> received{0};
+    io.value()->set_batch_receive_handler(
+        [&](std::span<const net::RxPacket> batch) {
+          received.fetch_add(static_cast<int>(batch.size()));
+        });
+    auto sender = net::UdpTransport::bind(0);
+    ASSERT_TRUE(sender.ok());
+    const std::vector<uint8_t> payload(32, 0xAB);
+    for (int i = 0; i < 10; ++i) {
+      sender.value()->send(io.value()->local_endpoint(), payload);
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (received.load() < 10 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(received.load(), 10) << "cycle " << cycle;
+    io.value()->stop_receiving();
+    sender.value()->stop_receiving();
+    // Destructors run here; the next cycle starts from scratch.
+  }
+}
+
+TEST(IoBackendBasics, PortableStopRestartNoLeaks) {
+  stop_restart_scenario(net::IoBackendKind::kPortable);
+}
+
+TEST(IoBackendBasics, UringStopRestartNoLeaks) {
+  SKIP_WITHOUT_URING();
+  stop_restart_scenario(net::IoBackendKind::kUring);
+}
+
+// ---------------------------------------------------------------------
+// Byte parity: the authority must produce identical response bytes under
+// both backends for an identical query stream.
+
+struct AuthorityTrace {
+  std::vector<std::vector<uint8_t>> responses;
+};
+
+AuthorityTrace authority_scenario(net::IoBackendKind kind) {
+  AuthorityTrace trace;
+  runtime::Config config;
+  config.port = 0;
+  config.workers = 1;
+  config.io_backend = kind;
+  auto authority = runtime::ServingRuntime::start(
+      config, {zone_with("10.1.0.10", 1, 300)});
+  EXPECT_TRUE(authority.ok());
+  if (!authority.ok()) return trace;
+
+  RawClient client;
+  const net::Endpoint server = authority.value()->endpoints()[0];
+  // Fixed, fully deterministic query stream: hits, a miss (NXDOMAIN),
+  // repeats, then the same again after a zone reload.
+  uint16_t id = 1;
+  const char* kNames[] = {"www.example.com", "ns1.example.com",
+                          "nonexistent.example.com", "www.example.com"};
+  for (const char* name : kNames) {
+    trace.responses.push_back(
+        client.exchange(server, encode_query(id++, name, false)));
+  }
+  authority.value()->reload_zone(zone_with("10.9.9.9", 2, 300));
+  for (const char* name : kNames) {
+    trace.responses.push_back(
+        client.exchange(server, encode_query(id++, name, false)));
+  }
+  authority.value()->stop();
+  return trace;
+}
+
+TEST(IoBackendParity, AuthorityResponseBytesIdentical) {
+  SKIP_WITHOUT_URING();
+  const AuthorityTrace portable =
+      authority_scenario(net::IoBackendKind::kPortable);
+  const AuthorityTrace uring = authority_scenario(net::IoBackendKind::kUring);
+  ASSERT_EQ(portable.responses.size(), uring.responses.size());
+  for (std::size_t i = 0; i < portable.responses.size(); ++i) {
+    ASSERT_FALSE(portable.responses[i].empty()) << "query " << i;
+    EXPECT_EQ(portable.responses[i], uring.responses[i])
+        << "response bytes diverge at query " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// CACHE-UPDATE / ack parity: the full push flow — lease grant, push on
+// zone change, apply, ack — must produce the same counters and the same
+// converged answer under both backends.
+
+struct PushTrace {
+  std::string converged_address;
+  uint64_t auth_pushes_sent = 0;
+  uint64_t auth_pushes_acked = 0;
+  uint64_t cache_updates_applied = 0;
+  uint64_t cache_acks_sent = 0;
+  std::size_t cache_live_leases = 0;
+  std::string backend;
+};
+
+PushTrace push_scenario(net::IoBackendKind kind) {
+  PushTrace trace;
+  runtime::Config auth_config;
+  auth_config.port = 0;
+  auth_config.workers = 1;
+  auth_config.io_backend = kind;
+  auto authority = runtime::ServingRuntime::start(
+      auth_config, {zone_with("10.1.0.10", 1, 300)});
+  EXPECT_TRUE(authority.ok());
+  if (!authority.ok()) return trace;
+
+  cachert::Config cache_config;
+  cache_config.port = 0;
+  cache_config.workers = 1;
+  cache_config.io_backend = kind;
+  cache_config.upstreams = {authority.value()->endpoints()[0]};
+  auto cache = cachert::CacheRuntime::start(cache_config);
+  EXPECT_TRUE(cache.ok());
+  if (!cache.ok()) return trace;
+  trace.backend = std::string(cache.value()->io_backend_name());
+
+  RawClient client;
+  const net::Endpoint cache_ep = cache.value()->endpoints()[0];
+  // Warm with an EXT query so a lease is granted on both sides.
+  auto warm = client.exchange(cache_ep, encode_query(1, "www.example.com",
+                                                     /*ext=*/true));
+  EXPECT_FALSE(warm.empty());
+
+  authority.value()->reload_zone(zone_with("10.9.9.9", 2, 300));
+
+  // Poll until the push lands and the cache serves the new address.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  uint16_t id = 2;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto bytes =
+        client.exchange(cache_ep, encode_query(id++, "www.example.com",
+                                               /*ext=*/false));
+    auto message = dns::Message::decode(bytes);
+    if (message.ok()) {
+      for (const auto& rr : message.value().answers) {
+        if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) {
+          trace.converged_address = a->address.to_string();
+        }
+      }
+    }
+    if (trace.converged_address == "10.9.9.9") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // Ack is fire-and-forget after apply; give it a moment to register.
+  const auto ack_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (std::chrono::steady_clock::now() < ack_deadline) {
+    if (counter_sum(authority.value()->metrics(), "cache_update_messages",
+                    "result", "acked") > 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  trace.cache_live_leases = cache.value()->live_leases();
+  const auto auth_metrics = authority.value()->metrics();
+  const auto cache_metrics = cache.value()->metrics();
+  trace.auth_pushes_sent =
+      counter_sum(auth_metrics, "cache_update_messages", "result", "sent");
+  trace.auth_pushes_acked =
+      counter_sum(auth_metrics, "cache_update_messages", "result", "acked");
+  trace.cache_updates_applied =
+      counter_sum(cache_metrics, "lease_client_updates", "result", "applied");
+  trace.cache_acks_sent =
+      counter_sum(cache_metrics, "lease_client_acks_sent");
+  cache.value()->stop();
+  authority.value()->stop();
+  return trace;
+}
+
+TEST(IoBackendParity, CacheUpdateAndAckBehaviorIdentical) {
+  SKIP_WITHOUT_URING();
+  const PushTrace portable = push_scenario(net::IoBackendKind::kPortable);
+  const PushTrace uring = push_scenario(net::IoBackendKind::kUring);
+  EXPECT_EQ(portable.backend, "portable");
+  EXPECT_EQ(uring.backend, "uring");
+  EXPECT_EQ(portable.converged_address, "10.9.9.9");
+  EXPECT_EQ(uring.converged_address, "10.9.9.9");
+  EXPECT_EQ(portable.auth_pushes_sent, uring.auth_pushes_sent);
+  EXPECT_EQ(portable.auth_pushes_acked, uring.auth_pushes_acked);
+  EXPECT_EQ(portable.cache_updates_applied, uring.cache_updates_applied);
+  EXPECT_EQ(portable.cache_acks_sent, uring.cache_acks_sent);
+  EXPECT_EQ(portable.cache_live_leases, uring.cache_live_leases);
+}
+
+// The portable scenario must pass standalone on every kernel — it is the
+// baseline the uring comparisons anchor to.
+TEST(IoBackendParity, PortablePushFlowBaseline) {
+  const PushTrace trace = push_scenario(net::IoBackendKind::kPortable);
+  EXPECT_EQ(trace.backend, "portable");
+  EXPECT_EQ(trace.converged_address, "10.9.9.9");
+  EXPECT_GE(trace.auth_pushes_sent, 1u);
+  EXPECT_GE(trace.cache_updates_applied, 1u);
+  EXPECT_GE(trace.cache_acks_sent, 1u);
+  EXPECT_EQ(trace.cache_live_leases, 1u);
+}
+
+}  // namespace
+}  // namespace dnscup

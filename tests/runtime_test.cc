@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/cache_update.h"
+#include "net/udp_transport.h"
 #include "dns/zone_text.h"
 #include "store/lease_store.h"
 

@@ -1,17 +1,25 @@
 #!/usr/bin/env bash
-# Measure serving-runtime scaling: run dnsflood against dnscupd at each
-# worker count and collect the per-run JSON into one report
-# (BENCH_runtime_throughput.json by default).  Release build, loopback.
+# Measure serving-runtime scaling: run dnsflood against dnscupd for each
+# (I/O backend, worker count) cell and collect the per-run JSON into one
+# report (BENCH_runtime_throughput.json by default).  Release build,
+# loopback.
+#
+# Backends come from BACKENDS (default "portable uring"); the uring
+# column is probed first (dnsflood --probe-io-backend) and skipped with a
+# note — not an error — on kernels without io_uring.  Multi-worker rows
+# (>1 worker) run with --pin-cpus over the available CPUs so the scaling
+# sweep measures pinned workers on both backends.
 #
 # Usage:
-#   tools/bench_runtime.sh                 # workers 1 and 4, 5 s each
+#   tools/bench_runtime.sh                 # workers 1 and 8, 5 s each
 #   WORKERS="1 2 4 8" DURATION=10 tools/bench_runtime.sh
-#   OUT=/tmp/report.json tools/bench_runtime.sh
+#   BACKENDS=portable OUT=/tmp/report.json tools/bench_runtime.sh
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 jobs=${JOBS:-$(nproc)}
-workers_list=${WORKERS:-"1 4"}
+workers_list=${WORKERS:-"1 8"}
+backends_list=${BACKENDS:-"portable uring"}
 duration=${DURATION:-5}
 out=${OUT:-$repo_root/BENCH_runtime_throughput.json}
 
@@ -33,64 +41,119 @@ zone="$bench_dir/scaling.zone"
   done
 } > "$zone"
 
-runs=()
-for workers in $workers_list; do
-  port=$(( 20000 + RANDOM % 10000 ))
-  log="$bench_dir/scaling-dnscupd-w$workers.log"
-  "$build_dir/tools/dnscupd" --port "$port" \
-    --zone "example.com=$zone" --workers "$workers" > "$log" 2>&1 &
-  daemon=$!
-  sleep 0.5
-  kill -0 "$daemon" || { echo "dnscupd failed to start:"; cat "$log"; exit 1; }
+# Pin list: CPUs 0..min(workers, ncpus)-1, comma-separated (workers
+# cycle over it when there are fewer CPUs than workers).
+ncpus=$(nproc)
+pin_list_for() {
+  local workers=$1
+  local n=$(( workers < ncpus ? workers : ncpus ))
+  seq -s, 0 $(( n - 1 ))
+}
 
-  run_json="$bench_dir/scaling-flood-w$workers.json"
-  echo "== $workers worker(s), ${duration}s =="
-  "$build_dir/tools/dnsflood" --server "127.0.0.1:$port" \
-    --duration "$duration" --sockets 4 --concurrency 16 \
-    --names 1000 --zipf 1.0 --lease-fraction 0.2 \
-    --workers-label "$workers" --out "$run_json"
-  kill -TERM "$daemon" 2>/dev/null || true
-  wait "$daemon" 2>/dev/null || true
-  runs+=("$run_json")
+uring_skipped=no
+runs=()
+for backend in $backends_list; do
+  if [ "$backend" = uring ] &&
+     ! "$build_dir/tools/dnsflood" --probe-io-backend; then
+    echo "== backend uring SKIP (kernel lacks io_uring support) =="
+    uring_skipped=yes
+    continue
+  fi
+  for workers in $workers_list; do
+    port=$(( 20000 + RANDOM % 10000 ))
+    pin_args=()
+    pinned=false
+    if [ "$workers" -gt 1 ]; then
+      pin_args=(--pin-cpus "$(pin_list_for "$workers")")
+      pinned=true
+    fi
+    log="$bench_dir/scaling-dnscupd-$backend-w$workers.log"
+    "$build_dir/tools/dnscupd" --port "$port" \
+      --zone "example.com=$zone" --workers "$workers" \
+      --io-backend "$backend" "${pin_args[@]}" > "$log" 2>&1 &
+    daemon=$!
+    sleep 0.5
+    kill -0 "$daemon" || {
+      echo "dnscupd failed to start:"; cat "$log"; exit 1
+    }
+
+    run_json="$bench_dir/scaling-flood-$backend-w$workers.json"
+    echo "== backend $backend, $workers worker(s), ${duration}s =="
+    "$build_dir/tools/dnsflood" --server "127.0.0.1:$port" \
+      --duration "$duration" --sockets 4 --concurrency 16 \
+      --names 1000 --zipf 1.0 --lease-fraction 0.2 \
+      --workers-label "$workers" --out "$run_json"
+    kill -TERM "$daemon" 2>/dev/null || true
+    wait "$daemon" 2>/dev/null || true
+    # The server's backend (after any fallback) is in its banner; record
+    # it with the run so a silent fallback cannot masquerade as uring.
+    server_backend=$(grep -o 'io=[a-z]*' "$log" | head -1 | cut -d= -f2)
+    python3 - "$run_json" "$backend" "${server_backend:-unknown}" \
+        "$pinned" <<'EOF'
+import json, sys
+path, requested, served, pinned = sys.argv[1:]
+with open(path) as f:
+    run = json.load(f)
+run["server_io_backend"] = served
+run["requested_io_backend"] = requested
+run["pinned"] = pinned == "true"
+with open(path, "w") as f:
+    json.dump(run, f)
+    f.write("\n")
+EOF
+    runs+=("$run_json")
+  done
 done
 
-python3 - "$out" "${runs[@]}" <<'EOF'
+python3 - "$out" "$uring_skipped" "${runs[@]}" <<'EOF'
 import json, os, sys
-out, *paths = sys.argv[1:]
+out, uring_skipped, *paths = sys.argv[1:]
 entries = []
 for path in paths:
     with open(path) as f:
         run = json.load(f)
     entries.append({k: run[k] for k in (
-        "workers", "mode", "duration_s", "sockets", "concurrency",
+        "workers", "server_io_backend", "requested_io_backend", "pinned",
+        "batch_slots", "mode", "duration_s", "sockets", "concurrency",
         "names", "zipf_s", "lease_fraction", "sent", "answered",
         "achieved_qps", "p50_us", "p95_us", "p99_us", "loss_rate")})
-entries.sort(key=lambda e: e["workers"])
+entries.sort(key=lambda e: (e["requested_io_backend"], e["workers"]))
 cpus = len(os.sched_getaffinity(0))
 report = {"bench": "runtime_throughput",
           "description": "dnsflood closed-loop vs dnscupd on loopback, "
-                         "Release build",
+                         "Release build, per I/O backend",
           "host_cpus": cpus,
           "runs": entries}
-base = entries[0]["achieved_qps"]
-peak = max(e["achieved_qps"] for e in entries)
-report["scaling_vs_first"] = round(peak / base, 2) if base else None
+by_backend = {}
+for e in entries:
+    by_backend.setdefault(e["requested_io_backend"], []).append(e)
+scaling = {}
+for backend, rows in by_backend.items():
+    base = rows[0]["achieved_qps"]
+    peak = max(r["achieved_qps"] for r in rows)
+    scaling[backend] = round(peak / base, 2) if base else None
+report["scaling_vs_first"] = scaling
+if uring_skipped == "yes":
+    report["uring"] = ("skipped: kernel lacks the io_uring features the "
+                      "backend needs")
 top = max(e["workers"] for e in entries)
 if cpus < top:
     # Worker threads beyond the core count time-slice; true scaling
     # needs at least as many cores as workers.
     report["note"] = (f"host exposes {cpus} CPU(s) for {top} workers; "
                       "runs are CPU-saturated, scaling_vs_first reflects "
-                      "time-slicing, not parallel speedup")
+                      "time-slicing, not parallel speedup; pinned rows "
+                      "pin all workers to the same CPU set")
 with open(out, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
 for e in entries:
-    print(f"workers={e['workers']:>2}  {e['achieved_qps']:>10.0f} q/s  "
+    pin = " pinned" if e["pinned"] else ""
+    print(f"{e['server_io_backend']:>8} workers={e['workers']:>2}{pin}  "
+          f"{e['achieved_qps']:>10.0f} q/s  "
           f"p50 {e['p50_us']} us  p99 {e['p99_us']} us  "
           f"loss {100 * e['loss_rate']:.3f}%")
-print(f"scaling: {report['scaling_vs_first']}x "
-      f"({cpus} host CPU(s))  -> {out}")
+print(f"scaling: {scaling} ({cpus} host CPU(s))  -> {out}")
 if "note" in report:
     print(f"note: {report['note']}")
 EOF

@@ -25,6 +25,11 @@
 #                  microbenchmark; it self-fails if the arena encode or
 #                  view decode allocates in steady state.  JSON archived
 #                  under build/bench/.
+#   --io-matrix    run the unit + sim + e2e suite once per datagram I/O
+#                  backend (DNSCUP_IO_BACKEND=portable, then =uring).
+#                  The uring leg probes kernel support first (dnsflood
+#                  --probe-io-backend) and prints an explicit SKIP — not
+#                  a failure — where io_uring is unavailable.
 #
 # Usage:
 #   tools/check.sh                # Release build + ctest + store sanitizers
@@ -33,6 +38,7 @@
 #   tools/check.sh --tsan        # ThreadSanitizer leg only
 #   tools/check.sh --bench-smoke # serving-runtime load smoke only
 #   tools/check.sh --wire-micro  # wire hot-path microbenchmark only
+#   tools/check.sh --io-matrix   # full suite under each I/O backend
 #   JOBS=4 tools/check.sh        # override build parallelism
 set -euo pipefail
 
@@ -57,17 +63,48 @@ run_suite() {
 }
 
 run_tsan() {
-  echo "== threaded runtime under ThreadSanitizer =="
+  echo "== threaded runtime under ThreadSanitizer (portable backend) =="
   local build_dir="$repo_root/build-tsan"
   cmake -B "$build_dir" -S "$repo_root" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDNSCUP_SANITIZE=thread
   cmake --build "$build_dir" -j "$jobs" \
-    --target runtime_test udp_transport_test e2e_daemons_test
-  # halt_on_error turns any race report into a test failure.
-  TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build_dir" \
-    -R '^(runtime_test|udp_transport_test|e2e_daemons_test)$' \
+    --target runtime_test udp_transport_test e2e_daemons_test \
+             io_backend_parity_test
+  # halt_on_error turns any race report into a test failure.  The
+  # backend is pinned to portable so the leg is deterministic; the
+  # parity test still exercises the uring receiver threads explicitly
+  # where the kernel supports them.
+  TSAN_OPTIONS="halt_on_error=1" DNSCUP_IO_BACKEND=portable \
+    ctest --test-dir "$build_dir" \
+    -R '^(runtime_test|udp_transport_test|e2e_daemons_test|io_backend_parity_test)$' \
     --output-on-failure
+}
+
+run_io_matrix() {
+  echo "== I/O backend matrix: unit + sim + e2e per backend =="
+  local build_dir="$repo_root/build"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j "$jobs"
+  echo "-- backend: portable --"
+  DNSCUP_IO_BACKEND=portable ctest --test-dir "$build_dir" -LE e2e \
+    --output-on-failure -j "$jobs"
+  if [ "$e2e" = yes ]; then
+    DNSCUP_IO_BACKEND=portable ctest --test-dir "$build_dir" -L e2e \
+      --output-on-failure -j "$jobs"
+  fi
+  if "$build_dir/tools/dnsflood" --probe-io-backend; then
+    echo "-- backend: uring --"
+    DNSCUP_IO_BACKEND=uring ctest --test-dir "$build_dir" -LE e2e \
+      --output-on-failure -j "$jobs"
+    if [ "$e2e" = yes ]; then
+      DNSCUP_IO_BACKEND=uring ctest --test-dir "$build_dir" -L e2e \
+        --output-on-failure -j "$jobs"
+    fi
+  else
+    echo "-- backend: uring SKIP (kernel lacks io_uring support;" \
+         "portable leg above is authoritative) --"
+  fi
 }
 
 run_wire_micro() {
@@ -158,6 +195,9 @@ case "$mode" in
   --wire-micro)
     run_wire_micro
     ;;
+  --io-matrix)
+    run_io_matrix
+    ;;
   --sanitize)
     echo "== tier-1: release build + ctest =="
     run_suite "$repo_root/build" "$e2e"
@@ -174,16 +214,19 @@ case "$mode" in
     # malformed_packet_test rides along: the hostile-input wire-decoder
     # suite is the other place raw byte handling hides memory bugs.
     # e2e_daemons_test puts the new cache-side runtime's socket plumbing
-    # under ASan/UBSan too.
+    # under ASan/UBSan too; buffer_pool_test and io_backend_parity_test
+    # cover the slot-recycling and backend buffer-ownership edges (pool
+    # exhaustion, reuse after partial flushes, stop/restart leaks).
     cmake -B "$repo_root/build-store-sanitize" -S "$repo_root" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DDNSCUP_SANITIZE=address,undefined
     cmake --build "$repo_root/build-store-sanitize" -j "$jobs" \
       --target store_test recovery_test malformed_packet_test \
-               e2e_daemons_test
+               buffer_pool_test e2e_daemons_test io_backend_parity_test
     sanitize_tests='store_test|recovery_test|malformed_packet_test'
+    sanitize_tests="$sanitize_tests|buffer_pool_test"
     if [ "$e2e" = yes ]; then
-      sanitize_tests="$sanitize_tests|e2e_daemons_test"
+      sanitize_tests="$sanitize_tests|e2e_daemons_test|io_backend_parity_test"
     fi
     ctest --test-dir "$repo_root/build-store-sanitize" \
       -R "^($sanitize_tests)\$" \

@@ -15,6 +15,7 @@
 //   dnscached --port 5301 --upstream 127.0.0.1:5300 [--upstream ...]
 //             [--workers 4] [--no-reuseport] [--batch N]
 //             [--rcvbuf bytes] [--sndbuf bytes] [--no-dnscup]
+//             [--io-backend portable|uring] [--pin-cpus 0,1,...]
 //             [--cache-capacity N] [--query-timeout-ms N] [--retries N]
 //             [--metrics-out metrics.json] [--metrics-interval 10]
 //             [--verbose]
@@ -35,6 +36,7 @@
 #include <vector>
 
 #include "cachert/cache_runtime.h"
+#include "tool_common.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 
@@ -47,20 +49,11 @@ std::atomic<int> g_signal{0};
 void handle_signal(int sig) { g_signal.store(sig); }
 
 struct Options {
-  uint16_t port = 5301;
+  tools::ServingFlags serving{5301};
   std::vector<net::Endpoint> upstreams;
-  int workers = 1;
-  bool reuseport = true;
-  int batch = 32;
-  int rcvbuf = 1 << 20;
-  int sndbuf = 1 << 20;
-  bool dnscup = true;
   std::size_t cache_capacity = 0;
   int64_t query_timeout_ms = 2000;
   int retries = 2;
-  bool verbose = false;
-  std::string metrics_out;
-  int64_t metrics_interval_s = 10;
 };
 
 bool parse_args(int argc, char** argv, Options& opts) {
@@ -69,11 +62,16 @@ bool parse_args(int argc, char** argv, Options& opts) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    switch (tools::parse_serving_flag(arg, next, opts.serving)) {
+      case tools::FlagParse::kMatched:
+        continue;
+      case tools::FlagParse::kError:
+        return false;
+      case tools::FlagParse::kUnmatched:
+        break;
+    }
     const char* v = nullptr;
-    if (arg == "--port") {
-      if ((v = next()) == nullptr) return false;
-      opts.port = static_cast<uint16_t>(std::atoi(v));
-    } else if (arg == "--upstream") {
+    if (arg == "--upstream") {
       if ((v = next()) == nullptr) return false;
       auto endpoint = net::parse_endpoint(v);
       if (!endpoint.has_value()) {
@@ -81,24 +79,6 @@ bool parse_args(int argc, char** argv, Options& opts) {
         return false;
       }
       opts.upstreams.push_back(*endpoint);
-    } else if (arg == "--workers") {
-      if ((v = next()) == nullptr) return false;
-      opts.workers = std::atoi(v);
-      if (opts.workers < 1) return false;
-    } else if (arg == "--no-reuseport") {
-      opts.reuseport = false;
-    } else if (arg == "--batch") {
-      if ((v = next()) == nullptr) return false;
-      opts.batch = std::atoi(v);
-      if (opts.batch < 1) return false;
-    } else if (arg == "--rcvbuf") {
-      if ((v = next()) == nullptr) return false;
-      opts.rcvbuf = std::atoi(v);
-    } else if (arg == "--sndbuf") {
-      if ((v = next()) == nullptr) return false;
-      opts.sndbuf = std::atoi(v);
-    } else if (arg == "--no-dnscup") {
-      opts.dnscup = false;
     } else if (arg == "--cache-capacity") {
       if ((v = next()) == nullptr) return false;
       opts.cache_capacity = static_cast<std::size_t>(std::atoll(v));
@@ -110,58 +90,12 @@ bool parse_args(int argc, char** argv, Options& opts) {
       if ((v = next()) == nullptr) return false;
       opts.retries = std::atoi(v);
       if (opts.retries < 0) return false;
-    } else if (arg == "--metrics-out") {
-      if ((v = next()) == nullptr) return false;
-      opts.metrics_out = v;
-    } else if (arg == "--metrics-interval") {
-      if ((v = next()) == nullptr) return false;
-      opts.metrics_interval_s = std::atoll(v);
-      if (opts.metrics_interval_s <= 0) return false;
-    } else if (arg == "--verbose") {
-      opts.verbose = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
     }
   }
   return !opts.upstreams.empty();
-}
-
-void dump_metrics(const metrics::Snapshot& snapshot,
-                  const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "metrics dump failed: cannot open %s\n",
-                 path.c_str());
-    return;
-  }
-  const std::string json = snapshot.to_json();
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
-}
-
-/// Sum of all counters named `name` whose labels contain (key, value);
-/// any (key, value) when key is null.  Collapses per-worker instances.
-uint64_t counter_sum(const metrics::Snapshot& snapshot, const char* name,
-                     const char* key = nullptr, const char* value = nullptr) {
-  uint64_t total = 0;
-  for (const auto& entry : snapshot.entries) {
-    if (entry.kind != metrics::InstrumentKind::kCounter) continue;
-    if (entry.name != name) continue;
-    if (key != nullptr) {
-      bool match = false;
-      for (const auto& [k, v] : entry.labels) {
-        if (k == key && v == value) {
-          match = true;
-          break;
-        }
-      }
-      if (!match) continue;
-    }
-    total += entry.counter_value;
-  }
-  return total;
 }
 
 }  // namespace
@@ -172,24 +106,17 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: dnscached --port N --upstream ip:port [--upstream ...]\n"
-        "                 [--workers N] [--no-reuseport] [--batch N]\n"
-        "                 [--rcvbuf bytes] [--sndbuf bytes] [--no-dnscup]\n"
-        "                 [--cache-capacity N] [--query-timeout-ms N]\n"
-        "                 [--retries N] [--metrics-out file]\n"
-        "                 [--metrics-interval seconds] [--verbose]\n");
+        "%s"
+        "               [--cache-capacity N] [--query-timeout-ms N]\n"
+        "               [--retries N]\n",
+        tools::kServingUsage);
     return 2;
   }
-  if (opts.verbose) util::set_log_level(util::LogLevel::kDebug);
+  if (opts.serving.verbose) util::set_log_level(util::LogLevel::kDebug);
 
   cachert::Config config;
-  config.port = opts.port;
-  config.workers = opts.workers;
-  config.reuseport = opts.reuseport;
-  config.batch_size = static_cast<std::size_t>(opts.batch);
-  config.rcvbuf_bytes = opts.rcvbuf;
-  config.sndbuf_bytes = opts.sndbuf;
+  opts.serving.apply(config);
   config.upstreams = opts.upstreams;
-  config.dnscup = opts.dnscup;
   config.cache_capacity = opts.cache_capacity;
   config.query_timeout = net::milliseconds(opts.query_timeout_ms);
   config.max_retries = opts.retries;
@@ -204,24 +131,13 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
-  if (rt.reuseport_active()) {
-    std::printf("dnscached listening on %s, %d workers (SO_REUSEPORT; %s)\n",
-                rt.endpoints()[0].to_string().c_str(), rt.workers(),
-                opts.dnscup ? "DNScup enabled" : "plain TTL");
-  } else {
-    std::printf("dnscached: %d workers on per-worker ports (%s):\n",
-                rt.workers(), opts.dnscup ? "DNScup enabled" : "plain TTL");
-    for (const auto& endpoint : rt.endpoints()) {
-      std::printf("  %s\n", endpoint.to_string().c_str());
-    }
-  }
+  tools::print_listening("dnscached", rt.reuseport_active(), rt.endpoints(),
+                         rt.workers(), config.dnscup, rt.io_backend_name());
   std::printf("upstreams:");
   for (const auto& upstream : rt.upstream_endpoints()) {
     std::printf(" %s", upstream.to_string().c_str());
   }
   std::printf(" (worker-local source ports)\n");
-  // Supervisors wait for the "listening" line; make it visible even when
-  // stdout is a pipe or file (fully buffered).
   std::fflush(stdout);
 
   auto last_report = std::chrono::steady_clock::now();
@@ -231,28 +147,29 @@ int main(int argc, char** argv) {
     // periodic jobs (each fans a command across workers and blocks).
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     const auto now = std::chrono::steady_clock::now();
-    if (!opts.metrics_out.empty() &&
-        now - last_metrics >= std::chrono::seconds(opts.metrics_interval_s)) {
+    if (!opts.serving.metrics_out.empty() &&
+        now - last_metrics >=
+            std::chrono::seconds(opts.serving.metrics_interval_s)) {
       last_metrics = now;
-      dump_metrics(rt.metrics(), opts.metrics_out);
+      tools::dump_metrics(rt.metrics(), opts.serving.metrics_out);
     }
-    if (opts.verbose && now - last_report >= std::chrono::seconds(1)) {
+    if (opts.serving.verbose && now - last_report >= std::chrono::seconds(1)) {
       last_report = now;
       const auto snapshot = rt.metrics();
       std::printf(
           "queries=%llu upstream=%llu leases=%zu entries=%zu "
           "updates_applied=%llu acks=%llu inbox_drops=%llu\n",
-          static_cast<unsigned long long>(
-              counter_sum(snapshot, "resolver_queries", "side", "client")),
-          static_cast<unsigned long long>(
-              counter_sum(snapshot, "resolver_queries", "side", "upstream")),
+          static_cast<unsigned long long>(tools::counter_sum(
+              snapshot, "resolver_queries", "side", "client")),
+          static_cast<unsigned long long>(tools::counter_sum(
+              snapshot, "resolver_queries", "side", "upstream")),
           rt.live_leases(), rt.cache_entries(),
-          static_cast<unsigned long long>(counter_sum(
+          static_cast<unsigned long long>(tools::counter_sum(
               snapshot, "lease_client_updates", "result", "applied")),
           static_cast<unsigned long long>(
-              counter_sum(snapshot, "lease_client_acks_sent")),
+              tools::counter_sum(snapshot, "lease_client_acks_sent")),
           static_cast<unsigned long long>(
-              counter_sum(snapshot, "cachert_inbox_dropped")));
+              tools::counter_sum(snapshot, "cachert_inbox_dropped")));
     }
   }
   const int sig = g_signal.load();
@@ -260,10 +177,10 @@ int main(int argc, char** argv) {
               sig == SIGTERM ? "SIGTERM" : sig == SIGINT ? "SIGINT"
                                                          : "signal");
   rt.stop();
-  if (!opts.metrics_out.empty()) {
-    dump_metrics(rt.metrics(), opts.metrics_out);
+  if (!opts.serving.metrics_out.empty()) {
+    tools::dump_metrics(rt.metrics(), opts.serving.metrics_out);
     std::printf("final metrics snapshot written to %s\n",
-                opts.metrics_out.c_str());
+                opts.serving.metrics_out.c_str());
   }
   std::printf("final cache: %zu entries, %zu live leases\n",
               rt.cache_entries(), rt.live_leases());

@@ -13,6 +13,7 @@
 //           [--zone other.org=other.zone] [--workers 4] [--no-reuseport]
 //           [--max-lease 3600] [--no-dnscup] [--round-robin] [--verbose]
 //           [--rcvbuf bytes] [--sndbuf bytes]
+//           [--io-backend portable|uring] [--pin-cpus 0,1,...]
 //           [--metrics-out metrics.json] [--metrics-interval 10]
 //           [--state-dir dir] [--fsync-policy always|interval|never]
 //           [--snapshot-interval 60]
@@ -44,6 +45,7 @@
 
 #include "dns/zone_text.h"
 #include "runtime/runtime.h"
+#include "tool_common.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 
@@ -56,20 +58,11 @@ std::atomic<int> g_signal{0};
 void handle_signal(int sig) { g_signal.store(sig); }
 
 struct Options {
-  uint16_t port = 5300;
+  tools::ServingFlags serving{5300};
   std::vector<std::pair<std::string, std::string>> zones;  // origin=path
-  int workers = 1;
-  bool reuseport = true;
-  int batch = 32;  ///< datagrams served per worker iteration / tx flush
-  int rcvbuf = 1 << 20;
-  int sndbuf = 1 << 20;
   int64_t max_lease_s = 3600;
-  bool dnscup = true;
   bool round_robin = false;
-  bool verbose = false;
-  std::string metrics_out;        ///< empty: no metrics dumps
-  int64_t metrics_interval_s = 10;
-  std::string state_dir;          ///< empty: volatile authority
+  std::string state_dir;  ///< empty: volatile authority
   store::FsyncPolicy fsync = store::FsyncPolicy::kAlways;
   int64_t snapshot_interval_s = 60;
 };
@@ -80,50 +73,25 @@ bool parse_args(int argc, char** argv, Options& opts) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (arg == "--port") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts.port = static_cast<uint16_t>(std::atoi(v));
-    } else if (arg == "--zone") {
+    switch (tools::parse_serving_flag(arg, next, opts.serving)) {
+      case tools::FlagParse::kMatched:
+        continue;
+      case tools::FlagParse::kError:
+        return false;
+      case tools::FlagParse::kUnmatched:
+        break;
+    }
+    if (arg == "--zone") {
       const char* v = next();
       if (v == nullptr) return false;
       const std::string spec = v;
       const auto eq = spec.find('=');
       if (eq == std::string::npos) return false;
       opts.zones.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
-    } else if (arg == "--workers") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts.workers = std::atoi(v);
-      if (opts.workers < 1) return false;
-    } else if (arg == "--no-reuseport") {
-      opts.reuseport = false;
-    } else if (arg == "--batch") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts.batch = std::atoi(v);
-      if (opts.batch < 1) return false;
-    } else if (arg == "--rcvbuf") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts.rcvbuf = std::atoi(v);
-    } else if (arg == "--sndbuf") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts.sndbuf = std::atoi(v);
     } else if (arg == "--max-lease") {
       const char* v = next();
       if (v == nullptr) return false;
       opts.max_lease_s = std::atoll(v);
-    } else if (arg == "--metrics-out") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts.metrics_out = v;
-    } else if (arg == "--metrics-interval") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opts.metrics_interval_s = std::atoll(v);
-      if (opts.metrics_interval_s <= 0) return false;
     } else if (arg == "--state-dir") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -142,56 +110,14 @@ bool parse_args(int argc, char** argv, Options& opts) {
       if (v == nullptr) return false;
       opts.snapshot_interval_s = std::atoll(v);
       if (opts.snapshot_interval_s <= 0) return false;
-    } else if (arg == "--no-dnscup") {
-      opts.dnscup = false;
     } else if (arg == "--round-robin") {
       opts.round_robin = true;
-    } else if (arg == "--verbose") {
-      opts.verbose = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
     }
   }
   return !opts.zones.empty();
-}
-
-/// Writes the snapshot JSON to `path` (truncate + replace).
-void dump_metrics(const metrics::Snapshot& snapshot,
-                  const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "metrics dump failed: cannot open %s\n",
-                 path.c_str());
-    return;
-  }
-  const std::string json = snapshot.to_json();
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
-}
-
-/// Sum of all counters named `name` whose labels contain (key, value);
-/// any (key, value) when key is null.  Collapses per-worker instances.
-uint64_t counter_sum(const metrics::Snapshot& snapshot, const char* name,
-                     const char* key = nullptr, const char* value = nullptr) {
-  uint64_t total = 0;
-  for (const auto& entry : snapshot.entries) {
-    if (entry.kind != metrics::InstrumentKind::kCounter) continue;
-    if (entry.name != name) continue;
-    if (key != nullptr) {
-      bool match = false;
-      for (const auto& [k, v] : entry.labels) {
-        if (k == key && v == value) {
-          match = true;
-          break;
-        }
-      }
-      if (!match) continue;
-    }
-    total += entry.counter_value;
-  }
-  return total;
 }
 
 }  // namespace
@@ -202,17 +128,15 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: dnscupd --port N --zone origin=path [--zone ...]\n"
-        "               [--workers N] [--no-reuseport] [--batch N]\n"
-        "               [--rcvbuf bytes] [--sndbuf bytes]\n"
-        "               [--max-lease seconds] [--no-dnscup]\n"
-        "               [--round-robin] [--verbose]\n"
-        "               [--metrics-out file] [--metrics-interval seconds]\n"
+        "%s"
+        "               [--max-lease seconds] [--round-robin]\n"
         "               [--state-dir dir] "
         "[--fsync-policy always|interval|never]\n"
-        "               [--snapshot-interval seconds]\n");
+        "               [--snapshot-interval seconds]\n",
+        tools::kServingUsage);
     return 2;
   }
-  if (opts.verbose) util::set_log_level(util::LogLevel::kDebug);
+  if (opts.serving.verbose) util::set_log_level(util::LogLevel::kDebug);
 
   std::vector<dns::Zone> zones;
   for (const auto& [origin_text, path] : opts.zones) {
@@ -233,16 +157,10 @@ int main(int argc, char** argv) {
   }
 
   runtime::Config config;
-  config.port = opts.port;
-  config.workers = opts.workers;
-  config.reuseport = opts.reuseport;
-  config.batch_size = static_cast<std::size_t>(opts.batch);
-  config.rcvbuf_bytes = opts.rcvbuf;
-  config.sndbuf_bytes = opts.sndbuf;
-  config.dnscup = opts.dnscup;
+  opts.serving.apply(config);
   config.round_robin = opts.round_robin;
   config.max_lease = net::seconds(opts.max_lease_s);
-  config.state_dir = opts.dnscup ? opts.state_dir : std::string();
+  config.state_dir = config.dnscup ? opts.state_dir : std::string();
   config.fsync = opts.fsync;
 
   auto started = runtime::ServingRuntime::start(config, std::move(zones));
@@ -270,20 +188,8 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
-  if (rt.reuseport_active()) {
-    std::printf("dnscupd listening on %s, %d workers (SO_REUSEPORT; %s)\n",
-                rt.endpoints()[0].to_string().c_str(), rt.workers(),
-                opts.dnscup ? "DNScup enabled" : "plain TTL");
-  } else {
-    std::printf("dnscupd: %d workers on per-worker ports (%s):\n",
-                rt.workers(), opts.dnscup ? "DNScup enabled" : "plain TTL");
-    for (const auto& endpoint : rt.endpoints()) {
-      std::printf("  %s\n", endpoint.to_string().c_str());
-    }
-  }
-  // Supervisors wait for the "listening" line; make it visible even when
-  // stdout is a pipe or file (fully buffered).
-  std::fflush(stdout);
+  tools::print_listening("dnscupd", rt.reuseport_active(), rt.endpoints(),
+                         rt.workers(), config.dnscup, rt.io_backend_name());
 
   auto last_report = std::chrono::steady_clock::now();
   auto last_metrics = last_report;
@@ -293,10 +199,11 @@ int main(int argc, char** argv) {
     // periodic jobs (each fans a command across workers and blocks).
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     const auto now = std::chrono::steady_clock::now();
-    if (!opts.metrics_out.empty() &&
-        now - last_metrics >= std::chrono::seconds(opts.metrics_interval_s)) {
+    if (!opts.serving.metrics_out.empty() &&
+        now - last_metrics >=
+            std::chrono::seconds(opts.serving.metrics_interval_s)) {
       last_metrics = now;
-      dump_metrics(rt.metrics(), opts.metrics_out);
+      tools::dump_metrics(rt.metrics(), opts.serving.metrics_out);
     }
     if (rt.durable() &&
         now - last_snapshot >=
@@ -307,23 +214,23 @@ int main(int argc, char** argv) {
                      status.error().to_string().c_str());
       }
     }
-    if (opts.verbose && now - last_report >= std::chrono::seconds(1)) {
+    if (opts.serving.verbose && now - last_report >= std::chrono::seconds(1)) {
       last_report = now;
       const auto snapshot = rt.metrics();
       std::printf(
           "queries=%llu updates=%llu leases=%zu pushes=%llu acks=%llu "
           "inbox_drops=%llu\n",
-          static_cast<unsigned long long>(
-              counter_sum(snapshot, "auth_server_requests", "op", "query")),
-          static_cast<unsigned long long>(
-              counter_sum(snapshot, "auth_server_requests", "op", "update")),
+          static_cast<unsigned long long>(tools::counter_sum(
+              snapshot, "auth_server_requests", "op", "query")),
+          static_cast<unsigned long long>(tools::counter_sum(
+              snapshot, "auth_server_requests", "op", "update")),
           rt.live_leases(),
-          static_cast<unsigned long long>(counter_sum(
+          static_cast<unsigned long long>(tools::counter_sum(
               snapshot, "cache_update_messages", "result", "sent")),
-          static_cast<unsigned long long>(counter_sum(
+          static_cast<unsigned long long>(tools::counter_sum(
               snapshot, "cache_update_messages", "result", "acked")),
           static_cast<unsigned long long>(
-              counter_sum(snapshot, "runtime_inbox_dropped")));
+              tools::counter_sum(snapshot, "runtime_inbox_dropped")));
     }
   }
   const int sig = g_signal.load();
@@ -337,10 +244,10 @@ int main(int argc, char** argv) {
     std::printf("final state snapshot written to %s\n",
                 opts.state_dir.c_str());
   }
-  if (!opts.metrics_out.empty()) {
-    dump_metrics(rt.metrics(), opts.metrics_out);
+  if (!opts.serving.metrics_out.empty()) {
+    tools::dump_metrics(rt.metrics(), opts.serving.metrics_out);
     std::printf("final metrics snapshot written to %s\n",
-                opts.metrics_out.c_str());
+                opts.serving.metrics_out.c_str());
   }
   std::printf("final track file:\n%s", rt.serialize_track_files().c_str());
   return 0;

@@ -24,11 +24,16 @@
 //            [--sockets 4] [--concurrency 16] [--qps 0] [--names 1000]
 //            [--zipf 1.0] [--lease-fraction 0.2] [--origin example.com]
 //            [--timeout-ms 200] [--seed 1] [--workers-label N]
-//            [--out bench.json]
+//            [--io-backend portable|uring] [--out bench.json]
 //
 // --out writes one JSON object (achieved_qps, p50/p95/p99_us, loss_rate,
-// ...); --workers-label tags it with the server's worker count so a
-// scaling sweep can concatenate records.
+// io_backend, batch_slots, ...); --workers-label tags it with the
+// server's worker count so a scaling sweep can concatenate records.
+//
+// `dnsflood --probe-io-backend` binds (and immediately tears down) one
+// io_uring-backed socket and exits 0 when the kernel supports everything
+// the uring backend needs, 3 when it does not — scripts (check.sh
+// --io-matrix) use it to decide SKIP vs run.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -42,7 +47,7 @@
 #include <vector>
 
 #include "dns/message.h"
-#include "net/udp_transport.h"
+#include "net/io_backend.h"
 #include "util/rng.h"
 
 using namespace dnscup;
@@ -62,19 +67,10 @@ struct Options {
   int timeout_ms = 200;
   uint64_t seed = 1;
   int workers_label = 0;
+  net::IoBackendKind io_backend = net::IoBackendKind::kDefault;
+  bool probe = false;  ///< --probe-io-backend: report uring support, exit
   std::string out;
 };
-
-std::optional<net::Endpoint> parse_endpoint(const char* text) {
-  const std::string s = text;
-  const auto colon = s.rfind(':');
-  if (colon == std::string::npos) return std::nullopt;
-  auto ip = dns::Ipv4::parse(s.substr(0, colon));
-  if (!ip.ok()) return std::nullopt;
-  const int port = std::atoi(s.c_str() + colon + 1);
-  if (port <= 0 || port > 65535) return std::nullopt;
-  return net::Endpoint{ip.value().addr, static_cast<uint16_t>(port)};
-}
 
 bool parse_args(int argc, char** argv, Options& opts) {
   for (int i = 1; i < argc; ++i) {
@@ -85,7 +81,7 @@ bool parse_args(int argc, char** argv, Options& opts) {
     const char* v = nullptr;
     if (arg == "--server") {
       if ((v = next()) == nullptr) return false;
-      auto ep = parse_endpoint(v);
+      auto ep = net::parse_endpoint(v);
       if (!ep.has_value()) return false;
       opts.servers.push_back(*ep);
     } else if (arg == "--duration") {
@@ -121,6 +117,17 @@ bool parse_args(int argc, char** argv, Options& opts) {
     } else if (arg == "--workers-label") {
       if ((v = next()) == nullptr) return false;
       opts.workers_label = std::atoi(v);
+    } else if (arg == "--io-backend") {
+      if ((v = next()) == nullptr) return false;
+      const auto kind = net::parse_io_backend_kind(v);
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "bad --io-backend %s (portable|uring|default)\n",
+                     v);
+        return false;
+      }
+      opts.io_backend = *kind;
+    } else if (arg == "--probe-io-backend") {
+      opts.probe = true;
     } else if (arg == "--out") {
       if ((v = next()) == nullptr) return false;
       opts.out = v;
@@ -129,6 +136,7 @@ bool parse_args(int argc, char** argv, Options& opts) {
       return false;
     }
   }
+  if (opts.probe) return true;  // no servers needed for the probe
   return !opts.servers.empty() && opts.duration_s > 0 && opts.sockets > 0 &&
          opts.concurrency > 0 && opts.names > 0;
 }
@@ -182,7 +190,7 @@ struct Agent {
     int64_t due_us = 0;  ///< open loop: next allowed send
   };
 
-  std::unique_ptr<net::UdpTransport> udp;
+  std::unique_ptr<net::IoBackend> io;
   net::Endpoint server;
   std::unique_ptr<util::Rng> rng;
   std::mutex mutex;
@@ -223,7 +231,7 @@ void send_query(Load& load, Agent& agent, std::size_t s, int64_t now) {
   slot.sent_at_us = now;
   ++agent.sent;
   if (ext) load.ext_sent.fetch_add(1, std::memory_order_relaxed);
-  agent.udp->send(agent.server, wire);
+  agent.io->send(agent.server, wire);
 }
 
 void on_response(Load& load, Agent& agent, std::span<const uint8_t> data) {
@@ -291,8 +299,22 @@ int main(int argc, char** argv) {
         "                [--sockets N] [--concurrency N] [--qps N]\n"
         "                [--names N] [--zipf s] [--lease-fraction f]\n"
         "                [--origin name] [--timeout-ms N] [--seed N]\n"
-        "                [--workers-label N] [--out file.json]\n");
+        "                [--workers-label N] [--io-backend portable|uring]\n"
+        "                [--probe-io-backend] [--out file.json]\n");
     return 2;
+  }
+  if (opts.probe) {
+    if (!net::uring_compiled()) {
+      std::printf("io_uring: not compiled in\n");
+      return 3;
+    }
+    if (auto status = net::uring_runtime_probe(); !status.ok()) {
+      std::printf("io_uring: unavailable (%s)\n",
+                  status.error().to_string().c_str());
+      return 3;
+    }
+    std::printf("io_uring: available\n");
+    return 0;
   }
 
   Load load{opts, build_templates(opts),
@@ -303,14 +325,19 @@ int main(int argc, char** argv) {
           ? static_cast<int64_t>(1e6 * opts.sockets * opts.concurrency /
                                  opts.qps)
           : 0;
+  const net::IoBackendKind kind =
+      net::resolve_io_backend_kind(opts.io_backend);
   for (int i = 0; i < opts.sockets; ++i) {
     auto agent = std::make_unique<Agent>();
-    auto bound = net::UdpTransport::bind(0);
+    net::IoBackend::Options socket_options;
+    socket_options.port = 0;
+    socket_options.reuseport = false;
+    auto bound = net::bind_io_backend(kind, socket_options);
     if (!bound.ok()) {
       std::fprintf(stderr, "socket: %s\n", bound.error().to_string().c_str());
       return 1;
     }
-    agent->udp = std::move(bound).value();
+    agent->io = std::move(bound).value();
     agent->server = opts.servers[i % opts.servers.size()];
     agent->rng = std::make_unique<util::Rng>(seeder.fork());
     agent->slots.resize(opts.concurrency);
@@ -320,7 +347,7 @@ int main(int argc, char** argv) {
   }
   for (auto& agent : load.agents) {
     Agent* a = agent.get();
-    a->udp->set_receive_handler(
+    a->io->set_receive_handler(
         [&load, a](const net::Endpoint&, std::span<const uint8_t> data) {
           on_response(load, *a, data);
         });
@@ -348,7 +375,7 @@ int main(int argc, char** argv) {
       std::chrono::microseconds(static_cast<int64_t>(opts.duration_s * 1e6)));
   load.running.store(false);
   pacer.join();
-  for (auto& agent : load.agents) agent->udp->stop_receiving();
+  for (auto& agent : load.agents) agent->io->stop_receiving();
   const double elapsed_s = (now_us() - start) / 1e6;
 
   uint64_t sent = 0, lost = 0, mismatched = 0;
@@ -373,11 +400,17 @@ int main(int argc, char** argv) {
   const uint32_t p95 = percentile(latencies, 0.95);
   const uint32_t p99 = percentile(latencies, 0.99);
 
+  // All agents bind through the same resolved kind; any fallback applies
+  // to every socket alike.
+  const std::string_view backend = load.agents.front()->io->backend_name();
+  const std::size_t batch_slots = load.agents.front()->io->batch_slots();
+
   std::printf(
-      "dnsflood: %.1fs %s, %llu sent, %llu answered (%.0f q/s), "
+      "dnsflood: %.1fs %s (io=%.*s), %llu sent, %llu answered (%.0f q/s), "
       "%llu lost (%.3f%%), %llu stray\n"
       "latency p50 %u us, p95 %u us, p99 %u us\n",
       elapsed_s, opts.qps > 0 ? "open-loop" : "closed-loop",
+      static_cast<int>(backend.size()), backend.data(),
       static_cast<unsigned long long>(sent),
       static_cast<unsigned long long>(answered), achieved_qps,
       static_cast<unsigned long long>(lost), 100.0 * loss_rate,
@@ -391,13 +424,16 @@ int main(int argc, char** argv) {
     }
     std::fprintf(
         f,
-        "{\"workers\": %d, \"mode\": \"%s\", \"target_qps\": %.0f, "
+        "{\"workers\": %d, \"mode\": \"%s\", \"io_backend\": \"%.*s\", "
+        "\"batch_slots\": %zu, \"target_qps\": %.0f, "
         "\"duration_s\": %.3f, \"sockets\": %d, \"concurrency\": %d, "
         "\"names\": %zu, \"zipf_s\": %.3f, \"lease_fraction\": %.3f, "
         "\"sent\": %llu, \"answered\": %llu, \"lost\": %llu, "
         "\"ext_sent\": %llu, \"achieved_qps\": %.1f, \"p50_us\": %u, "
         "\"p95_us\": %u, \"p99_us\": %u, \"loss_rate\": %.6f}\n",
-        opts.workers_label, opts.qps > 0 ? "open" : "closed", opts.qps,
+        opts.workers_label, opts.qps > 0 ? "open" : "closed",
+        static_cast<int>(backend.size()), backend.data(), batch_slots,
+        opts.qps,
         elapsed_s, opts.sockets, opts.concurrency, opts.names, opts.zipf_s,
         opts.lease_fraction, static_cast<unsigned long long>(sent),
         static_cast<unsigned long long>(answered),

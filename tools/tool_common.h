@@ -1,0 +1,217 @@
+// Shared CLI plumbing for the daemon tools (dnscupd, dnscached) and the
+// load generator (dnsflood): the serving flags every daemon grows
+// identically (--workers/--batch/--io-backend/--pin-cpus/...), metrics
+// dump/aggregation helpers, and the "listening" banner supervisors and
+// check.sh wait for.  Header-only; tools/ is the only consumer.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "net/io_backend.h"
+#include "util/metrics.h"
+
+namespace dnscup::tools {
+
+/// Parses "0,2,4" into CPU ids.  Rejects empty lists, stray characters
+/// and negative ids.
+inline std::optional<std::vector<int>> parse_pin_cpus(const char* text) {
+  std::vector<int> cpus;
+  const char* p = text;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long cpu = std::strtol(p, &end, 10);
+    if (end == p || cpu < 0 || cpu > 4096) return std::nullopt;
+    cpus.push_back(static_cast<int>(cpu));
+    p = end;
+    if (*p == ',') {
+      ++p;
+      if (*p == '\0') return std::nullopt;  // trailing comma
+    } else if (*p != '\0') {
+      return std::nullopt;
+    }
+  }
+  if (cpus.empty()) return std::nullopt;
+  return cpus;
+}
+
+/// The serving knobs dnscupd and dnscached share verbatim.  Each tool
+/// embeds one (with its own default port), feeds unrecognised args to
+/// parse_serving_flag() first, and copies the result into its runtime
+/// Config via apply().
+struct ServingFlags {
+  explicit ServingFlags(uint16_t default_port) : port(default_port) {}
+
+  uint16_t port;
+  int workers = 1;
+  bool reuseport = true;
+  int batch = 32;  ///< datagrams served per worker iteration / tx flush
+  int rcvbuf = 1 << 20;
+  int sndbuf = 1 << 20;
+  net::IoBackendKind io_backend = net::IoBackendKind::kDefault;
+  std::vector<int> pin_cpus;
+  bool dnscup = true;
+  bool verbose = false;
+  std::string metrics_out;  ///< empty: no metrics dumps
+  int64_t metrics_interval_s = 10;
+
+  /// Copies into runtime::Config or cachert::Config (field names match).
+  template <class ConfigT>
+  void apply(ConfigT& config) const {
+    config.port = port;
+    config.workers = workers;
+    config.reuseport = reuseport;
+    config.batch_size = static_cast<std::size_t>(batch);
+    config.rcvbuf_bytes = rcvbuf;
+    config.sndbuf_bytes = sndbuf;
+    config.io_backend = io_backend;
+    config.pin_cpus = pin_cpus;
+    config.dnscup = dnscup;
+  }
+};
+
+enum class FlagParse {
+  kMatched,    ///< consumed (possibly with its value argument)
+  kError,      ///< matched but the value is missing/invalid
+  kUnmatched,  ///< not a shared flag; the tool should try its own
+};
+
+/// Tries `arg` against the shared serving flags.  `next` yields the next
+/// argv entry (consuming it) or nullptr — the same closure the tools
+/// already use for their private flags.
+inline FlagParse parse_serving_flag(const std::string& arg,
+                                    const std::function<const char*()>& next,
+                                    ServingFlags& flags) {
+  const char* v = nullptr;
+  if (arg == "--port") {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    flags.port = static_cast<uint16_t>(std::atoi(v));
+  } else if (arg == "--workers") {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    flags.workers = std::atoi(v);
+    if (flags.workers < 1) return FlagParse::kError;
+  } else if (arg == "--no-reuseport") {
+    flags.reuseport = false;
+  } else if (arg == "--batch") {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    flags.batch = std::atoi(v);
+    if (flags.batch < 1) return FlagParse::kError;
+  } else if (arg == "--rcvbuf") {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    flags.rcvbuf = std::atoi(v);
+  } else if (arg == "--sndbuf") {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    flags.sndbuf = std::atoi(v);
+  } else if (arg == "--io-backend") {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    const auto kind = net::parse_io_backend_kind(v);
+    if (!kind.has_value()) {
+      std::fprintf(stderr, "bad --io-backend %s (portable|uring|default)\n",
+                   v);
+      return FlagParse::kError;
+    }
+    flags.io_backend = *kind;
+  } else if (arg == "--pin-cpus") {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    const auto cpus = parse_pin_cpus(v);
+    if (!cpus.has_value()) {
+      std::fprintf(stderr, "bad --pin-cpus %s (want e.g. 0,1,2)\n", v);
+      return FlagParse::kError;
+    }
+    flags.pin_cpus = *cpus;
+  } else if (arg == "--no-dnscup") {
+    flags.dnscup = false;
+  } else if (arg == "--metrics-out") {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    flags.metrics_out = v;
+  } else if (arg == "--metrics-interval") {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    flags.metrics_interval_s = std::atoll(v);
+    if (flags.metrics_interval_s <= 0) return FlagParse::kError;
+  } else if (arg == "--verbose") {
+    flags.verbose = true;
+  } else {
+    return FlagParse::kUnmatched;
+  }
+  return FlagParse::kMatched;
+}
+
+/// Usage text for the shared flags (one fragment both daemons print).
+inline constexpr const char* kServingUsage =
+    "               [--workers N] [--no-reuseport] [--batch N]\n"
+    "               [--rcvbuf bytes] [--sndbuf bytes]\n"
+    "               [--io-backend portable|uring] [--pin-cpus 0,1,...]\n"
+    "               [--no-dnscup] [--verbose]\n"
+    "               [--metrics-out file] [--metrics-interval seconds]\n";
+
+/// Writes the snapshot JSON to `path` (truncate + replace).
+inline void dump_metrics(const metrics::Snapshot& snapshot,
+                         const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "metrics dump failed: cannot open %s\n",
+                 path.c_str());
+    return;
+  }
+  const std::string json = snapshot.to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+/// Sum of all counters named `name` whose labels contain (key, value);
+/// any (key, value) when key is null.  Collapses per-worker instances.
+inline uint64_t counter_sum(const metrics::Snapshot& snapshot,
+                            const char* name, const char* key = nullptr,
+                            const char* value = nullptr) {
+  uint64_t total = 0;
+  for (const auto& entry : snapshot.entries) {
+    if (entry.kind != metrics::InstrumentKind::kCounter) continue;
+    if (entry.name != name) continue;
+    if (key != nullptr) {
+      bool match = false;
+      for (const auto& [k, v] : entry.labels) {
+        if (k == key && v == value) {
+          match = true;
+          break;
+        }
+      }
+      if (!match) continue;
+    }
+    total += entry.counter_value;
+  }
+  return total;
+}
+
+/// The "listening" banner.  Supervisors (and check.sh) wait for this
+/// line; both daemons print the same shape, including the I/O backend
+/// actually serving (after any uring→portable fallback).
+inline void print_listening(const char* daemon, bool reuseport_active,
+                            const std::vector<net::Endpoint>& endpoints,
+                            int workers, bool dnscup,
+                            std::string_view backend) {
+  const char* mode = dnscup ? "DNScup enabled" : "plain TTL";
+  if (reuseport_active) {
+    std::printf("%s listening on %s, %d workers (SO_REUSEPORT; %s; io=%.*s)\n",
+                daemon, endpoints[0].to_string().c_str(), workers, mode,
+                static_cast<int>(backend.size()), backend.data());
+  } else {
+    std::printf("%s: %d workers on per-worker ports (%s; io=%.*s):\n", daemon,
+                workers, mode, static_cast<int>(backend.size()),
+                backend.data());
+    for (const auto& endpoint : endpoints) {
+      std::printf("  %s\n", endpoint.to_string().c_str());
+    }
+  }
+  // Make the banner visible even when stdout is a pipe or file (fully
+  // buffered).
+  std::fflush(stdout);
+}
+
+}  // namespace dnscup::tools
