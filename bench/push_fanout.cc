@@ -1,0 +1,726 @@
+// Fan-out bench: time-to-99%-consistent for one authority pushing a
+// burst of zone-serial churn to N caches, UDP+retransmit (the paper's
+// datagram CACHE-UPDATE path) versus the connection-oriented push plane
+// (src/push).
+//
+// Both planes deliver the same churn: `--rounds` successive serials for
+// the same record set, submitted back-to-back, to every cache.  A cache
+// is *consistent* once it has seen the newest serial; the reported
+// figure is the wall time from the first transmission until 99% of
+// caches are consistent.
+//
+//   UDP plane   one datagram per (cache, serial) with the notifier's
+//               retransmit schedule (500 ms initial, 2x backoff, 5
+//               retries).  Datagram loss on the cache receive path is
+//               injected at --drop (default 2%) with a deterministic
+//               PRNG — loopback cannot otherwise model the WAN loss
+//               that makes application-timer recovery expensive.
+//   TCP plane   one PushServer; every cache holds a subscribed channel.
+//               The same churn rides the paced scheduler, so superseded
+//               serials coalesce in-queue and never touch the wire.
+//               Transport-level loss recovery belongs to the kernel
+//               (RTT-scale), so no loss is injected; the cost being
+//               compared is the recovery/fan-out *mechanism*, not
+//               loopback's loss rate.
+//
+// Channel setup (connect + SUBSCRIBE for N caches) is excluded from the
+// timed window: a subscription is amortized over the lease lifetime,
+// while the UDP plane pays its full cost on every change.
+//
+// File descriptors: the TCP leg needs ~2 fds per cache.  The bench
+// raises RLIMIT_NOFILE (as far as the hard limit / root allows) and
+// scales N down, with a notice, when the limit still does not fit.
+//
+// Usage: push_fanout [--scales 1000,10000] [--rounds 5] [--drop 0.02]
+//                    [--out BENCH_push_fanout.json]
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/notifier.h"
+#include "dns/name.h"
+#include "net/endpoint.h"
+#include "push/framing.h"
+#include "push/push_server.h"
+#include "util/metrics.h"
+
+namespace dnscup {
+namespace {
+
+constexpr std::size_t kPayloadBytes = 100;  // realistic CACHE-UPDATE size
+constexpr double kConsistentFraction = 0.99;
+
+int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Deterministic xorshift for the injected datagram loss.
+struct Prng {
+  uint64_t state = 0x9E3779B97F4A7C15ull;
+  double next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state >> 11) / 9007199254740992.0;
+  }
+};
+
+uint64_t counter_total(const metrics::Snapshot& snapshot, const char* name) {
+  uint64_t total = 0;
+  for (const auto& entry : snapshot.entries) {
+    if (entry.kind == metrics::InstrumentKind::kCounter &&
+        entry.name == name) {
+      total += entry.counter_value;
+    }
+  }
+  return total;
+}
+
+struct PlaneResult {
+  bool ok = false;
+  double t99_ms = 0.0;       ///< first send -> 99% of caches on newest serial
+  double all_done_ms = 0.0;  ///< until every delivery settled (or timeout)
+  uint64_t packets = 0;      ///< datagrams (UDP) / frames (TCP), both ways
+  double packets_per_change = 0.0;
+  uint64_t retransmits = 0;  ///< UDP only
+  uint64_t coalesced = 0;    ///< TCP only
+  uint64_t paced_batches = 0;
+  uint64_t failures = 0;     ///< retries exhausted / channel failures
+};
+
+// ---------------------------------------------------------------------------
+// UDP plane: notifier-style datagram fan-out with retransmit timers.
+// ---------------------------------------------------------------------------
+
+// Payload layout: cache index (4B BE), serial (4B BE), padding.  Caches
+// echo the first 8 bytes back as the ack.
+void put32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+uint32_t get32(const uint8_t* p) {
+  return (uint32_t{p[0]} << 24) | (uint32_t{p[1]} << 16) |
+         (uint32_t{p[2]} << 8) | uint32_t{p[3]};
+}
+
+PlaneResult run_udp(int caches, int rounds, double drop_rate) {
+  PlaneResult result;
+  const int target = static_cast<int>(caches * kConsistentFraction + 0.999);
+
+  // A modest pool of receiver sockets stands in for the caches; each
+  // socket carries caches/M identities.  Buffers are sized so injected
+  // loss, not receive-queue overflow, is the loss model.
+  const int M = std::min(caches, 64);
+  std::vector<int> cache_fds(M, -1);
+  std::vector<sockaddr_in> cache_addrs(M);
+  const int rcvbuf = 4 * 1024 * 1024;
+  for (int i = 0; i < M; ++i) {
+    cache_fds[i] = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+    ::setsockopt(cache_fds[i], SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(cache_fds[i], reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      std::fprintf(stderr, "udp: bind failed: %s\n", std::strerror(errno));
+      return result;
+    }
+    socklen_t len = sizeof cache_addrs[i];
+    ::getsockname(cache_fds[i], reinterpret_cast<sockaddr*>(&cache_addrs[i]),
+                  &len);
+  }
+  const int auth_fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  ::setsockopt(auth_fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+  sockaddr_in auth_addr{};
+  auth_addr.sin_family = AF_INET;
+  auth_addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ::bind(auth_fd, reinterpret_cast<sockaddr*>(&auth_addr), sizeof auth_addr);
+  socklen_t auth_len = sizeof auth_addr;
+  ::getsockname(auth_fd, reinterpret_cast<sockaddr*>(&auth_addr), &auth_len);
+
+  std::atomic<int> consistent{0};
+  std::atomic<int64_t> t0_us{0};
+  std::atomic<int64_t> t99_us{0};
+  std::atomic<bool> stop{false};
+
+  // Cache side: drain every receiver socket, drop at the injected rate,
+  // track the newest serial per cache and ack everything that arrives.
+  std::thread cache_thread([&] {
+    const int ep = ::epoll_create1(0);
+    for (int i = 0; i < M; ++i) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u32 = static_cast<uint32_t>(i);
+      ::epoll_ctl(ep, EPOLL_CTL_ADD, cache_fds[i], &ev);
+    }
+    std::vector<uint32_t> newest(static_cast<std::size_t>(caches), 0);
+    Prng prng;
+    uint8_t buf[512];
+    epoll_event events[64];
+    while (!stop.load(std::memory_order_acquire)) {
+      const int n = ::epoll_wait(ep, events, 64, 20);
+      for (int e = 0; e < n; ++e) {
+        const int fd = cache_fds[events[e].data.u32];
+        while (true) {
+          const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+          if (r < 0) break;
+          if (r < 8) continue;
+          if (prng.next() < drop_rate) continue;  // injected network loss
+          const uint32_t cache = get32(buf);
+          const uint32_t serial = get32(buf + 4);
+          if (cache < newest.size() && serial > newest[cache]) {
+            newest[cache] = serial;
+            if (serial == static_cast<uint32_t>(rounds)) {
+              const int done = consistent.fetch_add(1) + 1;
+              if (done == target) t99_us.store(now_us());
+            }
+          }
+          // Ack the copy we received (stale copies included, like the
+          // lease client does).
+          ::sendto(fd, buf, 8, 0, reinterpret_cast<sockaddr*>(&auth_addr),
+                   sizeof auth_addr);
+        }
+      }
+    }
+    ::close(ep);
+  });
+
+  // Authority side: burst every round, then service acks + retransmits.
+  struct Pending {
+    int retries_left = 5;
+    int64_t next_due_us = 0;
+    int64_t delay_us = 500'000;  // notifier's initial retry delay
+  };
+  std::map<std::pair<uint32_t, uint32_t>, Pending> pending;
+  uint64_t sends = 0, retransmits = 0, acks = 0, failures = 0;
+  uint8_t payload[kPayloadBytes] = {};
+
+  auto send_update = [&](uint32_t cache, uint32_t serial) {
+    put32(payload, cache);
+    put32(payload + 4, serial);
+    const sockaddr_in& dst = cache_addrs[cache % M];
+    while (::sendto(auth_fd, payload, sizeof payload, 0,
+                    reinterpret_cast<const sockaddr*>(&dst),
+                    sizeof dst) < 0) {
+      if (errno != EAGAIN && errno != ENOBUFS) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  };
+  auto drain_acks = [&] {
+    uint8_t buf[64];
+    while (true) {
+      const ssize_t r = ::recv(auth_fd, buf, sizeof buf, 0);
+      if (r < 8) break;
+      const auto key = std::make_pair(get32(buf), get32(buf + 4));
+      if (pending.erase(key) > 0) ++acks;
+    }
+  };
+
+  t0_us.store(now_us());
+  for (uint32_t serial = 1; serial <= static_cast<uint32_t>(rounds);
+       ++serial) {
+    for (uint32_t cache = 0; cache < static_cast<uint32_t>(caches);
+         ++cache) {
+      send_update(cache, serial);
+      ++sends;
+      Pending p;
+      p.next_due_us = now_us() + p.delay_us;
+      pending[{cache, serial}] = p;
+      if ((cache & 0x3FF) == 0) drain_acks();
+    }
+  }
+  const int64_t deadline_us = now_us() + 30'000'000;
+  while (!pending.empty() && now_us() < deadline_us) {
+    drain_acks();
+    const int64_t now = now_us();
+    for (auto it = pending.begin(); it != pending.end();) {
+      Pending& p = it->second;
+      if (p.next_due_us > now) {
+        ++it;
+        continue;
+      }
+      if (p.retries_left == 0) {
+        ++failures;  // lease revocation in the real notifier
+        it = pending.erase(it);
+        continue;
+      }
+      send_update(it->first.first, it->first.second);
+      ++retransmits;
+      --p.retries_left;
+      p.delay_us *= 2;
+      p.next_due_us = now + p.delay_us;
+      ++it;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const int64_t settled_us = now_us();
+
+  stop.store(true, std::memory_order_release);
+  cache_thread.join();
+  ::close(auth_fd);
+  for (int fd : cache_fds) ::close(fd);
+
+  result.ok = t99_us.load() != 0;
+  if (!result.ok) {
+    std::fprintf(stderr, "udp: only %d/%d caches reached the newest serial\n",
+                 consistent.load(), target);
+    return result;
+  }
+  result.t99_ms = (t99_us.load() - t0_us.load()) / 1000.0;
+  result.all_done_ms = (settled_us - t0_us.load()) / 1000.0;
+  result.retransmits = retransmits;
+  result.failures = failures;
+  result.packets = sends + retransmits + acks;
+  result.packets_per_change = static_cast<double>(result.packets) / rounds;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// TCP plane: PushServer + a multiplexed N-connection subscriber harness.
+// ---------------------------------------------------------------------------
+
+/// All N caches in one epoll loop on one thread: each connection sends
+/// SUBSCRIBE, acks every PUSH, answers pings and tracks the newest
+/// serial it has applied (PUSH body: id 2B, serial 4B BE, padding).
+class SubscriberFleet {
+ public:
+  SubscriberFleet(net::Endpoint authority, int caches, uint32_t target_serial)
+      : authority_(authority),
+        target_serial_(target_serial),
+        target_count_(static_cast<int>(caches * kConsistentFraction + 0.999)) {
+    conns_.resize(static_cast<std::size_t>(caches));
+    epoll_fd_ = ::epoll_create1(0);
+  }
+
+  ~SubscriberFleet() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+    for (auto& c : conns_) {
+      if (c.fd >= 0) ::close(c.fd);
+    }
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  }
+
+  static net::Endpoint identity_of(int i) {
+    return {net::make_ip(10, static_cast<uint8_t>(i >> 16),
+                         static_cast<uint8_t>(i >> 8),
+                         static_cast<uint8_t>(i)),
+            5353};
+  }
+
+  /// Opens connections in bounded chunks (the listen backlog is finite)
+  /// and runs the event loop until every SUBSCRIBE has been flushed.
+  bool connect_all() {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(authority_.ip);
+    addr.sin_port = htons(authority_.port);
+    constexpr std::size_t kChunk = 512;
+    for (std::size_t base = 0; base < conns_.size(); base += kChunk) {
+      const std::size_t end = std::min(base + kChunk, conns_.size());
+      for (std::size_t i = base; i < end; ++i) {
+        Conn& c = conns_[i];
+        c.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+        if (c.fd < 0) return false;
+        const int one = 1;
+        ::setsockopt(c.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        if (::connect(c.fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof addr) != 0 &&
+            errno != EINPROGRESS) {
+          std::fprintf(stderr, "tcp: connect %zu failed: %s\n", i,
+                       std::strerror(errno));
+          return false;
+        }
+        const auto hello =
+            push::encode_subscribe(identity_of(static_cast<int>(i)));
+        push::encode_frame(push::FrameKind::kSubscribe, hello, c.txbuf);
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.u32 = static_cast<uint32_t>(i);
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, c.fd, &ev);
+      }
+      // Let the chunk's handshakes drain before opening the next one.
+      const int64_t deadline = now_us() + 10'000'000;
+      while (pending_tx_count(base, end) > 0 && now_us() < deadline) {
+        pump(5);
+      }
+    }
+    return true;
+  }
+
+  void start() {
+    thread_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_acquire)) pump(20);
+    });
+  }
+
+  int consistent() const { return consistent_.load(std::memory_order_acquire); }
+  int64_t t99_us() const { return t99_us_.load(std::memory_order_acquire); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    push::FrameReader reader;
+    std::vector<uint8_t> txbuf;
+    std::size_t txoff = 0;
+    uint32_t newest_serial = 0;
+    bool want_write = true;  // registered with EPOLLOUT for the handshake
+  };
+
+  std::size_t pending_tx_count(std::size_t begin, std::size_t end) {
+    std::size_t n = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (conns_[i].txoff < conns_[i].txbuf.size()) ++n;
+    }
+    return n;
+  }
+
+  void pump(int timeout_ms) {
+    epoll_event events[128];
+    const int n = ::epoll_wait(epoll_fd_, events, 128, timeout_ms);
+    for (int e = 0; e < n; ++e) {
+      Conn& c = conns_[events[e].data.u32];
+      if (c.fd < 0) continue;
+      if (events[e].events & EPOLLIN) handle_read(c);
+      if (c.fd >= 0 && (events[e].events & EPOLLOUT)) flush(c);
+    }
+  }
+
+  void handle_read(Conn& c) {
+    uint8_t buf[16 * 1024];
+    bool closed = false;
+    while (true) {
+      const ssize_t r = ::read(c.fd, buf, sizeof buf);
+      if (r == 0) {  // server closed (bench teardown)
+        closed = true;
+        break;
+      }
+      if (r < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        closed = true;
+        break;
+      }
+      c.reader.append(std::span<const uint8_t>(buf, static_cast<size_t>(r)));
+    }
+    push::Frame frame;
+    while (c.reader.next(frame)) {
+      switch (frame.kind) {
+        case push::FrameKind::kPush: {
+          if (frame.body.size() >= 6) {
+            const uint32_t serial = get32(frame.body.data() + 2);
+            if (serial > c.newest_serial) {
+              c.newest_serial = serial;
+              if (serial == target_serial_) {
+                const int done = consistent_.fetch_add(1) + 1;
+                if (done == target_count_) t99_us_.store(now_us());
+              }
+            }
+          }
+          if (frame.body.size() >= 2) {
+            // Ack with the update's correlation id (first two body bytes).
+            const std::vector<uint8_t> ack(frame.body.begin(),
+                                           frame.body.begin() + 2);
+            push::encode_frame(push::FrameKind::kPushAck, ack, c.txbuf);
+          }
+          break;
+        }
+        case push::FrameKind::kPing:
+          push::encode_frame(push::FrameKind::kPong, {}, c.txbuf);
+          break;
+        default:
+          break;  // SUBSCRIBE_ACK inventory, pongs
+      }
+    }
+    if (closed) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
+      ::close(c.fd);
+      c.fd = -1;
+      return;
+    }
+    flush(c);
+  }
+
+  void flush(Conn& c) {
+    if (c.fd < 0) return;
+    while (c.txoff < c.txbuf.size()) {
+      const ssize_t w = ::send(c.fd, c.txbuf.data() + c.txoff,
+                               c.txbuf.size() - c.txoff, MSG_NOSIGNAL);
+      if (w < 0) break;
+      c.txoff += static_cast<std::size_t>(w);
+    }
+    if (c.txoff == c.txbuf.size()) {
+      c.txbuf.clear();
+      c.txoff = 0;
+    }
+    const bool want = c.txoff < c.txbuf.size();
+    if (want != c.want_write) {
+      c.want_write = want;
+      epoll_event ev{};
+      ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+      ev.data.u32 = static_cast<uint32_t>(&c - conns_.data());
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+    }
+  }
+
+  net::Endpoint authority_;
+  uint32_t target_serial_;
+  int target_count_;
+  std::vector<Conn> conns_;
+  int epoll_fd_ = -1;
+  std::atomic<int> consistent_{0};
+  std::atomic<int64_t> t99_us_{0};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+PlaneResult run_tcp(int caches, int rounds) {
+  PlaneResult result;
+  metrics::MetricsRegistry registry;
+  std::atomic<uint64_t> acked{0}, coalesced{0}, failed{0};
+
+  push::PushServer::Config config;
+  config.port = 0;
+  config.workers = 1;
+  config.backlog = 4096;
+  // 2 ms pacing keeps the per-tick syscall burst bounded and gives
+  // back-to-back serials a window to coalesce in-queue, like a real
+  // deployment's pacer would under churn.
+  config.pace_interval = net::milliseconds(2);
+  config.pace_burst = 512;
+  auto started = push::PushServer::start(
+      config, &registry,
+      [&](int, uint16_t, core::ChannelResolution resolution) {
+        switch (resolution) {
+          case core::ChannelResolution::kAcked:
+            acked.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case core::ChannelResolution::kCoalesced:
+            coalesced.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case core::ChannelResolution::kFailed:
+            failed.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+      });
+  if (!started.ok()) {
+    std::fprintf(stderr, "tcp: PushServer failed to start\n");
+    return result;
+  }
+  auto server = std::move(started).value();
+  const auto zone = dns::Name::parse("example.com").value();
+  server->set_zone_serial(zone, 0);
+
+  SubscriberFleet fleet(server->local_endpoint(), caches,
+                        static_cast<uint32_t>(rounds));
+  if (!fleet.connect_all()) return result;
+  fleet.start();
+  const int64_t sub_deadline = now_us() + 20'000'000;
+  while (server->subscription_count() < static_cast<std::size_t>(caches)) {
+    if (now_us() > sub_deadline) {
+      std::fprintf(stderr, "tcp: only %zu/%d subscriptions\n",
+                   server->subscription_count(), caches);
+      return result;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::atomic<int64_t> t0_us{0};
+
+  const auto record = dns::Name::parse("www.example.com").value();
+  core::PushWriter* writer = server->writer_for(0);
+  uint64_t udp_fallbacks = 0;
+  t0_us.store(now_us());
+  for (uint32_t serial = 1; serial <= static_cast<uint32_t>(rounds);
+       ++serial) {
+    server->set_zone_serial(zone, serial);
+    for (int cache = 0; cache < caches; ++cache) {
+      core::PushWriter::Item item;
+      item.holder = SubscriberFleet::identity_of(cache);
+      item.id = static_cast<uint16_t>(serial);
+      item.zone = zone;
+      item.serial = serial;
+      item.covered.emplace_back(record, dns::RRType::kA);
+      item.message.resize(kPayloadBytes);
+      item.message[0] = static_cast<uint8_t>(serial >> 8);
+      item.message[1] = static_cast<uint8_t>(serial);
+      put32(item.message.data() + 2, serial);
+      if (!writer->try_push(std::move(item))) ++udp_fallbacks;
+    }
+  }
+  const uint64_t accepted =
+      static_cast<uint64_t>(caches) * rounds - udp_fallbacks;
+  const int64_t deadline = now_us() + 30'000'000;
+  while (acked.load() + coalesced.load() + failed.load() < accepted &&
+         now_us() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const int64_t settled_us = now_us();
+
+  const auto snapshot = registry.snapshot();
+  server->stop();
+
+  result.ok = fleet.t99_us() != 0;
+  if (!result.ok) {
+    std::fprintf(stderr, "tcp: only %d caches reached the newest serial\n",
+                 fleet.consistent());
+    return result;
+  }
+  result.t99_ms = (fleet.t99_us() - t0_us.load()) / 1000.0;
+  result.all_done_ms = (settled_us - t0_us.load()) / 1000.0;
+  result.packets = counter_total(snapshot, "push_frames");
+  result.packets_per_change = static_cast<double>(result.packets) / rounds;
+  result.coalesced = coalesced.load();
+  result.paced_batches = counter_total(snapshot, "push_paced_batches_total");
+  result.failures = failed.load() + udp_fallbacks;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+
+int raise_fd_limit(rlim_t want) {
+  rlimit lim{};
+  ::getrlimit(RLIMIT_NOFILE, &lim);
+  if (lim.rlim_cur < want) {
+    rlimit raised = lim;
+    raised.rlim_cur = want;
+    if (raised.rlim_max < want) raised.rlim_max = want;  // root may raise hard
+    if (::setrlimit(RLIMIT_NOFILE, &raised) != 0) {
+      raised.rlim_cur = lim.rlim_max;  // fall back to the hard limit
+      raised.rlim_max = lim.rlim_max;
+      ::setrlimit(RLIMIT_NOFILE, &raised);
+    }
+    ::getrlimit(RLIMIT_NOFILE, &lim);
+  }
+  return static_cast<int>(lim.rlim_cur);
+}
+
+void json_plane(std::string& out, const char* name, const PlaneResult& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "      \"%s\": {\"ok\": %s, \"t99_ms\": %.2f, "
+                "\"all_done_ms\": %.2f, \"packets\": %llu, "
+                "\"packets_per_change\": %.1f, \"retransmits\": %llu, "
+                "\"coalesced\": %llu, \"paced_batches\": %llu, "
+                "\"failures\": %llu}",
+                name, r.ok ? "true" : "false", r.t99_ms, r.all_done_ms,
+                static_cast<unsigned long long>(r.packets),
+                r.packets_per_change,
+                static_cast<unsigned long long>(r.retransmits),
+                static_cast<unsigned long long>(r.coalesced),
+                static_cast<unsigned long long>(r.paced_batches),
+                static_cast<unsigned long long>(r.failures));
+  out += buf;
+}
+
+}  // namespace
+}  // namespace dnscup
+
+int main(int argc, char** argv) {
+  using namespace dnscup;
+  std::vector<int> scales = {1000, 10000};
+  int rounds = 5;
+  double drop = 0.02;
+  std::string out_path = "BENCH_push_fanout.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--scales") == 0) {
+      scales.clear();
+      const char* p = argv[i + 1];
+      while (*p != '\0') {
+        scales.push_back(std::atoi(p));
+        const char* comma = std::strchr(p, ',');
+        if (comma == nullptr) break;
+        p = comma + 1;
+      }
+    } else if (std::strcmp(argv[i], "--rounds") == 0) {
+      rounds = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--drop") == 0) {
+      drop = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = argv[i + 1];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  bench::heading("CACHE-UPDATE fan-out: UDP+retransmit vs TCP push plane");
+  std::printf("rounds of serial churn per scale: %d; injected UDP loss: "
+              "%.1f%%\n", rounds, drop * 100.0);
+
+  std::string json = "{\n  \"bench\": \"push_fanout\",\n";
+  json += "  \"rounds\": " + std::to_string(rounds) + ",\n";
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "  \"udp_drop_rate\": %.3f,\n", drop);
+    json += buf;
+  }
+  json += "  \"scales\": [\n";
+
+  bool first = true;
+  bool all_ok = true;
+  for (int requested : scales) {
+    // ~2 fds per cache for the TCP leg plus harness overhead.
+    const int fd_limit = raise_fd_limit(
+        static_cast<rlim_t>(requested) * 2 + 1024);
+    int caches = requested;
+    if (fd_limit < caches * 2 + 512) {
+      caches = (fd_limit - 512) / 2;
+      std::printf("NOTE: RLIMIT_NOFILE=%d cannot fit %d caches; scaled "
+                  "down to %d\n", fd_limit, requested, caches);
+    }
+    bench::subheading(std::to_string(caches) + " caches");
+
+    const PlaneResult udp = run_udp(caches, rounds, drop);
+    std::printf("  udp  t99 %8.2f ms  packets/change %8.1f  "
+                "retransmits %llu  failures %llu\n",
+                udp.t99_ms, udp.packets_per_change,
+                static_cast<unsigned long long>(udp.retransmits),
+                static_cast<unsigned long long>(udp.failures));
+    const PlaneResult tcp = run_tcp(caches, rounds);
+    std::printf("  tcp  t99 %8.2f ms  frames/change  %8.1f  "
+                "coalesced %llu  paced batches %llu\n",
+                tcp.t99_ms, tcp.packets_per_change,
+                static_cast<unsigned long long>(tcp.coalesced),
+                static_cast<unsigned long long>(tcp.paced_batches));
+    all_ok = all_ok && udp.ok && tcp.ok;
+
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"caches\": " + std::to_string(caches) +
+            ", \"requested\": " + std::to_string(requested) + ",\n";
+    json_plane(json, "udp", udp);
+    json += ",\n";
+    json_plane(json, "tcp", tcp);
+    json += "\n    }";
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nresult written to %s\n", out_path.c_str());
+  return all_ok ? 0 : 1;
+}

@@ -148,6 +148,46 @@ util::Result<std::unique_ptr<CacheRuntime>> CacheRuntime::start(
       worker.lease_client =
           std::make_unique<core::LeaseClient>(*worker.resolver, lc);
     }
+    if (cfg.dnscup && cfg.push_plane && cfg.push_authority.port != 0) {
+      // One subscription channel per worker, announcing the worker's
+      // upstream socket (its lease identity at the authority).  The
+      // client's handlers run on its own I/O thread; the payload hops to
+      // the worker over the command queue.  try_push keeps the plane's
+      // thread from ever blocking on a busy worker — a dropped push is
+      // simply never acked and the authority falls back to UDP.
+      push::PushClient::Config pc = cfg.push;
+      pc.authority = cfg.push_authority;
+      pc.identity = runtime->upstream_endpoints_[static_cast<std::size_t>(i)];
+      pc.metrics = &worker.registry;
+      const net::Endpoint grantor = cfg.upstreams.front();
+      worker.push_client = push::PushClient::start(
+          pc,
+          [&worker, grantor](std::vector<uint8_t> bytes) {
+            worker.commands.try_push(
+                [&worker, grantor, bytes = std::move(bytes)] {
+                  auto decoded = dns::Message::decode(bytes);
+                  if (!decoded.ok() || worker.lease_client == nullptr) return;
+                  worker.lease_client->on_channel_update(
+                      grantor, decoded.value(),
+                      [&worker](std::vector<uint8_t> ack) {
+                        worker.push_client->send_ack(std::move(ack));
+                      });
+                });
+            worker.wake.wake();
+          },
+          [&worker](std::vector<push::ZoneSerial> zones) {
+            worker.commands.try_push([&worker, zones = std::move(zones)] {
+              if (worker.lease_client == nullptr) return;
+              std::vector<std::pair<dns::Name, uint32_t>> inventory;
+              inventory.reserve(zones.size());
+              for (const auto& z : zones) {
+                inventory.emplace_back(z.zone, z.serial);
+              }
+              worker.lease_client->on_channel_resync(inventory);
+            });
+            worker.wake.wake();
+          });
+    }
   }
 
   // Go live: worker threads first, then socket intake on both sides.
@@ -246,6 +286,11 @@ void CacheRuntime::worker_loop(Worker& worker) {
 
 void CacheRuntime::stop() {
   if (!running_.exchange(false)) return;
+  // Push channels first: their I/O threads post into worker command
+  // queues, so they must be quiet before the workers drain and exit.
+  for (auto& worker : workers_) {
+    if (worker->push_client != nullptr) worker->push_client->stop();
+  }
   for (auto& worker : workers_) {
     worker->client_io->stop_receiving();
     worker->upstream_io->stop_receiving();
@@ -302,6 +347,34 @@ std::size_t CacheRuntime::live_leases() {
     });
   }
   return live;
+}
+
+std::size_t CacheRuntime::push_connected() const {
+  std::size_t connected = 0;
+  for (const auto& worker : workers_) {
+    if (worker->push_client != nullptr && worker->push_client->connected()) {
+      ++connected;
+    }
+  }
+  return connected;
+}
+
+uint64_t CacheRuntime::push_connects() const {
+  uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    if (worker->push_client != nullptr) {
+      total += worker->push_client->connect_count();
+    }
+  }
+  return total;
+}
+
+void CacheRuntime::set_push_paused(bool paused) {
+  for (auto& worker : workers_) {
+    if (worker->push_client != nullptr) {
+      worker->push_client->set_paused(paused);
+    }
+  }
 }
 
 std::size_t CacheRuntime::cache_entries() {

@@ -42,6 +42,7 @@
 #include "core/lease_client.h"
 #include "net/event_loop.h"
 #include "net/io_backend.h"
+#include "push/push_client.h"
 #include "runtime/buffer_pool.h"
 #include "runtime/mpsc_queue.h"
 #include "runtime/shim_transport.h"
@@ -85,6 +86,16 @@ struct Config {
   uint32_t default_negative_ttl = 60;
   /// LeaseClient renegotiation knobs (see core::LeaseClient::Config).
   double renegotiate_rate_factor = 4.0;
+
+  /// Connection-oriented push plane (src/push): when enabled every
+  /// worker keeps one TCP subscription channel to `push_authority` (the
+  /// authority's --push-listen address), announcing its upstream socket
+  /// as lease identity.  CACHE-UPDATEs then arrive and ack over the
+  /// channel; UDP remains the fallback whenever the channel is down.
+  /// The channel binds to the *first* configured upstream's lease set.
+  bool push_plane = false;
+  net::Endpoint push_authority{};
+  push::PushClient::Config push;  ///< reconnect/keepalive knobs
 
   /// Datagram slots per worker per socket side, shared with the socket's
   /// receiver thread; overflow drops (counted cachert_inbox_dropped).
@@ -144,6 +155,15 @@ class CacheRuntime {
   /// Total cached entries across all workers.
   std::size_t cache_entries();
 
+  /// Workers whose push channel is currently connected (0 when the push
+  /// plane is off).
+  std::size_t push_connected() const;
+  /// Sum of successful channel (re)connects across workers.
+  uint64_t push_connects() const;
+  /// Test/ops hook: drops every worker's push channel and holds it down
+  /// (true) or lets the clients reconnect (false).
+  void set_push_paused(bool paused);
+
  private:
   struct Worker {
     explicit Worker(const Config& config);
@@ -196,6 +216,7 @@ class CacheRuntime {
     std::unique_ptr<net::IoBackend> upstream_io;
     std::unique_ptr<server::CachingResolver> resolver;
     std::unique_ptr<core::LeaseClient> lease_client;
+    std::unique_ptr<push::PushClient> push_client;
     metrics::Counter inbox_dropped;
     metrics::Counter oversize_dropped;
     std::atomic<bool> stop{false};

@@ -37,6 +37,11 @@ LeaseClient::LeaseClient(server::CachingResolver& resolver, Config config)
   stats_.acks_sent = registry.counter("lease_client_acks_sent", base);
   stats_.renegotiations =
       registry.counter("lease_client_renegotiations", base);
+  stats_.channel_updates = registry.counter("lease_client_updates",
+                                            labeled("result", "channel"));
+  stats_.resyncs = registry.counter("lease_client_resyncs", base);
+  stats_.resync_refetches =
+      registry.counter("lease_client_resync_refetches", base);
 }
 
 LeaseClient::Stats LeaseClient::stats() const {
@@ -51,6 +56,9 @@ LeaseClient::Stats LeaseClient::stats() const {
       .auth_failures = stats_.auth_failures,
       .acks_sent = stats_.acks_sent,
       .renegotiations = stats_.renegotiations,
+      .channel_updates = stats_.channel_updates,
+      .resyncs = stats_.resyncs,
+      .resync_refetches = stats_.resync_refetches,
   };
 }
 
@@ -131,6 +139,56 @@ bool LeaseClient::on_unsolicited(const net::Endpoint& from,
   if (message.flags.opcode != dns::Opcode::kCacheUpdate || message.flags.qr) {
     return false;
   }
+  return handle_update(from, message, [&](std::vector<uint8_t> ack) {
+    resolver_->transport().send(from, ack);
+  });
+}
+
+bool LeaseClient::on_channel_update(const net::Endpoint& from,
+                                    const dns::Message& message,
+                                    const AckSender& send_ack) {
+  if (message.flags.opcode != dns::Opcode::kCacheUpdate || message.flags.qr) {
+    return false;
+  }
+  ++stats_.channel_updates;
+  return handle_update(from, message, send_ack);
+}
+
+void LeaseClient::on_channel_resync(
+    const std::vector<std::pair<dns::Name, uint32_t>>& zones) {
+  ++stats_.resyncs;
+  const net::SimTime now = resolver_->loop().now();
+  std::vector<std::pair<dns::Name, dns::RRType>> refetch;
+  for (const auto& [zone, serial] : zones) {
+    auto it = zone_serials_.find(zone);
+    // A gap means pushes were missed while disconnected.  No recorded
+    // serial at all is also a gap when we hold leases under the zone:
+    // those leases came from plain EXT grants and we cannot prove the
+    // data is current.
+    const bool gap =
+        it == zone_serials_.end() || dns::serial_gt(serial, it->second);
+    if (!gap) continue;
+    resolver_->cache().for_each(
+        [&](const server::CacheKey& key, const CacheEntry& entry) {
+          if (!entry.lease.has_value() || now >= entry.lease->expiry) return;
+          if (!key.name.is_subdomain_of(zone)) return;
+          refetch.emplace_back(key.name, key.type);
+        });
+    // Adopt the authority's serial: the refetches below re-read the
+    // current data, so a reconnect without intervening changes stays
+    // quiet next time.
+    zone_serials_[zone] = serial;
+  }
+  for (const auto& [name, type] : refetch) {
+    ++stats_.resync_refetches;
+    resolver_->refresh(name, type,
+                       [](const server::CachingResolver::Outcome&) {});
+  }
+}
+
+bool LeaseClient::handle_update(const net::Endpoint& from,
+                                const dns::Message& message,
+                                const AckSender& send_ack) {
   ++stats_.updates_received;
   if (!config_.trusted_authorities.empty()) {
     bool trusted = false;
@@ -209,7 +267,7 @@ bool LeaseClient::on_unsolicited(const net::Endpoint& from,
   // Acknowledge (idempotent: duplicates are re-acked so the notifier can
   // stop retransmitting even when our first ack was lost).
   const dns::Message ack = make_cache_update_ack(message);
-  resolver_->transport().send(from, ack.encode());
+  send_ack(ack.encode());
   ++stats_.acks_sent;
   return true;
 }

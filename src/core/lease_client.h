@@ -16,7 +16,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "core/auth.h"
@@ -40,6 +42,9 @@ class LeaseClient final : public server::CachingResolver::Extension {
     uint64_t auth_failures = 0;           ///< MAC missing or invalid
     uint64_t acks_sent = 0;
     uint64_t renegotiations = 0;          ///< rate-drift refresh queries
+    uint64_t channel_updates = 0;         ///< pushes arriving over TCP
+    uint64_t resyncs = 0;                 ///< SUBSCRIBE_ACK inventories seen
+    uint64_t resync_refetches = 0;        ///< leased records refetched
   };
 
   struct Config {
@@ -79,6 +84,27 @@ class LeaseClient final : public server::CachingResolver::Extension {
   bool on_unsolicited(const net::Endpoint& from,
                       const dns::Message& message) override;
 
+  /// Delivers one encoded CACHE-UPDATE ack (used by both the UDP path —
+  /// transport().send — and the push channel's in-band PUSH_ACK).
+  using AckSender = std::function<void(std::vector<uint8_t> ack)>;
+
+  /// A CACHE-UPDATE that arrived over the push channel instead of UDP.
+  /// `from` is the lease-granting authority the channel is bound to; the
+  /// same trust / grantor / serial checks as the UDP path apply, and the
+  /// ack goes back through `send_ack` so it rides the channel rather
+  /// than an ambiguous UDP flow.  Returns true when consumed.
+  bool on_channel_update(const net::Endpoint& from,
+                         const dns::Message& message,
+                         const AckSender& send_ack);
+
+  /// Serial-gap resync after a (re)connect: the authority's zone-serial
+  /// inventory from the SUBSCRIBE_ACK.  Any zone whose serial is ahead
+  /// of the last one we applied (or that we hold leases under without
+  /// ever applying a push) had updates we missed while disconnected —
+  /// every leased record under it is refetched.
+  void on_channel_resync(
+      const std::vector<std::pair<dns::Name, uint32_t>>& zones);
+
   /// Live leases currently registered in the cache.
   std::size_t live_leases(net::SimTime now) const;
 
@@ -98,6 +124,9 @@ class LeaseClient final : public server::CachingResolver::Extension {
     metrics::Counter auth_failures;
     metrics::Counter acks_sent;
     metrics::Counter renegotiations;
+    metrics::Counter channel_updates;
+    metrics::Counter resyncs;
+    metrics::Counter resync_refetches;
   };
 
   struct LeaseMeta {
@@ -115,6 +144,10 @@ class LeaseClient final : public server::CachingResolver::Extension {
   };
 
   void maybe_renegotiate(const dns::Name& qname, dns::RRType qtype);
+  /// Shared CACHE-UPDATE pipeline: trust gate, verify, parse, grantor
+  /// check, serial guard, apply, ack via `send_ack`.
+  bool handle_update(const net::Endpoint& from, const dns::Message& message,
+                     const AckSender& send_ack);
 
   server::CachingResolver* resolver_;
   Config config_;

@@ -35,6 +35,14 @@ NotificationModule::NotificationModule(net::Transport* transport,
       registry.counter("cache_update_messages", labeled("result", "acked"));
   stats_.failures =
       registry.counter("cache_update_messages", labeled("result", "failed"));
+  stats_.channel_sent = registry.counter("cache_update_messages",
+                                         labeled("result", "sent_channel"));
+  stats_.channel_coalesced = registry.counter("cache_update_messages",
+                                              labeled("result", "coalesced"));
+  stats_.channel_fallbacks = registry.counter("cache_update_messages",
+                                              labeled("result", "fallback"));
+  stats_.shutdown_flushed = registry.counter(
+      "cache_update_messages", labeled("result", "shutdown_flush"));
   stats_.ack_latency_us = registry.histogram(
       "cache_update_ack_latency_us", base,
       metrics::HistogramOptions{0.0, 1'000'000.0, 20});
@@ -47,6 +55,10 @@ NotificationModule::Stats NotificationModule::stats() const {
       .retransmissions = stats_.retransmissions,
       .acks_received = stats_.acks_received,
       .failures = stats_.failures,
+      .channel_sent = stats_.channel_sent,
+      .channel_coalesced = stats_.channel_coalesced,
+      .channel_fallbacks = stats_.channel_fallbacks,
+      .shutdown_flushed = stats_.shutdown_flushed,
       .ack_latency_us = stats_.ack_latency_us.moments(),
   };
 }
@@ -86,6 +98,34 @@ void NotificationModule::on_zone_change(
     pending.next_delay = config_.initial_retry_delay;
     pending.first_sent = now;
     for (const auto& c : batch) pending.covered.emplace_back(c.name, c.type);
+
+    // Prefer the connection-oriented push plane: the payload bytes are
+    // identical either way, but the channel paces delivery, coalesces
+    // superseded serials and acks in-band.  The channel-ack deadline is
+    // the safety net — a dropped resolution simply degrades to the UDP
+    // retransmit schedule.
+    if (config_.push_writer != nullptr) {
+      PushWriter::Item item;
+      item.holder = holder;
+      item.id = id;
+      item.zone = zone.origin();
+      item.serial = zone.serial();
+      item.covered = pending.covered;
+      scratch_.clear();
+      dns::ByteWriter w(scratch_);
+      pending.message.encode_into(w);
+      const auto bytes = w.message();
+      item.message.assign(bytes.begin(), bytes.end());
+      if (config_.push_writer->try_push(std::move(item))) {
+        pending.via_channel = true;
+        pending.timer = loop_->schedule(config_.channel_ack_timeout,
+                                        [this, id] { on_channel_timeout(id); });
+        pending_.emplace(id, std::move(pending));
+        ++stats_.channel_sent;
+        continue;
+      }
+    }
+
     pending_.emplace(id, std::move(pending));
     ++stats_.updates_sent;
     transmit(id);
@@ -126,6 +166,67 @@ void NotificationModule::on_retry_timer(uint16_t id) {
       static_cast<double>(pending.next_delay) * config_.backoff_factor);
   ++stats_.retransmissions;
   transmit(id);
+}
+
+void NotificationModule::on_channel_resolution(uint16_t id,
+                                               ChannelResolution resolution) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // already settled (e.g. late + UDP ack)
+  Pending& pending = it->second;
+  switch (resolution) {
+    case ChannelResolution::kAcked:
+      // Accept even after a UDP fallback began: an ack is an ack.
+      pending.timer.cancel();
+      ++stats_.acks_received;
+      stats_.ack_latency_us.add(
+          static_cast<double>(loop_->now() - pending.first_sent));
+      pending_.erase(it);
+      return;
+    case ChannelResolution::kCoalesced:
+      if (!pending.via_channel) return;  // already on the UDP path
+      // A newer serial covering the same records is queued behind this
+      // one, so retiring it loses nothing — and must NOT revoke leases.
+      pending.timer.cancel();
+      ++stats_.channel_coalesced;
+      pending_.erase(it);
+      return;
+    case ChannelResolution::kFailed:
+      if (!pending.via_channel) return;
+      pending.timer.cancel();
+      fall_back_to_udp(id);
+      return;
+  }
+}
+
+void NotificationModule::on_channel_timeout(uint16_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end() || !it->second.via_channel) return;
+  fall_back_to_udp(id);
+}
+
+void NotificationModule::fall_back_to_udp(uint16_t id) {
+  Pending& pending = pending_.at(id);
+  pending.via_channel = false;
+  ++stats_.channel_fallbacks;
+  transmit(id);  // full retry budget is still intact
+}
+
+std::size_t NotificationModule::flush_pending() {
+  // One last wire copy of everything still in flight — channel-queued or
+  // awaiting a UDP retry — so shutdown does not silently strand updates.
+  // The cache either acks into the void (harmless) or at least hears the
+  // freshest data before our retransmit machinery goes away.
+  const std::size_t flushed = pending_.size();
+  for (auto& [id, pending] : pending_) {
+    pending.timer.cancel();
+    scratch_.clear();
+    dns::ByteWriter w(scratch_);
+    pending.message.encode_into(w);
+    transport_->send(pending.target, w.message());
+    ++stats_.shutdown_flushed;
+  }
+  pending_.clear();
+  return flushed;
 }
 
 bool NotificationModule::on_message(const net::Endpoint& from,

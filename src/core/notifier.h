@@ -24,6 +24,42 @@
 
 namespace dnscup::core {
 
+/// Sink for CACHE-UPDATEs that should travel over the connection-oriented
+/// push plane (src/push) instead of per-datagram UDP.  The notifier hands
+/// the fully encoded (and, when configured, signed) message over; the
+/// plane owns delivery and reports back asynchronously through
+/// NotificationModule::on_channel_resolution on the notifier's thread.
+class PushWriter {
+ public:
+  struct Item {
+    net::Endpoint holder;  ///< lease identity the update is addressed to
+    uint16_t id = 0;       ///< DNS message id (resolution correlation key)
+    dns::Name zone;
+    uint32_t serial = 0;
+    /// (name, type) pairs the update covers — the coalescing key: a
+    /// queued update is superseded when a newer serial covers all of it.
+    std::vector<std::pair<dns::Name, dns::RRType>> covered;
+    /// Encoded CACHE-UPDATE wire message, byte-identical to what the UDP
+    /// fallback would send (signatures included).
+    std::vector<uint8_t> message;
+  };
+
+  virtual ~PushWriter() = default;
+
+  /// True when the plane accepted delivery (holder subscribed, queue
+  /// capacity left after coalescing).  False means the caller must use
+  /// the UDP path — the holder is unsubscribed, disconnected, or its
+  /// channel is saturated.
+  virtual bool try_push(Item item) = 0;
+};
+
+/// How the push plane disposed of an accepted Item.
+enum class ChannelResolution {
+  kAcked,      ///< the cache acknowledged over the channel
+  kCoalesced,  ///< superseded in-queue by a newer serial covering it
+  kFailed,     ///< connection lost / flush failed — fall back to UDP
+};
+
 class NotificationModule {
  public:
   struct Config {
@@ -36,14 +72,25 @@ class NotificationModule {
     /// Registry for cache_update_* instruments (default_registry() when
     /// null).
     metrics::MetricsRegistry* metrics = nullptr;
+    /// Connection-oriented push plane; when set, subscribed holders get
+    /// their updates over the channel and UDP becomes the fallback.  Not
+    /// owned; must outlive the module.
+    PushWriter* push_writer = nullptr;
+    /// How long to wait for a channel resolution before falling back to
+    /// the UDP retransmit schedule.
+    net::Duration channel_ack_timeout = net::seconds(5);
   };
 
   struct Stats {
     uint64_t changes_observed = 0;
-    uint64_t updates_sent = 0;          ///< first transmissions
+    uint64_t updates_sent = 0;          ///< first UDP transmissions
     uint64_t retransmissions = 0;
     uint64_t acks_received = 0;
     uint64_t failures = 0;              ///< retries exhausted
+    uint64_t channel_sent = 0;          ///< handed to the push plane
+    uint64_t channel_coalesced = 0;     ///< superseded in-channel
+    uint64_t channel_fallbacks = 0;     ///< channel failed -> UDP path
+    uint64_t shutdown_flushed = 0;      ///< final-copy sends at stop()
     util::RunningStats ack_latency_us;  ///< send -> ack
   };
 
@@ -61,6 +108,19 @@ class NotificationModule {
   /// Consumes CACHE-UPDATE acknowledgements; true when handled.
   bool on_message(const net::Endpoint& from, const dns::Message& message);
 
+  /// Push-plane outcome for an accepted Item.  Must run on this module's
+  /// event-loop thread (the runtime routes it to the owning worker).  An
+  /// ack settles the update; kCoalesced retires it without revocation (a
+  /// newer covering serial is queued behind it); kFailed re-arms the UDP
+  /// retransmit schedule.
+  void on_channel_resolution(uint16_t id, ChannelResolution resolution);
+
+  /// Shutdown drain: sends one final UDP copy of every in-flight update
+  /// (channel or UDP), cancels its timer and forgets it, so stop() never
+  /// strands a queued CACHE-UPDATE silently.  Returns how many were
+  /// flushed; also counted as cache_update_messages{result=shutdown_flush}.
+  std::size_t flush_pending();
+
   std::size_t in_flight() const { return pending_.size(); }
   /// Value snapshot of the registry-backed counters; ack_latency_us is the
   /// materialized moments of the cache_update_ack_latency_us histogram.
@@ -73,6 +133,10 @@ class NotificationModule {
     metrics::Counter retransmissions;
     metrics::Counter acks_received;
     metrics::Counter failures;
+    metrics::Counter channel_sent;
+    metrics::Counter channel_coalesced;
+    metrics::Counter channel_fallbacks;
+    metrics::Counter shutdown_flushed;
     metrics::HistogramMetric ack_latency_us;
   };
 
@@ -85,10 +149,16 @@ class NotificationModule {
     net::TimerHandle timer;
     /// Leases to revoke if delivery ultimately fails.
     std::vector<std::pair<dns::Name, dns::RRType>> covered;
+    /// In the push plane's hands; the timer is the channel-ack deadline
+    /// rather than a UDP retransmit.
+    bool via_channel = false;
   };
 
   void transmit(uint16_t id);
   void on_retry_timer(uint16_t id);
+  void on_channel_timeout(uint16_t id);
+  /// Re-arms the UDP path for a pending whose channel delivery failed.
+  void fall_back_to_udp(uint16_t id);
 
   net::Transport* transport_;
   net::EventLoop* loop_;

@@ -34,8 +34,19 @@ constexpr uint32_t make_ip(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
 
 /// Parses "a.b.c.d:port" (the form to_string() prints and every CLI tool
 /// accepts).  Rejects stray characters, octets > 255 and ports outside
-/// 1..65535.
-inline std::optional<Endpoint> parse_endpoint(std::string_view text) {
+/// 1..65535 — including trailing garbage after the port ("127.0.0.1:53x"
+/// is an error, not port 53).  When `error` is non-null a rejection
+/// stores a message naming the offending input and what was wrong with
+/// it, so CLI flags can report something better than "bad endpoint".
+inline std::optional<Endpoint> parse_endpoint(std::string_view text,
+                                              std::string* error = nullptr) {
+  auto fail = [&](const char* why) -> std::optional<Endpoint> {
+    if (error != nullptr) {
+      *error = "bad endpoint \"" + std::string(text) + "\": " + why +
+               " (want a.b.c.d:port, port 1-65535)";
+    }
+    return std::nullopt;
+  };
   uint32_t ip = 0;
   std::size_t pos = 0;
   auto read_number = [&](uint32_t max) -> std::optional<uint32_t> {
@@ -52,19 +63,23 @@ inline std::optional<Endpoint> parse_endpoint(std::string_view text) {
   };
   for (int octet = 0; octet < 4; ++octet) {
     const auto value = read_number(255);
-    if (!value.has_value()) return std::nullopt;
+    if (!value.has_value()) return fail("malformed IPv4 address");
     ip = (ip << 8) | *value;
     if (octet < 3) {
-      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      if (pos >= text.size() || text[pos] != '.') {
+        return fail("malformed IPv4 address");
+      }
       ++pos;
     }
   }
-  if (pos >= text.size() || text[pos] != ':') return std::nullopt;
+  if (pos >= text.size() || text[pos] != ':') {
+    return fail("missing ':port'");
+  }
   ++pos;
   const auto port = read_number(65535);
-  if (!port.has_value() || *port == 0 || pos != text.size()) {
-    return std::nullopt;
-  }
+  if (!port.has_value()) return fail("missing or out-of-range port");
+  if (*port == 0) return fail("port 0 is not addressable");
+  if (pos != text.size()) return fail("trailing characters after the port");
   return Endpoint{ip, static_cast<uint16_t>(*port)};
 }
 

@@ -94,4 +94,47 @@ struct TrafficInstruments {
   }
 };
 
+/// Per-channel instruments for the connection-oriented push plane
+/// (src/push): connection/subscription occupancy, queued-update depth,
+/// coalesced drops and paced write batches, plus a frame/update ledger.
+/// Shared by the authority-side PushServer and (the applicable subset)
+/// the cache-side PushClient; labeled with a role ("server"/"client")
+/// and endpoint so a merged scrape separates the two ends.  Same cell
+/// semantics as TrafficInstruments: relaxed atomics, safe to bump from
+/// the plane's I/O thread while the protocol thread snapshots.
+struct PushChannelInstruments {
+  metrics::Gauge connections;        ///< open TCP connections now
+  metrics::Gauge subscriptions;      ///< identities with a live channel
+  metrics::Gauge queue_depth;        ///< updates queued, not yet written
+  metrics::Counter accepts;          ///< push_connects{role,...}
+  metrics::Counter disconnects;
+  metrics::Counter frames_sent;      ///< push_frames{dir=tx}
+  metrics::Counter frames_received;  ///< push_frames{dir=rx}
+  metrics::Counter coalesced;        ///< push_coalesced_total
+  metrics::Counter paced_batches;    ///< push_paced_batches_total
+  metrics::Counter overflows;        ///< queue full -> UDP fallback
+  metrics::Counter shutdown_flushed; ///< frames force-drained at stop()
+
+  void register_in(metrics::MetricsRegistry& registry, const std::string& role,
+                   const std::string& endpoint) {
+    const metrics::Labels base{{"endpoint", endpoint}, {"role", role}};
+    auto labeled = [&](const char* key, const char* value) {
+      metrics::Labels labels = base;
+      labels.emplace_back(key, value);
+      return labels;
+    };
+    connections = registry.gauge("push_connections", base);
+    subscriptions = registry.gauge("push_subscriptions", base);
+    queue_depth = registry.gauge("push_queue_depth", base);
+    accepts = registry.counter("push_connects_total", base);
+    disconnects = registry.counter("push_disconnects_total", base);
+    frames_sent = registry.counter("push_frames", labeled("dir", "tx"));
+    frames_received = registry.counter("push_frames", labeled("dir", "rx"));
+    coalesced = registry.counter("push_coalesced_total", base);
+    paced_batches = registry.counter("push_paced_batches_total", base);
+    overflows = registry.counter("push_overflow_total", base);
+    shutdown_flushed = registry.counter("push_shutdown_flushed_total", base);
+  }
+};
+
 }  // namespace dnscup::net

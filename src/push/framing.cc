@@ -1,0 +1,170 @@
+#include "push/framing.h"
+
+#include <cstring>
+
+namespace dnscup::push {
+
+namespace {
+
+void put_u16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v & 0xFF));
+}
+
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  put_u16(out, static_cast<uint16_t>(v >> 16));
+  put_u16(out, static_cast<uint16_t>(v & 0xFFFF));
+}
+
+class BodyReader {
+ public:
+  explicit BodyReader(std::span<const uint8_t> body) : body_(body) {}
+
+  std::optional<uint8_t> u8() {
+    if (pos_ + 1 > body_.size()) return std::nullopt;
+    return body_[pos_++];
+  }
+  std::optional<uint16_t> u16() {
+    if (pos_ + 2 > body_.size()) return std::nullopt;
+    const uint16_t v = static_cast<uint16_t>(
+        (static_cast<uint16_t>(body_[pos_]) << 8) | body_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::optional<uint32_t> u32() {
+    const auto hi = u16();
+    if (!hi.has_value()) return std::nullopt;
+    const auto lo = u16();
+    if (!lo.has_value()) return std::nullopt;
+    return (static_cast<uint32_t>(*hi) << 16) | *lo;
+  }
+  std::optional<std::span<const uint8_t>> bytes(std::size_t n) {
+    if (pos_ + n > body_.size()) return std::nullopt;
+    auto view = body_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+  bool exhausted() const { return pos_ == body_.size(); }
+
+ private:
+  std::span<const uint8_t> body_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool encode_frame(FrameKind kind, std::span<const uint8_t> body,
+                  std::vector<uint8_t>& out) {
+  if (body.size() > kMaxFrameBody) return false;
+  const uint16_t length = static_cast<uint16_t>(body.size() + 1);
+  out.reserve(out.size() + 2 + length);
+  put_u16(out, length);
+  out.push_back(static_cast<uint8_t>(kind));
+  out.insert(out.end(), body.begin(), body.end());
+  return true;
+}
+
+void FrameReader::append(std::span<const uint8_t> data) {
+  if (corrupt_) return;
+  // Compact lazily: drop consumed prefix once it dominates the buffer so
+  // a long-lived connection does not grow its read buffer forever.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+bool FrameReader::next(Frame& frame) {
+  if (corrupt_) return false;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 2) return false;
+  const uint16_t length = static_cast<uint16_t>(
+      (static_cast<uint16_t>(buffer_[consumed_]) << 8) |
+      buffer_[consumed_ + 1]);
+  if (length == 0) {
+    // Cannot even hold the kind byte: the stream is not speaking our
+    // protocol.
+    corrupt_ = true;
+    return false;
+  }
+  if (available < 2u + length) return false;
+  frame.kind = static_cast<FrameKind>(buffer_[consumed_ + 2]);
+  frame.body.assign(
+      buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 3),
+      buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 2 + length));
+  consumed_ += 2u + length;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  return true;
+}
+
+std::vector<uint8_t> encode_subscribe(const net::Endpoint& identity) {
+  std::vector<uint8_t> body;
+  body.push_back(kPushProtocolVersion);
+  put_u32(body, identity.ip);
+  put_u16(body, identity.port);
+  return body;
+}
+
+std::optional<net::Endpoint> parse_subscribe(std::span<const uint8_t> body) {
+  BodyReader reader(body);
+  const auto version = reader.u8();
+  if (!version.has_value() || *version != kPushProtocolVersion) {
+    return std::nullopt;
+  }
+  const auto ip = reader.u32();
+  const auto port = reader.u16();
+  if (!ip.has_value() || !port.has_value() || !reader.exhausted()) {
+    return std::nullopt;
+  }
+  if (*port == 0) return std::nullopt;  // not a usable lease identity
+  return net::Endpoint{*ip, *port};
+}
+
+std::vector<uint8_t> encode_subscribe_ack(
+    const std::vector<ZoneSerial>& zones) {
+  std::vector<uint8_t> body;
+  body.push_back(kPushProtocolVersion);
+  put_u16(body, static_cast<uint16_t>(zones.size()));
+  for (const ZoneSerial& z : zones) {
+    put_u32(body, z.serial);
+    const std::string text = z.zone.to_string();
+    put_u16(body, static_cast<uint16_t>(text.size()));
+    body.insert(body.end(), text.begin(), text.end());
+  }
+  return body;
+}
+
+std::optional<std::vector<ZoneSerial>> parse_subscribe_ack(
+    std::span<const uint8_t> body) {
+  BodyReader reader(body);
+  const auto version = reader.u8();
+  if (!version.has_value() || *version != kPushProtocolVersion) {
+    return std::nullopt;
+  }
+  const auto count = reader.u16();
+  if (!count.has_value()) return std::nullopt;
+  std::vector<ZoneSerial> zones;
+  zones.reserve(*count);
+  for (uint16_t i = 0; i < *count; ++i) {
+    const auto serial = reader.u32();
+    if (!serial.has_value()) return std::nullopt;
+    const auto name_len = reader.u16();
+    if (!name_len.has_value()) return std::nullopt;
+    const auto name_bytes = reader.bytes(*name_len);
+    if (!name_bytes.has_value()) return std::nullopt;
+    const std::string text(reinterpret_cast<const char*>(name_bytes->data()),
+                           name_bytes->size());
+    auto name = dns::Name::parse(text);
+    if (!name.ok()) return std::nullopt;
+    zones.push_back(ZoneSerial{std::move(name).value(), *serial});
+  }
+  if (!reader.exhausted()) return std::nullopt;
+  return zones;
+}
+
+}  // namespace dnscup::push

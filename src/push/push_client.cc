@@ -1,0 +1,266 @@
+#include "push/push_client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace dnscup::push {
+
+namespace {
+
+int64_t mono_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::unique_ptr<PushClient> PushClient::start(Config config,
+                                              UpdateHandler on_update,
+                                              ResyncHandler on_resync) {
+  auto client = std::unique_ptr<PushClient>(
+      new PushClient(config, std::move(on_update), std::move(on_resync)));
+  client->wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  client->thread_ = std::thread([raw = client.get()] { raw->run(); });
+  return client;
+}
+
+PushClient::PushClient(Config config, UpdateHandler on_update,
+                       ResyncHandler on_resync)
+    : config_(config),
+      on_update_(std::move(on_update)),
+      on_resync_(std::move(on_resync)) {
+  instruments_.register_in(metrics::resolve(config.metrics), "client",
+                           config.identity.to_string());
+}
+
+PushClient::~PushClient() { stop(); }
+
+void PushClient::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  stop_requested_.store(true, std::memory_order_release);
+  wake();
+  if (thread_.joinable()) thread_.join();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  wake_fd_ = -1;
+}
+
+void PushClient::wake() {
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void PushClient::send_ack(std::vector<uint8_t> message) {
+  {
+    std::lock_guard lock(tx_mu_);
+    if (!connected_.load(std::memory_order_relaxed)) return;
+    encode_frame(FrameKind::kPushAck, message, tx_pending_);
+  }
+  wake();
+}
+
+void PushClient::set_paused(bool paused) {
+  paused_.store(paused, std::memory_order_release);
+  wake();
+}
+
+void PushClient::run() {
+  net::Duration backoff = config_.reconnect_min;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    if (paused_.load(std::memory_order_acquire)) {
+      // Parked: poll only the wake fd so unpause/stop is immediate.
+      pollfd pfd{wake_fd_, POLLIN, 0};
+      ::poll(&pfd, 1, 100);
+      uint64_t drain = 0;
+      while (::read(wake_fd_, &drain, sizeof drain) > 0) {
+      }
+      continue;
+    }
+    const int fd = connect_once();
+    if (fd < 0) {
+      // Backoff sleep, interruptible by wake().
+      pollfd pfd{wake_fd_, POLLIN, 0};
+      ::poll(&pfd, 1, static_cast<int>(backoff / 1000));
+      uint64_t drain = 0;
+      while (::read(wake_fd_, &drain, sizeof drain) > 0) {
+      }
+      backoff = std::min(backoff * 2, config_.reconnect_max);
+      continue;
+    }
+    backoff = config_.reconnect_min;
+    connects_.fetch_add(1, std::memory_order_relaxed);
+    ++instruments_.accepts;
+    instruments_.connections.set(1.0);
+    connected_.store(true, std::memory_order_release);
+    serve(fd);
+    connected_.store(false, std::memory_order_release);
+    instruments_.connections.set(0.0);
+    ++instruments_.disconnects;
+    {
+      // Acks queued for the dead connection are stale; the authority's
+      // channel-ack deadline handles the loss.
+      std::lock_guard lock(tx_mu_);
+      tx_pending_.clear();
+    }
+    ::close(fd);
+  }
+}
+
+int PushClient::connect_once() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(config_.authority.ip);
+  addr.sin_port = htons(config_.authority.port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 &&
+      errno != EINPROGRESS) {
+    ::close(fd);
+    return -1;
+  }
+  // Wait for writability (connection established or refused), staying
+  // responsive to stop()/set_paused() via the wake fd.
+  const int64_t deadline = mono_now_us() + net::seconds(2);
+  while (mono_now_us() < deadline) {
+    if (stop_requested_.load(std::memory_order_acquire) ||
+        paused_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return -1;
+    }
+    pollfd pfds[2] = {{fd, POLLOUT, 0}, {wake_fd_, POLLIN, 0}};
+    const int n = ::poll(pfds, 2, 50);
+    if (n < 0 && errno != EINTR) break;
+    if (pfds[0].revents & (POLLOUT | POLLERR | POLLHUP)) {
+      int err = 0;
+      socklen_t len = sizeof err;
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) break;
+      return fd;
+    }
+  }
+  ::close(fd);
+  return -1;
+}
+
+void PushClient::serve(int fd) {
+  FrameReader reader;
+  std::vector<uint8_t> txbuf;
+  std::size_t txoff = 0;
+  // Announce the lease identity first: everything else on this channel
+  // only makes sense once the authority knows which cache this is.
+  const auto hello = encode_subscribe(config_.identity);
+  encode_frame(FrameKind::kSubscribe, hello, txbuf);
+  ++instruments_.frames_sent;
+
+  int64_t last_rx = mono_now_us();
+  int64_t last_ping = last_rx;
+  while (!stop_requested_.load(std::memory_order_acquire) &&
+         !paused_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard lock(tx_mu_);
+      if (!tx_pending_.empty()) {
+        txbuf.insert(txbuf.end(), tx_pending_.begin(), tx_pending_.end());
+        tx_pending_.clear();
+      }
+    }
+    short want = POLLIN;
+    if (txoff < txbuf.size()) want |= POLLOUT;
+    pollfd pfds[2] = {{fd, want, 0}, {wake_fd_, POLLIN, 0}};
+    const int n = ::poll(pfds, 2, 100);
+    if (n < 0 && errno != EINTR) return;
+    uint64_t drain = 0;
+    while (::read(wake_fd_, &drain, sizeof drain) > 0) {
+    }
+    // Drain reads before acting on POLLERR/POLLHUP: a frame the
+    // authority flushed right before closing (its shutdown drain) is
+    // still sitting in the receive buffer and must not be dropped.
+    bool peer_closed = false;
+    if (pfds[0].revents & POLLIN) {
+      uint8_t buf[16 * 1024];
+      while (true) {
+        const ssize_t r = ::read(fd, buf, sizeof buf);
+        if (r == 0) {  // authority closed; frames already read still count
+          peer_closed = true;
+          break;
+        }
+        if (r < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          if (errno == EINTR) continue;
+          return;
+        }
+        reader.append(std::span<const uint8_t>(buf, static_cast<size_t>(r)));
+        last_rx = mono_now_us();
+      }
+      Frame frame;
+      while (reader.next(frame)) {
+        ++instruments_.frames_received;
+        switch (frame.kind) {
+          case FrameKind::kPush:
+            if (on_update_) on_update_(std::move(frame.body));
+            break;
+          case FrameKind::kSubscribeAck: {
+            auto zones = parse_subscribe_ack(frame.body);
+            if (zones.has_value() && on_resync_) {
+              on_resync_(std::move(*zones));
+            }
+            break;
+          }
+          case FrameKind::kPing:
+            encode_frame(FrameKind::kPong, {}, txbuf);
+            ++instruments_.frames_sent;
+            break;
+          case FrameKind::kPong:
+            break;
+          case FrameKind::kSubscribe:
+          case FrameKind::kPushAck:
+            return;  // client-to-server frames from the server: abuse
+        }
+      }
+      if (reader.corrupt()) return;
+    }
+    if (peer_closed) return;
+    if (pfds[0].revents & (POLLERR | POLLHUP)) return;
+    // Write whatever is queued (subscribe, acks, pongs, pings).
+    while (txoff < txbuf.size()) {
+      const ssize_t w = ::send(fd, txbuf.data() + txoff, txbuf.size() - txoff,
+                               MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        return;
+      }
+      txoff += static_cast<std::size_t>(w);
+    }
+    if (txoff == txbuf.size()) {
+      txbuf.clear();
+      txoff = 0;
+    }
+    const int64_t now = mono_now_us();
+    if (now - last_rx > config_.idle_timeout) {
+      DNSCUP_LOG_DEBUG("push client: idle timeout, reconnecting");
+      return;
+    }
+    if (now - last_rx > config_.keepalive_interval &&
+        now - last_ping > config_.keepalive_interval) {
+      last_ping = now;
+      encode_frame(FrameKind::kPing, {}, txbuf);
+      ++instruments_.frames_sent;
+    }
+  }
+}
+
+}  // namespace dnscup::push

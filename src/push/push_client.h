@@ -1,0 +1,107 @@
+// Cache-side push plane: one persistent TCP connection to the authority,
+// owned by a small I/O thread.  On (re)connect it sends a SUBSCRIBE frame
+// carrying the cache's lease identity — the UDP endpoint its lease
+// queries use — so the authority re-adopts the existing lease set instead
+// of treating the reconnect as a new cache.  Incoming PUSH frames carry
+// encoded CACHE-UPDATE messages and are handed to the update handler;
+// the SUBSCRIBE_ACK zone-serial inventory goes to the resync handler so
+// a cache that missed pushes while disconnected can detect the serial
+// gap and refetch.  Acks travel back over the channel (send_ack), which
+// sidesteps the UDP flow-hash ambiguity entirely.
+//
+// Handlers run on the client's I/O thread; callers that live on an event
+// loop (CacheRuntime workers) post the payload across their command
+// queue.  send_ack and set_paused are thread-safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "net/time.h"
+#include "net/transport.h"
+#include "push/framing.h"
+#include "util/metrics.h"
+
+namespace dnscup::push {
+
+class PushClient {
+ public:
+  struct Config {
+    net::Endpoint authority;  ///< the authority's --push-listen address
+    net::Endpoint identity;   ///< lease identity announced in SUBSCRIBE
+    net::Duration reconnect_min = net::milliseconds(200);
+    net::Duration reconnect_max = net::seconds(5);
+    net::Duration keepalive_interval = net::seconds(10);
+    net::Duration idle_timeout = net::seconds(30);
+    metrics::MetricsRegistry* metrics = nullptr;  ///< null -> default
+  };
+
+  /// One encoded CACHE-UPDATE arrived over the channel.
+  using UpdateHandler = std::function<void(std::vector<uint8_t> message)>;
+  /// The SUBSCRIBE_ACK inventory after a (re)connect.
+  using ResyncHandler = std::function<void(std::vector<ZoneSerial> zones)>;
+
+  /// Starts the I/O thread; it connects (and reconnects with backoff)
+  /// until stop().  Never fails: an unreachable authority just keeps the
+  /// client in its backoff loop while the UDP path carries updates.
+  static std::unique_ptr<PushClient> start(Config config,
+                                           UpdateHandler on_update,
+                                           ResyncHandler on_resync);
+
+  ~PushClient();
+  PushClient(const PushClient&) = delete;
+  PushClient& operator=(const PushClient&) = delete;
+
+  void stop();
+
+  /// Queues one encoded CACHE-UPDATE ack for the channel.  Thread-safe.
+  /// Dropped silently when disconnected — the authority's channel-ack
+  /// deadline then falls the update back to UDP, where the normal UDP
+  /// ack applies.
+  void send_ack(std::vector<uint8_t> message);
+
+  /// Test/ops hook: true drops the connection and holds the client in
+  /// a paused state (no reconnect) until false.  Thread-safe.
+  void set_paused(bool paused);
+
+  bool connected() const {
+    return connected_.load(std::memory_order_relaxed);
+  }
+  uint64_t connect_count() const {
+    return connects_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  PushClient(Config config, UpdateHandler on_update, ResyncHandler on_resync);
+
+  void run();
+  /// Blocking-with-poll connect attempt; -1 on failure.
+  int connect_once();
+  /// Serves one established connection until it drops or stop/pause.
+  void serve(int fd);
+  void wake();
+
+  Config config_;
+  UpdateHandler on_update_;
+  ResyncHandler on_resync_;
+
+  int wake_fd_ = -1;
+  std::mutex tx_mu_;                 ///< guards tx_pending_
+  std::vector<uint8_t> tx_pending_;  ///< framed bytes queued by send_ack
+
+  net::PushChannelInstruments instruments_;
+  std::atomic<bool> connected_{false};
+  std::atomic<uint64_t> connects_{0};
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> stop_requested_{false};
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace dnscup::push

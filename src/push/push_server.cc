@@ -1,0 +1,598 @@
+#include "push/push_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace dnscup::push {
+
+namespace {
+
+constexpr uint32_t kLoopbackIp = (127u << 24) | 1u;
+
+int64_t mono_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// True when every (name, type) in `subset` also appears in `superset`.
+bool covers(
+    const std::vector<std::pair<dns::Name, dns::RRType>>& superset,
+    const std::vector<std::pair<dns::Name, dns::RRType>>& subset) {
+  for (const auto& record : subset) {
+    if (std::find(superset.begin(), superset.end(), record) ==
+        superset.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+/// PushWriter adapter: binds one worker index so the server knows which
+/// command queue to route resolutions back to.
+class PushServer::WorkerWriter : public core::PushWriter {
+ public:
+  WorkerWriter(PushServer* server, int worker)
+      : server_(server), worker_(worker) {}
+
+  bool try_push(Item item) override {
+    return server_->submit(worker_, std::move(item));
+  }
+
+ private:
+  PushServer* server_;
+  int worker_;
+};
+
+util::Result<std::unique_ptr<PushServer>> PushServer::start(
+    Config config, metrics::MetricsRegistry* metrics, ResolveFn resolve) {
+  DNSCUP_ASSERT(resolve != nullptr && config.workers > 0);
+  auto server = std::unique_ptr<PushServer>(
+      new PushServer(config, metrics, std::move(resolve)));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd < 0) {
+    return util::make_error(util::ErrorCode::kIo,
+                            std::string("push socket: ") +
+                                std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(kLoopbackIp);
+  addr.sin_port = htons(config.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return util::make_error(util::ErrorCode::kIo,
+                            std::string("push bind: ") + std::strerror(err));
+  }
+  if (::listen(fd, config.backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return util::make_error(util::ErrorCode::kIo,
+                            std::string("push listen: ") + std::strerror(err));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return util::make_error(util::ErrorCode::kIo,
+                            std::string("push getsockname: ") +
+                                std::strerror(err));
+  }
+  server->listen_fd_ = fd;
+  server->local_ = net::Endpoint{kLoopbackIp, ntohs(addr.sin_port)};
+
+  server->epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  server->wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (server->epoll_fd_ < 0 || server->wake_fd_ < 0) {
+    return util::make_error(util::ErrorCode::kIo,
+                            std::string("push epoll/eventfd: ") +
+                                std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = server->listen_fd_;
+  ::epoll_ctl(server->epoll_fd_, EPOLL_CTL_ADD, server->listen_fd_, &ev);
+  ev.data.fd = server->wake_fd_;
+  ::epoll_ctl(server->epoll_fd_, EPOLL_CTL_ADD, server->wake_fd_, &ev);
+
+  server->thread_ = std::thread([raw = server.get()] { raw->run(); });
+  return server;
+}
+
+PushServer::PushServer(Config config, metrics::MetricsRegistry* metrics,
+                       ResolveFn resolve)
+    : config_(config), resolve_(std::move(resolve)) {
+  // All instruments are created here, before the I/O thread exists — the
+  // registry's instrument map is not thread-safe.
+  instruments_.register_in(metrics::resolve(metrics), "server",
+                           "push-listen");
+  writers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
+    writers_.push_back(std::make_unique<WorkerWriter>(this, w));
+  }
+}
+
+PushServer::~PushServer() { stop(); }
+
+core::PushWriter* PushServer::writer_for(int worker) {
+  DNSCUP_ASSERT(worker >= 0 &&
+                worker < static_cast<int>(writers_.size()));
+  return writers_[static_cast<std::size_t>(worker)].get();
+}
+
+void PushServer::set_zone_serial(const dns::Name& zone, uint32_t serial) {
+  std::lock_guard lock(zones_mu_);
+  zone_serials_[zone.to_string()] = ZoneSerial{zone, serial};
+}
+
+bool PushServer::subscribed(const net::Endpoint& holder) const {
+  std::lock_guard lock(mu_);
+  return subs_.count(holder) > 0;
+}
+
+std::size_t PushServer::connection_count() const { return conn_count_; }
+std::size_t PushServer::subscription_count() const { return sub_count_; }
+
+bool PushServer::submit(int worker, core::PushWriter::Item item) {
+  // (worker, id) pairs whose queued updates this submission supersedes;
+  // resolved *after* the lock drops — resolve_ posts into a worker queue
+  // and must never run under mu_.
+  std::vector<std::pair<int, uint16_t>> coalesced;
+  bool accepted = false;
+  bool had_channel = false;
+  {
+    std::lock_guard lock(mu_);
+    if (!stopping_) {
+      auto it = subs_.find(item.holder);
+      if (it != subs_.end()) {
+        had_channel = true;
+        Conn* conn = it->second;
+        // Full-supersede coalescing: the payload bytes are pre-encoded
+        // (and possibly signed), so a queued update can only be dropped
+        // when the newer serial covers every record it carried — which
+        // keeps exactly the newest serial per (cache, name).
+        for (auto qi = conn->queue.begin(); qi != conn->queue.end();) {
+          if (qi->zone == item.zone && dns::serial_gt(item.serial, qi->serial)
+              && covers(item.covered, qi->covered)) {
+            coalesced.emplace_back(qi->worker, qi->id);
+            qi = conn->queue.erase(qi);
+          } else {
+            ++qi;
+          }
+        }
+        if (conn->queue.size() < config_.max_queue_per_conn) {
+          conn->queue.push_back(Queued{worker, item.id, std::move(item.zone),
+                                       item.serial, std::move(item.covered),
+                                       std::move(item.message)});
+          accepted = true;
+        }
+      }
+    }
+  }
+  if (!coalesced.empty()) {
+    instruments_.coalesced.inc(coalesced.size());
+    for (const auto& [w, id] : coalesced) {
+      resolve_(w, id, core::ChannelResolution::kCoalesced);
+    }
+  }
+  std::size_t depth = queued_total_.load(std::memory_order_relaxed);
+  depth += accepted ? 1 : 0;
+  depth -= std::min(depth, coalesced.size());
+  queued_total_.store(depth, std::memory_order_relaxed);
+  instruments_.queue_depth.set(static_cast<double>(depth));
+  if (accepted) {
+    wake();
+  } else if (had_channel) {
+    // A live channel whose queue is saturated: the update rides UDP and
+    // the overflow shows up in the scrape as a pacing/backpressure signal.
+    instruments_.overflows.inc();
+  }
+  return accepted;
+}
+
+void PushServer::wake() {
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void PushServer::run() {
+  epoll_event events[128];
+  int64_t now = mono_now_us();
+  last_pace_us_ = now;
+  last_sweep_us_ = now;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    // Tight timeout while updates are queued (pacing cadence), relaxed
+    // when idle — keepalives only need ~second resolution.
+    const bool busy = queued_total_.load(std::memory_order_relaxed) > 0;
+    const int timeout_ms = busy
+        ? std::max(1, static_cast<int>(config_.pace_interval / 1000))
+        : 50;
+    const int n = ::epoll_wait(epoll_fd_, events, 128, timeout_ms);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drain = 0;
+        while (::read(wake_fd_, &drain, sizeof drain) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      Conn* conn = it->second.get();
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        close_conn(conn, "socket error/hangup");
+        continue;
+      }
+      if (events[i].events & EPOLLIN) {
+        handle_read(conn);
+        // handle_read may close; re-check before writing.
+        if (conns_.count(fd) == 0) continue;
+      }
+      if (events[i].events & EPOLLOUT) write_some(conn);
+    }
+    now = mono_now_us();
+    if (now - last_pace_us_ >= config_.pace_interval) {
+      last_pace_us_ = now;
+      service_queues(now);
+    }
+    if (now - last_sweep_us_ >= net::seconds(1)) {
+      last_sweep_us_ = now;
+      keepalive_sweep(now);
+    }
+  }
+  shutdown_flush();
+  while (!conns_.empty()) {
+    close_conn(conns_.begin()->second.get(), "server stopping");
+  }
+}
+
+void PushServer::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: wait for epoll
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->last_rx_us = mono_now_us();
+    conn->last_ping_us = conn->last_rx_us;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, std::move(conn));
+    conn_count_.store(conns_.size(), std::memory_order_relaxed);
+    ++instruments_.accepts;
+    instruments_.connections.set(static_cast<double>(conns_.size()));
+  }
+}
+
+void PushServer::handle_read(Conn* conn) {
+  const int fd = conn->fd;  // conn dies if a handler closes it
+  uint8_t buf[16 * 1024];
+  bool peer_closed = false;
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n == 0) {
+      // Process the frames that arrived before the FIN below — a final
+      // PUSH_ACK flushed right before the cache closed still counts.
+      peer_closed = true;
+      break;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(conn, "read error");
+      return;
+    }
+    conn->reader.append(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+    conn->last_rx_us = mono_now_us();
+  }
+  Frame frame;
+  while (conn->reader.next(frame)) {
+    ++instruments_.frames_received;
+    handle_frame(conn, frame);
+    if (conns_.count(fd) == 0) return;  // frame handler closed it
+  }
+  if (conn->reader.corrupt()) {
+    close_conn(conn, "framing violation");
+    return;
+  }
+  if (peer_closed) close_conn(conn, "peer closed");
+}
+
+void PushServer::handle_frame(Conn* conn, Frame& frame) {
+  switch (frame.kind) {
+    case FrameKind::kSubscribe:
+      handle_subscribe(conn, frame.body);
+      return;
+    case FrameKind::kPushAck: {
+      // The body is the encoded CACHE-UPDATE acknowledgement; the DNS
+      // message id (header bytes 0-1) is the correlation key, and the
+      // connection itself authenticates the addressee — no flow-hash
+      // ambiguity as with UDP acks.
+      if (frame.body.size() < 2) return;
+      const uint16_t id = static_cast<uint16_t>(
+          (static_cast<uint16_t>(frame.body[0]) << 8) | frame.body[1]);
+      auto it = conn->unacked.find(id);
+      if (it == conn->unacked.end()) return;  // duplicate/unknown: ignore
+      const int worker = it->second;
+      conn->unacked.erase(it);
+      resolve_(worker, id, core::ChannelResolution::kAcked);
+      return;
+    }
+    case FrameKind::kPing:
+      send_frame(conn, FrameKind::kPong, {});
+      return;
+    case FrameKind::kPong:
+      return;  // last_rx_us already refreshed
+    case FrameKind::kSubscribeAck:
+    case FrameKind::kPush:
+      // Server-to-client frames arriving at the server: protocol abuse.
+      close_conn(conn, "unexpected frame kind");
+      return;
+  }
+  close_conn(conn, "unknown frame kind");
+}
+
+void PushServer::handle_subscribe(Conn* conn, std::span<const uint8_t> body) {
+  const auto identity = parse_subscribe(body);
+  if (!identity.has_value()) {
+    close_conn(conn, "malformed SUBSCRIBE");
+    return;
+  }
+  Conn* displaced = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    auto [it, inserted] = subs_.emplace(*identity, conn);
+    if (!inserted && it->second != conn) {
+      // Reconnect re-adopting the lease identity: the fresh channel wins
+      // and the stale one (often a half-dead socket we have not timed
+      // out yet) is displaced.
+      displaced = it->second;
+      displaced->subscribed = false;
+      it->second = conn;
+    }
+    conn->subscribed = true;
+    conn->identity = *identity;
+    sub_count_.store(subs_.size(), std::memory_order_relaxed);
+  }
+  instruments_.subscriptions.set(
+      static_cast<double>(sub_count_.load(std::memory_order_relaxed)));
+  if (displaced != nullptr) close_conn(displaced, "identity re-adopted");
+
+  std::vector<ZoneSerial> zones;
+  {
+    std::lock_guard lock(zones_mu_);
+    zones.reserve(zone_serials_.size());
+    for (const auto& [_, zs] : zone_serials_) zones.push_back(zs);
+  }
+  const auto ack = encode_subscribe_ack(zones);
+  send_frame(conn, FrameKind::kSubscribeAck, ack);
+}
+
+void PushServer::service_queues(int64_t now_us) {
+  (void)now_us;
+  std::size_t serviced = 0;
+  std::size_t moved = 0;
+  // Snapshot the fds first: write_some can close (and erase) a
+  // connection mid-sweep.
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, _] : conns_) fds.push_back(fd);
+  for (int fd : fds) {
+    if (serviced >= config_.pace_burst) break;
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    Conn* conn = it->second.get();
+    const std::size_t before = conn->unacked.size();
+    fill_txbuf(conn);
+    const std::size_t filled = conn->unacked.size() - before;
+    if (filled > 0 || conn->txbuf.size() > conn->txoff) {
+      write_some(conn);
+      ++serviced;
+      moved += filled;
+    }
+  }
+  if (moved > 0) {
+    ++instruments_.paced_batches;
+    std::size_t depth = queued_total_.load(std::memory_order_relaxed);
+    depth -= std::min(depth, moved);
+    queued_total_.store(depth, std::memory_order_relaxed);
+    instruments_.queue_depth.set(static_cast<double>(depth));
+  }
+}
+
+void PushServer::fill_txbuf(Conn* conn) {
+  // Moves queued updates into the connection's write buffer until the
+  // backpressure cap; runs on the I/O thread with mu_ held only for the
+  // queue splice, never across the write syscall.
+  std::lock_guard lock(mu_);
+  while (!conn->queue.empty() &&
+         conn->txbuf.size() - conn->txoff < config_.max_write_buffer) {
+    Queued q = std::move(conn->queue.front());
+    conn->queue.pop_front();
+    encode_frame(FrameKind::kPush, q.message, conn->txbuf);
+    conn->unacked[q.id] = q.worker;
+    ++instruments_.frames_sent;
+  }
+}
+
+void PushServer::write_some(Conn* conn) {
+  while (conn->txoff < conn->txbuf.size()) {
+    const ssize_t n = ::send(conn->fd, conn->txbuf.data() + conn->txoff,
+                             conn->txbuf.size() - conn->txoff, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(conn, "write error");
+      return;
+    }
+    conn->txoff += static_cast<std::size_t>(n);
+  }
+  if (conn->txoff == conn->txbuf.size()) {
+    conn->txbuf.clear();
+    conn->txoff = 0;
+  } else if (conn->txoff > 64 * 1024) {
+    conn->txbuf.erase(conn->txbuf.begin(),
+                      conn->txbuf.begin() +
+                          static_cast<std::ptrdiff_t>(conn->txoff));
+    conn->txoff = 0;
+  }
+  update_want_write(conn);
+}
+
+void PushServer::update_want_write(Conn* conn) {
+  const bool want = conn->txoff < conn->txbuf.size();
+  if (want == conn->want_write) return;
+  conn->want_write = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void PushServer::keepalive_sweep(int64_t now_us) {
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, _] : conns_) fds.push_back(fd);
+  for (int fd : fds) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;  // closed earlier in this sweep
+    Conn* conn = it->second.get();
+    if (now_us - conn->last_rx_us > config_.idle_timeout) {
+      close_conn(conn, "idle timeout");
+    } else if (now_us - conn->last_rx_us > config_.keepalive_interval &&
+               now_us - conn->last_ping_us > config_.keepalive_interval) {
+      conn->last_ping_us = now_us;
+      send_frame(conn, FrameKind::kPing, {});  // may close on write error
+    }
+  }
+}
+
+void PushServer::send_frame(Conn* conn, FrameKind kind,
+                            std::span<const uint8_t> body) {
+  encode_frame(kind, body, conn->txbuf);
+  ++instruments_.frames_sent;
+  write_some(conn);
+}
+
+void PushServer::close_conn(Conn* conn, const char* reason) {
+  std::deque<Queued> orphaned;
+  {
+    std::lock_guard lock(mu_);
+    if (conn->subscribed) {
+      auto it = subs_.find(conn->identity);
+      if (it != subs_.end() && it->second == conn) subs_.erase(it);
+      conn->subscribed = false;
+    }
+    orphaned = std::move(conn->queue);
+    conn->queue.clear();
+    sub_count_.store(subs_.size(), std::memory_order_relaxed);
+  }
+  if (!orphaned.empty()) {
+    std::size_t depth = queued_total_.load(std::memory_order_relaxed);
+    depth -= std::min(depth, orphaned.size());
+    queued_total_.store(depth, std::memory_order_relaxed);
+    instruments_.queue_depth.set(static_cast<double>(depth));
+  }
+  // Everything still owed on this channel degrades to the UDP path.
+  for (const Queued& q : orphaned) {
+    resolve_(q.worker, q.id, core::ChannelResolution::kFailed);
+  }
+  for (const auto& [id, worker] : conn->unacked) {
+    resolve_(worker, id, core::ChannelResolution::kFailed);
+  }
+  DNSCUP_LOG_DEBUG("push: closing connection fd=%d (%s)", conn->fd, reason);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  ++instruments_.disconnects;
+  instruments_.subscriptions.set(
+      static_cast<double>(sub_count_.load(std::memory_order_relaxed)));
+  conns_.erase(conn->fd);
+  conn_count_.store(conns_.size(), std::memory_order_relaxed);
+  instruments_.connections.set(static_cast<double>(conns_.size()));
+}
+
+void PushServer::shutdown_flush() {
+  // Best-effort drain: move every queued update into its write buffer
+  // and push bytes until done or the deadline — a daemon shutdown must
+  // not strand updates that the plane already accepted.
+  const int64_t deadline = mono_now_us() + config_.shutdown_flush_timeout;
+  std::size_t flushed = 0;
+  for (auto& [fd, conn] : conns_) {
+    std::lock_guard lock(mu_);
+    while (!conn->queue.empty()) {
+      Queued q = std::move(conn->queue.front());
+      conn->queue.pop_front();
+      encode_frame(FrameKind::kPush, q.message, conn->txbuf);
+      conn->unacked[q.id] = q.worker;
+      ++flushed;
+    }
+  }
+  bool pending = true;
+  while (pending && mono_now_us() < deadline) {
+    pending = false;
+    std::vector<int> fds;
+    fds.reserve(conns_.size());
+    for (const auto& [fd, _] : conns_) fds.push_back(fd);
+    for (int fd : fds) {
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // write error closed it
+      Conn* conn = it->second.get();
+      write_some(conn);
+      if (conns_.count(fd) == 0) continue;
+      if (conn->txoff < conn->txbuf.size()) pending = true;
+    }
+  }
+  if (flushed > 0) instruments_.shutdown_flushed.inc(flushed);
+  const std::size_t depth = 0;
+  queued_total_.store(depth, std::memory_order_relaxed);
+  instruments_.queue_depth.set(0.0);
+}
+
+void PushServer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;  // reject further submissions
+  }
+  stop_requested_.store(true, std::memory_order_release);
+  wake();
+  if (thread_.joinable()) thread_.join();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+}
+
+}  // namespace dnscup::push

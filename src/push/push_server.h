@@ -1,0 +1,187 @@
+// Authority-side push plane: an epoll-driven TCP connection manager that
+// turns per-datagram CACHE-UPDATE fan-out into a subscription service.
+//
+// Caches connect, send one SUBSCRIBE frame carrying their lease identity
+// (the UDP endpoint their track-file tuples use) and keep the connection
+// open; the authority answers with its zone-serial inventory so a
+// reconnecting cache can detect a serial gap and refetch.  Zone changes
+// are submitted by the worker threads' NotificationModules through the
+// core::PushWriter seam; the server queues them per connection (bounded,
+// with full-supersede coalescing: a queued update is dropped when a newer
+// serial covering all of its records is submitted — only the newest
+// serial per (cache, name) survives), writes them out through a paced
+// scheduler, and reports each update's fate (acked on-channel, coalesced,
+// or failed) back to the owning worker.  Anything the plane cannot take —
+// unsubscribed holder, saturated queue, dropped connection — falls back
+// to the existing UDP+retransmit path via try_push() returning false or
+// a kFailed resolution.
+//
+// Threading: one dedicated I/O thread owns the sockets.  Worker threads
+// only touch the subscription map and the per-connection queues, both
+// guarded by a single mutex that is never held across a syscall or a
+// resolve callback (the callback posts into a worker's command queue and
+// must not be able to deadlock against a worker blocked in try_push).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/notifier.h"
+#include "net/endpoint.h"
+#include "net/time.h"
+#include "net/transport.h"
+#include "push/framing.h"
+#include "util/metrics.h"
+#include "util/result.h"
+
+namespace dnscup::push {
+
+class PushServer {
+ public:
+  struct Config {
+    /// TCP listen port; 0 picks an ephemeral port (tests).
+    uint16_t port = 0;
+    int backlog = 128;
+    /// Serving-runtime worker count — resolutions are routed per worker.
+    int workers = 1;
+    /// Queued (accepted, unwritten) updates per connection; submissions
+    /// beyond this return false and ride the UDP path.
+    std::size_t max_queue_per_conn = 128;
+    /// Bytes a connection may hold in its kernel-facing write buffer
+    /// before the pacer stops feeding it (slow-subscriber backpressure).
+    std::size_t max_write_buffer = 256 * 1024;
+    /// Connections serviced per pacing tick: caps the per-tick syscall
+    /// burst a 1-record change under 100k subscribers can cause.
+    std::size_t pace_burst = 512;
+    net::Duration pace_interval = net::milliseconds(1);
+    net::Duration keepalive_interval = net::seconds(10);
+    net::Duration idle_timeout = net::seconds(30);
+    /// stop() drains write queues for at most this long.
+    net::Duration shutdown_flush_timeout = net::milliseconds(500);
+  };
+
+  /// Reports an accepted update's fate.  Called from the I/O thread (and
+  /// from submitting worker threads for coalescing), never under the
+  /// server mutex; implementations route to the owning worker's loop.
+  using ResolveFn = std::function<void(int worker, uint16_t id,
+                                       core::ChannelResolution resolution)>;
+
+  /// Binds, listens and starts the I/O thread.  `metrics` may be null
+  /// (default registry); all instruments are created before the thread
+  /// starts, per the registry's thread-safety contract.
+  static util::Result<std::unique_ptr<PushServer>> start(
+      Config config, metrics::MetricsRegistry* metrics, ResolveFn resolve);
+
+  ~PushServer();
+  PushServer(const PushServer&) = delete;
+  PushServer& operator=(const PushServer&) = delete;
+
+  /// Flushes write queues (bounded by shutdown_flush_timeout), closes
+  /// every connection and joins the I/O thread.  Idempotent.
+  void stop();
+
+  const net::Endpoint& local_endpoint() const { return local_; }
+
+  /// PushWriter for one worker's NotificationModule; valid for the
+  /// server's lifetime.  Thread-safe to call concurrently from distinct
+  /// workers (each worker gets its own adapter).
+  core::PushWriter* writer_for(int worker);
+
+  /// Publishes/updates one zone's serial in the SUBSCRIBE_ACK inventory.
+  /// Thread-safe; call at startup and from reload paths.
+  void set_zone_serial(const dns::Name& zone, uint32_t serial);
+
+  /// True when `holder` currently has a live subscribed channel.
+  bool subscribed(const net::Endpoint& holder) const;
+
+  std::size_t connection_count() const;
+  std::size_t subscription_count() const;
+
+ private:
+  /// An accepted update waiting for channel capacity.
+  struct Queued {
+    int worker = 0;
+    uint16_t id = 0;
+    dns::Name zone;
+    uint32_t serial = 0;
+    std::vector<std::pair<dns::Name, dns::RRType>> covered;
+    std::vector<uint8_t> message;  ///< encoded CACHE-UPDATE (frame body)
+  };
+
+  struct Conn {
+    int fd = -1;
+    bool subscribed = false;
+    net::Endpoint identity{};  ///< lease identity once subscribed
+    FrameReader reader;
+    /// Accepted updates not yet moved to the write buffer (guard: mu_).
+    std::deque<Queued> queue;
+    /// Framed bytes in flight to the kernel (I/O thread only).
+    std::vector<uint8_t> txbuf;
+    std::size_t txoff = 0;
+    /// Written updates awaiting PUSH_ACK: id -> owning worker.
+    std::map<uint16_t, int> unacked;
+    int64_t last_rx_us = 0;    ///< monotonic clock, I/O thread only
+    int64_t last_ping_us = 0;
+    bool want_write = false;   ///< EPOLLOUT currently armed
+  };
+
+  class WorkerWriter;  // PushWriter adapter binding a worker index
+
+  PushServer(Config config, metrics::MetricsRegistry* metrics,
+             ResolveFn resolve);
+
+  bool submit(int worker, core::PushWriter::Item item);
+
+  void run();
+  void accept_ready();
+  void handle_read(Conn* conn);
+  void handle_frame(Conn* conn, Frame& frame);
+  void handle_subscribe(Conn* conn, std::span<const uint8_t> body);
+  void service_queues(int64_t now_us);
+  void fill_txbuf(Conn* conn);
+  void write_some(Conn* conn);
+  void keepalive_sweep(int64_t now_us);
+  void send_frame(Conn* conn, FrameKind kind, std::span<const uint8_t> body);
+  void close_conn(Conn* conn, const char* reason);
+  void shutdown_flush();
+  void update_want_write(Conn* conn);
+  void wake();
+
+  Config config_;
+  ResolveFn resolve_;
+  net::Endpoint local_{};
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+
+  mutable std::mutex mu_;  ///< guards subs_, Conn::queue, stopping_
+  std::map<net::Endpoint, Conn*> subs_;
+  bool stopping_ = false;
+
+  std::mutex zones_mu_;  ///< guards zone_serials_
+  std::map<std::string, ZoneSerial> zone_serials_;
+
+  /// I/O-thread-owned connection table (fd -> connection).
+  std::map<int, std::unique_ptr<Conn>> conns_;
+  int64_t last_pace_us_ = 0;
+  int64_t last_sweep_us_ = 0;
+
+  std::vector<std::unique_ptr<WorkerWriter>> writers_;
+  net::PushChannelInstruments instruments_;
+  std::atomic<std::size_t> queued_total_{0};
+  std::atomic<std::size_t> conn_count_{0};
+  std::atomic<std::size_t> sub_count_{0};
+
+  std::atomic<bool> stop_requested_{false};
+  bool stopped_ = false;  ///< stop() already completed (main thread)
+  std::thread thread_;
+};
+
+}  // namespace dnscup::push

@@ -126,6 +126,36 @@ util::Result<std::unique_ptr<ServingRuntime>> ServingRuntime::start(
     return status.error();
   }
 
+  // Push plane before the shard stacks: each shard's NotificationModule
+  // is built with the plane's per-worker writer.  The plane's I/O thread
+  // routes every resolution back to the owning worker's command queue
+  // with a non-blocking post — a dropped post (full queue) self-heals
+  // through the notifier's channel-ack deadline, and nothing here can
+  // deadlock a worker blocked on its own queue.
+  if (cfg.dnscup && cfg.push_plane) {
+    push::PushServer::Config pc = cfg.push;
+    pc.port = cfg.push_port;
+    pc.workers = n;
+    ServingRuntime* rt = runtime.get();
+    auto started = push::PushServer::start(
+        pc, &runtime->push_registry_,
+        [rt](int w, uint16_t id, core::ChannelResolution res) {
+          if (w < 0 || w >= static_cast<int>(rt->workers_.size())) return;
+          Worker& worker = *rt->workers_[static_cast<std::size_t>(w)];
+          worker.commands.try_push([&worker, id, res] {
+            if (worker.dnscup != nullptr) {
+              worker.dnscup->notifier().on_channel_resolution(id, res);
+            }
+          });
+          worker.wake.wake();
+        });
+    if (!started.ok()) return started.error();
+    runtime->push_ = std::move(started).value();
+    for (const dns::Zone& zone : zones) {
+      runtime->push_->set_zone_serial(zone.origin(), zone.serial());
+    }
+  }
+
   // Per-shard protocol stacks.  Each worker gets its own copy of every
   // zone; the registries stay per-worker and merge only at scrape time.
   const std::size_t shard_budget =
@@ -152,6 +182,9 @@ util::Result<std::unique_ptr<ServingRuntime>> ServingRuntime::start(
       dc.storage_budget = shard_budget;
       dc.notification = cfg.notification;
       dc.notification.metrics = &worker.registry;
+      if (runtime->push_ != nullptr) {
+        dc.notification.push_writer = runtime->push_->writer_for(i);
+      }
       dc.metrics = &worker.registry;
       dc.journal = runtime->writer_ != nullptr
                        ? &runtime->writer_->shard_journal()
@@ -252,6 +285,12 @@ void ServingRuntime::worker_loop(Worker& worker) {
       worker.wake.wait_for(std::chrono::milliseconds(2));
     }
   }
+  // Shutdown drain: one final UDP copy of every CACHE-UPDATE still in
+  // flight (awaiting a retry slot or a channel ack), so stop() never
+  // strands a queued push.  Counted as
+  // cache_update_messages{result=shutdown_flush}.
+  if (worker.dnscup != nullptr) worker.dnscup->notifier().flush_pending();
+  worker.shim.flush();
   worker.shim.batching = false;  // post-stop inspection sends go direct
 }
 
@@ -260,7 +299,12 @@ void ServingRuntime::stop() {
   // 1. Stop intake: join the socket receiver threads.  The sockets stay
   //    open, so queued queries drained below can still be answered.
   for (auto& worker : workers_) worker->io->stop_receiving();
-  // 2. Drain and join the workers.
+  // 2. Stop the push plane: flushes its write queues (bounded) and
+  //    resolves everything still owed as kFailed — the workers are still
+  //    running, so those fall back to UDP and are then covered by each
+  //    worker's notifier flush on exit.
+  if (push_ != nullptr) push_->stop();
+  // 3. Drain and join the workers.
   for (auto& worker : workers_) {
     worker->stop.store(true, std::memory_order_release);
     worker->wake.wake();
@@ -268,7 +312,7 @@ void ServingRuntime::stop() {
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
-  // 3. Flush the journal: every op the workers enqueued lands in the WAL,
+  // 4. Flush the journal: every op the workers enqueued lands in the WAL,
   //    then a final compacting snapshot.
   if (writer_ != nullptr) writer_->stop();
 }
@@ -293,6 +337,12 @@ std::size_t ServingRuntime::reload_zone(dns::Zone zone) {
   // One immutable snapshot of the new version, shared by every shard;
   // each worker copies from it and diffs/swaps on its own thread.
   auto snapshot = std::make_shared<const dns::Zone>(std::move(zone));
+  // Publish the new serial to the subscription handshake first, so a
+  // cache connecting mid-reload resyncs against the version it is about
+  // to be (or just was) pushed.
+  if (push_ != nullptr) {
+    push_->set_zone_serial(snapshot->origin(), snapshot->serial());
+  }
   std::size_t changes = 0;
   for (auto& worker : workers_) {
     run_on_worker(*worker, [&worker, &snapshot, &changes] {
@@ -320,6 +370,10 @@ metrics::Snapshot ServingRuntime::metrics() {
     }
   }
   if (writer_ != nullptr) merged.merge(writer_->metrics());
+  // The push plane's instruments live in a runtime-owned registry whose
+  // instrument set is fixed at construction; counters/gauges are relaxed
+  // atomics, so snapshotting here races with nothing.
+  if (push_ != nullptr) merged.merge(push_registry_.snapshot(now_us()));
   return merged;
 }
 

@@ -48,6 +48,7 @@
 #include "core/shard.h"
 #include "net/event_loop.h"
 #include "net/io_backend.h"
+#include "push/push_server.h"
 #include "runtime/buffer_pool.h"
 #include "runtime/journal_writer.h"
 #include "runtime/mpsc_queue.h"
@@ -93,6 +94,14 @@ struct Config {
   std::string state_dir;
   store::FsyncPolicy fsync = store::FsyncPolicy::kAlways;
   uint64_t snapshot_every_records = 4096;
+
+  /// Connection-oriented push plane (src/push): when enabled the runtime
+  /// listens for cache subscriptions on push_port (0 = ephemeral) and
+  /// subscribed caches receive CACHE-UPDATE over their TCP channel, with
+  /// the UDP retransmit path as fallback for everyone else.
+  bool push_plane = false;
+  uint16_t push_port = 0;
+  push::PushServer::Config push;
 
   /// Fixed datagram slots per worker's BufferPool, shared between the
   /// socket's receiver thread and the worker thread; when every slot is
@@ -148,6 +157,13 @@ class ServingRuntime {
   int workers() const { return static_cast<int>(workers_.size()); }
   const RecoverySummary& recovery() const { return recovery_; }
   bool durable() const { return writer_ != nullptr; }
+
+  /// The push plane, or null when Config::push_plane is off.
+  push::PushServer* push_plane() { return push_.get(); }
+  /// TCP endpoint caches subscribe to; {0,0} when the plane is off.
+  net::Endpoint push_endpoint() const {
+    return push_ != nullptr ? push_->local_endpoint() : net::Endpoint{};
+  }
 
   /// Microseconds since start() — the wall clock every shard's EventLoop
   /// advances to, so lease timestamps are comparable across shards.
@@ -215,6 +231,12 @@ class ServingRuntime {
   bool reuseport_active_ = false;
   store::PosixStorage storage_;
   std::unique_ptr<JournalWriter> writer_;
+  /// Declared after workers_: the push thread posts resolutions into
+  /// worker command queues, so it must stop (destruction runs stop())
+  /// while those queues still exist.
+  std::unique_ptr<push::PushServer> push_;
+  /// Registry for the push plane's instruments; scraped by metrics().
+  metrics::MetricsRegistry push_registry_;
   RecoverySummary recovery_;
   std::atomic<bool> running_{false};
 };

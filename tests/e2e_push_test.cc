@@ -1,0 +1,395 @@
+// Push plane end-to-end over real loopback sockets: a ServingRuntime
+// with the TCP subscription plane enabled and a CacheRuntime holding one
+// persistent channel per worker.  Asserts the tentpole claims: zone
+// changes travel over the channel (verified via per-channel metrics, not
+// just convergence), a dropped channel degrades to the UDP+retransmit
+// path without losing consistency, a reconnect re-adopts the lease
+// identity without duplicate pushes, and shutdown drains every accepted
+// update (counted, not stranded).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cachert/cache_runtime.h"
+#include "dns/zone_text.h"
+#include "net/udp_transport.h"
+#include "runtime/runtime.h"
+
+namespace dnscup {
+namespace {
+
+dns::Zone zone_with(const char* address, uint32_t serial, uint32_t ttl) {
+  char text[512];
+  std::snprintf(text, sizeof text,
+                "$ORIGIN example.com.\n"
+                "@ IN SOA ns1.example.com. admin.example.com. %u 7200 900 "
+                "604800 300\n"
+                "@ %u IN NS ns1.example.com.\n"
+                "ns1 %u IN A 10.0.0.1\n"
+                "www %u IN A %s\n",
+                serial, ttl, ttl, ttl, address);
+  auto zone =
+      dns::parse_zone_text(text, dns::Name::parse("example.com").value());
+  EXPECT_TRUE(zone.ok()) << (zone.ok() ? "" : zone.error().to_string());
+  return std::move(zone).value();
+}
+
+class Client {
+ public:
+  Client() {
+    auto bound = net::UdpTransport::bind(0);
+    EXPECT_TRUE(bound.ok());
+    udp_ = std::move(bound).value();
+    udp_->set_receive_handler(
+        [this](const net::Endpoint&, std::span<const uint8_t> data) {
+          auto message = dns::Message::decode(data);
+          if (!message.ok()) return;
+          std::lock_guard lock(mutex_);
+          responses_.push_back(std::move(message).value());
+          cv_.notify_all();
+        });
+  }
+
+  dns::Message query(const net::Endpoint& server, const char* name) {
+    dns::Message query;
+    query.id = next_id_++;
+    query.flags.opcode = dns::Opcode::kQuery;
+    query.flags.rd = true;
+    query.questions.push_back(dns::Question{dns::Name::parse(name).value(),
+                                            dns::RRType::kA,
+                                            dns::RRClass::kIN, 0});
+    udp_->send(server, query.encode());
+    dns::Message response;
+    std::unique_lock lock(mutex_);
+    const bool got = cv_.wait_for(lock, std::chrono::seconds(5), [&] {
+      for (const dns::Message& m : responses_) {
+        if (m.flags.qr && m.id == query.id) {
+          response = m;
+          return true;
+        }
+      }
+      return false;
+    });
+    EXPECT_TRUE(got) << "no response for " << name;
+    return response;
+  }
+
+  static std::string answer_a(const dns::Message& response) {
+    for (const auto& rr : response.answers) {
+      if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) {
+        return a->address.to_string();
+      }
+    }
+    return "";
+  }
+
+ private:
+  std::unique_ptr<net::UdpTransport> udp_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<dns::Message> responses_;
+  uint16_t next_id_ = 1;
+};
+
+uint64_t counter_sum(const metrics::Snapshot& snapshot, const char* name,
+                     const char* key = nullptr,
+                     const char* value = nullptr) {
+  uint64_t total = 0;
+  for (const auto& entry : snapshot.entries) {
+    if (entry.kind != metrics::InstrumentKind::kCounter) continue;
+    if (entry.name != name) continue;
+    if (key != nullptr) {
+      bool match = false;
+      for (const auto& [k, v] : entry.labels) {
+        if (k == key && v == value) {
+          match = true;
+          break;
+        }
+      }
+      if (!match) continue;
+    }
+    total += entry.counter_value;
+  }
+  return total;
+}
+
+struct Pair {
+  std::unique_ptr<runtime::ServingRuntime> authority;
+  std::unique_ptr<cachert::CacheRuntime> cache;
+};
+
+Pair start_pair(uint32_t ttl, int cache_workers = 1) {
+  runtime::Config auth_config;
+  auth_config.port = 0;
+  auth_config.workers = 1;
+  auth_config.push_plane = true;
+  auth_config.push_port = 0;
+  auto authority = runtime::ServingRuntime::start(
+      auth_config, {zone_with("10.1.0.10", 1, ttl)});
+  EXPECT_TRUE(authority.ok());
+
+  cachert::Config cache_config;
+  cache_config.port = 0;
+  cache_config.workers = cache_workers;
+  cache_config.upstreams = {authority.value()->endpoints()[0]};
+  cache_config.push_plane = true;
+  cache_config.push_authority = authority.value()->push_endpoint();
+  cache_config.push.reconnect_min = net::milliseconds(50);
+  cache_config.push.reconnect_max = net::milliseconds(200);
+  auto cache = cachert::CacheRuntime::start(cache_config);
+  EXPECT_TRUE(cache.ok());
+  return Pair{std::move(authority).value(), std::move(cache).value()};
+}
+
+/// Spins until `pred` holds, up to `deadline`.
+template <class Pred>
+bool spin_until(Pred pred,
+                std::chrono::milliseconds deadline =
+                    std::chrono::milliseconds(5000)) {
+  const auto start = std::chrono::steady_clock::now();
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() - start >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return true;
+}
+
+std::chrono::milliseconds poll_until_address(
+    Client& client, const net::Endpoint& cache, const char* name,
+    const std::string& address, std::chrono::milliseconds deadline) {
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    const auto response = client.query(cache, name);
+    if (Client::answer_a(response) == address) {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start);
+    }
+    if (std::chrono::steady_clock::now() - start >= deadline) {
+      return deadline;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+// Tentpole: the CACHE-UPDATE travels over the TCP channel — asserted via
+// the channel counters on both ends, not merely by convergence (which
+// the UDP path could also have provided).
+TEST(E2ePush, ZoneChangeTravelsOverTheChannel) {
+  constexpr uint32_t kTtl = 300;
+  Pair pair = start_pair(kTtl);
+  ASSERT_NE(pair.authority->push_plane(), nullptr);
+  Client client;
+  const net::Endpoint cache = pair.cache->endpoints()[0];
+
+  ASSERT_TRUE(spin_until([&] { return pair.cache->push_connected() == 1; }))
+      << "push channel never connected";
+
+  const auto warm = client.query(cache, "www.example.com");
+  EXPECT_EQ(Client::answer_a(warm), "10.1.0.10");
+  EXPECT_EQ(pair.authority->live_leases(), 1u);
+
+  // The channel's SUBSCRIBE identity is the lease identity: the worker's
+  // upstream socket.
+  EXPECT_TRUE(pair.authority->push_plane()->subscribed(
+      pair.cache->upstream_endpoints()[0]));
+
+  pair.authority->reload_zone(zone_with("10.9.9.9", 2, kTtl));
+  const auto took = poll_until_address(client, cache, "www.example.com",
+                                       "10.9.9.9",
+                                       std::chrono::milliseconds(5000));
+  ASSERT_LT(took.count(), 5000) << "push never reached the cache";
+
+  // Authority side: the update went out on the channel, was acked on the
+  // channel, and never rode UDP.
+  ASSERT_TRUE(spin_until([&] {
+    const auto snapshot = pair.authority->metrics();
+    return counter_sum(snapshot, "cache_update_messages", "result",
+                       "acked") >= 1;
+  })) << "channel ack never resolved";
+  const auto auth = pair.authority->metrics();
+  EXPECT_GE(counter_sum(auth, "cache_update_messages", "result",
+                        "sent_channel"),
+            1u);
+  EXPECT_EQ(counter_sum(auth, "cache_update_messages", "result", "sent"),
+            0u);
+  EXPECT_EQ(counter_sum(auth, "cache_update_messages", "result", "fallback"),
+            0u);
+  EXPECT_GE(counter_sum(auth, "push_frames"), 2u);
+  EXPECT_GE(counter_sum(auth, "push_connects_total"), 1u);
+
+  // Cache side: the update arrived via the channel handler and the
+  // SUBSCRIBE_ACK inventory was consumed.
+  const auto cached = pair.cache->metrics();
+  EXPECT_GE(counter_sum(cached, "lease_client_updates", "result", "channel"),
+            1u);
+  EXPECT_GE(counter_sum(cached, "lease_client_updates", "result", "applied"),
+            1u);
+  EXPECT_GE(counter_sum(cached, "lease_client_resyncs"), 1u);
+
+  pair.cache->stop();
+  pair.authority->stop();
+}
+
+// A dropped channel must not cost consistency: the authority falls back
+// to the UDP+retransmit path and the cache still converges.
+TEST(E2ePush, DroppedChannelFallsBackToUdp) {
+  constexpr uint32_t kTtl = 300;
+  Pair pair = start_pair(kTtl);
+  Client client;
+  const net::Endpoint cache = pair.cache->endpoints()[0];
+
+  ASSERT_TRUE(spin_until([&] { return pair.cache->push_connected() == 1; }));
+  client.query(cache, "www.example.com");
+  EXPECT_EQ(pair.authority->live_leases(), 1u);
+
+  // Kill the channel and wait for the authority to notice the hangup.
+  pair.cache->set_push_paused(true);
+  ASSERT_TRUE(spin_until([&] {
+    return pair.authority->push_plane()->subscription_count() == 0;
+  })) << "authority never noticed the dropped channel";
+
+  pair.authority->reload_zone(zone_with("10.9.9.9", 2, kTtl));
+  const auto took = poll_until_address(client, cache, "www.example.com",
+                                       "10.9.9.9",
+                                       std::chrono::milliseconds(5000));
+  ASSERT_LT(took.count(), 5000) << "UDP fallback never converged";
+
+  const auto auth = pair.authority->metrics();
+  EXPECT_GE(counter_sum(auth, "cache_update_messages", "result", "sent"),
+            1u);
+  EXPECT_EQ(counter_sum(auth, "cache_update_messages", "result",
+                        "sent_channel"),
+            0u);
+
+  pair.cache->stop();
+  pair.authority->stop();
+}
+
+// A reconnect re-adopts the lease identity: the resync inventory shows no
+// serial gap (the UDP fallback already delivered the change), so no
+// duplicate push and no refetch storm.
+TEST(E2ePush, ReconnectReAdoptsLeaseWithoutDuplicatePush) {
+  constexpr uint32_t kTtl = 300;
+  Pair pair = start_pair(kTtl);
+  Client client;
+  const net::Endpoint cache = pair.cache->endpoints()[0];
+
+  ASSERT_TRUE(spin_until([&] { return pair.cache->push_connected() == 1; }));
+  client.query(cache, "www.example.com");
+
+  pair.cache->set_push_paused(true);
+  ASSERT_TRUE(spin_until([&] {
+    return pair.authority->push_plane()->subscription_count() == 0;
+  }));
+
+  // The change lands over UDP while the channel is down; the lease
+  // client records the new zone serial from the applied update.
+  pair.authority->reload_zone(zone_with("10.9.9.9", 2, kTtl));
+  ASSERT_LT(poll_until_address(client, cache, "www.example.com", "10.9.9.9",
+                               std::chrono::milliseconds(5000))
+                .count(),
+            5000);
+  const auto applied_before =
+      counter_sum(pair.cache->metrics(), "lease_client_updates", "result",
+                  "applied");
+
+  pair.cache->set_push_paused(false);
+  ASSERT_TRUE(spin_until([&] { return pair.cache->push_connected() == 1; }));
+  EXPECT_GE(pair.cache->push_connects(), 2u);
+  ASSERT_TRUE(spin_until([&] {
+    return counter_sum(pair.cache->metrics(), "lease_client_resyncs") >= 2;
+  })) << "reconnect never delivered the resync inventory";
+
+  // Same subscription slot, same lease, no duplicate update, no refetch:
+  // the resync found the serials already in agreement.
+  EXPECT_EQ(pair.authority->push_plane()->subscription_count(), 1u);
+  EXPECT_EQ(pair.authority->live_leases(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const auto cached = pair.cache->metrics();
+  EXPECT_EQ(counter_sum(cached, "lease_client_updates", "result", "applied"),
+            applied_before);
+  EXPECT_EQ(counter_sum(cached, "lease_client_resync_refetches"), 0u);
+
+  // The re-adopted channel carries the next change.
+  pair.authority->reload_zone(zone_with("10.7.7.7", 3, kTtl));
+  ASSERT_LT(poll_until_address(client, cache, "www.example.com", "10.7.7.7",
+                               std::chrono::milliseconds(5000))
+                .count(),
+            5000);
+  EXPECT_GE(counter_sum(pair.authority->metrics(), "cache_update_messages",
+                        "result", "sent_channel"),
+            1u);
+
+  pair.cache->stop();
+  pair.authority->stop();
+}
+
+// Satellite: SIGTERM-path shutdown drains the coalescing and retransmit
+// queues — updates the plane or the notifier accepted are flushed and
+// counted, never silently stranded.
+TEST(E2ePush, ShutdownDrainsPendingUpdates) {
+  constexpr uint32_t kTtl = 300;
+  Pair pair = start_pair(kTtl);
+  Client client;
+  const net::Endpoint cache = pair.cache->endpoints()[0];
+
+  ASSERT_TRUE(spin_until([&] { return pair.cache->push_connected() == 1; }));
+  client.query(cache, "www.example.com");
+  EXPECT_EQ(pair.authority->live_leases(), 1u);
+
+  // Take the cache away entirely: its lease stays live at the authority,
+  // so the next change creates a pending update that will never be acked.
+  pair.cache->stop();
+  pair.authority->reload_zone(zone_with("10.9.9.9", 2, kTtl));
+
+  // The graceful drain must resolve it: one final UDP copy, counted as
+  // shutdown_flush, leaving nothing in flight.
+  pair.authority->stop();
+  const auto auth = pair.authority->metrics();
+  EXPECT_GE(counter_sum(auth, "cache_update_messages", "result",
+                        "shutdown_flush"),
+            1u);
+
+  // Total conservation: everything ever pushed resolved to exactly one
+  // terminal state (acked, failed, or flushed at shutdown).
+  const uint64_t terminal =
+      counter_sum(auth, "cache_update_messages", "result", "acked") +
+      counter_sum(auth, "cache_update_messages", "result", "failed") +
+      counter_sum(auth, "cache_update_messages", "result", "shutdown_flush");
+  EXPECT_GE(terminal, 1u);
+}
+
+// Multi-worker cache: one channel per worker, all subscribed, pushes land
+// on the owning worker's channel.
+TEST(E2ePush, MultiWorkerCacheSubscribesPerWorker) {
+  constexpr uint32_t kTtl = 300;
+  Pair pair = start_pair(kTtl, /*cache_workers=*/2);
+  Client client;
+  const net::Endpoint cache = pair.cache->endpoints()[0];
+
+  ASSERT_TRUE(spin_until([&] { return pair.cache->push_connected() == 2; }))
+      << "not every worker connected its channel";
+  ASSERT_TRUE(spin_until([&] {
+    return pair.authority->push_plane()->subscription_count() == 2;
+  }));
+
+  client.query(cache, "www.example.com");
+  pair.authority->reload_zone(zone_with("10.9.9.9", 2, kTtl));
+  ASSERT_LT(poll_until_address(client, cache, "www.example.com", "10.9.9.9",
+                               std::chrono::milliseconds(5000))
+                .count(),
+            5000);
+  EXPECT_GE(counter_sum(pair.authority->metrics(), "cache_update_messages",
+                        "result", "sent_channel"),
+            1u);
+
+  pair.cache->stop();
+  pair.authority->stop();
+}
+
+}  // namespace
+}  // namespace dnscup

@@ -225,5 +225,94 @@ TEST(LeaseClient, LegacyCacheUnaffected) {
             ip("198.18.0.7"));
 }
 
+TEST(LeaseClient, ChannelUpdateAppliedAndAckedThroughSender) {
+  Testbed tb(small_config());
+  tb.resolve(0, tb.web_host(0), RRType::kA);
+
+  // The same CACHE-UPDATE the grantor would push, arriving over a TCP
+  // subscription channel instead of UDP: the ack must leave through the
+  // channel's sender, not the resolver transport.
+  dns::RRset updated{tb.web_host(0), RRType::kA, dns::RRClass::kIN, 300, {}};
+  updated.add(dns::ARdata{ip("198.18.7.7")});
+  std::vector<dns::RRsetChange> changes{
+      {tb.web_host(0), RRType::kA, std::nullopt, updated}};
+  const dns::Message push =
+      encode_cache_update(321, tb.zone_origin(0), 2, changes);
+
+  std::vector<std::vector<uint8_t>> acks;
+  EXPECT_TRUE(tb.lease_client(0)->on_channel_update(
+      tb.master_endpoint(), push,
+      [&](std::vector<uint8_t> ack) { acks.push_back(std::move(ack)); }));
+
+  const auto& stats = tb.lease_client(0)->stats();
+  EXPECT_EQ(stats.channel_updates, 1u);
+  EXPECT_EQ(stats.updates_applied, 1u);
+  ASSERT_EQ(acks.size(), 1u);
+  auto decoded = dns::Message::decode(acks[0]);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().id, 321);
+  EXPECT_TRUE(decoded.value().flags.qr);
+
+  // The pushed mapping serves from cache, lease intact.
+  const auto r = tb.resolve(0, tb.web_host(0), RRType::kA);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+            ip("198.18.7.7"));
+  EXPECT_TRUE(r->from_cache);
+  EXPECT_EQ(tb.lease_client(0)->live_leases(tb.loop().now()), 1u);
+}
+
+TEST(LeaseClient, ChannelUpdateFromImpostorNotAcked) {
+  Testbed tb(small_config());
+  tb.resolve(0, tb.web_host(0), RRType::kA);
+
+  dns::RRset poisoned{tb.web_host(0), RRType::kA, dns::RRClass::kIN, 300,
+                      {}};
+  poisoned.add(dns::ARdata{ip("6.6.6.6")});
+  std::vector<dns::RRsetChange> changes{
+      {tb.web_host(0), RRType::kA, std::nullopt, poisoned}};
+  const dns::Message evil =
+      encode_cache_update(666, tb.zone_origin(0), 999, changes);
+
+  std::vector<std::vector<uint8_t>> acks;
+  EXPECT_TRUE(tb.lease_client(0)->on_channel_update(
+      {net::make_ip(10, 6, 6, 6), 53}, evil,
+      [&](std::vector<uint8_t> ack) { acks.push_back(std::move(ack)); }));
+  EXPECT_TRUE(acks.empty());
+  EXPECT_EQ(tb.lease_client(0)->stats().unauthorized_updates, 1u);
+  const auto r = tb.resolve(0, tb.web_host(0), RRType::kA);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NE(std::get<dns::ARdata>(r->rrset.rdatas[0]).address,
+            ip("6.6.6.6"));
+}
+
+TEST(LeaseClient, ChannelResyncGapRefetchesLeasedRecords) {
+  Testbed tb(small_config());
+  tb.resolve(0, tb.web_host(0), RRType::kA);  // one leased record, zone 0
+  core::LeaseClient* lc = tb.lease_client(0);
+  EXPECT_EQ(lc->stats().resync_refetches, 0u);
+
+  // No serial on record for the zone: the inventory exposes a gap (the
+  // lease predates any push we could order against) and every live
+  // leased record under the zone refetches.
+  lc->on_channel_resync({{tb.zone_origin(0), 5}});
+  EXPECT_EQ(lc->stats().resyncs, 1u);
+  EXPECT_EQ(lc->stats().resync_refetches, 1u);
+  tb.loop().run_for(net::seconds(2));  // let the refresh complete
+
+  // Reconnect without intervening changes: same serial, no refetch.
+  lc->on_channel_resync({{tb.zone_origin(0), 5}});
+  EXPECT_EQ(lc->stats().resyncs, 2u);
+  EXPECT_EQ(lc->stats().resync_refetches, 1u);
+
+  // A newer serial means pushes were missed while disconnected.
+  lc->on_channel_resync({{tb.zone_origin(0), 6}});
+  EXPECT_EQ(lc->stats().resync_refetches, 2u);
+
+  // Zones we hold nothing under never refetch regardless of serial.
+  lc->on_channel_resync({{tb.zone_origin(1), 99}});
+  EXPECT_EQ(lc->stats().resync_refetches, 2u);
+}
+
 }  // namespace
 }  // namespace dnscup::core

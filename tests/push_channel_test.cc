@@ -1,0 +1,341 @@
+// PushServer + PushClient integration over real loopback TCP: the
+// SUBSCRIBE handshake and zone-serial inventory, paced PUSH delivery with
+// on-channel acks, full-supersede coalescing, queue backpressure, failure
+// resolutions on disconnect and lease-identity re-adoption on reconnect.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/notifier.h"
+#include "dns/name.h"
+#include "push/push_client.h"
+#include "push/push_server.h"
+#include "util/metrics.h"
+
+namespace dnscup::push {
+namespace {
+
+using core::ChannelResolution;
+
+uint64_t counter_total(const metrics::Snapshot& snapshot, const char* name) {
+  uint64_t total = 0;
+  for (const auto& entry : snapshot.entries) {
+    if (entry.kind == metrics::InstrumentKind::kCounter &&
+        entry.name == name) {
+      total += entry.counter_value;
+    }
+  }
+  return total;
+}
+
+/// One server + one client with every asynchronous edge funnelled into
+/// condition-variable-guarded logs the test can wait on.
+class Harness {
+ public:
+  struct Resolution {
+    int worker;
+    uint16_t id;
+    ChannelResolution resolution;
+  };
+
+  explicit Harness(PushServer::Config server_config = {}) {
+    server_config.workers = 2;
+    auto started = PushServer::start(
+        server_config, &server_registry_,
+        [this](int worker, uint16_t id, ChannelResolution resolution) {
+          std::lock_guard lock(mutex_);
+          resolutions_.push_back(Resolution{worker, id, resolution});
+          cv_.notify_all();
+        });
+    EXPECT_TRUE(started.ok());
+    server = std::move(started).value();
+  }
+
+  void start_client() {
+    PushClient::Config config;
+    config.authority = server->local_endpoint();
+    config.identity = identity;
+    config.reconnect_min = net::milliseconds(20);
+    config.reconnect_max = net::milliseconds(100);
+    config.metrics = &client_registry_;
+    client = PushClient::start(
+        config,
+        [this](std::vector<uint8_t> message) {
+          std::lock_guard lock(mutex_);
+          updates_.push_back(std::move(message));
+          cv_.notify_all();
+        },
+        [this](std::vector<ZoneSerial> zones) {
+          std::lock_guard lock(mutex_);
+          resyncs_.push_back(std::move(zones));
+          cv_.notify_all();
+        });
+  }
+
+  ~Harness() {
+    if (client != nullptr) client->stop();
+    server->stop();
+  }
+
+  core::PushWriter::Item item(uint16_t id, uint32_t serial,
+                              const char* name = "www.example.com") {
+    core::PushWriter::Item it;
+    it.holder = identity;
+    it.id = id;
+    it.zone = dns::Name::parse("example.com").value();
+    it.serial = serial;
+    it.covered.emplace_back(dns::Name::parse(name).value(), dns::RRType::kA);
+    // The body is opaque to the plane; encode the id in the first two
+    // bytes so the test can ack it like a real CACHE-UPDATE ack would.
+    it.message = {static_cast<uint8_t>(id >> 8), static_cast<uint8_t>(id)};
+    return it;
+  }
+
+  template <class Pred>
+  bool wait_for(Pred pred, std::chrono::milliseconds deadline =
+                               std::chrono::milliseconds(5000)) {
+    std::unique_lock lock(mutex_);
+    return cv_.wait_for(lock, deadline, pred);
+  }
+
+  bool wait_subscribed() {
+    const auto start = std::chrono::steady_clock::now();
+    while (!server->subscribed(identity)) {
+      if (std::chrono::steady_clock::now() - start >
+          std::chrono::seconds(5)) {
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return true;
+  }
+
+  bool wait_unsubscribed() {
+    const auto start = std::chrono::steady_clock::now();
+    while (server->subscribed(identity)) {
+      if (std::chrono::steady_clock::now() - start >
+          std::chrono::seconds(5)) {
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return true;
+  }
+
+  // Callers hold no lock; the predicates passed to wait_for run under it.
+  std::vector<Resolution> resolutions_;
+  std::vector<std::vector<uint8_t>> updates_;
+  std::vector<std::vector<ZoneSerial>> resyncs_;
+
+  const net::Endpoint identity{net::make_ip(127, 0, 0, 1), 45001};
+  metrics::MetricsRegistry server_registry_;
+  metrics::MetricsRegistry client_registry_;
+  std::unique_ptr<PushServer> server;
+  std::unique_ptr<PushClient> client;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+TEST(PushChannel, SubscribeDeliversZoneInventory) {
+  Harness h;
+  h.server->set_zone_serial(dns::Name::parse("example.com").value(), 5);
+  h.start_client();
+
+  ASSERT_TRUE(h.wait_subscribed());
+  ASSERT_TRUE(h.wait_for([&] { return !h.resyncs_.empty(); }));
+  {
+    std::lock_guard lock(h.mutex_);
+    ASSERT_EQ(h.resyncs_[0].size(), 1u);
+    EXPECT_EQ(h.resyncs_[0][0].zone,
+              dns::Name::parse("example.com").value());
+    EXPECT_EQ(h.resyncs_[0][0].serial, 5u);
+  }
+  EXPECT_EQ(h.server->connection_count(), 1u);
+  EXPECT_EQ(h.server->subscription_count(), 1u);
+  EXPECT_TRUE(h.client->connected());
+}
+
+TEST(PushChannel, PushDeliveredAndAckedOnChannel) {
+  Harness h;
+  h.start_client();
+  ASSERT_TRUE(h.wait_subscribed());
+
+  ASSERT_TRUE(h.server->writer_for(1)->try_push(h.item(7, 1)));
+  ASSERT_TRUE(h.wait_for([&] { return !h.updates_.empty(); }));
+  std::vector<uint8_t> message;
+  {
+    std::lock_guard lock(h.mutex_);
+    message = h.updates_[0];
+  }
+  EXPECT_EQ(message, (std::vector<uint8_t>{0, 7}));
+
+  // Ack travels back over the same connection and resolves to the worker
+  // that submitted.
+  h.client->send_ack(message);
+  ASSERT_TRUE(h.wait_for([&] {
+    for (const auto& r : h.resolutions_) {
+      if (r.id == 7 && r.worker == 1 &&
+          r.resolution == ChannelResolution::kAcked) {
+        return true;
+      }
+    }
+    return false;
+  }));
+
+  const auto snapshot = h.server_registry_.snapshot();
+  EXPECT_GE(counter_total(snapshot, "push_frames"), 2u);  // tx and rx
+  EXPECT_GE(counter_total(snapshot, "push_connects_total"), 1u);
+}
+
+TEST(PushChannel, SupersededSerialCoalesces) {
+  PushServer::Config config;
+  config.pace_interval = net::milliseconds(500);  // hold the queue
+  Harness h(config);
+  h.start_client();
+  ASSERT_TRUE(h.wait_subscribed());
+
+  // Serial 2 covers everything serial 1 carried: only the newest serial
+  // per (cache, name) survives in the queue.
+  ASSERT_TRUE(h.server->writer_for(0)->try_push(h.item(1, 1)));
+  ASSERT_TRUE(h.server->writer_for(0)->try_push(h.item(2, 2)));
+
+  ASSERT_TRUE(h.wait_for([&] {
+    for (const auto& r : h.resolutions_) {
+      if (r.id == 1 && r.resolution == ChannelResolution::kCoalesced) {
+        return true;
+      }
+    }
+    return false;
+  }));
+
+  // The wire only ever carries serial 2.
+  ASSERT_TRUE(h.wait_for([&] { return !h.updates_.empty(); }));
+  {
+    std::lock_guard lock(h.mutex_);
+    ASSERT_EQ(h.updates_.size(), 1u);
+    EXPECT_EQ(h.updates_[0], (std::vector<uint8_t>{0, 2}));
+  }
+  EXPECT_GE(counter_total(h.server_registry_.snapshot(),
+                          "push_coalesced_total"),
+            1u);
+}
+
+TEST(PushChannel, DisjointRecordsDoNotCoalesce) {
+  PushServer::Config config;
+  config.pace_interval = net::milliseconds(200);
+  Harness h(config);
+  h.start_client();
+  ASSERT_TRUE(h.wait_subscribed());
+
+  // Newer serial but covering a different name: no full supersede, both
+  // updates must reach the wire.
+  ASSERT_TRUE(h.server->writer_for(0)->try_push(h.item(1, 1, "a.example.com")));
+  ASSERT_TRUE(h.server->writer_for(0)->try_push(h.item(2, 2, "b.example.com")));
+  ASSERT_TRUE(h.wait_for([&] { return h.updates_.size() >= 2; }));
+  {
+    std::lock_guard lock(h.mutex_);
+    for (const auto& r : h.resolutions_) {
+      EXPECT_NE(r.resolution, ChannelResolution::kCoalesced);
+    }
+  }
+}
+
+TEST(PushChannel, UnsubscribedHolderIsRejected) {
+  Harness h;
+  // No client at all: try_push has no channel to ride.
+  auto it = h.item(1, 1);
+  it.holder = net::Endpoint{net::make_ip(127, 0, 0, 1), 59999};
+  EXPECT_FALSE(h.server->writer_for(0)->try_push(std::move(it)));
+}
+
+TEST(PushChannel, SaturatedQueueOverflowsToUdp) {
+  PushServer::Config config;
+  config.max_queue_per_conn = 2;
+  config.pace_interval = net::seconds(5);  // nothing drains during the test
+  Harness h(config);
+  h.start_client();
+  ASSERT_TRUE(h.wait_subscribed());
+
+  // Same serial on distinct names: no coalescing, the queue just fills.
+  EXPECT_TRUE(h.server->writer_for(0)->try_push(h.item(1, 1, "a.example.com")));
+  EXPECT_TRUE(h.server->writer_for(0)->try_push(h.item(2, 1, "b.example.com")));
+  EXPECT_FALSE(
+      h.server->writer_for(0)->try_push(h.item(3, 1, "c.example.com")));
+  EXPECT_GE(counter_total(h.server_registry_.snapshot(),
+                          "push_overflow_total"),
+            1u);
+}
+
+TEST(PushChannel, DisconnectFailsQueuedUpdates) {
+  PushServer::Config config;
+  config.pace_interval = net::seconds(5);  // keep the update queued
+  Harness h(config);
+  h.start_client();
+  ASSERT_TRUE(h.wait_subscribed());
+
+  ASSERT_TRUE(h.server->writer_for(1)->try_push(h.item(9, 3)));
+  h.client->set_paused(true);  // drops the connection, no reconnect
+
+  // The orphaned update resolves kFailed so the notifier can ride UDP.
+  ASSERT_TRUE(h.wait_for([&] {
+    for (const auto& r : h.resolutions_) {
+      if (r.id == 9 && r.worker == 1 &&
+          r.resolution == ChannelResolution::kFailed) {
+        return true;
+      }
+    }
+    return false;
+  }));
+  EXPECT_TRUE(h.wait_unsubscribed());
+}
+
+TEST(PushChannel, ReconnectReAdoptsIdentity) {
+  Harness h;
+  h.server->set_zone_serial(dns::Name::parse("example.com").value(), 1);
+  h.start_client();
+  ASSERT_TRUE(h.wait_subscribed());
+  EXPECT_EQ(h.client->connect_count(), 1u);
+
+  h.client->set_paused(true);
+  ASSERT_TRUE(h.wait_unsubscribed());
+  h.client->set_paused(false);
+
+  // The fresh connection re-adopts the same lease identity: exactly one
+  // subscription, a second resync inventory, no lingering ghost.
+  ASSERT_TRUE(h.wait_subscribed());
+  ASSERT_TRUE(h.wait_for([&] { return h.resyncs_.size() >= 2; }));
+  EXPECT_GE(h.client->connect_count(), 2u);
+  EXPECT_EQ(h.server->subscription_count(), 1u);
+
+  // And the re-adopted channel still carries pushes.
+  ASSERT_TRUE(h.server->writer_for(0)->try_push(h.item(4, 2)));
+  ASSERT_TRUE(h.wait_for([&] { return !h.updates_.empty(); }));
+}
+
+TEST(PushChannel, StopDrainsAcceptedUpdates) {
+  PushServer::Config config;
+  config.pace_interval = net::seconds(5);  // stop() must flush, not pacing
+  Harness h(config);
+  h.start_client();
+  ASSERT_TRUE(h.wait_subscribed());
+
+  ASSERT_TRUE(h.server->writer_for(0)->try_push(h.item(11, 1)));
+  h.server->stop();
+
+  // The shutdown flush pushed the queued frame out before closing.
+  ASSERT_TRUE(h.wait_for([&] { return !h.updates_.empty(); }));
+  {
+    std::lock_guard lock(h.mutex_);
+    EXPECT_EQ(h.updates_[0], (std::vector<uint8_t>{0, 11}));
+  }
+  EXPECT_GE(counter_total(h.server_registry_.snapshot(),
+                          "push_shutdown_flushed_total"),
+            1u);
+}
+
+}  // namespace
+}  // namespace dnscup::push

@@ -1,0 +1,167 @@
+// Push-plane wire framing: length-prefix round trips, incremental
+// decoding across arbitrary stream fragmentation, corruption handling,
+// and the SUBSCRIBE / SUBSCRIBE_ACK body codecs.
+#include "push/framing.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dnscup::push {
+namespace {
+
+std::vector<uint8_t> bytes(std::initializer_list<uint8_t> list) {
+  return std::vector<uint8_t>(list);
+}
+
+TEST(PushFraming, RoundTripsOneFrame) {
+  std::vector<uint8_t> stream;
+  const auto body = bytes({0xDE, 0xAD, 0xBE, 0xEF});
+  ASSERT_TRUE(encode_frame(FrameKind::kPush, body, stream));
+  // 2-byte length covers kind + body.
+  ASSERT_EQ(stream.size(), 2 + 1 + body.size());
+  EXPECT_EQ(stream[0], 0);
+  EXPECT_EQ(stream[1], 5);
+
+  FrameReader reader;
+  reader.append(stream);
+  Frame frame;
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.kind, FrameKind::kPush);
+  EXPECT_EQ(frame.body, body);
+  EXPECT_FALSE(reader.next(frame));
+  EXPECT_EQ(reader.buffered(), 0u);
+  EXPECT_FALSE(reader.corrupt());
+}
+
+TEST(PushFraming, DecodesByteAtATime) {
+  std::vector<uint8_t> stream;
+  ASSERT_TRUE(encode_frame(FrameKind::kPing, {}, stream));
+  ASSERT_TRUE(encode_frame(FrameKind::kPushAck, bytes({1, 2}), stream));
+
+  FrameReader reader;
+  std::vector<Frame> seen;
+  for (uint8_t byte : stream) {
+    reader.append(std::span(&byte, 1));
+    Frame frame;
+    while (reader.next(frame)) seen.push_back(frame);
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].kind, FrameKind::kPing);
+  EXPECT_TRUE(seen[0].body.empty());
+  EXPECT_EQ(seen[1].kind, FrameKind::kPushAck);
+  EXPECT_EQ(seen[1].body, bytes({1, 2}));
+}
+
+TEST(PushFraming, ManyFramesInOneAppend) {
+  std::vector<uint8_t> stream;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(encode_frame(FrameKind::kPush,
+                             bytes({static_cast<uint8_t>(i)}), stream));
+  }
+  FrameReader reader;
+  reader.append(stream);
+  Frame frame;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(reader.next(frame)) << "frame " << i;
+    EXPECT_EQ(frame.body, bytes({static_cast<uint8_t>(i)}));
+  }
+  EXPECT_FALSE(reader.next(frame));
+}
+
+TEST(PushFraming, ZeroLengthFramePoisonsTheStream) {
+  // Length 0 cannot even hold the kind byte: framing violation.
+  FrameReader reader;
+  reader.append(bytes({0, 0, 0, 3, 1}));
+  Frame frame;
+  EXPECT_FALSE(reader.next(frame));
+  EXPECT_TRUE(reader.corrupt());
+  // Poisoned for good — the later well-formed bytes never decode.
+  EXPECT_FALSE(reader.next(frame));
+}
+
+TEST(PushFraming, RejectsOversizedBody) {
+  std::vector<uint8_t> stream;
+  const std::vector<uint8_t> body(kMaxFrameBody + 1, 0xAB);
+  EXPECT_FALSE(encode_frame(FrameKind::kPush, body, stream));
+  EXPECT_TRUE(stream.empty());
+
+  // The maximal body round-trips: length prefix 65535 = kind + 65534.
+  const std::vector<uint8_t> max_body(kMaxFrameBody, 0xAB);
+  EXPECT_TRUE(encode_frame(FrameKind::kPush, max_body, stream));
+  FrameReader reader;
+  reader.append(stream);
+  Frame frame;
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.body.size(), kMaxFrameBody);
+}
+
+TEST(PushFraming, SubscribeRoundTrip) {
+  const net::Endpoint identity{net::make_ip(10, 1, 2, 3), 5353};
+  const auto body = encode_subscribe(identity);
+  const auto parsed = parse_subscribe(body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, identity);
+}
+
+TEST(PushFraming, SubscribeRejectsMalformedBodies) {
+  const net::Endpoint identity{net::make_ip(10, 1, 2, 3), 5353};
+  auto body = encode_subscribe(identity);
+
+  auto wrong_version = body;
+  wrong_version[0] = kPushProtocolVersion + 1;
+  EXPECT_FALSE(parse_subscribe(wrong_version).has_value());
+
+  auto truncated = body;
+  truncated.pop_back();
+  EXPECT_FALSE(parse_subscribe(truncated).has_value());
+
+  auto trailing = body;
+  trailing.push_back(0);
+  EXPECT_FALSE(parse_subscribe(trailing).has_value());
+
+  auto port_zero = body;
+  port_zero[5] = 0;
+  port_zero[6] = 0;
+  EXPECT_FALSE(parse_subscribe(port_zero).has_value());
+
+  EXPECT_FALSE(parse_subscribe({}).has_value());
+}
+
+TEST(PushFraming, SubscribeAckRoundTrip) {
+  std::vector<ZoneSerial> zones;
+  zones.push_back({dns::Name::parse("example.com").value(), 42});
+  zones.push_back({dns::Name::parse("other.org").value(), 7});
+
+  const auto body = encode_subscribe_ack(zones);
+  const auto parsed = parse_subscribe_ack(body);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].zone, zones[0].zone);
+  EXPECT_EQ((*parsed)[0].serial, 42u);
+  EXPECT_EQ((*parsed)[1].zone, zones[1].zone);
+  EXPECT_EQ((*parsed)[1].serial, 7u);
+}
+
+TEST(PushFraming, SubscribeAckEmptyInventory) {
+  const auto body = encode_subscribe_ack({});
+  const auto parsed = parse_subscribe_ack(body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(PushFraming, SubscribeAckRejectsTruncation) {
+  std::vector<ZoneSerial> zones;
+  zones.push_back({dns::Name::parse("example.com").value(), 42});
+  auto body = encode_subscribe_ack(zones);
+  for (std::size_t cut = 1; cut < body.size(); ++cut) {
+    const std::span<const uint8_t> prefix(body.data(), body.size() - cut);
+    EXPECT_FALSE(parse_subscribe_ack(prefix).has_value())
+        << "accepted a body truncated by " << cut << " bytes";
+  }
+}
+
+}  // namespace
+}  // namespace dnscup::push

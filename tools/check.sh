@@ -5,16 +5,18 @@
 # I/O and crash-path truncation, exactly where the sanitizers earn their
 # keep.  --sanitize widens the sanitizer leg to the whole tree.
 #
-# Tests are labeled unit / sim / e2e (see tests/CMakeLists.txt).  The
-# default run executes the non-e2e labels first, then the real-socket e2e
-# leg on its own (`-L e2e`) so a socket-environment failure is
-# immediately distinguishable from a logic failure.  --no-e2e skips the
-# e2e leg entirely (for sandboxes without working loopback).
+# Tests are labeled unit / sim / e2e / push (see tests/CMakeLists.txt).
+# The default run executes the in-process labels first, then the TCP
+# subscription plane (`-L push`), then the real-socket e2e leg on its
+# own (`-L e2e`) so a socket-environment failure is immediately
+# distinguishable from a logic failure.  --no-e2e skips both
+# socket-bound legs entirely (for sandboxes without working loopback).
 #
 # The multi-threaded serving runtime gets its own legs:
 #   --tsan         build runtime_test + udp_transport_test +
-#                  e2e_daemons_test under ThreadSanitizer and fail on any
-#                  report — the worker / receiver / journal-writer thread
+#                  e2e_daemons_test + the push-plane suites under
+#                  ThreadSanitizer and fail on any report — the worker /
+#                  receiver / journal-writer / push-channel thread
 #                  interplay is where a data race would hide;
 #   --bench-smoke  Release build, assert the serve hot path is
 #                  allocation-free (hot_path_alloc_test), then start a
@@ -53,12 +55,14 @@ run_suite() {
   cmake -B "$build_dir" -S "$repo_root" "$@"
   cmake --build "$build_dir" -j "$jobs"
   echo "-- unit + sim labels --"
-  ctest --test-dir "$build_dir" -LE e2e --output-on-failure -j "$jobs"
+  ctest --test-dir "$build_dir" -LE 'e2e|push' --output-on-failure -j "$jobs"
   if [ "$run_e2e" = yes ]; then
+    echo "-- push label (TCP subscription channel, loopback) --"
+    ctest --test-dir "$build_dir" -L push --output-on-failure -j "$jobs"
     echo "-- e2e label (real loopback sockets, daemon pairs) --"
     ctest --test-dir "$build_dir" -L e2e --output-on-failure -j "$jobs"
   else
-    echo "-- e2e label skipped (--no-e2e) --"
+    echo "-- push + e2e labels skipped (--no-e2e) --"
   fi
 }
 
@@ -70,14 +74,18 @@ run_tsan() {
     -DDNSCUP_SANITIZE=thread
   cmake --build "$build_dir" -j "$jobs" \
     --target runtime_test udp_transport_test e2e_daemons_test \
-             io_backend_parity_test
+             io_backend_parity_test push_channel_test e2e_push_test
   # halt_on_error turns any race report into a test failure.  The
   # backend is pinned to portable so the leg is deterministic; the
   # parity test still exercises the uring receiver threads explicitly
-  # where the kernel supports them.
+  # where the kernel supports them.  The push suites put the epoll
+  # server thread / client threads / submitter cross-talk under TSan.
+  tsan_tests='runtime_test|udp_transport_test|e2e_daemons_test'
+  tsan_tests="$tsan_tests|io_backend_parity_test"
+  tsan_tests="$tsan_tests|push_channel_test|e2e_push_test"
   TSAN_OPTIONS="halt_on_error=1" DNSCUP_IO_BACKEND=portable \
     ctest --test-dir "$build_dir" \
-    -R '^(runtime_test|udp_transport_test|e2e_daemons_test|io_backend_parity_test)$' \
+    -R "^($tsan_tests)\$" \
     --output-on-failure
 }
 

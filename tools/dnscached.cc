@@ -73,9 +73,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
     const char* v = nullptr;
     if (arg == "--upstream") {
       if ((v = next()) == nullptr) return false;
-      auto endpoint = net::parse_endpoint(v);
+      std::string error;
+      auto endpoint = net::parse_endpoint(v, &error);
       if (!endpoint.has_value()) {
-        std::fprintf(stderr, "bad upstream endpoint: %s\n", v);
+        std::fprintf(stderr, "--upstream: %s\n", error.c_str());
         return false;
       }
       opts.upstreams.push_back(*endpoint);
@@ -114,9 +115,18 @@ int main(int argc, char** argv) {
   }
   if (opts.serving.verbose) util::set_log_level(util::LogLevel::kDebug);
 
+  if (opts.serving.push_plane && opts.serving.push_authority.port == 0) {
+    std::fprintf(stderr,
+                 "--push-plane on dnscached needs --push-authority "
+                 "a.b.c.d:port (the authority's push listener)\n");
+    return 2;
+  }
+
   cachert::Config config;
   opts.serving.apply(config);
   config.upstreams = opts.upstreams;
+  config.push_plane = opts.serving.push_plane;
+  config.push_authority = opts.serving.push_authority;
   config.cache_capacity = opts.cache_capacity;
   config.query_timeout = net::milliseconds(opts.query_timeout_ms);
   config.max_retries = opts.retries;
@@ -138,6 +148,10 @@ int main(int argc, char** argv) {
     std::printf(" %s", upstream.to_string().c_str());
   }
   std::printf(" (worker-local source ports)\n");
+  if (config.push_plane) {
+    std::printf("push channel -> %s (TCP, per-worker subscriptions)\n",
+                config.push_authority.to_string().c_str());
+  }
   std::fflush(stdout);
 
   auto last_report = std::chrono::steady_clock::now();

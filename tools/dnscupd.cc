@@ -162,6 +162,8 @@ int main(int argc, char** argv) {
   config.max_lease = net::seconds(opts.max_lease_s);
   config.state_dir = config.dnscup ? opts.state_dir : std::string();
   config.fsync = opts.fsync;
+  config.push_plane = opts.serving.push_plane;
+  config.push_port = opts.serving.push_listen;
 
   auto started = runtime::ServingRuntime::start(config, std::move(zones));
   if (!started.ok()) {
@@ -190,6 +192,13 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
   tools::print_listening("dnscupd", rt.reuseport_active(), rt.endpoints(),
                          rt.workers(), config.dnscup, rt.io_backend_name());
+  if (rt.push_plane() != nullptr) {
+    // Same contract as the banner: tests and scripts scrape this line to
+    // learn the (possibly ephemeral) TCP subscription port.
+    std::printf("dnscupd push plane listening on %s (TCP)\n",
+                rt.push_endpoint().to_string().c_str());
+    std::fflush(stdout);
+  }
 
   auto last_report = std::chrono::steady_clock::now();
   auto last_metrics = last_report;

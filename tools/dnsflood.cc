@@ -81,8 +81,12 @@ bool parse_args(int argc, char** argv, Options& opts) {
     const char* v = nullptr;
     if (arg == "--server") {
       if ((v = next()) == nullptr) return false;
-      auto ep = net::parse_endpoint(v);
-      if (!ep.has_value()) return false;
+      std::string ep_error;
+      auto ep = net::parse_endpoint(v, &ep_error);
+      if (!ep.has_value()) {
+        std::fprintf(stderr, "--server: %s\n", ep_error.c_str());
+        return false;
+      }
       opts.servers.push_back(*ep);
     } else if (arg == "--duration") {
       if ((v = next()) == nullptr) return false;

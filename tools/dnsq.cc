@@ -59,9 +59,10 @@ int usage() {
 
 bool parse_args(int argc, char** argv, Options& opts) {
   if (argc < 3) return false;
-  const auto server = net::parse_endpoint(argv[1]);
+  std::string ep_error;
+  const auto server = net::parse_endpoint(argv[1], &ep_error);
   if (!server.has_value()) {
-    std::fprintf(stderr, "bad server endpoint: %s\n", argv[1]);
+    std::fprintf(stderr, "%s\n", ep_error.c_str());
     return false;
   }
   opts.server = *server;

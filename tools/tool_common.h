@@ -61,6 +61,15 @@ struct ServingFlags {
   std::string metrics_out;  ///< empty: no metrics dumps
   int64_t metrics_interval_s = 10;
 
+  // Connection-oriented push plane (src/push).  --push-plane enables it
+  // on either daemon; dnscupd additionally honours --push-listen (its
+  // TCP subscription port, 0 = ephemeral) and dnscached --push-authority
+  // (the authority's push listener, printed in dnscupd's banner).  These
+  // are wired per daemon, not via apply(): the config fields differ.
+  bool push_plane = false;
+  uint16_t push_listen = 0;
+  net::Endpoint push_authority{};
+
   /// Copies into runtime::Config or cachert::Config (field names match).
   template <class ConfigT>
   void apply(ConfigT& config) const {
@@ -134,6 +143,27 @@ inline FlagParse parse_serving_flag(const std::string& arg,
     if ((v = next()) == nullptr) return FlagParse::kError;
     flags.metrics_interval_s = std::atoll(v);
     if (flags.metrics_interval_s <= 0) return FlagParse::kError;
+  } else if (arg == "--push-plane") {
+    flags.push_plane = true;
+  } else if (arg == "--push-listen") {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    const int port = std::atoi(v);
+    if (port < 0 || port > 65535) {
+      std::fprintf(stderr, "bad --push-listen %s (want a TCP port)\n", v);
+      return FlagParse::kError;
+    }
+    flags.push_listen = static_cast<uint16_t>(port);
+    flags.push_plane = true;
+  } else if (arg == "--push-authority") {
+    if ((v = next()) == nullptr) return FlagParse::kError;
+    std::string error;
+    const auto endpoint = net::parse_endpoint(v, &error);
+    if (!endpoint.has_value()) {
+      std::fprintf(stderr, "--push-authority: %s\n", error.c_str());
+      return FlagParse::kError;
+    }
+    flags.push_authority = *endpoint;
+    flags.push_plane = true;
   } else if (arg == "--verbose") {
     flags.verbose = true;
   } else {
@@ -148,7 +178,9 @@ inline constexpr const char* kServingUsage =
     "               [--rcvbuf bytes] [--sndbuf bytes]\n"
     "               [--io-backend portable|uring] [--pin-cpus 0,1,...]\n"
     "               [--no-dnscup] [--verbose]\n"
-    "               [--metrics-out file] [--metrics-interval seconds]\n";
+    "               [--metrics-out file] [--metrics-interval seconds]\n"
+    "               [--push-plane] [--push-listen port]\n"
+    "               [--push-authority a.b.c.d:port]\n";
 
 /// Writes the snapshot JSON to `path` (truncate + replace).
 inline void dump_metrics(const metrics::Snapshot& snapshot,
