@@ -26,8 +26,8 @@ DnscupAuthority::Config normalize(DnscupAuthority::Config config) {
   return config;
 }
 
-std::unique_ptr<GrantPolicy> make_policy(const DnscupAuthority::Config& config,
-                                         const TrackFile* track_file) {
+std::unique_ptr<GrantPolicy> make_base_policy(
+    const DnscupAuthority::Config& config, const TrackFile* track_file) {
   DNSCUP_ASSERT(config.max_lease != nullptr);
   using PolicyKind = DnscupAuthority::PolicyKind;
   switch (config.policy) {
@@ -46,6 +46,14 @@ std::unique_ptr<GrantPolicy> make_policy(const DnscupAuthority::Config& config,
   policy_config.storage_budget = config.storage_budget;
   return std::make_unique<BudgetedGrantPolicy>(config.max_lease, track_file,
                                                policy_config);
+}
+
+std::unique_ptr<GrantPolicy> make_policy(const DnscupAuthority::Config& config,
+                                         const TrackFile* track_file) {
+  auto base = make_base_policy(config, track_file);
+  if (config.planner == nullptr) return base;
+  return std::make_unique<PlannerGrantPolicy>(config.max_lease, config.planner,
+                                              std::move(base));
 }
 
 }  // namespace
@@ -73,6 +81,14 @@ DnscupAuthority::DnscupAuthority(server::AuthServer& server,
       registry.counter("authority_recovery_changes_pushed");
 
   track_file_.set_journal(config_.journal);
+
+  // The planner wrapper's no-RRC fallback reads the listener's observed
+  // rates; wired here because the listener is constructed after the
+  // policy (it holds the policy pointer).
+  if (config_.planner != nullptr) {
+    static_cast<PlannerGrantPolicy&>(*policy_).set_observed_rates(
+        &listener_.observed_rates());
+  }
 
   // Listening module: sees every query/response pair.
   server_->set_query_hook([this](const net::Endpoint& from,

@@ -42,6 +42,13 @@ class DnscupAuthority {
     /// Deprecated alias for policy = kAlwaysGrant.  Normalized into
     /// `policy` by the constructor, so the two can never disagree.
     bool always_grant = false;
+    /// Online lease planner (not owned, may be null).  When set, the
+    /// grant policy selected above becomes the *fallback*: every EXT
+    /// decision feeds the planner an observation and grants whatever
+    /// lease length the planner assigned the (cache, record) pair —
+    /// falling back to the configured policy only until the planner has
+    /// processed the pair (see PlannerGrantPolicy).
+    LeaseAssignmentSource* planner = nullptr;
     /// Registry for authority/track-file/listener/notifier instruments
     /// (default_registry() when null).
     metrics::MetricsRegistry* metrics = nullptr;

@@ -21,6 +21,10 @@ ListeningModule::ListeningModule(TrackFile* track_file, GrantPolicy* policy,
                                            labeled("result", "granted"));
   stats_.leases_denied = registry.counter("listener_lease_decisions",
                                           labeled("result", "denied"));
+  // Estimator-state occupancy: the tracker self-prunes idle keys under
+  // traffic; this gauge is how a 10M-pair authority watches that working.
+  observed_.set_keys_gauge(
+      registry.gauge("listener_rate_tracker_keys", base));
 }
 
 ListeningModule::Stats ListeningModule::stats() const {

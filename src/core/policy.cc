@@ -119,4 +119,32 @@ GrantDecision CommBudgetedGrantPolicy::decide(const dns::Name& name,
   return {true, length};
 }
 
+GrantDecision PlannerGrantPolicy::decide(const dns::Name& name,
+                                         dns::RRType type,
+                                         const net::Endpoint& holder,
+                                         double reported_rate,
+                                         net::SimTime now) {
+  const net::Duration max_lease = max_lease_(name, type);
+  if (max_lease <= 0) return {};
+
+  double rate = reported_rate;
+  if (rate <= 0.0 && observed_ != nullptr) {
+    rate = observed_->rate(name, type, now);
+  }
+  // Probe before observing: the answer reflects the plan as of query
+  // arrival, so a pair's first-ever query deterministically falls
+  // through to the wrapped policy however fast the planner thread
+  // drains the observation just queued.
+  const LeaseAssignmentSource::Assignment a =
+      planner_->assignment(holder, name, type);
+  if (rate > 0.0) {
+    planner_->observe(holder, name, type, rate, net::to_seconds(max_lease));
+  }
+  if (a.planned) {
+    if (a.lease_s <= 0.0) return {};  // deprived: cache polls via TTL
+    return {true, std::min(max_lease, net::from_seconds(a.lease_s))};
+  }
+  return fallback_->decide(name, type, holder, rate, now);
+}
+
 }  // namespace dnscup::core

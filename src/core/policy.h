@@ -15,7 +15,9 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
+#include "core/rate_tracker.h"
 #include "core/track_file.h"
 #include "dns/name.h"
 #include "dns/rdata.h"
@@ -43,6 +45,38 @@ class GrantPolicy {
 /// Looks up the maximal lease length L_i for a record — per the paper:
 /// 6 days for regular domains, 200 s for CDN, 6000 s for Dyn domains.
 using MaxLeaseFn = std::function<net::Duration(const dns::Name&, dns::RRType)>;
+
+/// Seam between the authority and an online lease planner (src/planner).
+///
+/// The planner runs on its own thread off the query hot path; a grant
+/// policy talks to it through two thread-safe calls: `observe` feeds a
+/// demand sample (a non-blocking enqueue into the planner's per-worker
+/// MPSC queue — overflow drops and is counted), and `assignment` probes
+/// the planner's published plan (a lock-free read of the demand table).
+/// Core deliberately only knows this interface, never the planner's
+/// types, so the dependency points planner → core.
+class LeaseAssignmentSource {
+ public:
+  virtual ~LeaseAssignmentSource() = default;
+
+  struct Assignment {
+    /// False until the planner has processed at least one observation for
+    /// the pair — the caller should fall back to its own policy.
+    bool planned = false;
+    /// Assigned lease length in seconds; 0 means the optimizer deprived
+    /// the pair (deny, cache falls back to TTL polling).
+    double lease_s = 0.0;
+  };
+
+  virtual Assignment assignment(const net::Endpoint& holder,
+                                const dns::Name& name, dns::RRType type) = 0;
+
+  /// `rate_qps` is the demand estimate for the pair (RRC-reported, or the
+  /// authority's RateTracker fallback); `max_lease_s` is L_i in seconds.
+  virtual void observe(const net::Endpoint& holder, const dns::Name& name,
+                       dns::RRType type, double rate_qps,
+                       double max_lease_s) = 0;
+};
 
 /// Grants every EXT query the record's maximal lease (the fixed-lease
 /// baseline when MaxLeaseFn is constant).
@@ -145,6 +179,42 @@ class CommBudgetedGrantPolicy final : public GrantPolicy {
   // EWMA of the inter-arrival rate of messages reaching the authority.
   double rate_estimate_ = 0.0;
   net::SimTime last_message_ = -1;
+};
+
+/// Grants what the online lease planner assigned (paper §4.2 run live):
+/// every EXT decision feeds the planner an observation — the reported RRC
+/// when present, the authority's own RateTracker estimate otherwise — and
+/// the granted length is the planner's current assignment for the pair,
+/// capped at the record's maximal lease.  A pair the optimizer deprived
+/// (assigned length 0) is denied.  Until the planner has processed the
+/// pair's first observation the wrapped fallback policy decides, so cold
+/// starts behave exactly like the planner-less authority.
+class PlannerGrantPolicy final : public GrantPolicy {
+ public:
+  PlannerGrantPolicy(MaxLeaseFn max_lease, LeaseAssignmentSource* planner,
+                     std::unique_ptr<GrantPolicy> fallback)
+      : max_lease_(std::move(max_lease)),
+        planner_(planner),
+        fallback_(std::move(fallback)) {}
+
+  /// Observed-rate fallback for EXT queries carrying no RRC (not owned;
+  /// the ListeningModule's tracker, wired by DnscupAuthority after
+  /// construction because the listener is built after the policy).
+  void set_observed_rates(const RateTracker* observed) {
+    observed_ = observed;
+  }
+
+  GrantDecision decide(const dns::Name& name, dns::RRType type,
+                       const net::Endpoint& holder, double reported_rate,
+                       net::SimTime now) override;
+
+  GrantPolicy& fallback() { return *fallback_; }
+
+ private:
+  MaxLeaseFn max_lease_;
+  LeaseAssignmentSource* planner_;
+  std::unique_ptr<GrantPolicy> fallback_;
+  const RateTracker* observed_ = nullptr;
 };
 
 }  // namespace dnscup::core

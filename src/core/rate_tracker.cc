@@ -1,26 +1,54 @@
 #include "core/rate_tracker.h"
 
+#include <algorithm>
+
 namespace dnscup::core {
 
 void RateTracker::record(const dns::Name& name, dns::RRType type,
                          net::SimTime now) {
-  auto [it, inserted] =
-      samples_.try_emplace(Key{name, type}, max_samples_);
+  auto it = samples_.find(Key{name, type});
+  if (it == samples_.end()) {
+    if (!admit_new_key(now)) return;
+    it = samples_.try_emplace(Key{name, type}, max_samples_).first;
+    keys_gauge_.set(static_cast<double>(samples_.size()));
+  }
   it->second.push(now);
   trim(it->second, now);
+  maybe_auto_prune(now);
 }
 
 void RateTracker::record_view(const dns::NameView& name, dns::RRType type,
                               net::SimTime now) {
   auto it = samples_.find(KeyView{name, type});
   if (it == samples_.end()) {
+    if (!admit_new_key(now)) return;
     // First sighting of this key: materialize an owning Name (the only
     // allocation this path ever makes — steady state hits the view probe).
     it = samples_.try_emplace(Key{name.materialize(), type}, max_samples_)
              .first;
+    keys_gauge_.set(static_cast<double>(samples_.size()));
   }
   it->second.push(now);
   trim(it->second, now);
+  maybe_auto_prune(now);
+}
+
+bool RateTracker::admit_new_key(net::SimTime now) {
+  if (samples_.size() < max_keys_) return true;
+  prune(now);
+  if (samples_.size() < max_keys_) return true;
+  ++keys_dropped_;
+  return false;
+}
+
+void RateTracker::maybe_auto_prune(net::SimTime now) {
+  // A full prune every ~size/2 recordings keeps the walk amortized O(1)
+  // per recording while guaranteeing idle keys disappear within one
+  // window's worth of traffic.
+  const std::size_t interval =
+      std::max<std::size_t>(64, samples_.size() / 2);
+  if (++ops_since_prune_ < interval) return;
+  prune(now);
 }
 
 void RateTracker::trim(SampleRing& times, net::SimTime now) const {
@@ -65,6 +93,8 @@ std::size_t RateTracker::prune(net::SimTime now) {
       ++it;
     }
   }
+  ops_since_prune_ = 0;
+  keys_gauge_.set(static_cast<double>(samples_.size()));
   return removed;
 }
 

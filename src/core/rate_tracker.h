@@ -18,6 +18,7 @@
 #include "dns/name.h"
 #include "dns/rdata.h"
 #include "net/time.h"
+#include "util/metrics.h"
 
 namespace dnscup::core {
 
@@ -68,10 +69,16 @@ class RateTracker {
  public:
   /// `window` is the averaging horizon; `max_samples_per_key` bounds
   /// memory for very hot records (rate stays exact while the oldest
-  /// retained sample is within the window).
+  /// retained sample is within the window).  `max_keys` caps the tracked
+  /// key set: a new key arriving at the cap triggers a prune, and is
+  /// dropped (counted in keys_dropped()) if the map is still full — so a
+  /// scan of millions of one-off names cannot grow estimator state
+  /// without bound.
   explicit RateTracker(net::Duration window = net::hours(1),
-                       std::size_t max_samples_per_key = 256)
-      : window_(window), max_samples_(max_samples_per_key) {}
+                       std::size_t max_samples_per_key = 256,
+                       std::size_t max_keys = 1 << 20)
+      : window_(window), max_samples_(max_samples_per_key),
+        max_keys_(max_keys) {}
 
   void record(const dns::Name& name, dns::RRType type, net::SimTime now);
 
@@ -89,10 +96,24 @@ class RateTracker {
   std::size_t count(const dns::Name& name, dns::RRType type,
                     net::SimTime now) const;
 
-  /// Drops keys whose samples all fell out of the window.
+  /// Drops keys whose samples all fell out of the window.  Also runs
+  /// automatically from record()/record_view() every ~size/2 recordings,
+  /// so idle keys decay away under traffic without any external timer
+  /// (amortized O(1) per recording, and erase-only — no allocation on the
+  /// serve hot path).
   std::size_t prune(net::SimTime now);
 
   std::size_t tracked_keys() const { return samples_.size(); }
+
+  /// New keys rejected because the tracker was at max_keys even after a
+  /// prune.
+  uint64_t keys_dropped() const { return keys_dropped_; }
+
+  /// Published occupancy (tracked-key count), refreshed on insert/prune.
+  void set_keys_gauge(metrics::Gauge gauge) {
+    keys_gauge_ = std::move(gauge);
+    keys_gauge_.set(static_cast<double>(samples_.size()));
+  }
 
  private:
   struct Key {
@@ -128,9 +149,16 @@ class RateTracker {
   };
 
   void trim(SampleRing& times, net::SimTime now) const;
+  /// True when a new key may be inserted (prunes first when at the cap).
+  bool admit_new_key(net::SimTime now);
+  void maybe_auto_prune(net::SimTime now);
 
   net::Duration window_;
   std::size_t max_samples_;
+  std::size_t max_keys_;
+  std::size_t ops_since_prune_ = 0;
+  uint64_t keys_dropped_ = 0;
+  metrics::Gauge keys_gauge_;
   std::unordered_map<Key, SampleRing, KeyHash, KeyEq> samples_;
 };
 

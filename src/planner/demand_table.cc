@@ -1,0 +1,75 @@
+#include "planner/demand_table.h"
+
+namespace dnscup::planner {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mix so linear probing sees a
+/// uniform key distribution regardless of the inputs' structure.
+uint64_t mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t pair_key(const net::Endpoint& holder, std::size_t name_hash,
+                  dns::RRType type) {
+  const uint64_t endpoint =
+      (static_cast<uint64_t>(holder.ip) << 16) | holder.port;
+  uint64_t key = mix(mix(endpoint) ^ static_cast<uint64_t>(name_hash) ^
+                     (static_cast<uint64_t>(type) * 0x9E3779B97F4A7C15ull));
+  // 0 is the empty-slot sentinel; remap the (astronomically unlikely)
+  // real key 0.
+  return key == 0 ? 1 : key;
+}
+
+DemandShard::DemandShard(std::size_t capacity) {
+  cap_ = capacity < 16 ? 16 : capacity;
+  // ~85% max load; the probe chain length stays short and there is
+  // always at least one empty slot to terminate reader probes.
+  std::size_t slots = std::bit_ceil(cap_ + cap_ / 6 + 1);
+  if (slots < 64) slots = 64;
+  slots_ = std::make_unique<Slot[]>(slots);
+  mask_ = slots - 1;
+}
+
+DemandShard::Slot* DemandShard::upsert(uint64_t key, bool* inserted) {
+  uint64_t i = key & mask_;
+  for (;;) {
+    Slot& slot = slots_[i];
+    const uint64_t k = slot.key.load(std::memory_order_relaxed);
+    if (k == key) {
+      if (inserted != nullptr) *inserted = false;
+      return &slot;
+    }
+    if (k == 0) {
+      if (size_.load(std::memory_order_relaxed) >= cap_) return nullptr;
+      // Publish after the payload defaults are in place: a racing reader
+      // that observes the key must also observe planned_bits ==
+      // kUnplannedBits (its construction default — never written between
+      // construction and here), so the release pairs with readers'
+      // acquire on `key`.
+      size_.fetch_add(1, std::memory_order_relaxed);
+      slot.key.store(key, std::memory_order_release);
+      if (inserted != nullptr) *inserted = true;
+      return &slot;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+const DemandShard::Slot* DemandShard::find(uint64_t key) const {
+  uint64_t i = key & mask_;
+  for (;;) {
+    const Slot& slot = slots_[i];
+    const uint64_t k = slot.key.load(std::memory_order_acquire);
+    if (k == key) return &slot;
+    if (k == 0) return nullptr;  // insert-only: chains never break
+    i = (i + 1) & mask_;
+  }
+}
+
+}  // namespace dnscup::planner

@@ -1,0 +1,63 @@
+#include "planner/lambda_estimator.h"
+
+#include <algorithm>
+
+namespace dnscup::planner {
+
+double LambdaEstimator::update(State& state, double observed) const {
+  const float x = static_cast<float>(std::max(observed, 0.0));
+  if (!state.seeded()) {
+    state.level = x;
+    state.trend = 0.0f;
+    return forecast(state);
+  }
+  switch (kind_) {
+    case EstimatorKind::kLastWindow:
+      state.level = x;
+      break;
+    case EstimatorKind::kEwma: {
+      const float a = static_cast<float>(params_.alpha);
+      state.level = a * x + (1.0f - a) * state.level;
+      break;
+    }
+    case EstimatorKind::kHolt: {
+      const float a = static_cast<float>(params_.alpha);
+      const float b = static_cast<float>(params_.beta);
+      const float prev_level = state.level;
+      state.level = a * x + (1.0f - a) * (state.level + state.trend);
+      state.trend =
+          b * (state.level - prev_level) + (1.0f - b) * state.trend;
+      break;
+    }
+  }
+  return forecast(state);
+}
+
+double LambdaEstimator::forecast(const State& state) const {
+  if (!state.seeded()) return 0.0;
+  if (kind_ == EstimatorKind::kHolt) {
+    return std::max(0.0, static_cast<double>(state.level + state.trend));
+  }
+  return static_cast<double>(state.level);
+}
+
+std::optional<EstimatorKind> LambdaEstimator::parse(std::string_view text) {
+  if (text == "last-window") return EstimatorKind::kLastWindow;
+  if (text == "ewma") return EstimatorKind::kEwma;
+  if (text == "holt") return EstimatorKind::kHolt;
+  return std::nullopt;
+}
+
+const char* LambdaEstimator::name(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kLastWindow:
+      return "last-window";
+    case EstimatorKind::kEwma:
+      return "ewma";
+    case EstimatorKind::kHolt:
+      return "holt";
+  }
+  return "?";
+}
+
+}  // namespace dnscup::planner

@@ -1,0 +1,270 @@
+#include "planner/lease_planner.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dnscup::planner {
+
+namespace {
+
+float planned_from_bits(uint32_t bits) {
+  return std::bit_cast<float>(bits);
+}
+
+uint32_t bits_from_planned(float lease_s) {
+  return std::bit_cast<uint32_t>(lease_s);
+}
+
+}  // namespace
+
+LeasePlanner::LeasePlanner(Config config)
+    : config_(config),
+      estimator_(config.estimator, config.estimator_params) {
+  if (config_.shards < 1) config_.shards = 1;
+  if (config_.workers < 1) config_.workers = 1;
+  if (config_.capacity < 1024) config_.capacity = 1024;
+
+  const std::size_t per_shard =
+      (config_.capacity + config_.shards - 1) / config_.shards;
+  const double budget = config_.mode == Mode::kStorage
+                            ? config_.storage_budget
+                            : config_.message_budget;
+  const double shard_budget = budget / config_.shards;
+  shards_.reserve(config_.shards);
+  for (int s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>(per_shard);
+    const std::size_t slots = shard->table.slot_count();
+    if (config_.mode == Mode::kStorage) {
+      shard->plan = std::make_unique<IncrementalSlp>(slots, shard_budget);
+    } else {
+      shard->plan =
+          std::make_unique<IncrementalDeprivation>(slots, shard_budget);
+    }
+    shards_.push_back(std::move(shard));
+  }
+
+  for (int w = 0; w < config_.workers; ++w) {
+    queues_.push_back(std::make_unique<runtime::BoundedMpscQueue<Observation>>(
+        config_.queue_capacity, &wake_));
+    handles_.push_back(
+        std::make_unique<WorkerHandle>(this, queues_.back().get()));
+  }
+
+  pairs_gauge_ = registry_.gauge("planner_pairs");
+  capacity_gauge_ = registry_.gauge("planner_capacity");
+  capacity_gauge_.set(static_cast<double>(
+      static_cast<std::size_t>(config_.shards) * per_shard));
+  planned_gauge_ = registry_.gauge("planner_granted_pairs");
+  headroom_gauge_ = registry_.gauge("planner_budget_headroom");
+  headroom_gauge_.set(budget);
+  observations_ = registry_.counter("planner_observations");
+  dropped_ = registry_.counter("planner_observations_dropped");
+  table_full_ = registry_.counter("planner_table_full");
+  assignments_changed_ = registry_.counter("planner_assignments_changed");
+  update_latency_us_ = registry_.histogram("planner_update_latency_us");
+  replan_latency_us_ = registry_.histogram("planner_replan_latency_us");
+  estimator_abs_error_ = registry_.histogram("planner_estimator_abs_error");
+}
+
+std::unique_ptr<LeasePlanner> LeasePlanner::start(Config config) {
+  auto planner = std::unique_ptr<LeasePlanner>(new LeasePlanner(config));
+  planner->last_replan_ = std::chrono::steady_clock::now();
+  planner->thread_ = std::thread([p = planner.get()] { p->run(); });
+  return planner;
+}
+
+LeasePlanner::~LeasePlanner() { stop(); }
+
+void LeasePlanner::stop() {
+  if (stop_.exchange(true, std::memory_order_acq_rel)) return;
+  wake_.wake();
+  if (thread_.joinable()) thread_.join();
+}
+
+core::LeaseAssignmentSource* LeasePlanner::handle_for_worker(int worker) {
+  DNSCUP_ASSERT(worker >= 0 &&
+                worker < static_cast<int>(handles_.size()));
+  return handles_[static_cast<std::size_t>(worker)].get();
+}
+
+std::size_t LeasePlanner::pairs() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->table.size();
+  return total;
+}
+
+core::LeaseAssignmentSource::Assignment LeasePlanner::lookup(
+    uint64_t key) const {
+  const Shard& shard = *shards_[static_cast<std::size_t>(shard_of(key))];
+  const DemandShard::Slot* slot = shard.table.find(key);
+  if (slot == nullptr) return {};
+  const uint32_t bits = slot->planned_bits.load(std::memory_order_relaxed);
+  if (bits == kUnplannedBits) return {};
+  return {true, static_cast<double>(planned_from_bits(bits))};
+}
+
+core::LeaseAssignmentSource::Assignment
+LeasePlanner::WorkerHandle::assignment(const net::Endpoint& holder,
+                                       const dns::Name& name,
+                                       dns::RRType type) {
+  return planner_->lookup(pair_key(holder, name, type));
+}
+
+void LeasePlanner::WorkerHandle::observe(const net::Endpoint& holder,
+                                         const dns::Name& name,
+                                         dns::RRType type, double rate_qps,
+                                         double max_lease_s) {
+  Observation o;
+  o.key = pair_key(holder, name, type);
+  o.rate = static_cast<float>(rate_qps);
+  o.max_lease_s = static_cast<float>(max_lease_s);
+  if (queue_->try_push(o)) {
+    planner_->observations_.inc();
+  } else {
+    planner_->dropped_.inc();
+  }
+}
+
+void LeasePlanner::run() {
+  const auto poll = std::chrono::microseconds(
+      std::max<net::Duration>(config_.poll_interval, net::milliseconds(1)));
+  while (!stop_.load(std::memory_order_acquire)) {
+    wake_.wait_for(poll);
+    drain_and_apply();
+    maybe_replan();
+    refresh_gauges();
+  }
+  // Final drain so tests (and a clean shutdown) never strand queued
+  // observations.
+  drain_and_apply();
+  refresh_gauges();
+}
+
+void LeasePlanner::drain_and_apply() {
+  std::size_t applied_this_round = 0;
+  for (auto& queue : queues_) {
+    queue->drain(batch_);
+    if (batch_.empty()) continue;
+    std::lock_guard lock(stats_mutex_);
+    for (const Observation& o : batch_) {
+      // Sampled timing (1 in 64): two clock reads per observation would
+      // dominate the drain at serve-path observation rates.
+      const bool timed = (timing_sample_++ & 63u) == 0;
+      const auto t0 = timed ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point{};
+      apply(o, &dirty_);
+      if (timed) {
+        const auto dt = std::chrono::steady_clock::now() - t0;
+        update_latency_us_.add(
+            std::chrono::duration<double, std::micro>(dt).count());
+      }
+      ++applied_this_round;
+    }
+  }
+  if (applied_this_round > 0) {
+    applied_.fetch_add(applied_this_round, std::memory_order_acq_rel);
+  }
+}
+
+void LeasePlanner::apply(const Observation& o,
+                         std::vector<uint32_t>* dirty) {
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_of(o.key))];
+  bool inserted = false;
+  DemandShard::Slot* slot = shard.table.upsert(o.key, &inserted);
+  if (slot == nullptr) {
+    table_full_.inc();
+    return;
+  }
+  if (inserted) {
+    slot->est = {};
+  } else if (slot->est.seeded()) {
+    estimator_abs_error_.add(
+        std::abs(estimator_.forecast(slot->est) -
+                 static_cast<double>(o.rate)));
+  }
+  slot->observed = o.rate;
+  slot->max_lease_s = o.max_lease_s;
+  const double forecast =
+      estimator_.update(slot->est, static_cast<double>(o.rate));
+
+  dirty->clear();
+  const uint32_t id = shard.table.index_of(slot);
+  // A zero forecast removes the pair from the optimization (lease 0);
+  // the slot stays, and the next positive observation re-plans it.
+  shard.plan->update(id, forecast,
+                     static_cast<double>(o.max_lease_s), dirty);
+  bool self_published = false;
+  for (const uint32_t d : *dirty) {
+    if (publish(shard, d)) assignments_changed_.inc();
+    self_published |= d == id;
+  }
+  // The pair must read as "planned" from its first processed observation
+  // even if its assignment stayed at the default.
+  if (!self_published) publish(shard, id);
+}
+
+bool LeasePlanner::publish(Shard& shard, uint32_t id) {
+  DemandShard::Slot* slot = shard.table.slot_at(id);
+  if (slot->key.load(std::memory_order_relaxed) == 0) return false;
+  const uint32_t bits = bits_from_planned(
+      static_cast<float>(shard.plan->lease_for(id)));
+  const uint32_t prev = slot->planned_bits.load(std::memory_order_relaxed);
+  if (prev == bits) return false;
+  slot->planned_bits.store(bits, std::memory_order_relaxed);
+  return prev != kUnplannedBits;
+}
+
+void LeasePlanner::maybe_replan() {
+  const bool forced =
+      force_replan_.exchange(false, std::memory_order_acq_rel);
+  if (config_.replan_interval <= 0 && !forced) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (!forced &&
+      now - last_replan_ <
+          std::chrono::microseconds(config_.replan_interval)) {
+    return;
+  }
+  last_replan_ = now;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  uint64_t changed = 0;
+  {
+    std::lock_guard lock(stats_mutex_);
+    for (auto& shard : shards_) {
+      shard->plan->replan();
+      // Re-publish every present pair: the batch plan is authoritative
+      // for all of them, not just recently-updated ids.
+      const std::size_t slots = shard->table.slot_count();
+      for (uint32_t id = 0; id < slots; ++id) {
+        if (publish(*shard, id)) ++changed;
+      }
+    }
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    replan_latency_us_.add(
+        std::chrono::duration<double, std::micro>(dt).count());
+  }
+  assignments_changed_.inc(changed);
+  replans_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void LeasePlanner::refresh_gauges() {
+  pairs_gauge_.set(static_cast<double>(pairs()));
+  std::size_t granted = 0;
+  double headroom = 0.0;
+  for (const auto& shard : shards_) {
+    granted += shard->plan->granted();
+    headroom += shard->plan->budget() - shard->plan->cost_used();
+  }
+  planned_gauge_.set(static_cast<double>(granted));
+  headroom_gauge_.set(headroom);
+}
+
+metrics::Snapshot LeasePlanner::metrics(int64_t timestamp_us) {
+  std::lock_guard lock(stats_mutex_);
+  return registry_.snapshot(timestamp_us);
+}
+
+}  // namespace dnscup::planner

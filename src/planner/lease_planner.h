@@ -1,0 +1,187 @@
+// Online lease-planning subsystem (the live form of paper §4.2).
+//
+// One planner thread owns the sharded demand table and the incremental
+// optimizers; worker threads touch the planner through exactly two
+// wait-free-for-the-worker paths, so the query hot path never blocks on
+// planning:
+//
+//   observe    worker → planner: a 16-byte Observation enqueued into the
+//              worker's own BoundedMpscQueue (try_push — overflow drops
+//              and counts, like every other cross-thread feed in the
+//              runtime);
+//   assignment worker ← planner: a lock-free probe of the demand table's
+//              published `planned_bits`.
+//
+// The planner thread drains all queues, folds each observation through
+// the LambdaEstimator into the slot's state, applies the forecast to the
+// incremental optimizer (O(log n) frontier maintenance), and publishes
+// the changed assignments.  Every replan_interval it additionally runs
+// the full batch planner per shard — the drift backstop that makes the
+// published plan byte-for-byte the offline optimizer's output again.
+//
+// Budgets are split evenly across planner shards (like the runtime's
+// per-worker policy budgets), so shard planning stays independent.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/policy.h"
+#include "planner/demand_table.h"
+#include "planner/incremental_plan.h"
+#include "planner/lambda_estimator.h"
+#include "runtime/mpsc_queue.h"
+#include "util/metrics.h"
+
+namespace dnscup::planner {
+
+class LeasePlanner {
+ public:
+  enum class Mode {
+    kStorage,  ///< SLP: cap expected live leases (§4.2.1)
+    kComm,     ///< deprivation: cap authority-bound traffic (§4.2.2)
+  };
+
+  struct Config {
+    Mode mode = Mode::kStorage;
+    double storage_budget = 100000;  ///< expected live leases (kStorage)
+    double message_budget = 1e6;     ///< messages/second (kComm)
+    EstimatorKind estimator = EstimatorKind::kEwma;
+    EstimatorParams estimator_params;
+    /// Full batch replan cadence (the drift backstop); <= 0 disables.
+    net::Duration replan_interval = net::seconds(30);
+    int shards = 4;
+    /// Total pair capacity, split across shards.
+    std::size_t capacity = 1 << 21;
+    /// Producer count: one observation queue per worker.
+    int workers = 1;
+    std::size_t queue_capacity = 8192;
+    /// Planner-thread wakeup cadence when no observation arrives.
+    net::Duration poll_interval = net::milliseconds(20);
+  };
+
+  static std::unique_ptr<LeasePlanner> start(Config config);
+  ~LeasePlanner();
+
+  void stop();
+
+  /// The worker's seam into the planner (valid for the planner's
+  /// lifetime; workers must stop using it before stop() — the runtime
+  /// guarantees that by joining workers first).
+  core::LeaseAssignmentSource* handle_for_worker(int worker);
+
+  const Config& config() const { return config_; }
+
+  /// Pairs currently in the demand table, across shards.
+  std::size_t pairs() const;
+  /// Observations the planner thread has applied (test synchronization).
+  uint64_t applied() const {
+    return applied_.load(std::memory_order_acquire);
+  }
+  /// Batch replans completed (test synchronization).
+  uint64_t replans() const {
+    return replans_.load(std::memory_order_acquire);
+  }
+  /// Forces a full replan on the next planner-thread iteration.
+  void replan_now() {
+    force_replan_.store(true, std::memory_order_release);
+    wake_.wake();
+  }
+
+  /// Snapshot of the planner's registry (planner_* instruments).  Safe
+  /// against the planner thread: histogram writes and snapshots share a
+  /// mutex; counters/gauges are relaxed atomics.
+  metrics::Snapshot metrics(int64_t timestamp_us);
+
+ private:
+  struct Observation {
+    uint64_t key = 0;
+    float rate = 0.0f;
+    float max_lease_s = 0.0f;
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t capacity) : table(capacity) {}
+    DemandShard table;
+    std::unique_ptr<IncrementalPlanner> plan;
+  };
+
+  class WorkerHandle final : public core::LeaseAssignmentSource {
+   public:
+    WorkerHandle(LeasePlanner* planner,
+                 runtime::BoundedMpscQueue<Observation>* queue)
+        : planner_(planner), queue_(queue) {}
+
+    Assignment assignment(const net::Endpoint& holder,
+                          const dns::Name& name,
+                          dns::RRType type) override;
+    void observe(const net::Endpoint& holder, const dns::Name& name,
+                 dns::RRType type, double rate_qps,
+                 double max_lease_s) override;
+
+   private:
+    LeasePlanner* planner_;
+    runtime::BoundedMpscQueue<Observation>* queue_;
+  };
+
+  explicit LeasePlanner(Config config);
+
+  int shard_of(uint64_t key) const {
+    // High bits: the low bits pick the probe start inside the shard.
+    return static_cast<int>((key >> 56) % static_cast<uint64_t>(
+                                shards_.size()));
+  }
+  core::LeaseAssignmentSource::Assignment lookup(uint64_t key) const;
+
+  void run();
+  void drain_and_apply();
+  void apply(const Observation& o, std::vector<uint32_t>* dirty);
+  /// Writes the current assignment for `id` into its slot; returns true
+  /// when the published value changed.
+  bool publish(Shard& shard, uint32_t id);
+  void maybe_replan();
+  void refresh_gauges();
+
+  Config config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  LambdaEstimator estimator_;
+  runtime::WakeSignal wake_;
+  std::vector<std::unique_ptr<runtime::BoundedMpscQueue<Observation>>>
+      queues_;
+  std::vector<std::unique_ptr<WorkerHandle>> handles_;
+  std::deque<Observation> batch_;  ///< drain scratch (planner thread)
+  std::vector<uint32_t> dirty_;    ///< update scratch (planner thread)
+
+  metrics::MetricsRegistry registry_;
+  metrics::Gauge pairs_gauge_;
+  metrics::Gauge capacity_gauge_;
+  metrics::Gauge planned_gauge_;
+  metrics::Gauge headroom_gauge_;
+  metrics::Counter observations_;
+  metrics::Counter dropped_;
+  metrics::Counter table_full_;
+  metrics::Counter assignments_changed_;
+  metrics::HistogramMetric update_latency_us_;
+  /// Planner-thread private: sampled-timing phase for update_latency_us_.
+  uint64_t timing_sample_ = 0;
+  metrics::HistogramMetric replan_latency_us_;
+  metrics::HistogramMetric estimator_abs_error_;
+  /// Guards the (single-threaded-by-design) histograms between the
+  /// planner thread's adds and metrics() snapshots.
+  std::mutex stats_mutex_;
+
+  std::atomic<uint64_t> applied_{0};
+  std::atomic<uint64_t> replans_{0};
+  std::atomic<bool> force_replan_{false};
+  std::atomic<bool> stop_{false};
+  std::chrono::steady_clock::time_point last_replan_;
+  std::thread thread_;
+};
+
+}  // namespace dnscup::planner

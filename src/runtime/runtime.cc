@@ -156,6 +156,21 @@ util::Result<std::unique_ptr<ServingRuntime>> ServingRuntime::start(
     }
   }
 
+  // Lease planner before the shard stacks: each shard's policy is built
+  // with its worker's planner handle.  The planner thread never touches
+  // worker state — observations arrive over per-worker MPSC queues and
+  // assignments publish through the demand table's atomics.
+  if (cfg.dnscup && cfg.planner) {
+    planner::LeasePlanner::Config pc = cfg.planner_config;
+    pc.workers = n;
+    pc.mode = cfg.policy == core::DnscupAuthority::PolicyKind::kCommBudget
+                  ? planner::LeasePlanner::Mode::kComm
+                  : planner::LeasePlanner::Mode::kStorage;
+    pc.storage_budget = static_cast<double>(cfg.storage_budget);
+    pc.message_budget = cfg.message_budget;
+    runtime->planner_ = planner::LeasePlanner::start(pc);
+  }
+
   // Per-shard protocol stacks.  Each worker gets its own copy of every
   // zone; the registries stay per-worker and merge only at scrape time.
   const std::size_t shard_budget =
@@ -184,6 +199,9 @@ util::Result<std::unique_ptr<ServingRuntime>> ServingRuntime::start(
       dc.notification.metrics = &worker.registry;
       if (runtime->push_ != nullptr) {
         dc.notification.push_writer = runtime->push_->writer_for(i);
+      }
+      if (runtime->planner_ != nullptr) {
+        dc.planner = runtime->planner_->handle_for_worker(i);
       }
       dc.metrics = &worker.registry;
       dc.journal = runtime->writer_ != nullptr
@@ -312,7 +330,11 @@ void ServingRuntime::stop() {
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
-  // 4. Flush the journal: every op the workers enqueued lands in the WAL,
+  // 4. Stop the planner after the workers have joined: no observe() or
+  //    assignment() call can race the planner's teardown, and its final
+  //    drain absorbs everything the workers enqueued.
+  if (planner_ != nullptr) planner_->stop();
+  // 5. Flush the journal: every op the workers enqueued lands in the WAL,
   //    then a final compacting snapshot.
   if (writer_ != nullptr) writer_->stop();
 }
@@ -374,6 +396,9 @@ metrics::Snapshot ServingRuntime::metrics() {
   // instrument set is fixed at construction; counters/gauges are relaxed
   // atomics, so snapshotting here races with nothing.
   if (push_ != nullptr) merged.merge(push_registry_.snapshot(now_us()));
+  // The planner guards its histograms internally (metrics() locks its
+  // stats mutex against the planner thread's adds).
+  if (planner_ != nullptr) merged.merge(planner_->metrics(now_us()));
   return merged;
 }
 

@@ -48,6 +48,7 @@
 #include "core/shard.h"
 #include "net/event_loop.h"
 #include "net/io_backend.h"
+#include "planner/lease_planner.h"
 #include "push/push_server.h"
 #include "runtime/buffer_pool.h"
 #include "runtime/journal_writer.h"
@@ -88,7 +89,19 @@ struct Config {
       core::DnscupAuthority::PolicyKind::kStorageBudget;
   /// Total live-lease budget, split evenly across shards.
   std::size_t storage_budget = 100000;
+  /// Total authority-bound message budget (msgs/s) for the planner's
+  /// communication-constrained mode.
+  double message_budget = 1e6;
   core::NotificationModule::Config notification;
+
+  /// Online lease planner (src/planner): one planner thread off the hot
+  /// path assigns lease lengths from a demand table fed by per-worker
+  /// observation queues; each shard's policy becomes the fallback for
+  /// pairs the planner has not planned yet.  planner_config budgets are
+  /// overridden from storage_budget / message_budget, its worker count
+  /// from Config::workers, and its mode from Config::policy.
+  bool planner = false;
+  planner::LeasePlanner::Config planner_config;
 
   /// Durable state directory; empty = volatile authority.
   std::string state_dir;
@@ -160,6 +173,8 @@ class ServingRuntime {
 
   /// The push plane, or null when Config::push_plane is off.
   push::PushServer* push_plane() { return push_.get(); }
+  /// The lease planner, or null when Config::planner is off.
+  planner::LeasePlanner* planner() { return planner_.get(); }
   /// TCP endpoint caches subscribe to; {0,0} when the plane is off.
   net::Endpoint push_endpoint() const {
     return push_ != nullptr ? push_->local_endpoint() : net::Endpoint{};
@@ -237,6 +252,10 @@ class ServingRuntime {
   std::unique_ptr<push::PushServer> push_;
   /// Registry for the push plane's instruments; scraped by metrics().
   metrics::MetricsRegistry push_registry_;
+  /// Declared after workers_ for the same reason as push_: workers feed
+  /// the planner's queues, so it must outlive their threads (stop()
+  /// joins workers before stopping the planner anyway).
+  std::unique_ptr<planner::LeasePlanner> planner_;
   RecoverySummary recovery_;
   std::atomic<bool> running_{false};
 };

@@ -1,0 +1,545 @@
+// Planner subsystem unit tests: demand table, λ estimators, incremental
+// planners (certified against the batch optimizers and the brute force),
+// and the LeasePlanner thread end-to-end in-process.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/dynamic_lease.h"
+#include "core/lease_math.h"
+#include "planner/demand_table.h"
+#include "planner/incremental_plan.h"
+#include "planner/lambda_estimator.h"
+#include "planner/lease_planner.h"
+#include "util/rng.h"
+
+namespace dnscup::planner {
+namespace {
+
+// ---- demand table ---------------------------------------------------------
+
+TEST(DemandShard, InsertFindAndStableIds) {
+  DemandShard shard(100);
+  bool inserted = false;
+  DemandShard::Slot* a = shard.upsert(42, &inserted);
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(inserted);
+  const uint32_t id_a = shard.index_of(a);
+
+  DemandShard::Slot* again = shard.upsert(42, &inserted);
+  EXPECT_EQ(again, a);
+  EXPECT_FALSE(inserted);
+
+  const DemandShard::Slot* found = shard.find(42);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(shard.index_of(found), id_a);
+  EXPECT_EQ(shard.find(43), nullptr);
+  EXPECT_EQ(shard.size(), 1u);
+}
+
+TEST(DemandShard, NewSlotsReadAsUnplanned) {
+  DemandShard shard(16);
+  bool inserted = false;
+  DemandShard::Slot* slot = shard.upsert(7, &inserted);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->planned_bits.load(), kUnplannedBits);
+}
+
+TEST(DemandShard, RejectsAtCapacity) {
+  DemandShard shard(16);
+  bool inserted = false;
+  for (uint64_t k = 1; k <= shard.capacity(); ++k) {
+    ASSERT_NE(shard.upsert(k, &inserted), nullptr);
+  }
+  EXPECT_EQ(shard.upsert(9999, &inserted), nullptr);
+  EXPECT_EQ(shard.size(), shard.capacity());
+  // Existing keys still resolve after the rejection.
+  EXPECT_NE(shard.find(1), nullptr);
+}
+
+TEST(DemandShard, PairKeyDistinguishesComponents) {
+  const net::Endpoint a{0x0A000001, 5353};
+  const net::Endpoint b{0x0A000002, 5353};
+  const auto name = dns::Name::parse("www.example.com").value();
+  const uint64_t base = pair_key(a, name, dns::RRType::kA);
+  EXPECT_NE(base, pair_key(b, name, dns::RRType::kA));
+  EXPECT_NE(base, pair_key(a, name, dns::RRType::kAAAA));
+  EXPECT_NE(base, 0u);  // 0 is the empty-slot sentinel
+}
+
+TEST(DemandShard, ConcurrentReadersSeeConsistentSlots) {
+  DemandShard shard(4096);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  // Readers probe random keys; any slot they resolve must carry the key
+  // they asked for (the release-store publication contract).
+  std::thread reader([&] {
+    util::Rng rng(7);
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t key = static_cast<uint64_t>(rng.uniform_int(1, 4000));
+      const DemandShard::Slot* slot = shard.find(key);
+      if (slot != nullptr &&
+          slot->key.load(std::memory_order_acquire) != key) {
+        torn.fetch_add(1);
+      }
+    }
+  });
+  bool inserted = false;
+  for (uint64_t k = 1; k <= 3000; ++k) {
+    DemandShard::Slot* slot = shard.upsert(k, &inserted);
+    ASSERT_NE(slot, nullptr);
+    slot->planned_bits.store(static_cast<uint32_t>(k),
+                             std::memory_order_relaxed);
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0u);
+}
+
+// ---- λ estimators ---------------------------------------------------------
+
+TEST(LambdaEstimator, LastWindowTracksExactly) {
+  LambdaEstimator est(EstimatorKind::kLastWindow);
+  LambdaEstimator::State state;
+  EXPECT_DOUBLE_EQ(est.forecast(state), 0.0);  // unseeded
+  est.update(state, 4.0);
+  EXPECT_DOUBLE_EQ(est.forecast(state), 4.0);
+  est.update(state, 1.0);
+  EXPECT_DOUBLE_EQ(est.forecast(state), 1.0);
+}
+
+TEST(LambdaEstimator, EwmaSmoothsSpikes) {
+  LambdaEstimator est(EstimatorKind::kEwma, {0.3, 0.1});
+  LambdaEstimator::State state;
+  est.update(state, 1.0);  // seeds at 1.0
+  est.update(state, 10.0);
+  const double after_spike = est.forecast(state);
+  EXPECT_GT(after_spike, 1.0);
+  EXPECT_LT(after_spike, 10.0);  // did not jump all the way
+  EXPECT_NEAR(after_spike, 0.3 * 10.0 + 0.7 * 1.0, 1e-5);
+}
+
+TEST(LambdaEstimator, HoltBeatsEwmaOnRamp) {
+  // On a steadily climbing rate Holt's trend term extrapolates ahead,
+  // while EWMA always lags below the last observation.
+  LambdaEstimator holt(EstimatorKind::kHolt, {0.5, 0.5});
+  LambdaEstimator ewma(EstimatorKind::kEwma, {0.5, 0.5});
+  LambdaEstimator::State hs, es;
+  double holt_err = 0.0;
+  double ewma_err = 0.0;
+  for (int t = 1; t <= 40; ++t) {
+    const double rate = static_cast<double>(t);
+    if (t > 1) {
+      holt_err += std::abs(holt.forecast(hs) - rate);
+      ewma_err += std::abs(ewma.forecast(es) - rate);
+    }
+    holt.update(hs, rate);
+    ewma.update(es, rate);
+  }
+  EXPECT_LT(holt_err, ewma_err);
+}
+
+TEST(LambdaEstimator, HoltForecastClampedAtZero) {
+  LambdaEstimator est(EstimatorKind::kHolt, {0.8, 0.8});
+  LambdaEstimator::State state;
+  est.update(state, 100.0);
+  est.update(state, 1.0);
+  est.update(state, 0.0);  // steep decline -> negative raw trend
+  EXPECT_GE(est.forecast(state), 0.0);
+}
+
+TEST(LambdaEstimator, ParseAndNameRoundTrip) {
+  for (const auto kind : {EstimatorKind::kLastWindow, EstimatorKind::kEwma,
+                          EstimatorKind::kHolt}) {
+    const auto parsed = LambdaEstimator::parse(LambdaEstimator::name(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(LambdaEstimator::parse("oracle").has_value());
+}
+
+// ---- incremental planners -------------------------------------------------
+
+struct RandomUpdate {
+  uint32_t id;
+  double rate;
+  double max_lease;
+};
+
+std::vector<RandomUpdate> random_stream(util::Rng& rng, uint32_t max_ids,
+                                        std::size_t n) {
+  std::vector<RandomUpdate> stream;
+  stream.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RandomUpdate u;
+    u.id = static_cast<uint32_t>(rng.uniform_int(0, max_ids - 1));
+    // ~10% removals; rates and leases log-uniform like the batch tests.
+    if (rng.uniform_real(0.0, 1.0) < 0.1) {
+      u.rate = 0.0;
+      u.max_lease = 0.0;
+    } else {
+      u.rate = std::exp(rng.uniform_real(std::log(0.001), std::log(10.0)));
+      u.max_lease =
+          std::exp(rng.uniform_real(std::log(10.0), std::log(1e5)));
+    }
+    stream.push_back(u);
+  }
+  return stream;
+}
+
+/// Asserts the incremental planner's assignment matches the batch
+/// planner's output over the same entries, length by length.
+/// `exact` demands bitwise equality (valid right after replan());
+/// otherwise lengths match within a small relative tolerance (the
+/// incremental running totals accumulate in a different order).
+void expect_matches_batch(const IncrementalPlanner& inc,
+                          bool storage_mode, bool exact,
+                          const char* context) {
+  std::vector<uint32_t> ids;
+  const auto demands = inc.export_demands(&ids);
+  const core::LeasePlan plan =
+      storage_mode ? core::plan_storage_constrained(demands, inc.budget())
+                   : core::plan_comm_constrained(demands, inc.budget());
+  ASSERT_EQ(plan.lengths.size(), ids.size());
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    const double got = inc.lease_for(ids[k]);
+    const double want = plan.lengths[k];
+    if (exact) {
+      ASSERT_EQ(got, want) << context << " id " << ids[k];
+    } else {
+      ASSERT_NEAR(got, want, 1e-6 * std::max(1.0, want))
+          << context << " id " << ids[k];
+    }
+  }
+}
+
+class IncrementalSlpEquivalence : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(IncrementalSlpEquivalence, MatchesBatchUnderRandomStream) {
+  util::Rng rng(GetParam());
+  constexpr uint32_t kIds = 64;
+  IncrementalSlp inc(kIds, /*storage_budget=*/8.0);
+  std::vector<uint32_t> dirty;
+  const auto stream = random_stream(rng, kIds, 400);
+  std::size_t step = 0;
+  for (const auto& u : stream) {
+    dirty.clear();
+    inc.update(u.id, u.rate, u.max_lease, &dirty);
+    ASSERT_LE(inc.cost_used(), inc.budget() + 1e-6);
+    // The incremental SLP is exact: every 16th step, diff the whole
+    // assignment against the batch planner.
+    if (++step % 16 == 0) {
+      expect_matches_batch(inc, /*storage_mode=*/true, /*exact=*/false,
+                           "mid-stream");
+    }
+  }
+  // After the backstop replan the adoption is byte-for-byte.
+  inc.replan();
+  expect_matches_batch(inc, /*storage_mode=*/true, /*exact=*/true,
+                       "post-replan");
+}
+
+TEST_P(IncrementalSlpEquivalence, BudgetChangesRepairTheFrontier) {
+  util::Rng rng(GetParam() + 50);
+  constexpr uint32_t kIds = 32;
+  IncrementalSlp inc(kIds, 4.0);
+  std::vector<uint32_t> dirty;
+  for (const auto& u : random_stream(rng, kIds, 100)) {
+    inc.update(u.id, u.rate, u.max_lease, &dirty);
+  }
+  for (const double budget : {0.0, 1.0, 16.0, 2.0}) {
+    dirty.clear();
+    inc.set_budget(budget, &dirty);
+    ASSERT_LE(inc.cost_used(), budget + 1e-6);
+    expect_matches_batch(inc, true, /*exact=*/false, "post-budget-change");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalSlpEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(IncrementalSlp, DirtySetCoversEveryFlippedAssignment) {
+  // Track assignments through the dirty sets alone; any divergence from
+  // ground truth means update() failed to report a change.
+  util::Rng rng(99);
+  constexpr uint32_t kIds = 48;
+  IncrementalSlp inc(kIds, 6.0);
+  std::vector<double> mirror(kIds, 0.0);
+  std::vector<uint32_t> dirty;
+  for (const auto& u : random_stream(rng, kIds, 300)) {
+    dirty.clear();
+    inc.update(u.id, u.rate, u.max_lease, &dirty);
+    for (const uint32_t id : dirty) mirror[id] = inc.lease_for(id);
+    for (uint32_t id = 0; id < kIds; ++id) {
+      ASSERT_EQ(mirror[id], inc.lease_for(id)) << "id " << id;
+    }
+  }
+}
+
+class IncrementalDeprivationInvariants
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalDeprivationInvariants, BudgetAndAccountingHold) {
+  util::Rng rng(GetParam() + 200);
+  constexpr uint32_t kIds = 64;
+  IncrementalDeprivation inc(kIds, /*message_budget=*/3.0);
+  std::vector<uint32_t> dirty;
+  std::size_t step = 0;
+  for (const auto& u : random_stream(rng, kIds, 400)) {
+    dirty.clear();
+    inc.update(u.id, u.rate, u.max_lease, &dirty);
+    ++step;
+    // Lengths are all-or-nothing, and traffic accounting must match a
+    // from-scratch recompute of the same assignment.
+    std::vector<uint32_t> ids;
+    const auto demands = inc.export_demands(&ids);
+    double traffic = 0.0;
+    std::size_t deprived = 0;
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      const double len = inc.lease_for(ids[k]);
+      if (len <= 0.0) {
+        traffic += demands[k].rate;
+        ++deprived;
+      } else {
+        ASSERT_EQ(len, demands[k].max_lease) << "partial length";
+        traffic += core::renewal_rate(demands[k].max_lease, demands[k].rate);
+      }
+    }
+    ASSERT_NEAR(inc.cost_used(), traffic,
+                1e-6 * std::max(1.0, traffic))
+        << "step " << step;
+    // Budget respected, or the plan is all-leased (the minimal-traffic
+    // answer the batch planner also returns for infeasible budgets).
+    if (deprived > 0) {
+      ASSERT_LE(inc.cost_used(), inc.budget() + 1e-6) << "step " << step;
+    }
+  }
+  // The backstop adopts the batch plan verbatim.
+  inc.replan();
+  expect_matches_batch(inc, /*storage_mode=*/false, /*exact=*/true,
+                       "post-replan");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalDeprivationInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---- brute-force certification (mirrors dynamic_lease_test) ---------------
+
+class IncrementalVsBruteForce : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalVsBruteForce, SlpNearOptimal) {
+  util::Rng rng(GetParam());
+  constexpr uint32_t kIds = 10;
+  // Build the instance through incremental updates, not a batch load.
+  IncrementalSlp inc(kIds, 0.0);
+  std::vector<uint32_t> dirty;
+  for (uint32_t id = 0; id < kIds; ++id) {
+    const double rate =
+        std::exp(rng.uniform_real(std::log(0.001), std::log(10.0)));
+    const double max_lease =
+        std::exp(rng.uniform_real(std::log(10.0), std::log(1e5)));
+    inc.update(id, rate, max_lease, &dirty);
+  }
+  const auto demands = inc.export_demands(nullptr);
+  double max_storage = 0.0;
+  for (const auto& d : demands) {
+    max_storage += core::lease_probability(d.max_lease, d.rate);
+  }
+  for (const double frac : {0.2, 0.5, 0.8}) {
+    const double budget = frac * max_storage;
+    inc.set_budget(budget, &dirty);
+    // Evaluate the incremental assignment's costs.
+    core::LeasePlan mine;
+    std::vector<uint32_t> ids;
+    const auto current = inc.export_demands(&ids);
+    for (const uint32_t id : ids) mine.lengths.push_back(inc.lease_for(id));
+    core::evaluate_plan(current, mine);
+    const core::LeasePlan brute =
+        core::brute_force_storage_constrained(current, budget);
+    EXPECT_LE(mine.total_storage, budget + 1e-9);
+    EXPECT_LE(mine.total_message_rate,
+              brute.total_message_rate * 1.02 + 1e-9)
+        << "seed " << GetParam() << " budget " << budget;
+  }
+}
+
+TEST_P(IncrementalVsBruteForce, DeprivationNearOptimal) {
+  util::Rng rng(GetParam() + 100);
+  constexpr uint32_t kIds = 10;
+  IncrementalDeprivation inc(kIds, 1e18);
+  std::vector<uint32_t> dirty;
+  double polling = 0.0;
+  for (uint32_t id = 0; id < kIds; ++id) {
+    const double rate =
+        std::exp(rng.uniform_real(std::log(0.001), std::log(10.0)));
+    const double max_lease =
+        std::exp(rng.uniform_real(std::log(10.0), std::log(1e5)));
+    inc.update(id, rate, max_lease, &dirty);
+    polling += rate;
+  }
+  for (const double frac : {0.3, 0.6, 0.9}) {
+    const double budget = polling * frac;
+    inc.set_budget(budget, &dirty);
+    inc.replan();  // certify the backstop's output, like the batch tests
+    core::LeasePlan mine;
+    std::vector<uint32_t> ids;
+    const auto current = inc.export_demands(&ids);
+    for (const uint32_t id : ids) mine.lengths.push_back(inc.lease_for(id));
+    core::evaluate_plan(current, mine);
+    const core::LeasePlan brute =
+        core::brute_force_comm_constrained(current, budget);
+    if (brute.total_message_rate <= budget + 1e-9) {
+      EXPECT_LE(mine.total_message_rate, budget + 1e-9);
+      EXPECT_LE(mine.total_storage, brute.total_storage * 1.02 + 1e-9)
+          << "seed " << GetParam() << " budget " << budget;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalVsBruteForce,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---- LeasePlanner end-to-end ----------------------------------------------
+
+LeasePlanner::Config fast_config() {
+  LeasePlanner::Config config;
+  config.mode = LeasePlanner::Mode::kStorage;
+  config.storage_budget = 1000.0;
+  config.shards = 2;
+  config.capacity = 2048;
+  config.workers = 2;
+  config.poll_interval = net::milliseconds(1);
+  config.replan_interval = net::seconds(0);  // manual via replan_now()
+  return config;
+}
+
+void wait_applied(LeasePlanner& planner, uint64_t target) {
+  for (int i = 0; i < 5000 && planner.applied() < target; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(planner.applied(), target);
+}
+
+TEST(LeasePlanner, ObservationsBecomeAssignments) {
+  auto planner = LeasePlanner::start(fast_config());
+  core::LeaseAssignmentSource* handle = planner->handle_for_worker(0);
+  const auto name = dns::Name::parse("www.example.com").value();
+  const net::Endpoint holder{0x7F000001, 4242};
+
+  // Unknown pair: not planned yet.
+  EXPECT_FALSE(handle->assignment(holder, name, dns::RRType::kA).planned);
+
+  handle->observe(holder, name, dns::RRType::kA, /*rate_qps=*/2.0,
+                  /*max_lease_s=*/600.0);
+  wait_applied(*planner, 1);
+  const auto a = handle->assignment(holder, name, dns::RRType::kA);
+  EXPECT_TRUE(a.planned);
+  // Budget 1000 with one pair: the full maximal lease.
+  EXPECT_DOUBLE_EQ(a.lease_s, 600.0);
+  EXPECT_EQ(planner->pairs(), 1u);
+  planner->stop();
+}
+
+TEST(LeasePlanner, TightBudgetDeniesColdPairs) {
+  auto config = fast_config();
+  // Room for roughly one long-leased hot pair and nothing else: P for the
+  // hot pair ≈ 1, the cold pairs would each add ≈ 1 more.
+  config.storage_budget = 1.0;
+  config.shards = 1;
+  auto planner = LeasePlanner::start(config);
+  core::LeaseAssignmentSource* handle = planner->handle_for_worker(0);
+  const net::Endpoint hot{0x7F000001, 1000};
+  const auto name = dns::Name::parse("popular.example.com").value();
+  handle->observe(hot, name, dns::RRType::kA, 50.0, 86400.0);
+  for (int i = 0; i < 8; ++i) {
+    const net::Endpoint cold{0x7F000001, static_cast<uint16_t>(2000 + i)};
+    handle->observe(cold, name, dns::RRType::kA, 0.001, 86400.0);
+  }
+  wait_applied(*planner, 9);
+  const auto hot_assignment = handle->assignment(hot, name, dns::RRType::kA);
+  EXPECT_TRUE(hot_assignment.planned);
+  EXPECT_DOUBLE_EQ(hot_assignment.lease_s, 86400.0);
+  // At least the coldest pairs must be planned-but-denied (lease 0).
+  int denied = 0;
+  for (int i = 0; i < 8; ++i) {
+    const net::Endpoint cold{0x7F000001, static_cast<uint16_t>(2000 + i)};
+    const auto a = handle->assignment(cold, name, dns::RRType::kA);
+    EXPECT_TRUE(a.planned);
+    if (a.planned && a.lease_s == 0.0) ++denied;
+  }
+  EXPECT_GE(denied, 6);
+  planner->stop();
+}
+
+TEST(LeasePlanner, ForcedReplanMatchesBatch) {
+  auto planner = LeasePlanner::start(fast_config());
+  core::LeaseAssignmentSource* handle = planner->handle_for_worker(1);
+  util::Rng rng(11);
+  const auto name = dns::Name::parse("x.example.com").value();
+  for (int i = 0; i < 200; ++i) {
+    const net::Endpoint holder{0x7F000001,
+                               static_cast<uint16_t>(1 + rng.uniform_int(
+                                   1, 60000))};
+    handle->observe(holder, name, dns::RRType::kA,
+                    std::exp(rng.uniform_real(std::log(0.001),
+                                              std::log(10.0))),
+                    3600.0);
+  }
+  wait_applied(*planner, 200);
+  const uint64_t replans_before = planner->replans();
+  planner->replan_now();
+  for (int i = 0; i < 5000 && planner->replans() == replans_before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(planner->replans(), replans_before);
+  planner->stop();
+}
+
+TEST(LeasePlanner, MetricsExposePlannerState) {
+  auto planner = LeasePlanner::start(fast_config());
+  core::LeaseAssignmentSource* handle = planner->handle_for_worker(0);
+  const auto name = dns::Name::parse("m.example.com").value();
+  handle->observe(net::Endpoint{0x7F000001, 777}, name, dns::RRType::kA,
+                  1.0, 60.0);
+  wait_applied(*planner, 1);
+  const auto snapshot = planner->metrics(0);
+  EXPECT_EQ(snapshot.counter_total("planner_observations"), 1u);
+  const auto* pairs = snapshot.find("planner_pairs");
+  ASSERT_NE(pairs, nullptr);
+  EXPECT_DOUBLE_EQ(pairs->gauge_value, 1.0);
+  EXPECT_NE(snapshot.find("planner_update_latency_us"), nullptr);
+  planner->stop();
+}
+
+TEST(LeasePlanner, CleanStopUnderChurn) {
+  auto config = fast_config();
+  config.queue_capacity = 64;  // force drops under churn too
+  auto planner = LeasePlanner::start(config);
+  std::atomic<bool> stop{false};
+  std::thread feeder([&] {
+    core::LeaseAssignmentSource* handle = planner->handle_for_worker(0);
+    const auto name = dns::Name::parse("churn.example.com").value();
+    util::Rng rng(3);
+    while (!stop.load(std::memory_order_acquire)) {
+      const net::Endpoint holder{
+          0x7F000001, static_cast<uint16_t>(rng.uniform_int(1, 5000))};
+      handle->observe(holder, name, dns::RRType::kA,
+                      rng.uniform_real(0.01, 5.0), 300.0);
+      handle->assignment(holder, name, dns::RRType::kA);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  planner->replan_now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true, std::memory_order_release);
+  feeder.join();
+  planner->stop();  // must not hang or crash with queued observations
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dnscup::planner

@@ -86,5 +86,68 @@ TEST(RateTracker, CaseInsensitiveNames) {
   EXPECT_EQ(tracker.count(mk("www.x.com"), RRType::kA, 0), 1u);
 }
 
+TEST(RateTracker, IdleKeysDecayUnderTrafficWithoutExplicitPrune) {
+  RateTracker tracker(net::seconds(10));
+  // 64 keys that go idle immediately.
+  for (int i = 0; i < 64; ++i) {
+    tracker.record(mk(("idle" + std::to_string(i) + ".com").c_str()),
+                   RRType::kA, 0);
+  }
+  EXPECT_EQ(tracker.tracked_keys(), 64u);
+  // Sustained traffic on one hot key, far past the window: the amortized
+  // auto-prune (every ~size/2 recordings) must evict the idle keys with
+  // no prune() call from the caller.
+  for (int i = 0; i < 200; ++i) {
+    tracker.record(mk("hot.com"), RRType::kA, net::seconds(100 + i));
+  }
+  EXPECT_EQ(tracker.tracked_keys(), 1u);
+}
+
+TEST(RateTracker, MaxKeysCapDropsNewKeysAndCounts) {
+  RateTracker tracker(net::hours(1), 256, 8);
+  for (int i = 0; i < 20; ++i) {
+    tracker.record(mk(("k" + std::to_string(i) + ".com").c_str()),
+                   RRType::kA, 0);
+  }
+  // All 20 keys are in-window, so pruning frees nothing: 8 admitted, the
+  // rest dropped and counted.
+  EXPECT_EQ(tracker.tracked_keys(), 8u);
+  EXPECT_EQ(tracker.keys_dropped(), 12u);
+  // An established key still records at the cap.
+  tracker.record(mk("k0.com"), RRType::kA, net::seconds(1));
+  EXPECT_EQ(tracker.count(mk("k0.com"), RRType::kA, net::seconds(1)), 2u);
+}
+
+TEST(RateTracker, CapAdmitsAfterPruneFreesRoom) {
+  RateTracker tracker(net::seconds(10), 256, 4);
+  for (int i = 0; i < 4; ++i) {
+    tracker.record(mk(("old" + std::to_string(i) + ".com").c_str()),
+                   RRType::kA, 0);
+  }
+  // At the cap, but every old key is stale by now: the admission-time
+  // prune makes room, so the new key is tracked, not dropped.
+  tracker.record(mk("new.com"), RRType::kA, net::seconds(100));
+  EXPECT_EQ(tracker.keys_dropped(), 0u);
+  EXPECT_EQ(tracker.count(mk("new.com"), RRType::kA, net::seconds(100)), 1u);
+}
+
+TEST(RateTracker, KeysGaugeTracksOccupancy) {
+  metrics::MetricsRegistry registry;
+  RateTracker tracker(net::seconds(10));
+  tracker.set_keys_gauge(registry.gauge("rate_tracker_keys"));
+  auto gauge_value = [&] {
+    for (const auto& entry : registry.snapshot(0).entries) {
+      if (entry.name == "rate_tracker_keys") return entry.gauge_value;
+    }
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(gauge_value(), 0.0);
+  tracker.record(mk("a.com"), RRType::kA, 0);
+  tracker.record(mk("b.com"), RRType::kA, 0);
+  EXPECT_DOUBLE_EQ(gauge_value(), 2.0);
+  tracker.prune(net::seconds(100));
+  EXPECT_DOUBLE_EQ(gauge_value(), 0.0);
+}
+
 }  // namespace
 }  // namespace dnscup::core

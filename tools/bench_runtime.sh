@@ -10,16 +10,24 @@
 # (>1 worker) run with --pin-cpus over the available CPUs so the scaling
 # sweep measures pinned workers on both backends.
 #
+# PLANNER (default "off on") adds a lease-planner column: the "on" rows
+# start dnscupd with --lease-storage-budget so every EXT query crosses
+# the planner seam (observation enqueue + demand-table probe), which is
+# exactly the serve-path overhead the planner must not add; compare the
+# off/on p99 of the same (backend, workers) cell.
+#
 # Usage:
 #   tools/bench_runtime.sh                 # workers 1 and 8, 5 s each
 #   WORKERS="1 2 4 8" DURATION=10 tools/bench_runtime.sh
 #   BACKENDS=portable OUT=/tmp/report.json tools/bench_runtime.sh
+#   PLANNER=off tools/bench_runtime.sh     # skip the planner-on rows
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 jobs=${JOBS:-$(nproc)}
 workers_list=${WORKERS:-"1 8"}
 backends_list=${BACKENDS:-"portable uring"}
+planner_list=${PLANNER:-"off on"}
 duration=${DURATION:-5}
 out=${OUT:-$repo_root/BENCH_runtime_throughput.json}
 
@@ -60,48 +68,69 @@ for backend in $backends_list; do
     continue
   fi
   for workers in $workers_list; do
-    port=$(( 20000 + RANDOM % 10000 ))
-    pin_args=()
-    pinned=false
-    if [ "$workers" -gt 1 ]; then
-      pin_args=(--pin-cpus "$(pin_list_for "$workers")")
-      pinned=true
-    fi
-    log="$bench_dir/scaling-dnscupd-$backend-w$workers.log"
-    "$build_dir/tools/dnscupd" --port "$port" \
-      --zone "example.com=$zone" --workers "$workers" \
-      --io-backend "$backend" "${pin_args[@]}" > "$log" 2>&1 &
-    daemon=$!
-    sleep 0.5
-    kill -0 "$daemon" || {
-      echo "dnscupd failed to start:"; cat "$log"; exit 1
-    }
+    for planner in $planner_list; do
+      port=$(( 20000 + RANDOM % 10000 ))
+      pin_args=()
+      pinned=false
+      if [ "$workers" -gt 1 ]; then
+        pin_args=(--pin-cpus "$(pin_list_for "$workers")")
+        pinned=true
+      fi
+      planner_args=()
+      planner_label=off
+      if [ "$planner" = on ]; then
+        planner_args=(--lease-storage-budget 100000 --replan-interval 5)
+        planner_label=storage
+      fi
+      log="$bench_dir/scaling-dnscupd-$backend-w$workers-p$planner.log"
+      "$build_dir/tools/dnscupd" --port "$port" \
+        --zone "example.com=$zone" --workers "$workers" \
+        --io-backend "$backend" "${pin_args[@]}" "${planner_args[@]}" \
+        > "$log" 2>&1 &
+      daemon=$!
+      sleep 0.5
+      kill -0 "$daemon" || {
+        echo "dnscupd failed to start:"; cat "$log"; exit 1
+      }
 
-    run_json="$bench_dir/scaling-flood-$backend-w$workers.json"
-    echo "== backend $backend, $workers worker(s), ${duration}s =="
-    "$build_dir/tools/dnsflood" --server "127.0.0.1:$port" \
-      --duration "$duration" --sockets 4 --concurrency 16 \
-      --names 1000 --zipf 1.0 --lease-fraction 0.2 \
-      --workers-label "$workers" --out "$run_json"
-    kill -TERM "$daemon" 2>/dev/null || true
-    wait "$daemon" 2>/dev/null || true
-    # The server's backend (after any fallback) is in its banner; record
-    # it with the run so a silent fallback cannot masquerade as uring.
-    server_backend=$(grep -o 'io=[a-z]*' "$log" | head -1 | cut -d= -f2)
-    python3 - "$run_json" "$backend" "${server_backend:-unknown}" \
-        "$pinned" <<'EOF'
+      run_json="$bench_dir/scaling-flood-$backend-w$workers-p$planner.json"
+      echo "== backend $backend, $workers worker(s)," \
+           "planner $planner_label, ${duration}s =="
+      "$build_dir/tools/dnsflood" --server "127.0.0.1:$port" \
+        --duration "$duration" --sockets 4 --concurrency 16 \
+        --names 1000 --zipf 1.0 --lease-fraction 0.2 \
+        --workers-label "$workers" --planner-label "$planner_label" \
+        --out "$run_json"
+      kill -TERM "$daemon" 2>/dev/null || true
+      wait "$daemon" 2>/dev/null || true
+      # The server's backend (after any fallback) is in its banner;
+      # record it with the run so a silent fallback cannot masquerade as
+      # uring.  Same for the planner banner: a planner-on row whose
+      # server never printed the planner banner is a misconfigured run.
+      server_backend=$(grep -o 'io=[a-z]*' "$log" | head -1 | cut -d= -f2)
+      # Absent on planner-off rows; || true keeps set -e out of it.
+      server_planner=$(grep -o 'planner: mode=[a-z]*' "$log" | head -1 |
+                       cut -d= -f2 || true)
+      if [ "$planner" = on ] && [ -z "$server_planner" ]; then
+        echo "planner banner missing from planner-on run:"; cat "$log"
+        exit 1
+      fi
+      python3 - "$run_json" "$backend" "${server_backend:-unknown}" \
+          "$pinned" "${server_planner:-off}" <<'EOF'
 import json, sys
-path, requested, served, pinned = sys.argv[1:]
+path, requested, served, pinned, planner = sys.argv[1:]
 with open(path) as f:
     run = json.load(f)
 run["server_io_backend"] = served
 run["requested_io_backend"] = requested
 run["pinned"] = pinned == "true"
+run["server_planner"] = planner
 with open(path, "w") as f:
     json.dump(run, f)
     f.write("\n")
 EOF
-    runs+=("$run_json")
+      runs+=("$run_json")
+    done
   done
 done
 
@@ -114,10 +143,12 @@ for path in paths:
         run = json.load(f)
     entries.append({k: run[k] for k in (
         "workers", "server_io_backend", "requested_io_backend", "pinned",
+        "planner", "server_planner",
         "batch_slots", "mode", "duration_s", "sockets", "concurrency",
         "names", "zipf_s", "lease_fraction", "sent", "answered",
         "achieved_qps", "p50_us", "p95_us", "p99_us", "loss_rate")})
-entries.sort(key=lambda e: (e["requested_io_backend"], e["workers"]))
+entries.sort(key=lambda e: (e["requested_io_backend"], e["planner"],
+                            e["workers"]))
 cpus = len(os.sched_getaffinity(0))
 report = {"bench": "runtime_throughput",
           "description": "dnsflood closed-loop vs dnscupd on loopback, "
@@ -126,13 +157,42 @@ report = {"bench": "runtime_throughput",
           "runs": entries}
 by_backend = {}
 for e in entries:
-    by_backend.setdefault(e["requested_io_backend"], []).append(e)
+    col = e["requested_io_backend"]
+    if e["planner"] != "off":
+        col += "+planner"
+    by_backend.setdefault(col, []).append(e)
 scaling = {}
 for backend, rows in by_backend.items():
     base = rows[0]["achieved_qps"]
     peak = max(r["achieved_qps"] for r in rows)
     scaling[backend] = round(peak / base, 2) if base else None
 report["scaling_vs_first"] = scaling
+# Planner serve-path overhead: p99 of each planner-on row against its
+# planner-off twin (same backend and worker count).
+overhead = {}
+for e in entries:
+    if e["planner"] == "off":
+        continue
+    twin = next((o for o in entries if o["planner"] == "off" and
+                 o["requested_io_backend"] == e["requested_io_backend"] and
+                 o["workers"] == e["workers"]), None)
+    if twin and twin["p99_us"]:
+        key = f"{e['requested_io_backend']}-w{e['workers']}"
+        overhead[key] = {
+            "p99_off_us": twin["p99_us"], "p99_on_us": e["p99_us"],
+            "qps_off": twin["achieved_qps"], "qps_on": e["achieved_qps"],
+            "p99_ratio": round(e["p99_us"] / twin["p99_us"], 3)}
+if overhead:
+    report["planner_overhead"] = overhead
+    if cpus < 2:
+        # The planner thread has no core of its own here, so the "on"
+        # rows time-slice it against the saturated worker.
+        report["planner_note"] = (
+            "single-CPU host: planner-on p99 includes the planner "
+            "thread time-slicing against the saturated worker; on a "
+            "multi-core host the planner runs on its own core and the "
+            "serve path only pays the observe-enqueue + table-probe "
+            "cost")
 if uring_skipped == "yes":
     report["uring"] = ("skipped: kernel lacks the io_uring features the "
                       "backend needs")
@@ -149,11 +209,15 @@ with open(out, "w") as f:
     f.write("\n")
 for e in entries:
     pin = " pinned" if e["pinned"] else ""
-    print(f"{e['server_io_backend']:>8} workers={e['workers']:>2}{pin}  "
-          f"{e['achieved_qps']:>10.0f} q/s  "
+    plan = "" if e["planner"] == "off" else f" planner={e['planner']}"
+    print(f"{e['server_io_backend']:>8} workers={e['workers']:>2}{pin}{plan}"
+          f"  {e['achieved_qps']:>10.0f} q/s  "
           f"p50 {e['p50_us']} us  p99 {e['p99_us']} us  "
           f"loss {100 * e['loss_rate']:.3f}%")
 print(f"scaling: {scaling} ({cpus} host CPU(s))  -> {out}")
+for key, row in report.get("planner_overhead", {}).items():
+    print(f"planner overhead {key}: p99 {row['p99_off_us']} -> "
+          f"{row['p99_on_us']} us (x{row['p99_ratio']})")
 if "note" in report:
     print(f"note: {report['note']}")
 EOF

@@ -14,10 +14,17 @@
 #
 # The multi-threaded serving runtime gets its own legs:
 #   --tsan         build runtime_test + udp_transport_test +
-#                  e2e_daemons_test + the push-plane suites under
-#                  ThreadSanitizer and fail on any report — the worker /
-#                  receiver / journal-writer / push-channel thread
-#                  interplay is where a data race would hide;
+#                  e2e_daemons_test + the push-plane and planner suites
+#                  under ThreadSanitizer and fail on any report — the
+#                  worker / receiver / journal-writer / push-channel /
+#                  planner thread interplay is where a data race would
+#                  hide;
+#   --planner      the lease-planner leg: the planner-labeled suites in
+#                  Release, planner_test under ASan/UBSan (the open-
+#                  addressed demand table is raw arena indexing), then a
+#                  planner-enabled dnscupd under TSan driven by dnsflood
+#                  — the single-writer/multi-reader table contract and
+#                  the observation-queue handoff under real load;
 #   --bench-smoke  Release build, assert the serve hot path is
 #                  allocation-free (hot_path_alloc_test), then start a
 #                  2-worker dnscupd on loopback, drive it with dnsflood
@@ -38,6 +45,7 @@
 #   tools/check.sh --no-e2e      # same, skipping the real-socket leg
 #   tools/check.sh --sanitize    # sanitize the full suite, not just store
 #   tools/check.sh --tsan        # ThreadSanitizer leg only
+#   tools/check.sh --planner     # lease-planner leg only
 #   tools/check.sh --bench-smoke # serving-runtime load smoke only
 #   tools/check.sh --wire-micro  # wire hot-path microbenchmark only
 #   tools/check.sh --io-matrix   # full suite under each I/O backend
@@ -74,7 +82,8 @@ run_tsan() {
     -DDNSCUP_SANITIZE=thread
   cmake --build "$build_dir" -j "$jobs" \
     --target runtime_test udp_transport_test e2e_daemons_test \
-             io_backend_parity_test push_channel_test e2e_push_test
+             io_backend_parity_test push_channel_test e2e_push_test \
+             planner_test planner_runtime_test
   # halt_on_error turns any race report into a test failure.  The
   # backend is pinned to portable so the leg is deterministic; the
   # parity test still exercises the uring receiver threads explicitly
@@ -83,6 +92,7 @@ run_tsan() {
   tsan_tests='runtime_test|udp_transport_test|e2e_daemons_test'
   tsan_tests="$tsan_tests|io_backend_parity_test"
   tsan_tests="$tsan_tests|push_channel_test|e2e_push_test"
+  tsan_tests="$tsan_tests|planner_test|planner_runtime_test"
   TSAN_OPTIONS="halt_on_error=1" DNSCUP_IO_BACKEND=portable \
     ctest --test-dir "$build_dir" \
     -R "^($tsan_tests)\$" \
@@ -187,6 +197,87 @@ EOF
   echo "bench smoke ok; result archived at $out"
 }
 
+run_planner() {
+  echo "== lease-planner leg =="
+  local build_dir="$repo_root/build"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j "$jobs" \
+    --target planner_test planner_runtime_test dnsflood
+  echo "-- planner label (Release) --"
+  ctest --test-dir "$build_dir" -L planner --output-on-failure -j "$jobs"
+  ctest --test-dir "$build_dir" -R '^planner_runtime_test$' \
+    --output-on-failure
+
+  echo "-- planner_test under address,undefined sanitizers --"
+  # The demand table is a raw open-addressed arena (pointer arithmetic,
+  # release-published keys): ASan/UBSan is where an off-by-one probe or
+  # misaligned bit_cast would surface.
+  cmake -B "$repo_root/build-store-sanitize" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDNSCUP_SANITIZE=address,undefined
+  cmake --build "$repo_root/build-store-sanitize" -j "$jobs" \
+    --target planner_test
+  ctest --test-dir "$repo_root/build-store-sanitize" \
+    -R '^planner_test$' --output-on-failure
+
+  echo "-- planner-enabled dnscupd under ThreadSanitizer + dnsflood --"
+  # Real load across the full planner seam: worker threads observing into
+  # the MPSC queues and probing planned_bits while the planner thread
+  # plans, publishes and replans.
+  local tsan_dir="$repo_root/build-tsan"
+  cmake -B "$tsan_dir" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDNSCUP_SANITIZE=thread
+  cmake --build "$tsan_dir" -j "$jobs" --target dnscupd
+  local bench_dir="$build_dir/bench"
+  mkdir -p "$bench_dir"
+  local zone="$bench_dir/planner-smoke.zone"
+  {
+    echo '$ORIGIN example.com.'
+    echo '@ IN SOA ns1.example.com. admin.example.com. 1 7200 900 604800 300'
+    echo '@ 300 IN NS ns1.example.com.'
+    echo 'ns1 300 IN A 10.0.0.1'
+    for i in $(seq 0 199); do
+      echo "w$i 300 IN A 10.1.$((i / 256)).$((i % 256))"
+    done
+  } > "$zone"
+  local port=$(( 20000 + RANDOM % 10000 ))
+  TSAN_OPTIONS="halt_on_error=1" "$tsan_dir/tools/dnscupd" --port "$port" \
+    --zone "example.com=$zone" --workers 2 \
+    --lease-storage-budget 100 --replan-interval 1 \
+    > "$bench_dir/planner-smoke-dnscupd.log" 2>&1 &
+  local daemon=$!
+  trap 'kill "$daemon" 2>/dev/null || true' RETURN
+  # TSan-instrumented startup is slow, especially on busy hosts: poll
+  # for the planner banner instead of a fixed sleep.
+  local waited=0
+  until grep -q "dnscup planner: mode=storage" \
+      "$bench_dir/planner-smoke-dnscupd.log" 2>/dev/null; do
+    kill -0 "$daemon" 2>/dev/null || {
+      echo "planner dnscupd died during startup:"
+      cat "$bench_dir/planner-smoke-dnscupd.log"
+      return 1
+    }
+    if [ "$waited" -ge 60 ]; then
+      echo "planner banner missing after ${waited}s:"
+      cat "$bench_dir/planner-smoke-dnscupd.log"
+      return 1
+    fi
+    sleep 1
+    waited=$(( waited + 1 ))
+  done
+  "$build_dir/tools/dnsflood" --server "127.0.0.1:$port" --duration 2 \
+    --sockets 4 --concurrency 8 --names 200 --lease-fraction 0.5 \
+    --planner-label storage --out "$bench_dir/planner-smoke-flood.json"
+  kill -TERM "$daemon" 2>/dev/null || true
+  if ! wait "$daemon"; then
+    echo "FAIL: planner-enabled dnscupd exited non-zero (TSan report?)"
+    cat "$bench_dir/planner-smoke-dnscupd.log"
+    return 1
+  fi
+  echo "planner leg ok; smoke results under $bench_dir/"
+}
+
 e2e=yes
 if [ "$mode" = --no-e2e ]; then
   e2e=no
@@ -196,6 +287,9 @@ fi
 case "$mode" in
   --tsan)
     run_tsan
+    ;;
+  --planner)
+    run_planner
     ;;
   --bench-smoke)
     run_bench_smoke

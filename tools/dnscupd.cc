@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "dns/zone_text.h"
+#include "planner/lambda_estimator.h"
 #include "runtime/runtime.h"
 #include "tool_common.h"
 #include "util/logging.h"
@@ -65,6 +66,16 @@ struct Options {
   std::string state_dir;  ///< empty: volatile authority
   store::FsyncPolicy fsync = store::FsyncPolicy::kAlways;
   int64_t snapshot_interval_s = 60;
+
+  // Online lease planner (src/planner).  Either budget flag turns the
+  // planner on and selects its mode; the remaining knobs tune it.
+  bool planner = false;
+  double lease_storage_budget = -1;  ///< expected live leases (SLP mode)
+  double lease_msg_budget = -1;      ///< msgs/s (deprivation mode)
+  planner::EstimatorKind estimator = planner::EstimatorKind::kEwma;
+  int64_t replan_interval_s = 30;
+  int64_t planner_capacity = 1 << 21;
+  int planner_shards = 4;
 };
 
 bool parse_args(int argc, char** argv, Options& opts) {
@@ -112,6 +123,42 @@ bool parse_args(int argc, char** argv, Options& opts) {
       if (opts.snapshot_interval_s <= 0) return false;
     } else if (arg == "--round-robin") {
       opts.round_robin = true;
+    } else if (arg == "--lease-storage-budget") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.lease_storage_budget = std::atof(v);
+      if (opts.lease_storage_budget < 0) return false;
+      opts.planner = true;
+    } else if (arg == "--lease-msg-budget") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.lease_msg_budget = std::atof(v);
+      if (opts.lease_msg_budget < 0) return false;
+      opts.planner = true;
+    } else if (arg == "--lambda-estimator") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      auto kind = planner::LambdaEstimator::parse(v);
+      if (!kind.has_value()) {
+        std::fprintf(stderr,
+                     "bad --lambda-estimator %s (last-window|ewma|holt)\n", v);
+        return false;
+      }
+      opts.estimator = *kind;
+    } else if (arg == "--replan-interval") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.replan_interval_s = std::atoll(v);
+    } else if (arg == "--planner-capacity") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.planner_capacity = std::atoll(v);
+      if (opts.planner_capacity < 1) return false;
+    } else if (arg == "--planner-shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.planner_shards = std::atoi(v);
+      if (opts.planner_shards < 1) return false;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -132,7 +179,12 @@ int main(int argc, char** argv) {
         "               [--max-lease seconds] [--round-robin]\n"
         "               [--state-dir dir] "
         "[--fsync-policy always|interval|never]\n"
-        "               [--snapshot-interval seconds]\n",
+        "               [--snapshot-interval seconds]\n"
+        "               [--lease-storage-budget N | --lease-msg-budget X]\n"
+        "               [--lambda-estimator last-window|ewma|holt]\n"
+        "               [--replan-interval seconds] "
+        "[--planner-capacity N]\n"
+        "               [--planner-shards N]\n",
         tools::kServingUsage);
     return 2;
   }
@@ -164,6 +216,23 @@ int main(int argc, char** argv) {
   config.fsync = opts.fsync;
   config.push_plane = opts.serving.push_plane;
   config.push_port = opts.serving.push_listen;
+  if (opts.planner && config.dnscup) {
+    config.planner = true;
+    if (opts.lease_msg_budget >= 0) {
+      config.policy = core::DnscupAuthority::PolicyKind::kCommBudget;
+      config.message_budget = opts.lease_msg_budget;
+    } else {
+      config.policy = core::DnscupAuthority::PolicyKind::kStorageBudget;
+      config.storage_budget =
+          static_cast<std::size_t>(opts.lease_storage_budget);
+    }
+    config.planner_config.estimator = opts.estimator;
+    config.planner_config.replan_interval =
+        net::seconds(opts.replan_interval_s);
+    config.planner_config.capacity =
+        static_cast<std::size_t>(opts.planner_capacity);
+    config.planner_config.shards = opts.planner_shards;
+  }
 
   auto started = runtime::ServingRuntime::start(config, std::move(zones));
   if (!started.ok()) {
@@ -197,6 +266,21 @@ int main(int argc, char** argv) {
     // learn the (possibly ephemeral) TCP subscription port.
     std::printf("dnscupd push plane listening on %s (TCP)\n",
                 rt.push_endpoint().to_string().c_str());
+    std::fflush(stdout);
+  }
+  if (rt.planner() != nullptr) {
+    // Scrapeable like the banner: bench_runtime.sh and check.sh read this
+    // line to confirm the planner configuration actually in effect.
+    const auto& pc = rt.planner()->config();
+    const bool storage = pc.mode == planner::LeasePlanner::Mode::kStorage;
+    std::printf(
+        "dnscup planner: mode=%s %s-budget=%.1f estimator=%s replan=%llds "
+        "shards=%d capacity=%zu\n",
+        storage ? "storage" : "comm", storage ? "storage" : "msg",
+        storage ? pc.storage_budget : pc.message_budget,
+        planner::LambdaEstimator::name(pc.estimator),
+        static_cast<long long>(net::to_seconds(pc.replan_interval)),
+        pc.shards, pc.capacity);
     std::fflush(stdout);
   }
 

@@ -67,6 +67,9 @@ struct Options {
   int timeout_ms = 200;
   uint64_t seed = 1;
   int workers_label = 0;
+  /// Tag recorded verbatim in the JSON "planner" field — what planner
+  /// configuration the server under test ran ("off", "storage", ...).
+  std::string planner_label = "off";
   net::IoBackendKind io_backend = net::IoBackendKind::kDefault;
   bool probe = false;  ///< --probe-io-backend: report uring support, exit
   std::string out;
@@ -121,6 +124,9 @@ bool parse_args(int argc, char** argv, Options& opts) {
     } else if (arg == "--workers-label") {
       if ((v = next()) == nullptr) return false;
       opts.workers_label = std::atoi(v);
+    } else if (arg == "--planner-label") {
+      if ((v = next()) == nullptr) return false;
+      opts.planner_label = v;
     } else if (arg == "--io-backend") {
       if ((v = next()) == nullptr) return false;
       const auto kind = net::parse_io_backend_kind(v);
@@ -303,7 +309,8 @@ int main(int argc, char** argv) {
         "                [--sockets N] [--concurrency N] [--qps N]\n"
         "                [--names N] [--zipf s] [--lease-fraction f]\n"
         "                [--origin name] [--timeout-ms N] [--seed N]\n"
-        "                [--workers-label N] [--io-backend portable|uring]\n"
+        "                [--workers-label N] [--planner-label tag]\n"
+        "                [--io-backend portable|uring]\n"
         "                [--probe-io-backend] [--out file.json]\n");
     return 2;
   }
@@ -428,14 +435,16 @@ int main(int argc, char** argv) {
     }
     std::fprintf(
         f,
-        "{\"workers\": %d, \"mode\": \"%s\", \"io_backend\": \"%.*s\", "
+        "{\"workers\": %d, \"planner\": \"%s\", \"mode\": \"%s\", "
+        "\"io_backend\": \"%.*s\", "
         "\"batch_slots\": %zu, \"target_qps\": %.0f, "
         "\"duration_s\": %.3f, \"sockets\": %d, \"concurrency\": %d, "
         "\"names\": %zu, \"zipf_s\": %.3f, \"lease_fraction\": %.3f, "
         "\"sent\": %llu, \"answered\": %llu, \"lost\": %llu, "
         "\"ext_sent\": %llu, \"achieved_qps\": %.1f, \"p50_us\": %u, "
         "\"p95_us\": %u, \"p99_us\": %u, \"loss_rate\": %.6f}\n",
-        opts.workers_label, opts.qps > 0 ? "open" : "closed",
+        opts.workers_label, opts.planner_label.c_str(),
+        opts.qps > 0 ? "open" : "closed",
         static_cast<int>(backend.size()), backend.data(), batch_slots,
         opts.qps,
         elapsed_s, opts.sockets, opts.concurrency, opts.names, opts.zipf_s,
