@@ -1,0 +1,331 @@
+// Warm vs cold restart for the persistent cache store (the PR's tentpole
+// claim, measured): an in-process dnscup authority serving N records and
+// a cache-side runtime persisting its shard to disk.  The bench
+//
+//   1. populates the cache over real loopback sockets and measures the
+//      steady-state hit rate of a full query sweep (the pre-restart
+//      baseline),
+//   2. restarts the cache runtime on the same cache directory (warm) and
+//      re-measures the very first sweep — upstream queries during that
+//      sweep are the restart's refetch burst,
+//   3. wipes the directory and restarts again (cold) for the same sweep,
+//
+// and emits BENCH_cache_restart.json.  The acceptance claims: the warm
+// restart recovers >= 90% of the pre-restart hit rate, cuts the upstream
+// burst versus cold, re-adopts the surviving leases (counted on both
+// ends), and serves zero stale answers.
+//
+//   build/bench/cache_restart [--names 1000] [--out BENCH_cache_restart.json]
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cachert/cache_runtime.h"
+#include "dns/zone_text.h"
+#include "net/udp_transport.h"
+#include "runtime/runtime.h"
+
+using namespace dnscup;
+
+namespace {
+
+std::string address_of(int i) {
+  char text[32];
+  std::snprintf(text, sizeof text, "10.%d.%d.%d", (i >> 16) & 255,
+                (i >> 8) & 255, i & 255);
+  return text;
+}
+
+dns::Zone build_zone(int names, uint32_t ttl) {
+  std::string text =
+      "$ORIGIN example.com.\n"
+      "@ IN SOA ns1.example.com. admin.example.com. 1 7200 900 604800 "
+      "300\n"
+      "@ 300 IN NS ns1.example.com.\n"
+      "ns1 300 IN A 10.0.0.1\n";
+  for (int i = 0; i < names; ++i) {
+    text += "h" + std::to_string(i) + " " + std::to_string(ttl) + " IN A " +
+            address_of(i) + "\n";
+  }
+  auto zone =
+      dns::parse_zone_text(text, dns::Name::parse("example.com").value());
+  if (!zone.ok()) {
+    std::fprintf(stderr, "zone: %s\n", zone.error().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(zone).value();
+}
+
+/// Blocking query client: one UDP socket, responses matched by id.
+class SyncClient {
+ public:
+  SyncClient() {
+    auto bound = net::UdpTransport::bind(0);
+    if (!bound.ok()) std::exit(1);
+    udp_ = std::move(bound).value();
+    udp_->set_receive_handler(
+        [this](const net::Endpoint&, std::span<const uint8_t> data) {
+          auto message = dns::Message::decode(data);
+          if (!message.ok()) return;
+          std::lock_guard lock(mutex_);
+          response_ = std::move(message).value();
+          cv_.notify_all();
+        });
+  }
+
+  /// Queries `name` (A) and returns the first A answer's address text;
+  /// empty on timeout or NODATA.
+  std::string query_a(const net::Endpoint& server, const std::string& name) {
+    dns::Message query;
+    query.id = next_id_++;
+    query.flags.opcode = dns::Opcode::kQuery;
+    query.flags.rd = true;
+    query.questions.push_back(dns::Question{dns::Name::parse(name).value(),
+                                            dns::RRType::kA,
+                                            dns::RRClass::kIN, 0});
+    {
+      std::lock_guard lock(mutex_);
+      response_.reset();
+    }
+    udp_->send(server, query.encode());
+    std::unique_lock lock(mutex_);
+    const bool got =
+        cv_.wait_for(lock, std::chrono::seconds(3), [&] {
+          return response_.has_value() && response_->id == query.id &&
+                 response_->flags.qr;
+        });
+    if (!got) return "";
+    for (const auto& rr : response_->answers) {
+      if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) {
+        return a->address.to_string();
+      }
+    }
+    return "";
+  }
+
+ private:
+  std::unique_ptr<net::UdpTransport> udp_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::optional<dns::Message> response_;
+  uint16_t next_id_ = 1;
+};
+
+uint64_t counter_sum(const metrics::Snapshot& snapshot, const char* name,
+                     const char* key = nullptr,
+                     const char* value = nullptr) {
+  uint64_t total = 0;
+  for (const auto& entry : snapshot.entries) {
+    if (entry.kind != metrics::InstrumentKind::kCounter) continue;
+    if (entry.name != name) continue;
+    if (key != nullptr) {
+      bool match = false;
+      for (const auto& [k, v] : entry.labels) {
+        if (k == key && v == value) match = true;
+      }
+      if (!match) continue;
+    }
+    total += entry.counter_value;
+  }
+  return total;
+}
+
+struct SweepResult {
+  double hit_rate = 0;       ///< 1 - upstream_queries / sweep_queries
+  uint64_t upstream = 0;     ///< upstream queries the sweep triggered
+  uint64_t stale = 0;        ///< answers not matching the zone
+  double elapsed_ms = 0;
+};
+
+/// One full sweep over every name; the upstream delta across the sweep is
+/// the refetch burst it caused.
+SweepResult sweep(SyncClient& client, cachert::CacheRuntime& cache,
+                  int names) {
+  SweepResult result;
+  const uint64_t upstream_before =
+      counter_sum(cache.metrics(), "resolver_queries", "side", "upstream");
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < names; ++i) {
+    const std::string got = client.query_a(
+        cache.endpoints()[0], "h" + std::to_string(i) + ".example.com");
+    if (got != address_of(i)) ++result.stale;
+  }
+  result.elapsed_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  result.upstream =
+      counter_sum(cache.metrics(), "resolver_queries", "side", "upstream") -
+      upstream_before;
+  result.hit_rate =
+      1.0 - static_cast<double>(result.upstream) / static_cast<double>(names);
+  return result;
+}
+
+std::unique_ptr<cachert::CacheRuntime> start_cache(
+    const runtime::ServingRuntime& authority, const std::string& dir) {
+  cachert::Config config;
+  config.port = 0;
+  config.workers = 1;
+  config.upstreams = {authority.endpoints()[0]};
+  config.push_plane = true;
+  config.push_authority = authority.push_endpoint();
+  config.push.reconnect_min = net::milliseconds(50);
+  config.push.reconnect_max = net::milliseconds(200);
+  config.cache_dir = dir;
+  config.cache_file_bytes = 32ull << 20;  // plenty of slots for the sweep
+  auto started = cachert::CacheRuntime::start(std::move(config));
+  if (!started.ok()) {
+    std::fprintf(stderr, "cache runtime: %s\n",
+                 started.error().to_string().c_str());
+    std::exit(1);
+  }
+  auto cache = std::move(started).value();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (cache->push_connected() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return cache;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int names = 1000;
+  std::string out = "BENCH_cache_restart.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--names") == 0) names = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--out") == 0) out = argv[i + 1];
+  }
+
+  runtime::Config auth_config;
+  auth_config.port = 0;
+  auth_config.workers = 1;
+  auth_config.push_plane = true;
+  auth_config.push_port = 0;
+  auto authority =
+      runtime::ServingRuntime::start(auth_config, {build_zone(names, 3600)});
+  if (!authority.ok()) {
+    std::fprintf(stderr, "authority: %s\n",
+                 authority.error().to_string().c_str());
+    return 1;
+  }
+
+  const std::string dir = "bench_cache_restart." + std::to_string(::getpid());
+  SyncClient client;
+
+  // Generation 1: populate (every query misses, fetches upstream, takes a
+  // lease), then measure the steady-state baseline sweep.
+  auto cache = start_cache(*authority.value(), dir);
+  sweep(client, *cache, names);  // population sweep
+  const SweepResult baseline = sweep(client, *cache, names);
+  const uint64_t leases_before = cache->live_leases();
+  std::printf("baseline:  hit_rate=%.4f upstream=%llu stale=%llu (%.1f ms)\n",
+              baseline.hit_rate,
+              static_cast<unsigned long long>(baseline.upstream),
+              static_cast<unsigned long long>(baseline.stale),
+              baseline.elapsed_ms);
+
+  // Generation 2: warm restart on the same directory.
+  cache->stop();
+  cache.reset();
+  cache = start_cache(*authority.value(), dir);
+  const uint64_t warm_entries = cache->warm_entries();
+  // Let the re-adoption handshake finish before sweeping.
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (counter_sum(cache->metrics(), "lease_readoption_total", "result",
+                       "resumed") < leases_before &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  const uint64_t readopted = counter_sum(
+      cache->metrics(), "lease_readoption_total", "result", "resumed");
+  const SweepResult warm = sweep(client, *cache, names);
+  std::printf(
+      "warm:      hit_rate=%.4f upstream=%llu stale=%llu (%.1f ms), "
+      "%llu entries reloaded, %llu leases re-adopted\n",
+      warm.hit_rate, static_cast<unsigned long long>(warm.upstream),
+      static_cast<unsigned long long>(warm.stale), warm.elapsed_ms,
+      static_cast<unsigned long long>(warm_entries),
+      static_cast<unsigned long long>(readopted));
+
+  // Generation 3: cold restart — same persistence config, wiped files.
+  cache->stop();
+  cache.reset();
+  ::unlink((dir + "/cache-shard-0").c_str());
+  cache = start_cache(*authority.value(), dir);
+  const SweepResult cold = sweep(client, *cache, names);
+  std::printf("cold:      hit_rate=%.4f upstream=%llu stale=%llu (%.1f ms)\n",
+              cold.hit_rate, static_cast<unsigned long long>(cold.upstream),
+              static_cast<unsigned long long>(cold.stale), cold.elapsed_ms);
+
+  cache->stop();
+  cache.reset();
+  authority.value()->stop();
+  ::unlink((dir + "/cache-shard-0").c_str());
+  ::rmdir(dir.c_str());
+
+  const double recovery =
+      baseline.hit_rate > 0 ? warm.hit_rate / baseline.hit_rate : 0;
+  const double burst_cut =
+      cold.upstream > 0
+          ? 1.0 - static_cast<double>(warm.upstream) /
+                      static_cast<double>(cold.upstream)
+          : 0;
+  std::printf("warm recovers %.1f%% of baseline hit rate, "
+              "cuts the upstream burst by %.1f%%\n",
+              100 * recovery, 100 * burst_cut);
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"bench\": \"cache_restart\",\n"
+      "  \"names\": %d,\n"
+      "  \"baseline\": {\"hit_rate\": %.4f, \"upstream_queries\": %llu, "
+      "\"stale\": %llu, \"sweep_ms\": %.1f},\n"
+      "  \"warm_restart\": {\"hit_rate\": %.4f, \"upstream_queries\": %llu, "
+      "\"stale\": %llu, \"sweep_ms\": %.1f,\n"
+      "    \"entries_reloaded\": %llu, \"leases_before_restart\": %llu, "
+      "\"leases_readopted\": %llu},\n"
+      "  \"cold_restart\": {\"hit_rate\": %.4f, \"upstream_queries\": %llu, "
+      "\"stale\": %llu, \"sweep_ms\": %.1f},\n"
+      "  \"warm_hit_rate_recovery\": %.4f,\n"
+      "  \"warm_upstream_burst_cut\": %.4f\n"
+      "}\n",
+      names, baseline.hit_rate,
+      static_cast<unsigned long long>(baseline.upstream),
+      static_cast<unsigned long long>(baseline.stale), baseline.elapsed_ms,
+      warm.hit_rate, static_cast<unsigned long long>(warm.upstream),
+      static_cast<unsigned long long>(warm.stale), warm.elapsed_ms,
+      static_cast<unsigned long long>(warm_entries),
+      static_cast<unsigned long long>(leases_before),
+      static_cast<unsigned long long>(readopted), cold.hit_rate,
+      static_cast<unsigned long long>(cold.upstream),
+      static_cast<unsigned long long>(cold.stale), cold.elapsed_ms, recovery,
+      burst_cut);
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+
+  const bool pass = recovery >= 0.9 && warm.upstream < cold.upstream &&
+                    warm.stale == 0 && baseline.stale == 0;
+  return pass ? 0 : 1;
+}

@@ -1,13 +1,31 @@
 #include "cachert/cache_runtime.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstring>
 #include <future>
+#include <mutex>
 #include <utility>
 
 #include "util/assert.h"
 #include "util/logging.h"
 
 namespace dnscup::cachert {
+
+namespace {
+
+/// One-shot survivor snapshot for the re-adoption handshake.  Computed on
+/// the start() thread (before any worker thread exists), then *moved out*
+/// by the first SurvivorsFn call on the push I/O thread — later reconnects
+/// see an empty vector and fall back to the plain v1 handshake, so the
+/// I/O thread never reads live cache state.
+struct SurvivorBox {
+  std::mutex mu;
+  std::vector<push::LeaseSurvivor> survivors;
+};
+
+}  // namespace
 
 CacheRuntime::Worker::Worker(const Config& config)
     : client_pool(config.inbox_capacity),
@@ -111,6 +129,15 @@ util::Result<std::unique_ptr<CacheRuntime>> CacheRuntime::start(
   const Config& cfg = runtime->config_;
   const int n = cfg.workers;
 
+  // Create the cache directory (one level) so a fresh --cache-dir just
+  // works; shard files themselves are O_CREAT'ed by the store.
+  if (!cfg.cache_dir.empty()) {
+    if (::mkdir(cfg.cache_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return util::Error{util::ErrorCode::kIo,
+                         "cannot create cache dir " + cfg.cache_dir};
+    }
+  }
+
   runtime->workers_.reserve(n);
   for (int i = 0; i < n; ++i) {
     runtime->workers_.push_back(std::make_unique<Worker>(cfg));
@@ -138,6 +165,26 @@ util::Result<std::unique_ptr<CacheRuntime>> CacheRuntime::start(
     rc.cache_capacity = cfg.cache_capacity;
     rc.default_negative_ttl = cfg.default_negative_ttl;
     rc.metrics = &worker.registry;
+    if (!cfg.cache_dir.empty()) {
+      cachestore::MmapCacheStore::Options so;
+      so.path = cfg.cache_dir + "/cache-shard-" + std::to_string(i);
+      so.file_bytes = cfg.cache_file_bytes;
+      so.now = 0;  // worker SimTime starts at 0; downtime decay is baked in
+      // Leases are only worth keeping when a push channel will announce
+      // them for re-adoption; otherwise honoring them risks stale serves.
+      so.keep_leases =
+          cfg.dnscup && cfg.push_plane && cfg.push_authority.port != 0;
+      so.metrics = &worker.registry;
+      auto opened = cachestore::MmapCacheStore::open(std::move(so));
+      if (!opened.ok()) return opened.error();
+      worker.cache_store = opened.value().get();
+      // The factory is a copyable std::function; route the unique_ptr
+      // through a shared holder it can move out of exactly once.
+      auto holder =
+          std::make_shared<std::unique_ptr<server::CacheStoreBackend>>(
+              std::move(opened).value());
+      rc.cache_store = [holder] { return std::move(*holder); };
+    }
     worker.resolver = std::make_unique<server::CachingResolver>(
         worker.router, worker.loop, cfg.upstreams, rc);
     if (cfg.dnscup) {
@@ -160,6 +207,27 @@ util::Result<std::unique_ptr<CacheRuntime>> CacheRuntime::start(
       pc.identity = runtime->upstream_endpoints_[static_cast<std::size_t>(i)];
       pc.metrics = &worker.registry;
       const net::Endpoint grantor = cfg.upstreams.front();
+      if (worker.cache_store != nullptr &&
+          worker.cache_store->load_report().warm_entries > 0) {
+        // Announce warm-reloaded leases (granted by a configured upstream
+        // and still in term) for re-adoption on the first connect.
+        auto box = std::make_shared<SurvivorBox>();
+        worker.resolver->cache().for_each(
+            [&box, &worker](const server::CacheKey& key,
+                            const server::CacheEntry& entry) {
+              if (!entry.lease.has_value() || entry.lease->expiry <= 0) return;
+              if (!worker.router.is_upstream(entry.lease->authority)) return;
+              box->survivors.push_back(push::LeaseSurvivor{
+                  key.name, key.type,
+                  static_cast<uint64_t>(entry.lease->expiry)});
+            });
+        if (!box->survivors.empty()) {
+          pc.survivors = [box] {
+            std::lock_guard<std::mutex> lock(box->mu);
+            return std::move(box->survivors);
+          };
+        }
+      }
       worker.push_client = push::PushClient::start(
           pc,
           [&worker, grantor](std::vector<uint8_t> bytes) {
@@ -175,15 +243,27 @@ util::Result<std::unique_ptr<CacheRuntime>> CacheRuntime::start(
                 });
             worker.wake.wake();
           },
-          [&worker](std::vector<push::ZoneSerial> zones) {
-            worker.commands.try_push([&worker, zones = std::move(zones)] {
+          [&worker](push::SubscribeAck ack,
+                    std::vector<push::LeaseSurvivor> announced) {
+            worker.commands.try_push([&worker, ack = std::move(ack),
+                                      announced = std::move(announced)] {
               if (worker.lease_client == nullptr) return;
               std::vector<std::pair<dns::Name, uint32_t>> inventory;
-              inventory.reserve(zones.size());
-              for (const auto& z : zones) {
+              inventory.reserve(ack.zones.size());
+              for (const auto& z : ack.zones) {
                 inventory.emplace_back(z.zone, z.serial);
               }
-              worker.lease_client->on_channel_resync(inventory);
+              if (ack.has_readoption && !announced.empty()) {
+                std::vector<std::pair<dns::Name, dns::RRType>> pairs;
+                pairs.reserve(announced.size());
+                for (const auto& s : announced) {
+                  pairs.emplace_back(s.name, s.type);
+                }
+                worker.lease_client->on_readoption(pairs, ack.resumed_bits,
+                                                   inventory);
+              } else {
+                worker.lease_client->on_channel_resync(inventory);
+              }
             });
             worker.wake.wake();
           });
@@ -347,6 +427,27 @@ std::size_t CacheRuntime::live_leases() {
     });
   }
   return live;
+}
+
+std::vector<cachestore::MmapCacheStore::LoadReport>
+CacheRuntime::cache_load_reports() const {
+  std::vector<cachestore::MmapCacheStore::LoadReport> reports;
+  for (const auto& worker : workers_) {
+    if (worker->cache_store != nullptr) {
+      reports.push_back(worker->cache_store->load_report());
+    }
+  }
+  return reports;
+}
+
+uint64_t CacheRuntime::warm_entries() const {
+  uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    if (worker->cache_store != nullptr) {
+      total += worker->cache_store->load_report().warm_entries;
+    }
+  }
+  return total;
 }
 
 std::size_t CacheRuntime::push_connected() const {

@@ -36,9 +36,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "cachestore/mmap_store.h"
 #include "core/lease_client.h"
 #include "net/event_loop.h"
 #include "net/io_backend.h"
@@ -81,6 +83,15 @@ struct Config {
   bool dnscup = true;
   /// Cache entry bound per worker (LRU); 0 = unbounded.
   std::size_t cache_capacity = 0;
+  /// Persistent cache store directory: each worker keeps its cache slice
+  /// in an mmap-backed file `<cache_dir>/cache-shard-<i>` and restarts
+  /// warm from it (cachestore::MmapCacheStore).  Warm-loaded lease state
+  /// is kept only when the push plane can re-adopt it (dnscup +
+  /// push_plane on); otherwise leases demote to plain TTL entries at
+  /// load.  Empty = heap-only cache, cold every start.
+  std::string cache_dir;
+  /// Per-worker cache file size; slot/slab geometry derives from it.
+  std::size_t cache_file_bytes = 64ull << 20;
   net::Duration query_timeout = net::seconds(2);
   int max_retries = 2;
   uint32_t default_negative_ttl = 60;
@@ -155,6 +166,16 @@ class CacheRuntime {
   /// Total cached entries across all workers.
   std::size_t cache_entries();
 
+  /// True when the cache is backed by persistent per-worker store files.
+  bool persistent_cache() const { return !config_.cache_dir.empty(); }
+  /// Per-worker persistent-store load reports, in worker order (empty
+  /// without cache_dir).  Load reports are write-once at open, so this is
+  /// safe from any thread.
+  std::vector<cachestore::MmapCacheStore::LoadReport> cache_load_reports()
+      const;
+  /// Entries adopted warm from the persistent store, across all workers.
+  uint64_t warm_entries() const;
+
   /// Workers whose push channel is currently connected (0 when the push
   /// plane is off).
   std::size_t push_connected() const;
@@ -214,6 +235,9 @@ class CacheRuntime {
     RouterTransport router;
     std::unique_ptr<net::IoBackend> client_io;
     std::unique_ptr<net::IoBackend> upstream_io;
+    /// Persistent store behind the resolver's cache (owned by the cache
+    /// via the storage seam; null without Config::cache_dir).
+    cachestore::MmapCacheStore* cache_store = nullptr;
     std::unique_ptr<server::CachingResolver> resolver;
     std::unique_ptr<core::LeaseClient> lease_client;
     std::unique_ptr<push::PushClient> push_client;

@@ -79,6 +79,10 @@ DnscupAuthority::DnscupAuthority(server::AuthServer& server,
   recovered_leases_ = registry.gauge("authority_recovered_leases");
   recovery_changes_pushed_ =
       registry.counter("authority_recovery_changes_pushed");
+  readoptions_resumed_ = registry.counter(
+      "authority_lease_readoptions", {{"result", "resumed"}});
+  readoptions_rejected_ = registry.counter(
+      "authority_lease_readoptions", {{"result", "rejected"}});
 
   track_file_.set_journal(config_.journal);
 
@@ -221,6 +225,40 @@ DnscupAuthority::RecoveryReport DnscupAuthority::recover(
       static_cast<unsigned long long>(report.zones_changed),
       static_cast<unsigned long long>(report.changes_pushed));
   return report;
+}
+
+std::vector<bool> DnscupAuthority::readopt(
+    const net::Endpoint& holder, const std::vector<ReadoptRequest>& requests) {
+  const net::SimTime now = loop_->now();
+  std::vector<bool> verdicts;
+  verdicts.reserve(requests.size());
+  bool any = false;
+  for (const ReadoptRequest& req : requests) {
+    // Re-adopt only records we are (still) authoritative for, for at
+    // most the configured max lease: the announced remaining term is the
+    // cache's claim, not a commitment we ever made in this incarnation.
+    if (server_->find_zone(req.name) == nullptr) {
+      verdicts.push_back(false);
+      ++readoptions_rejected_;
+      continue;
+    }
+    const net::Duration length =
+        std::min(req.remaining, config_.max_lease(req.name, req.type));
+    if (length <= 0) {
+      verdicts.push_back(false);
+      ++readoptions_rejected_;
+      continue;
+    }
+    track_file_.grant(holder, req.name, req.type, now, length);
+    verdicts.push_back(true);
+    ++readoptions_resumed_;
+    any = true;
+  }
+  if (any) {
+    arm_expiry_timer();
+    refresh_gauges();
+  }
+  return verdicts;
 }
 
 void DnscupAuthority::arm_expiry_timer() {

@@ -99,6 +99,25 @@ class DnscupAuthority {
   /// holder.  Call once, after zones are loaded and before serving.
   RecoveryReport recover(const RecoveredState& state);
 
+  /// One surviving lease a warm-restarted cache announces in its v2
+  /// SUBSCRIBE (push framing's LeaseSurvivor, re-declared here because
+  /// core does not depend on the push plane).
+  struct ReadoptRequest {
+    dns::Name name;
+    dns::RRType type = dns::RRType::kA;
+    net::Duration remaining = 0;  ///< lease time the cache believes is left
+  };
+
+  /// Cache-restart lease re-adoption: re-registers each survivor we are
+  /// authoritative for, with the announced remaining term clamped by the
+  /// configured max lease.  Returns one verdict per request (true =
+  /// re-adopted; CACHE-UPDATE pushes for the record resume).  Grants go
+  /// through the track file, so they journal and count like fresh
+  /// grants, and the expiry timer covers them.  Counted under
+  /// authority_lease_readoptions{result=resumed|rejected}.
+  std::vector<bool> readopt(const net::Endpoint& holder,
+                            const std::vector<ReadoptRequest>& requests);
+
  private:
   /// Schedules a prune at the earliest lease expiry (re-armed after every
   /// sweep), so expired tuples leave the track file — and the durable
@@ -121,6 +140,8 @@ class DnscupAuthority {
   metrics::Gauge storage_budget_;
   metrics::Gauge recovered_leases_;
   metrics::Counter recovery_changes_pushed_;
+  metrics::Counter readoptions_resumed_;
+  metrics::Counter readoptions_rejected_;
   net::TimerHandle expiry_timer_;
 };
 

@@ -42,6 +42,20 @@ LeaseClient::LeaseClient(server::CachingResolver& resolver, Config config)
   stats_.resyncs = registry.counter("lease_client_resyncs", base);
   stats_.resync_refetches =
       registry.counter("lease_client_resync_refetches", base);
+  stats_.readoptions_resumed = registry.counter(
+      "lease_readoption_total", labeled("result", "resumed"));
+  stats_.readoptions_serial_gap = registry.counter(
+      "lease_readoption_total", labeled("result", "serial_gap"));
+  stats_.readoptions_rejected = registry.counter(
+      "lease_readoption_total", labeled("result", "rejected"));
+
+  // A warm-restarted cache's persistent store remembers the highest zone
+  // serials applied before the restart; seeding the ordering guard from
+  // it lets the post-restart resync distinguish "no pushes missed" from
+  // a real serial gap.
+  for (const auto& [zone, serial] : resolver_->cache().zone_serials()) {
+    zone_serials_[zone] = serial;
+  }
 }
 
 LeaseClient::Stats LeaseClient::stats() const {
@@ -59,6 +73,9 @@ LeaseClient::Stats LeaseClient::stats() const {
       .channel_updates = stats_.channel_updates,
       .resyncs = stats_.resyncs,
       .resync_refetches = stats_.resync_refetches,
+      .readoptions_resumed = stats_.readoptions_resumed,
+      .readoptions_serial_gap = stats_.readoptions_serial_gap,
+      .readoptions_rejected = stats_.readoptions_rejected,
   };
 }
 
@@ -129,7 +146,10 @@ void LeaseClient::on_response(const net::Endpoint& from,
   } else {
     ++stats_.leases_registered;
   }
-  entry->lease = LeaseState{now + length, from};
+  // Through the storage seam (not a raw member write), so a persistent
+  // backend re-serializes the entry with its new lease state.
+  resolver_->cache().set_lease(q.qname, q.qtype,
+                               LeaseState{now + length, from});
   auto& meta = lease_meta_[MetaKey{q.qname, q.qtype}];
   meta.rate_at_grant = rates_.rate(q.qname, q.qtype, now);
 }
@@ -178,12 +198,55 @@ void LeaseClient::on_channel_resync(
     // current data, so a reconnect without intervening changes stays
     // quiet next time.
     zone_serials_[zone] = serial;
+    resolver_->cache().note_zone_serial(zone, serial);
   }
   for (const auto& [name, type] : refetch) {
     ++stats_.resync_refetches;
     resolver_->refresh(name, type,
                        [](const server::CachingResolver::Outcome&) {});
   }
+}
+
+void LeaseClient::on_readoption(
+    const std::vector<std::pair<dns::Name, dns::RRType>>& announced,
+    const std::vector<bool>& resumed,
+    const std::vector<std::pair<dns::Name, uint32_t>>& zones) {
+  // Which zones moved on while we were down?  Decided against the seeded
+  // (pre-restart) serials, before on_channel_resync adopts the new ones.
+  std::vector<dns::Name> gap_zones;
+  for (const auto& [zone, serial] : zones) {
+    auto it = zone_serials_.find(zone);
+    if (it == zone_serials_.end() || dns::serial_gt(serial, it->second)) {
+      gap_zones.push_back(zone);
+    }
+  }
+  for (std::size_t i = 0; i < announced.size(); ++i) {
+    const auto& [name, type] = announced[i];
+    if (i >= resumed.size() || !resumed[i]) {
+      // The authority does not track this lease (anymore): demote it to
+      // a plain TTL entry so we never serve it as push-maintained.  The
+      // next client query re-negotiates normally.
+      resolver_->cache().set_lease(name, type, std::nullopt);
+      lease_meta_.erase(MetaKey{name, type});
+      ++stats_.readoptions_rejected;
+      continue;
+    }
+    bool under_gap = false;
+    for (const dns::Name& zone : gap_zones) {
+      if (name.is_subdomain_of(zone)) {
+        under_gap = true;
+        break;
+      }
+    }
+    // Resumed either way — the lease stands and pushes flow again; the
+    // serial-gap resync below refetches the gap cases' data.
+    if (under_gap) {
+      ++stats_.readoptions_serial_gap;
+    } else {
+      ++stats_.readoptions_resumed;
+    }
+  }
+  on_channel_resync(zones);
 }
 
 bool LeaseClient::handle_update(const net::Endpoint& from,
@@ -249,13 +312,17 @@ bool LeaseClient::handle_update(const net::Endpoint& from,
     ++stats_.stale_updates_ignored;
   } else {
     zone_serials_[update.zone] = update.serial;
+    resolver_->cache().note_zone_serial(update.zone, update.serial);
     for (const auto& set : update.updated) {
       CacheEntry* existing = resolver_->cache().peek(set.name, set.type);
       const bool had_lease =
           existing != nullptr && existing->lease.has_value();
       const auto lease = had_lease ? existing->lease : std::nullopt;
-      CacheEntry& entry = resolver_->cache().apply_update(set, now);
-      if (had_lease) entry.lease = lease;  // the push does not end the lease
+      resolver_->cache().apply_update(set, now);
+      if (had_lease) {
+        // The push does not end the lease; write it through the seam.
+        resolver_->cache().set_lease(set.name, set.type, lease);
+      }
       ++stats_.updates_applied;
     }
     for (const auto& [name, type] : update.removed) {

@@ -45,6 +45,9 @@ class LeaseClient final : public server::CachingResolver::Extension {
     uint64_t channel_updates = 0;         ///< pushes arriving over TCP
     uint64_t resyncs = 0;                 ///< SUBSCRIBE_ACK inventories seen
     uint64_t resync_refetches = 0;        ///< leased records refetched
+    uint64_t readoptions_resumed = 0;     ///< warm leases resumed as-is
+    uint64_t readoptions_serial_gap = 0;  ///< resumed but zone moved on
+    uint64_t readoptions_rejected = 0;    ///< demoted to plain TTL entries
   };
 
   struct Config {
@@ -105,6 +108,22 @@ class LeaseClient final : public server::CachingResolver::Extension {
   void on_channel_resync(
       const std::vector<std::pair<dns::Name, uint32_t>>& zones);
 
+  /// Outcome of a warm-restart lease re-adoption handshake (the v2
+  /// SUBSCRIBE/SUBSCRIBE_ACK exchange).  `announced` are the survivors
+  /// sent in the SUBSCRIBE; `resumed` parallels it (true = the authority
+  /// re-registered that lease).  Rejected survivors are demoted — their
+  /// lease state is cleared so they fall back to plain TTL entries and
+  /// the next query re-negotiates; resumed ones keep their lease.  Then
+  /// the normal serial-gap resync runs over `zones`, so a resumed lease
+  /// under a zone that moved on while we were down is refetched (counted
+  /// as serial_gap), while matching serials resume with no refetch at
+  /// all.  Plain types, not push framing structs: core cannot depend on
+  /// the push plane (the dependency points the other way).
+  void on_readoption(
+      const std::vector<std::pair<dns::Name, dns::RRType>>& announced,
+      const std::vector<bool>& resumed,
+      const std::vector<std::pair<dns::Name, uint32_t>>& zones);
+
   /// Live leases currently registered in the cache.
   std::size_t live_leases(net::SimTime now) const;
 
@@ -127,6 +146,9 @@ class LeaseClient final : public server::CachingResolver::Extension {
     metrics::Counter channel_updates;
     metrics::Counter resyncs;
     metrics::Counter resync_refetches;
+    metrics::Counter readoptions_resumed;
+    metrics::Counter readoptions_serial_gap;
+    metrics::Counter readoptions_rejected;
   };
 
   struct LeaseMeta {

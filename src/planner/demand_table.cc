@@ -1,17 +1,15 @@
 #include "planner/demand_table.h"
 
+#include "util/hash.h"
+
 namespace dnscup::planner {
 
 namespace {
 
-/// splitmix64 finalizer: full-avalanche mix so linear probing sees a
-/// uniform key distribution regardless of the inputs' structure.
-uint64_t mix(uint64_t x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
-}
+/// splitmix64 finalizer (util/hash.h): full-avalanche mix so linear
+/// probing sees a uniform key distribution regardless of the inputs'
+/// structure.
+uint64_t mix(uint64_t x) { return util::splitmix64_mix(x); }
 
 }  // namespace
 

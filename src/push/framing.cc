@@ -16,6 +16,17 @@ void put_u32(std::vector<uint8_t>& out, uint32_t v) {
   put_u16(out, static_cast<uint16_t>(v & 0xFFFF));
 }
 
+void put_u64(std::vector<uint8_t>& out, uint64_t v) {
+  put_u32(out, static_cast<uint32_t>(v >> 32));
+  put_u32(out, static_cast<uint32_t>(v & 0xFFFFFFFF));
+}
+
+void put_name(std::vector<uint8_t>& out, const dns::Name& name) {
+  const std::string text = name.to_string();
+  put_u16(out, static_cast<uint16_t>(text.size()));
+  out.insert(out.end(), text.begin(), text.end());
+}
+
 class BodyReader {
  public:
   explicit BodyReader(std::span<const uint8_t> body) : body_(body) {}
@@ -43,6 +54,24 @@ class BodyReader {
     auto view = body_.subspan(pos_, n);
     pos_ += n;
     return view;
+  }
+  std::optional<uint64_t> u64() {
+    const auto hi = u32();
+    if (!hi.has_value()) return std::nullopt;
+    const auto lo = u32();
+    if (!lo.has_value()) return std::nullopt;
+    return (static_cast<uint64_t>(*hi) << 32) | *lo;
+  }
+  std::optional<dns::Name> name() {
+    const auto len = u16();
+    if (!len.has_value()) return std::nullopt;
+    const auto text_bytes = bytes(*len);
+    if (!text_bytes.has_value()) return std::nullopt;
+    const std::string text(reinterpret_cast<const char*>(text_bytes->data()),
+                           text_bytes->size());
+    auto parsed = dns::Name::parse(text);
+    if (!parsed.ok()) return std::nullopt;
+    return std::move(parsed).value();
   }
   bool exhausted() const { return pos_ == body_.size(); }
 
@@ -110,61 +139,140 @@ std::vector<uint8_t> encode_subscribe(const net::Endpoint& identity) {
   return body;
 }
 
-std::optional<net::Endpoint> parse_subscribe(std::span<const uint8_t> body) {
+std::vector<uint8_t> encode_subscribe(const SubscribeInfo& info) {
+  // A connect with nothing to re-adopt stays on the v1 wire form so old
+  // authorities keep accepting it unchanged.
+  if (info.survivors.empty()) return encode_subscribe(info.identity);
+  std::vector<uint8_t> body;
+  body.push_back(kPushProtocolVersionReadopt);
+  put_u32(body, info.identity.ip);
+  put_u16(body, info.identity.port);
+  put_u16(body, static_cast<uint16_t>(info.survivors.size()));
+  for (const LeaseSurvivor& s : info.survivors) {
+    put_name(body, s.name);
+    put_u16(body, static_cast<uint16_t>(s.type));
+    put_u64(body, s.remaining_us);
+  }
+  return body;
+}
+
+std::optional<SubscribeInfo> parse_subscribe(std::span<const uint8_t> body) {
   BodyReader reader(body);
   const auto version = reader.u8();
-  if (!version.has_value() || *version != kPushProtocolVersion) {
+  if (!version.has_value() || (*version != kPushProtocolVersion &&
+                               *version != kPushProtocolVersionReadopt)) {
     return std::nullopt;
   }
+  SubscribeInfo info;
+  info.version = *version;
   const auto ip = reader.u32();
   const auto port = reader.u16();
-  if (!ip.has_value() || !port.has_value() || !reader.exhausted()) {
-    return std::nullopt;
-  }
+  if (!ip.has_value() || !port.has_value()) return std::nullopt;
   if (*port == 0) return std::nullopt;  // not a usable lease identity
-  return net::Endpoint{*ip, *port};
+  info.identity = net::Endpoint{*ip, *port};
+  if (*version == kPushProtocolVersionReadopt) {
+    const auto count = reader.u16();
+    if (!count.has_value()) return std::nullopt;
+    info.survivors.reserve(*count);
+    for (uint16_t i = 0; i < *count; ++i) {
+      LeaseSurvivor s;
+      auto name = reader.name();
+      if (!name.has_value()) return std::nullopt;
+      s.name = std::move(*name);
+      const auto type = reader.u16();
+      const auto remaining = reader.u64();
+      if (!type.has_value() || !remaining.has_value()) return std::nullopt;
+      s.type = static_cast<dns::RRType>(*type);
+      s.remaining_us = *remaining;
+      info.survivors.push_back(std::move(s));
+    }
+  }
+  if (!reader.exhausted()) return std::nullopt;
+  return info;
 }
+
+namespace {
+
+void encode_zone_list(std::vector<uint8_t>& body,
+                      const std::vector<ZoneSerial>& zones) {
+  put_u16(body, static_cast<uint16_t>(zones.size()));
+  for (const ZoneSerial& z : zones) {
+    put_u32(body, z.serial);
+    put_name(body, z.zone);
+  }
+}
+
+}  // namespace
 
 std::vector<uint8_t> encode_subscribe_ack(
     const std::vector<ZoneSerial>& zones) {
   std::vector<uint8_t> body;
   body.push_back(kPushProtocolVersion);
-  put_u16(body, static_cast<uint16_t>(zones.size()));
-  for (const ZoneSerial& z : zones) {
-    put_u32(body, z.serial);
-    const std::string text = z.zone.to_string();
-    put_u16(body, static_cast<uint16_t>(text.size()));
-    body.insert(body.end(), text.begin(), text.end());
+  encode_zone_list(body, zones);
+  return body;
+}
+
+std::vector<uint8_t> encode_subscribe_ack(
+    const std::vector<ZoneSerial>& zones,
+    const std::vector<bool>& resumed_bits) {
+  std::vector<uint8_t> body;
+  body.push_back(kPushProtocolVersionReadopt);
+  encode_zone_list(body, zones);
+  uint32_t resumed = 0;
+  for (const bool bit : resumed_bits) resumed += bit ? 1 : 0;
+  put_u32(body, resumed);
+  put_u32(body, static_cast<uint32_t>(resumed_bits.size()) - resumed);
+  put_u16(body, static_cast<uint16_t>(resumed_bits.size()));
+  uint8_t acc = 0;
+  for (std::size_t i = 0; i < resumed_bits.size(); ++i) {
+    if (resumed_bits[i]) acc |= static_cast<uint8_t>(1u << (i % 8));
+    if (i % 8 == 7 || i + 1 == resumed_bits.size()) {
+      body.push_back(acc);
+      acc = 0;
+    }
   }
   return body;
 }
 
-std::optional<std::vector<ZoneSerial>> parse_subscribe_ack(
+std::optional<SubscribeAck> parse_subscribe_ack(
     std::span<const uint8_t> body) {
   BodyReader reader(body);
   const auto version = reader.u8();
-  if (!version.has_value() || *version != kPushProtocolVersion) {
+  if (!version.has_value() || (*version != kPushProtocolVersion &&
+                               *version != kPushProtocolVersionReadopt)) {
     return std::nullopt;
   }
   const auto count = reader.u16();
   if (!count.has_value()) return std::nullopt;
-  std::vector<ZoneSerial> zones;
-  zones.reserve(*count);
+  SubscribeAck ack;
+  ack.zones.reserve(*count);
   for (uint16_t i = 0; i < *count; ++i) {
     const auto serial = reader.u32();
     if (!serial.has_value()) return std::nullopt;
-    const auto name_len = reader.u16();
-    if (!name_len.has_value()) return std::nullopt;
-    const auto name_bytes = reader.bytes(*name_len);
-    if (!name_bytes.has_value()) return std::nullopt;
-    const std::string text(reinterpret_cast<const char*>(name_bytes->data()),
-                           name_bytes->size());
-    auto name = dns::Name::parse(text);
-    if (!name.ok()) return std::nullopt;
-    zones.push_back(ZoneSerial{std::move(name).value(), *serial});
+    auto name = reader.name();
+    if (!name.has_value()) return std::nullopt;
+    ack.zones.push_back(ZoneSerial{std::move(*name), *serial});
+  }
+  if (*version == kPushProtocolVersionReadopt) {
+    ack.has_readoption = true;
+    const auto resumed = reader.u32();
+    const auto rejected = reader.u32();
+    const auto survivors = reader.u16();
+    if (!resumed.has_value() || !rejected.has_value() ||
+        !survivors.has_value()) {
+      return std::nullopt;
+    }
+    ack.resumed = *resumed;
+    ack.rejected = *rejected;
+    const auto bits = reader.bytes((*survivors + 7) / 8);
+    if (!bits.has_value()) return std::nullopt;
+    ack.resumed_bits.resize(*survivors);
+    for (uint16_t i = 0; i < *survivors; ++i) {
+      ack.resumed_bits[i] = ((*bits)[i / 8] >> (i % 8)) & 1;
+    }
   }
   if (!reader.exhausted()) return std::nullopt;
-  return zones;
+  return ack;
 }
 
 }  // namespace dnscup::push

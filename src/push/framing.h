@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dns/name.h"
+#include "dns/rdata.h"
 #include "net/endpoint.h"
 
 namespace dnscup::push {
@@ -65,25 +66,66 @@ class FrameReader {
   bool corrupt_ = false;
 };
 
-// SUBSCRIBE body: version byte, then the lease-holder endpoint (4-byte
-// IP + 2-byte port, big endian).
+// SUBSCRIBE body, version 1: version byte, then the lease-holder endpoint
+// (4-byte IP + 2-byte port, big endian).
+//
+// Version 2 (warm restart) appends a survivor inventory: a 2-byte count,
+// then per surviving lease a length-prefixed presentation-form name, a
+// 2-byte RR type and an 8-byte remaining lease duration in microseconds.
+// A warm-restarted cache announces the leases it reloaded from its
+// persistent store so the authority can re-register them instead of
+// treating the cache as new.  Version-1 peers still interoperate: a v1
+// SUBSCRIBE is a v2 SUBSCRIBE with zero survivors, and a v1 ack simply
+// carries no verdicts (the cache then demotes its survivors).
 inline constexpr uint8_t kPushProtocolVersion = 1;
+inline constexpr uint8_t kPushProtocolVersionReadopt = 2;
+
+/// One warm-reloaded lease announced for re-adoption.
+struct LeaseSurvivor {
+  dns::Name name;
+  dns::RRType type = dns::RRType::kA;
+  uint64_t remaining_us = 0;  ///< lease time left at announce
+};
+
+struct SubscribeInfo {
+  uint8_t version = kPushProtocolVersion;
+  net::Endpoint identity{};
+  std::vector<LeaseSurvivor> survivors;  ///< empty on cold connects
+};
 
 std::vector<uint8_t> encode_subscribe(const net::Endpoint& identity);
-std::optional<net::Endpoint> parse_subscribe(std::span<const uint8_t> body);
+std::vector<uint8_t> encode_subscribe(const SubscribeInfo& info);
+std::optional<SubscribeInfo> parse_subscribe(std::span<const uint8_t> body);
 
-// SUBSCRIBE_ACK body: version byte, 2-byte zone count, then per zone a
-// 4-byte serial and a length-prefixed presentation-form zone name.  The
-// reconnecting cache compares these serials with the last serial it
-// applied per zone; a gap means pushes were missed while disconnected
-// and the leased records must be refetched.
+// SUBSCRIBE_ACK body, version 1: version byte, 2-byte zone count, then
+// per zone a 4-byte serial and a length-prefixed presentation-form zone
+// name.  The reconnecting cache compares these serials with the last
+// serial it applied per zone; a gap means pushes were missed while
+// disconnected and the leased records must be refetched.
+//
+// Version 2 (answering a v2 SUBSCRIBE) appends the re-adoption verdict:
+// 4-byte resumed count, 4-byte rejected count, a 2-byte echo of the
+// announced survivor count and a bitmask (bit i of byte i/8, LSB first)
+// with bit i set when announced survivor i was re-adopted.  Per-survivor
+// verdicts let the cache demote exactly the rejected leases — never
+// serving a record as leased that the authority no longer tracks.
 struct ZoneSerial {
   dns::Name zone;
   uint32_t serial = 0;
 };
 
+struct SubscribeAck {
+  std::vector<ZoneSerial> zones;
+  /// True for a v2 ack: resumed/rejected/resumed_bits are meaningful.
+  bool has_readoption = false;
+  uint32_t resumed = 0;
+  uint32_t rejected = 0;
+  std::vector<bool> resumed_bits;  ///< indexed like the announced survivors
+};
+
 std::vector<uint8_t> encode_subscribe_ack(const std::vector<ZoneSerial>& zones);
-std::optional<std::vector<ZoneSerial>> parse_subscribe_ack(
-    std::span<const uint8_t> body);
+std::vector<uint8_t> encode_subscribe_ack(const std::vector<ZoneSerial>& zones,
+                                          const std::vector<bool>& resumed_bits);
+std::optional<SubscribeAck> parse_subscribe_ack(std::span<const uint8_t> body);
 
 }  // namespace dnscup::push

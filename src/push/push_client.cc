@@ -161,9 +161,13 @@ void PushClient::serve(int fd) {
   std::vector<uint8_t> txbuf;
   std::size_t txoff = 0;
   // Announce the lease identity first: everything else on this channel
-  // only makes sense once the authority knows which cache this is.
-  const auto hello = encode_subscribe(config_.identity);
-  encode_frame(FrameKind::kSubscribe, hello, txbuf);
+  // only makes sense once the authority knows which cache this is.  A
+  // warm restart also announces its surviving leases here, so the
+  // authority re-registers them instead of treating us as a new cache.
+  SubscribeInfo hello;
+  hello.identity = config_.identity;
+  if (config_.survivors) hello.survivors = config_.survivors();
+  encode_frame(FrameKind::kSubscribe, encode_subscribe(hello), txbuf);
   ++instruments_.frames_sent;
 
   int64_t last_rx = mono_now_us();
@@ -213,9 +217,9 @@ void PushClient::serve(int fd) {
             if (on_update_) on_update_(std::move(frame.body));
             break;
           case FrameKind::kSubscribeAck: {
-            auto zones = parse_subscribe_ack(frame.body);
-            if (zones.has_value() && on_resync_) {
-              on_resync_(std::move(*zones));
+            auto ack = parse_subscribe_ack(frame.body);
+            if (ack.has_value() && on_resync_) {
+              on_resync_(std::move(*ack), hello.survivors);
             }
             break;
           }

@@ -32,9 +32,15 @@ namespace dnscup::push {
 
 class PushClient {
  public:
+  /// Evaluated on the I/O thread at each (re)connect: the warm-reloaded
+  /// leases to announce for re-adoption in the SUBSCRIBE.  An empty
+  /// result (or no function) keeps the handshake on the v1 wire form.
+  using SurvivorsFn = std::function<std::vector<LeaseSurvivor>()>;
+
   struct Config {
     net::Endpoint authority;  ///< the authority's --push-listen address
     net::Endpoint identity;   ///< lease identity announced in SUBSCRIBE
+    SurvivorsFn survivors;    ///< null/empty -> plain v1 handshake
     net::Duration reconnect_min = net::milliseconds(200);
     net::Duration reconnect_max = net::seconds(5);
     net::Duration keepalive_interval = net::seconds(10);
@@ -44,8 +50,11 @@ class PushClient {
 
   /// One encoded CACHE-UPDATE arrived over the channel.
   using UpdateHandler = std::function<void(std::vector<uint8_t> message)>;
-  /// The SUBSCRIBE_ACK inventory after a (re)connect.
-  using ResyncHandler = std::function<void(std::vector<ZoneSerial> zones)>;
+  /// The SUBSCRIBE_ACK after a (re)connect: the zone-serial inventory
+  /// plus, when this connect announced survivors, the per-survivor
+  /// re-adoption verdicts (`announced` indexes `ack.resumed_bits`).
+  using ResyncHandler = std::function<void(
+      SubscribeAck ack, std::vector<LeaseSurvivor> announced)>;
 
   /// Starts the I/O thread; it connects (and reconnects with backoff)
   /// until stop().  Never fails: an unreachable authority just keeps the

@@ -144,6 +144,11 @@ void PushServer::set_zone_serial(const dns::Name& zone, uint32_t serial) {
   zone_serials_[zone.to_string()] = ZoneSerial{zone, serial};
 }
 
+void PushServer::set_readopt_handler(ReadoptFn fn) {
+  std::lock_guard lock(mu_);
+  readopt_ = std::move(fn);
+}
+
 bool PushServer::subscribed(const net::Endpoint& holder) const {
   std::lock_guard lock(mu_);
   return subs_.count(holder) > 0;
@@ -364,15 +369,18 @@ void PushServer::handle_frame(Conn* conn, Frame& frame) {
 }
 
 void PushServer::handle_subscribe(Conn* conn, std::span<const uint8_t> body) {
-  const auto identity = parse_subscribe(body);
-  if (!identity.has_value()) {
+  const auto info = parse_subscribe(body);
+  if (!info.has_value()) {
     close_conn(conn, "malformed SUBSCRIBE");
     return;
   }
+  const net::Endpoint identity = info->identity;
   Conn* displaced = nullptr;
+  ReadoptFn readopt;
   {
     std::lock_guard lock(mu_);
-    auto [it, inserted] = subs_.emplace(*identity, conn);
+    readopt = readopt_;
+    auto [it, inserted] = subs_.emplace(identity, conn);
     if (!inserted && it->second != conn) {
       // Reconnect re-adopting the lease identity: the fresh channel wins
       // and the stale one (often a half-dead socket we have not timed
@@ -382,7 +390,7 @@ void PushServer::handle_subscribe(Conn* conn, std::span<const uint8_t> body) {
       it->second = conn;
     }
     conn->subscribed = true;
-    conn->identity = *identity;
+    conn->identity = identity;
     sub_count_.store(subs_.size(), std::memory_order_relaxed);
   }
   instruments_.subscriptions.set(
@@ -395,8 +403,21 @@ void PushServer::handle_subscribe(Conn* conn, std::span<const uint8_t> body) {
     zones.reserve(zone_serials_.size());
     for (const auto& [_, zs] : zone_serials_) zones.push_back(zs);
   }
-  const auto ack = encode_subscribe_ack(zones);
-  send_frame(conn, FrameKind::kSubscribeAck, ack);
+  if (info->version >= kPushProtocolVersionReadopt) {
+    // Decide the survivor inventory outside every lock: the handler may
+    // block on a worker thread that is itself calling into this server.
+    std::vector<bool> verdicts;
+    if (readopt && !info->survivors.empty()) {
+      verdicts = readopt(identity, info->survivors);
+    }
+    // No handler yet (or a short answer): reject — the cache demotes the
+    // affected leases, which is always safe, never stale.
+    verdicts.resize(info->survivors.size(), false);
+    send_frame(conn, FrameKind::kSubscribeAck,
+               encode_subscribe_ack(zones, verdicts));
+    return;
+  }
+  send_frame(conn, FrameKind::kSubscribeAck, encode_subscribe_ack(zones));
 }
 
 void PushServer::service_queues(int64_t now_us) {

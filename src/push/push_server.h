@@ -98,6 +98,16 @@ class PushServer {
   /// Thread-safe; call at startup and from reload paths.
   void set_zone_serial(const dns::Name& zone, uint32_t serial);
 
+  /// Decides a v2 SUBSCRIBE's survivor inventory: returns one verdict per
+  /// announced survivor (true = lease re-adopted).  Called from the I/O
+  /// thread without the server mutex held; implementations typically
+  /// block on the owning worker.  Until a handler is set, every survivor
+  /// is rejected — the safe default, since the cache then demotes those
+  /// leases to plain TTL entries.  Thread-safe.
+  using ReadoptFn = std::function<std::vector<bool>(
+      const net::Endpoint& holder, const std::vector<LeaseSurvivor>&)>;
+  void set_readopt_handler(ReadoptFn fn);
+
   /// True when `holder` currently has a live subscribed channel.
   bool subscribed(const net::Endpoint& holder) const;
 
@@ -161,9 +171,10 @@ class PushServer {
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
 
-  mutable std::mutex mu_;  ///< guards subs_, Conn::queue, stopping_
+  mutable std::mutex mu_;  ///< guards subs_, Conn::queue, stopping_, readopt_
   std::map<net::Endpoint, Conn*> subs_;
   bool stopping_ = false;
+  ReadoptFn readopt_;
 
   std::mutex zones_mu_;  ///< guards zone_serials_
   std::map<std::string, ZoneSerial> zone_serials_;

@@ -260,6 +260,46 @@ util::Result<std::unique_ptr<ServingRuntime>> ServingRuntime::start(
           worker.wake.wake();
         });
   }
+
+  // Warm-restart lease re-adoption: v2 SUBSCRIBEs announce surviving
+  // leases; each survivor is judged by the authority shard that owns its
+  // (holder, name, type) key — the same shard_of() partition recovery
+  // uses — via a blocking hop onto that worker.  Installed last so a
+  // subscribe racing start() sees the all-rejected default (clients then
+  // demote to TTL entries, which is safe) rather than a half-built
+  // runtime.
+  if (runtime->push_ != nullptr && cfg.dnscup) {
+    runtime->push_->set_readopt_handler(
+        [rt = runtime.get(), n](const net::Endpoint& holder,
+                                const std::vector<push::LeaseSurvivor>&
+                                    survivors) {
+          std::vector<std::vector<std::size_t>> indices(n);
+          std::vector<std::vector<core::DnscupAuthority::ReadoptRequest>>
+              requests(n);
+          for (std::size_t i = 0; i < survivors.size(); ++i) {
+            const push::LeaseSurvivor& s = survivors[i];
+            const std::size_t w = core::shard_of(
+                holder, s.name, s.type, static_cast<std::size_t>(n));
+            indices[w].push_back(i);
+            requests[w].push_back(core::DnscupAuthority::ReadoptRequest{
+                s.name, s.type,
+                static_cast<net::Duration>(s.remaining_us)});
+          }
+          std::vector<bool> verdicts(survivors.size(), false);
+          for (int w = 0; w < n; ++w) {
+            if (requests[w].empty()) continue;
+            Worker& worker = *rt->workers_[w];
+            std::vector<bool> part;
+            rt->run_on_worker(worker, [&] {
+              part = worker.dnscup->readopt(holder, requests[w]);
+            });
+            for (std::size_t k = 0; k < part.size(); ++k) {
+              verdicts[indices[w][k]] = part[k];
+            }
+          }
+          return verdicts;
+        });
+  }
   return runtime;
 }
 

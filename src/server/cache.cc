@@ -1,12 +1,19 @@
 #include "server/cache.h"
 
+#include "server/cache_store.h"
 #include "util/assert.h"
 
 namespace dnscup::server {
 
 ResolverCache::ResolverCache(std::size_t capacity,
                              metrics::MetricsRegistry* metrics)
-    : capacity_(capacity) {
+    : ResolverCache(capacity, metrics, nullptr) {}
+
+ResolverCache::ResolverCache(std::size_t capacity,
+                             metrics::MetricsRegistry* metrics,
+                             std::unique_ptr<CacheStoreBackend> store)
+    : capacity_(capacity), store_(std::move(store)) {
+  if (store_ == nullptr) store_ = std::make_unique<HeapCacheStore>();
   auto& registry = metrics::resolve(metrics);
   const metrics::Labels base{
       {"instance", registry.next_instance("resolver_cache")}};
@@ -27,7 +34,13 @@ ResolverCache::ResolverCache(std::size_t capacity,
                                           labeled("op", "invalidate"));
   stats_.evictions = registry.counter("resolver_cache_mutations",
                                       labeled("op", "evict"));
+  stats_.leased_evictions = registry.counter("resolver_cache_evictions",
+                                             labeled("leased", "true"));
+  stats_.unleased_evictions = registry.counter("resolver_cache_evictions",
+                                               labeled("leased", "false"));
 }
+
+ResolverCache::~ResolverCache() = default;
 
 ResolverCache::Stats ResolverCache::stats() const {
   return Stats{
@@ -37,72 +50,78 @@ ResolverCache::Stats ResolverCache::stats() const {
       .insertions = stats_.insertions,
       .invalidations = stats_.invalidations,
       .evictions = stats_.evictions,
+      .leased_evictions = stats_.leased_evictions,
   };
+}
+
+std::size_t ResolverCache::size() const { return store_->size(); }
+
+void ResolverCache::for_each_impl(
+    const std::function<void(const CacheKey&, const CacheEntry&)>& fn) const {
+  store_->for_each(fn);
 }
 
 const CacheEntry* ResolverCache::lookup(const dns::Name& name,
                                         dns::RRType type, net::SimTime now) {
-  auto it = entries_.find(CacheKey{name, type});
-  if (it == entries_.end()) {
+  const CacheKey key{name, type};
+  CacheEntry* entry = store_->find(key);
+  if (entry == nullptr) {
     ++stats_.misses;
     return nullptr;
   }
-  if (!it->second.entry.fresh(now)) {
+  if (!entry->fresh(now)) {
     ++stats_.expired;
     ++stats_.misses;
     return nullptr;
   }
   ++stats_.hits;
-  touch(it->second, it->first);
-  return &it->second.entry;
+  store_->touch(key);
+  return entry;
 }
 
 CacheEntry* ResolverCache::peek(const dns::Name& name, dns::RRType type) {
-  auto it = entries_.find(CacheKey{name, type});
-  return it == entries_.end() ? nullptr : &it->second.entry;
+  return store_->find(CacheKey{name, type});
 }
 
 CacheEntry& ResolverCache::put(const dns::RRset& rrset, net::SimTime now) {
-  CacheKey key{rrset.name, rrset.type};
-  auto [it, inserted] = entries_.try_emplace(key);
-  Node& node = it->second;
+  const CacheKey key{rrset.name, rrset.type};
+  bool inserted = false;
+  CacheEntry& entry = store_->upsert(key, inserted);
   if (inserted) {
-    lru_.push_front(key);
-    node.lru_it = lru_.begin();
     ++stats_.insertions;
   } else {
-    touch(node, key);
+    store_->touch(key);
     // Keep lease state across refreshes: a TTL refresh does not end a lease.
   }
-  node.entry.rrset = rrset;
-  node.entry.negative = false;
-  node.entry.inserted_at = now;
-  node.entry.expiry = now + net::seconds(rrset.ttl);
-  evict_if_needed();
-  return entries_.at(key).entry;
+  entry.rrset = rrset;
+  entry.negative = false;
+  entry.inserted_at = now;
+  entry.expiry = now + net::seconds(rrset.ttl);
+  store_->commit(key);
+  evict_if_needed(now);
+  return entry;
 }
 
 CacheEntry& ResolverCache::put_negative(const dns::Name& name,
                                         dns::RRType type, dns::Rcode rcode,
                                         uint32_t ttl, net::SimTime now) {
-  CacheKey key{name, type};
-  auto [it, inserted] = entries_.try_emplace(key);
-  Node& node = it->second;
+  const CacheKey key{name, type};
+  bool inserted = false;
+  CacheEntry& entry = store_->upsert(key, inserted);
   if (inserted) {
-    lru_.push_front(key);
-    node.lru_it = lru_.begin();
     ++stats_.insertions;
   } else {
-    touch(node, key);
+    store_->touch(key);
   }
-  node.entry.rrset = dns::RRset{name, type, dns::RRClass::kIN, ttl, {}};
-  node.entry.negative = true;
-  node.entry.negative_rcode = rcode;
-  node.entry.inserted_at = now;
-  node.entry.expiry = now + net::seconds(ttl);
-  node.entry.lease.reset();
-  evict_if_needed();
-  return entries_.at(key).entry;
+  entry.rrset = dns::RRset{name, type, dns::RRClass::kIN, ttl, {}};
+  entry.negative = true;
+  entry.negative_rcode = rcode;
+  entry.inserted_at = now;
+  entry.expiry = now + net::seconds(ttl);
+  entry.lease.reset();
+  store_->commit(key);
+  evict_if_needed(now);
+  return entry;
 }
 
 CacheEntry& ResolverCache::apply_update(const dns::RRset& rrset,
@@ -112,52 +131,63 @@ CacheEntry& ResolverCache::apply_update(const dns::RRset& rrset,
 }
 
 bool ResolverCache::invalidate(const dns::Name& name, dns::RRType type) {
-  auto it = entries_.find(CacheKey{name, type});
-  if (it == entries_.end()) return false;
-  lru_.erase(it->second.lru_it);
-  entries_.erase(it);
+  if (!store_->erase(CacheKey{name, type})) return false;
   ++stats_.invalidations;
   return true;
 }
 
+bool ResolverCache::set_lease(const dns::Name& name, dns::RRType type,
+                              const std::optional<LeaseState>& lease) {
+  const CacheKey key{name, type};
+  CacheEntry* entry = store_->find(key);
+  if (entry == nullptr) return false;
+  entry->lease = lease;
+  store_->commit(key);
+  return true;
+}
+
+void ResolverCache::commit(const dns::Name& name, dns::RRType type) {
+  const CacheKey key{name, type};
+  if (store_->find(key) != nullptr) store_->commit(key);
+}
+
 std::size_t ResolverCache::purge_expired(net::SimTime now) {
-  std::size_t removed = 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    const CacheEntry& e = it->second.entry;
-    if (!e.fresh(now)) {
-      lru_.erase(it->second.lru_it);
-      it = entries_.erase(it);
-      ++removed;
-    } else {
-      ++it;
-    }
-  }
-  return removed;
+  // An entry whose TTL *and* lease have both run out is dead weight: it
+  // can never be served again, only replaced.  fresh() captures exactly
+  // that — an expired lease does not protect an expired entry.
+  std::vector<CacheKey> doomed;
+  store_->for_each([&](const CacheKey& key, const CacheEntry& entry) {
+    if (!entry.fresh(now)) doomed.push_back(key);
+  });
+  for (const CacheKey& key : doomed) store_->erase(key);
+  return doomed.size();
 }
 
-void ResolverCache::touch(Node& node, const CacheKey& key) {
-  lru_.erase(node.lru_it);
-  lru_.push_front(key);
-  node.lru_it = lru_.begin();
+void ResolverCache::note_zone_serial(const dns::Name& zone, uint32_t serial) {
+  store_->put_zone_serial(zone, serial);
 }
 
-void ResolverCache::evict_if_needed() {
+std::vector<std::pair<dns::Name, uint32_t>> ResolverCache::zone_serials()
+    const {
+  return store_->zone_serials();
+}
+
+void ResolverCache::evict_if_needed(net::SimTime now) {
   if (capacity_ == 0) return;
-  while (entries_.size() > capacity_) {
-    // Never evict leased entries: the authority believes we hold them.
-    auto victim = lru_.end();
-    for (auto it = std::prev(lru_.end());; --it) {
-      const auto& entry = entries_.at(*it).entry;
-      if (!entry.lease.has_value()) {
-        victim = it;
-        break;
-      }
-      if (it == lru_.begin()) break;
-    }
-    if (victim == lru_.end()) return;  // everything leased; allow overflow
-    entries_.erase(CacheKey{*victim});
-    lru_.erase(victim);
+  while (store_->size() > capacity_) {
+    const auto victim = store_->evict_candidate(now);
+    if (!victim.has_value()) return;
+    store_->erase(victim->key);
     ++stats_.evictions;
+    if (victim->leased) {
+      // Last resort: the authority believes we hold this record.  The
+      // eviction is observable (resolver_cache_evictions{leased=true})
+      // and the next query re-negotiates the lease instead of serving
+      // from a cache slot we no longer have.
+      ++stats_.leased_evictions;
+    } else {
+      ++stats_.unleased_evictions;
+    }
   }
 }
 

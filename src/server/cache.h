@@ -3,17 +3,27 @@
 // DNScup strengthens.  Each entry also carries optional lease state so the
 // DNScup cache-side module can mark records as push-maintained; the cache
 // itself stays oblivious to how leases are negotiated.
+//
+// Storage is pluggable (cache_store.h): the cache's observable behavior —
+// lookup/put/apply_update/invalidate semantics, LRU eviction policy and
+// the resolver_cache_* stats — lives here, while the entry container is a
+// CacheStoreBackend.  The default backend is the in-process heap store;
+// cachestore::MmapCacheStore adds an mmap-backed persistent image so
+// dnscached restarts warm.
 #pragma once
 
 #include <cstdint>
-#include <list>
+#include <functional>
+#include <memory>
 #include <optional>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "dns/message.h"
 #include "dns/rr.h"
 #include "net/endpoint.h"
 #include "net/time.h"
+#include "util/hash.h"
 #include "util/metrics.h"
 
 namespace dnscup::server {
@@ -29,7 +39,13 @@ struct CacheKey {
 
 struct CacheKeyHash {
   std::size_t operator()(const CacheKey& k) const {
-    return k.name.hash() * 31 + static_cast<std::size_t>(k.type);
+    // splitmix64 finalizer over the (name hash, type) pair: the same
+    // full-avalanche mix the planner's demand table probes on, so the
+    // heap map and the cachestore in-file open-addressed table share one
+    // well-distributed hash.
+    return static_cast<std::size_t>(util::splitmix64_mix(
+        static_cast<uint64_t>(k.name.hash()) * 31u +
+        static_cast<uint64_t>(k.type)));
   }
 };
 
@@ -55,6 +71,8 @@ struct CacheEntry {
   }
 };
 
+class CacheStoreBackend;  // cache_store.h
+
 class ResolverCache {
  public:
   struct Stats {
@@ -64,19 +82,31 @@ class ResolverCache {
     uint64_t insertions = 0;
     uint64_t invalidations = 0;
     uint64_t evictions = 0;
+    uint64_t leased_evictions = 0;  ///< evictions of validly-leased entries
   };
 
   /// `capacity` bounds the entry count (LRU eviction); 0 = unbounded.
   /// Counters register in `metrics` (default_registry() when null) under
-  /// resolver_cache_* with a per-instance label.
+  /// resolver_cache_* with a per-instance label.  `store` selects the
+  /// storage backend (null = heap); a persistent backend may already hold
+  /// warm-reloaded entries, which are adopted without counting as
+  /// insertions.
   explicit ResolverCache(std::size_t capacity = 0,
                          metrics::MetricsRegistry* metrics = nullptr);
+  ResolverCache(std::size_t capacity, metrics::MetricsRegistry* metrics,
+                std::unique_ptr<CacheStoreBackend> store);
+  ~ResolverCache();
+
+  ResolverCache(const ResolverCache&) = delete;
+  ResolverCache& operator=(const ResolverCache&) = delete;
 
   /// Fresh entry lookup; counts hit/miss/expired.  Returns nullptr on miss.
   const CacheEntry* lookup(const dns::Name& name, dns::RRType type,
                            net::SimTime now);
 
-  /// Non-counting peek at an entry regardless of freshness.
+  /// Non-counting peek at an entry regardless of freshness.  In-place
+  /// mutations through the returned pointer reach a persistent backend
+  /// only after commit() — prefer set_lease() for lease changes.
   CacheEntry* peek(const dns::Name& name, dns::RRType type);
 
   /// Inserts a positive entry.
@@ -93,25 +123,40 @@ class ResolverCache {
   /// Drops an entry (e.g. a pushed deletion).  Returns true if present.
   bool invalidate(const dns::Name& name, dns::RRType type);
 
-  /// Removes every TTL-expired, lease-less entry; returns count removed.
+  /// Sets or clears an entry's lease state through the storage seam, so
+  /// persistent backends see the mutation.  False when nothing is cached.
+  bool set_lease(const dns::Name& name, dns::RRType type,
+                 const std::optional<LeaseState>& lease);
+
+  /// Re-persists an entry after in-place mutation via peek()/put()
+  /// references.  No-op on the heap backend or when the key is absent.
+  void commit(const dns::Name& name, dns::RRType type);
+
+  /// Removes every entry that is neither TTL-fresh nor covered by a valid
+  /// lease at `now` (an expired lease does not keep an expired entry
+  /// alive); returns count removed.
   std::size_t purge_expired(net::SimTime now);
 
-  std::size_t size() const { return entries_.size(); }
+  /// Records the highest zone serial applied (persisted by a persistent
+  /// backend so a warm restart only refetches on a real serial gap).
+  void note_zone_serial(const dns::Name& zone, uint32_t serial);
+  std::vector<std::pair<dns::Name, uint32_t>> zone_serials() const;
+
+  std::size_t size() const;
   /// Value snapshot of the registry-backed counters.
   Stats stats() const;
+
+  CacheStoreBackend& store() { return *store_; }
+  const CacheStoreBackend& store() const { return *store_; }
 
   /// Iterates all entries (tests and the DNScup lease module).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [key, node] : entries_) fn(key, node.entry);
+    for_each_impl(
+        [&fn](const CacheKey& key, const CacheEntry& entry) { fn(key, entry); });
   }
 
  private:
-  struct Node {
-    CacheEntry entry;
-    std::list<CacheKey>::iterator lru_it;
-  };
-
   /// Registry-backed instruments mirroring Stats field-for-field; bump
   /// sites write through these handles, stats() materializes the values.
   struct Instruments {
@@ -121,14 +166,16 @@ class ResolverCache {
     metrics::Counter insertions;
     metrics::Counter invalidations;
     metrics::Counter evictions;
+    metrics::Counter leased_evictions;
+    metrics::Counter unleased_evictions;
   };
 
-  void touch(Node& node, const CacheKey& key);
-  void evict_if_needed();
+  void for_each_impl(
+      const std::function<void(const CacheKey&, const CacheEntry&)>& fn) const;
+  void evict_if_needed(net::SimTime now);
 
   std::size_t capacity_;
-  std::unordered_map<CacheKey, Node, CacheKeyHash> entries_;
-  std::list<CacheKey> lru_;  // front = most recent
+  std::unique_ptr<CacheStoreBackend> store_;
   Instruments stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "server/cache_store.h"
 #include "util/assert.h"
 #include "util/logging.h"
 
@@ -57,7 +58,8 @@ CachingResolver::CachingResolver(net::Transport& transport,
       loop_(&loop),
       roots_(std::move(root_servers)),
       config_(config),
-      cache_(config.cache_capacity, config.metrics) {
+      cache_(config.cache_capacity, config.metrics,
+             config.cache_store ? config.cache_store() : nullptr) {
   DNSCUP_ASSERT(!roots_.empty());
   auto& registry = metrics::resolve(config.metrics);
   const metrics::Labels base{

@@ -37,6 +37,10 @@ class CachingResolver {
     /// Registry for resolver_* and resolver_cache_* instruments
     /// (default_registry() when null).
     metrics::MetricsRegistry* metrics = nullptr;
+    /// Storage backend factory for the cache (cache_store.h); null uses
+    /// the heap store.  A persistent backend may arrive warm-loaded —
+    /// its entries serve immediately.
+    std::function<std::unique_ptr<CacheStoreBackend>()> cache_store;
   };
 
   struct Outcome {

@@ -1,0 +1,22 @@
+// Shared integer hashing helpers.
+//
+// splitmix64_mix is the finalizer of the splitmix64 generator: a cheap
+// full-avalanche mix, so open-addressed tables probing on the result see
+// a uniform distribution regardless of the inputs' structure.  Both the
+// planner's demand-table pair keys and the resolver cache key hash (heap
+// unordered_map and the cachestore in-file table) funnel through it, so
+// every table in the system shares one well-distributed hash.
+#pragma once
+
+#include <cstdint>
+
+namespace dnscup::util {
+
+constexpr uint64_t splitmix64_mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace dnscup::util

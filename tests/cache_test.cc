@@ -135,6 +135,83 @@ TEST(ResolverCache, EvictionSkipsLeasedEntries) {
   EXPECT_EQ(cache.peek(mk("b.com"), RRType::kA), nullptr);  // evicted
 }
 
+TEST(ResolverCache, PurgeDropsEntriesWithExpiredLeases) {
+  // Regression: an entry whose TTL *and* lease have both run out used to
+  // survive purge_expired forever (the expired lease still "protected"
+  // it), leaking one cache slot per dead leased record.
+  ResolverCache cache;
+  CacheEntry& dead = cache.put(a_set("dead.com", 100, 1), 0);
+  dead.lease = LeaseState{net::seconds(200), {net::make_ip(10, 0, 0, 1), 53}};
+  CacheEntry& alive = cache.put(a_set("alive.com", 100, 2), 0);
+  alive.lease =
+      LeaseState{net::seconds(5000), {net::make_ip(10, 0, 0, 1), 53}};
+  // At t=300 both TTLs are gone; dead.com's lease is too, alive.com's
+  // lease still has term.
+  EXPECT_EQ(cache.purge_expired(net::seconds(300)), 1u);
+  EXPECT_EQ(cache.peek(mk("dead.com"), RRType::kA), nullptr);
+  EXPECT_NE(cache.peek(mk("alive.com"), RRType::kA), nullptr);
+}
+
+TEST(ResolverCache, ExpiredLeaseDoesNotProtectFromEviction) {
+  ResolverCache cache(2);
+  CacheEntry& stale = cache.put(a_set("a.com", 300, 1), 0);
+  stale.lease = LeaseState{net::seconds(10), {net::make_ip(10, 0, 0, 1), 53}};
+  cache.put(a_set("b.com", 300, 2), net::seconds(20));
+  cache.lookup(mk("b.com"), RRType::kA, net::seconds(20));
+  // a.com is LRU and its lease already ran out: it is a plain victim.
+  cache.put(a_set("c.com", 300, 3), net::seconds(20));
+  EXPECT_EQ(cache.peek(mk("a.com"), RRType::kA), nullptr);
+  EXPECT_NE(cache.peek(mk("b.com"), RRType::kA), nullptr);
+  EXPECT_EQ(cache.stats().leased_evictions, 0u);
+}
+
+TEST(ResolverCache, LeasedEvictionIsLastResortAndCounted) {
+  ResolverCache cache(2);
+  const net::Endpoint authority{net::make_ip(10, 0, 0, 1), 53};
+  CacheEntry& first = cache.put(a_set("a.com", 300, 1), 0);
+  first.lease = LeaseState{net::seconds(5000), authority};
+  CacheEntry& second = cache.put(a_set("b.com", 300, 2), 0);
+  second.lease = LeaseState{net::seconds(5000), authority};
+  cache.lookup(mk("b.com"), RRType::kA, 0);  // a.com is now LRU
+  // Every resident entry holds a valid lease, so capacity pressure must
+  // claim the LRU leased entry — observably.
+  cache.put(a_set("c.com", 300, 3), 0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.peek(mk("a.com"), RRType::kA), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().leased_evictions, 1u);
+  // The evicted record now misses: the next client query goes upstream
+  // and re-negotiates a lease instead of serving from a freed slot.
+  EXPECT_EQ(cache.lookup(mk("a.com"), RRType::kA, 0), nullptr);
+  CacheEntry& again = cache.put(a_set("a.com", 300, 1), net::seconds(1));
+  EXPECT_FALSE(again.lease.has_value());  // fresh entry, fresh negotiation
+}
+
+TEST(ResolverCache, SetLeaseThroughTheSeam) {
+  ResolverCache cache;
+  const net::Endpoint authority{net::make_ip(10, 0, 0, 1), 53};
+  EXPECT_FALSE(cache.set_lease(mk("a.com"), RRType::kA,
+                               LeaseState{net::seconds(100), authority}));
+  cache.put(a_set("a.com", 300, 1), 0);
+  EXPECT_TRUE(cache.set_lease(mk("a.com"), RRType::kA,
+                              LeaseState{net::seconds(100), authority}));
+  ASSERT_TRUE(cache.peek(mk("a.com"), RRType::kA)->lease.has_value());
+  EXPECT_TRUE(cache.set_lease(mk("a.com"), RRType::kA, std::nullopt));
+  EXPECT_FALSE(cache.peek(mk("a.com"), RRType::kA)->lease.has_value());
+}
+
+TEST(ResolverCache, ZoneSerialsRoundTrip) {
+  ResolverCache cache;
+  cache.note_zone_serial(mk("example.com"), 7);
+  cache.note_zone_serial(mk("other.org"), 3);
+  cache.note_zone_serial(mk("example.com"), 9);  // upsert, not append
+  const auto serials = cache.zone_serials();
+  ASSERT_EQ(serials.size(), 2u);
+  for (const auto& [zone, serial] : serials) {
+    EXPECT_EQ(serial, zone == mk("example.com") ? 9u : 3u);
+  }
+}
+
 TEST(ResolverCache, DistinctTypesAreDistinctEntries) {
   ResolverCache cache;
   cache.put(a_set("a.com", 300, 1), 0);

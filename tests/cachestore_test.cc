@@ -1,0 +1,458 @@
+// Mmap-backed persistent cache store: backend equivalence against the
+// heap store under a seeded op stream, warm-restart reload with
+// wall-clock TTL decay, lease demotion, corruption fallback to cold,
+// torn-slot recovery, LRU order across restarts, zone-serial
+// persistence and slab compaction.
+#include "cachestore/mmap_store.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/cache.h"
+#include "server/cache_store.h"
+#include "util/crc32.h"
+
+namespace dnscup::cachestore {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+using server::CacheEntry;
+using server::CacheKey;
+using server::LeaseState;
+using server::ResolverCache;
+
+Name mk(const char* text) { return Name::parse(text).value(); }
+
+dns::RRset a_set(const std::string& name, uint32_t ttl, uint32_t addr) {
+  dns::RRset set{Name::parse(name).value(), RRType::kA, dns::RRClass::kIN,
+                 ttl, {}};
+  set.add(dns::ARdata{dns::Ipv4{addr}});
+  return set;
+}
+
+constexpr int64_t kWallBase = 1'700'000'000'000'000;  // fixed fake epoch
+
+/// Per-test store file in the build tree's working directory.
+class CacheStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::string("cachestore_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            "." + std::to_string(::getpid());
+    ::unlink(path_.c_str());
+  }
+  void TearDown() override { ::unlink(path_.c_str()); }
+
+  MmapCacheStore::Options options(int64_t wall_now = kWallBase,
+                                  net::SimTime now = 0) {
+    MmapCacheStore::Options opts;
+    opts.path = path_;
+    opts.file_bytes = 1ull << 20;
+    opts.now = now;
+    opts.wall_now_us = wall_now;
+    return opts;
+  }
+
+  std::unique_ptr<MmapCacheStore> open(
+      int64_t wall_now = kWallBase, net::SimTime now = 0,
+      bool keep_leases = true,
+      metrics::MetricsRegistry* metrics = nullptr) {
+    auto opts = options(wall_now, now);
+    opts.keep_leases = keep_leases;
+    opts.metrics = metrics;
+    auto opened = MmapCacheStore::open(std::move(opts));
+    EXPECT_TRUE(opened.ok()) << opened.error().to_string();
+    return std::move(opened).value();
+  }
+
+  std::string path_;
+};
+
+TEST_F(CacheStoreTest, ColdStartOnFreshFile) {
+  auto store = open();
+  EXPECT_EQ(store->name(), "mmap");
+  EXPECT_TRUE(store->load_report().cold);
+  EXPECT_EQ(store->load_report().cold_reason, "fresh file");
+  EXPECT_GE(store->slot_count(), 64u);
+  EXPECT_EQ(store->slots_used(), 0u);
+  EXPECT_EQ(store->size(), 0u);
+}
+
+// ---- backend equivalence --------------------------------------------------
+
+struct Lcg {
+  uint64_t state;
+  uint64_t next() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  }
+};
+
+/// Drives the same randomized op stream through a heap-backed and an
+/// mmap-backed ResolverCache and asserts identical observable behavior —
+/// the seam's core contract.
+TEST_F(CacheStoreTest, BackendEquivalenceUnderSeededOpStream) {
+  constexpr std::size_t kCapacity = 12;
+  ResolverCache heap(kCapacity);
+  ResolverCache mmap(kCapacity, nullptr, open());
+
+  const net::Endpoint authority{net::make_ip(10, 0, 0, 1), 53};
+  Lcg rng{20260809};
+  net::SimTime now = 0;
+  for (int op = 0; op < 4000; ++op) {
+    const std::string name =
+        "n" + std::to_string(rng.next() % 24) + ".example.com";
+    now += static_cast<net::Duration>(
+        rng.next() % static_cast<uint64_t>(net::seconds(5)));
+    switch (rng.next() % 8) {
+      case 0:
+      case 1: {
+        const uint32_t ttl = 30 + rng.next() % 600;
+        const uint32_t addr = static_cast<uint32_t>(rng.next());
+        heap.put(a_set(name, ttl, addr), now);
+        mmap.put(a_set(name, ttl, addr), now);
+        break;
+      }
+      case 2: {
+        const uint32_t ttl = 30 + rng.next() % 120;
+        heap.put_negative(mk(name.c_str()), RRType::kA,
+                          dns::Rcode::kNXDomain, ttl, now);
+        mmap.put_negative(mk(name.c_str()), RRType::kA,
+                          dns::Rcode::kNXDomain, ttl, now);
+        break;
+      }
+      case 3: {
+        const auto lease = LeaseState{
+            now + net::seconds(60) +
+                static_cast<net::Duration>(
+                    rng.next() % static_cast<uint64_t>(net::seconds(600))),
+            authority};
+        EXPECT_EQ(heap.set_lease(mk(name.c_str()), RRType::kA, lease),
+                  mmap.set_lease(mk(name.c_str()), RRType::kA, lease));
+        break;
+      }
+      case 4: {
+        EXPECT_EQ(heap.invalidate(mk(name.c_str()), RRType::kA),
+                  mmap.invalidate(mk(name.c_str()), RRType::kA));
+        break;
+      }
+      case 5: {
+        EXPECT_EQ(heap.purge_expired(now), mmap.purge_expired(now));
+        break;
+      }
+      case 6: {
+        heap.note_zone_serial(mk("example.com"),
+                              static_cast<uint32_t>(op));
+        mmap.note_zone_serial(mk("example.com"),
+                              static_cast<uint32_t>(op));
+        break;
+      }
+      default: {
+        const CacheEntry* h = heap.lookup(mk(name.c_str()), RRType::kA, now);
+        const CacheEntry* m = mmap.lookup(mk(name.c_str()), RRType::kA, now);
+        ASSERT_EQ(h == nullptr, m == nullptr) << "op " << op << " " << name;
+        if (h != nullptr) {
+          EXPECT_EQ(h->negative, m->negative);
+          EXPECT_EQ(h->expiry, m->expiry);
+          EXPECT_EQ(h->rrset.rdatas.size(), m->rrset.rdatas.size());
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(heap.size(), mmap.size()) << "op " << op;
+  }
+
+  const auto hs = heap.stats();
+  const auto ms = mmap.stats();
+  EXPECT_EQ(hs.hits, ms.hits);
+  EXPECT_EQ(hs.misses, ms.misses);
+  EXPECT_EQ(hs.expired, ms.expired);
+  EXPECT_EQ(hs.insertions, ms.insertions);
+  EXPECT_EQ(hs.invalidations, ms.invalidations);
+  EXPECT_EQ(hs.evictions, ms.evictions);
+  EXPECT_EQ(hs.leased_evictions, ms.leased_evictions);
+  EXPECT_EQ(heap.zone_serials(), mmap.zone_serials());
+
+  // Same resident set, entry for entry.
+  std::vector<std::pair<std::string, net::SimTime>> heap_dump, mmap_dump;
+  heap.for_each([&](const CacheKey& k, const CacheEntry& e) {
+    heap_dump.emplace_back(k.name.to_string(), e.expiry);
+  });
+  mmap.for_each([&](const CacheKey& k, const CacheEntry& e) {
+    mmap_dump.emplace_back(k.name.to_string(), e.expiry);
+  });
+  std::sort(heap_dump.begin(), heap_dump.end());
+  std::sort(mmap_dump.begin(), mmap_dump.end());
+  EXPECT_EQ(heap_dump, mmap_dump);
+}
+
+// ---- warm restart ---------------------------------------------------------
+
+TEST_F(CacheStoreTest, WarmReloadDecaysTtlByDowntime) {
+  const net::Endpoint authority{net::make_ip(10, 0, 0, 1), 53};
+  {
+    ResolverCache cache(0, nullptr, open());
+    cache.put(a_set("www.example.com", 600, 7), net::seconds(10));
+    cache.put(a_set("mail.example.com", 50, 8), net::seconds(10));
+    cache.set_lease(
+        mk("www.example.com"), RRType::kA,
+        LeaseState{net::seconds(500), authority});
+    cache.note_zone_serial(mk("example.com"), 42);
+  }  // destructor msyncs
+
+  // The process was down for 120 s of wall time: mail.example.com's 50 s
+  // TTL (set at t=10) is long gone, www's 600 s TTL and 500 s lease are
+  // not.
+  auto reloaded = open(kWallBase + net::seconds(120), 0);
+  const auto& report = reloaded->load_report();
+  EXPECT_FALSE(report.cold);
+  EXPECT_EQ(report.warm_entries, 1u);
+  EXPECT_EQ(report.expired_dropped, 1u);
+  EXPECT_EQ(report.torn_dropped, 0u);
+  EXPECT_EQ(report.zones_loaded, 1u);
+  EXPECT_EQ(report.downtime_us, net::seconds(120));
+
+  CacheEntry* entry =
+      reloaded->find(CacheKey{mk("www.example.com"), RRType::kA});
+  ASSERT_NE(entry, nullptr);
+  // Written at t=10 with TTL 600 → expiry 610 in the old clock; the new
+  // clock starts 120 s later.
+  EXPECT_EQ(entry->expiry, net::seconds(610 - 120));
+  ASSERT_TRUE(entry->lease.has_value());
+  EXPECT_EQ(entry->lease->expiry, net::seconds(500 - 120));
+  EXPECT_EQ(entry->lease->authority, authority);
+  ASSERT_EQ(entry->rrset.rdatas.size(), 1u);
+  EXPECT_EQ(std::get<dns::ARdata>(entry->rrset.rdatas[0]).address.addr, 7u);
+
+  const auto serials = reloaded->zone_serials();
+  ASSERT_EQ(serials.size(), 1u);
+  EXPECT_EQ(serials[0].first, mk("example.com"));
+  EXPECT_EQ(serials[0].second, 42u);
+}
+
+TEST_F(CacheStoreTest, KeepLeasesFalseDemotesWarmLeases) {
+  const net::Endpoint authority{net::make_ip(10, 0, 0, 1), 53};
+  {
+    ResolverCache cache(0, nullptr, open());
+    // TTL-fresh and leased: survives demotion as a plain TTL entry.
+    cache.put(a_set("a.example.com", 600, 1), 0);
+    cache.set_lease(mk("a.example.com"), RRType::kA,
+                    LeaseState{net::seconds(900), authority});
+    // TTL already short; only the lease would keep it alive.
+    cache.put(a_set("b.example.com", 30, 2), 0);
+    cache.set_lease(mk("b.example.com"), RRType::kA,
+                    LeaseState{net::seconds(900), authority});
+  }
+
+  auto reloaded = open(kWallBase + net::seconds(60), 0, /*keep_leases=*/false);
+  const auto& report = reloaded->load_report();
+  EXPECT_EQ(report.leases_demoted, 2u);
+  EXPECT_EQ(report.warm_entries, 1u);   // only a.example.com
+  EXPECT_EQ(report.expired_dropped, 1u);
+  CacheEntry* entry =
+      reloaded->find(CacheKey{mk("a.example.com"), RRType::kA});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->lease.has_value());
+}
+
+TEST_F(CacheStoreTest, NegativeEntriesSurviveRestart) {
+  {
+    ResolverCache cache(0, nullptr, open());
+    cache.put_negative(mk("no.example.com"), RRType::kA,
+                       dns::Rcode::kNXDomain, 600, 0);
+  }
+  auto reloaded = open(kWallBase + net::seconds(10), 0);
+  EXPECT_EQ(reloaded->load_report().warm_entries, 1u);
+  CacheEntry* entry =
+      reloaded->find(CacheKey{mk("no.example.com"), RRType::kA});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->negative);
+  EXPECT_EQ(entry->negative_rcode, dns::Rcode::kNXDomain);
+  EXPECT_TRUE(entry->rrset.rdatas.empty());
+}
+
+TEST_F(CacheStoreTest, LruOrderSurvivesRestart) {
+  {
+    ResolverCache cache(0, nullptr, open());
+    cache.put(a_set("old.example.com", 600, 1), 0);
+    cache.put(a_set("mid.example.com", 600, 2), 0);
+    cache.put(a_set("hot.example.com", 600, 3), 0);
+    // Touch old.example.com so the pre-restart LRU victim is mid.
+    cache.lookup(mk("old.example.com"), RRType::kA, net::seconds(1));
+  }
+  ResolverCache cache(3, nullptr, open(kWallBase + net::seconds(5), 0));
+  EXPECT_EQ(cache.size(), 3u);
+  // One insert over capacity must evict the pre-restart LRU entry.
+  cache.put(a_set("new.example.com", 600, 4), net::seconds(1));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.peek(mk("mid.example.com"), RRType::kA), nullptr);
+  EXPECT_NE(cache.peek(mk("old.example.com"), RRType::kA), nullptr);
+  EXPECT_NE(cache.peek(mk("hot.example.com"), RRType::kA), nullptr);
+}
+
+// ---- corruption -----------------------------------------------------------
+
+void patch_file(const std::string& path, std::size_t offset,
+                const void* bytes, std::size_t len) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(bytes, 1, len, f), len);
+  std::fclose(f);
+}
+
+TEST_F(CacheStoreTest, BadMagicFallsBackCold) {
+  { ResolverCache cache(0, nullptr, open());
+    cache.put(a_set("www.example.com", 600, 1), 0); }
+  const char junk[8] = {'N', 'O', 'T', 'A', 'C', 'A', 'C', 'H'};
+  patch_file(path_, 0, junk, sizeof junk);
+  auto reloaded = open(kWallBase + 1, 0);
+  EXPECT_TRUE(reloaded->load_report().cold);
+  EXPECT_EQ(reloaded->load_report().cold_reason, "bad magic");
+  EXPECT_EQ(reloaded->size(), 0u);
+}
+
+TEST_F(CacheStoreTest, BadVersionFallsBackCold) {
+  { ResolverCache cache(0, nullptr, open());
+    cache.put(a_set("www.example.com", 600, 1), 0); }
+  // Version then header CRC refreshed so only the version mismatches.
+  const uint32_t version = 99;
+  patch_file(path_, 8, &version, sizeof version);
+  std::vector<uint8_t> head(60);
+  { std::ifstream in(path_, std::ios::binary);
+    in.read(reinterpret_cast<char*>(head.data()),
+            static_cast<std::streamsize>(head.size())); }
+  const uint32_t crc = util::crc32(head);
+  patch_file(path_, 60, &crc, sizeof crc);
+  auto reloaded = open(kWallBase + 1, 0);
+  EXPECT_TRUE(reloaded->load_report().cold);
+  EXPECT_EQ(reloaded->load_report().cold_reason, "bad version");
+}
+
+TEST_F(CacheStoreTest, TornHeaderFallsBackCold) {
+  { ResolverCache cache(0, nullptr, open());
+    cache.put(a_set("www.example.com", 600, 1), 0); }
+  // Flip one CRC-covered header byte without fixing the CRC.
+  const uint8_t garbage = 0xA5;
+  patch_file(path_, 40, &garbage, sizeof garbage);
+  auto reloaded = open(kWallBase + 1, 0);
+  EXPECT_TRUE(reloaded->load_report().cold);
+  EXPECT_EQ(reloaded->load_report().cold_reason, "bad header crc");
+}
+
+TEST_F(CacheStoreTest, ResizedFileFallsBackCold) {
+  { ResolverCache cache(0, nullptr, open());
+    cache.put(a_set("www.example.com", 600, 1), 0); }
+  auto opts = options(kWallBase + 1, 0);
+  opts.file_bytes = 2ull << 20;  // operator grew --cache-file-size
+  auto reloaded = MmapCacheStore::open(std::move(opts));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(reloaded.value()->load_report().cold);
+  EXPECT_EQ(reloaded.value()->load_report().cold_reason, "size mismatch");
+}
+
+TEST_F(CacheStoreTest, TornSlotIsDroppedOthersSurvive) {
+  {
+    ResolverCache cache(0, nullptr, open());
+    cache.put(a_set("a.example.com", 600, 1), 0);
+    cache.put(a_set("b.example.com", 600, 2), 0);
+    cache.put(a_set("c.example.com", 600, 3), 0);
+  }
+  // Corrupt one used slot's name text mid-file (CRC now mismatches).
+  auto probe = open(kWallBase + 1, 0);
+  ASSERT_EQ(probe->load_report().warm_entries, 3u);
+  const std::size_t slot_count = probe->slot_count();
+  probe.reset();
+  bool patched = false;
+  std::vector<uint8_t> slot(512);
+  std::ifstream in(path_, std::ios::binary);
+  for (std::size_t i = 0; i < slot_count && !patched; ++i) {
+    in.seekg(static_cast<std::streamoff>(4096 + i * 512));
+    in.read(reinterpret_cast<char*>(slot.data()), 512);
+    uint32_t state = 0;
+    std::memcpy(&state, slot.data(), sizeof state);
+    if (state == 1) {  // kUsed
+      const uint8_t garbage = 0xFF;
+      patch_file(path_, 4096 + i * 512 + 80, &garbage, sizeof garbage);
+      patched = true;
+    }
+  }
+  ASSERT_TRUE(patched);
+  auto reloaded = open(kWallBase + 2, 0);
+  EXPECT_FALSE(reloaded->load_report().cold);
+  EXPECT_EQ(reloaded->load_report().torn_dropped, 1u);
+  EXPECT_EQ(reloaded->load_report().warm_entries, 2u);
+}
+
+// ---- slab compaction ------------------------------------------------------
+
+TEST_F(CacheStoreTest, SlabCompactionKeepsEntriesIntact) {
+  metrics::MetricsRegistry registry;
+  auto store = open(kWallBase, 0, true, &registry);
+  ResolverCache cache(0, nullptr, std::move(store));
+  // Each put re-appends the entry's wire payload to the bump arena; far
+  // more appends than the ~900 KiB slab holds forces compaction.
+  dns::RRset big{mk("big.example.com"), RRType::kTXT, dns::RRClass::kIN,
+                 600, {}};
+  big.add(dns::TXTRdata{{std::string(200, 'x')}});
+  for (int i = 0; i < 8000; ++i) {
+    big.ttl = 600 + static_cast<uint32_t>(i % 7);
+    cache.put(big, net::seconds(i % 100));
+    cache.put(a_set("a.example.com", 600, static_cast<uint32_t>(i)),
+              net::seconds(i % 100));
+  }
+  uint64_t compactions = 0, persist_failures = 0;
+  for (const auto& entry : registry.snapshot(0).entries) {
+    if (entry.name == "cache_store_compactions") {
+      compactions += entry.counter_value;
+    }
+    if (entry.name == "cache_store_persist_failures") {
+      persist_failures += entry.counter_value;
+    }
+  }
+  EXPECT_GT(compactions, 0u);
+  EXPECT_EQ(persist_failures, 0u);
+
+  cache.note_zone_serial(mk("example.com"), 5);
+  const net::SimTime end = net::seconds(99);
+  ASSERT_NE(cache.lookup(mk("big.example.com"), RRType::kTXT, end), nullptr);
+  ASSERT_NE(cache.lookup(mk("a.example.com"), RRType::kA, end), nullptr);
+}
+
+TEST_F(CacheStoreTest, CompactedImageReloadsCleanly) {
+  {
+    metrics::MetricsRegistry registry;
+    ResolverCache cache(0, nullptr, open(kWallBase, 0, true, &registry));
+    dns::RRset big{mk("big.example.com"), RRType::kTXT, dns::RRClass::kIN,
+                   600, {}};
+    big.add(dns::TXTRdata{{std::string(200, 'y')}});
+    for (int i = 0; i < 8000; ++i) {
+      cache.put(big, 0);
+      cache.put(a_set("a.example.com", 600, 1), 0);
+    }
+  }
+  auto reloaded = open(kWallBase + net::seconds(5), 0);
+  EXPECT_FALSE(reloaded->load_report().cold);
+  EXPECT_EQ(reloaded->load_report().warm_entries, 2u);
+  EXPECT_EQ(reloaded->load_report().torn_dropped, 0u);
+  CacheEntry* entry =
+      reloaded->find(CacheKey{mk("big.example.com"), RRType::kTXT});
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->rrset.rdatas.size(), 1u);
+  EXPECT_EQ(std::get<dns::TXTRdata>(entry->rrset.rdatas[0]).strings[0],
+            std::string(200, 'y'));
+}
+
+}  // namespace
+}  // namespace dnscup::cachestore

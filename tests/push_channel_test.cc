@@ -69,9 +69,9 @@ class Harness {
           updates_.push_back(std::move(message));
           cv_.notify_all();
         },
-        [this](std::vector<ZoneSerial> zones) {
+        [this](SubscribeAck ack, std::vector<LeaseSurvivor>) {
           std::lock_guard lock(mutex_);
-          resyncs_.push_back(std::move(zones));
+          resyncs_.push_back(std::move(ack.zones));
           cv_.notify_all();
         });
   }

@@ -103,7 +103,43 @@ TEST(PushFraming, SubscribeRoundTrip) {
   const auto body = encode_subscribe(identity);
   const auto parsed = parse_subscribe(body);
   ASSERT_TRUE(parsed.has_value());
-  EXPECT_EQ(*parsed, identity);
+  EXPECT_EQ(parsed->version, kPushProtocolVersion);
+  EXPECT_EQ(parsed->identity, identity);
+  EXPECT_TRUE(parsed->survivors.empty());
+}
+
+TEST(PushFraming, SubscribeWithoutSurvivorsStaysOnV1Wire) {
+  // An empty survivor inventory must encode byte-identically to the v1
+  // form, so warm-capable caches interoperate with v1 authorities.
+  const net::Endpoint identity{net::make_ip(10, 1, 2, 3), 5353};
+  SubscribeInfo info;
+  info.identity = identity;
+  EXPECT_EQ(encode_subscribe(info), encode_subscribe(identity));
+}
+
+TEST(PushFraming, SubscribeV2RoundTripsSurvivors) {
+  SubscribeInfo info;
+  info.identity = net::Endpoint{net::make_ip(192, 168, 0, 9), 4242};
+  info.survivors.push_back(LeaseSurvivor{
+      dns::Name::parse("www.example.com").value(), dns::RRType::kA,
+      90'000'000});
+  info.survivors.push_back(LeaseSurvivor{
+      dns::Name::parse("mail.other.org").value(), dns::RRType::kAAAA,
+      1'500'000});
+
+  const auto body = encode_subscribe(info);
+  EXPECT_EQ(body[0], kPushProtocolVersionReadopt);
+  const auto parsed = parse_subscribe(body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->version, kPushProtocolVersionReadopt);
+  EXPECT_EQ(parsed->identity, info.identity);
+  ASSERT_EQ(parsed->survivors.size(), 2u);
+  EXPECT_EQ(parsed->survivors[0].name, info.survivors[0].name);
+  EXPECT_EQ(parsed->survivors[0].type, dns::RRType::kA);
+  EXPECT_EQ(parsed->survivors[0].remaining_us, 90'000'000u);
+  EXPECT_EQ(parsed->survivors[1].name, info.survivors[1].name);
+  EXPECT_EQ(parsed->survivors[1].type, dns::RRType::kAAAA);
+  EXPECT_EQ(parsed->survivors[1].remaining_us, 1'500'000u);
 }
 
 TEST(PushFraming, SubscribeRejectsMalformedBodies) {
@@ -111,7 +147,7 @@ TEST(PushFraming, SubscribeRejectsMalformedBodies) {
   auto body = encode_subscribe(identity);
 
   auto wrong_version = body;
-  wrong_version[0] = kPushProtocolVersion + 1;
+  wrong_version[0] = kPushProtocolVersionReadopt + 1;
   EXPECT_FALSE(parse_subscribe(wrong_version).has_value());
 
   auto truncated = body;
@@ -130,6 +166,19 @@ TEST(PushFraming, SubscribeRejectsMalformedBodies) {
   EXPECT_FALSE(parse_subscribe({}).has_value());
 }
 
+TEST(PushFraming, SubscribeV2RejectsTruncation) {
+  SubscribeInfo info;
+  info.identity = net::Endpoint{net::make_ip(10, 1, 2, 3), 5353};
+  info.survivors.push_back(LeaseSurvivor{
+      dns::Name::parse("www.example.com").value(), dns::RRType::kA, 1000});
+  const auto body = encode_subscribe(info);
+  for (std::size_t cut = 1; cut < body.size() - 7; ++cut) {
+    const std::span<const uint8_t> prefix(body.data(), body.size() - cut);
+    EXPECT_FALSE(parse_subscribe(prefix).has_value())
+        << "accepted a v2 body truncated by " << cut << " bytes";
+  }
+}
+
 TEST(PushFraming, SubscribeAckRoundTrip) {
   std::vector<ZoneSerial> zones;
   zones.push_back({dns::Name::parse("example.com").value(), 42});
@@ -138,18 +187,52 @@ TEST(PushFraming, SubscribeAckRoundTrip) {
   const auto body = encode_subscribe_ack(zones);
   const auto parsed = parse_subscribe_ack(body);
   ASSERT_TRUE(parsed.has_value());
-  ASSERT_EQ(parsed->size(), 2u);
-  EXPECT_EQ((*parsed)[0].zone, zones[0].zone);
-  EXPECT_EQ((*parsed)[0].serial, 42u);
-  EXPECT_EQ((*parsed)[1].zone, zones[1].zone);
-  EXPECT_EQ((*parsed)[1].serial, 7u);
+  EXPECT_FALSE(parsed->has_readoption);
+  ASSERT_EQ(parsed->zones.size(), 2u);
+  EXPECT_EQ(parsed->zones[0].zone, zones[0].zone);
+  EXPECT_EQ(parsed->zones[0].serial, 42u);
+  EXPECT_EQ(parsed->zones[1].zone, zones[1].zone);
+  EXPECT_EQ(parsed->zones[1].serial, 7u);
 }
 
 TEST(PushFraming, SubscribeAckEmptyInventory) {
   const auto body = encode_subscribe_ack({});
   const auto parsed = parse_subscribe_ack(body);
   ASSERT_TRUE(parsed.has_value());
-  EXPECT_TRUE(parsed->empty());
+  EXPECT_TRUE(parsed->zones.empty());
+  EXPECT_FALSE(parsed->has_readoption);
+}
+
+TEST(PushFraming, SubscribeAckV2RoundTripsVerdicts) {
+  std::vector<ZoneSerial> zones;
+  zones.push_back({dns::Name::parse("example.com").value(), 42});
+  // 10 verdicts so the bitmask spans two bytes.
+  std::vector<bool> bits = {true, false, true,  true, false,
+                            true, true,  false, true, true};
+
+  const auto body = encode_subscribe_ack(zones, bits);
+  const auto parsed = parse_subscribe_ack(body);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->zones.size(), 1u);
+  EXPECT_EQ(parsed->zones[0].serial, 42u);
+  ASSERT_TRUE(parsed->has_readoption);
+  EXPECT_EQ(parsed->resumed, 7u);
+  EXPECT_EQ(parsed->rejected, 3u);
+  ASSERT_EQ(parsed->resumed_bits.size(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(parsed->resumed_bits[i], bits[i]) << "verdict " << i;
+  }
+}
+
+TEST(PushFraming, SubscribeAckV2AllRejected) {
+  const auto body =
+      encode_subscribe_ack({}, std::vector<bool>(5, false));
+  const auto parsed = parse_subscribe_ack(body);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->has_readoption);
+  EXPECT_EQ(parsed->resumed, 0u);
+  EXPECT_EQ(parsed->rejected, 5u);
+  ASSERT_EQ(parsed->resumed_bits.size(), 5u);
 }
 
 TEST(PushFraming, SubscribeAckRejectsTruncation) {
@@ -160,6 +243,17 @@ TEST(PushFraming, SubscribeAckRejectsTruncation) {
     const std::span<const uint8_t> prefix(body.data(), body.size() - cut);
     EXPECT_FALSE(parse_subscribe_ack(prefix).has_value())
         << "accepted a body truncated by " << cut << " bytes";
+  }
+}
+
+TEST(PushFraming, SubscribeAckV2RejectsTruncation) {
+  std::vector<ZoneSerial> zones;
+  zones.push_back({dns::Name::parse("example.com").value(), 42});
+  auto body = encode_subscribe_ack(zones, {true, false, true});
+  for (std::size_t cut = 1; cut < body.size(); ++cut) {
+    const std::span<const uint8_t> prefix(body.data(), body.size() - cut);
+    EXPECT_FALSE(parse_subscribe_ack(prefix).has_value())
+        << "accepted a v2 ack truncated by " << cut << " bytes";
   }
 }
 

@@ -5,7 +5,8 @@
 # I/O and crash-path truncation, exactly where the sanitizers earn their
 # keep.  --sanitize widens the sanitizer leg to the whole tree.
 #
-# Tests are labeled unit / sim / e2e / push (see tests/CMakeLists.txt).
+# Tests are labeled unit / sim / e2e / push / planner / cachestore (see
+# tests/CMakeLists.txt).
 # The default run executes the in-process labels first, then the TCP
 # subscription plane (`-L push`), then the real-socket e2e leg on its
 # own (`-L e2e`) so a socket-environment failure is immediately
@@ -39,6 +40,13 @@
 #                  The uring leg probes kernel support first (dnsflood
 #                  --probe-io-backend) and prints an explicit SKIP — not
 #                  a failure — where io_uring is unavailable.
+#   --cachestore   the persistent cache-store leg: the cachestore-labeled
+#                  suites in Release (backend equivalence, warm reload,
+#                  corruption fallback, fork + kill -9 torn-file
+#                  recovery, warm-restart e2e), then cachestore_test +
+#                  cachestore_kill_test under ASan/UBSan — the store is
+#                  raw mmap'd byte layout with CRC plumbing, exactly
+#                  where the sanitizers earn their keep.
 #
 # Usage:
 #   tools/check.sh                # Release build + ctest + store sanitizers
@@ -49,6 +57,7 @@
 #   tools/check.sh --bench-smoke # serving-runtime load smoke only
 #   tools/check.sh --wire-micro  # wire hot-path microbenchmark only
 #   tools/check.sh --io-matrix   # full suite under each I/O backend
+#   tools/check.sh --cachestore  # persistent cache-store leg only
 #   JOBS=4 tools/check.sh        # override build parallelism
 set -euo pipefail
 
@@ -63,13 +72,22 @@ run_suite() {
   cmake -B "$build_dir" -S "$repo_root" "$@"
   cmake --build "$build_dir" -j "$jobs"
   echo "-- unit + sim labels --"
-  ctest --test-dir "$build_dir" -LE 'e2e|push' --output-on-failure -j "$jobs"
+  ctest --test-dir "$build_dir" -LE 'e2e|push|cachestore' \
+    --output-on-failure -j "$jobs"
   if [ "$run_e2e" = yes ]; then
+    echo "-- cachestore label (persistent store, kill -9 recovery) --"
+    ctest --test-dir "$build_dir" -L cachestore --output-on-failure \
+      -j "$jobs"
     echo "-- push label (TCP subscription channel, loopback) --"
     ctest --test-dir "$build_dir" -L push --output-on-failure -j "$jobs"
     echo "-- e2e label (real loopback sockets, daemon pairs) --"
     ctest --test-dir "$build_dir" -L e2e --output-on-failure -j "$jobs"
   else
+    # The warm-restart e2e needs loopback sockets; the rest of the
+    # cachestore label is file-only and still runs.
+    echo "-- cachestore label (file-only subset; --no-e2e) --"
+    ctest --test-dir "$build_dir" -L cachestore \
+      -E '^warm_restart_e2e_test$' --output-on-failure -j "$jobs"
     echo "-- push + e2e labels skipped (--no-e2e) --"
   fi
 }
@@ -83,16 +101,21 @@ run_tsan() {
   cmake --build "$build_dir" -j "$jobs" \
     --target runtime_test udp_transport_test e2e_daemons_test \
              io_backend_parity_test push_channel_test e2e_push_test \
-             planner_test planner_runtime_test
+             planner_test planner_runtime_test warm_restart_e2e_test \
+             cachestore_test
   # halt_on_error turns any race report into a test failure.  The
   # backend is pinned to portable so the leg is deterministic; the
   # parity test still exercises the uring receiver threads explicitly
   # where the kernel supports them.  The push suites put the epoll
   # server thread / client threads / submitter cross-talk under TSan.
+  # warm_restart_e2e_test rides in the TSan leg: the one-shot survivor
+  # snapshot handoff (start thread → push I/O thread) and the readopt
+  # fan-out (push I/O thread → worker threads) are cross-thread seams.
   tsan_tests='runtime_test|udp_transport_test|e2e_daemons_test'
   tsan_tests="$tsan_tests|io_backend_parity_test"
   tsan_tests="$tsan_tests|push_channel_test|e2e_push_test"
   tsan_tests="$tsan_tests|planner_test|planner_runtime_test"
+  tsan_tests="$tsan_tests|warm_restart_e2e_test|cachestore_test"
   TSAN_OPTIONS="halt_on_error=1" DNSCUP_IO_BACKEND=portable \
     ctest --test-dir "$build_dir" \
     -R "^($tsan_tests)\$" \
@@ -278,6 +301,31 @@ run_planner() {
   echo "planner leg ok; smoke results under $bench_dir/"
 }
 
+run_cachestore() {
+  echo "== persistent cache-store leg =="
+  local build_dir="$repo_root/build"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j "$jobs" \
+    --target cachestore_test cachestore_kill_test warm_restart_e2e_test
+  echo "-- cachestore label (Release) --"
+  ctest --test-dir "$build_dir" -L cachestore --output-on-failure -j "$jobs"
+
+  echo "-- cachestore suites under address,undefined sanitizers --"
+  # The store is a raw mmap'd image: fixed-offset slot packing, bump
+  # allocation, memmove compaction, CRC windows — ASan/UBSan is where an
+  # off-by-one slab bound or misaligned read would surface.  The kill
+  # suite reopens truly torn files under the same instrumentation.
+  cmake -B "$repo_root/build-store-sanitize" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDNSCUP_SANITIZE=address,undefined
+  cmake --build "$repo_root/build-store-sanitize" -j "$jobs" \
+    --target cachestore_test cachestore_kill_test
+  ctest --test-dir "$repo_root/build-store-sanitize" \
+    -R '^(cachestore_test|cachestore_kill_test)$' \
+    --output-on-failure -j "$jobs"
+  echo "cachestore leg ok"
+}
+
 e2e=yes
 if [ "$mode" = --no-e2e ]; then
   e2e=no
@@ -299,6 +347,9 @@ case "$mode" in
     ;;
   --io-matrix)
     run_io_matrix
+    ;;
+  --cachestore)
+    run_cachestore
     ;;
   --sanitize)
     echo "== tier-1: release build + ctest =="

@@ -17,8 +17,15 @@
 //             [--rcvbuf bytes] [--sndbuf bytes] [--no-dnscup]
 //             [--io-backend portable|uring] [--pin-cpus 0,1,...]
 //             [--cache-capacity N] [--query-timeout-ms N] [--retries N]
+//             [--cache-dir DIR] [--cache-file-size bytes]
 //             [--metrics-out metrics.json] [--metrics-interval 10]
 //             [--verbose]
+//
+// With --cache-dir the cache persists: each worker mmaps
+// DIR/cache-shard-<i> and a restart reloads the surviving entries warm
+// (TTLs decayed by the downtime).  With the push plane up, reloaded
+// leases are announced for re-adoption so matching zone serials resume
+// CACHE-UPDATE delivery without a refetch burst.
 //
 // The daemon prints one status line per second (with --verbose)
 // aggregating all workers; SIGINT and SIGTERM both run the graceful
@@ -52,6 +59,8 @@ struct Options {
   tools::ServingFlags serving{5301};
   std::vector<net::Endpoint> upstreams;
   std::size_t cache_capacity = 0;
+  std::string cache_dir;
+  std::size_t cache_file_bytes = 64ull << 20;
   int64_t query_timeout_ms = 2000;
   int retries = 2;
 };
@@ -83,6 +92,13 @@ bool parse_args(int argc, char** argv, Options& opts) {
     } else if (arg == "--cache-capacity") {
       if ((v = next()) == nullptr) return false;
       opts.cache_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--cache-dir") {
+      if ((v = next()) == nullptr) return false;
+      opts.cache_dir = v;
+    } else if (arg == "--cache-file-size") {
+      if ((v = next()) == nullptr) return false;
+      opts.cache_file_bytes = static_cast<std::size_t>(std::atoll(v));
+      if (opts.cache_file_bytes == 0) return false;
     } else if (arg == "--query-timeout-ms") {
       if ((v = next()) == nullptr) return false;
       opts.query_timeout_ms = std::atoll(v);
@@ -109,7 +125,8 @@ int main(int argc, char** argv) {
         "usage: dnscached --port N --upstream ip:port [--upstream ...]\n"
         "%s"
         "               [--cache-capacity N] [--query-timeout-ms N]\n"
-        "               [--retries N]\n",
+        "               [--retries N] [--cache-dir DIR]\n"
+        "               [--cache-file-size bytes]\n",
         tools::kServingUsage);
     return 2;
   }
@@ -128,6 +145,8 @@ int main(int argc, char** argv) {
   config.push_plane = opts.serving.push_plane;
   config.push_authority = opts.serving.push_authority;
   config.cache_capacity = opts.cache_capacity;
+  config.cache_dir = opts.cache_dir;
+  config.cache_file_bytes = opts.cache_file_bytes;
   config.query_timeout = net::milliseconds(opts.query_timeout_ms);
   config.max_retries = opts.retries;
 
@@ -152,6 +171,34 @@ int main(int argc, char** argv) {
     std::printf("push channel -> %s (TCP, per-worker subscriptions)\n",
                 config.push_authority.to_string().c_str());
   }
+  if (rt.persistent_cache()) {
+    uint64_t warm = 0, torn = 0, expired = 0, demoted = 0;
+    std::size_t cold = 0;
+    std::string cold_reason;
+    const auto reports = rt.cache_load_reports();
+    for (const auto& report : reports) {
+      warm += report.warm_entries;
+      torn += report.torn_dropped;
+      expired += report.expired_dropped;
+      demoted += report.leases_demoted;
+      if (report.cold) {
+        ++cold;
+        cold_reason = report.cold_reason;
+      }
+    }
+    if (cold == reports.size()) {
+      std::printf("cache store: %s (cold start: %s)\n",
+                  config.cache_dir.c_str(), cold_reason.c_str());
+    } else {
+      std::printf(
+          "cache store: %s (warm restart: %llu entries reloaded, "
+          "%llu expired, %llu torn, %llu leases demoted)\n",
+          config.cache_dir.c_str(), static_cast<unsigned long long>(warm),
+          static_cast<unsigned long long>(expired),
+          static_cast<unsigned long long>(torn),
+          static_cast<unsigned long long>(demoted));
+    }
+  }
   std::fflush(stdout);
 
   auto last_report = std::chrono::steady_clock::now();
@@ -172,7 +219,7 @@ int main(int argc, char** argv) {
       const auto snapshot = rt.metrics();
       std::printf(
           "queries=%llu upstream=%llu leases=%zu entries=%zu "
-          "updates_applied=%llu acks=%llu inbox_drops=%llu\n",
+          "updates_applied=%llu acks=%llu inbox_drops=%llu",
           static_cast<unsigned long long>(tools::counter_sum(
               snapshot, "resolver_queries", "side", "client")),
           static_cast<unsigned long long>(tools::counter_sum(
@@ -184,6 +231,22 @@ int main(int argc, char** argv) {
               tools::counter_sum(snapshot, "lease_client_acks_sent")),
           static_cast<unsigned long long>(
               tools::counter_sum(snapshot, "cachert_inbox_dropped")));
+      if (rt.persistent_cache()) {
+        std::printf(
+            " store_slots=%llu store_bytes=%llu "
+            "readopt=%llu/%llu/%llu (resumed/gap/rejected)",
+            static_cast<unsigned long long>(
+                tools::gauge_sum(snapshot, "cache_store_slots_used")),
+            static_cast<unsigned long long>(
+                tools::gauge_sum(snapshot, "cache_store_file_bytes")),
+            static_cast<unsigned long long>(tools::counter_sum(
+                snapshot, "lease_readoption_total", "result", "resumed")),
+            static_cast<unsigned long long>(tools::counter_sum(
+                snapshot, "lease_readoption_total", "result", "serial_gap")),
+            static_cast<unsigned long long>(tools::counter_sum(
+                snapshot, "lease_readoption_total", "result", "rejected")));
+      }
+      std::printf("\n");
     }
   }
   const int sig = g_signal.load();

@@ -312,7 +312,7 @@ int main(int argc, char** argv) {
       const auto snapshot = rt.metrics();
       std::printf(
           "queries=%llu updates=%llu leases=%zu pushes=%llu acks=%llu "
-          "inbox_drops=%llu\n",
+          "readopt=%llu/%llu (resumed/rejected) inbox_drops=%llu\n",
           static_cast<unsigned long long>(tools::counter_sum(
               snapshot, "auth_server_requests", "op", "query")),
           static_cast<unsigned long long>(tools::counter_sum(
@@ -322,6 +322,10 @@ int main(int argc, char** argv) {
               snapshot, "cache_update_messages", "result", "sent")),
           static_cast<unsigned long long>(tools::counter_sum(
               snapshot, "cache_update_messages", "result", "acked")),
+          static_cast<unsigned long long>(tools::counter_sum(
+              snapshot, "authority_lease_readoptions", "result", "resumed")),
+          static_cast<unsigned long long>(tools::counter_sum(
+              snapshot, "authority_lease_readoptions", "result", "rejected")),
           static_cast<unsigned long long>(
               tools::counter_sum(snapshot, "runtime_inbox_dropped")));
     }

@@ -221,6 +221,18 @@ inline uint64_t counter_sum(const metrics::Snapshot& snapshot,
   return total;
 }
 
+/// Sum of all gauges named `name`, collapsing per-worker instances
+/// (e.g. cache_store_slots_used across shard files).
+inline double gauge_sum(const metrics::Snapshot& snapshot, const char* name) {
+  double total = 0;
+  for (const auto& entry : snapshot.entries) {
+    if (entry.kind != metrics::InstrumentKind::kGauge) continue;
+    if (entry.name != name) continue;
+    total += entry.gauge_value;
+  }
+  return total;
+}
+
 /// The "listening" banner.  Supervisors (and check.sh) wait for this
 /// line; both daemons print the same shape, including the I/O backend
 /// actually serving (after any uring→portable fallback).
